@@ -1,0 +1,69 @@
+"""Component micro-benchmarks — simulator throughput.
+
+Not a paper artifact: these track the performance of the substrate pieces
+that dominate experiment wall-clock (cache simulation, traced inference,
+digit rendering), so regressions in the inner loops are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SyntheticDigits
+from repro.nn import Trainer
+from repro.trace import TracedInference
+from repro.uarch import Cache, CacheGeometry, CacheHierarchy, CpuModel
+
+
+@pytest.fixture(scope="module")
+def access_stream():
+    rng = np.random.default_rng(0)
+    # A mix of streaming and looping accesses over a 4x-of-L1 footprint.
+    sequential = np.arange(20_000) % 512
+    random = rng.integers(0, 512, size=20_000)
+    return np.concatenate([sequential, random])
+
+
+def test_cache_access_throughput(benchmark, access_stream):
+    cache = Cache(CacheGeometry(8 * 1024, 64, 4))
+
+    def run():
+        cache.reset()
+        return cache.access_many(access_stream)
+
+    missed = benchmark(run)
+    assert len(missed) > 0
+
+
+def test_hierarchy_access_throughput(benchmark, access_stream):
+    hierarchy = CacheHierarchy()
+
+    def run():
+        hierarchy.reset()
+        return hierarchy.access_stream(access_stream)
+
+    summary = benchmark(run)
+    assert summary.accesses == access_stream.size
+
+
+def test_traced_inference_latency(benchmark, mnist_result):
+    traced = TracedInference(mnist_result.model)
+    cpu = CpuModel(seed=0)
+    sample = mnist_result.config.generator().generate(1, seed=3).images[0]
+
+    prediction, counts = benchmark(traced.run, sample, cpu)
+    assert len(counts) == 8
+
+
+def test_model_forward_latency(benchmark, mnist_result):
+    batch = mnist_result.config.generator().generate(4, seed=4).images[:32]
+
+    logits = benchmark(mnist_result.model.predict_logits, batch)
+    assert logits.shape[1] == 10
+
+
+def test_digit_rendering_throughput(benchmark):
+    generator = SyntheticDigits()
+    rng = np.random.default_rng(0)
+
+    image = benchmark(generator.render_digit, 5, rng)
+    assert image.shape == (1, 28, 28)

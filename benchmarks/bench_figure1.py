@@ -1,0 +1,38 @@
+"""Figure 1 — average cache-misses per category (MNIST and CIFAR-10).
+
+Paper: "the average number of cache-misses is different for different
+categories showing a possible venue for information leakage".  The bench
+regenerates both bar charts and times the per-category aggregation.
+"""
+
+import pytest
+
+from repro.core import format_category_means
+from repro.uarch import HpcEvent
+
+from .conftest import emit
+
+
+def test_figure1a_mnist(benchmark, mnist_result):
+    distributions = mnist_result.distributions
+
+    means = benchmark(distributions.category_means, HpcEvent.CACHE_MISSES)
+
+    emit("Figure 1(a): average cache-misses per category - MNIST",
+         format_category_means(distributions, HpcEvent.CACHE_MISSES,
+                               display=mnist_result.config.display_map()))
+    # The paper's qualitative claim: the averages differ across categories.
+    values = list(means.values())
+    assert max(values) - min(values) > 0.001 * max(values)
+
+
+def test_figure1b_cifar(benchmark, cifar_result):
+    distributions = cifar_result.distributions
+
+    means = benchmark(distributions.category_means, HpcEvent.CACHE_MISSES)
+
+    emit("Figure 1(b): average cache-misses per category - CIFAR-10",
+         format_category_means(distributions, HpcEvent.CACHE_MISSES,
+                               display=cifar_result.config.display_map()))
+    values = list(means.values())
+    assert max(values) - min(values) > 0.001 * max(values)

@@ -1,0 +1,28 @@
+"""Figure 2(b) — the HPC readout of a single classification.
+
+Paper: the Evaluator "can obtain these values" for one classification
+without knowing the input — eight counters from one ``perf stat`` window.
+The bench times one full measured classification (trace + microarchitecture
+simulation + readout), the unit of work every experiment repeats.
+"""
+
+from repro.core import format_event_readout
+from repro.uarch import ALL_EVENTS
+
+from .conftest import emit
+
+
+def test_figure2b_single_classification_readout(benchmark, mnist_result):
+    config = mnist_result.config
+    backend = mnist_result.backend
+    sample = config.generator().generate(1, seed=99).images[0]
+
+    measurement = benchmark(backend.measure, sample)
+
+    emit("Figure 2(b): HPC events during one MNIST classification",
+         format_event_readout(
+             measurement.counts,
+             title=f"(predicted class {measurement.prediction})"))
+    # All eight of the paper's events must be present and non-trivial.
+    assert [e for e in ALL_EVENTS if e in measurement.counts] == list(ALL_EVENTS)
+    assert all(measurement.counts[event] > 0 for event in ALL_EVENTS)

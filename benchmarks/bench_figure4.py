@@ -1,0 +1,54 @@
+"""Figure 4 — per-category distributions of cache-misses / branches (CIFAR-10).
+
+The CIFAR-10 counterpart of Figure 3: separable ``cache-misses``
+distributions, overlapping ``branches`` distributions.
+"""
+
+import numpy as np
+
+from repro.core import format_distribution_figure
+from repro.stats import overlap_coefficient
+from repro.uarch import HpcEvent
+
+from .bench_figure3 import _build_histograms
+from .conftest import emit
+
+
+def test_figure4a_cache_misses_distributions(benchmark, cifar_result):
+    distributions = cifar_result.distributions
+
+    histograms = benchmark(_build_histograms, distributions,
+                           HpcEvent.CACHE_MISSES)
+
+    emit("Figure 4(a): cache-misses distributions per category - CIFAR-10",
+         format_distribution_figure(distributions, HpcEvent.CACHE_MISSES,
+                                    display=cifar_result.config.display_map()))
+    assert len(histograms) == 4
+    categories = distributions.categories
+    overlaps = [
+        overlap_coefficient(
+            distributions.values(a, HpcEvent.CACHE_MISSES),
+            distributions.values(b, HpcEvent.CACHE_MISSES))
+        for i, a in enumerate(categories) for b in categories[i + 1:]
+    ]
+    assert min(overlaps) < 0.5
+
+
+def test_figure4b_branches_distributions(benchmark, cifar_result):
+    distributions = cifar_result.distributions
+
+    histograms = benchmark(_build_histograms, distributions,
+                           HpcEvent.BRANCHES)
+
+    emit("Figure 4(b): branches distributions per category - CIFAR-10",
+         format_distribution_figure(distributions, HpcEvent.BRANCHES,
+                                    display=cifar_result.config.display_map()))
+    assert len(histograms) == 4
+    categories = distributions.categories
+    overlaps = [
+        overlap_coefficient(
+            distributions.values(a, HpcEvent.BRANCHES),
+            distributions.values(b, HpcEvent.BRANCHES))
+        for i, a in enumerate(categories) for b in categories[i + 1:]
+    ]
+    assert float(np.mean(overlaps)) > 0.4

@@ -1,0 +1,46 @@
+"""Extension bench — per-layer leak localization.
+
+Answers the question a developer asks right after the alarm fires: *which
+kernel do I need to fix?*  Each layer runs its sparsity-aware kernel in
+isolation (everything else dense); layers whose isolated leak exceeds the
+all-dense noise floor are the culprits.  Expected outcome on the MNIST CNN:
+the weight-bearing layers (conv1, conv2, fc) leak, the elementwise and
+pooling layers do not.
+"""
+
+import pytest
+
+from repro.countermeasures import localize_leak
+from repro.uarch import HpcEvent
+
+from .conftest import emit
+
+
+@pytest.fixture(scope="module")
+def localization(mnist_result):
+    config = mnist_result.config
+    pool = config.generator().generate(20, seed=31,
+                                       categories=list(config.categories))
+    return localize_leak(mnist_result.model, pool, config.categories, 20,
+                         base_config=config.trace_config,
+                         cpu_config=config.cpu_config,
+                         noise_scale=config.noise_scale,
+                         seed=config.noise_seed)
+
+
+def test_localization_flags_weight_layers(benchmark, localization):
+    report = benchmark.pedantic(lambda: localization, rounds=1, iterations=1)
+
+    emit("Extension: per-layer leak localization - MNIST",
+         report.summary())
+
+    culprit_names = {leak.layer_name for leak in report.culprits()}
+    assert "conv2" in culprit_names            # deepest conv dominates
+    assert culprit_names <= {"conv1", "conv2", "fc"}
+    # The elementwise/pooling layers sit at the noise floor.
+    quiet = [leak for leak in report.layers
+             if leak.layer_type in ("ReLU", "MaxPool2D", "Flatten")]
+    assert all(not leak.leaks_above(report.floor_rejections)
+               for leak in quiet)
+    # The strongest isolated layer is a weight layer.
+    assert report.ranked()[0].layer_name in {"conv1", "conv2", "fc"}

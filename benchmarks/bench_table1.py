@@ -1,0 +1,40 @@
+"""Table 1 — pairwise t-tests on cache-misses and branches (MNIST).
+
+Paper's Table 1 shape: every category pair is distinguishable through
+``cache-misses`` (|t| from 2.5 to 40, p ~ 0, weakest pair t1,4), while
+``branches`` fails for most pairs (|t| < 2.6).  The bench regenerates the
+table and times the full pairwise evaluation.
+"""
+
+from repro.core import Evaluator, format_paper_table
+from repro.uarch import PAPER_TABLE_EVENTS, HpcEvent
+
+from .conftest import emit
+
+
+def test_table1_mnist_pairwise_ttests(benchmark, mnist_result):
+    distributions = mnist_result.distributions
+    evaluator = Evaluator(confidence=0.95)
+
+    report = benchmark(evaluator.evaluate, distributions,
+                       list(PAPER_TABLE_EVENTS))
+
+    emit("Table 1: t-test results - MNIST",
+         format_paper_table(report,
+                            display=mnist_result.config.display_map()))
+
+    # Shape of the paper's Table 1:
+    cm_rejections = report.rejection_count(HpcEvent.CACHE_MISSES)
+    br_rejections = report.rejection_count(HpcEvent.BRANCHES)
+    assert cm_rejections >= 5       # paper: 6/6
+    assert br_rejections <= 2       # paper: 2/6 marginal
+    # cache-misses t magnitudes dominate branches magnitudes.
+    cm_t = [abs(r.ttest.statistic)
+            for r in report.for_event(HpcEvent.CACHE_MISSES)]
+    br_t = [abs(r.ttest.statistic)
+            for r in report.for_event(HpcEvent.BRANCHES)]
+    assert min(cm_t) > 1.5
+    assert max(cm_t) > 5.0
+    assert max(br_t) < 3.0
+    # The evaluator raises the alarm, as the paper reports.
+    assert report.alarm

@@ -1,0 +1,34 @@
+"""Table 2 — pairwise t-tests on cache-misses and branches (CIFAR-10).
+
+Paper's Table 2 shape: all pairs distinguishable via ``cache-misses``
+(|t| 4.5-21), ``branches`` distinguishable for at most one marginal pair.
+"""
+
+from repro.core import Evaluator, format_paper_table
+from repro.uarch import PAPER_TABLE_EVENTS, HpcEvent
+
+from .conftest import emit
+
+
+def test_table2_cifar_pairwise_ttests(benchmark, cifar_result):
+    distributions = cifar_result.distributions
+    evaluator = Evaluator(confidence=0.95)
+
+    report = benchmark(evaluator.evaluate, distributions,
+                       list(PAPER_TABLE_EVENTS))
+
+    emit("Table 2: t-test results - CIFAR-10",
+         format_paper_table(report,
+                            display=cifar_result.config.display_map()))
+
+    cm_rejections = report.rejection_count(HpcEvent.CACHE_MISSES)
+    br_rejections = report.rejection_count(HpcEvent.BRANCHES)
+    assert cm_rejections >= 5       # paper: 6/6
+    assert br_rejections <= 2       # paper: 1/6 marginal
+    cm_t = [abs(r.ttest.statistic)
+            for r in report.for_event(HpcEvent.CACHE_MISSES)]
+    br_t = [abs(r.ttest.statistic)
+            for r in report.for_event(HpcEvent.BRANCHES)]
+    assert max(cm_t) > 8.0
+    assert max(br_t) < 3.0
+    assert report.alarm

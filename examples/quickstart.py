@@ -1,0 +1,57 @@
+"""Quickstart: reproduce the paper's MNIST evaluation in one script.
+
+Trains the CNN classifier on the synthetic digit dataset, measures
+per-category HPC distributions on the simulated CPU, runs the Evaluator's
+pairwise t-tests, and prints the paper-style artifacts (Figure 1(a),
+Figure 2(b), Table 1) plus the alarm verdict.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    HpcEvent,
+    format_category_means,
+    format_event_readout,
+    format_full_report,
+    mnist_experiment,
+    run_experiment,
+)
+from repro.core import PAPER_POLICY
+
+
+def main() -> None:
+    # A smaller measurement count than the benches keeps this demo snappy;
+    # artifacts land in .repro_cache so re-runs are instant.
+    config = mnist_experiment(samples_per_category=40)
+    print(f"running the MNIST case study "
+          f"({config.samples_per_category} measurements/category)...")
+    result = run_experiment(config, verbose=True)
+    display = config.display_map()
+
+    print(f"\nclassifier held-out accuracy: {result.test_accuracy:.1%}")
+
+    # Figure 2(b): what the Evaluator sees for a single classification.
+    sample = config.generator().generate(1, seed=99).images[0]
+    measurement = result.backend.measure(sample)
+    print()
+    print(format_event_readout(
+        measurement.counts,
+        title="one classification's HPC readout (Figure 2(b) analogue):"))
+
+    # Figure 1(a): the motivating observation.
+    print()
+    print(format_category_means(result.distributions,
+                                HpcEvent.CACHE_MISSES, display=display))
+
+    # Table 1 + per-event verdicts.
+    print()
+    print(format_full_report(result.report, display))
+
+    # The paper's alarm rule.
+    print()
+    print(PAPER_POLICY.decide(result.report).format())
+
+
+if __name__ == "__main__":
+    main()

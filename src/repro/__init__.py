@@ -1,0 +1,75 @@
+"""repro — reproduction of "How Secure are Deep Learning Algorithms from
+Side-Channel based Reverse Engineering?" (Alam & Mukhopadhyay, DAC 2019).
+
+The package builds the paper's full pipeline from scratch:
+
+* :mod:`repro.nn` — a NumPy CNN framework (the TensorFlow substitute);
+* :mod:`repro.datasets` — procedural MNIST/CIFAR-10 substitutes;
+* :mod:`repro.uarch` — a trace-driven CPU simulator (caches, branch
+  predictors, TLB, PMU) producing the eight generic ``perf`` events;
+* :mod:`repro.trace` — data-dependent traced inference;
+* :mod:`repro.hpc` — measurement backends (simulated + real ``perf``);
+* :mod:`repro.core` — the paper's Evaluator (t-tests, alarms, reports);
+* :mod:`repro.attack` — the adversary the alarm warns about;
+* :mod:`repro.countermeasures` — constant-footprint defense + certification.
+
+Quickstart::
+
+    from repro import run_experiment, mnist_experiment, format_full_report
+    result = run_experiment(mnist_experiment())
+    print(format_full_report(result.report))
+"""
+
+from .core import (
+    Alarm,
+    AlarmPolicy,
+    Evaluator,
+    ExperimentConfig,
+    ExperimentResult,
+    LeakageReport,
+    build_model,
+    cifar_experiment,
+    format_category_means,
+    format_distribution_figure,
+    format_event_readout,
+    format_full_report,
+    format_paper_table,
+    mnist_experiment,
+    run_experiment,
+)
+from .errors import ReproError
+from .hpc import EventDistributions, MeasurementSession, PerfBackend, SimBackend
+from .trace import TraceConfig, TracedInference
+from .uarch import ALL_EVENTS, CpuConfig, CpuModel, EventCounts, HpcEvent
+from .version import __version__
+
+__all__ = [
+    "ALL_EVENTS",
+    "Alarm",
+    "AlarmPolicy",
+    "CpuConfig",
+    "CpuModel",
+    "Evaluator",
+    "EventCounts",
+    "EventDistributions",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "HpcEvent",
+    "LeakageReport",
+    "MeasurementSession",
+    "PerfBackend",
+    "ReproError",
+    "SimBackend",
+    "TraceConfig",
+    "TracedInference",
+    "__version__",
+    "build_model",
+    "cifar_experiment",
+    "format_category_means",
+    "format_distribution_figure",
+    "format_event_readout",
+    "format_full_report",
+    "format_paper_table",
+    "mnist_experiment",
+    "run_experiment",
+]

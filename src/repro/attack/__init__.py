@@ -1,0 +1,45 @@
+"""Adversary model: recover input categories from HPC readings."""
+
+from .attacker import AttackResult, InputRecoveryAttack, profile_and_attack
+from .classifiers import (
+    AttackClassifier,
+    GaussianNaiveBayes,
+    LinearDiscriminant,
+    NearestCentroid,
+    make_classifier,
+)
+from .features import FeatureMatrix, Standardizer, build_features
+from .flush_reload import (
+    FlushReloadAttacker,
+    FlushReloadResult,
+    flush_reload_attack,
+    weight_lines,
+)
+from .prime_probe import (
+    PrimeProbeAttacker,
+    PrimeProbeResult,
+    collect_probe_vectors,
+    prime_probe_attack,
+)
+
+__all__ = [
+    "weight_lines",
+    "flush_reload_attack",
+    "FlushReloadResult",
+    "FlushReloadAttacker",
+    "prime_probe_attack",
+    "collect_probe_vectors",
+    "PrimeProbeResult",
+    "PrimeProbeAttacker",
+    "AttackClassifier",
+    "AttackResult",
+    "FeatureMatrix",
+    "GaussianNaiveBayes",
+    "InputRecoveryAttack",
+    "LinearDiscriminant",
+    "NearestCentroid",
+    "Standardizer",
+    "build_features",
+    "make_classifier",
+    "profile_and_attack",
+]

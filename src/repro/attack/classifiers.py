@@ -1,0 +1,176 @@
+"""From-scratch classifiers the adversary uses on HPC feature vectors.
+
+Small-sample-friendly generative/linear models: Gaussian naive Bayes,
+linear discriminant analysis with a shared (regularized) covariance, and a
+nearest-centroid baseline.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..errors import StatisticsError
+
+
+class AttackClassifier(abc.ABC):
+    """Minimal fit/predict interface."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "AttackClassifier":
+        """Learn from ``(x, y)``; returns self."""
+
+    @abc.abstractmethod
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted labels for ``x``."""
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy on ``(x, y)``."""
+        y = np.asarray(y).ravel()
+        return float(np.mean(self.predict(x) == y))
+
+    def _check_fit_inputs(self, x: np.ndarray, y: np.ndarray):
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y).ravel().astype(int)
+        if x.ndim != 2:
+            raise StatisticsError(f"x must be 2-D, got shape {x.shape}")
+        if x.shape[0] != y.shape[0]:
+            raise StatisticsError(
+                f"{x.shape[0]} rows but {y.shape[0]} labels"
+            )
+        if x.shape[0] < 2 or np.unique(y).size < 2:
+            raise StatisticsError("need >= 2 samples and >= 2 classes")
+        return x, y
+
+
+class GaussianNaiveBayes(AttackClassifier):
+    """Per-class diagonal Gaussians with a variance floor.
+
+    Args:
+        var_smoothing: Fraction of the largest feature variance added to
+            every class variance (numerical floor).
+    """
+
+    name = "gaussian-nb"
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        if var_smoothing < 0:
+            raise StatisticsError("var_smoothing must be >= 0")
+        self.var_smoothing = var_smoothing
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianNaiveBayes":
+        x, y = self._check_fit_inputs(x, y)
+        self.classes_ = np.unique(y)
+        epsilon = self.var_smoothing * float(x.var(axis=0).max() or 1.0)
+        self.theta_ = np.stack([x[y == c].mean(axis=0) for c in self.classes_])
+        self.var_ = np.stack([x[y == c].var(axis=0) + epsilon + 1e-12
+                              for c in self.classes_])
+        counts = np.asarray([(y == c).sum() for c in self.classes_], dtype=float)
+        self.log_prior_ = np.log(counts / counts.sum())
+        return self
+
+    def log_posterior(self, x: np.ndarray) -> np.ndarray:
+        """Unnormalized log posterior, shape ``(n, classes)``."""
+        if self.classes_ is None:
+            raise StatisticsError("classifier not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        diff = x[:, None, :] - self.theta_[None, :, :]
+        log_like = -0.5 * (np.log(2.0 * np.pi * self.var_)[None]
+                           + diff ** 2 / self.var_[None]).sum(axis=2)
+        return log_like + self.log_prior_[None, :]
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.classes_[np.argmax(self.log_posterior(x), axis=1)]
+
+
+class LinearDiscriminant(AttackClassifier):
+    """LDA with a shared, shrinkage-regularized covariance.
+
+    Args:
+        shrinkage: Convex blend toward the scaled identity (0 = empirical
+            covariance, 1 = spherical); small positive values stabilize the
+            inverse for few samples.
+    """
+
+    name = "lda"
+
+    def __init__(self, shrinkage: float = 0.1):
+        if not 0.0 <= shrinkage <= 1.0:
+            raise StatisticsError(f"shrinkage must be in [0, 1], got {shrinkage}")
+        self.shrinkage = shrinkage
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearDiscriminant":
+        x, y = self._check_fit_inputs(x, y)
+        self.classes_ = np.unique(y)
+        means = np.stack([x[y == c].mean(axis=0) for c in self.classes_])
+        centered = x - means[np.searchsorted(self.classes_, y)]
+        cov = centered.T @ centered / max(1, x.shape[0] - self.classes_.size)
+        identity_scale = np.trace(cov) / cov.shape[0] or 1.0
+        cov = ((1.0 - self.shrinkage) * cov
+               + self.shrinkage * identity_scale * np.eye(cov.shape[0]))
+        self._precision = np.linalg.pinv(cov)
+        self._means = means
+        counts = np.asarray([(y == c).sum() for c in self.classes_], dtype=float)
+        self._log_prior = np.log(counts / counts.sum())
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """Linear discriminant scores, shape ``(n, classes)``."""
+        if self.classes_ is None:
+            raise StatisticsError("classifier not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        scores = x @ self._precision @ self._means.T
+        scores -= 0.5 * np.einsum("ci,ij,cj->c", self._means,
+                                  self._precision, self._means)[None, :]
+        return scores + self._log_prior[None, :]
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.classes_[np.argmax(self.decision_function(x), axis=1)]
+
+
+class NearestCentroid(AttackClassifier):
+    """Euclidean nearest-centroid baseline."""
+
+    name = "nearest-centroid"
+
+    def __init__(self) -> None:
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "NearestCentroid":
+        x, y = self._check_fit_inputs(x, y)
+        self.classes_ = np.unique(y)
+        self._centroids = np.stack(
+            [x[y == c].mean(axis=0) for c in self.classes_])
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise StatisticsError("classifier not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        distances = np.linalg.norm(
+            x[:, None, :] - self._centroids[None, :, :], axis=2)
+        return self.classes_[np.argmin(distances, axis=1)]
+
+
+_CLASSIFIERS = {
+    "gaussian-nb": GaussianNaiveBayes,
+    "lda": LinearDiscriminant,
+    "nearest-centroid": NearestCentroid,
+}
+
+
+def make_classifier(name: str, **kwargs) -> AttackClassifier:
+    """Construct an attack classifier by name."""
+    try:
+        cls = _CLASSIFIERS[name]
+    except KeyError:
+        raise StatisticsError(
+            f"unknown classifier {name!r}; choose from {sorted(_CLASSIFIERS)}"
+        ) from None
+    return cls(**kwargs)

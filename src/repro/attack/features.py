@@ -1,0 +1,114 @@
+"""Feature extraction: HPC distributions -> labelled feature matrices.
+
+The adversary observes one vector of counter readings per classification and
+wants to recover the input category — the threat the Evaluator's alarm warns
+about.  These helpers flatten :class:`repro.hpc.EventDistributions` into
+``(X, y)`` matrices and standardize them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import MeasurementError
+from ..hpc.distributions import EventDistributions
+from ..uarch.events import HpcEvent
+
+
+@dataclass(frozen=True)
+class FeatureMatrix:
+    """A labelled design matrix of HPC readings.
+
+    Attributes:
+        x: ``(n, features)`` readings.
+        y: ``(n,)`` category labels.
+        events: Column order.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    events: Tuple[HpcEvent, ...]
+
+    @property
+    def n_samples(self) -> int:
+        """Number of measurements."""
+        return int(self.x.shape[0])
+
+    @property
+    def categories(self) -> List[int]:
+        """Distinct labels, sorted."""
+        return sorted(int(v) for v in np.unique(self.y))
+
+    def split(self, train_fraction: float = 0.6,
+              seed: int = 0) -> Tuple["FeatureMatrix", "FeatureMatrix"]:
+        """Stratified train/test split of the measurements."""
+        if not 0.0 < train_fraction < 1.0:
+            raise MeasurementError(
+                f"train_fraction must be in (0, 1), got {train_fraction}"
+            )
+        rng = np.random.default_rng(seed)
+        train_idx, test_idx = [], []
+        for label in self.categories:
+            indices = np.flatnonzero(self.y == label)
+            rng.shuffle(indices)
+            cut = int(round(indices.size * train_fraction))
+            cut = min(max(cut, 1), indices.size - 1)
+            train_idx.extend(indices[:cut])
+            test_idx.extend(indices[cut:])
+        train_idx = np.asarray(train_idx)
+        test_idx = np.asarray(test_idx)
+        return (
+            FeatureMatrix(self.x[train_idx], self.y[train_idx], self.events),
+            FeatureMatrix(self.x[test_idx], self.y[test_idx], self.events),
+        )
+
+
+def build_features(distributions: EventDistributions,
+                   events: Optional[Sequence[HpcEvent]] = None
+                   ) -> FeatureMatrix:
+    """Flatten distributions into per-measurement feature rows.
+
+    Args:
+        distributions: Per-category readings (columns must align: every
+            category needs the same events, which the container enforces).
+        events: Feature columns (default: every measured event).
+
+    Returns:
+        A :class:`FeatureMatrix` with one row per measurement.
+    """
+    events = tuple(events) if events is not None else tuple(distributions.events)
+    rows, labels = [], []
+    for category in distributions.categories:
+        columns = [distributions.values(category, event) for event in events]
+        n = columns[0].size
+        for column in columns:
+            if column.size != n:
+                raise MeasurementError(
+                    f"ragged event columns for category {category}"
+                )
+        rows.append(np.stack(columns, axis=1))
+        labels.append(np.full(n, category, dtype=int))
+    return FeatureMatrix(np.concatenate(rows), np.concatenate(labels), events)
+
+
+@dataclass(frozen=True)
+class Standardizer:
+    """Column-wise z-score transform learned from training data."""
+
+    mean: np.ndarray
+    std: np.ndarray
+
+    @classmethod
+    def fit(cls, x: np.ndarray) -> "Standardizer":
+        """Learn column statistics (zero-variance columns keep scale 1)."""
+        mean = x.mean(axis=0)
+        std = x.std(axis=0)
+        std = np.where(std == 0.0, 1.0, std)
+        return cls(mean, std)
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Apply the learned transform."""
+        return (x - self.mean) / self.std

@@ -1,0 +1,327 @@
+"""``repro`` command-line interface.
+
+Subcommands mirror the paper's artifacts::
+
+    repro evaluate --dataset mnist      # full evaluation + alarm verdict
+    repro figure1  --dataset cifar10    # per-category mean cache-misses
+    repro figure2                       # one classification's event readout
+    repro figure3  --event branches     # per-category distributions (MNIST)
+    repro figure4  --event cache-misses # per-category distributions (CIFAR)
+    repro table1 / repro table2         # pairwise t-test tables
+    repro attack   --dataset mnist      # input-recovery adversary
+    repro defend   --dataset mnist      # constant-footprint countermeasure
+    repro perf-probe                    # can this host use real perf?
+    repro info                          # version + configuration dump
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..attack.attacker import profile_and_attack
+from ..core.alarm import CONSERVATIVE_POLICY, PAPER_POLICY
+from ..core.experiment import ExperimentConfig, run_experiment
+from ..core.reporting import (
+    format_category_means,
+    format_distribution_figure,
+    format_event_readout,
+    format_full_report,
+    format_leakage_bits,
+    format_paper_table,
+)
+from ..core.sequential import SequentialEvaluator, detection_latency_curve
+from ..countermeasures.constant_footprint import (
+    footprint_overhead,
+    harden_backend,
+)
+from ..countermeasures.evaluation import evaluate_defense
+from ..uarch.events import HpcEvent
+from ..version import __version__
+
+
+def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=("mnist", "cifar10"),
+                        default="mnist", help="which case study to run")
+    parser.add_argument("--samples", type=int, default=None,
+                        help="measurements per category")
+    parser.add_argument("--categories", type=int, nargs="+", default=None,
+                        help="model labels to monitor (default: 0 1 2 3)")
+    parser.add_argument("--noise-scale", type=float, default=1.0,
+                        help="measurement-noise multiplier")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk artifact cache")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override every random seed at once")
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    kwargs = {"dataset": args.dataset, "noise_scale": args.noise_scale}
+    if args.samples is not None:
+        kwargs["samples_per_category"] = args.samples
+    if args.categories is not None:
+        kwargs["categories"] = tuple(args.categories)
+    if args.no_cache:
+        kwargs["cache_dir"] = ""
+    if args.seed is not None:
+        kwargs.update(data_seed=args.seed, eval_seed=args.seed + 1,
+                      model_seed=args.seed + 2, noise_seed=args.seed + 3)
+    return ExperimentConfig(**kwargs)
+
+
+def _run(args: argparse.Namespace):
+    config = _config_from_args(args)
+    return run_experiment(config), config
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    result, config = _run(args)
+    if args.json:
+        from ..core.export import save_experiment_json
+        path = save_experiment_json(result, args.json)
+        print(f"wrote {path}")
+        return 0
+    print(f"dataset={config.dataset} model accuracy={result.test_accuracy:.3f}")
+    print()
+    print(format_full_report(result.report, config.display_map()))
+    policy = CONSERVATIVE_POLICY if args.corrected else PAPER_POLICY
+    print()
+    print(policy.decide(result.report).format())
+    return 0
+
+
+def cmd_figure1(args: argparse.Namespace) -> int:
+    result, config = _run(args)
+    print(format_category_means(result.distributions,
+                                HpcEvent.CACHE_MISSES,
+                                display=config.display_map()))
+    return 0
+
+
+def cmd_figure2(args: argparse.Namespace) -> int:
+    result, config = _run(args)
+    sample = config.generator().generate(1, seed=99).images[0]
+    measurement = result.backend.measure(sample)
+    print(format_event_readout(
+        measurement.counts,
+        title=f"HPC events for one {config.dataset} classification "
+              f"(predicted class {measurement.prediction}):"))
+    return 0
+
+
+def cmd_distribution_figure(args: argparse.Namespace) -> int:
+    result, config = _run(args)
+    event = HpcEvent.from_name(args.event)
+    print(format_distribution_figure(result.distributions, event,
+                                     display=config.display_map()))
+    return 0
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    result, config = _run(args)
+    print(format_paper_table(result.report, display=config.display_map()))
+    if args.csv:
+        print()
+        print(result.report.to_csv())
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    result, config = _run(args)
+    if args.technique == "hpc":
+        outcome = profile_and_attack(result.distributions,
+                                     classifier=args.classifier)
+    else:
+        pool = config.generator().generate(
+            config.samples_per_category, seed=config.eval_seed + 500,
+            categories=list(config.categories))
+        n = min(20, config.samples_per_category)
+        if args.technique == "prime-probe":
+            from ..attack.prime_probe import prime_probe_attack
+            outcome = prime_probe_attack(result.model, pool,
+                                         config.categories, n,
+                                         classifier=args.classifier)
+        else:  # flush-reload
+            from ..attack.flush_reload import flush_reload_attack
+            outcome = flush_reload_attack(result.model, pool,
+                                          config.categories, n,
+                                          layer_name="fc",
+                                          classifier=args.classifier)
+    print(outcome.summary())
+    return 0
+
+
+def cmd_defend(args: argparse.Namespace) -> int:
+    result, config = _run(args)
+    hardened = harden_backend(result.backend)
+    pool = config.generator().generate(
+        config.samples_per_category, seed=config.eval_seed,
+        categories=list(config.categories))
+    defense = evaluate_defense(
+        hardened, pool, config.categories, config.samples_per_category,
+        baseline_report=result.report)
+    print(defense.summary())
+    print()
+    corrected = CONSERVATIVE_POLICY.decide(defense.defended)
+    print("Holm-corrected defended verdict:",
+          "alarm" if corrected.triggered else "no alarm")
+    print(f"instruction overhead of the defense: "
+          f"{footprint_overhead(result.model):.2f}x")
+    return 0
+
+
+def cmd_localize(args: argparse.Namespace) -> int:
+    from ..countermeasures.localization import localize_leak
+    result, config = _run(args)
+    pool = config.generator().generate(
+        config.samples_per_category, seed=config.eval_seed,
+        categories=list(config.categories))
+    report = localize_leak(
+        result.model, pool, config.categories,
+        min(20, config.samples_per_category),
+        event=HpcEvent.from_name(args.event),
+        base_config=config.trace_config,
+        cpu_config=config.cpu_config,
+        noise_scale=config.noise_scale,
+        seed=config.noise_seed)
+    print(report.summary())
+    return 0
+
+
+def cmd_bits(args: argparse.Namespace) -> int:
+    result, config = _run(args)
+    print(format_leakage_bits(result.distributions))
+    return 0
+
+
+def cmd_latency(args: argparse.Namespace) -> int:
+    result, config = _run(args)
+    evaluator = SequentialEvaluator(alpha=1.0 - config.confidence)
+    for event in result.distributions.events:
+        print(evaluator.run(result.distributions, event).format())
+    event = HpcEvent.from_name(args.event)
+    budget = result.distributions.sample_count(
+        result.distributions.categories[0])
+    checkpoints = [n for n in (5, 10, 20, 40, 80) if n < budget] + [budget]
+    print(f"\ndistinguishable pairs vs budget ({event.value}):")
+    for n, rejections in detection_latency_curve(
+            result.distributions, event, checkpoints):
+        print(f"  n={n:<4} {rejections} pair(s)")
+    return 0
+
+
+def cmd_perf_probe(args: argparse.Namespace) -> int:
+    from ..hpc.perf_backend import perf_available
+    ok = perf_available()
+    print("perf hardware counters:", "available" if ok else "NOT available")
+    print("backends usable here: sim" + (", perf" if ok else ""))
+    return 0 if ok else 1
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from ..core.experiment import build_model
+    from ..hpc.sim_backend import SimBackend
+    print(f"repro {__version__}")
+    model = build_model("mnist")
+    backend = SimBackend(model)
+    print()
+    print(model.summary())
+    print()
+    print(backend.describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HPC side-channel privacy evaluation of CNN classifiers "
+                    "(DAC 2019 reproduction)",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("evaluate", help="full evaluation + alarm verdict")
+    _add_experiment_args(p)
+    p.add_argument("--corrected", action="store_true",
+                   help="use the Holm-corrected alarm policy")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write the full experiment as JSON instead")
+    p.set_defaults(handler=cmd_evaluate)
+
+    p = sub.add_parser("figure1", help="per-category mean cache-misses")
+    _add_experiment_args(p)
+    p.set_defaults(handler=cmd_figure1)
+
+    p = sub.add_parser("figure2", help="one classification's event readout")
+    _add_experiment_args(p)
+    p.set_defaults(handler=cmd_figure2)
+
+    p = sub.add_parser("figure3", help="per-category distributions (MNIST)")
+    _add_experiment_args(p)
+    p.add_argument("--event", default="cache-misses")
+    p.set_defaults(handler=cmd_distribution_figure, dataset="mnist")
+
+    p = sub.add_parser("figure4", help="per-category distributions (CIFAR-10)")
+    _add_experiment_args(p)
+    p.add_argument("--event", default="cache-misses")
+    p.set_defaults(handler=cmd_distribution_figure, dataset="cifar10")
+
+    p = sub.add_parser("table1", help="pairwise t-test table (MNIST)")
+    _add_experiment_args(p)
+    p.add_argument("--csv", action="store_true", help="also dump CSV rows")
+    p.set_defaults(handler=cmd_table, dataset="mnist")
+
+    p = sub.add_parser("table2", help="pairwise t-test table (CIFAR-10)")
+    _add_experiment_args(p)
+    p.add_argument("--csv", action="store_true", help="also dump CSV rows")
+    p.set_defaults(handler=cmd_table, dataset="cifar10")
+
+    p = sub.add_parser("attack", help="input-recovery adversary")
+    _add_experiment_args(p)
+    p.add_argument("--classifier", default="gaussian-nb",
+                   choices=("gaussian-nb", "lda", "nearest-centroid"))
+    p.add_argument("--technique", default="hpc",
+                   choices=("hpc", "prime-probe", "flush-reload"),
+                   help="observable: scalar counters, LLC-set probing, or "
+                        "shared weight-line reloads")
+    p.set_defaults(handler=cmd_attack)
+
+    p = sub.add_parser("defend", help="constant-footprint countermeasure")
+    _add_experiment_args(p)
+    p.set_defaults(handler=cmd_defend)
+
+    p = sub.add_parser("localize", help="per-layer leak localization")
+    _add_experiment_args(p)
+    p.add_argument("--event", default="cache-misses")
+    p.set_defaults(handler=cmd_localize)
+
+    p = sub.add_parser("bits", help="mutual-information leakage per event")
+    _add_experiment_args(p)
+    p.set_defaults(handler=cmd_bits)
+
+    p = sub.add_parser("latency", help="sequential detection latency")
+    _add_experiment_args(p)
+    p.add_argument("--event", default="cache-misses")
+    p.set_defaults(handler=cmd_latency)
+
+    p = sub.add_parser("perf-probe", help="probe real perf availability")
+    p.set_defaults(handler=cmd_perf_probe)
+
+    p = sub.add_parser("info", help="version and configuration dump")
+    p.set_defaults(handler=cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    # Subparser defaults may pin the dataset (figure3 is MNIST by definition).
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

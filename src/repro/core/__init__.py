@@ -1,0 +1,77 @@
+"""The paper's contribution: HPC-based input-privacy evaluation of CNNs."""
+
+from .alarm import Alarm, AlarmPolicy, CONSERVATIVE_POLICY, PAPER_POLICY
+from .evaluator import Evaluator
+from .export import (
+    EXPORT_VERSION,
+    distributions_to_dict,
+    experiment_to_dict,
+    report_to_dict,
+    save_experiment_json,
+)
+from .experiment import (
+    DATASETS,
+    ExperimentConfig,
+    ExperimentResult,
+    build_model,
+    cifar_experiment,
+    default_cache_dir,
+    default_samples_per_category,
+    make_backend,
+    measure_distributions,
+    mnist_experiment,
+    prepare_model,
+    run_experiment,
+)
+from .leakage import LeakageReport, PairwiseResult
+from .sequential import (
+    SequentialEvaluator,
+    SequentialResult,
+    default_checkpoints,
+    detection_latency_curve,
+)
+from .reporting import (
+    format_category_means,
+    format_leakage_bits,
+    format_distribution_figure,
+    format_event_readout,
+    format_full_report,
+    format_paper_table,
+)
+
+__all__ = [
+    "save_experiment_json",
+    "report_to_dict",
+    "experiment_to_dict",
+    "distributions_to_dict",
+    "EXPORT_VERSION",
+    "detection_latency_curve",
+    "default_checkpoints",
+    "SequentialResult",
+    "SequentialEvaluator",
+    "Alarm",
+    "AlarmPolicy",
+    "CONSERVATIVE_POLICY",
+    "DATASETS",
+    "Evaluator",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "LeakageReport",
+    "PAPER_POLICY",
+    "PairwiseResult",
+    "build_model",
+    "cifar_experiment",
+    "default_cache_dir",
+    "default_samples_per_category",
+    "format_category_means",
+    "format_distribution_figure",
+    "format_event_readout",
+    "format_full_report",
+    "format_leakage_bits",
+    "format_paper_table",
+    "make_backend",
+    "measure_distributions",
+    "mnist_experiment",
+    "prepare_model",
+    "run_experiment",
+]

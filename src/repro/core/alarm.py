@@ -1,0 +1,91 @@
+"""Alarm policy: turning a leakage report into an operational decision.
+
+The paper's Evaluator "raises the alarm if the null hypothesis is rejected".
+Deployed as-is over many events and pairs that rule accumulates false
+alarms, so the policy layer supports multiple-comparison correction and a
+minimum-rejections threshold while defaulting to the paper's behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import EvaluationError
+from ..uarch.events import HpcEvent
+from .leakage import LeakageReport
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """Outcome of applying an :class:`AlarmPolicy` to a report.
+
+    Attributes:
+        triggered: Whether the alarm fires.
+        reasons: One line per triggering event.
+        rejections_by_event: Post-correction rejection counts.
+    """
+
+    triggered: bool
+    reasons: List[str]
+    rejections_by_event: Dict[HpcEvent, int]
+
+    def format(self) -> str:
+        """Render the alarm decision."""
+        if not self.triggered:
+            return "no alarm: no event distinguishes any category pair"
+        lines = ["ALARM RAISED:"]
+        lines.extend(f"  - {reason}" for reason in self.reasons)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class AlarmPolicy:
+    """Configurable alarm rule.
+
+    Attributes:
+        min_rejections: Pairs an event must distinguish before it counts
+            (paper: 1).
+        correction: Multiple-comparison correction applied per event family
+            (``none`` reproduces the paper; ``holm`` is the conservative
+            deployment default).
+    """
+
+    min_rejections: int = 1
+    correction: str = "none"
+
+    def __post_init__(self) -> None:
+        if self.min_rejections < 1:
+            raise EvaluationError(
+                f"min_rejections must be >= 1, got {self.min_rejections}"
+            )
+
+    def decide(self, report: LeakageReport) -> Alarm:
+        """Apply the policy to a leakage report."""
+        reasons: List[str] = []
+        counts: Dict[HpcEvent, int] = {}
+        for event in report.events:
+            if self.correction == "none":
+                rejected = [r.distinguishable for r in report.for_event(event)]
+            else:
+                rejected = report.corrected_rejections(event, self.correction)
+            count = sum(rejected)
+            counts[event] = count
+            if count >= self.min_rejections:
+                pairs = [r for r, hit in zip(report.for_event(event), rejected)
+                         if hit]
+                pair_text = ", ".join(
+                    f"({r.category_a},{r.category_b})" for r in pairs)
+                reasons.append(
+                    f"event {event.value!r} distinguishes {count} category "
+                    f"pair(s): {pair_text}"
+                )
+        return Alarm(triggered=bool(reasons), reasons=reasons,
+                     rejections_by_event=counts)
+
+
+#: The paper's policy: any single rejection, no correction.
+PAPER_POLICY = AlarmPolicy(min_rejections=1, correction="none")
+
+#: A deployment-oriented policy: Holm-corrected, still single rejection.
+CONSERVATIVE_POLICY = AlarmPolicy(min_rejections=1, correction="holm")

@@ -1,0 +1,107 @@
+"""The paper's Evaluator: pairwise hypothesis tests over HPC distributions.
+
+The Evaluator knows nothing about the model.  It receives per-category
+distributions of each monitored hardware event (collected by a
+:class:`repro.hpc.MeasurementSession`) and, for every pair of categories and
+every event, runs a two-sample t-test at a configurable confidence level
+(95% in the paper).  Any rejection means an adversary observing that event
+can distinguish those two input categories — the Evaluator raises an alarm.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import EvaluationError
+from ..hpc.distributions import EventDistributions
+from ..stats.effect_size import cohens_d
+from ..stats.mannwhitney import MannWhitneyResult, mann_whitney_u
+from ..stats.ttest import TTestResult, student_t_test, welch_t_test
+from ..uarch.events import HpcEvent
+from .leakage import LeakageReport, PairwiseResult
+
+
+class Evaluator:
+    """Black-box leakage evaluator.
+
+    Args:
+        confidence: Confidence level of the t-tests (paper: 0.95).
+        method: ``"welch"`` (default) or ``"student"`` two-sample t-test.
+        rank_test: Also run a Mann-Whitney U test per pair, recording a
+            distribution-free corroboration of each verdict.
+    """
+
+    def __init__(self, confidence: float = 0.95, method: str = "welch",
+                 rank_test: bool = False):
+        if not 0.0 < confidence < 1.0:
+            raise EvaluationError(
+                f"confidence must be in (0, 1), got {confidence}"
+            )
+        if method not in ("welch", "student"):
+            raise EvaluationError(
+                f"method must be 'welch' or 'student', got {method!r}"
+            )
+        self.confidence = confidence
+        self.method = method
+        self.rank_test = rank_test
+
+    def _t_test(self, a, b) -> TTestResult:
+        if self.method == "welch":
+            return welch_t_test(a, b)
+        return student_t_test(a, b)
+
+    def test_pair(self, distributions: EventDistributions, event: HpcEvent,
+                  category_a: int, category_b: int) -> PairwiseResult:
+        """Test one (event, category pair) — one cell of the paper's tables."""
+        a = distributions.values(category_a, event)
+        b = distributions.values(category_b, event)
+        ttest = self._t_test(a, b)
+        rank: Optional[MannWhitneyResult] = None
+        if self.rank_test:
+            rank = mann_whitney_u(a, b)
+        return PairwiseResult(
+            event=event,
+            category_a=category_a,
+            category_b=category_b,
+            ttest=ttest,
+            effect_size=cohens_d(a, b),
+            rank_test=rank,
+            distinguishable=ttest.rejects_null(self.confidence),
+        )
+
+    def evaluate(self, distributions: EventDistributions,
+                 events: Optional[Sequence[HpcEvent]] = None) -> LeakageReport:
+        """Run all pairwise tests and assemble the leakage report.
+
+        Args:
+            distributions: Per-category event distributions.
+            events: Events to analyse (default: everything measured).
+
+        Returns:
+            A :class:`LeakageReport`; its :attr:`LeakageReport.alarm` is True
+            when any pair of categories is distinguishable on any event.
+        """
+        categories = distributions.categories
+        if len(categories) < 2:
+            raise EvaluationError(
+                "need at least two measured categories to compare"
+            )
+        events = list(events) if events is not None else distributions.events
+        for event in events:
+            if event not in distributions.events:
+                raise EvaluationError(f"event {event} was not measured")
+        results: List[PairwiseResult] = []
+        for event in events:
+            for cat_a, cat_b in itertools.combinations(categories, 2):
+                results.append(
+                    self.test_pair(distributions, event, cat_a, cat_b))
+        return LeakageReport(
+            results=results,
+            confidence=self.confidence,
+            method=self.method,
+            categories=list(categories),
+            events=list(events),
+            distributions=distributions,
+        )

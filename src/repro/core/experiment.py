@@ -1,0 +1,257 @@
+"""End-to-end experiment orchestration.
+
+Reproduces the paper's pipeline in one call:
+
+1. generate the (synthetic) dataset and train the CNN classifier;
+2. measure per-category HPC distributions through a backend;
+3. run the Evaluator's pairwise t-tests and build the leakage report.
+
+Trained models and measured distributions are cached on disk (keyed by
+content fingerprints), so the figure/table benches and the examples share
+one training + measurement pass.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ..datasets.synthetic_cifar import SyntheticObjects
+from ..datasets.synthetic_mnist import SyntheticDigits
+from ..errors import ConfigError
+from ..hpc.distributions import EventDistributions
+from ..hpc.session import MeasurementCache, MeasurementSession
+from ..hpc.sim_backend import SimBackend
+from ..nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from ..nn.model import Sequential
+from ..nn.optimizers import Adam
+from ..nn.serialization import load_model, save_model
+from ..nn.trainer import Trainer
+from ..trace.recorder import TraceConfig
+from ..uarch.cpu import CpuConfig
+from .evaluator import Evaluator
+from .leakage import LeakageReport
+
+#: Supported dataset identifiers.
+DATASETS = ("mnist", "cifar10")
+
+#: Bumped whenever the synthetic generators change, invalidating caches.
+GENERATOR_VERSION = 2
+
+
+def default_cache_dir() -> Path:
+    """Shared artifact cache (override with ``REPRO_CACHE_DIR``)."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+
+def default_samples_per_category() -> int:
+    """Measurements per category (override with ``REPRO_SAMPLES``)."""
+    return int(os.environ.get("REPRO_SAMPLES", "100"))
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything that determines one experiment run.
+
+    Attributes:
+        dataset: ``"mnist"`` or ``"cifar10"``.
+        categories: Model labels the Evaluator monitors (the paper uses four
+            categories, displayed 1-4).
+        samples_per_category: Measured classifications per category.
+        train_samples_per_class: Training-set size per class.
+        epochs: Training epochs.
+        learning_rate: Adam learning rate.
+        data_seed: Dataset-generation seed (training pool).
+        eval_seed: Dataset-generation seed of the measured pool (held out).
+        model_seed: Weight-initialization seed.
+        noise_scale: Measurement-noise multiplier of the simulated backend.
+        noise_seed: Measurement-noise stream seed.
+        trace_config: Trace-generation knobs.
+        cpu_config: Simulated microarchitecture.
+        confidence: Evaluator confidence level.
+        cache_dir: Artifact cache directory ('' disables caching).
+    """
+
+    dataset: str = "mnist"
+    categories: Tuple[int, ...] = (1, 2, 3, 4)
+    samples_per_category: int = field(
+        default_factory=default_samples_per_category)
+    train_samples_per_class: int = 40
+    epochs: int = 6
+    learning_rate: float = 0.002
+    data_seed: int = 11
+    eval_seed: int = 23
+    model_seed: int = 7
+    noise_scale: float = 1.0
+    noise_seed: int = 5
+    trace_config: TraceConfig = field(default_factory=TraceConfig)
+    cpu_config: CpuConfig = field(default_factory=CpuConfig)
+    confidence: float = 0.95
+    cache_dir: str = field(default_factory=lambda: str(default_cache_dir()))
+
+    def __post_init__(self) -> None:
+        if self.dataset not in DATASETS:
+            raise ConfigError(
+                f"dataset must be one of {DATASETS}, got {self.dataset!r}"
+            )
+        if len(self.categories) < 2:
+            raise ConfigError("need at least two monitored categories")
+
+    # ------------------------------------------------------------------
+    # Derived pieces
+    # ------------------------------------------------------------------
+
+    def generator(self):
+        """The dataset generator for :attr:`dataset`."""
+        return SyntheticDigits() if self.dataset == "mnist" else SyntheticObjects()
+
+    def display_map(self) -> Dict[int, int]:
+        """Model label -> paper display index (1-based)."""
+        return {cat: i + 1 for i, cat in enumerate(sorted(self.categories))}
+
+    def model_key(self) -> str:
+        """Fingerprint of everything that affects the trained model."""
+        digest = hashlib.sha256()
+        digest.update("|".join([
+            f"gen{GENERATOR_VERSION}",
+            self.dataset, str(self.train_samples_per_class), str(self.epochs),
+            str(self.learning_rate), str(self.data_seed), str(self.model_seed),
+        ]).encode())
+        return digest.hexdigest()[:16]
+
+
+def build_model(dataset: str, seed: int = 7) -> Sequential:
+    """The paper-style CNN for one of the two datasets (built, untrained).
+
+    Both are small valid-convolution stacks ending in a dense classifier —
+    the same family as the paper's TensorFlow models, scaled to the
+    simulated cache hierarchy (see DESIGN.md).
+    """
+    if dataset == "mnist":
+        model = Sequential([
+            Conv2D(8, 3, name="conv1"), ReLU(name="relu1"),
+            MaxPool2D(2, name="pool1"),
+            Conv2D(16, 3, name="conv2"), ReLU(name="relu2"),
+            MaxPool2D(2, name="pool2"),
+            Flatten(name="flatten"), Dense(10, name="fc"),
+        ], name="mnist-cnn")
+        return model.build((1, 28, 28), seed=seed)
+    if dataset == "cifar10":
+        model = Sequential([
+            Conv2D(10, 3, name="conv1"), ReLU(name="relu1"),
+            MaxPool2D(2, name="pool1"),
+            Conv2D(16, 3, name="conv2"), ReLU(name="relu2"),
+            MaxPool2D(2, name="pool2"),
+            Flatten(name="flatten"), Dense(10, name="fc"),
+        ], name="cifar10-cnn")
+        return model.build((3, 32, 32), seed=seed)
+    raise ConfigError(f"unknown dataset {dataset!r}")
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a figure/table bench needs.
+
+    Attributes:
+        config: The configuration that produced this result.
+        model: The trained classifier.
+        test_accuracy: Held-out accuracy of the classifier.
+        distributions: Measured per-category event distributions.
+        report: The Evaluator's leakage report.
+        backend: The backend used (exposed for follow-up measurements).
+    """
+
+    config: ExperimentConfig
+    model: Sequential
+    test_accuracy: float
+    distributions: EventDistributions
+    report: LeakageReport
+    backend: SimBackend
+
+
+def prepare_model(config: ExperimentConfig,
+                  verbose: bool = False) -> Tuple[Sequential, float]:
+    """Train the classifier (or load it from the cache).
+
+    Returns:
+        ``(model, held_out_accuracy)``.
+    """
+    cache_dir = Path(config.cache_dir) if config.cache_dir else None
+    model_path = (cache_dir / f"model-{config.model_key()}.npz"
+                  if cache_dir else None)
+    generator = config.generator()
+    dataset = generator.generate(config.train_samples_per_class,
+                                 seed=config.data_seed)
+    train, holdout = dataset.split(0.85, seed=config.data_seed + 1)
+    if model_path is not None and model_path.exists():
+        model = load_model(model_path)
+        trainer = Trainer(model)
+        return model, trainer.evaluate(holdout.images, holdout.labels)
+    model = build_model(config.dataset, seed=config.model_seed)
+    trainer = Trainer(model, optimizer=Adam(config.learning_rate),
+                      batch_size=32, shuffle_seed=config.model_seed)
+    trainer.fit(train.images, train.labels, epochs=config.epochs,
+                verbose=verbose)
+    accuracy = trainer.evaluate(holdout.images, holdout.labels)
+    if model_path is not None:
+        save_model(model, model_path)
+    return model, accuracy
+
+
+def make_backend(config: ExperimentConfig, model: Sequential) -> SimBackend:
+    """The simulated measurement backend for this configuration."""
+    return SimBackend(
+        model,
+        trace_config=config.trace_config,
+        cpu_config=config.cpu_config,
+        noise_scale=config.noise_scale,
+        seed=config.noise_seed,
+    )
+
+
+def measure_distributions(config: ExperimentConfig, backend: SimBackend
+                          ) -> EventDistributions:
+    """Collect the per-category distributions for this configuration."""
+    generator = config.generator()
+    # The Evaluator measures fresh inputs, never the training data.
+    eval_pool = generator.generate(config.samples_per_category,
+                                   seed=config.eval_seed,
+                                   categories=list(config.categories))
+    cache = (MeasurementCache(Path(config.cache_dir))
+             if config.cache_dir else None)
+    session = MeasurementSession(backend, warmup=0, cache=cache)
+    return session.collect(eval_pool, list(config.categories),
+                           config.samples_per_category,
+                           cache_tag=f"gen{GENERATOR_VERSION}-eval-seed={config.eval_seed}")
+
+
+def run_experiment(config: Optional[ExperimentConfig] = None,
+                   verbose: bool = False) -> ExperimentResult:
+    """Execute the full pipeline for one configuration."""
+    config = config or ExperimentConfig()
+    model, accuracy = prepare_model(config, verbose=verbose)
+    backend = make_backend(config, model)
+    distributions = measure_distributions(config, backend)
+    evaluator = Evaluator(confidence=config.confidence)
+    report = evaluator.evaluate(distributions)
+    return ExperimentResult(
+        config=config,
+        model=model,
+        test_accuracy=accuracy,
+        distributions=distributions,
+        report=report,
+        backend=backend,
+    )
+
+
+def mnist_experiment(**overrides) -> ExperimentConfig:
+    """The paper's MNIST case-study configuration."""
+    return ExperimentConfig(dataset="mnist", **overrides)
+
+
+def cifar_experiment(**overrides) -> ExperimentConfig:
+    """The paper's CIFAR-10 case-study configuration."""
+    return ExperimentConfig(dataset="cifar10", **overrides)

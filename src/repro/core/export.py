@@ -1,0 +1,109 @@
+"""Machine-readable export of experiment results.
+
+Produces a single JSON document per experiment — configuration, classifier
+quality, per-category distribution summaries, every pairwise test, and the
+alarm verdicts — so downstream tooling (dashboards, regression tracking,
+paper tables) can consume runs without importing the library.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from ..errors import EvaluationError
+from ..hpc.distributions import EventDistributions
+from .alarm import CONSERVATIVE_POLICY, PAPER_POLICY
+from .experiment import ExperimentResult
+from .leakage import LeakageReport
+
+#: Schema version of the exported document.
+EXPORT_VERSION = 1
+
+
+def _config_to_dict(config) -> Dict:
+    """Dataclass tree -> plain dict (nested dataclasses included)."""
+    def convert(value):
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            return {field.name: convert(getattr(value, field.name))
+                    for field in dataclasses.fields(value)}
+        if isinstance(value, (tuple, list)):
+            return [convert(v) for v in value]
+        if isinstance(value, (np.integer,)):
+            return int(value)
+        if isinstance(value, (np.floating,)):
+            return float(value)
+        return value
+
+    return convert(config)
+
+
+def distributions_to_dict(distributions: EventDistributions) -> Dict:
+    """Summaries (n/mean/std/min/max) per category per event."""
+    out: Dict = {}
+    for category in distributions.categories:
+        per_event = {}
+        for event in distributions.events:
+            values = distributions.values(category, event)
+            per_event[event.value] = {
+                "n": int(values.size),
+                "mean": float(values.mean()),
+                "std": float(values.std(ddof=1)) if values.size > 1 else 0.0,
+                "min": float(values.min()),
+                "max": float(values.max()),
+            }
+        out[str(category)] = per_event
+    return out
+
+
+def report_to_dict(report: LeakageReport) -> Dict:
+    """Full leakage report as a plain dict."""
+    return {
+        "confidence": report.confidence,
+        "method": report.method,
+        "categories": list(report.categories),
+        "events": [event.value for event in report.events],
+        "alarm": report.alarm,
+        "leaking_events": [event.value for event in report.leaking_events],
+        "pairwise": report.rows(),
+        "verdicts": {
+            "paper_policy": PAPER_POLICY.decide(report).triggered,
+            "holm_corrected": CONSERVATIVE_POLICY.decide(report).triggered,
+        },
+    }
+
+
+def experiment_to_dict(result: ExperimentResult) -> Dict:
+    """The complete experiment as one JSON-serializable dict."""
+    return {
+        "export_version": EXPORT_VERSION,
+        "config": _config_to_dict(result.config),
+        "model": {
+            "name": result.model.name,
+            "input_shape": list(result.model.input_shape),
+            "parameters": result.model.parameter_count(),
+            "weights_fingerprint": result.model.weights_fingerprint(),
+            "test_accuracy": result.test_accuracy,
+        },
+        "backend_fingerprint": result.backend.fingerprint(),
+        "distributions": distributions_to_dict(result.distributions),
+        "report": report_to_dict(result.report),
+    }
+
+
+def save_experiment_json(result: ExperimentResult,
+                         path: Union[str, Path]) -> Path:
+    """Write :func:`experiment_to_dict` to ``path`` (pretty-printed)."""
+    path = Path(path)
+    document = experiment_to_dict(result)
+    try:
+        text = json.dumps(document, indent=2, sort_keys=True)
+    except TypeError as exc:  # pragma: no cover - defensive
+        raise EvaluationError(f"experiment not JSON-serializable: {exc}")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

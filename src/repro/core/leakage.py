@@ -1,0 +1,183 @@
+"""Leakage report: structured results of an evaluation run.
+
+Mirrors the paper's presentation: per-(event, category-pair) t and p values
+(Tables 1 and 2), per-event leak verdicts, and the overall alarm decision.
+Adds what the paper leaves implicit: effect sizes, multiple-comparison
+corrected verdicts and machine-readable export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import EvaluationError
+from ..hpc.distributions import EventDistributions
+from ..stats.corrections import adjust_p_values
+from ..stats.mannwhitney import MannWhitneyResult
+from ..stats.ttest import TTestResult
+from ..uarch.events import HpcEvent
+
+
+@dataclass(frozen=True)
+class PairwiseResult:
+    """One cell of the paper's tables.
+
+    Attributes:
+        event: The monitored hardware event.
+        category_a: First input category (model label).
+        category_b: Second input category.
+        ttest: The two-sample t-test outcome.
+        effect_size: Cohen's d of the two distributions.
+        rank_test: Optional Mann-Whitney corroboration.
+        distinguishable: Verdict at the evaluator's confidence level.
+    """
+
+    event: HpcEvent
+    category_a: int
+    category_b: int
+    ttest: TTestResult
+    effect_size: float
+    rank_test: Optional[MannWhitneyResult]
+    distinguishable: bool
+
+    @property
+    def pair(self) -> Tuple[int, int]:
+        """The (a, b) category pair."""
+        return (self.category_a, self.category_b)
+
+    def label(self, category_display: Dict[int, int] = None) -> str:
+        """Paper-style ``t<i>,<j>`` label (optionally remapped for display)."""
+        a, b = self.category_a, self.category_b
+        if category_display:
+            a, b = category_display[a], category_display[b]
+        return f"t{a},{b}"
+
+
+@dataclass
+class LeakageReport:
+    """Full outcome of one evaluation.
+
+    Attributes:
+        results: Every pairwise test performed.
+        confidence: Confidence level used.
+        method: ``welch`` or ``student``.
+        categories: Measured categories (model labels).
+        events: Events analysed.
+        distributions: The underlying measurements (kept for figures).
+    """
+
+    results: List[PairwiseResult]
+    confidence: float
+    method: str
+    categories: List[int]
+    events: List[HpcEvent]
+    distributions: EventDistributions = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def for_event(self, event: HpcEvent) -> List[PairwiseResult]:
+        """All pair results of one event, in pair order."""
+        found = [r for r in self.results if r.event == event]
+        if not found:
+            raise EvaluationError(f"event {event} not in report")
+        return found
+
+    def for_pair(self, category_a: int, category_b: int
+                 ) -> List[PairwiseResult]:
+        """All event results of one category pair."""
+        pair = tuple(sorted((category_a, category_b)))
+        found = [r for r in self.results
+                 if tuple(sorted(r.pair)) == pair]
+        if not found:
+            raise EvaluationError(f"pair {pair} not in report")
+        return found
+
+    @property
+    def leaking_events(self) -> List[HpcEvent]:
+        """Events with at least one distinguishable pair."""
+        leaking = []
+        for event in self.events:
+            if any(r.distinguishable for r in self.for_event(event)):
+                leaking.append(event)
+        return leaking
+
+    @property
+    def alarm(self) -> bool:
+        """True when any event distinguishes any category pair."""
+        return any(r.distinguishable for r in self.results)
+
+    def rejection_count(self, event: HpcEvent) -> int:
+        """Number of distinguishable pairs for one event."""
+        return sum(r.distinguishable for r in self.for_event(event))
+
+    def fully_distinguishable_events(self) -> List[HpcEvent]:
+        """Events distinguishing *every* category pair (paper: cache-misses)."""
+        out = []
+        for event in self.events:
+            results = self.for_event(event)
+            if results and all(r.distinguishable for r in results):
+                out.append(event)
+        return out
+
+    def corrected_rejections(self, event: HpcEvent,
+                             method: str = "holm") -> List[bool]:
+        """Family-wise corrected verdicts for one event's pair family."""
+        results = self.for_event(event)
+        adjusted = adjust_p_values([r.ttest.p_value for r in results],
+                                   method=method)
+        alpha = 1.0 - self.confidence
+        return [p < alpha for p in adjusted]
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Flat dict rows (CSV/JSON-friendly)."""
+        out = []
+        for r in self.results:
+            row = {
+                "event": r.event.value,
+                "category_a": r.category_a,
+                "category_b": r.category_b,
+                "t": r.ttest.statistic,
+                "p": r.ttest.p_value,
+                "df": r.ttest.df,
+                "mean_a": r.ttest.mean_a,
+                "mean_b": r.ttest.mean_b,
+                "cohens_d": r.effect_size,
+                "distinguishable": r.distinguishable,
+            }
+            if r.rank_test is not None:
+                row["mannwhitney_p"] = r.rank_test.p_value
+            out.append(row)
+        return out
+
+    def to_csv(self) -> str:
+        """Render :meth:`rows` as CSV text."""
+        rows = self.rows()
+        header = list(rows[0])
+        lines = [",".join(header)]
+        for row in rows:
+            lines.append(",".join(str(row.get(key, "")) for key in header))
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """Human-readable digest: alarm verdict plus per-event counts."""
+        pair_count = len(self.results) // len(self.events)
+        lines = [
+            f"leakage evaluation ({self.method} t-test, "
+            f"{self.confidence:.0%} confidence, {len(self.categories)} "
+            f"categories, {pair_count} pairs/event)",
+        ]
+        for event in self.events:
+            rejections = self.rejection_count(event)
+            verdict = ("LEAKS (all pairs)" if rejections == pair_count else
+                       f"leaks {rejections}/{pair_count} pairs" if rejections
+                       else "indistinguishable")
+            lines.append(f"  {event.value:<18} {verdict}")
+        lines.append(f"ALARM: {'RAISED' if self.alarm else 'not raised'}")
+        return "\n".join(lines)

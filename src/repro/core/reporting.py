@@ -1,0 +1,149 @@
+"""Paper-style rendering of evaluation results.
+
+Produces text versions of everything the paper's evaluation section shows:
+
+* Figure 1 — per-category mean ``cache-misses`` bar charts;
+* Figure 2(b) — a single classification's full event readout;
+* Figures 3/4 — per-category event distributions (histograms);
+* Tables 1/2 — pairwise t/p tables for ``cache-misses`` and ``branches``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import EvaluationError
+from ..hpc.distributions import EventDistributions
+from ..stats.descriptive import Histogram, shared_histogram_range
+from ..stats.ttest import format_p_value
+from ..uarch.events import EventCounts, HpcEvent, PAPER_TABLE_EVENTS
+from .leakage import LeakageReport
+
+
+def _display_map(categories: Sequence[int],
+                 display: Optional[Dict[int, int]] = None) -> Dict[int, int]:
+    """Map model labels to the paper's 1-based display indices."""
+    if display:
+        return dict(display)
+    return {cat: i + 1 for i, cat in enumerate(sorted(categories))}
+
+
+def format_event_readout(counts: EventCounts, title: str = "") -> str:
+    """Figure 2(b): the raw readout of one classification."""
+    header = title or "HPC events for one classification:"
+    return f"{header}\n{counts.format()}"
+
+
+def format_category_means(distributions: EventDistributions,
+                          event: HpcEvent = HpcEvent.CACHE_MISSES,
+                          width: int = 48,
+                          display: Optional[Dict[int, int]] = None) -> str:
+    """Figure 1: mean of ``event`` per category as an ASCII bar chart."""
+    means = distributions.category_means(event)
+    if not means:
+        raise EvaluationError("no categories to chart")
+    mapping = _display_map(means, display)
+    peak = max(means.values())
+    low = min(means.values())
+    # Auto-scaled baseline (like the paper's Figure 1 axes): bars span the
+    # observed range so sub-percent differences stay visible.
+    baseline = low - 0.15 * (peak - low) if peak > low else 0.0
+    span = peak - baseline or 1.0
+    lines = [f"average {event.value} per category "
+             f"(bar range [{baseline:,.0f}, {peak:,.0f}]):"]
+    for category in sorted(means):
+        value = means[category]
+        bar = "#" * max(1, round(width * (value - baseline) / span))
+        lines.append(
+            f"  category {mapping[category]}: {value:>14,.1f} {bar}")
+    return "\n".join(lines)
+
+
+def format_distribution_figure(distributions: EventDistributions,
+                               event: HpcEvent, bins: int = 18,
+                               width: int = 40,
+                               display: Optional[Dict[int, int]] = None) -> str:
+    """Figures 3/4: per-category histograms of one event on a shared axis."""
+    categories = distributions.categories
+    mapping = _display_map(categories, display)
+    groups = [distributions.values(cat, event) for cat in categories]
+    lo, hi = shared_histogram_range(groups)
+    blocks = [f"distribution of {event.value} per category "
+              f"(shared range [{lo:,.0f}, {hi:,.0f}]):"]
+    for category, values in zip(categories, groups):
+        hist = Histogram.of(values, bins=bins, value_range=(lo, hi))
+        blocks.append(hist.render(
+            width=width,
+            label=f"-- category {mapping[category]} "
+                  f"(n={values.size}, mean={values.mean():,.1f}) --"))
+    return "\n\n".join(blocks)
+
+
+def format_paper_table(report: LeakageReport,
+                       events: Sequence[HpcEvent] = PAPER_TABLE_EVENTS,
+                       display: Optional[Dict[int, int]] = None,
+                       mark_significant: bool = True) -> str:
+    """Tables 1/2: pairwise t and p values for the given events.
+
+    Distinguishable cells are flagged with ``*`` (the paper uses bold).
+    """
+    for event in events:
+        if event not in report.events:
+            raise EvaluationError(f"event {event} missing from report")
+    mapping = _display_map(report.categories, display)
+    per_event = {event: report.for_event(event) for event in events}
+    pair_labels = [r.label(mapping) for r in per_event[events[0]]]
+    header_cells = ["pair"]
+    for event in events:
+        header_cells += [f"{event.value} t", f"{event.value} p"]
+    rows: List[List[str]] = [header_cells]
+    for i, label in enumerate(pair_labels):
+        row = [label]
+        for event in events:
+            result = per_event[event][i]
+            star = "*" if (mark_significant and result.distinguishable) else ""
+            row.append(f"{result.ttest.statistic:+.4f}{star}")
+            row.append(format_p_value(result.ttest.p_value))
+        rows.append(row)
+    widths = [max(len(r[c]) for r in rows) for c in range(len(rows[0]))]
+    lines = ["  ".join(cell.rjust(width)
+                       for cell, width in zip(row, widths)) for row in rows]
+    confidence = f"{report.confidence:.0%}"
+    lines.append(f"(* = distinguishable at {confidence} confidence, "
+                 f"{report.method} t-test)")
+    return "\n".join(lines)
+
+
+def format_leakage_bits(distributions: EventDistributions,
+                        bins: int = 16, width: int = 40) -> str:
+    """Per-event mutual-information leakage table (extension artifact).
+
+    Estimates ``I(event; category)`` in bits per single measurement, with
+    the maximum (``log2`` of the category count) as the scale.
+    """
+    from ..stats.mutual_information import (
+        binned_mutual_information,
+        max_leakage_bits,
+    )
+
+    categories = distributions.categories
+    ceiling = max_leakage_bits(len(categories))
+    lines = [f"estimated leakage per single measurement "
+             f"(max {ceiling:.2f} bits for {len(categories)} categories):"]
+    for event in distributions.events:
+        values = {cat: distributions.values(cat, event)
+                  for cat in categories}
+        bits = binned_mutual_information(values, bins=bins)
+        bar = "#" * round(width * min(1.0, bits / ceiling))
+        lines.append(f"  {event.value:<18} {bits:6.3f} bits {bar}")
+    return "\n".join(lines)
+
+
+def format_full_report(report: LeakageReport,
+                       display: Optional[Dict[int, int]] = None) -> str:
+    """Summary + paper table + alarm verdict in one block."""
+    table_events = [e for e in PAPER_TABLE_EVENTS if e in report.events]
+    parts = [report.summary()]
+    if table_events:
+        parts.append(format_paper_table(report, table_events, display))
+    return "\n\n".join(parts)

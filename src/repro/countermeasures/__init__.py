@@ -1,0 +1,25 @@
+"""Countermeasures: constant-footprint inference and noise injection."""
+
+from .constant_footprint import (
+    constant_footprint_config,
+    footprint_overhead,
+    harden_backend,
+    make_hardened_backend,
+)
+from .evaluation import DefenseReport, certify_equivalence, evaluate_defense
+from .localization import LayerLeak, LocalizationReport, localize_leak
+from .noise import NoiseInjectionBackend
+
+__all__ = [
+    "localize_leak",
+    "LocalizationReport",
+    "LayerLeak",
+    "DefenseReport",
+    "NoiseInjectionBackend",
+    "certify_equivalence",
+    "constant_footprint_config",
+    "evaluate_defense",
+    "footprint_overhead",
+    "harden_backend",
+    "make_hardened_backend",
+]

@@ -1,0 +1,139 @@
+"""Defense evaluation: does the countermeasure silence the Evaluator?
+
+Re-runs the paper's evaluation pipeline against a defended backend and
+reports (1) whether the alarm still fires, and (2) a TOST equivalence
+certification — the statistically sound statement that the per-category
+means are provably within a margin, which a mere failure-to-reject cannot
+give.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..core.evaluator import Evaluator
+from ..core.leakage import LeakageReport
+from ..datasets.base import LabeledDataset
+from ..hpc.backend import HpcBackend
+from ..hpc.distributions import EventDistributions
+from ..hpc.session import MeasurementCache, MeasurementSession
+from ..stats.equivalence import relative_margin, tost_equivalence
+from ..uarch.events import HpcEvent, PAPER_TABLE_EVENTS
+
+
+@dataclass
+class DefenseReport:
+    """Outcome of evaluating a countermeasure.
+
+    Attributes:
+        baseline: Leakage report of the undefended system (optional).
+        defended: Leakage report of the defended system.
+        equivalence: Per-event fraction of category pairs *certified*
+            equivalent by TOST within the configured margin.
+        margin_fraction: The TOST margin as a fraction of the event mean.
+    """
+
+    defended: LeakageReport
+    baseline: Optional[LeakageReport]
+    equivalence: Dict[HpcEvent, float]
+    margin_fraction: float
+
+    @property
+    def alarm_silenced(self) -> bool:
+        """True when the defended system raises no alarm."""
+        return not self.defended.alarm
+
+    def summary(self) -> str:
+        """Human-readable digest."""
+        lines = []
+        if self.baseline is not None:
+            lines.append(
+                f"baseline alarm: "
+                f"{'RAISED' if self.baseline.alarm else 'not raised'} "
+                f"({sum(r.distinguishable for r in self.baseline.results)} "
+                f"distinguishable pairs)"
+            )
+        lines.append(
+            f"defended alarm: "
+            f"{'RAISED' if self.defended.alarm else 'not raised'} "
+            f"({sum(r.distinguishable for r in self.defended.results)} "
+            f"distinguishable pairs)"
+        )
+        for event, fraction in self.equivalence.items():
+            lines.append(
+                f"  TOST-certified equivalent pairs on {event.value}: "
+                f"{fraction:.0%} (margin ±{self.margin_fraction:.2%} of mean)"
+            )
+        return "\n".join(lines)
+
+
+def certify_equivalence(distributions: EventDistributions, event: HpcEvent,
+                        margin_fraction: float = 0.005,
+                        margin_floor: float = 0.0,
+                        alpha: float = 0.05) -> float:
+    """Fraction of category pairs TOST-certified equivalent on ``event``.
+
+    Args:
+        distributions: Defended measurements.
+        event: Event to certify.
+        margin_fraction: Equivalence margin as a fraction of the mean.
+        margin_floor: Absolute minimum margin in counts — needed for events
+            whose absolute level is so small that a relative margin falls
+            below the measurement-noise floor (e.g. a hardened model whose
+            footprint fits the caches).
+        alpha: TOST significance level.
+    """
+    categories = distributions.categories
+    certified = 0
+    total = 0
+    for i, cat_a in enumerate(categories):
+        for cat_b in categories[i + 1:]:
+            a = distributions.values(cat_a, event)
+            b = distributions.values(cat_b, event)
+            margin = max(relative_margin(a, margin_fraction), margin_floor)
+            result = tost_equivalence(a, b, margin)
+            certified += result.equivalent(alpha)
+            total += 1
+    return certified / total if total else 0.0
+
+
+def evaluate_defense(defended_backend: HpcBackend, dataset: LabeledDataset,
+                     categories: Sequence[int], samples_per_category: int,
+                     baseline_report: Optional[LeakageReport] = None,
+                     events_to_certify: Sequence[HpcEvent] = PAPER_TABLE_EVENTS,
+                     margin_fraction: float = 0.005,
+                     margin_floor: float = 0.0,
+                     confidence: float = 0.95,
+                     cache: Optional[MeasurementCache] = None) -> DefenseReport:
+    """Measure a defended system and evaluate it like the paper would.
+
+    Args:
+        defended_backend: Backend running the defended classifier.
+        dataset: Pool of evaluation inputs.
+        categories: Monitored categories.
+        samples_per_category: Measurements per category.
+        baseline_report: Optional undefended report for side-by-side summary.
+        events_to_certify: Events to TOST-certify.
+        margin_fraction: TOST margin as a fraction of the event mean.
+        margin_floor: Absolute minimum margin in counts (see
+            :func:`certify_equivalence`).
+        confidence: Evaluator confidence.
+        cache: Optional measurement cache.
+    """
+    session = MeasurementSession(defended_backend, warmup=0, cache=cache)
+    distributions = session.collect(dataset, list(categories),
+                                    samples_per_category,
+                                    cache_tag="defense")
+    report = Evaluator(confidence=confidence).evaluate(distributions)
+    equivalence = {
+        event: certify_equivalence(distributions, event, margin_fraction,
+                                   margin_floor, alpha=1.0 - confidence)
+        for event in events_to_certify if event in distributions.events
+    }
+    return DefenseReport(
+        defended=report,
+        baseline=baseline_report,
+        equivalence=equivalence,
+        margin_fraction=margin_fraction,
+    )

@@ -1,0 +1,48 @@
+"""Synthetic dataset substrates replacing MNIST and CIFAR-10 downloads."""
+
+from .base import LabeledDataset, concatenate
+from .shapes import (
+    band_mask,
+    ellipse_mask,
+    jitter_color,
+    paint,
+    pixel_grid,
+    rectangle_mask,
+    speckle,
+    triangle_mask,
+    vertical_gradient,
+)
+from .strokes import arc, line, rasterize, transform_strokes
+from .synthetic_cifar import CIFAR_CLASS_NAMES, SyntheticObjects
+from .synthetic_mnist import DIGIT_CLASS_NAMES, DIGIT_STROKES, SyntheticDigits
+from .synthetic_sequences import ACTIVITY_CLASS_NAMES, SyntheticSensorTraces
+from .transforms import batches, horizontal_flip, normalize, random_shift
+
+__all__ = [
+    "ACTIVITY_CLASS_NAMES",
+    "CIFAR_CLASS_NAMES",
+    "DIGIT_CLASS_NAMES",
+    "DIGIT_STROKES",
+    "LabeledDataset",
+    "SyntheticDigits",
+    "SyntheticSensorTraces",
+    "SyntheticObjects",
+    "arc",
+    "band_mask",
+    "batches",
+    "concatenate",
+    "ellipse_mask",
+    "horizontal_flip",
+    "jitter_color",
+    "line",
+    "normalize",
+    "paint",
+    "pixel_grid",
+    "random_shift",
+    "rasterize",
+    "rectangle_mask",
+    "speckle",
+    "transform_strokes",
+    "triangle_mask",
+    "vertical_gradient",
+]

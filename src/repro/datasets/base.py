@@ -1,0 +1,166 @@
+"""Dataset containers and splits.
+
+A :class:`LabeledDataset` is the unit the rest of the library consumes:
+images in NCHW float64 ``[0, 1]``, integer labels, and class names.  The
+evaluator's workflow (measure each category separately, then compare) is
+served by :meth:`LabeledDataset.category`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+
+
+@dataclass(frozen=True)
+class LabeledDataset:
+    """Immutable labeled dataset of fixed-shape samples.
+
+    Attributes:
+        images: ``(n,) + sample_shape`` float64 array — NCHW images for the
+            CNN studies, ``(n, timesteps, features)`` sequences for the RNN
+            extension.
+        labels: ``(n,)`` integer class indices.
+        class_names: Display name per class index.
+        name: Dataset identifier (used in cache keys and reports).
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    class_names: Tuple[str, ...]
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        images = np.asarray(self.images, dtype=np.float64)
+        labels = np.asarray(self.labels).ravel().astype(int)
+        if images.ndim not in (3, 4):
+            raise DatasetError(
+                f"samples must be NCHW images or (n, t, f) sequences, got "
+                f"shape {images.shape}"
+            )
+        if images.shape[0] != labels.shape[0]:
+            raise DatasetError(
+                f"{images.shape[0]} images but {labels.shape[0]} labels"
+            )
+        if labels.size and (labels.min() < 0
+                            or labels.max() >= len(self.class_names)):
+            raise DatasetError(
+                f"labels outside [0, {len(self.class_names)}): "
+                f"range [{labels.min()}, {labels.max()}]"
+            )
+        object.__setattr__(self, "images", images)
+        object.__setattr__(self, "labels", labels)
+        object.__setattr__(self, "class_names", tuple(self.class_names))
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes (from ``class_names``)."""
+        return len(self.class_names)
+
+    @property
+    def sample_shape(self) -> Tuple[int, ...]:
+        """Per-sample shape: ``(c, h, w)`` images or ``(t, f)`` sequences."""
+        return tuple(self.images.shape[1:])
+
+    def category(self, label: int) -> "LabeledDataset":
+        """Sub-dataset of one class (the evaluator measures these one by one)."""
+        if not 0 <= label < self.num_classes:
+            raise DatasetError(
+                f"category {label} outside [0, {self.num_classes})"
+            )
+        mask = self.labels == label
+        if not mask.any():
+            raise DatasetError(f"no samples of category {label} in {self.name!r}")
+        return LabeledDataset(self.images[mask], self.labels[mask],
+                              self.class_names, name=f"{self.name}/cat{label}")
+
+    def take(self, count: int) -> "LabeledDataset":
+        """First ``count`` samples."""
+        if not 1 <= count <= len(self):
+            raise DatasetError(
+                f"take({count}) out of range for {len(self)} samples"
+            )
+        return LabeledDataset(self.images[:count], self.labels[:count],
+                              self.class_names, name=self.name)
+
+    def shuffled(self, seed: int = 0) -> "LabeledDataset":
+        """Deterministically shuffled copy."""
+        order = np.random.default_rng(seed).permutation(len(self))
+        return LabeledDataset(self.images[order], self.labels[order],
+                              self.class_names, name=self.name)
+
+    def split(self, train_fraction: float = 0.8,
+              seed: int = 0) -> Tuple["LabeledDataset", "LabeledDataset"]:
+        """Stratified train/test split.
+
+        Args:
+            train_fraction: Fraction of each class assigned to the train set.
+            seed: Shuffle seed.
+
+        Returns:
+            ``(train, test)`` datasets, both stratified.
+        """
+        if not 0.0 < train_fraction < 1.0:
+            raise DatasetError(
+                f"train_fraction must be in (0, 1), got {train_fraction}"
+            )
+        rng = np.random.default_rng(seed)
+        train_idx: List[int] = []
+        test_idx: List[int] = []
+        for label in range(self.num_classes):
+            indices = np.flatnonzero(self.labels == label)
+            rng.shuffle(indices)
+            cut = int(round(len(indices) * train_fraction))
+            train_idx.extend(indices[:cut])
+            test_idx.extend(indices[cut:])
+        train_idx = np.asarray(sorted(train_idx), dtype=int)
+        test_idx = np.asarray(sorted(test_idx), dtype=int)
+        if len(train_idx) == 0 or len(test_idx) == 0:
+            raise DatasetError(
+                f"split produced an empty side (n={len(self)}, "
+                f"fraction={train_fraction})"
+            )
+        return (
+            LabeledDataset(self.images[train_idx], self.labels[train_idx],
+                           self.class_names, name=f"{self.name}/train"),
+            LabeledDataset(self.images[test_idx], self.labels[test_idx],
+                           self.class_names, name=f"{self.name}/test"),
+        )
+
+    def class_counts(self) -> List[int]:
+        """Sample count per class index."""
+        return [int(np.sum(self.labels == label))
+                for label in range(self.num_classes)]
+
+    def iter_samples(self) -> Iterator[Tuple[np.ndarray, int]]:
+        """Yield ``(image, label)`` pairs one at a time."""
+        for image, label in zip(self.images, self.labels):
+            yield image, int(label)
+
+
+def concatenate(datasets: Sequence[LabeledDataset],
+                name: str = "concat") -> LabeledDataset:
+    """Stack datasets with identical shapes and class names."""
+    if not datasets:
+        raise DatasetError("need at least one dataset")
+    first = datasets[0]
+    for ds in datasets[1:]:
+        if ds.sample_shape != first.sample_shape:
+            raise DatasetError(
+                f"shape mismatch: {ds.sample_shape} vs {first.sample_shape}"
+            )
+        if ds.class_names != first.class_names:
+            raise DatasetError("class name mismatch between datasets")
+    return LabeledDataset(
+        np.concatenate([ds.images for ds in datasets]),
+        np.concatenate([ds.labels for ds in datasets]),
+        first.class_names,
+        name=name,
+    )

@@ -1,0 +1,98 @@
+"""Mask-based shape painting used by the synthetic CIFAR-like generator.
+
+All helpers operate on ``(h, w)`` boolean/float masks addressed in unit
+coordinates (x right, y down) and paint into ``(3, h, w)`` RGB images.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+
+Color = Tuple[float, float, float]
+
+
+def pixel_grid(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Unit-coordinate meshgrid of pixel centers: returns ``(px, py)``."""
+    coords = (np.arange(size) + 0.5) / size
+    return np.meshgrid(coords, coords)
+
+
+def ellipse_mask(size: int, cx: float, cy: float, rx: float, ry: float,
+                 rotation_deg: float = 0.0) -> np.ndarray:
+    """Boolean mask of a (rotated) filled ellipse."""
+    if rx <= 0 or ry <= 0:
+        raise DatasetError("ellipse radii must be positive")
+    px, py = pixel_grid(size)
+    angle = np.radians(rotation_deg)
+    dx, dy = px - cx, py - cy
+    xr = dx * np.cos(angle) + dy * np.sin(angle)
+    yr = -dx * np.sin(angle) + dy * np.cos(angle)
+    return (xr / rx) ** 2 + (yr / ry) ** 2 <= 1.0
+
+
+def rectangle_mask(size: int, x0: float, y0: float, x1: float,
+                   y1: float) -> np.ndarray:
+    """Boolean mask of an axis-aligned filled rectangle."""
+    if x1 <= x0 or y1 <= y0:
+        raise DatasetError(f"degenerate rectangle ({x0},{y0})-({x1},{y1})")
+    px, py = pixel_grid(size)
+    return (px >= x0) & (px <= x1) & (py >= y0) & (py <= y1)
+
+
+def triangle_mask(size: int, p0: Tuple[float, float], p1: Tuple[float, float],
+                  p2: Tuple[float, float]) -> np.ndarray:
+    """Boolean mask of a filled triangle via half-plane tests."""
+    px, py = pixel_grid(size)
+
+    def edge(a, b):
+        return (px - a[0]) * (b[1] - a[1]) - (py - a[1]) * (b[0] - a[0])
+
+    d0, d1, d2 = edge(p0, p1), edge(p1, p2), edge(p2, p0)
+    negative = (d0 < 0) | (d1 < 0) | (d2 < 0)
+    positive = (d0 > 0) | (d1 > 0) | (d2 > 0)
+    return ~(negative & positive)
+
+
+def band_mask(size: int, y0: float, y1: float) -> np.ndarray:
+    """Horizontal band ``y0 <= y <= y1``."""
+    return rectangle_mask(size, 0.0, y0, 1.0, y1)
+
+
+def paint(image: np.ndarray, mask: np.ndarray, color: Color,
+          alpha: float = 1.0) -> None:
+    """Alpha-blend ``color`` into ``image`` where ``mask`` is true (in place)."""
+    if image.ndim != 3 or image.shape[0] != 3:
+        raise DatasetError(f"image must be (3, h, w), got {image.shape}")
+    if not 0.0 < alpha <= 1.0:
+        raise DatasetError(f"alpha must be in (0, 1], got {alpha}")
+    for channel, value in enumerate(color):
+        layer = image[channel]
+        layer[mask] = (1.0 - alpha) * layer[mask] + alpha * value
+
+
+def vertical_gradient(size: int, top: Color, bottom: Color) -> np.ndarray:
+    """``(3, size, size)`` image fading from ``top`` to ``bottom``."""
+    t = ((np.arange(size) + 0.5) / size)[None, :, None]
+    top_arr = np.asarray(top, dtype=np.float64)[:, None, None]
+    bottom_arr = np.asarray(bottom, dtype=np.float64)[:, None, None]
+    return (top_arr * (1.0 - t) + bottom_arr * t) * np.ones((3, size, size))
+
+
+def speckle(image: np.ndarray, rng: np.random.Generator,
+            amount: float = 0.04) -> None:
+    """Add per-pixel luminance texture (in place)."""
+    if amount < 0:
+        raise DatasetError(f"amount must be >= 0, got {amount}")
+    if amount:
+        image += rng.normal(0.0, amount, size=image.shape[1:])[None, :, :]
+
+
+def jitter_color(color: Color, rng: np.random.Generator,
+                 amount: float = 0.08) -> Color:
+    """Random per-channel perturbation of a base color, clipped to [0, 1]."""
+    return tuple(float(np.clip(c + rng.uniform(-amount, amount), 0.0, 1.0))
+                 for c in color)

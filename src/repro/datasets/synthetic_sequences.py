@@ -1,0 +1,118 @@
+"""Synthetic multi-channel sensor traces for the RNN extension study.
+
+The paper's future work asks about "vulnerabilities in other deep learning
+models with different application scenarios".  A natural privacy-sensitive
+scenario is on-device activity recognition from wearable sensors: the
+*activity class* (resting, walking, running...) is private health
+information, and an RNN classifier processing the traces exhibits
+class-dependent hidden-activation patterns exactly like the CNNs do.
+
+Each class is a distinct accelerometer-style signature — base posture
+levels, oscillation frequency/amplitude per axis, impact spikes — with
+per-sample jitter in phase, rate, amplitude and sensor noise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..errors import DatasetError
+from .base import LabeledDataset
+
+#: Activity classes of the synthetic wearable scenario.
+ACTIVITY_CLASS_NAMES = (
+    "resting", "walking", "running", "climbing-stairs", "cycling", "rowing",
+)
+
+#: Per-class signature: (base levels, oscillation amplitude per axis,
+#: base frequency in cycles/window, impact-spike rate per window).
+_SIGNATURES: Dict[int, tuple] = {
+    0: ((0.05, 0.02, 0.98), (0.02, 0.02, 0.01), 0.5, 0.0),   # resting
+    1: ((0.10, 0.05, 0.95), (0.25, 0.10, 0.15), 3.0, 2.0),   # walking
+    2: ((0.15, 0.08, 0.90), (0.55, 0.25, 0.35), 6.0, 6.0),   # running
+    3: ((0.20, 0.10, 0.85), (0.35, 0.40, 0.30), 2.0, 3.0),   # stairs
+    4: ((0.30, 0.05, 0.80), (0.15, 0.45, 0.10), 5.0, 0.5),   # cycling
+    5: ((0.25, 0.30, 0.70), (0.45, 0.20, 0.40), 1.5, 1.0),   # rowing
+}
+
+
+class SyntheticSensorTraces:
+    """Generator of ``(timesteps, 3)`` accelerometer-like windows.
+
+    Args:
+        timesteps: Samples per window.
+        freq_jitter: Relative per-sample frequency deviation.
+        amp_jitter: Relative amplitude deviation.
+        noise_std: Sensor noise standard deviation.
+    """
+
+    name = "synthetic-sensors"
+
+    def __init__(self, timesteps: int = 32, freq_jitter: float = 0.12,
+                 amp_jitter: float = 0.15, noise_std: float = 0.03):
+        if timesteps < 8:
+            raise DatasetError(f"timesteps must be >= 8, got {timesteps}")
+        if noise_std < 0:
+            raise DatasetError(f"noise_std must be >= 0, got {noise_std}")
+        self.timesteps = timesteps
+        self.freq_jitter = freq_jitter
+        self.amp_jitter = amp_jitter
+        self.noise_std = noise_std
+
+    @property
+    def class_names(self):
+        """The six activity names."""
+        return ACTIVITY_CLASS_NAMES
+
+    def render_trace(self, category: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        """One jittered window of ``category`` as ``(timesteps, 3)``."""
+        if category not in _SIGNATURES:
+            raise DatasetError(
+                f"category must be 0-{len(_SIGNATURES) - 1}, got {category}"
+            )
+        base, amplitude, frequency, spike_rate = _SIGNATURES[category]
+        t = np.linspace(0.0, 1.0, self.timesteps, endpoint=False)
+        freq = frequency * (1.0 + rng.uniform(-self.freq_jitter,
+                                              self.freq_jitter))
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        trace = np.empty((self.timesteps, 3))
+        for axis in range(3):
+            amp = amplitude[axis] * (1.0 + rng.uniform(-self.amp_jitter,
+                                                       self.amp_jitter))
+            # Axes oscillate at harmonically related rates with offsets.
+            wave = np.sin(2.0 * np.pi * freq * (1.0 + 0.5 * axis) * t
+                          + phase + axis)
+            trace[:, axis] = base[axis] + amp * wave
+        # Heel-strike style impact spikes.
+        n_spikes = rng.poisson(spike_rate)
+        for _ in range(n_spikes):
+            position = rng.integers(0, self.timesteps)
+            trace[position, :] += rng.uniform(0.2, 0.6) * np.array(
+                [1.0, 0.4, 0.8])
+        trace += rng.normal(0.0, self.noise_std, trace.shape)
+        return np.clip(trace, -1.5, 2.0)
+
+    def generate(self, samples_per_class: int, seed: int = 0,
+                 categories: Sequence[int] = None) -> LabeledDataset:
+        """Generate a balanced, shuffled sequence dataset."""
+        if samples_per_class < 1:
+            raise DatasetError(
+                f"samples_per_class must be >= 1, got {samples_per_class}"
+            )
+        categories = (list(categories) if categories is not None
+                      else list(range(len(ACTIVITY_CLASS_NAMES))))
+        for category in categories:
+            if not 0 <= category < len(ACTIVITY_CLASS_NAMES):
+                raise DatasetError(f"unknown activity category {category}")
+        rng = np.random.default_rng(seed)
+        traces, labels = [], []
+        for category in categories:
+            for _ in range(samples_per_class):
+                traces.append(self.render_trace(category, rng))
+                labels.append(category)
+        dataset = LabeledDataset(np.stack(traces), np.asarray(labels),
+                                 self.class_names, name=self.name)
+        return dataset.shuffled(seed=seed + 1)

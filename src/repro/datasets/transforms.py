@@ -1,0 +1,87 @@
+"""Dataset transforms and batch iteration."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+from .base import LabeledDataset
+
+
+def normalize(dataset: LabeledDataset, mean: float = None,
+              std: float = None) -> Tuple[LabeledDataset, float, float]:
+    """Standardize pixel values to zero mean / unit variance.
+
+    Args:
+        dataset: Input dataset.
+        mean: Optional precomputed mean (e.g. from the training split).
+        std: Optional precomputed std.
+
+    Returns:
+        ``(normalized_dataset, mean, std)`` — pass the returned statistics
+        when normalizing the test split with the training statistics.
+    """
+    if mean is None:
+        mean = float(dataset.images.mean())
+    if std is None:
+        std = float(dataset.images.std())
+    if std == 0.0:
+        raise DatasetError("cannot normalize a constant dataset")
+    images = (dataset.images - mean) / std
+    return (LabeledDataset(images, dataset.labels, dataset.class_names,
+                           name=dataset.name), mean, std)
+
+
+def random_shift(dataset: LabeledDataset, max_pixels: int = 2,
+                 seed: int = 0) -> LabeledDataset:
+    """Augment by integer-pixel translations (zero fill)."""
+    if max_pixels < 0:
+        raise DatasetError(f"max_pixels must be >= 0, got {max_pixels}")
+    if dataset.images.ndim != 4:
+        raise DatasetError("random_shift applies to NCHW image datasets only")
+    if max_pixels == 0:
+        return dataset
+    rng = np.random.default_rng(seed)
+    out = np.zeros_like(dataset.images)
+    _, _, h, w = dataset.images.shape
+    for i, image in enumerate(dataset.images):
+        dy = int(rng.integers(-max_pixels, max_pixels + 1))
+        dx = int(rng.integers(-max_pixels, max_pixels + 1))
+        src_y = slice(max(0, -dy), min(h, h - dy))
+        src_x = slice(max(0, -dx), min(w, w - dx))
+        dst_y = slice(max(0, dy), min(h, h + dy))
+        dst_x = slice(max(0, dx), min(w, w + dx))
+        out[i][:, dst_y, dst_x] = image[:, src_y, src_x]
+    return LabeledDataset(out, dataset.labels, dataset.class_names,
+                          name=dataset.name)
+
+
+def horizontal_flip(dataset: LabeledDataset, probability: float = 0.5,
+                    seed: int = 0) -> LabeledDataset:
+    """Augment by mirroring a random subset of images left-right."""
+    if not 0.0 <= probability <= 1.0:
+        raise DatasetError(f"probability must be in [0, 1], got {probability}")
+    if dataset.images.ndim != 4:
+        raise DatasetError(
+            "horizontal_flip applies to NCHW image datasets only")
+    rng = np.random.default_rng(seed)
+    images = dataset.images.copy()
+    flip = rng.random(len(dataset)) < probability
+    images[flip] = images[flip][:, :, :, ::-1]
+    return LabeledDataset(images, dataset.labels, dataset.class_names,
+                          name=dataset.name)
+
+
+def batches(dataset: LabeledDataset, batch_size: int, shuffle: bool = True,
+            seed: int = 0) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(x, y)`` mini-batches (final partial batch included)."""
+    if batch_size < 1:
+        raise DatasetError(f"batch_size must be >= 1, got {batch_size}")
+    order = np.arange(len(dataset))
+    if shuffle:
+        np.random.default_rng(seed).shuffle(order)
+    for start in range(0, len(dataset), batch_size):
+        index = order[start:start + batch_size]
+        yield dataset.images[index], dataset.labels[index]

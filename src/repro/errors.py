@@ -1,0 +1,65 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  Sub-hierarchies mirror the package layout:
+``nn``, ``datasets``, ``uarch``, ``trace``, ``hpc``, ``stats`` and ``core``
+each have a dedicated error type.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration value was supplied."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array had an unexpected shape or dimensionality."""
+
+
+class LayerError(ReproError):
+    """A neural-network layer was misused (bad wiring, unbuilt state...)."""
+
+
+class TrainingError(ReproError):
+    """Model training failed (divergence, bad hyper-parameters...)."""
+
+
+class SerializationError(ReproError):
+    """A model or measurement archive could not be written or read back."""
+
+
+class DatasetError(ReproError):
+    """A dataset was queried inconsistently (bad split, unknown category)."""
+
+
+class SimulationError(ReproError):
+    """The micro-architecture simulator was configured or driven wrongly."""
+
+
+class TraceError(ReproError):
+    """Trace generation failed (unmapped array, empty trace...)."""
+
+
+class BackendError(ReproError):
+    """An HPC acquisition backend failed or is unavailable on this host."""
+
+
+class PerfUnavailableError(BackendError):
+    """The Linux ``perf`` tool (or the PMU) is not usable on this host."""
+
+
+class MeasurementError(ReproError):
+    """A measurement session produced inconsistent or insufficient data."""
+
+
+class StatisticsError(ReproError, ValueError):
+    """A statistical routine received degenerate input."""
+
+
+class EvaluationError(ReproError):
+    """The leakage evaluator could not complete its analysis."""

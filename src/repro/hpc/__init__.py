@@ -1,0 +1,32 @@
+"""HPC acquisition: backends, measurement sessions and distributions."""
+
+from .backend import HpcBackend, Measurement
+from .distributions import EventDistributions
+from .parse import (
+    NOT_COUNTED,
+    NOT_SUPPORTED,
+    PerfStatResult,
+    build_perf_command,
+    parse_perf_stat_csv,
+)
+from .perf_backend import PerfBackend, perf_available
+from .session import MeasurementCache, MeasurementSession
+from .sim_backend import DEFAULT_NOISE_FLOOR, DEFAULT_NOISE_PROFILE, SimBackend
+
+__all__ = [
+    "DEFAULT_NOISE_FLOOR",
+    "DEFAULT_NOISE_PROFILE",
+    "EventDistributions",
+    "HpcBackend",
+    "Measurement",
+    "MeasurementCache",
+    "MeasurementSession",
+    "NOT_COUNTED",
+    "NOT_SUPPORTED",
+    "PerfBackend",
+    "PerfStatResult",
+    "SimBackend",
+    "build_perf_command",
+    "parse_perf_stat_csv",
+    "perf_available",
+]

@@ -1,0 +1,65 @@
+"""HPC acquisition backend interface.
+
+A backend measures hardware events around one classification operation —
+exactly what ``perf stat -e <events> -p <pid>`` gives the paper's Evaluator.
+Two implementations exist: :class:`repro.hpc.SimBackend` (microarchitecture
+simulation, always available) and :class:`repro.hpc.PerfBackend` (the real
+Linux ``perf`` tool, available on bare-metal hosts with PMU access).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..uarch.events import ALL_EVENTS, EventCounts, HpcEvent
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One measured classification.
+
+    Attributes:
+        prediction: The class the model returned (the Evaluator does not use
+            it — it only knows which category it *submitted* — but it is
+            recorded for sanity checks).
+        counts: The HPC readout of the classification.
+    """
+
+    prediction: int
+    counts: EventCounts
+
+
+class HpcBackend(abc.ABC):
+    """Measures hardware events around single classifications."""
+
+    #: Short identifier used in cache keys and reports.
+    name = "abstract"
+
+    @property
+    def events(self) -> Tuple[HpcEvent, ...]:
+        """Events this backend records per measurement."""
+        return ALL_EVENTS
+
+    @abc.abstractmethod
+    def measure(self, sample: np.ndarray) -> Measurement:
+        """Classify ``sample`` once and return its event counts."""
+
+    def measure_many(self, samples: Sequence[np.ndarray]) -> list:
+        """Measure a sequence of samples (one measurement each)."""
+        return [self.measure(sample) for sample in samples]
+
+    @abc.abstractmethod
+    def fingerprint(self) -> str:
+        """Stable identifier of (backend, model, configuration).
+
+        Two backends with equal fingerprints produce statistically
+        equivalent measurements; the measurement cache keys on this.
+        """
+
+    def describe(self) -> str:
+        """Human-readable backend description."""
+        return f"{self.name} backend"

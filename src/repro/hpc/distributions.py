@@ -1,0 +1,165 @@
+"""Per-category distributions of HPC events — the evaluator's raw material.
+
+One :class:`EventDistributions` holds, for every monitored input category,
+the vector of counter readings of every event across repeated
+classifications: exactly the data behind the paper's Figures 1, 3 and 4 and
+the inputs to the t-tests of Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import MeasurementError
+from ..uarch.events import EventCounts, HpcEvent
+
+
+class EventDistributions:
+    """Readings of every event, per input category.
+
+    Args:
+        data: ``{category: {event: 1-D array of readings}}``.  Every category
+            must provide the same event set.
+    """
+
+    def __init__(self, data: Mapping[int, Mapping[HpcEvent, np.ndarray]]):
+        if not data:
+            raise MeasurementError("no categories measured")
+        clean: Dict[int, Dict[HpcEvent, np.ndarray]] = {}
+        event_sets = set()
+        for category, per_event in data.items():
+            if not per_event:
+                raise MeasurementError(f"category {category} has no events")
+            clean_events: Dict[HpcEvent, np.ndarray] = {}
+            for event, values in per_event.items():
+                if not isinstance(event, HpcEvent):
+                    event = HpcEvent.from_name(str(event))
+                arr = np.asarray(values, dtype=np.float64).ravel()
+                if arr.size == 0:
+                    raise MeasurementError(
+                        f"category {category} event {event} has no readings"
+                    )
+                clean_events[event] = arr
+            clean[int(category)] = clean_events
+            event_sets.add(frozenset(clean_events))
+        if len(event_sets) != 1:
+            raise MeasurementError("categories measured different event sets")
+        self._data = clean
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def categories(self) -> List[int]:
+        """Measured categories, sorted."""
+        return sorted(self._data)
+
+    @property
+    def events(self) -> List[HpcEvent]:
+        """Measured events (order of first category's dict)."""
+        first = self._data[self.categories[0]]
+        return list(first)
+
+    def values(self, category: int, event: HpcEvent) -> np.ndarray:
+        """Readings of ``event`` for ``category`` (copy-free view)."""
+        try:
+            per_event = self._data[category]
+        except KeyError:
+            raise MeasurementError(f"category {category} was not measured") from None
+        if not isinstance(event, HpcEvent):
+            event = HpcEvent.from_name(str(event))
+        try:
+            return per_event[event]
+        except KeyError:
+            raise MeasurementError(f"event {event} was not measured") from None
+
+    def sample_count(self, category: int) -> int:
+        """Number of measurements of ``category``."""
+        per_event = self._data.get(category)
+        if per_event is None:
+            raise MeasurementError(f"category {category} was not measured")
+        return int(next(iter(per_event.values())).size)
+
+    def mean(self, category: int, event: HpcEvent) -> float:
+        """Mean reading (one bar of the paper's Figure 1)."""
+        return float(np.mean(self.values(category, event)))
+
+    def category_means(self, event: HpcEvent) -> Dict[int, float]:
+        """Figure-1 style ``{category: mean}`` for one event."""
+        return {cat: self.mean(cat, event) for cat in self.categories}
+
+    def subset(self, categories: Sequence[int]) -> "EventDistributions":
+        """Restrict to the given categories."""
+        return EventDistributions(
+            {cat: self._data[cat] for cat in categories})
+
+    # ------------------------------------------------------------------
+    # Construction / persistence
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_measurements(cls, per_category: Mapping[int, Iterable[EventCounts]]
+                          ) -> "EventDistributions":
+        """Build from raw per-category measurement lists."""
+        data: Dict[int, Dict[HpcEvent, List[int]]] = {}
+        for category, measurements in per_category.items():
+            columns: Dict[HpcEvent, List[int]] = {}
+            for counts in measurements:
+                for event in counts:
+                    columns.setdefault(event, []).append(counts[event])
+            data[category] = {e: np.asarray(v) for e, v in columns.items()}
+        return cls(data)
+
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Flatten into ``{"cat<k>/<event>": array}`` (npz-friendly)."""
+        out: Dict[str, np.ndarray] = {}
+        for category in self.categories:
+            for event in self.events:
+                out[f"cat{category}/{event.value}"] = self.values(category, event)
+        return out
+
+    @classmethod
+    def from_arrays(cls, arrays: Mapping[str, np.ndarray]) -> "EventDistributions":
+        """Inverse of :meth:`to_arrays`."""
+        data: Dict[int, Dict[HpcEvent, np.ndarray]] = {}
+        for key, values in arrays.items():
+            if "/" not in key or not key.startswith("cat"):
+                continue
+            cat_part, event_part = key.split("/", 1)
+            category = int(cat_part[3:])
+            data.setdefault(category, {})[HpcEvent.from_name(event_part)] = values
+        if not data:
+            raise MeasurementError("no distribution arrays found")
+        return cls(data)
+
+    def merged_with(self, other: "EventDistributions") -> "EventDistributions":
+        """Concatenate readings of matching categories/events."""
+        if set(self.events) != set(other.events):
+            raise MeasurementError("cannot merge distributions of different events")
+        data: Dict[int, Dict[HpcEvent, np.ndarray]] = {}
+        for category in sorted(set(self.categories) | set(other.categories)):
+            per_event: Dict[HpcEvent, np.ndarray] = {}
+            for event in self.events:
+                chunks = []
+                if category in self._data:
+                    chunks.append(self.values(category, event))
+                if category in other._data:
+                    chunks.append(other.values(category, event))
+                per_event[event] = np.concatenate(chunks)
+            data[category] = per_event
+        return EventDistributions(data)
+
+    def summary(self) -> str:
+        """Per-category sample counts and per-event means."""
+        lines = [f"{len(self.categories)} categories x "
+                 f"{len(self.events)} events"]
+        for category in self.categories:
+            n = self.sample_count(category)
+            means = ", ".join(
+                f"{event.value}={self.mean(category, event):.4g}"
+                for event in self.events)
+            lines.append(f"  category {category} (n={n}): {means}")
+        return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Parser for ``perf stat`` machine-readable (``-x``) output.
+
+``perf stat -x, -e <events>`` writes one CSV line per event to stderr::
+
+    83646941,,cache-misses,401528361,100.00,,
+    <not counted>,,bus-cycles,0,100.00,,
+    <not supported>,,ref-cycles,0,100.00,,
+
+Fields: value, unit, event name, run time, percentage-of-time-counted, and
+optional metric columns.  Multiplexed events carry a percentage below 100;
+``perf`` has already extrapolated the value in that case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import BackendError
+from ..uarch.events import EventCounts, HpcEvent
+
+#: Sentinels perf prints instead of a value.
+NOT_COUNTED = "<not counted>"
+NOT_SUPPORTED = "<not supported>"
+
+
+@dataclass
+class PerfStatResult:
+    """Parsed ``perf stat`` output.
+
+    Attributes:
+        counts: Successfully counted events.
+        not_counted: Events perf scheduled but never counted.
+        not_supported: Events the PMU does not implement.
+        multiplex_fraction: Percentage of time each event was counted.
+    """
+
+    counts: EventCounts
+    not_counted: List[HpcEvent] = field(default_factory=list)
+    not_supported: List[HpcEvent] = field(default_factory=list)
+    multiplex_fraction: Dict[HpcEvent, float] = field(default_factory=dict)
+
+
+def parse_perf_stat_csv(text: str, separator: str = ",") -> PerfStatResult:
+    """Parse the ``-x<separator>`` output of one ``perf stat`` run.
+
+    Unknown event names (e.g. extra metrics lines) are skipped; a run where
+    *no* known event parsed raises, since that indicates perf failed.
+    """
+    counts: Dict[HpcEvent, int] = {}
+    not_counted: List[HpcEvent] = []
+    not_supported: List[HpcEvent] = []
+    fractions: Dict[HpcEvent, float] = {}
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split(separator)
+        if len(fields) < 3:
+            continue
+        value_field = fields[0].strip()
+        event_field = fields[2].strip()
+        # perf may suffix the event with a modifier, e.g. "cycles:u".
+        event_name = event_field.split(":")[0]
+        try:
+            event = HpcEvent.from_name(event_name)
+        except Exception:
+            continue
+        if value_field == NOT_COUNTED:
+            not_counted.append(event)
+            continue
+        if value_field == NOT_SUPPORTED:
+            not_supported.append(event)
+            continue
+        try:
+            value = int(value_field.replace(",", ""))
+        except ValueError:
+            raise BackendError(
+                f"unparseable perf value {value_field!r} for event {event}"
+            ) from None
+        counts[event] = value
+        if len(fields) >= 5:
+            try:
+                fractions[event] = float(fields[4])
+            except ValueError:
+                pass
+    if not counts and not not_counted and not not_supported:
+        raise BackendError("perf stat output contained no recognizable events")
+    return PerfStatResult(EventCounts(counts), not_counted, not_supported,
+                          fractions)
+
+
+def build_perf_command(events, pid: int = None, separator: str = ",",
+                       command: List[str] = None) -> List[str]:
+    """Assemble a ``perf stat`` argv.
+
+    Args:
+        events: Events to count.
+        pid: Attach to an existing process (the paper's usage:
+            ``perf stat -e <event> -p <pid>``).
+        separator: Machine-readable field separator.
+        command: Alternatively, a command to launch under perf.
+
+    Exactly one of ``pid`` and ``command`` must be given.
+    """
+    if (pid is None) == (command is None):
+        raise BackendError("specify exactly one of pid or command")
+    event_names = ",".join(
+        e.perf_name if isinstance(e, HpcEvent) else str(e) for e in events)
+    argv = ["perf", "stat", f"-x{separator}", "-e", event_names]
+    if pid is not None:
+        argv += ["-p", str(pid)]
+    else:
+        argv += ["--"] + list(command)
+    return argv

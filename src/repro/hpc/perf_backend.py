@@ -1,0 +1,139 @@
+"""Real ``perf stat`` backend.
+
+Measures an actual CPU's hardware events around one classification, exactly
+as the paper does.  The classifier runs in a fresh subprocess (so the
+counters see one classification per measurement) launched under
+``perf stat -x,``; the sample and the saved model are handed over through a
+temporary directory.
+
+Availability is environment-dependent: containers and locked-down kernels
+(``perf_event_paranoid`` > 2, no PMU passthrough) cannot count hardware
+events.  :func:`perf_available` probes this so callers — and the test suite
+— can fall back to the simulated backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import PerfUnavailableError
+from ..nn.model import Sequential
+from ..nn.serialization import save_model
+from ..uarch.events import ALL_EVENTS, HpcEvent
+from .backend import HpcBackend, Measurement
+from .parse import build_perf_command, parse_perf_stat_csv
+
+#: Python snippet executed in the measured subprocess: load model + sample,
+#: classify once, print the prediction.
+_WORKER_SNIPPET = (
+    "import sys, numpy as np\n"
+    "from repro.nn import load_model\n"
+    "model = load_model(sys.argv[1])\n"
+    "sample = np.load(sys.argv[2])['sample']\n"
+    "print(model.classify_one(sample))\n"
+)
+
+
+def perf_available(events: Sequence[HpcEvent] = (HpcEvent.CYCLES,),
+                   timeout: float = 10.0) -> bool:
+    """True when ``perf stat`` can count hardware events on this host."""
+    if shutil.which("perf") is None:
+        return False
+    argv = build_perf_command(events, command=["true"])
+    try:
+        proc = subprocess.run(argv, capture_output=True, text=True,
+                              timeout=timeout)
+    except (OSError, subprocess.TimeoutExpired):
+        return False
+    if proc.returncode != 0:
+        return False
+    try:
+        result = parse_perf_stat_csv(proc.stderr)
+    except Exception:
+        return False
+    return len(result.counts) > 0
+
+
+class PerfBackend(HpcBackend):
+    """Measures classifications with the Linux ``perf`` tool.
+
+    Args:
+        model: Built classifier; it is serialized once into a scratch
+            directory and re-loaded by each measured subprocess.
+        events: Events to request (defaults to the paper's full set).
+        python: Interpreter for the measured subprocess.
+        timeout: Per-measurement subprocess timeout in seconds.
+
+    Raises:
+        PerfUnavailableError: When ``perf`` cannot count events here.
+    """
+
+    name = "perf"
+
+    def __init__(self, model: Sequential,
+                 events: Sequence[HpcEvent] = ALL_EVENTS,
+                 python: str = sys.executable, timeout: float = 120.0):
+        if not perf_available():
+            raise PerfUnavailableError(
+                "perf cannot count hardware events on this host "
+                "(missing binary, no PMU, or perf_event_paranoid too strict)"
+            )
+        self.model = model
+        self._events = tuple(events)
+        self.python = python
+        self.timeout = timeout
+        self._workdir = Path(tempfile.mkdtemp(prefix="repro-perf-"))
+        self.model_path = save_model(model, self._workdir / "model.npz")
+        self.worker_path = self._workdir / "worker.py"
+        self.worker_path.write_text(_WORKER_SNIPPET, encoding="utf-8")
+
+    @property
+    def events(self) -> Tuple[HpcEvent, ...]:
+        return self._events
+
+    def measure(self, sample: np.ndarray) -> Measurement:
+        """Launch one classification under ``perf stat`` and parse it."""
+        sample_path = self._workdir / "sample.npz"
+        np.savez(sample_path, sample=np.asarray(sample, dtype=np.float64))
+        argv = build_perf_command(
+            self._events,
+            command=[self.python, str(self.worker_path),
+                     str(self.model_path), str(sample_path)],
+        )
+        proc = subprocess.run(argv, capture_output=True, text=True,
+                              timeout=self.timeout)
+        if proc.returncode != 0:
+            raise PerfUnavailableError(
+                f"perf stat failed (rc={proc.returncode}): "
+                f"{proc.stderr.strip()[:500]}"
+            )
+        result = parse_perf_stat_csv(proc.stderr)
+        try:
+            prediction = int(proc.stdout.strip().splitlines()[-1])
+        except (IndexError, ValueError):
+            raise PerfUnavailableError(
+                f"measured worker produced no prediction: {proc.stdout!r}"
+            ) from None
+        return Measurement(prediction, result.counts)
+
+    def fingerprint(self) -> str:
+        digest = hashlib.sha256()
+        digest.update(self.model.weights_fingerprint().encode())
+        digest.update(",".join(e.value for e in self._events).encode())
+        return f"perf-{digest.hexdigest()[:16]}"
+
+    def describe(self) -> str:
+        return (f"perf backend measuring {len(self._events)} events via "
+                f"subprocess classification (model at {self.model_path})")
+
+    def cleanup(self) -> None:
+        """Remove the scratch directory."""
+        shutil.rmtree(self._workdir, ignore_errors=True)

@@ -1,0 +1,130 @@
+"""Simulated HPC backend.
+
+Wraps a :class:`repro.trace.TracedInference` and a
+:class:`repro.uarch.CpuModel` behind the backend interface and adds a
+measurement-noise model: real ``perf`` readings jitter by a fraction of a
+percent (timer interrupts, kernel entry/exit, unrelated kernel threads on
+the core), which we model as seeded multiplicative Gaussian noise plus a
+small additive floor per event.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import BackendError
+from ..nn.model import Sequential
+from ..trace.recorder import TraceConfig
+from ..trace.traced_model import TracedInference
+from ..uarch.cpu import CpuConfig, CpuModel
+from ..uarch.events import EventCounts, HpcEvent
+from .backend import HpcBackend, Measurement
+
+#: Default relative noise per event.  Cycle-domain events jitter the most
+#: (they directly absorb OS interference); counted events jitter less.
+DEFAULT_NOISE_PROFILE: Dict[HpcEvent, float] = {
+    HpcEvent.CYCLES: 0.004,
+    HpcEvent.REF_CYCLES: 0.004,
+    HpcEvent.BUS_CYCLES: 0.004,
+    HpcEvent.INSTRUCTIONS: 0.001,
+    HpcEvent.BRANCHES: 0.001,
+    HpcEvent.BRANCH_MISSES: 0.006,
+    HpcEvent.CACHE_REFERENCES: 0.003,
+    HpcEvent.CACHE_MISSES: 0.003,
+}
+
+#: Additive noise floor (counts) — interrupt handlers touch a few lines and
+#: branches regardless of workload size.
+DEFAULT_NOISE_FLOOR: Dict[HpcEvent, float] = {
+    HpcEvent.CYCLES: 2000.0,
+    HpcEvent.REF_CYCLES: 2000.0,
+    HpcEvent.BUS_CYCLES: 70.0,
+    HpcEvent.INSTRUCTIONS: 800.0,
+    HpcEvent.BRANCHES: 150.0,
+    HpcEvent.BRANCH_MISSES: 10.0,
+    HpcEvent.CACHE_REFERENCES: 8.0,
+    HpcEvent.CACHE_MISSES: 4.0,
+}
+
+
+class SimBackend(HpcBackend):
+    """Measures classifications on the simulated CPU.
+
+    Args:
+        model: Built (and typically trained) classifier.
+        trace_config: Trace-generation knobs (defaults preserve sparsity).
+        cpu_config: Microarchitecture parameters.
+        noise_scale: Global multiplier on the per-event noise profile
+            (0 disables measurement noise entirely — useful in unit tests).
+        noise_profile: Optional per-event relative-noise overrides.
+        seed: Seed of the measurement-noise stream.
+    """
+
+    name = "sim"
+
+    def __init__(self, model: Sequential,
+                 trace_config: Optional[TraceConfig] = None,
+                 cpu_config: Optional[CpuConfig] = None,
+                 noise_scale: float = 1.0,
+                 noise_profile: Optional[Dict[HpcEvent, float]] = None,
+                 seed: int = 0):
+        if noise_scale < 0:
+            raise BackendError(f"noise_scale must be >= 0, got {noise_scale}")
+        self.model = model
+        self.trace_config = trace_config or TraceConfig()
+        self.cpu_config = cpu_config or CpuConfig()
+        self.noise_scale = noise_scale
+        self.noise_profile = dict(DEFAULT_NOISE_PROFILE)
+        if noise_profile:
+            self.noise_profile.update(noise_profile)
+        self.seed = seed
+        self.traced = TracedInference(model, self.trace_config)
+        self.cpu = CpuModel(self.cpu_config, seed=seed)
+        self._rng = np.random.default_rng(seed)
+
+    def reset_noise(self, seed: Optional[int] = None) -> None:
+        """Restart the noise stream (defaults to the construction seed)."""
+        self._rng = np.random.default_rng(self.seed if seed is None else seed)
+
+    def _noisy(self, counts: EventCounts) -> EventCounts:
+        if self.noise_scale == 0.0:
+            return counts
+        noisy = {}
+        for event in counts:
+            value = float(counts[event])
+            rel = self.noise_profile.get(event, 0.002) * self.noise_scale
+            floor = DEFAULT_NOISE_FLOOR.get(event, 0.0) * self.noise_scale
+            jitter = self._rng.normal(0.0, rel * value) if rel else 0.0
+            offset = abs(self._rng.normal(0.0, floor)) if floor else 0.0
+            noisy[event] = max(0, int(round(value + jitter + offset)))
+        return EventCounts(noisy)
+
+    def measure(self, sample: np.ndarray) -> Measurement:
+        """Run one traced classification and return its noisy readout."""
+        prediction, counts = self.traced.run(sample, self.cpu)
+        return Measurement(prediction, self._noisy(counts))
+
+    def measure_clean(self, sample: np.ndarray) -> Measurement:
+        """Like :meth:`measure` but without measurement noise."""
+        prediction, counts = self.traced.run(sample, self.cpu)
+        return Measurement(prediction, counts)
+
+    def fingerprint(self) -> str:
+        digest = hashlib.sha256()
+        digest.update(self.model.weights_fingerprint().encode())
+        digest.update(repr(self.trace_config).encode())
+        digest.update(repr(self.cpu_config).encode())
+        digest.update(f"{self.noise_scale}:{self.seed}".encode())
+        digest.update(repr(sorted(
+            (e.value, v) for e, v in self.noise_profile.items())).encode())
+        return f"sim-{digest.hexdigest()[:16]}"
+
+    def describe(self) -> str:
+        return "\n".join([
+            f"sim backend (noise_scale={self.noise_scale}, seed={self.seed})",
+            self.traced.describe(),
+            self.cpu.describe(),
+        ])

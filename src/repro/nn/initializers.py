@@ -1,0 +1,102 @@
+"""Weight initializers.
+
+All initializers draw from an explicit :class:`numpy.random.Generator` so
+that model construction is deterministic given a seed — a prerequisite for
+reproducible side-channel measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+#: Signature of every initializer: (shape, rng) -> array.
+Initializer = Callable[[Tuple[int, ...], np.random.Generator], np.ndarray]
+
+
+def _fan_in_out(shape: Sequence[int]) -> Tuple[int, int]:
+    """Fan-in/fan-out for dense ``(in, out)`` and conv ``(out, in, kh, kw)``."""
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ConfigError(f"cannot infer fan for weight shape {tuple(shape)}")
+
+
+def zeros(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """All-zero tensor (typical for biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """All-one tensor (batch-norm scale)."""
+    return np.ones(shape, dtype=np.float64)
+
+
+def constant(value: float) -> Initializer:
+    """Initializer filling with ``value``."""
+
+    def init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return np.full(shape, float(value), dtype=np.float64)
+
+    return init
+
+
+def normal(std: float = 0.01) -> Initializer:
+    """Zero-mean Gaussian with standard deviation ``std``."""
+    if std <= 0:
+        raise ConfigError(f"std must be positive, got {std}")
+
+    def init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return rng.normal(0.0, std, size=shape)
+
+    return init
+
+
+def uniform(limit: float = 0.05) -> Initializer:
+    """Uniform on ``[-limit, limit]``."""
+    if limit <= 0:
+        raise ConfigError(f"limit must be positive, got {limit}")
+
+    def init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(-limit, limit, size=shape)
+
+    return init
+
+
+def he_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming normal — the right scale for ReLU networks."""
+    fan_in, _ = _fan_in_out(shape)
+    return rng.normal(0.0, math.sqrt(2.0 / fan_in), size=shape)
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform — balanced forward/backward variance."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+_BY_NAME = {
+    "zeros": zeros,
+    "ones": ones,
+    "he_normal": he_normal,
+    "glorot_uniform": glorot_uniform,
+}
+
+
+def get_initializer(spec) -> Initializer:
+    """Resolve an initializer from a name or pass a callable through."""
+    if callable(spec):
+        return spec
+    try:
+        return _BY_NAME[spec]
+    except KeyError:
+        raise ConfigError(
+            f"unknown initializer {spec!r}; choose from {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,42 @@
+"""Neural network layers (NCHW convention)."""
+
+from .activations import LeakyReLU, ReLU, Sigmoid, Softmax, Tanh
+from .base import Layer, Parameter
+from .conv import Conv2D
+from .dense import Dense
+from .norm import BatchNorm1D, BatchNorm2D
+from .pool import AvgPool2D, GlobalAvgPool2D, MaxPool2D
+from .recurrent import GRU, SimpleRNN
+from .shape_ops import Dropout, Flatten
+
+#: Registry used by the serializer to rebuild layers from saved configs.
+LAYER_REGISTRY = {
+    cls.__name__: cls
+    for cls in (
+        Conv2D, Dense, MaxPool2D, AvgPool2D, GlobalAvgPool2D, ReLU, LeakyReLU,
+        Sigmoid, Tanh, Softmax, Flatten, Dropout, BatchNorm1D, BatchNorm2D,
+        SimpleRNN, GRU,
+    )
+}
+
+__all__ = [
+    "AvgPool2D",
+    "GRU",
+    "BatchNorm1D",
+    "BatchNorm2D",
+    "Conv2D",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool2D",
+    "LAYER_REGISTRY",
+    "Layer",
+    "LeakyReLU",
+    "MaxPool2D",
+    "Parameter",
+    "ReLU",
+    "Sigmoid",
+    "SimpleRNN",
+    "Softmax",
+    "Tanh",
+]

@@ -1,0 +1,160 @@
+"""Element-wise activation layers."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ...errors import ConfigError, LayerError
+from ..tensor_utils import softmax
+from .base import Layer
+
+
+class _Elementwise(Layer):
+    """Shape-preserving layer with no parameters."""
+
+    def _build(self, input_shape: Tuple[int, ...],
+               rng: np.random.Generator) -> Tuple[int, ...]:
+        return input_shape
+
+
+class ReLU(_Elementwise):
+    """Rectified linear unit: ``max(x, 0)``.
+
+    The data-dependent zero pattern this layer produces is the root cause of
+    the side-channel the paper observes — downstream sparsity-aware kernels
+    skip work for zeroed activations (see :mod:`repro.trace`).
+    """
+
+    def __init__(self, name: str = None):
+        super().__init__(name)
+        self._cached_mask = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        mask = x > 0
+        if training:
+            self._cached_mask = mask
+        return np.where(mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_built()
+        if self._cached_mask is None:
+            raise LayerError(
+                f"ReLU {self.name!r}: backward without forward(training=True)"
+            )
+        return grad_output * self._cached_mask
+
+
+class LeakyReLU(_Elementwise):
+    """Leaky rectifier: ``x`` for positive, ``alpha * x`` otherwise."""
+
+    def __init__(self, alpha: float = 0.01, name: str = None):
+        super().__init__(name)
+        if alpha < 0:
+            raise ConfigError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = alpha
+        self._cached_mask = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        mask = x > 0
+        if training:
+            self._cached_mask = mask
+        return np.where(mask, x, self.alpha * x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_built()
+        if self._cached_mask is None:
+            raise LayerError(
+                f"LeakyReLU {self.name!r}: backward without forward(training=True)"
+            )
+        return grad_output * np.where(self._cached_mask, 1.0, self.alpha)
+
+    def get_config(self) -> Dict:
+        config = super().get_config()
+        config.update(alpha=self.alpha)
+        return config
+
+
+class Sigmoid(_Elementwise):
+    """Logistic sigmoid."""
+
+    def __init__(self, name: str = None):
+        super().__init__(name)
+        self._cached_output = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        out = np.empty_like(x, dtype=np.float64)
+        positive = x >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+        exp_x = np.exp(x[~positive])
+        out[~positive] = exp_x / (1.0 + exp_x)
+        if training:
+            self._cached_output = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_built()
+        if self._cached_output is None:
+            raise LayerError(
+                f"Sigmoid {self.name!r}: backward without forward(training=True)"
+            )
+        s = self._cached_output
+        return grad_output * s * (1.0 - s)
+
+
+class Tanh(_Elementwise):
+    """Hyperbolic tangent."""
+
+    def __init__(self, name: str = None):
+        super().__init__(name)
+        self._cached_output = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        out = np.tanh(x)
+        if training:
+            self._cached_output = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_built()
+        if self._cached_output is None:
+            raise LayerError(
+                f"Tanh {self.name!r}: backward without forward(training=True)"
+            )
+        return grad_output * (1.0 - self._cached_output ** 2)
+
+
+class Softmax(_Elementwise):
+    """Softmax over the last axis.
+
+    Prefer :class:`repro.nn.losses.SoftmaxCrossEntropy` during training (the
+    fused gradient is simpler and numerically safer); this layer exists for
+    inference-time probability outputs and for architectures ending in an
+    explicit softmax.
+    """
+
+    def __init__(self, name: str = None):
+        super().__init__(name)
+        self._cached_output = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        out = softmax(x, axis=-1)
+        if training:
+            self._cached_output = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_built()
+        if self._cached_output is None:
+            raise LayerError(
+                f"Softmax {self.name!r}: backward without forward(training=True)"
+            )
+        s = self._cached_output
+        dot = np.sum(grad_output * s, axis=-1, keepdims=True)
+        return s * (grad_output - dot)

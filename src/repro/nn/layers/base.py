@@ -1,0 +1,150 @@
+"""Layer abstraction shared by the whole network framework.
+
+A layer is built once against a concrete input shape (excluding the batch
+axis), after which ``forward``/``backward`` can be called repeatedly.
+Trainable state lives in :class:`Parameter` objects so optimizers and the
+serializer can treat every layer uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...errors import LayerError
+
+
+class Parameter:
+    """A trainable tensor with its accumulated gradient.
+
+    Attributes:
+        name: Identifier unique within the owning layer (``weight``/``bias``).
+        value: The parameter array (mutated in place by optimizers).
+        grad: Gradient accumulated by the most recent backward pass.
+    """
+
+    __slots__ = ("name", "value", "grad")
+
+    def __init__(self, name: str, value: np.ndarray):
+        self.name = name
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self) -> None:
+        """Reset the gradient accumulator."""
+        self.grad.fill(0.0)
+
+    @property
+    def size(self) -> int:
+        """Number of scalar parameters."""
+        return int(self.value.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter({self.name}, shape={self.value.shape})"
+
+
+class Layer(abc.ABC):
+    """Base class for all layers.
+
+    Subclasses implement :meth:`_build` (allocate parameters, return the
+    output shape) and the forward/backward computations.  Shapes exclude the
+    batch dimension.
+    """
+
+    def __init__(self, name: Optional[str] = None):
+        self.name = name or type(self).__name__.lower()
+        self.built = False
+        self.input_shape: Optional[Tuple[int, ...]] = None
+        self.output_shape: Optional[Tuple[int, ...]] = None
+        self._parameters: List[Parameter] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def build(self, input_shape: Tuple[int, ...],
+              rng: np.random.Generator) -> Tuple[int, ...]:
+        """Bind the layer to ``input_shape``; returns the output shape."""
+        if self.built:
+            raise LayerError(f"layer {self.name!r} built twice")
+        self.input_shape = tuple(input_shape)
+        self.output_shape = tuple(self._build(self.input_shape, rng))
+        self.built = True
+        return self.output_shape
+
+    @abc.abstractmethod
+    def _build(self, input_shape: Tuple[int, ...],
+               rng: np.random.Generator) -> Tuple[int, ...]:
+        """Allocate parameters for ``input_shape``; return the output shape."""
+
+    def _add_parameter(self, name: str, value: np.ndarray) -> Parameter:
+        param = Parameter(name, value)
+        self._parameters.append(param)
+        return param
+
+    # ------------------------------------------------------------------
+    # Computation
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output for a batch ``x``."""
+
+    @abc.abstractmethod
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Propagate ``grad_output`` to the input; accumulate parameter grads.
+
+        Must be called after a ``forward(training=True)`` pass on the same
+        batch.
+        """
+
+    def _require_built(self) -> None:
+        if not self.built:
+            raise LayerError(f"layer {self.name!r} used before build()")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def parameters(self) -> List[Parameter]:
+        """Trainable parameters of this layer (may be empty)."""
+        return list(self._parameters)
+
+    def parameter_count(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self._parameters)
+
+    def zero_grad(self) -> None:
+        """Reset all parameter gradients."""
+        for param in self._parameters:
+            param.zero_grad()
+
+    def get_config(self) -> Dict:
+        """JSON-serializable constructor arguments (for model save/load)."""
+        return {"name": self.name}
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Parameter arrays keyed by name (for serialization)."""
+        return {p.name: p.value for p in self._parameters}
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Restore parameter values saved by :meth:`state_arrays`."""
+        self._require_built()
+        for param in self._parameters:
+            if param.name not in arrays:
+                raise LayerError(
+                    f"missing saved array {param.name!r} for layer {self.name!r}"
+                )
+            saved = np.asarray(arrays[param.name], dtype=np.float64)
+            if saved.shape != param.value.shape:
+                raise LayerError(
+                    f"shape mismatch restoring {self.name}.{param.name}: "
+                    f"saved {saved.shape} vs built {param.value.shape}"
+                )
+            param.value[...] = saved
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = f"out={self.output_shape}" if self.built else "unbuilt"
+        return f"{type(self).__name__}({self.name!r}, {status})"

@@ -1,0 +1,109 @@
+"""2-D convolution layer (NCHW, im2col implementation)."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ...errors import ConfigError, LayerError, ShapeError
+from ..initializers import get_initializer, zeros
+from ..tensor_utils import col2im, conv_output_size, im2col
+from .base import Layer
+
+
+class Conv2D(Layer):
+    """Cross-correlation with ``filters`` kernels of size ``kernel x kernel``.
+
+    Args:
+        filters: Number of output channels.
+        kernel: Square kernel extent.
+        stride: Spatial stride.
+        padding: Zero padding on both spatial axes.
+        use_bias: Whether to add a per-channel bias.
+        weight_init: Initializer for the ``(filters, in_ch, k, k)`` kernel.
+        name: Optional layer name.
+    """
+
+    def __init__(self, filters: int, kernel: int, stride: int = 1,
+                 padding: int = 0, use_bias: bool = True,
+                 weight_init="he_normal", name: str = None):
+        super().__init__(name)
+        if filters < 1:
+            raise ConfigError(f"filters must be >= 1, got {filters}")
+        if kernel < 1:
+            raise ConfigError(f"kernel must be >= 1, got {kernel}")
+        if stride < 1:
+            raise ConfigError(f"stride must be >= 1, got {stride}")
+        if padding < 0:
+            raise ConfigError(f"padding must be >= 0, got {padding}")
+        self.filters = filters
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self.use_bias = use_bias
+        self._weight_init = get_initializer(weight_init)
+        self._weight_init_spec = weight_init if isinstance(weight_init, str) else "custom"
+        self._cached_cols = None
+        self._cached_x_shape = None
+
+    def _build(self, input_shape: Tuple[int, ...],
+               rng: np.random.Generator) -> Tuple[int, ...]:
+        if len(input_shape) != 3:
+            raise ShapeError(
+                f"Conv2D expects (channels, height, width), got {input_shape}"
+            )
+        in_ch, h, w = input_shape
+        out_h = conv_output_size(h, self.kernel, self.stride, self.padding)
+        out_w = conv_output_size(w, self.kernel, self.stride, self.padding)
+        self.weight = self._add_parameter(
+            "weight",
+            self._weight_init((self.filters, in_ch, self.kernel, self.kernel), rng))
+        if self.use_bias:
+            self.bias = self._add_parameter("bias", zeros((self.filters,), rng))
+        return (self.filters, out_h, out_w)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        if x.ndim != 4 or x.shape[1:] != self.input_shape:
+            raise ShapeError(
+                f"Conv2D {self.name!r} expects (n,) + {self.input_shape}, "
+                f"got {x.shape}"
+            )
+        n = x.shape[0]
+        out_ch, out_h, out_w = self.output_shape
+        cols = im2col(x, self.kernel, self.kernel, self.stride, self.padding)
+        kernel_matrix = self.weight.value.reshape(self.filters, -1)
+        y = cols @ kernel_matrix.T
+        if self.use_bias:
+            y = y + self.bias.value
+        if training:
+            self._cached_cols = cols
+            self._cached_x_shape = x.shape
+        return y.reshape(n, out_h, out_w, out_ch).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_built()
+        if self._cached_cols is None:
+            raise LayerError(
+                f"Conv2D {self.name!r}: backward without forward(training=True)"
+            )
+        n = grad_output.shape[0]
+        # (n, out_ch, oh, ow) -> (n*oh*ow, out_ch)
+        grad_rows = grad_output.transpose(0, 2, 3, 1).reshape(-1, self.filters)
+        kernel_matrix = self.weight.value.reshape(self.filters, -1)
+        self.weight.grad += (grad_rows.T @ self._cached_cols).reshape(
+            self.weight.value.shape)
+        if self.use_bias:
+            self.bias.grad += grad_rows.sum(axis=0)
+        grad_cols = grad_rows @ kernel_matrix
+        return col2im(grad_cols, self._cached_x_shape, self.kernel, self.kernel,
+                      self.stride, self.padding)
+
+    def get_config(self) -> Dict:
+        config = super().get_config()
+        config.update(filters=self.filters, kernel=self.kernel,
+                      stride=self.stride, padding=self.padding,
+                      use_bias=self.use_bias,
+                      weight_init=self._weight_init_spec)
+        return config

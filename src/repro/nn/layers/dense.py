@@ -1,0 +1,79 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ...errors import ConfigError, LayerError, ShapeError
+from ..initializers import get_initializer, zeros
+from .base import Layer
+
+
+class Dense(Layer):
+    """Affine map ``y = x @ W + b`` over flattened feature vectors.
+
+    Args:
+        units: Output dimensionality.
+        use_bias: Whether to add a bias vector.
+        weight_init: Initializer name or callable for the weight matrix.
+        name: Optional layer name.
+    """
+
+    def __init__(self, units: int, use_bias: bool = True,
+                 weight_init="he_normal", name: str = None):
+        super().__init__(name)
+        if units < 1:
+            raise ConfigError(f"units must be >= 1, got {units}")
+        self.units = units
+        self.use_bias = use_bias
+        self._weight_init = get_initializer(weight_init)
+        self._weight_init_spec = weight_init if isinstance(weight_init, str) else "custom"
+        self._cached_input = None
+
+    def _build(self, input_shape: Tuple[int, ...],
+               rng: np.random.Generator) -> Tuple[int, ...]:
+        if len(input_shape) != 1:
+            raise ShapeError(
+                f"Dense expects flat input, got shape {input_shape}; "
+                "insert a Flatten layer first"
+            )
+        in_features = input_shape[0]
+        self.weight = self._add_parameter(
+            "weight", self._weight_init((in_features, self.units), rng))
+        if self.use_bias:
+            self.bias = self._add_parameter("bias", zeros((self.units,), rng))
+        return (self.units,)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        if x.ndim != 2 or x.shape[1] != self.input_shape[0]:
+            raise ShapeError(
+                f"Dense {self.name!r} expects (n, {self.input_shape[0]}), "
+                f"got {x.shape}"
+            )
+        if training:
+            self._cached_input = x
+        y = x @ self.weight.value
+        if self.use_bias:
+            y = y + self.bias.value
+        return y
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_built()
+        x = self._cached_input
+        if x is None:
+            raise LayerError(
+                f"Dense {self.name!r}: backward without forward(training=True)"
+            )
+        self.weight.grad += x.T @ grad_output
+        if self.use_bias:
+            self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.value.T
+
+    def get_config(self) -> Dict:
+        config = super().get_config()
+        config.update(units=self.units, use_bias=self.use_bias,
+                      weight_init=self._weight_init_spec)
+        return config

@@ -1,0 +1,138 @@
+"""Batch normalization layers."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ...errors import ConfigError, LayerError, ShapeError
+from ..initializers import ones, zeros
+from .base import Layer
+
+
+class _BatchNorm(Layer):
+    """Shared statistics/affine machinery for 1-D and 2-D batch norm."""
+
+    def __init__(self, momentum: float = 0.9, epsilon: float = 1e-5,
+                 name: str = None):
+        super().__init__(name)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigError(f"momentum must be in [0, 1), got {momentum}")
+        if epsilon <= 0.0:
+            raise ConfigError(f"epsilon must be positive, got {epsilon}")
+        self.momentum = momentum
+        self.epsilon = epsilon
+        self._cache = None
+
+    def _allocate(self, channels: int, rng: np.random.Generator) -> None:
+        self.gamma = self._add_parameter("gamma", ones((channels,), rng))
+        self.beta = self._add_parameter("beta", zeros((channels,), rng))
+        self.running_mean = np.zeros(channels, dtype=np.float64)
+        self.running_var = np.ones(channels, dtype=np.float64)
+
+    def _normalize(self, x2d: np.ndarray, training: bool) -> np.ndarray:
+        """Normalize a (rows, channels) view and cache backward state."""
+        if training:
+            batch_mean = x2d.mean(axis=0)
+            batch_var = x2d.var(axis=0)
+            m = self.momentum
+            self.running_mean = m * self.running_mean + (1 - m) * batch_mean
+            self.running_var = m * self.running_var + (1 - m) * batch_var
+            inv_std = 1.0 / np.sqrt(batch_var + self.epsilon)
+            x_hat = (x2d - batch_mean) * inv_std
+            self._cache = (x_hat, inv_std)
+        else:
+            inv_std = 1.0 / np.sqrt(self.running_var + self.epsilon)
+            x_hat = (x2d - self.running_mean) * inv_std
+        return x_hat * self.gamma.value + self.beta.value
+
+    def _normalize_backward(self, grad2d: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise LayerError(
+                f"{type(self).__name__} {self.name!r}: backward without "
+                "forward(training=True)"
+            )
+        x_hat, inv_std = self._cache
+        rows = grad2d.shape[0]
+        self.gamma.grad += (grad2d * x_hat).sum(axis=0)
+        self.beta.grad += grad2d.sum(axis=0)
+        g = grad2d * self.gamma.value
+        return inv_std * (
+            g - g.mean(axis=0) - x_hat * (g * x_hat).mean(axis=0)
+        ) if rows > 1 else g * inv_std
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        arrays = super().state_arrays()
+        arrays["running_mean"] = self.running_mean
+        arrays["running_var"] = self.running_var
+        return arrays
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        super().load_state_arrays(arrays)
+        for key in ("running_mean", "running_var"):
+            if key not in arrays:
+                raise LayerError(
+                    f"missing saved array {key!r} for layer {self.name!r}"
+                )
+        self.running_mean = np.asarray(arrays["running_mean"], dtype=np.float64)
+        self.running_var = np.asarray(arrays["running_var"], dtype=np.float64)
+
+    def get_config(self) -> Dict:
+        config = super().get_config()
+        config.update(momentum=self.momentum, epsilon=self.epsilon)
+        return config
+
+
+class BatchNorm1D(_BatchNorm):
+    """Batch normalization over flat feature vectors ``(n, features)``."""
+
+    def _build(self, input_shape: Tuple[int, ...],
+               rng: np.random.Generator) -> Tuple[int, ...]:
+        if len(input_shape) != 1:
+            raise ShapeError(f"BatchNorm1D expects flat input, got {input_shape}")
+        self._allocate(input_shape[0], rng)
+        return input_shape
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        if x.ndim != 2 or x.shape[1] != self.input_shape[0]:
+            raise ShapeError(
+                f"BatchNorm1D {self.name!r} expects (n, {self.input_shape[0]}), "
+                f"got {x.shape}"
+            )
+        return self._normalize(x, training)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_built()
+        return self._normalize_backward(grad_output)
+
+
+class BatchNorm2D(_BatchNorm):
+    """Per-channel batch normalization over NCHW feature maps."""
+
+    def _build(self, input_shape: Tuple[int, ...],
+               rng: np.random.Generator) -> Tuple[int, ...]:
+        if len(input_shape) != 3:
+            raise ShapeError(f"BatchNorm2D expects (c, h, w), got {input_shape}")
+        self._allocate(input_shape[0], rng)
+        return input_shape
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        if x.ndim != 4 or x.shape[1:] != self.input_shape:
+            raise ShapeError(
+                f"BatchNorm2D {self.name!r} expects (n,) + {self.input_shape}, "
+                f"got {x.shape}"
+            )
+        n, c, h, w = x.shape
+        flat = x.transpose(0, 2, 3, 1).reshape(-1, c)
+        out = self._normalize(flat, training)
+        return out.reshape(n, h, w, c).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_built()
+        n, c, h, w = grad_output.shape
+        flat = grad_output.transpose(0, 2, 3, 1).reshape(-1, c)
+        grad = self._normalize_backward(flat)
+        return grad.reshape(n, h, w, c).transpose(0, 3, 1, 2)

@@ -1,0 +1,165 @@
+"""Spatial pooling layers (NCHW)."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ...errors import ConfigError, LayerError, ShapeError
+from ..tensor_utils import conv_output_size, im2col
+from .base import Layer
+
+
+class _Pool2D(Layer):
+    """Shared machinery for window-based pooling."""
+
+    def __init__(self, pool: int = 2, stride: int = None, name: str = None):
+        super().__init__(name)
+        if pool < 1:
+            raise ConfigError(f"pool must be >= 1, got {pool}")
+        self.pool = pool
+        self.stride = stride if stride is not None else pool
+        if self.stride < 1:
+            raise ConfigError(f"stride must be >= 1, got {self.stride}")
+
+    def _build(self, input_shape: Tuple[int, ...],
+               rng: np.random.Generator) -> Tuple[int, ...]:
+        if len(input_shape) != 3:
+            raise ShapeError(
+                f"{type(self).__name__} expects (c, h, w), got {input_shape}"
+            )
+        c, h, w = input_shape
+        out_h = conv_output_size(h, self.pool, self.stride, 0)
+        out_w = conv_output_size(w, self.pool, self.stride, 0)
+        return (c, out_h, out_w)
+
+    def _patches(self, x: np.ndarray) -> np.ndarray:
+        """Window matrix of shape (n*c*oh*ow, pool*pool)."""
+        n, c, h, w = x.shape
+        # Treat channels as batch so each window mixes one channel only.
+        as_batch = x.reshape(n * c, 1, h, w)
+        return im2col(as_batch, self.pool, self.pool, self.stride, 0)
+
+    def get_config(self) -> Dict:
+        config = super().get_config()
+        config.update(pool=self.pool, stride=self.stride)
+        return config
+
+
+class MaxPool2D(_Pool2D):
+    """Max pooling over ``pool x pool`` windows."""
+
+    def __init__(self, pool: int = 2, stride: int = None, name: str = None):
+        super().__init__(pool, stride, name)
+        self._cached_argmax = None
+        self._cached_x_shape = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        if x.ndim != 4 or x.shape[1:] != self.input_shape:
+            raise ShapeError(
+                f"MaxPool2D {self.name!r} expects (n,) + {self.input_shape}, "
+                f"got {x.shape}"
+            )
+        n = x.shape[0]
+        c, out_h, out_w = self.output_shape
+        windows = self._patches(x)
+        argmax = windows.argmax(axis=1)
+        values = windows[np.arange(windows.shape[0]), argmax]
+        if training:
+            self._cached_argmax = argmax
+            self._cached_x_shape = x.shape
+        return values.reshape(n, c, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_built()
+        if self._cached_argmax is None:
+            raise LayerError(
+                f"MaxPool2D {self.name!r}: backward without forward(training=True)"
+            )
+        n, c, h, w = self._cached_x_shape
+        _, out_h, out_w = self.output_shape
+        grad_windows = np.zeros(
+            (n * c * out_h * out_w, self.pool * self.pool), dtype=grad_output.dtype)
+        grad_windows[np.arange(grad_windows.shape[0]), self._cached_argmax] = (
+            grad_output.reshape(-1))
+        from ..tensor_utils import col2im
+        grad_as_batch = col2im(grad_windows, (n * c, 1, h, w), self.pool,
+                               self.pool, self.stride, 0)
+        return grad_as_batch.reshape(n, c, h, w)
+
+
+class AvgPool2D(_Pool2D):
+    """Average pooling over ``pool x pool`` windows."""
+
+    def __init__(self, pool: int = 2, stride: int = None, name: str = None):
+        super().__init__(pool, stride, name)
+        self._cached_x_shape = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        if x.ndim != 4 or x.shape[1:] != self.input_shape:
+            raise ShapeError(
+                f"AvgPool2D {self.name!r} expects (n,) + {self.input_shape}, "
+                f"got {x.shape}"
+            )
+        n = x.shape[0]
+        c, out_h, out_w = self.output_shape
+        windows = self._patches(x)
+        if training:
+            self._cached_x_shape = x.shape
+        return windows.mean(axis=1).reshape(n, c, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_built()
+        if self._cached_x_shape is None:
+            raise LayerError(
+                f"AvgPool2D {self.name!r}: backward without forward(training=True)"
+            )
+        n, c, h, w = self._cached_x_shape
+        window_area = self.pool * self.pool
+        grad_windows = np.repeat(
+            grad_output.reshape(-1, 1) / window_area, window_area, axis=1)
+        from ..tensor_utils import col2im
+        grad_as_batch = col2im(grad_windows, (n * c, 1, h, w), self.pool,
+                               self.pool, self.stride, 0)
+        return grad_as_batch.reshape(n, c, h, w)
+
+
+class GlobalAvgPool2D(Layer):
+    """Collapse each channel to its spatial mean: (c, h, w) -> (c,)."""
+
+    def __init__(self, name: str = None):
+        super().__init__(name)
+        self._cached_x_shape = None
+
+    def _build(self, input_shape: Tuple[int, ...],
+               rng: np.random.Generator) -> Tuple[int, ...]:
+        if len(input_shape) != 3:
+            raise ShapeError(
+                f"GlobalAvgPool2D expects (c, h, w), got {input_shape}"
+            )
+        return (input_shape[0],)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        if x.ndim != 4 or x.shape[1:] != self.input_shape:
+            raise ShapeError(
+                f"GlobalAvgPool2D {self.name!r} expects (n,) + "
+                f"{self.input_shape}, got {x.shape}"
+            )
+        if training:
+            self._cached_x_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_built()
+        if self._cached_x_shape is None:
+            raise LayerError(
+                f"GlobalAvgPool2D {self.name!r}: backward without "
+                "forward(training=True)"
+            )
+        n, c, h, w = self._cached_x_shape
+        spread = grad_output[:, :, None, None] / (h * w)
+        return np.broadcast_to(spread, (n, c, h, w)).copy()

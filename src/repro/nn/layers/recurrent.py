@@ -1,0 +1,299 @@
+"""Recurrent layers (the paper's future-work direction: "other deep
+learning models").
+
+:class:`SimpleRNN` is an Elman network over ``(n, timesteps, features)``
+inputs returning the final hidden state (or the full state sequence).  The
+``relu`` activation (IRNN-style) is the default here because its zero
+pattern drives the same sparsity side channel the CNN studies exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ...errors import ConfigError, LayerError, ShapeError
+from ..initializers import get_initializer, zeros
+from .base import Layer
+
+
+def _identity_scaled(scale: float):
+    def init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        if len(shape) != 2 or shape[0] != shape[1]:
+            raise ConfigError(f"identity init needs a square shape, got {shape}")
+        return np.eye(shape[0]) * scale
+
+    return init
+
+
+class SimpleRNN(Layer):
+    """Elman RNN: ``h_t = act(x_t @ W_xh + h_{t-1} @ W_hh + b)``.
+
+    Args:
+        units: Hidden-state dimensionality.
+        activation: ``"relu"`` (default, IRNN-style with identity recurrent
+            init) or ``"tanh"``.
+        return_sequences: Emit ``(n, timesteps, units)`` instead of the
+            final state ``(n, units)``.
+        input_init: Initializer for ``W_xh``.
+        name: Optional layer name.
+    """
+
+    def __init__(self, units: int, activation: str = "relu",
+                 return_sequences: bool = False, input_init="he_normal",
+                 name: str = None):
+        super().__init__(name)
+        if units < 1:
+            raise ConfigError(f"units must be >= 1, got {units}")
+        if activation not in ("relu", "tanh"):
+            raise ConfigError(
+                f"activation must be 'relu' or 'tanh', got {activation!r}"
+            )
+        self.units = units
+        self.activation = activation
+        self.return_sequences = return_sequences
+        self._input_init = get_initializer(input_init)
+        self._input_init_spec = (input_init if isinstance(input_init, str)
+                                 else "custom")
+        self._cache = None
+
+    def _build(self, input_shape: Tuple[int, ...],
+               rng: np.random.Generator) -> Tuple[int, ...]:
+        if len(input_shape) != 2:
+            raise ShapeError(
+                f"SimpleRNN expects (timesteps, features), got {input_shape}"
+            )
+        timesteps, features = input_shape
+        self.w_xh = self._add_parameter(
+            "w_xh", self._input_init((features, self.units), rng))
+        recurrent_scale = 0.5 if self.activation == "relu" else 1.0
+        self.w_hh = self._add_parameter(
+            "w_hh", _identity_scaled(recurrent_scale)((self.units, self.units),
+                                                      rng))
+        self.bias = self._add_parameter("bias", zeros((self.units,), rng))
+        if self.return_sequences:
+            return (timesteps, self.units)
+        return (self.units,)
+
+    def _activate(self, pre: np.ndarray) -> np.ndarray:
+        if self.activation == "relu":
+            return np.maximum(pre, 0.0)
+        return np.tanh(pre)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        if x.ndim != 3 or x.shape[1:] != self.input_shape:
+            raise ShapeError(
+                f"SimpleRNN {self.name!r} expects (n,) + {self.input_shape}, "
+                f"got {x.shape}"
+            )
+        n, timesteps, _ = x.shape
+        h = np.zeros((n, self.units))
+        states: List[np.ndarray] = []     # post-activation h_t
+        pres: List[np.ndarray] = []       # pre-activation values
+        for t in range(timesteps):
+            pre = (x[:, t, :] @ self.w_xh.value + h @ self.w_hh.value
+                   + self.bias.value)
+            h = self._activate(pre)
+            pres.append(pre)
+            states.append(h)
+        if training:
+            self._cache = (x, pres, states)
+        if self.return_sequences:
+            return np.stack(states, axis=1)
+        return h
+
+    def hidden_states(self, x_single: np.ndarray) -> np.ndarray:
+        """Per-timestep hidden states ``(timesteps, units)`` of one sample.
+
+        Used by the tracer, which needs the recurrence's intermediate
+        activation patterns, not just the final output.
+        """
+        self._require_built()
+        x = np.asarray(x_single, dtype=np.float64)[None, ...]
+        if x.shape[1:] != self.input_shape:
+            raise ShapeError(
+                f"expected {self.input_shape}, got {x.shape[1:]}"
+            )
+        h = np.zeros((1, self.units))
+        states = []
+        for t in range(x.shape[1]):
+            pre = (x[:, t, :] @ self.w_xh.value + h @ self.w_hh.value
+                   + self.bias.value)
+            h = self._activate(pre)
+            states.append(h[0])
+        return np.stack(states, axis=0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_built()
+        if self._cache is None:
+            raise LayerError(
+                f"SimpleRNN {self.name!r}: backward without "
+                "forward(training=True)"
+            )
+        x, pres, states = self._cache
+        n, timesteps, features = x.shape
+        if self.return_sequences:
+            grad_states = grad_output.copy()
+        else:
+            grad_states = np.zeros((n, timesteps, self.units))
+            grad_states[:, -1, :] = grad_output
+        grad_x = np.zeros_like(x)
+        carry = np.zeros((n, self.units))
+        for t in range(timesteps - 1, -1, -1):
+            total = grad_states[:, t, :] + carry
+            if self.activation == "relu":
+                grad_pre = total * (pres[t] > 0)
+            else:
+                grad_pre = total * (1.0 - states[t] ** 2)
+            prev_h = states[t - 1] if t > 0 else np.zeros((n, self.units))
+            self.w_xh.grad += x[:, t, :].T @ grad_pre
+            self.w_hh.grad += prev_h.T @ grad_pre
+            self.bias.grad += grad_pre.sum(axis=0)
+            grad_x[:, t, :] = grad_pre @ self.w_xh.value.T
+            carry = grad_pre @ self.w_hh.value.T
+        return grad_x
+
+    def get_config(self) -> Dict:
+        config = super().get_config()
+        config.update(units=self.units, activation=self.activation,
+                      return_sequences=self.return_sequences,
+                      input_init=self._input_init_spec)
+        return config
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+class GRU(Layer):
+    """Gated recurrent unit (Cho et al. 2014), returning the final state.
+
+    Gates::
+
+        z_t = sigmoid(x_t @ W_xz + h_{t-1} @ W_hz + b_z)
+        r_t = sigmoid(x_t @ W_xr + h_{t-1} @ W_hr + b_r)
+        c_t = tanh(x_t @ W_xc + (r_t * h_{t-1}) @ W_hc + b_c)
+        h_t = (1 - z_t) * h_{t-1} + z_t * c_t
+
+    Side-channel note: unlike a ReLU RNN, no GRU activation is ever exactly
+    zero, so the sparsity-aware kernels of :mod:`repro.trace` have nothing
+    to skip — a GRU's traced memory footprint is input-independent.  The
+    architecture itself acts as the paper's requested "indistinguishable
+    CPU footprint" (at the dense-compute price a GRU always pays).
+
+    Args:
+        units: Hidden-state dimensionality.
+        input_init: Initializer for the three input kernels.
+        name: Optional layer name.
+    """
+
+    def __init__(self, units: int, input_init="glorot_uniform",
+                 name: str = None):
+        super().__init__(name)
+        if units < 1:
+            raise ConfigError(f"units must be >= 1, got {units}")
+        self.units = units
+        self._input_init = get_initializer(input_init)
+        self._input_init_spec = (input_init if isinstance(input_init, str)
+                                 else "custom")
+        self._cache = None
+
+    def _build(self, input_shape: Tuple[int, ...],
+               rng: np.random.Generator) -> Tuple[int, ...]:
+        if len(input_shape) != 2:
+            raise ShapeError(
+                f"GRU expects (timesteps, features), got {input_shape}"
+            )
+        _, features = input_shape
+        units = self.units
+        # Fused kernels: columns ordered [z | r | c].
+        self.w_x = self._add_parameter(
+            "w_x", self._input_init((features, 3 * units), rng))
+        self.w_h = self._add_parameter(
+            "w_h", self._input_init((units, 3 * units), rng))
+        self.bias = self._add_parameter("bias", zeros((3 * units,), rng))
+        return (units,)
+
+    def _step(self, x_t: np.ndarray, h_prev: np.ndarray):
+        units = self.units
+        gates_x = x_t @ self.w_x.value + self.bias.value
+        gates_h = h_prev @ self.w_h.value
+        z = _sigmoid(gates_x[:, :units] + gates_h[:, :units])
+        r = _sigmoid(gates_x[:, units:2 * units]
+                     + gates_h[:, units:2 * units])
+        c_pre = (gates_x[:, 2 * units:]
+                 + (r * h_prev) @ self.w_h.value[:, 2 * units:])
+        # Note gates_h's candidate block is recomputed with the reset gate
+        # applied to h (the original GRU formulation).
+        c = np.tanh(c_pre)
+        h = (1.0 - z) * h_prev + z * c
+        return h, z, r, c
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        if x.ndim != 3 or x.shape[1:] != self.input_shape:
+            raise ShapeError(
+                f"GRU {self.name!r} expects (n,) + {self.input_shape}, "
+                f"got {x.shape}"
+            )
+        n, timesteps, _ = x.shape
+        h = np.zeros((n, self.units))
+        states, zs, rs, cs = [], [], [], []
+        for t in range(timesteps):
+            h, z, r, c = self._step(x[:, t, :], h)
+            states.append(h)
+            zs.append(z)
+            rs.append(r)
+            cs.append(c)
+        if training:
+            self._cache = (x, states, zs, rs, cs)
+        return h
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_built()
+        if self._cache is None:
+            raise LayerError(
+                f"GRU {self.name!r}: backward without forward(training=True)"
+            )
+        x, states, zs, rs, cs = self._cache
+        n, timesteps, features = x.shape
+        units = self.units
+        w_x, w_h = self.w_x.value, self.w_h.value
+        grad_x = np.zeros_like(x)
+        grad_h = grad_output.copy()
+        for t in range(timesteps - 1, -1, -1):
+            h_prev = states[t - 1] if t > 0 else np.zeros((n, units))
+            z, r, c = zs[t], rs[t], cs[t]
+            grad_z = grad_h * (c - h_prev) * z * (1.0 - z)
+            grad_c = grad_h * z * (1.0 - c * c)
+            grad_h_prev = grad_h * (1.0 - z)
+            # Candidate path: c_pre = x@Wxc + (r*h_prev)@Whc + b_c.
+            grad_rh = grad_c @ w_h[:, 2 * units:].T
+            grad_r = grad_rh * h_prev * r * (1.0 - r)
+            grad_h_prev += grad_rh * r
+            # Gate pre-activations feed shared kernels.
+            grad_gates_x = np.concatenate([grad_z, grad_r, grad_c], axis=1)
+            self.w_x.grad += x[:, t, :].T @ grad_gates_x
+            self.bias.grad += grad_gates_x.sum(axis=0)
+            grad_x[:, t, :] = grad_gates_x @ w_x.T
+            # Recurrent kernels: z/r see h_prev, candidate sees r*h_prev.
+            grad_gates_h = np.concatenate(
+                [grad_z, grad_r, np.zeros_like(grad_c)], axis=1)
+            self.w_h.grad += h_prev.T @ grad_gates_h
+            self.w_h.grad[:, 2 * units:] += (r * h_prev).T @ grad_c
+            grad_h_prev += (grad_gates_h[:, :2 * units]
+                            @ w_h[:, :2 * units].T)
+            grad_h = grad_h_prev
+        return grad_x
+
+    def get_config(self) -> Dict:
+        config = super().get_config()
+        config.update(units=self.units, input_init=self._input_init_spec)
+        return config

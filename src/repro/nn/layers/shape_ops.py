@@ -1,0 +1,76 @@
+"""Shape-manipulation layers: Flatten and Dropout."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ...errors import ConfigError, LayerError
+from .base import Layer
+
+
+class Flatten(Layer):
+    """Collapse all non-batch axes into one feature vector."""
+
+    def __init__(self, name: str = None):
+        super().__init__(name)
+
+    def _build(self, input_shape: Tuple[int, ...],
+               rng: np.random.Generator) -> Tuple[int, ...]:
+        return (int(math.prod(input_shape)),)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_built()
+        return grad_output.reshape((grad_output.shape[0],) + self.input_shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout: active during training, identity at inference.
+
+    Args:
+        rate: Probability of zeroing each activation during training.
+        seed: Seed for the dropout mask stream (independent of weight init).
+    """
+
+    def __init__(self, rate: float = 0.5, seed: int = 0, name: str = None):
+        super().__init__(name)
+        if not 0.0 <= rate < 1.0:
+            raise ConfigError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._cached_mask = None
+
+    def _build(self, input_shape: Tuple[int, ...],
+               rng: np.random.Generator) -> Tuple[int, ...]:
+        return input_shape
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        if not training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(x.shape) < keep) / keep
+        self._cached_mask = mask
+        return x * mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_built()
+        if self.rate == 0.0:
+            return grad_output
+        if self._cached_mask is None:
+            raise LayerError(
+                f"Dropout {self.name!r}: backward without forward(training=True)"
+            )
+        return grad_output * self._cached_mask
+
+    def get_config(self) -> Dict:
+        config = super().get_config()
+        config.update(rate=self.rate, seed=self.seed)
+        return config

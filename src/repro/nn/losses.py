@@ -1,0 +1,103 @@
+"""Loss functions with fused gradients."""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from .tensor_utils import log_softmax, one_hot, softmax
+
+
+class Loss(abc.ABC):
+    """A scalar training objective with an analytic gradient."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def forward(self, predictions: np.ndarray,
+                targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Compute the mean loss and its gradient w.r.t. ``predictions``.
+
+        Returns:
+            ``(loss_value, grad)`` where ``grad`` has the shape of
+            ``predictions`` and already includes the ``1/batch`` factor.
+        """
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Cross entropy on logits with the softmax fused in.
+
+    Accepts integer class labels ``(n,)`` or one-hot targets ``(n, classes)``.
+    """
+
+    name = "softmax_cross_entropy"
+
+    def forward(self, predictions: np.ndarray,
+                targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        if predictions.ndim != 2:
+            raise ShapeError(
+                f"expected logits of shape (n, classes), got {predictions.shape}"
+            )
+        n, classes = predictions.shape
+        targets = np.asarray(targets)
+        if targets.ndim == 1:
+            targets = one_hot(targets.astype(int), classes)
+        if targets.shape != predictions.shape:
+            raise ShapeError(
+                f"targets shape {targets.shape} does not match logits "
+                f"{predictions.shape}"
+            )
+        log_probs = log_softmax(predictions, axis=-1)
+        loss = -float(np.sum(targets * log_probs)) / n
+        grad = (softmax(predictions, axis=-1) - targets) / n
+        return loss, grad
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error over all elements."""
+
+    name = "mse"
+
+    def forward(self, predictions: np.ndarray,
+                targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        targets = np.asarray(targets, dtype=np.float64)
+        if targets.shape != predictions.shape:
+            raise ShapeError(
+                f"targets shape {targets.shape} does not match predictions "
+                f"{predictions.shape}"
+            )
+        diff = predictions - targets
+        loss = float(np.mean(diff ** 2))
+        grad = 2.0 * diff / diff.size
+        return loss, grad
+
+
+class HingeLoss(Loss):
+    """Multi-class margin (Crammer–Singer) hinge loss on logits."""
+
+    name = "hinge"
+
+    def __init__(self, margin: float = 1.0):
+        self.margin = float(margin)
+
+    def forward(self, predictions: np.ndarray,
+                targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        if predictions.ndim != 2:
+            raise ShapeError(
+                f"expected scores of shape (n, classes), got {predictions.shape}"
+            )
+        n, classes = predictions.shape
+        targets = np.asarray(targets)
+        if targets.ndim != 1:
+            targets = np.argmax(targets, axis=-1)
+        targets = targets.astype(int)
+        correct = predictions[np.arange(n), targets][:, None]
+        margins = np.maximum(0.0, predictions - correct + self.margin)
+        margins[np.arange(n), targets] = 0.0
+        loss = float(np.sum(margins)) / n
+        grad = (margins > 0).astype(np.float64)
+        grad[np.arange(n), targets] = -grad.sum(axis=1)
+        return loss, grad / n

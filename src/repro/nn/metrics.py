@@ -1,0 +1,80 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def _validate_pair(y_true: np.ndarray, y_pred: np.ndarray):
+    y_true = np.asarray(y_true).ravel().astype(int)
+    y_pred = np.asarray(y_pred).ravel().astype(int)
+    if y_true.shape != y_pred.shape:
+        raise ShapeError(
+            f"label shape mismatch: {y_true.shape} vs {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ShapeError("metrics need at least one sample")
+    return y_true, y_pred
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray,
+                     num_classes: int = None) -> np.ndarray:
+    """Row = true class, column = predicted class."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    if num_classes is None:
+        num_classes = int(max(y_true.max(), y_pred.max())) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        matrix[t, p] += 1
+    return matrix
+
+
+def per_class_accuracy(y_true: np.ndarray, y_pred: np.ndarray,
+                       num_classes: int = None) -> List[float]:
+    """Recall of each class (NaN-free: absent classes report 0.0)."""
+    matrix = confusion_matrix(y_true, y_pred, num_classes)
+    out = []
+    for row in matrix:
+        total = row.sum()
+        out.append(float(row[len(out)] / total) if total else 0.0)
+    return out
+
+
+def top_k_accuracy(y_true: np.ndarray, probabilities: np.ndarray,
+                   k: int = 3) -> float:
+    """Fraction of samples whose true class is among the top-k predictions."""
+    y_true = np.asarray(y_true).ravel().astype(int)
+    probabilities = np.asarray(probabilities)
+    if probabilities.ndim != 2 or probabilities.shape[0] != y_true.size:
+        raise ShapeError(
+            f"probabilities must be (n, classes) aligned with labels, got "
+            f"{probabilities.shape}"
+        )
+    if not 1 <= k <= probabilities.shape[1]:
+        raise ShapeError(f"k must be in [1, {probabilities.shape[1]}], got {k}")
+    top_k = np.argsort(probabilities, axis=1)[:, -k:]
+    hits = [label in row for label, row in zip(y_true, top_k)]
+    return float(np.mean(hits))
+
+
+def classification_report(y_true: np.ndarray, y_pred: np.ndarray,
+                          num_classes: int = None) -> Dict[str, object]:
+    """Accuracy, per-class recall and the confusion matrix in one dict."""
+    matrix = confusion_matrix(y_true, y_pred, num_classes)
+    return {
+        "accuracy": accuracy(y_true, y_pred),
+        "per_class_accuracy": per_class_accuracy(y_true, y_pred,
+                                                 matrix.shape[0]),
+        "confusion_matrix": matrix,
+        "support": matrix.sum(axis=1).tolist(),
+    }

@@ -1,0 +1,170 @@
+"""Sequential model container."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import LayerError, ShapeError
+from .layers.base import Layer, Parameter
+from .tensor_utils import softmax
+
+
+class Sequential:
+    """A linear stack of layers.
+
+    Args:
+        layers: Layers in execution order (may also be added via :meth:`add`).
+        name: Model name used in summaries and saved archives.
+    """
+
+    def __init__(self, layers: Iterable[Layer] = (), name: str = "sequential"):
+        self.name = name
+        self.layers: List[Layer] = []
+        self.input_shape: Optional[Tuple[int, ...]] = None
+        self.built = False
+        for layer in layers:
+            self.add(layer)
+
+    def add(self, layer: Layer) -> "Sequential":
+        """Append a layer; returns self for chaining."""
+        if self.built:
+            raise LayerError("cannot add layers to a built model")
+        if not isinstance(layer, Layer):
+            raise LayerError(f"expected a Layer, got {type(layer).__name__}")
+        self.layers.append(layer)
+        return self
+
+    def build(self, input_shape: Tuple[int, ...], seed: int = 0) -> "Sequential":
+        """Bind every layer to concrete shapes, initializing weights.
+
+        Args:
+            input_shape: Per-sample input shape, e.g. ``(1, 28, 28)``.
+            seed: Weight-initialization seed (deterministic).
+        """
+        if self.built:
+            raise LayerError(f"model {self.name!r} built twice")
+        if not self.layers:
+            raise LayerError("cannot build an empty model")
+        rng = np.random.default_rng(seed)
+        shape = tuple(input_shape)
+        self.input_shape = shape
+        # Give every unnamed layer a unique positional name first.
+        seen = set()
+        for i, layer in enumerate(self.layers):
+            if layer.name in seen:
+                layer.name = f"{layer.name}_{i}"
+            seen.add(layer.name)
+        for layer in self.layers:
+            shape = layer.build(shape, rng)
+        self.built = True
+        return self
+
+    @property
+    def output_shape(self) -> Tuple[int, ...]:
+        """Per-sample output shape of the final layer."""
+        self._require_built()
+        return self.layers[-1].output_shape
+
+    def _require_built(self) -> None:
+        if not self.built:
+            raise LayerError(f"model {self.name!r} used before build()")
+
+    # ------------------------------------------------------------------
+    # Computation
+    # ------------------------------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run a batch through every layer; returns the final activations."""
+        self._require_built()
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[1:] != self.input_shape:
+            raise ShapeError(
+                f"model {self.name!r} expects (n,) + {self.input_shape}, "
+                f"got {x.shape}"
+            )
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate through every layer (after forward(training=True))."""
+        self._require_built()
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict_logits(self, x: np.ndarray) -> np.ndarray:
+        """Inference-mode forward pass returning raw final-layer outputs."""
+        return self.forward(x, training=False)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities (softmax applied unless the model ends in one)."""
+        logits = self.predict_logits(x)
+        from .layers.activations import Softmax as SoftmaxLayer
+        if self.layers and isinstance(self.layers[-1], SoftmaxLayer):
+            return logits
+        return softmax(logits, axis=-1)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class indices for a batch."""
+        return np.argmax(self.predict_logits(x), axis=-1)
+
+    def classify_one(self, sample: np.ndarray) -> int:
+        """Classify a single (un-batched) input — the paper's unit of work."""
+        sample = np.asarray(sample, dtype=np.float64)
+        if sample.shape != self.input_shape:
+            raise ShapeError(
+                f"classify_one expects {self.input_shape}, got {sample.shape}"
+            )
+        return int(self.predict(sample[None, ...])[0])
+
+    # ------------------------------------------------------------------
+    # Parameters / introspection
+    # ------------------------------------------------------------------
+
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters across layers, in layer order."""
+        self._require_built()
+        params: List[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def parameter_count(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        """Reset every parameter gradient."""
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def summary(self) -> str:
+        """Keras-style text summary of the architecture."""
+        self._require_built()
+        rows = [("layer", "type", "output shape", "params")]
+        for layer in self.layers:
+            rows.append((layer.name, type(layer).__name__,
+                         str(layer.output_shape), str(layer.parameter_count())))
+        widths = [max(len(row[i]) for row in rows) for i in range(4)]
+        lines = [f"Model: {self.name}  input={self.input_shape}"]
+        for row in rows:
+            lines.append("  ".join(cell.ljust(width)
+                                   for cell, width in zip(row, widths)))
+        lines.append(f"total parameters: {self.parameter_count()}")
+        return "\n".join(lines)
+
+    def weights_fingerprint(self) -> str:
+        """Short stable hash of all parameter values (cache keying)."""
+        import hashlib
+        digest = hashlib.sha256()
+        digest.update(repr(self.input_shape).encode())
+        for param in self.parameters():
+            digest.update(param.value.tobytes())
+        return digest.hexdigest()[:16]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Sequential({self.name!r}, layers={len(self.layers)})"

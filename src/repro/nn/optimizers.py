@@ -1,0 +1,165 @@
+"""Gradient-descent optimizers operating on :class:`Parameter` lists."""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import ConfigError
+from .layers.base import Parameter
+
+
+class Optimizer(abc.ABC):
+    """Base optimizer: call :meth:`step` after gradients are accumulated."""
+
+    name = "abstract"
+
+    def __init__(self, learning_rate: float):
+        if learning_rate <= 0.0:
+            raise ConfigError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = learning_rate
+        self.iterations = 0
+
+    @abc.abstractmethod
+    def _update(self, param: Parameter, state: Dict[str, np.ndarray]) -> None:
+        """Apply one update to ``param`` using per-parameter ``state``."""
+
+    def step(self, parameters: List[Parameter]) -> None:
+        """Update every parameter in place from its ``.grad``."""
+        self.iterations += 1
+        for param in parameters:
+            state = self._state_for(param)
+            self._update(param, state)
+
+    def _state_for(self, param: Parameter) -> Dict[str, np.ndarray]:
+        if not hasattr(self, "_states"):
+            self._states: Dict[int, Dict[str, np.ndarray]] = {}
+        return self._states.setdefault(id(param), {})
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional (Nesterov) momentum.
+
+    Args:
+        learning_rate: Step size.
+        momentum: Momentum coefficient in [0, 1).
+        nesterov: Use the Nesterov lookahead form.
+        weight_decay: L2 penalty coefficient added to gradients.
+    """
+
+    name = "sgd"
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0,
+                 nesterov: bool = False, weight_decay: float = 0.0):
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ConfigError(f"weight_decay must be >= 0, got {weight_decay}")
+        if nesterov and momentum == 0.0:
+            raise ConfigError("nesterov requires momentum > 0")
+        self.momentum = momentum
+        self.nesterov = nesterov
+        self.weight_decay = weight_decay
+
+    def _update(self, param: Parameter, state: Dict[str, np.ndarray]) -> None:
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.value
+        if self.momentum:
+            velocity = state.get("velocity")
+            if velocity is None:
+                velocity = np.zeros_like(param.value)
+            velocity = self.momentum * velocity - self.learning_rate * grad
+            state["velocity"] = velocity
+            if self.nesterov:
+                param.value += self.momentum * velocity - self.learning_rate * grad
+            else:
+                param.value += velocity
+        else:
+            param.value -= self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba 2015).
+
+    Args:
+        learning_rate: Step size.
+        beta1: First-moment decay.
+        beta2: Second-moment decay.
+        epsilon: Denominator stabilizer.
+        weight_decay: Decoupled (AdamW-style) weight decay coefficient.
+    """
+
+    name = "adam"
+
+    def __init__(self, learning_rate: float = 0.001, beta1: float = 0.9,
+                 beta2: float = 0.999, epsilon: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0:
+            raise ConfigError(f"beta1 must be in [0, 1), got {beta1}")
+        if not 0.0 <= beta2 < 1.0:
+            raise ConfigError(f"beta2 must be in [0, 1), got {beta2}")
+        if epsilon <= 0.0:
+            raise ConfigError(f"epsilon must be positive, got {epsilon}")
+        if weight_decay < 0.0:
+            raise ConfigError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+
+    def _update(self, param: Parameter, state: Dict[str, np.ndarray]) -> None:
+        m = state.get("m")
+        v = state.get("v")
+        if m is None:
+            m = np.zeros_like(param.value)
+            v = np.zeros_like(param.value)
+        grad = param.grad
+        m = self.beta1 * m + (1.0 - self.beta1) * grad
+        v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+        state["m"], state["v"] = m, v
+        t = self.iterations
+        m_hat = m / (1.0 - self.beta1 ** t)
+        v_hat = v / (1.0 - self.beta2 ** t)
+        if self.weight_decay:
+            param.value -= self.learning_rate * self.weight_decay * param.value
+        param.value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+class RMSProp(Optimizer):
+    """RMSProp with optional momentum."""
+
+    name = "rmsprop"
+
+    def __init__(self, learning_rate: float = 0.001, rho: float = 0.9,
+                 epsilon: float = 1e-8, momentum: float = 0.0):
+        super().__init__(learning_rate)
+        if not 0.0 <= rho < 1.0:
+            raise ConfigError(f"rho must be in [0, 1), got {rho}")
+        if epsilon <= 0.0:
+            raise ConfigError(f"epsilon must be positive, got {epsilon}")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigError(f"momentum must be in [0, 1), got {momentum}")
+        self.rho = rho
+        self.epsilon = epsilon
+        self.momentum = momentum
+
+    def _update(self, param: Parameter, state: Dict[str, np.ndarray]) -> None:
+        avg = state.get("avg")
+        if avg is None:
+            avg = np.zeros_like(param.value)
+        avg = self.rho * avg + (1.0 - self.rho) * param.grad ** 2
+        state["avg"] = avg
+        update = self.learning_rate * param.grad / (np.sqrt(avg) + self.epsilon)
+        if self.momentum:
+            velocity = state.get("velocity")
+            if velocity is None:
+                velocity = np.zeros_like(param.value)
+            velocity = self.momentum * velocity + update
+            state["velocity"] = velocity
+            update = velocity
+        param.value -= update

@@ -1,0 +1,118 @@
+"""Learning-rate schedules for the trainer.
+
+Each schedule maps an epoch index (0-based) to a learning rate; the trainer
+applies it at the start of every epoch.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+from ..errors import ConfigError
+
+
+class Schedule(abc.ABC):
+    """Epoch -> learning-rate mapping."""
+
+    @abc.abstractmethod
+    def learning_rate(self, epoch: int) -> float:
+        """The learning rate to use during ``epoch`` (0-based)."""
+
+    def __call__(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ConfigError(f"epoch must be >= 0, got {epoch}")
+        return self.learning_rate(epoch)
+
+
+class ConstantSchedule(Schedule):
+    """Fixed learning rate (the default behaviour made explicit)."""
+
+    def __init__(self, learning_rate: float):
+        if learning_rate <= 0:
+            raise ConfigError(f"learning_rate must be positive, got {learning_rate}")
+        self._learning_rate = learning_rate
+
+    def learning_rate(self, epoch: int) -> float:
+        return self._learning_rate
+
+
+class StepDecay(Schedule):
+    """Multiply by ``factor`` every ``step_epochs`` epochs.
+
+    Args:
+        initial: Starting learning rate.
+        factor: Per-step multiplier in (0, 1].
+        step_epochs: Epochs between decays.
+    """
+
+    def __init__(self, initial: float, factor: float = 0.5,
+                 step_epochs: int = 10):
+        if initial <= 0:
+            raise ConfigError(f"initial must be positive, got {initial}")
+        if not 0.0 < factor <= 1.0:
+            raise ConfigError(f"factor must be in (0, 1], got {factor}")
+        if step_epochs < 1:
+            raise ConfigError(f"step_epochs must be >= 1, got {step_epochs}")
+        self.initial = initial
+        self.factor = factor
+        self.step_epochs = step_epochs
+
+    def learning_rate(self, epoch: int) -> float:
+        return self.initial * self.factor ** (epoch // self.step_epochs)
+
+
+class ExponentialDecay(Schedule):
+    """``initial * exp(-rate * epoch)``."""
+
+    def __init__(self, initial: float, rate: float = 0.05):
+        if initial <= 0:
+            raise ConfigError(f"initial must be positive, got {initial}")
+        if rate < 0:
+            raise ConfigError(f"rate must be >= 0, got {rate}")
+        self.initial = initial
+        self.rate = rate
+
+    def learning_rate(self, epoch: int) -> float:
+        return self.initial * math.exp(-self.rate * epoch)
+
+
+class CosineDecay(Schedule):
+    """Cosine annealing from ``initial`` to ``floor`` over ``total_epochs``."""
+
+    def __init__(self, initial: float, total_epochs: int,
+                 floor: float = 0.0):
+        if initial <= 0:
+            raise ConfigError(f"initial must be positive, got {initial}")
+        if total_epochs < 1:
+            raise ConfigError(f"total_epochs must be >= 1, got {total_epochs}")
+        if not 0.0 <= floor < initial:
+            raise ConfigError(
+                f"floor must be in [0, initial), got {floor}"
+            )
+        self.initial = initial
+        self.total_epochs = total_epochs
+        self.floor = floor
+
+    def learning_rate(self, epoch: int) -> float:
+        progress = min(1.0, epoch / self.total_epochs)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.floor + (self.initial - self.floor) * cosine
+
+
+class WarmupSchedule(Schedule):
+    """Linear warm-up over ``warmup_epochs``, then delegate to ``after``."""
+
+    def __init__(self, after: Schedule, warmup_epochs: int):
+        if warmup_epochs < 1:
+            raise ConfigError(
+                f"warmup_epochs must be >= 1, got {warmup_epochs}"
+            )
+        self.after = after
+        self.warmup_epochs = warmup_epochs
+
+    def learning_rate(self, epoch: int) -> float:
+        target = self.after.learning_rate(self.warmup_epochs)
+        if epoch < self.warmup_epochs:
+            return target * (epoch + 1) / (self.warmup_epochs + 1)
+        return self.after.learning_rate(epoch)

@@ -1,0 +1,133 @@
+"""Model persistence: architecture as JSON, weights as ``.npz``.
+
+One file holds everything (`numpy.savez` with an embedded JSON architecture
+string), so a trained classifier can be shipped to the evaluator exactly the
+way the paper's scenario assumes — as an opaque artifact.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..errors import SerializationError
+from .layers import LAYER_REGISTRY
+from .model import Sequential
+
+_FORMAT_VERSION = 1
+
+
+def _architecture_dict(model: Sequential) -> dict:
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": model.name,
+        "input_shape": list(model.input_shape),
+        "layers": [
+            {"class": type(layer).__name__, "config": layer.get_config()}
+            for layer in model.layers
+        ],
+    }
+
+
+def save_model(model: Sequential, path: Union[str, Path]) -> Path:
+    """Write a built model (architecture + weights) to ``path``.
+
+    Returns:
+        The written path (``.npz`` suffix enforced).
+    """
+    if not model.built:
+        raise SerializationError("cannot save an unbuilt model")
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    arrays = {"__architecture__": np.frombuffer(
+        json.dumps(_architecture_dict(model)).encode("utf-8"), dtype=np.uint8)}
+    for i, layer in enumerate(model.layers):
+        for key, value in layer.state_arrays().items():
+            arrays[f"layer{i}.{key}"] = value
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as handle:
+        np.savez(handle, **arrays)
+    return path
+
+
+def model_from_architecture(arch: dict) -> Sequential:
+    """Rebuild an unbuilt :class:`Sequential` from an architecture dict."""
+    if arch.get("format_version") != _FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported archive format {arch.get('format_version')!r}"
+        )
+    model = Sequential(name=arch.get("name", "sequential"))
+    for entry in arch["layers"]:
+        class_name = entry["class"]
+        try:
+            cls = LAYER_REGISTRY[class_name]
+        except KeyError:
+            raise SerializationError(
+                f"archive references unknown layer class {class_name!r}"
+            ) from None
+        model.add(cls(**entry["config"]))
+    return model
+
+
+def load_model(path: Union[str, Path], seed: int = 0) -> Sequential:
+    """Load a model saved with :func:`save_model`.
+
+    Args:
+        path: Archive path.
+        seed: Initialization seed used while rebuilding (the values are then
+            overwritten by the saved weights, so this only matters if the
+            archive were truncated — which raises instead).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"model archive not found: {path}")
+    try:
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+    except (OSError, ValueError) as exc:
+        raise SerializationError(f"unreadable model archive {path}: {exc}") from exc
+    if "__architecture__" not in arrays:
+        raise SerializationError(f"{path} is not a repro model archive")
+    arch = json.loads(bytes(arrays.pop("__architecture__")).decode("utf-8"))
+    model = model_from_architecture(arch)
+    model.build(tuple(arch["input_shape"]), seed=seed)
+    for i, layer in enumerate(model.layers):
+        prefix = f"layer{i}."
+        layer_arrays = {
+            key[len(prefix):]: value
+            for key, value in arrays.items() if key.startswith(prefix)
+        }
+        if layer_arrays or layer.parameters():
+            layer.load_state_arrays(layer_arrays)
+    return model
+
+
+def clone_model(model: Sequential, seed: int = 0) -> Sequential:
+    """Deep-copy a built model through an in-memory archive round trip."""
+    if not model.built:
+        raise SerializationError("cannot clone an unbuilt model")
+    buffer = io.BytesIO()
+    arrays = {"__architecture__": np.frombuffer(
+        json.dumps(_architecture_dict(model)).encode("utf-8"), dtype=np.uint8)}
+    for i, layer in enumerate(model.layers):
+        for key, value in layer.state_arrays().items():
+            arrays[f"layer{i}.{key}"] = value
+    np.savez(buffer, **arrays)
+    buffer.seek(0)
+    with np.load(buffer) as archive:
+        loaded = {key: archive[key] for key in archive.files}
+    arch = json.loads(bytes(loaded.pop("__architecture__")).decode("utf-8"))
+    clone = model_from_architecture(arch)
+    clone.build(tuple(arch["input_shape"]), seed=seed)
+    for i, layer in enumerate(clone.layers):
+        prefix = f"layer{i}."
+        layer.load_state_arrays({
+            key[len(prefix):]: value
+            for key, value in loaded.items() if key.startswith(prefix)
+        })
+    return clone

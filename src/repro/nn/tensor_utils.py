@@ -1,0 +1,127 @@
+"""Array helpers shared by the layers: im2col, padding, one-hot, softmax.
+
+Layout convention throughout the framework: **NCHW** — batch, channels,
+height, width.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output extent of a convolution/pool along one axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"kernel {kernel} with stride {stride}, padding {padding} does not "
+            f"fit input extent {size}"
+        )
+    return out
+
+
+def pad_nchw(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two spatial axes of an NCHW tensor."""
+    if padding == 0:
+        return x
+    if padding < 0:
+        raise ShapeError(f"padding must be >= 0, got {padding}")
+    return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+
+def im2col(x: np.ndarray, kernel_h: int, kernel_w: int, stride: int,
+           padding: int) -> np.ndarray:
+    """Unfold an NCHW tensor into a patch matrix.
+
+    Args:
+        x: Input of shape ``(n, c, h, w)``.
+        kernel_h: Patch height.
+        kernel_w: Patch width.
+        stride: Stride (same both axes).
+        padding: Zero padding (same both axes).
+
+    Returns:
+        Array of shape ``(n * out_h * out_w, c * kernel_h * kernel_w)`` where
+        each row is one flattened receptive field.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"im2col expects NCHW input, got shape {x.shape}")
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+    x = pad_nchw(x, padding)
+    # Gather all patches with stride tricks, then reorder.
+    strides = x.strides
+    shape = (n, c, kernel_h, kernel_w, out_h, out_w)
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=shape,
+        strides=(strides[0], strides[1], strides[2], strides[3],
+                 strides[2] * stride, strides[3] * stride),
+        writeable=False,
+    )
+    # (n, out_h, out_w, c, kh, kw) -> rows.
+    cols = view.transpose(0, 4, 5, 1, 2, 3).reshape(
+        n * out_h * out_w, c * kernel_h * kernel_w)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kernel_h: int,
+           kernel_w: int, stride: int, padding: int) -> np.ndarray:
+    """Fold a patch matrix back into an NCHW tensor (adjoint of im2col).
+
+    Overlapping patch contributions are summed, which is exactly the gradient
+    of the unfolding operation.
+    """
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+    expected_rows = n * out_h * out_w
+    expected_cols = c * kernel_h * kernel_w
+    if cols.shape != (expected_rows, expected_cols):
+        raise ShapeError(
+            f"col2im got {cols.shape}, expected {(expected_rows, expected_cols)}"
+        )
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    patches = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(
+        0, 3, 4, 5, 1, 2)
+    for i in range(kernel_h):
+        i_end = i + stride * out_h
+        for j in range(kernel_w):
+            j_end = j + stride * out_w
+            padded[:, :, i:i_end:stride, j:j_end:stride] += patches[:, :, i, j]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels ``(n,)`` to one-hot matrix ``(n, num_classes)``."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ShapeError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ShapeError(
+            f"labels must lie in [0, {num_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    out = np.zeros((labels.size, num_classes), dtype=np.float64)
+    out[np.arange(labels.size), labels] = 1.0
+    return out
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))

@@ -1,0 +1,135 @@
+"""Mini-batch training loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError, TrainingError
+from .losses import Loss, SoftmaxCrossEntropy
+from .metrics import accuracy
+from .model import Sequential
+from .optimizers import Adam, Optimizer
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch records produced by :class:`Trainer.fit`."""
+
+    loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        """Number of completed epochs."""
+        return len(self.loss)
+
+    def final(self) -> Dict[str, float]:
+        """Last-epoch metrics as a dict."""
+        if not self.loss:
+            raise TrainingError("no epochs recorded")
+        out = {"loss": self.loss[-1], "train_accuracy": self.train_accuracy[-1]}
+        if self.val_accuracy:
+            out["val_accuracy"] = self.val_accuracy[-1]
+        return out
+
+
+class Trainer:
+    """Trains a :class:`Sequential` model with mini-batch gradient descent.
+
+    Args:
+        model: A built model.
+        loss: Training objective (default softmax cross-entropy).
+        optimizer: Parameter-update rule (default Adam).
+        batch_size: Mini-batch size.
+        shuffle_seed: Seed of the per-epoch shuffling stream.
+        schedule: Optional learning-rate :class:`repro.nn.schedules.Schedule`
+            (or any ``epoch -> lr`` callable), applied at each epoch start.
+    """
+
+    def __init__(self, model: Sequential, loss: Loss = None,
+                 optimizer: Optimizer = None, batch_size: int = 32,
+                 shuffle_seed: int = 0, schedule=None):
+        if not model.built:
+            raise TrainingError("model must be built before training")
+        if batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+        self.model = model
+        self.loss = loss or SoftmaxCrossEntropy()
+        self.optimizer = optimizer or Adam()
+        self.batch_size = batch_size
+        self.schedule = schedule
+        self._rng = np.random.default_rng(shuffle_seed)
+
+    def train_step(self, x_batch: np.ndarray, y_batch: np.ndarray) -> float:
+        """One forward/backward/update on a single batch; returns the loss."""
+        self.model.zero_grad()
+        outputs = self.model.forward(x_batch, training=True)
+        loss_value, grad = self.loss.forward(outputs, y_batch)
+        if not np.isfinite(loss_value):
+            raise TrainingError(
+                f"loss diverged to {loss_value}; lower the learning rate"
+            )
+        self.model.backward(grad)
+        self.optimizer.step(self.model.parameters())
+        return loss_value
+
+    def fit(self, x: np.ndarray, y: np.ndarray, epochs: int = 5,
+            validation: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+            verbose: bool = False) -> TrainingHistory:
+        """Train for ``epochs`` passes over ``(x, y)``.
+
+        Args:
+            x: Inputs ``(n,) + model.input_shape``.
+            y: Integer labels ``(n,)``.
+            epochs: Number of passes.
+            validation: Optional ``(x_val, y_val)`` to track held-out accuracy.
+            verbose: Print one line per epoch.
+
+        Returns:
+            The :class:`TrainingHistory`.
+        """
+        if epochs < 1:
+            raise ConfigError(f"epochs must be >= 1, got {epochs}")
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise TrainingError(
+                f"x has {x.shape[0]} samples but y has {y.shape[0]}"
+            )
+        if x.shape[0] == 0:
+            raise TrainingError("cannot train on an empty dataset")
+        history = TrainingHistory()
+        n = x.shape[0]
+        for epoch in range(epochs):
+            if self.schedule is not None:
+                self.optimizer.learning_rate = self.schedule(epoch)
+            order = self._rng.permutation(n)
+            epoch_losses = []
+            for start in range(0, n, self.batch_size):
+                index = order[start:start + self.batch_size]
+                epoch_losses.append(self.train_step(x[index], y[index]))
+            history.loss.append(float(np.mean(epoch_losses)))
+            history.train_accuracy.append(self.evaluate(x, y))
+            if validation is not None:
+                history.val_accuracy.append(self.evaluate(*validation))
+            if verbose:
+                val = (f" val_acc={history.val_accuracy[-1]:.3f}"
+                       if validation is not None else "")
+                print(f"epoch {epoch + 1}/{epochs} "
+                      f"loss={history.loss[-1]:.4f} "
+                      f"acc={history.train_accuracy[-1]:.3f}{val}")
+        return history
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray,
+                 batch_size: int = 256) -> float:
+        """Accuracy of the current model on ``(x, y)``, batched."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y).ravel()
+        predictions = []
+        for start in range(0, x.shape[0], batch_size):
+            predictions.append(self.model.predict(x[start:start + batch_size]))
+        return accuracy(y, np.concatenate(predictions))

@@ -1,0 +1,148 @@
+"""Bootstrap confidence intervals for leakage effect sizes.
+
+The t-test says *whether* two categories' counter means differ; a bootstrap
+interval says *by how much*, with no normality assumption — useful because
+HPC counts are integer-valued and occasionally skewed.  Percentile and BCa
+(bias-corrected and accelerated) intervals are provided, both fully seeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..errors import StatisticsError
+from .descriptive import _as_float_array
+from .distributions import Normal
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A two-sided bootstrap confidence interval.
+
+    Attributes:
+        estimate: The statistic on the original sample(s).
+        low: Lower confidence bound.
+        high: Upper confidence bound.
+        confidence: Interval coverage.
+        method: ``percentile`` or ``bca``.
+        resamples: Bootstrap replications used.
+    """
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    method: str
+    resamples: int
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    def format(self) -> str:
+        """Compact rendering."""
+        return (f"{self.estimate:.4g} "
+                f"[{self.low:.4g}, {self.high:.4g}] "
+                f"({self.confidence:.0%} {self.method})")
+
+
+def _validate(confidence: float, resamples: int) -> None:
+    if not 0.0 < confidence < 1.0:
+        raise StatisticsError(f"confidence must be in (0, 1), got {confidence}")
+    if resamples < 100:
+        raise StatisticsError(
+            f"need >= 100 resamples for a stable interval, got {resamples}"
+        )
+
+
+def bootstrap_mean_difference(a: Iterable[float], b: Iterable[float],
+                              confidence: float = 0.95,
+                              resamples: int = 2000,
+                              seed: int = 0) -> BootstrapInterval:
+    """Percentile bootstrap CI for ``mean(a) - mean(b)``.
+
+    Args:
+        a: First sample (e.g. one category's cache-miss readings).
+        b: Second sample.
+        confidence: Interval coverage (paper-compatible default 0.95).
+        resamples: Bootstrap replications.
+        seed: Resampling seed (fully deterministic).
+    """
+    _validate(confidence, resamples)
+    arr_a = _as_float_array(a, "a")
+    arr_b = _as_float_array(b, "b")
+    rng = np.random.default_rng(seed)
+    idx_a = rng.integers(0, arr_a.size, size=(resamples, arr_a.size))
+    idx_b = rng.integers(0, arr_b.size, size=(resamples, arr_b.size))
+    diffs = arr_a[idx_a].mean(axis=1) - arr_b[idx_b].mean(axis=1)
+    alpha = 1.0 - confidence
+    low, high = np.quantile(diffs, [alpha / 2.0, 1.0 - alpha / 2.0])
+    return BootstrapInterval(
+        estimate=float(arr_a.mean() - arr_b.mean()),
+        low=float(low), high=float(high),
+        confidence=confidence, method="percentile", resamples=resamples)
+
+
+def bootstrap_statistic(values: Iterable[float],
+                        statistic: Callable[[np.ndarray], float],
+                        confidence: float = 0.95, resamples: int = 2000,
+                        seed: int = 0,
+                        method: str = "percentile") -> BootstrapInterval:
+    """Bootstrap CI for an arbitrary one-sample statistic.
+
+    Args:
+        values: The sample.
+        statistic: Maps an array to a scalar (e.g. ``np.median``).
+        confidence: Interval coverage.
+        resamples: Bootstrap replications.
+        seed: Resampling seed.
+        method: ``"percentile"`` or ``"bca"`` (bias-corrected/accelerated;
+            more accurate for skewed statistics at the price of n extra
+            jackknife evaluations).
+    """
+    _validate(confidence, resamples)
+    if method not in ("percentile", "bca"):
+        raise StatisticsError(
+            f"method must be 'percentile' or 'bca', got {method!r}"
+        )
+    arr = _as_float_array(values, "values")
+    if arr.size < 2:
+        raise StatisticsError("bootstrap needs at least 2 observations")
+    rng = np.random.default_rng(seed)
+    estimate = float(statistic(arr))
+    replicates = np.empty(resamples)
+    for i in range(resamples):
+        replicates[i] = statistic(arr[rng.integers(0, arr.size, arr.size)])
+    alpha = 1.0 - confidence
+    if method == "percentile":
+        low, high = np.quantile(replicates,
+                                [alpha / 2.0, 1.0 - alpha / 2.0])
+    else:
+        normal = Normal()
+        # Bias correction from the fraction of replicates below the estimate.
+        proportion = float(np.mean(replicates < estimate))
+        proportion = min(max(proportion, 1.0 / (resamples + 1)),
+                         1.0 - 1.0 / (resamples + 1))
+        z0 = normal.ppf(proportion)
+        # Acceleration from the jackknife skewness.
+        jackknife = np.empty(arr.size)
+        for i in range(arr.size):
+            jackknife[i] = statistic(np.delete(arr, i))
+        centered = jackknife.mean() - jackknife
+        denominator = float(np.sum(centered ** 2)) ** 1.5
+        acceleration = (float(np.sum(centered ** 3))
+                        / (6.0 * denominator) if denominator else 0.0)
+        z_lo = normal.ppf(alpha / 2.0)
+        z_hi = normal.ppf(1.0 - alpha / 2.0)
+
+        def adjusted(z: float) -> float:
+            corrected = z0 + (z0 + z) / (1.0 - acceleration * (z0 + z))
+            return float(np.quantile(replicates, normal.cdf(corrected)))
+
+        low, high = adjusted(z_lo), adjusted(z_hi)
+    return BootstrapInterval(estimate=estimate, low=float(low),
+                             high=float(high), confidence=confidence,
+                             method=method, resamples=resamples)

@@ -1,0 +1,192 @@
+"""Descriptive statistics for HPC measurement distributions.
+
+These helpers are deliberately explicit (one pass with Welford's algorithm
+where numerically helpful) because the evaluator applies them to raw counter
+readings whose magnitudes can span many orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import StatisticsError
+
+
+def _as_float_array(values: Iterable[float], name: str = "values") -> np.ndarray:
+    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                     dtype=float)
+    if arr.ndim != 1:
+        arr = arr.ravel()
+    if arr.size == 0:
+        raise StatisticsError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise StatisticsError(f"{name} contains non-finite entries")
+    return arr
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean."""
+    return float(np.mean(_as_float_array(values)))
+
+
+def variance(values: Iterable[float], ddof: int = 1) -> float:
+    """Variance with ``ddof`` delta degrees of freedom (sample variance by default).
+
+    Computed with Welford's online algorithm for numerical stability on
+    large-magnitude counter values.
+    """
+    arr = _as_float_array(values)
+    if arr.size <= ddof:
+        raise StatisticsError(
+            f"variance needs more than ddof={ddof} observations, got {arr.size}"
+        )
+    running_mean = 0.0
+    m2 = 0.0
+    for i, x in enumerate(arr, start=1):
+        delta = x - running_mean
+        running_mean += delta / i
+        m2 += delta * (x - running_mean)
+    return m2 / (arr.size - ddof)
+
+
+def std(values: Iterable[float], ddof: int = 1) -> float:
+    """Standard deviation (square root of :func:`variance`)."""
+    return math.sqrt(variance(values, ddof=ddof))
+
+
+def median(values: Iterable[float]) -> float:
+    """Median."""
+    return float(np.median(_as_float_array(values)))
+
+
+def quantile(values: Iterable[float], q: float) -> float:
+    """Linear-interpolated quantile, ``q`` in [0, 1]."""
+    if not 0.0 <= q <= 1.0:
+        raise StatisticsError(f"quantile level must be in [0, 1], got {q}")
+    return float(np.quantile(_as_float_array(values), q))
+
+
+def standard_error(values: Iterable[float]) -> float:
+    """Standard error of the mean."""
+    arr = _as_float_array(values)
+    return std(arr) / math.sqrt(arr.size)
+
+
+def coefficient_of_variation(values: Iterable[float]) -> float:
+    """Relative dispersion: sample std divided by |mean|."""
+    arr = _as_float_array(values)
+    mu = float(np.mean(arr))
+    if mu == 0.0:
+        raise StatisticsError("coefficient of variation undefined for zero mean")
+    return std(arr) / abs(mu)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of one distribution of counter readings."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Iterable[float]) -> "Summary":
+        """Build a summary of ``values``."""
+        arr = _as_float_array(values)
+        sample_std = std(arr) if arr.size > 1 else 0.0
+        return cls(
+            n=int(arr.size),
+            mean=float(np.mean(arr)),
+            std=sample_std,
+            minimum=float(np.min(arr)),
+            q25=float(np.quantile(arr, 0.25)),
+            median=float(np.median(arr)),
+            q75=float(np.quantile(arr, 0.75)),
+            maximum=float(np.max(arr)),
+        )
+
+    def format(self) -> str:
+        """One-line human-readable rendering."""
+        return (
+            f"n={self.n} mean={self.mean:.4g} std={self.std:.4g} "
+            f"min={self.minimum:.4g} q25={self.q25:.4g} med={self.median:.4g} "
+            f"q75={self.q75:.4g} max={self.maximum:.4g}"
+        )
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """A binned view of a distribution, used to render the paper's figures."""
+
+    edges: Tuple[float, ...]
+    counts: Tuple[int, ...]
+
+    @classmethod
+    def of(cls, values: Iterable[float], bins: int = 20,
+           value_range: Tuple[float, float] = None) -> "Histogram":
+        """Histogram ``values`` into ``bins`` equal-width bins.
+
+        Args:
+            values: Observations.
+            bins: Number of bins (>= 1).
+            value_range: Optional (lo, hi) range; defaults to data range.
+        """
+        if bins < 1:
+            raise StatisticsError(f"bins must be >= 1, got {bins}")
+        arr = _as_float_array(values)
+        counts, edges = np.histogram(arr, bins=bins, range=value_range)
+        return cls(edges=tuple(float(e) for e in edges),
+                   counts=tuple(int(c) for c in counts))
+
+    @property
+    def total(self) -> int:
+        """Total number of binned observations."""
+        return sum(self.counts)
+
+    def densities(self) -> List[float]:
+        """Per-bin probability densities (integrate to 1)."""
+        total = self.total
+        out = []
+        for count, lo, hi in zip(self.counts, self.edges[:-1], self.edges[1:]):
+            width = hi - lo
+            out.append(count / (total * width) if total and width else 0.0)
+        return out
+
+    def render(self, width: int = 50, label: str = "") -> str:
+        """ASCII rendering (one bar per bin), used by the figure benches."""
+        peak = max(self.counts) if self.counts else 0
+        lines = []
+        if label:
+            lines.append(label)
+        for count, lo, hi in zip(self.counts, self.edges[:-1], self.edges[1:]):
+            bar = "#" * (round(width * count / peak) if peak else 0)
+            lines.append(f"[{lo:12.4g}, {hi:12.4g}) {count:5d} {bar}")
+        return "\n".join(lines)
+
+
+def shared_histogram_range(groups: Sequence[Iterable[float]],
+                           pad_fraction: float = 0.02) -> Tuple[float, float]:
+    """Common (lo, hi) range covering every group, slightly padded.
+
+    The paper's Figures 3 and 4 overlay per-category distributions on one
+    axis; a shared range keeps the rendered histograms comparable.
+    """
+    if not groups:
+        raise StatisticsError("need at least one group")
+    lows, highs = [], []
+    for group in groups:
+        arr = _as_float_array(group, name="group")
+        lows.append(float(np.min(arr)))
+        highs.append(float(np.max(arr)))
+    lo, hi = min(lows), max(highs)
+    pad = (hi - lo) * pad_fraction or max(abs(lo), 1.0) * pad_fraction
+    return lo - pad, hi + pad

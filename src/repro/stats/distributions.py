@@ -1,0 +1,177 @@
+"""Probability distributions used by the hypothesis tests.
+
+Only the machinery the evaluator needs: the standard normal and Student's t
+distribution, each exposing ``cdf``, ``sf`` (survival), ``ppf`` (quantile) and
+two-sided tail helpers.  The t CDF is computed through the regularized
+incomplete beta function from :mod:`repro.stats.special`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import StatisticsError
+from .special import erfc, regularized_incomplete_beta
+
+_SQRT2 = math.sqrt(2.0)
+
+
+@dataclass(frozen=True)
+class Normal:
+    """Normal distribution with mean ``mu`` and standard deviation ``sigma``."""
+
+    mu: float = 0.0
+    sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0.0:
+            raise StatisticsError(f"Normal sigma must be positive, got {self.sigma}")
+
+    def pdf(self, x: float) -> float:
+        """Probability density at ``x``."""
+        z = (x - self.mu) / self.sigma
+        return math.exp(-0.5 * z * z) / (self.sigma * math.sqrt(2.0 * math.pi))
+
+    def cdf(self, x: float) -> float:
+        """P(X <= x)."""
+        z = (x - self.mu) / self.sigma
+        return 0.5 * erfc(-z / _SQRT2)
+
+    def sf(self, x: float) -> float:
+        """P(X > x)."""
+        z = (x - self.mu) / self.sigma
+        return 0.5 * erfc(z / _SQRT2)
+
+    def ppf(self, q: float) -> float:
+        """Quantile function (inverse CDF) via bisection refined by Newton."""
+        if not 0.0 < q < 1.0:
+            raise StatisticsError(f"quantile level must be in (0, 1), got {q}")
+        z = _standard_normal_ppf(q)
+        return self.mu + self.sigma * z
+
+
+def _standard_normal_ppf(q: float) -> float:
+    """Acklam's rational approximation, refined with one Halley step."""
+    # Coefficients for the central and tail regions.
+    a = (
+        -3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+        1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00,
+    )
+    b = (
+        -5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+        6.680131188771972e+01, -1.328068155288572e+01,
+    )
+    c = (
+        -7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+        -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00,
+    )
+    d = (
+        7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+        3.754408661907416e+00,
+    )
+    q_low = 0.02425
+    if q < q_low:
+        u = math.sqrt(-2.0 * math.log(q))
+        z = (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) / (
+            (((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0
+        )
+    elif q <= 1.0 - q_low:
+        u = q - 0.5
+        r = u * u
+        z = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * u / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+        )
+    else:
+        u = math.sqrt(-2.0 * math.log(1.0 - q))
+        z = -(((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) / (
+            (((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0
+        )
+    # One Halley refinement step against the exact CDF.
+    err = 0.5 * erfc(-z / _SQRT2) - q
+    pdf = math.exp(-0.5 * z * z) / math.sqrt(2.0 * math.pi)
+    if pdf > 0.0:
+        u = err / pdf
+        z -= u / (1.0 + z * u / 2.0)
+    return z
+
+
+@dataclass(frozen=True)
+class StudentT:
+    """Student's t distribution with (possibly fractional) ``df`` degrees."""
+
+    df: float
+
+    def __post_init__(self) -> None:
+        if self.df <= 0.0:
+            raise StatisticsError(f"StudentT df must be positive, got {self.df}")
+
+    def pdf(self, x: float) -> float:
+        """Probability density at ``x``."""
+        nu = self.df
+        from .special import log_gamma  # local import avoids cycle at module load
+
+        log_norm = (
+            log_gamma((nu + 1.0) / 2.0)
+            - log_gamma(nu / 2.0)
+            - 0.5 * math.log(nu * math.pi)
+        )
+        return math.exp(log_norm - ((nu + 1.0) / 2.0) * math.log1p(x * x / nu))
+
+    def cdf(self, x: float) -> float:
+        """P(T <= x) through the regularized incomplete beta function."""
+        nu = self.df
+        if x == 0.0:
+            return 0.5
+        z = nu / (nu + x * x)
+        tail = 0.5 * regularized_incomplete_beta(nu / 2.0, 0.5, z)
+        return 1.0 - tail if x > 0.0 else tail
+
+    def sf(self, x: float) -> float:
+        """P(T > x)."""
+        return self.cdf(-x)
+
+    def two_sided_p_value(self, t: float) -> float:
+        """P(|T| >= |t|) — the p-value of a two-sided t-test."""
+        nu = self.df
+        if t == 0.0:
+            return 1.0
+        z = nu / (nu + t * t)
+        return min(1.0, regularized_incomplete_beta(nu / 2.0, 0.5, z))
+
+    def ppf(self, q: float) -> float:
+        """Quantile function by bisection on the CDF (robust for any df)."""
+        if not 0.0 < q < 1.0:
+            raise StatisticsError(f"quantile level must be in (0, 1), got {q}")
+        if q == 0.5:
+            return 0.0
+        # Bracket: the normal quantile scaled generously is always inside.
+        guess = abs(_standard_normal_ppf(q))
+        hi = max(4.0, guess * 8.0 + 8.0)
+        lo = -hi
+        while self.cdf(hi) < q:
+            hi *= 2.0
+            if hi > 1e12:
+                raise StatisticsError("StudentT.ppf failed to bracket quantile")
+        while self.cdf(lo) > q:
+            lo *= 2.0
+            if lo < -1e12:
+                raise StatisticsError("StudentT.ppf failed to bracket quantile")
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if self.cdf(mid) < q:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo < 1e-12 * max(1.0, abs(mid)):
+                break
+        return 0.5 * (lo + hi)
+
+    def critical_value(self, confidence: float = 0.95) -> float:
+        """Two-sided critical value: reject |t| above this at ``confidence``."""
+        if not 0.0 < confidence < 1.0:
+            raise StatisticsError(
+                f"confidence must be in (0, 1), got {confidence}"
+            )
+        alpha = 1.0 - confidence
+        return self.ppf(1.0 - alpha / 2.0)

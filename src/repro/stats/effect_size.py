@@ -1,0 +1,101 @@
+"""Effect-size measures complementing the t-tests.
+
+The paper reports only t and p values; p-values conflate effect size with
+sample size, so the reproduction additionally records standardized effect
+sizes for every pair — large |t| with trivial Cohen's d would indicate a
+statistically detectable but practically unexploitable leak.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import StatisticsError
+from .descriptive import _as_float_array
+
+
+def cohens_d(a: Iterable[float], b: Iterable[float]) -> float:
+    """Cohen's d with the pooled standard deviation.
+
+    Returns:
+        Standardized mean difference ``(mean(a) - mean(b)) / s_pooled``.
+        ``inf`` (signed) when both groups are constant but unequal, ``0`` when
+        constant and equal.
+    """
+    arr_a = _as_float_array(a, "a")
+    arr_b = _as_float_array(b, "b")
+    if arr_a.size < 2 or arr_b.size < 2:
+        raise StatisticsError("cohens_d needs at least 2 observations per group")
+    var_a = float(np.var(arr_a, ddof=1))
+    var_b = float(np.var(arr_b, ddof=1))
+    n_a, n_b = arr_a.size, arr_b.size
+    pooled = ((n_a - 1) * var_a + (n_b - 1) * var_b) / (n_a + n_b - 2)
+    diff = float(np.mean(arr_a) - np.mean(arr_b))
+    if pooled == 0.0:
+        if diff == 0.0:
+            return 0.0
+        return math.copysign(math.inf, diff)
+    return diff / math.sqrt(pooled)
+
+
+def hedges_g(a: Iterable[float], b: Iterable[float]) -> float:
+    """Hedges' g: Cohen's d with the small-sample bias correction."""
+    arr_a = _as_float_array(a, "a")
+    arr_b = _as_float_array(b, "b")
+    d = cohens_d(arr_a, arr_b)
+    if not math.isfinite(d):
+        return d
+    df = arr_a.size + arr_b.size - 2
+    correction = 1.0 - 3.0 / (4.0 * df - 1.0)
+    return d * correction
+
+
+def glass_delta(a: Iterable[float], b: Iterable[float]) -> float:
+    """Glass's delta: standardizes by the *second* group's std (control)."""
+    arr_a = _as_float_array(a, "a")
+    arr_b = _as_float_array(b, "b")
+    if arr_b.size < 2:
+        raise StatisticsError("glass_delta needs >= 2 control observations")
+    sd_b = float(np.std(arr_b, ddof=1))
+    diff = float(np.mean(arr_a) - np.mean(arr_b))
+    if sd_b == 0.0:
+        if diff == 0.0:
+            return 0.0
+        return math.copysign(math.inf, diff)
+    return diff / sd_b
+
+
+def overlap_coefficient(a: Iterable[float], b: Iterable[float],
+                        bins: int = 64) -> float:
+    """Empirical distribution overlap in [0, 1] (1 = identical histograms).
+
+    A direct, assumption-free view of how separable two HPC distributions
+    are: an adversary thresholding a single reading succeeds with probability
+    ``1 - overlap/2`` in the equal-prior two-class case.
+    """
+    arr_a = _as_float_array(a, "a")
+    arr_b = _as_float_array(b, "b")
+    lo = min(float(arr_a.min()), float(arr_b.min()))
+    hi = max(float(arr_a.max()), float(arr_b.max()))
+    if lo == hi:
+        return 1.0
+    hist_a, _ = np.histogram(arr_a, bins=bins, range=(lo, hi))
+    hist_b, _ = np.histogram(arr_b, bins=bins, range=(lo, hi))
+    p = hist_a / hist_a.sum()
+    q = hist_b / hist_b.sum()
+    return float(np.minimum(p, q).sum())
+
+
+def interpret_cohens_d(d: float) -> str:
+    """Conventional qualitative label for |d| (Cohen 1988 thresholds)."""
+    magnitude = abs(d)
+    if magnitude < 0.2:
+        return "negligible"
+    if magnitude < 0.5:
+        return "small"
+    if magnitude < 0.8:
+        return "medium"
+    return "large"

@@ -1,0 +1,104 @@
+"""Two-one-sided-tests (TOST) equivalence testing.
+
+A *failure to reject* in the paper's t-test does not demonstrate that two
+categories are indistinguishable — it may simply reflect low power.  The
+reproduction therefore also offers TOST: declare two HPC distributions
+*equivalent* only when both one-sided tests reject, i.e. the mean difference
+is provably inside ``±margin``.  This is the statistically sound way to
+certify a countermeasure as leak-free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import StatisticsError
+from .descriptive import _as_float_array
+from .distributions import StudentT
+
+
+@dataclass(frozen=True)
+class TostResult:
+    """Outcome of a TOST equivalence test.
+
+    Attributes:
+        p_lower: p-value of H0: ``mean(a) - mean(b) <= -margin``.
+        p_upper: p-value of H0: ``mean(a) - mean(b) >= +margin``.
+        p_value: ``max(p_lower, p_upper)`` — the TOST p-value.
+        margin: The equivalence margin used (absolute units).
+        mean_difference: Observed ``mean(a) - mean(b)``.
+        df: Welch degrees of freedom.
+    """
+
+    p_lower: float
+    p_upper: float
+    p_value: float
+    margin: float
+    mean_difference: float
+    df: float
+
+    def equivalent(self, alpha: float = 0.05) -> bool:
+        """True when equivalence within the margin is demonstrated."""
+        if not 0.0 < alpha < 1.0:
+            raise StatisticsError(f"alpha must be in (0, 1), got {alpha}")
+        return self.p_value < alpha
+
+
+def tost_equivalence(a: Iterable[float], b: Iterable[float],
+                     margin: float) -> TostResult:
+    """Welch-based TOST equivalence test with absolute margin.
+
+    Args:
+        a: First sample.
+        b: Second sample.
+        margin: Positive equivalence margin in counter units; the means are
+            declared equivalent when their difference is provably within
+            ``(-margin, +margin)``.
+    """
+    if margin <= 0.0:
+        raise StatisticsError(f"margin must be positive, got {margin}")
+    arr_a = _as_float_array(a, "a")
+    arr_b = _as_float_array(b, "b")
+    if arr_a.size < 2 or arr_b.size < 2:
+        raise StatisticsError("tost needs >= 2 observations per group")
+    n_a, n_b = arr_a.size, arr_b.size
+    mean_a, mean_b = float(np.mean(arr_a)), float(np.mean(arr_b))
+    var_a, var_b = float(np.var(arr_a, ddof=1)), float(np.var(arr_b, ddof=1))
+    se_sq = var_a / n_a + var_b / n_b
+    diff = mean_a - mean_b
+    if se_sq == 0.0:
+        inside = abs(diff) < margin
+        p = 0.0 if inside else 1.0
+        return TostResult(p, p, p, margin, diff, float(n_a + n_b - 2))
+    se = math.sqrt(se_sq)
+    df_denominator = ((var_a / n_a) ** 2 / (n_a - 1)
+                      + (var_b / n_b) ** 2 / (n_b - 1))
+    df = (se_sq * se_sq / df_denominator if df_denominator > 0.0
+          else float(n_a + n_b - 2))
+    dist = StudentT(df)
+    # H0_lower: diff <= -margin, rejected when t_lower is large.
+    t_lower = (diff + margin) / se
+    p_lower = dist.sf(t_lower)
+    # H0_upper: diff >= +margin, rejected when t_upper is very negative.
+    t_upper = (diff - margin) / se
+    p_upper = dist.cdf(t_upper)
+    return TostResult(p_lower, p_upper, max(p_lower, p_upper), margin, diff, df)
+
+
+def relative_margin(reference: Iterable[float], fraction: float) -> float:
+    """Absolute margin equal to ``fraction`` of the reference sample mean.
+
+    Convenience for expressing equivalence margins like "within 0.5% of the
+    typical cache-miss count".
+    """
+    if fraction <= 0.0:
+        raise StatisticsError(f"fraction must be positive, got {fraction}")
+    arr = _as_float_array(reference, "reference")
+    mu = abs(float(np.mean(arr)))
+    if mu == 0.0:
+        raise StatisticsError("relative margin undefined for zero-mean reference")
+    return fraction * mu

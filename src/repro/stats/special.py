@@ -1,0 +1,158 @@
+"""Special functions needed by the statistical tests, written from scratch.
+
+The paper's evaluator relies on Student's t distribution for p-values.  Its
+CDF reduces to the regularized incomplete beta function, which we implement
+here with the classic Lentz continued-fraction evaluation (Numerical Recipes
+style), together with a Lanczos log-gamma.  ``scipy`` is only used in the
+test-suite to cross-check these implementations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import StatisticsError
+
+#: Lanczos coefficients (g = 7, n = 9) — accurate to ~15 significant digits.
+_LANCZOS_G = 7.0
+_LANCZOS_COEFFS = (
+    0.99999999999980993,
+    676.5203681218851,
+    -1259.1392167224028,
+    771.32342877765313,
+    -176.61502916214059,
+    12.507343278686905,
+    -0.13857109526572012,
+    9.9843695780195716e-6,
+    1.5056327351493116e-7,
+)
+
+_MAX_CF_ITERATIONS = 300
+_CF_EPSILON = 3.0e-15
+_CF_FPMIN = 1.0e-300
+
+
+def log_gamma(x: float) -> float:
+    """Natural log of the absolute value of the Gamma function.
+
+    Uses the Lanczos approximation with reflection for ``x < 0.5``.
+
+    Args:
+        x: Argument; must not be zero or a negative integer.
+
+    Returns:
+        ``ln |Gamma(x)|``.
+    """
+    if x <= 0.0 and x == math.floor(x):
+        raise StatisticsError(f"log_gamma undefined at non-positive integer {x}")
+    if x < 0.5:
+        # Reflection formula: Gamma(x) Gamma(1-x) = pi / sin(pi x).
+        return math.log(math.pi / abs(math.sin(math.pi * x))) - log_gamma(1.0 - x)
+    x -= 1.0
+    series = _LANCZOS_COEFFS[0]
+    for i, coeff in enumerate(_LANCZOS_COEFFS[1:], start=1):
+        series += coeff / (x + i)
+    t = x + _LANCZOS_G + 0.5
+    return 0.5 * math.log(2.0 * math.pi) + (x + 0.5) * math.log(t) - t + math.log(series)
+
+
+def log_beta(a: float, b: float) -> float:
+    """``ln B(a, b)`` for positive ``a`` and ``b``."""
+    if a <= 0.0 or b <= 0.0:
+        raise StatisticsError(f"log_beta requires positive arguments, got ({a}, {b})")
+    return log_gamma(a) + log_gamma(b) - log_gamma(a + b)
+
+
+def _beta_continued_fraction(a: float, b: float, x: float) -> float:
+    """Continued-fraction kernel for the incomplete beta (Lentz's method)."""
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < _CF_FPMIN:
+        d = _CF_FPMIN
+    d = 1.0 / d
+    h = d
+    for m in range(1, _MAX_CF_ITERATIONS + 1):
+        m2 = 2 * m
+        # Even step.
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _CF_FPMIN:
+            d = _CF_FPMIN
+        c = 1.0 + aa / c
+        if abs(c) < _CF_FPMIN:
+            c = _CF_FPMIN
+        d = 1.0 / d
+        h *= d * c
+        # Odd step.
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _CF_FPMIN:
+            d = _CF_FPMIN
+        c = 1.0 + aa / c
+        if abs(c) < _CF_FPMIN:
+            c = _CF_FPMIN
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _CF_EPSILON:
+            return h
+    raise StatisticsError(
+        f"incomplete beta continued fraction failed to converge for a={a}, b={b}, x={x}"
+    )
+
+
+def regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """Regularized incomplete beta function ``I_x(a, b)``.
+
+    Args:
+        a: First shape parameter (> 0).
+        b: Second shape parameter (> 0).
+        x: Upper integration limit in ``[0, 1]``.
+
+    Returns:
+        ``I_x(a, b)`` in ``[0, 1]``.
+    """
+    if a <= 0.0 or b <= 0.0:
+        raise StatisticsError(f"incomplete beta requires positive shapes, got ({a}, {b})")
+    if x < 0.0 or x > 1.0:
+        raise StatisticsError(f"incomplete beta argument x={x} outside [0, 1]")
+    if x == 0.0:
+        return 0.0
+    if x == 1.0:
+        return 1.0
+    log_front = (
+        a * math.log(x) + b * math.log(1.0 - x) - log_beta(a, b)
+    )
+    front = math.exp(log_front)
+    # Use the continued fraction directly where it converges fastest, and the
+    # symmetry relation I_x(a,b) = 1 - I_{1-x}(b,a) elsewhere.
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_continued_fraction(a, b, x) / a
+    return 1.0 - front * _beta_continued_fraction(b, a, 1.0 - x) / b
+
+
+def erf(x: float) -> float:
+    """Error function (delegates to :func:`math.erf`; kept for a stable API)."""
+    return math.erf(x)
+
+
+def erfc(x: float) -> float:
+    """Complementary error function."""
+    return math.erfc(x)
+
+
+def log_factorial(n: int) -> float:
+    """``ln n!`` via :func:`log_gamma`."""
+    if n < 0:
+        raise StatisticsError(f"factorial undefined for negative n={n}")
+    return log_gamma(n + 1.0)
+
+
+def binomial_coefficient(n: int, k: int) -> float:
+    """Binomial coefficient ``C(n, k)`` as a float (exact for small inputs)."""
+    if k < 0 or k > n:
+        return 0.0
+    return math.exp(log_factorial(n) - log_factorial(k) - log_factorial(n - k))

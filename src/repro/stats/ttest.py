@@ -1,0 +1,141 @@
+"""Two-sample t-tests — the hypothesis test at the heart of the paper.
+
+The evaluator computes, for each HPC event and each pair of input categories,
+a two-sample t statistic on the two distributions of counter readings and
+rejects the null hypothesis of equal means when the two-sided p-value drops
+below ``1 - confidence`` (the paper uses a 95% confidence interval).
+
+Welch's unequal-variance test is the default, matching standard practice for
+side-channel leakage assessment (it is also what ``scipy.stats.ttest_ind``
+computes with ``equal_var=False``); the pooled-variance Student test is
+provided for comparison and ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import StatisticsError
+from .descriptive import _as_float_array
+from .distributions import StudentT
+
+
+@dataclass(frozen=True)
+class TTestResult:
+    """Outcome of a two-sample t-test.
+
+    Attributes:
+        statistic: The t statistic (sign follows ``mean(a) - mean(b)``).
+        p_value: Two-sided p-value.
+        df: Degrees of freedom (fractional for Welch).
+        mean_a: Sample mean of the first group.
+        mean_b: Sample mean of the second group.
+        n_a: First group size.
+        n_b: Second group size.
+        method: ``"welch"`` or ``"student"``.
+    """
+
+    statistic: float
+    p_value: float
+    df: float
+    mean_a: float
+    mean_b: float
+    n_a: int
+    n_b: int
+    method: str
+
+    def rejects_null(self, confidence: float = 0.95) -> bool:
+        """True when the equal-means null is rejected at ``confidence``."""
+        if not 0.0 < confidence < 1.0:
+            raise StatisticsError(f"confidence must be in (0, 1), got {confidence}")
+        return self.p_value < (1.0 - confidence)
+
+    def format(self) -> str:
+        """Compact ``t=..., p=...`` rendering used in the paper-style tables."""
+        return f"t={self.statistic:+.4f} p={format_p_value(self.p_value)} df={self.df:.1f}"
+
+
+def format_p_value(p: float, approx_zero_below: float = 5e-5) -> str:
+    """Render a p-value the way the paper's tables do (tiny values as ``~0``)."""
+    if p < approx_zero_below:
+        return "~0"
+    return f"{p:.4f}"
+
+
+def _moments(values: Iterable[float], name: str):
+    arr = _as_float_array(values, name=name)
+    if arr.size < 2:
+        raise StatisticsError(f"{name} needs at least 2 observations, got {arr.size}")
+    return arr.size, float(np.mean(arr)), float(np.var(arr, ddof=1))
+
+
+def welch_t_test(a: Iterable[float], b: Iterable[float]) -> TTestResult:
+    """Welch's unequal-variance two-sample t-test.
+
+    Args:
+        a: Readings of one HPC event for input category *i*.
+        b: Readings of the same event for category *j*.
+
+    Returns:
+        A :class:`TTestResult` with the Welch–Satterthwaite degrees of freedom.
+    """
+    n_a, mean_a, var_a = _moments(a, "a")
+    n_b, mean_b, var_b = _moments(b, "b")
+    se_a = var_a / n_a
+    se_b = var_b / n_b
+    se_sq = se_a + se_b
+    if se_sq == 0.0:
+        # Both samples are exactly constant.  Equal constants -> no evidence
+        # of difference; different constants -> perfectly separable.
+        if mean_a == mean_b:
+            return TTestResult(0.0, 1.0, float(n_a + n_b - 2), mean_a, mean_b,
+                               n_a, n_b, "welch")
+        return TTestResult(math.inf if mean_a > mean_b else -math.inf, 0.0,
+                           float(n_a + n_b - 2), mean_a, mean_b, n_a, n_b, "welch")
+    t = (mean_a - mean_b) / math.sqrt(se_sq)
+    df_denominator = (se_a * se_a) / (n_a - 1) + (se_b * se_b) / (n_b - 1)
+    if df_denominator > 0.0:
+        df = se_sq * se_sq / df_denominator
+    else:
+        # Variances so small their squares underflow: fall back to pooled df.
+        df = float(n_a + n_b - 2)
+    p = StudentT(df).two_sided_p_value(t)
+    return TTestResult(t, p, df, mean_a, mean_b, n_a, n_b, "welch")
+
+
+def student_t_test(a: Iterable[float], b: Iterable[float]) -> TTestResult:
+    """Classic pooled-variance Student two-sample t-test."""
+    n_a, mean_a, var_a = _moments(a, "a")
+    n_b, mean_b, var_b = _moments(b, "b")
+    df = float(n_a + n_b - 2)
+    pooled = ((n_a - 1) * var_a + (n_b - 1) * var_b) / df
+    if pooled == 0.0:
+        if mean_a == mean_b:
+            return TTestResult(0.0, 1.0, df, mean_a, mean_b, n_a, n_b, "student")
+        return TTestResult(math.inf if mean_a > mean_b else -math.inf, 0.0,
+                           df, mean_a, mean_b, n_a, n_b, "student")
+    t = (mean_a - mean_b) / math.sqrt(pooled * (1.0 / n_a + 1.0 / n_b))
+    p = StudentT(df).two_sided_p_value(t)
+    return TTestResult(t, p, df, mean_a, mean_b, n_a, n_b, "student")
+
+
+def one_sample_t_test(values: Iterable[float], popmean: float) -> TTestResult:
+    """One-sample t-test of ``mean(values) == popmean``.
+
+    Useful for checking a counter against a calibrated reference level (e.g.
+    countermeasure validation against the designed constant footprint).
+    """
+    n, mu, var = _moments(values, "values")
+    df = float(n - 1)
+    if var == 0.0:
+        if mu == popmean:
+            return TTestResult(0.0, 1.0, df, mu, popmean, n, 1, "one-sample")
+        return TTestResult(math.inf if mu > popmean else -math.inf, 0.0,
+                           df, mu, popmean, n, 1, "one-sample")
+    t = (mu - popmean) / math.sqrt(var / n)
+    p = StudentT(df).two_sided_p_value(t)
+    return TTestResult(t, p, df, mu, popmean, n, 1, "one-sample")

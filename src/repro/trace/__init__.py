@@ -1,0 +1,52 @@
+"""Execution-trace generation: model inference -> microarchitectural events."""
+
+from .address_map import AddressSpace, ArrayRegion
+from .layer_tracers import (
+    AvgPoolTracer,
+    BatchNormTracer,
+    ConvTracer,
+    DenseTracer,
+    ElementwiseTracer,
+    FlattenTracer,
+    GlobalAvgPoolTracer,
+    LayerTracer,
+    LeakyReluTracer,
+    MaxPoolTracer,
+    ReluTracer,
+    TRACER_REGISTRY,
+    tracer_for,
+)
+from .recorder import (
+    OP_BULK_BRANCH,
+    OP_DYN_BRANCH,
+    OP_INSTR,
+    OP_MEM,
+    Trace,
+    TraceConfig,
+)
+from .traced_model import TracedInference
+
+__all__ = [
+    "AddressSpace",
+    "ArrayRegion",
+    "AvgPoolTracer",
+    "BatchNormTracer",
+    "ConvTracer",
+    "DenseTracer",
+    "ElementwiseTracer",
+    "FlattenTracer",
+    "GlobalAvgPoolTracer",
+    "LayerTracer",
+    "LeakyReluTracer",
+    "MaxPoolTracer",
+    "OP_BULK_BRANCH",
+    "OP_DYN_BRANCH",
+    "OP_INSTR",
+    "OP_MEM",
+    "ReluTracer",
+    "TRACER_REGISTRY",
+    "Trace",
+    "TraceConfig",
+    "TracedInference",
+    "tracer_for",
+]

@@ -1,0 +1,143 @@
+"""Virtual address-space layout for model tensors.
+
+Every tensor a traced inference touches (weights, biases, per-layer
+activation buffers) is assigned a contiguous region in a flat virtual
+address space; the tracer then converts element indices into cache-line
+identifiers.  Regions are page-aligned so that the TLB model sees a
+realistic page working set.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from ..errors import TraceError
+
+
+@dataclass(frozen=True)
+class ArrayRegion:
+    """A named contiguous tensor in the traced address space.
+
+    Attributes:
+        name: Unique identifier (``conv1.weight``, ``act2``...).
+        base: Byte address of element 0.
+        shape: Logical tensor shape (row-major layout).
+        itemsize: Bytes per element (4 = float32 inference).
+    """
+
+    name: str
+    base: int
+    shape: Tuple[int, ...]
+    itemsize: int = 4
+
+    @property
+    def num_elements(self) -> int:
+        """Total element count."""
+        return int(math.prod(self.shape))
+
+    @property
+    def num_bytes(self) -> int:
+        """Region size in bytes."""
+        return self.num_elements * self.itemsize
+
+    def lines_of(self, flat_indices, line_bytes: int = 64) -> np.ndarray:
+        """Cache-line ids of the given flat element indices (order kept).
+
+        Consecutive duplicate lines are collapsed, approximating the fact
+        that back-to-back touches of one line hit in the load queue rather
+        than re-arbitrating for the cache.
+        """
+        idx = np.asarray(flat_indices, dtype=np.int64)
+        if idx.size == 0:
+            return idx
+        if idx.min() < 0 or idx.max() >= self.num_elements:
+            raise TraceError(
+                f"index out of range for region {self.name!r} "
+                f"({self.num_elements} elements)"
+            )
+        lines = (self.base + idx * self.itemsize) // line_bytes
+        if lines.size > 1:
+            keep = np.empty(lines.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+            lines = lines[keep]
+        return lines
+
+    def all_lines(self, line_bytes: int = 64) -> np.ndarray:
+        """Every distinct line of the region, in address order."""
+        first = self.base // line_bytes
+        last = (self.base + self.num_bytes - 1) // line_bytes
+        return np.arange(first, last + 1, dtype=np.int64)
+
+    def line_span(self, line_bytes: int = 64) -> int:
+        """Number of distinct lines the region spans."""
+        return int(self.all_lines(line_bytes).size)
+
+
+class AddressSpace:
+    """Bump allocator handing out page-aligned :class:`ArrayRegion` objects.
+
+    Args:
+        page_bytes: Alignment granule (matches the TLB page size).
+        base: Starting byte address (a typical heap-ish base by default).
+    """
+
+    def __init__(self, page_bytes: int = 4096, base: int = 0x10000000):
+        if page_bytes <= 0 or page_bytes & (page_bytes - 1):
+            raise TraceError(f"page_bytes must be a power of two, got {page_bytes}")
+        self.page_bytes = page_bytes
+        self._cursor = base
+        self._regions: Dict[str, ArrayRegion] = {}
+
+    def allocate(self, name: str, shape: Iterable[int],
+                 itemsize: int = 4) -> ArrayRegion:
+        """Allocate a new region; names must be unique."""
+        if name in self._regions:
+            raise TraceError(f"region {name!r} allocated twice")
+        shape = tuple(int(s) for s in shape)
+        if any(s <= 0 for s in shape):
+            raise TraceError(f"region {name!r} has degenerate shape {shape}")
+        if itemsize <= 0:
+            raise TraceError(f"itemsize must be positive, got {itemsize}")
+        region = ArrayRegion(name, self._cursor, shape, itemsize)
+        advance = region.num_bytes
+        pages = (advance + self.page_bytes - 1) // self.page_bytes
+        self._cursor += pages * self.page_bytes
+        self._regions[name] = region
+        return region
+
+    def __getitem__(self, name: str) -> ArrayRegion:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise TraceError(f"unknown region {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def regions(self) -> List[ArrayRegion]:
+        """All regions in allocation order."""
+        return list(self._regions.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes spanned from the first region's base to the cursor."""
+        regions = self.regions()
+        if not regions:
+            return 0
+        return self._cursor - regions[0].base
+
+    def describe(self) -> str:
+        """One line per region: name, base, size."""
+        lines = [f"address space: {self.total_bytes} bytes, "
+                 f"page={self.page_bytes}"]
+        for region in self.regions():
+            lines.append(
+                f"  {region.name:<20} base=0x{region.base:x} "
+                f"shape={region.shape} bytes={region.num_bytes}"
+            )
+        return "\n".join(lines)

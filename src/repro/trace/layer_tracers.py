@@ -1,0 +1,606 @@
+"""Per-layer trace generators.
+
+Each tracer mirrors how a production inference kernel for its layer type
+touches memory and branches, at cache-line granularity:
+
+* **Dense kernels** (the stem convolution, or everything when the
+  constant-footprint countermeasure is active) stream patches, weights and
+  outputs in an input-independent pattern.  Their access streams may be
+  deterministically subsampled (``TraceConfig.dense_stride``) since they
+  carry no input information.
+* **Sparsity-aware kernels** (post-ReLU layers, the realistic optimization)
+  test every activation and skip the weight fetch / accumulate work for
+  zeros.  Which lines are touched — and how many — therefore depends on the
+  input's activation pattern.  This is the mechanism behind the paper's
+  observation that ``cache-misses`` leak the input category.
+* Loop-control branches are recorded in bulk (their count is a function of
+  tensor shapes only); the *outcomes* of activation-sign and pooling-compare
+  branches are recorded per branch so that ``branch-misses`` is data
+  dependent while the retired ``branches`` count stays (nearly) constant —
+  the asymmetry the paper's Tables 1 and 2 report.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Type
+
+import numpy as np
+
+from ..errors import TraceError
+from ..nn.layers import (
+    AvgPool2D,
+    GRU,
+    SimpleRNN,
+    BatchNorm1D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    Layer,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from .address_map import AddressSpace, ArrayRegion
+from .recorder import Trace, TraceConfig
+
+
+class LayerTracer(abc.ABC):
+    """Base class: emits the trace of one layer's inference.
+
+    Args:
+        layer: The built layer.
+        layer_index: Position in the model (drives sparse/dense selection
+            and branch-site PC assignment).
+        in_region: Activation region the layer reads.
+        out_region: Activation region the layer writes.
+        space: The shared address space (for weight regions).
+        config: Trace generation knobs.
+    """
+
+    def __init__(self, layer: Layer, layer_index: int, in_region: ArrayRegion,
+                 out_region: ArrayRegion, space: AddressSpace,
+                 config: TraceConfig):
+        self.layer = layer
+        self.layer_index = layer_index
+        self.in_region = in_region
+        self.out_region = out_region
+        self.space = space
+        self.config = config
+        self._prepared = False
+
+    def pc(self, site: int) -> int:
+        """Stable pseudo-PC for branch site ``site`` of this layer."""
+        return self.layer_index * 64 + site
+
+    def weight_region(self, parameter_name: str) -> ArrayRegion:
+        """Address region of one of this layer's parameters."""
+        return self.space[f"{self.layer.name}.{parameter_name}"]
+
+    def prepare(self) -> None:
+        """Precompute line tables (called once per model)."""
+        if not self._prepared:
+            self._prepare()
+            self._prepared = True
+
+    def _prepare(self) -> None:
+        """Subclass hook for precomputation (default: nothing)."""
+
+    @abc.abstractmethod
+    def trace(self, x: np.ndarray, y: np.ndarray, trace: Trace) -> None:
+        """Emit the trace for input ``x`` producing output ``y``.
+
+        ``x`` and ``y`` are single-sample tensors (no batch axis) computed by
+        the reference forward pass — tracers read values but never recompute
+        the math.
+        """
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def sparse(self) -> bool:
+        """Whether this layer runs the sparsity-aware kernel."""
+        return self.config.sparse_enabled(self.layer_index)
+
+    def _strided(self, lines: np.ndarray) -> np.ndarray:
+        """Subsample an input-independent line stream by ``dense_stride``."""
+        stride = self.config.dense_stride
+        return lines if stride == 1 else lines[::stride]
+
+    def _stream_region(self, region: ArrayRegion, trace: Trace,
+                       write: bool = False) -> None:
+        """Emit a sequential (strided) sweep over a whole region."""
+        trace.mem(self._strided(region.all_lines(self.config.line_bytes)),
+                  write=write)
+
+
+class ElementwiseTracer(LayerTracer):
+    """Dense elementwise layer: read everything, write everything.
+
+    Used for Sigmoid, Tanh, Softmax, Dropout (inference = identity but the
+    values are still swept), and as the base for the activation tracers.
+    """
+
+    #: Extra instructions per element beyond the config baseline.
+    extra_instr_per_element = 2
+
+    def trace(self, x: np.ndarray, y: np.ndarray, trace: Trace) -> None:
+        n = int(x.size)
+        self._stream_region(self.in_region, trace)
+        self._stream_region(self.out_region, trace, write=True)
+        trace.instr(n * (self.config.instr_per_element
+                         + self.extra_instr_per_element))
+        trace.bulk_branch(n, self.config.bulk_branch_miss_rate)
+
+
+class ReluTracer(ElementwiseTracer):
+    """ReLU: elementwise sweep plus one sign-test branch per element.
+
+    The branch *count* is the constant ``x.size``; the outcome stream
+    (``x > 0``) is data dependent and drives the branch predictor.
+    """
+
+    extra_instr_per_element = 0
+
+    def trace(self, x: np.ndarray, y: np.ndarray, trace: Trace) -> None:
+        super().trace(x, y, trace)
+        if self.config.branchless_compares:
+            # Countermeasure: max(x, 0) as a select instruction, no branch.
+            trace.instr(x.size * self.config.instr_per_branch_test)
+        else:
+            trace.dyn_branch(self.pc(1), x.ravel() > 0)
+            trace.instr(x.size * self.config.instr_per_branch_test)
+
+
+class LeakyReluTracer(ReluTracer):
+    """LeakyReLU: same branch structure as ReLU, slightly more arithmetic."""
+
+    extra_instr_per_element = 1
+
+
+class FlattenTracer(LayerTracer):
+    """Flatten is a view change: no data movement, negligible instructions."""
+
+    def trace(self, x: np.ndarray, y: np.ndarray, trace: Trace) -> None:
+        trace.instr(8)
+
+
+class ConvTracer(LayerTracer):
+    """Conv2D in either dense-gather or sparse-scatter form."""
+
+    def _prepare(self) -> None:
+        layer: Conv2D = self.layer
+        line_bytes = self.config.line_bytes
+        kk_ws = layer.kernel * layer.kernel
+        in_elements = int(np.prod(layer.input_shape))
+        self._workspace = self.space.allocate(
+            f"{layer.name}.workspace", (in_elements, kk_ws),
+            self.config.itemsize)
+        in_ch, in_h, in_w = layer.input_shape
+        out_ch, out_h, out_w = layer.output_shape
+        k, stride = layer.kernel, layer.stride
+        pad = layer.padding
+        weight_region = self.weight_region("weight")
+        # Sparse-scatter tables -------------------------------------------
+        # Lines of W[:, c, :, :]: the kernel slices all filters read when
+        # input channel c contributes a non-zero activation.
+        self._weight_lines_by_channel: List[np.ndarray] = []
+        kk = k * k
+        for c in range(in_ch):
+            flat = (np.arange(out_ch)[:, None] * (in_ch * kk)
+                    + c * kk + np.arange(kk)[None, :]).ravel()
+            self._weight_lines_by_channel.append(
+                weight_region.lines_of(flat, line_bytes))
+        # Lines of the output sub-block each input position scatters into:
+        # output oy receives input y when oy*stride - pad <= y <= oy*stride
+        # - pad + k - 1, hence ceil((y+pad-k+1)/stride) <= oy <=
+        # floor((y+pad)/stride), clipped to the output extent.
+        self._out_lines_by_position: List[np.ndarray] = []
+        for y in range(in_h):
+            oy_lo = max(0, -((-(y + pad - k + 1)) // stride))
+            oy_hi = min(out_h - 1, (y + pad) // stride)
+            for x in range(in_w):
+                ox_lo = max(0, -((-(x + pad - k + 1)) // stride))
+                ox_hi = min(out_w - 1, (x + pad) // stride)
+                if oy_hi < oy_lo or ox_hi < ox_lo:
+                    self._out_lines_by_position.append(
+                        np.empty(0, dtype=np.int64))
+                    continue
+                oy = np.arange(oy_lo, oy_hi + 1)
+                ox = np.arange(ox_lo, ox_hi + 1)
+                flat = (np.arange(out_ch)[:, None, None] * (out_h * out_w)
+                        + oy[None, :, None] * out_w
+                        + ox[None, None, :]).ravel()
+                self._out_lines_by_position.append(
+                    self.out_region.lines_of(flat, line_bytes))
+        # Dense-gather tables (zero padding costs no input reads) ----------
+        positions = []
+        for oy in range(out_h):
+            iy = oy * stride - pad + np.arange(k)
+            iy = iy[(iy >= 0) & (iy < in_h)]
+            for ox in range(out_w):
+                ix = ox * stride - pad + np.arange(k)
+                ix = ix[(ix >= 0) & (ix < in_w)]
+                flat = (np.arange(in_ch)[:, None, None] * (in_h * in_w)
+                        + iy[None, :, None] * in_w
+                        + ix[None, None, :]).ravel()
+                positions.append(self.in_region.lines_of(flat, line_bytes))
+        self._patch_lines_by_output: List[np.ndarray] = positions
+        self._weight_all_lines = weight_region.all_lines(line_bytes)
+
+    def trace(self, x: np.ndarray, y: np.ndarray, trace: Trace) -> None:
+        if self.sparse:
+            self._trace_sparse(x, trace)
+        else:
+            self._trace_dense(trace)
+
+    def _trace_dense(self, trace: Trace) -> None:
+        layer: Conv2D = self.layer
+        out_ch, out_h, out_w = layer.output_shape
+        in_ch = layer.input_shape[0]
+        kk = layer.kernel * layer.kernel
+        stride = self.config.dense_stride
+        pieces: List[np.ndarray] = []
+        for row in range(0, out_h, max(1, stride)):
+            # Weights are re-streamed once per output row (tile reuse).
+            pieces.append(self._weight_all_lines)
+            for col in range(0, out_w, stride):
+                pieces.append(self._patch_lines_by_output[row * out_w + col])
+        trace.mem(np.concatenate(pieces))
+        self._stream_region(self.out_region, trace, write=True)
+        macs = out_ch * out_h * out_w * in_ch * kk
+        trace.instr(macs * self.config.instr_per_mac
+                    + out_ch * out_h * out_w)  # bias add
+        trace.bulk_branch(out_h * out_w + out_h,
+                          self.config.bulk_branch_miss_rate)
+
+    def _trace_sparse(self, x: np.ndarray, trace: Trace) -> None:
+        layer: Conv2D = self.layer
+        in_ch, in_h, in_w = layer.input_shape
+        out_ch = layer.filters
+        kk = layer.kernel * layer.kernel
+        plane = in_h * in_w
+        flat = x.ravel()
+        n = flat.size
+        # Phase 1: the kernel reads every activation to test it.
+        trace.mem(self.in_region.all_lines(self.config.line_bytes))
+        trace.dyn_branch(self.pc(1), flat != 0)
+        # Phase 2: each non-zero scatters weight x output-block work.  In
+        # channel-major (NCHW) order every channel pass re-walks its active
+        # slice of the output block, so the miss count reflects per-channel
+        # activity patterns; in spatial-major (NHWC) order weight slices are
+        # re-fetched at data-dependent reuse distances.  Either way the
+        # cache traffic is a function of the input's activation pattern.
+        nonzero = np.flatnonzero(flat)
+        positions = nonzero % plane
+        channels = nonzero // plane
+        if self.config.scatter_order == "spatial-major":
+            order = np.argsort(positions * in_ch + channels, kind="stable")
+            positions = positions[order]
+            channels = channels[order]
+        pieces: List[np.ndarray] = []
+        weight_tables = self._weight_lines_by_channel
+        out_tables = self._out_lines_by_position
+        for c, pos in zip(channels, positions):
+            pieces.append(weight_tables[c])
+            pieces.append(out_tables[pos])
+        if pieces:
+            trace.mem(np.concatenate(pieces))
+        nnz = int(nonzero.size)
+        # The kernel materializes one gather-list entry (kernel-sized slice)
+        # per live activation in a scratch workspace; the touched extent —
+        # and hence its cold-miss footprint — scales with the live count.
+        kk_ws = layer.kernel * layer.kernel
+        if nnz:
+            trace.mem(self._workspace.lines_of(
+                np.arange(nnz * kk_ws), self.config.line_bytes), write=True)
+        trace.instr(n * self.config.instr_per_branch_test
+                    + nnz * out_ch * kk * self.config.instr_per_mac
+                    + out_ch * self.out_region.num_elements // out_ch)
+        # Loop control: one per element plus one per input row; the
+        # accumulate itself is a branch-free vector kernel.
+        trace.bulk_branch(n + in_h, self.config.bulk_branch_miss_rate)
+
+
+class DenseTracer(LayerTracer):
+    """Dense layer in dense (GEMV) or sparsity-aware (skip-zero) form."""
+
+    def _prepare(self) -> None:
+        layer: Dense = self.layer
+        line_bytes = self.config.line_bytes
+        in_features = layer.input_shape[0]
+        units = layer.units
+        weight_region = self.weight_region("weight")
+        self._workspace = self.space.allocate(
+            f"{layer.name}.workspace", (in_features, units),
+            self.config.itemsize)
+        self._row_lines: List[np.ndarray] = []
+        for j in range(in_features):
+            flat = j * units + np.arange(units)
+            self._row_lines.append(weight_region.lines_of(flat, line_bytes))
+        self._weight_all_lines = weight_region.all_lines(line_bytes)
+        self._out_all_lines = self.out_region.all_lines(line_bytes)
+
+    def trace(self, x: np.ndarray, y: np.ndarray, trace: Trace) -> None:
+        layer: Dense = self.layer
+        in_features = layer.input_shape[0]
+        units = layer.units
+        if self.sparse:
+            flat = x.ravel()
+            trace.mem(self.in_region.all_lines(self.config.line_bytes))
+            trace.dyn_branch(self.pc(1), flat != 0)
+            nonzero = np.flatnonzero(flat)
+            pieces = [self._row_lines[j] for j in nonzero]
+            pieces.append(self._out_all_lines)
+            trace.mem(np.concatenate(pieces))
+            nnz = int(nonzero.size)
+            if nnz:
+                trace.mem(self._workspace.lines_of(
+                    np.arange(nnz * units), self.config.line_bytes),
+                    write=True)
+            trace.instr(in_features * self.config.instr_per_branch_test
+                        + nnz * units * self.config.instr_per_mac + units)
+            trace.bulk_branch(in_features,
+                              self.config.bulk_branch_miss_rate)
+        else:
+            trace.mem(self._strided(
+                self.in_region.all_lines(self.config.line_bytes)))
+            trace.mem(self._strided(self._weight_all_lines))
+            trace.mem(self._out_all_lines, write=True)
+            trace.instr(in_features * units * self.config.instr_per_mac + units)
+            trace.bulk_branch(in_features,
+                              self.config.bulk_branch_miss_rate)
+
+
+class MaxPoolTracer(LayerTracer):
+    """Max pooling: window reads plus data-dependent compare branches."""
+
+    def _prepare(self) -> None:
+        layer: MaxPool2D = self.layer
+        c, h, w = layer.input_shape
+        _, out_h, out_w = layer.output_shape
+        pool, stride = layer.pool, layer.stride
+        # Flat indices of every window element, window-major.
+        cc = np.arange(c)[:, None, None, None, None]
+        oy = np.arange(out_h)[None, :, None, None, None]
+        ox = np.arange(out_w)[None, None, :, None, None]
+        ky = np.arange(pool)[None, None, None, :, None]
+        kx = np.arange(pool)[None, None, None, None, :]
+        flat = (cc * (h * w) + (oy * stride + ky) * w
+                + (ox * stride + kx))
+        self._window_flat = flat.reshape(-1, pool * pool)
+
+    def trace(self, x: np.ndarray, y: np.ndarray, trace: Trace) -> None:
+        layer: MaxPool2D = self.layer
+        pool = layer.pool
+        windows = x.ravel()[self._window_flat]
+        trace.mem(self.in_region.lines_of(self._window_flat.ravel(),
+                                          self.config.line_bytes))
+        if self.config.branchless_compares:
+            # Countermeasure: vector-max reduction, no per-slot branches.
+            trace.instr(self._window_flat.shape[0] * (pool * pool - 1))
+        else:
+            # Running-max comparison outcomes: one branch site per slot.
+            running = windows[:, 0]
+            for slot in range(1, pool * pool):
+                outcome = windows[:, slot] > running
+                trace.dyn_branch(self.pc(slot), outcome)
+                running = np.maximum(running, windows[:, slot])
+        self._stream_region(self.out_region, trace, write=True)
+        count = self._window_flat.shape[0]
+        trace.instr(count * pool * pool * self.config.instr_per_element)
+        trace.bulk_branch(count, self.config.bulk_branch_miss_rate)
+
+
+class AvgPoolTracer(MaxPoolTracer):
+    """Average pooling: same traffic as max pooling, no compare branches."""
+
+    def trace(self, x: np.ndarray, y: np.ndarray, trace: Trace) -> None:
+        layer: AvgPool2D = self.layer
+        pool = layer.pool
+        trace.mem(self.in_region.lines_of(self._window_flat.ravel(),
+                                          self.config.line_bytes))
+        self._stream_region(self.out_region, trace, write=True)
+        count = self._window_flat.shape[0]
+        trace.instr(count * pool * pool * self.config.instr_per_element)
+        trace.bulk_branch(count, self.config.bulk_branch_miss_rate)
+
+
+class GlobalAvgPoolTracer(LayerTracer):
+    """Global average pooling: one full sweep, tiny output."""
+
+    def trace(self, x: np.ndarray, y: np.ndarray, trace: Trace) -> None:
+        self._stream_region(self.in_region, trace)
+        trace.mem(self.out_region.all_lines(self.config.line_bytes), write=True)
+        trace.instr(x.size * self.config.instr_per_element)
+        trace.bulk_branch(x.size, self.config.bulk_branch_miss_rate)
+
+
+class RnnTracer(LayerTracer):
+    """SimpleRNN: per-timestep dense input matvec + sparse recurrent matvec.
+
+    The recurrent matrix-vector product is the leaking kernel: a
+    sparsity-aware implementation skips the ``W_hh`` row gather for hidden
+    units that the (ReLU) activation zeroed at the previous step, so the
+    per-step traffic follows the class-dependent hidden activation pattern.
+    The input-side matvec is dense (sensor inputs are never exactly zero).
+    """
+
+    def _prepare(self) -> None:
+        from ..nn.layers.recurrent import SimpleRNN
+
+        layer: SimpleRNN = self.layer
+        line_bytes = self.config.line_bytes
+        timesteps, features = layer.input_shape
+        units = layer.units
+        w_hh_region = self.weight_region("w_hh")
+        self._row_lines: List[np.ndarray] = []
+        for j in range(units):
+            flat = j * units + np.arange(units)
+            self._row_lines.append(w_hh_region.lines_of(flat, line_bytes))
+        self._w_xh_lines = self.weight_region("w_xh").all_lines(line_bytes)
+        # Gather-list workspace: one hidden-row slice per live unit per step.
+        self._workspace = self.space.allocate(
+            f"{layer.name}.workspace", (timesteps * units, units),
+            self.config.itemsize)
+        self._state = self.space.allocate(
+            f"{layer.name}.state", (units,), self.config.itemsize)
+        self._input_step_lines = [
+            self.in_region.lines_of(t * features + np.arange(features),
+                                    line_bytes)
+            for t in range(timesteps)
+        ]
+
+    @property
+    def _sparse_recurrent(self) -> bool:
+        # The hidden state is internal post-activation data, so the sparse
+        # kernel applies whenever sparsity-aware execution is on at all
+        # (the constant-footprint countermeasure sets it to None) —
+        # regardless of sparse_from_layer, which gates on *input* sparsity.
+        # An explicit sparse_layers selection still wins (leak localization
+        # isolates layers one at a time).
+        if self.config.sparse_layers is not None:
+            return self.layer_index in self.config.sparse_layers
+        return self.config.sparse_from_layer is not None
+
+    def trace(self, x: np.ndarray, y: np.ndarray, trace: Trace) -> None:
+        from ..nn.layers.recurrent import SimpleRNN
+
+        layer: SimpleRNN = self.layer
+        timesteps, features = layer.input_shape
+        units = layer.units
+        states = layer.hidden_states(x)
+        state_lines = self._state.all_lines(self.config.line_bytes)
+        cfg = self.config
+        dense_macs = features * units
+        for t in range(timesteps):
+            trace.mem(self._input_step_lines[t])
+            trace.mem(self._strided(self._w_xh_lines))
+            prev = states[t - 1] if t > 0 else np.zeros(units)
+            if self._sparse_recurrent:
+                if not cfg.branchless_compares:
+                    trace.dyn_branch(self.pc(1), prev != 0)
+                nonzero = np.flatnonzero(prev)
+                pieces = [self._row_lines[j] for j in nonzero]
+                if pieces:
+                    trace.mem(np.concatenate(pieces))
+                nnz = int(nonzero.size)
+                if nnz:
+                    base = t * units * units
+                    trace.mem(self._workspace.lines_of(
+                        base + np.arange(nnz * units), cfg.line_bytes),
+                        write=True)
+                recurrent_macs = nnz * units
+                trace.instr(units * cfg.instr_per_branch_test)
+            else:
+                # Constant-footprint: full dense recurrent matvec.
+                trace.mem(self._strided(
+                    self.weight_region("w_hh").all_lines(cfg.line_bytes)))
+                recurrent_macs = units * units
+            trace.mem(state_lines, write=True)
+            trace.instr((dense_macs + recurrent_macs) * cfg.instr_per_mac
+                        + units * cfg.instr_per_element)
+            # Activation sign tests (data dependent outcomes, fixed count).
+            if layer.activation == "relu" and not cfg.branchless_compares:
+                trace.dyn_branch(self.pc(2), states[t] > 0)
+            trace.instr(units * cfg.instr_per_branch_test)
+            trace.bulk_branch(units + features,
+                              cfg.bulk_branch_miss_rate)
+        if layer.return_sequences:
+            self._stream_region(self.out_region, trace, write=True)
+        else:
+            trace.mem(self.out_region.all_lines(cfg.line_bytes), write=True)
+
+
+class GruTracer(LayerTracer):
+    """GRU: three dense matvecs per step — input-independent by construction.
+
+    No GRU activation is ever exactly zero (sigmoid/tanh), so there is
+    nothing for a sparsity-aware kernel to skip: the traced footprint does
+    not depend on the input.  Architecturally this is the paper's
+    "indistinguishable CPU footprint", bought with dense worst-case compute
+    on every step (see the recurrent-models bench).
+    """
+
+    def _prepare(self) -> None:
+        line_bytes = self.config.line_bytes
+        timesteps, features = self.layer.input_shape
+        self._w_x_lines = self.weight_region("w_x").all_lines(line_bytes)
+        self._w_h_lines = self.weight_region("w_h").all_lines(line_bytes)
+        self._state = self.space.allocate(
+            f"{self.layer.name}.state", (self.layer.units,),
+            self.config.itemsize)
+        self._input_step_lines = [
+            self.in_region.lines_of(t * features + np.arange(features),
+                                    line_bytes)
+            for t in range(timesteps)
+        ]
+
+    def trace(self, x: np.ndarray, y: np.ndarray, trace: Trace) -> None:
+        timesteps, features = self.layer.input_shape
+        units = self.layer.units
+        cfg = self.config
+        state_lines = self._state.all_lines(cfg.line_bytes)
+        macs_per_step = (features * 3 * units   # input kernels
+                         + units * 3 * units    # recurrent kernels
+                         + units * units)       # reset-gated candidate
+        for t in range(timesteps):
+            trace.mem(self._input_step_lines[t])
+            trace.mem(self._strided(self._w_x_lines))
+            trace.mem(self._strided(self._w_h_lines))
+            trace.mem(state_lines, write=True)
+            trace.instr(macs_per_step * cfg.instr_per_mac
+                        + 6 * units * cfg.instr_per_element)
+            trace.bulk_branch(units + features, cfg.bulk_branch_miss_rate)
+        trace.mem(self.out_region.all_lines(cfg.line_bytes), write=True)
+
+
+class BatchNormTracer(ElementwiseTracer):
+    """Batch norm at inference: elementwise affine with parameter reads."""
+
+    extra_instr_per_element = 2
+
+    def trace(self, x: np.ndarray, y: np.ndarray, trace: Trace) -> None:
+        trace.mem(self.weight_region("gamma").all_lines(self.config.line_bytes))
+        trace.mem(self.weight_region("beta").all_lines(self.config.line_bytes))
+        super().trace(x, y, trace)
+
+
+#: Layer class -> tracer class registry.
+TRACER_REGISTRY: Dict[Type[Layer], Type[LayerTracer]] = {
+    Conv2D: ConvTracer,
+    Dense: DenseTracer,
+    SimpleRNN: RnnTracer,
+    GRU: GruTracer,
+    MaxPool2D: MaxPoolTracer,
+    AvgPool2D: AvgPoolTracer,
+    GlobalAvgPool2D: GlobalAvgPoolTracer,
+    ReLU: ReluTracer,
+    LeakyReLU: LeakyReluTracer,
+    Sigmoid: ElementwiseTracer,
+    Tanh: ElementwiseTracer,
+    Softmax: ElementwiseTracer,
+    Dropout: ElementwiseTracer,
+    Flatten: FlattenTracer,
+    BatchNorm1D: BatchNormTracer,
+    BatchNorm2D: BatchNormTracer,
+}
+
+
+def tracer_for(layer: Layer, layer_index: int, in_region: ArrayRegion,
+               out_region: ArrayRegion, space: AddressSpace,
+               config: TraceConfig) -> LayerTracer:
+    """Instantiate the tracer matching ``layer``'s type."""
+    for cls in type(layer).__mro__:
+        if cls in TRACER_REGISTRY:
+            return TRACER_REGISTRY[cls](layer, layer_index, in_region,
+                                        out_region, space, config)
+    raise TraceError(f"no tracer registered for layer type {type(layer).__name__}")

@@ -1,0 +1,200 @@
+"""Trace container: the ordered event stream one classification produces.
+
+A :class:`Trace` is an ordered list of operations — memory access bursts,
+retired-instruction batches, bulk loop branches and data-dependent branch
+streams — that can be replayed into a :class:`repro.uarch.CpuModel` or
+inspected directly by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import TraceError
+
+#: Operation tags used in the trace stream.
+OP_MEM = "mem"
+OP_INSTR = "instr"
+OP_BULK_BRANCH = "bulk-branch"
+OP_DYN_BRANCH = "dyn-branch"
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Knobs of the trace generator.
+
+    Attributes:
+        line_bytes: Cache-line size assumed when mapping elements to lines.
+        itemsize: Bytes per tensor element (4 = float32 inference).
+        sparse_from_layer: First layer index executed with the sparsity-aware
+            (zero-skipping) kernels; earlier layers use dense kernels.  ``0``
+            makes everything sparse-aware, ``None`` disables sparsity
+            entirely (the constant-footprint countermeasure).
+        sparse_layers: Explicit layer indices to run sparsity-aware,
+            overriding ``sparse_from_layer`` when set — the knob behind
+            per-layer leak localization
+            (:func:`repro.countermeasures.localize_leak`).
+        dense_stride: Deterministic sampling stride for the input-independent
+            access streams of dense kernels (1 = full trace).  Streams of
+            sparsity-aware kernels are never subsampled — they carry the leak.
+        scatter_order: Traversal order of the sparse-scatter kernels:
+            ``"channel-major"`` (NCHW loops: each channel pass re-walks the
+            output block, so miss counts reflect per-channel activity
+            patterns) or ``"spatial-major"`` (NHWC loops: weight slices are
+            re-fetched at data-dependent distances).
+        instr_per_mac: Retired instructions charged per multiply-accumulate.
+        instr_per_element: Instructions per element for elementwise layers.
+        instr_per_branch_test: Instructions per sparsity/sign test.
+        bulk_branch_miss_rate: Residual misprediction rate of loop branches.
+        branchless_compares: Emit every data-dependent comparison (ReLU
+            sign tests, pooling compares, the final argmax) as straight-line
+            conditional moves instead of branches — the branch half of the
+            constant-footprint countermeasure.
+    """
+
+    line_bytes: int = 64
+    itemsize: int = 4
+    sparse_from_layer: Optional[int] = 1
+    sparse_layers: Optional[Tuple[int, ...]] = None
+    dense_stride: int = 4
+    scatter_order: str = "channel-major"
+    branchless_compares: bool = False
+    instr_per_mac: int = 2
+    instr_per_element: int = 4
+    instr_per_branch_test: int = 2
+    bulk_branch_miss_rate: float = 0.0005
+
+    def __post_init__(self) -> None:
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise TraceError(f"line_bytes must be a power of two, got {self.line_bytes}")
+        if self.itemsize <= 0:
+            raise TraceError(f"itemsize must be positive, got {self.itemsize}")
+        if self.dense_stride < 1:
+            raise TraceError(f"dense_stride must be >= 1, got {self.dense_stride}")
+        if self.sparse_from_layer is not None and self.sparse_from_layer < 0:
+            raise TraceError("sparse_from_layer must be >= 0 or None")
+        if not 0.0 <= self.bulk_branch_miss_rate <= 1.0:
+            raise TraceError("bulk_branch_miss_rate must be in [0, 1]")
+        if self.scatter_order not in ("channel-major", "spatial-major"):
+            raise TraceError(
+                f"scatter_order must be 'channel-major' or 'spatial-major', "
+                f"got {self.scatter_order!r}"
+            )
+
+    def sparse_enabled(self, layer_index: int) -> bool:
+        """Whether layer ``layer_index`` runs the sparsity-aware kernel."""
+        if self.sparse_layers is not None:
+            return layer_index in self.sparse_layers
+        return (self.sparse_from_layer is not None
+                and layer_index >= self.sparse_from_layer)
+
+
+class Trace:
+    """Ordered operation stream of one traced classification."""
+
+    def __init__(self) -> None:
+        self.ops: List[Tuple] = []
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+
+    def mem(self, lines: np.ndarray, write: bool = False) -> None:
+        """Record a memory access burst (cache-line ids, program order)."""
+        lines = np.asarray(lines, dtype=np.int64)
+        if lines.size:
+            self.ops.append((OP_MEM, lines, write))
+
+    def instr(self, count: int) -> None:
+        """Record ``count`` retired instructions."""
+        if count < 0:
+            raise TraceError(f"instruction count must be >= 0, got {count}")
+        if count:
+            self.ops.append((OP_INSTR, int(count)))
+
+    def bulk_branch(self, count: int, miss_rate: float) -> None:
+        """Record ``count`` aggregate loop-control branches."""
+        if count < 0:
+            raise TraceError(f"branch count must be >= 0, got {count}")
+        if count:
+            self.ops.append((OP_BULK_BRANCH, int(count), float(miss_rate)))
+
+    def dyn_branch(self, pc: int, outcomes: np.ndarray) -> None:
+        """Record a data-dependent branch site's outcome stream."""
+        outcomes = np.asarray(outcomes, dtype=bool)
+        if outcomes.size:
+            self.ops.append((OP_DYN_BRANCH, int(pc), outcomes))
+
+    def extend(self, other: "Trace") -> None:
+        """Append another trace's operations."""
+        self.ops.extend(other.ops)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def memory_accesses(self) -> int:
+        """Total traced cache-line accesses."""
+        return sum(op[1].size for op in self.ops if op[0] == OP_MEM)
+
+    @property
+    def instructions(self) -> int:
+        """Total retired instructions recorded."""
+        return sum(op[1] for op in self.ops if op[0] == OP_INSTR)
+
+    @property
+    def branches(self) -> int:
+        """Total branches (bulk + data-dependent)."""
+        total = 0
+        for op in self.ops:
+            if op[0] == OP_BULK_BRANCH:
+                total += op[1]
+            elif op[0] == OP_DYN_BRANCH:
+                total += op[2].size
+        return total
+
+    @property
+    def dynamic_branches(self) -> int:
+        """Total data-dependent branches."""
+        return sum(op[2].size for op in self.ops if op[0] == OP_DYN_BRANCH)
+
+    def memory_lines(self) -> np.ndarray:
+        """Concatenated access stream (program order)."""
+        chunks = [op[1] for op in self.ops if op[0] == OP_MEM]
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+
+    def replay(self, cpu) -> None:
+        """Feed the stream into a :class:`repro.uarch.CpuModel` in order.
+
+        The CPU's task must already be open (``cpu.begin_task()``).
+        """
+        for op in self.ops:
+            tag = op[0]
+            if tag == OP_MEM:
+                cpu.load_store(op[1], write=op[2])
+            elif tag == OP_INSTR:
+                cpu.retire_instructions(op[1])
+            elif tag == OP_BULK_BRANCH:
+                cpu.bulk_branches(op[1], miss_rate=op[2])
+            elif tag == OP_DYN_BRANCH:
+                pc, outcomes = op[1], op[2]
+                cpu.dynamic_branches(np.full(outcomes.size, pc, dtype=np.int64),
+                                     outcomes)
+            else:  # pragma: no cover - defensive
+                raise TraceError(f"unknown trace op {tag!r}")
+
+    def summary(self) -> str:
+        """One-line totals."""
+        return (f"trace: {self.memory_accesses} mem accesses, "
+                f"{self.instructions} instructions, {self.branches} branches "
+                f"({self.dynamic_branches} data-dependent)")

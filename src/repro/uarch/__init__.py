@@ -1,0 +1,85 @@
+"""Microarchitecture simulation substrate.
+
+A trace-driven CPU model — set-associative caches, TLB, branch predictors,
+optional prefetchers and a PMU register model — that turns the execution
+trace of a CNN classification into the eight generic hardware events the
+paper's evaluator monitors with ``perf``.
+"""
+
+from .branch import (
+    BimodalPredictor,
+    BranchPredictor,
+    BranchStats,
+    GsharePredictor,
+    StaticTakenPredictor,
+    TournamentPredictor,
+    make_predictor,
+)
+from .cache import Cache, CacheGeometry, CacheStats
+from .cpu import CpuConfig, CpuModel
+from .events import (
+    ALL_EVENTS,
+    PAPER_TABLE_EVENTS,
+    EventCounts,
+    HpcEvent,
+    sum_counts,
+)
+from .hierarchy import AccessSummary, CacheHierarchy, HierarchyConfig
+from .pmu import FIXED_EVENTS, Pmu, PmuConfig, default_full_programming
+from .prefetch import (
+    NextLinePrefetcher,
+    NullPrefetcher,
+    Prefetcher,
+    StridePrefetcher,
+    make_prefetcher,
+)
+from .replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    TreePlruPolicy,
+    make_policy,
+)
+from .tlb import Tlb, TlbConfig, TlbStats
+
+__all__ = [
+    "ALL_EVENTS",
+    "AccessSummary",
+    "BimodalPredictor",
+    "BranchPredictor",
+    "BranchStats",
+    "Cache",
+    "CacheGeometry",
+    "CacheHierarchy",
+    "CacheStats",
+    "CpuConfig",
+    "CpuModel",
+    "EventCounts",
+    "FIXED_EVENTS",
+    "FifoPolicy",
+    "GsharePredictor",
+    "HierarchyConfig",
+    "HpcEvent",
+    "LruPolicy",
+    "NextLinePrefetcher",
+    "NullPrefetcher",
+    "PAPER_TABLE_EVENTS",
+    "Pmu",
+    "PmuConfig",
+    "Prefetcher",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "StaticTakenPredictor",
+    "StridePrefetcher",
+    "Tlb",
+    "TlbConfig",
+    "TlbStats",
+    "TournamentPredictor",
+    "TreePlruPolicy",
+    "default_full_programming",
+    "make_policy",
+    "make_predictor",
+    "make_prefetcher",
+    "sum_counts",
+]

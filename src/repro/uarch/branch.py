@@ -1,0 +1,253 @@
+"""Branch predictor models.
+
+The CNN inference trace separates two branch populations (see
+``repro.trace``):
+
+* *Bulk* loop-control branches — perfectly biased, counted in aggregate with
+  a near-zero misprediction rate via :meth:`BranchPredictor.record_bulk`.
+  This is why the paper's ``branches`` event is nearly input-independent.
+* *Data-dependent* branches (ReLU sign tests, max-pooling comparisons,
+  sparsity skip tests) — simulated one by one through a real predictor so
+  that ``branch-misses`` reflects the input-dependent outcome stream.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+@dataclass
+class BranchStats:
+    """Counters maintained by every predictor."""
+
+    branches: int = 0
+    mispredictions: int = 0
+    bulk_branches: int = 0
+    bulk_mispredictions: int = 0
+
+    @property
+    def total_branches(self) -> int:
+        """Simulated plus bulk-recorded branches."""
+        return self.branches + self.bulk_branches
+
+    @property
+    def total_mispredictions(self) -> int:
+        """Simulated plus bulk-recorded mispredictions."""
+        return self.mispredictions + self.bulk_mispredictions
+
+    @property
+    def miss_rate(self) -> float:
+        """Overall misprediction rate."""
+        total = self.total_branches
+        return self.total_mispredictions / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.branches = self.mispredictions = 0
+        self.bulk_branches = self.bulk_mispredictions = 0
+
+
+class BranchPredictor(abc.ABC):
+    """Base class: a direction predictor with bulk-accounting support."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = BranchStats()
+
+    @abc.abstractmethod
+    def _predict_update(self, pc: int, taken: bool) -> bool:
+        """Predict the direction of the branch at ``pc`` and train on ``taken``.
+
+        Returns:
+            The *prediction* (True = taken) made before the update.
+        """
+
+    def reset(self) -> None:
+        """Clear prediction state and statistics."""
+        self.stats.reset()
+
+    def execute(self, pc: int, taken: bool) -> bool:
+        """Run one branch through the predictor; returns True on mispredict."""
+        prediction = self._predict_update(pc, bool(taken))
+        self.stats.branches += 1
+        mispredicted = prediction != bool(taken)
+        if mispredicted:
+            self.stats.mispredictions += 1
+        return mispredicted
+
+    def execute_stream(self, pcs: Sequence[int], outcomes: Sequence[bool]) -> int:
+        """Run a stream of branches; returns the misprediction count."""
+        if len(pcs) != len(outcomes):
+            raise ConfigError("pcs and outcomes must have equal length")
+        if isinstance(pcs, np.ndarray):
+            pcs = pcs.tolist()
+        if isinstance(outcomes, np.ndarray):
+            outcomes = outcomes.tolist()
+        before = self.stats.mispredictions
+        predict_update = self._predict_update
+        stats = self.stats
+        miss = 0
+        for pc, taken in zip(pcs, outcomes):
+            if predict_update(pc, bool(taken)) != bool(taken):
+                miss += 1
+        stats.branches += len(pcs)
+        stats.mispredictions += miss
+        return self.stats.mispredictions - before
+
+    def record_bulk(self, count: int, miss_rate: float = 0.0) -> int:
+        """Account for ``count`` trivially predictable branches in aggregate.
+
+        Loop back-edges are taken with probability ~1 and learned after one
+        iteration; simulating them individually would dominate runtime while
+        contributing a deterministic count.  ``miss_rate`` models the residual
+        (loop-exit) mispredictions.
+
+        Returns:
+            The number of mispredictions charged.
+        """
+        if count < 0:
+            raise ConfigError(f"bulk branch count must be >= 0, got {count}")
+        if not 0.0 <= miss_rate <= 1.0:
+            raise ConfigError(f"miss_rate must be in [0, 1], got {miss_rate}")
+        missed = int(round(count * miss_rate))
+        self.stats.bulk_branches += count
+        self.stats.bulk_mispredictions += missed
+        return missed
+
+
+class StaticTakenPredictor(BranchPredictor):
+    """Always predicts taken — the pessimistic baseline."""
+
+    name = "static-taken"
+
+    def _predict_update(self, pc: int, taken: bool) -> bool:
+        return True
+
+
+class BimodalPredictor(BranchPredictor):
+    """Classic table of 2-bit saturating counters indexed by PC."""
+
+    name = "bimodal"
+
+    def __init__(self, table_bits: int = 12):
+        super().__init__()
+        if not 1 <= table_bits <= 24:
+            raise ConfigError(f"table_bits must be in [1, 24], got {table_bits}")
+        self.table_bits = table_bits
+        self._mask = (1 << table_bits) - 1
+        self._table = [2] * (1 << table_bits)  # weakly taken
+
+    def reset(self) -> None:
+        super().reset()
+        self._table = [2] * (1 << self.table_bits)
+
+    def _predict_update(self, pc: int, taken: bool) -> bool:
+        index = pc & self._mask
+        counter = self._table[index]
+        prediction = counter >= 2
+        if taken:
+            if counter < 3:
+                self._table[index] = counter + 1
+        else:
+            if counter > 0:
+                self._table[index] = counter - 1
+        return prediction
+
+
+class GsharePredictor(BranchPredictor):
+    """Gshare: global history XOR PC indexing a 2-bit counter table."""
+
+    name = "gshare"
+
+    def __init__(self, table_bits: int = 12, history_bits: int = 12):
+        super().__init__()
+        if not 1 <= table_bits <= 24:
+            raise ConfigError(f"table_bits must be in [1, 24], got {table_bits}")
+        if not 0 <= history_bits <= table_bits:
+            raise ConfigError(
+                f"history_bits must be in [0, table_bits], got {history_bits}"
+            )
+        self.table_bits = table_bits
+        self.history_bits = history_bits
+        self._mask = (1 << table_bits) - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._table = [2] * (1 << table_bits)
+        self._history = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._table = [2] * (1 << self.table_bits)
+        self._history = 0
+
+    def _predict_update(self, pc: int, taken: bool) -> bool:
+        index = (pc ^ self._history) & self._mask
+        counter = self._table[index]
+        prediction = counter >= 2
+        if taken:
+            if counter < 3:
+                self._table[index] = counter + 1
+        else:
+            if counter > 0:
+                self._table[index] = counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        return prediction
+
+
+class TournamentPredictor(BranchPredictor):
+    """Chooser between a bimodal and a gshare component (Alpha-21264 style)."""
+
+    name = "tournament"
+
+    def __init__(self, table_bits: int = 12, history_bits: int = 12):
+        super().__init__()
+        self._bimodal = BimodalPredictor(table_bits)
+        self._gshare = GsharePredictor(table_bits, history_bits)
+        self.table_bits = table_bits
+        self._mask = (1 << table_bits) - 1
+        self._chooser = [2] * (1 << table_bits)  # weakly prefer gshare
+
+    def reset(self) -> None:
+        super().reset()
+        self._bimodal.reset()
+        self._gshare.reset()
+        self._chooser = [2] * (1 << self.table_bits)
+
+    def _predict_update(self, pc: int, taken: bool) -> bool:
+        index = pc & self._mask
+        bimodal_pred = self._bimodal._predict_update(pc, taken)
+        gshare_pred = self._gshare._predict_update(pc, taken)
+        use_gshare = self._chooser[index] >= 2
+        prediction = gshare_pred if use_gshare else bimodal_pred
+        bimodal_right = bimodal_pred == taken
+        gshare_right = gshare_pred == taken
+        if gshare_right and not bimodal_right and self._chooser[index] < 3:
+            self._chooser[index] += 1
+        elif bimodal_right and not gshare_right and self._chooser[index] > 0:
+            self._chooser[index] -= 1
+        return prediction
+
+
+_PREDICTORS = {
+    "static-taken": StaticTakenPredictor,
+    "bimodal": BimodalPredictor,
+    "gshare": GsharePredictor,
+    "tournament": TournamentPredictor,
+}
+
+
+def make_predictor(name: str, **kwargs) -> BranchPredictor:
+    """Construct a predictor by name (see module docstring for choices)."""
+    try:
+        cls = _PREDICTORS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown branch predictor {name!r}; choose from {sorted(_PREDICTORS)}"
+        ) from None
+    return cls(**kwargs)

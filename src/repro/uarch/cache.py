@@ -1,0 +1,248 @@
+"""Set-associative cache model with per-level statistics.
+
+The simulator works at cache-line granularity: callers present streams of
+*line identifiers* (byte address >> line-size bits) and the cache answers
+hit/miss per access.  A dedicated fast path inlines the LRU discipline — the
+figure/table experiments push tens of thousands of accesses per inference
+through three levels, so the inner loop matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from .replacement import LruPolicy, ReplacementPolicy, make_policy
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Size/shape of one cache level.
+
+    Attributes:
+        total_bytes: Capacity in bytes.
+        line_bytes: Cache line size in bytes (power of two).
+        associativity: Ways per set.
+    """
+
+    total_bytes: int
+    line_bytes: int = 64
+    associativity: int = 8
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.line_bytes):
+            raise ConfigError(f"line_bytes must be a power of two, got {self.line_bytes}")
+        if self.total_bytes % (self.line_bytes * self.associativity):
+            raise ConfigError(
+                f"capacity {self.total_bytes} not divisible by "
+                f"line_bytes*associativity={self.line_bytes * self.associativity}"
+            )
+        if not _is_power_of_two(self.num_sets):
+            raise ConfigError(
+                f"number of sets must be a power of two, got {self.num_sets}"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        """Total resident lines."""
+        return self.total_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.num_lines // self.associativity
+
+    def describe(self) -> str:
+        """Short human-readable geometry string."""
+        return (
+            f"{self.total_bytes // 1024}KiB/{self.associativity}-way/"
+            f"{self.line_bytes}B-line ({self.num_sets} sets)"
+        )
+
+
+@dataclass
+class CacheStats:
+    """Running counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access (0 when idle)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.hits = self.misses = self.evictions = self.writebacks = 0
+
+
+class Cache:
+    """One level of a set-associative cache.
+
+    Args:
+        geometry: Capacity/line/associativity description.
+        policy: Replacement policy name (``lru`` default) or instance.
+        name: Label used in statistics reports.
+        seed: Seed forwarded to stochastic policies.
+    """
+
+    def __init__(self, geometry: CacheGeometry, policy="lru",
+                 name: str = "cache", seed: int = 0):
+        self.geometry = geometry
+        self.name = name
+        if isinstance(policy, ReplacementPolicy):
+            if policy.associativity != geometry.associativity:
+                raise ConfigError(
+                    "policy associativity does not match cache geometry"
+                )
+            self.policy = policy
+        else:
+            self.policy = make_policy(policy, geometry.associativity, seed=seed)
+        self.stats = CacheStats()
+        self._fast_lru = isinstance(self.policy, LruPolicy)
+        self._set_mask = geometry.num_sets - 1
+        self._sets: List[list] = [self.policy.new_set()
+                                  for _ in range(geometry.num_sets)]
+        self._dirty = set()
+
+    def reset(self) -> None:
+        """Flush all contents and zero statistics (fresh cold cache)."""
+        self._sets = [self.policy.new_set() for _ in range(self.geometry.num_sets)]
+        self._dirty.clear()
+        self.stats.reset()
+
+    def access(self, line: int, write: bool = False) -> bool:
+        """Access a single line; returns True on hit."""
+        missed = self.access_many([line], write=write)
+        return not missed
+
+    def contains(self, line: int) -> bool:
+        """True when ``line`` is currently resident (no state change)."""
+        set_state = self._sets[line & self._set_mask]
+        if isinstance(self.policy, LruPolicy) or not set_state or not isinstance(
+                set_state[0], list):
+            return line in set_state
+        return line in set_state[0]  # tree-PLRU keeps [lines, bits]
+
+    def access_many(self, lines: Sequence[int], write: bool = False,
+                    writes: Optional[Sequence[bool]] = None) -> List[int]:
+        """Access a stream of lines in order.
+
+        Args:
+            lines: Line identifiers (ints or an integer ndarray).
+            write: Treat every access as a store (marks lines dirty).
+            writes: Optional per-access store flags overriding ``write``.
+
+        Returns:
+            The list of missed lines, in access order — the refill stream the
+            next cache level must serve.
+        """
+        if isinstance(lines, np.ndarray):
+            lines = lines.tolist()
+        mask = self._set_mask
+        sets = self._sets
+        stats = self.stats
+        dirty = self._dirty
+        missed: List[int] = []
+        if self._fast_lru:
+            assoc = self.policy.associativity
+            hits = 0
+            evictions = 0
+            writebacks = 0
+            for i, line in enumerate(lines):
+                set_state = sets[line & mask]
+                try:
+                    set_state.remove(line)
+                except ValueError:
+                    missed.append(line)
+                    set_state.append(line)
+                    if len(set_state) > assoc:
+                        victim = set_state.pop(0)
+                        evictions += 1
+                        if victim in dirty:
+                            dirty.discard(victim)
+                            writebacks += 1
+                else:
+                    set_state.append(line)
+                    hits += 1
+                if write or (writes is not None and writes[i]):
+                    dirty.add(line)
+            stats.hits += hits
+            stats.misses += len(missed)
+            stats.evictions += evictions
+            stats.writebacks += writebacks
+            return missed
+        # Generic (policy-object) path.
+        policy = self.policy
+        for i, line in enumerate(lines):
+            hit, evicted = policy.access(sets[line & mask], line)
+            if hit:
+                stats.hits += 1
+            else:
+                stats.misses += 1
+                missed.append(line)
+            if evicted is not None:
+                stats.evictions += 1
+                if evicted in dirty:
+                    dirty.discard(evicted)
+                    stats.writebacks += 1
+            if write or (writes is not None and writes[i]):
+                dirty.add(line)
+        return missed
+
+    def invalidate(self, line: int) -> bool:
+        """Remove ``line`` from the cache (``clflush`` semantics).
+
+        Returns:
+            True when the line was resident (and is now gone).
+        """
+        set_state = self._sets[line & self._set_mask]
+        self._dirty.discard(line)
+        if set_state and isinstance(set_state[0], list):
+            lines, _bits = set_state
+            for way, resident in enumerate(lines):
+                if resident == line:
+                    lines[way] = None
+                    return True
+            return False
+        try:
+            set_state.remove(line)
+        except ValueError:
+            return False
+        return True
+
+    def warm(self, lines: Iterable[int]) -> None:
+        """Pre-load lines without touching statistics (warm-up helper)."""
+        saved = CacheStats(self.stats.hits, self.stats.misses,
+                           self.stats.evictions, self.stats.writebacks)
+        self.access_many(list(lines))
+        self.stats = saved
+
+    def resident_lines(self) -> List[int]:
+        """All currently resident line ids (order unspecified)."""
+        out: List[int] = []
+        for set_state in self._sets:
+            if set_state and isinstance(set_state[0], list):
+                out.extend(line for line in set_state[0] if line is not None)
+            else:
+                out.extend(set_state)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Cache({self.name}: {self.geometry.describe()}, "
+                f"policy={self.policy.name})")

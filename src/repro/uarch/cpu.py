@@ -1,0 +1,200 @@
+"""Top-level CPU model producing the eight generic ``perf`` events.
+
+The model is trace-driven: callers (see :mod:`repro.trace`) feed it memory
+access streams, retired-instruction counts and branch outcome streams; the
+model runs them through the cache hierarchy, TLB and branch predictor, then
+derives the cycle-domain events from a simple but standard stall model:
+
+``cycles = instructions * base_cpi + memory stalls + TLB walks +
+branch-miss penalty * mispredictions``
+
+``bus-cycles`` and ``ref-cycles`` are fixed-ratio clock domains of
+``cycles``, matching how the Xeon's 100 MHz bus clock and TSC reference
+relate to the core clock in the paper's Figure 2(b) readout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from ..errors import ConfigError
+from .branch import BranchPredictor, make_predictor
+from .events import EventCounts, HpcEvent
+from .hierarchy import CacheHierarchy, HierarchyConfig
+from .prefetch import Prefetcher, make_prefetcher
+from .tlb import Tlb, TlbConfig
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """Microarchitecture parameters of the simulated CPU.
+
+    Attributes:
+        hierarchy: Cache geometry and latencies.
+        tlb: TLB shape and page-walk cost.
+        predictor: Branch predictor name (see :mod:`repro.uarch.branch`).
+        prefetcher: Prefetcher name (``none`` by default).
+        base_cpi: Cycles per instruction with a perfect memory system,
+            expressed in thousandths (1250 = 1.25 CPI) to keep cycle math
+            integral and deterministic.
+        branch_miss_penalty: Pipeline refill cycles per misprediction.
+        bus_divisor: Core cycles per bus cycle (2.9 GHz core / 100 MHz bus
+            on the paper's Xeon E5-2690 is 29).
+        ref_cycles_per_mille: Ref-cycles per 1000 core cycles; the paper's
+            Figure 2(b) shows ref-cycles ~0.986x cycles (light turbo), i.e.
+            986.
+    """
+
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    tlb: TlbConfig = field(default_factory=TlbConfig)
+    predictor: str = "gshare"
+    prefetcher: str = "none"
+    base_cpi: int = 1250
+    branch_miss_penalty: int = 15
+    bus_divisor: int = 29
+    ref_cycles_per_mille: int = 986
+
+    def __post_init__(self) -> None:
+        if self.base_cpi <= 0:
+            raise ConfigError(f"base_cpi must be positive, got {self.base_cpi}")
+        if self.branch_miss_penalty < 0:
+            raise ConfigError(
+                f"branch_miss_penalty must be >= 0, got {self.branch_miss_penalty}"
+            )
+        if self.bus_divisor < 1:
+            raise ConfigError(f"bus_divisor must be >= 1, got {self.bus_divisor}")
+        if self.ref_cycles_per_mille < 1:
+            raise ConfigError(
+                f"ref_cycles_per_mille must be >= 1, got {self.ref_cycles_per_mille}"
+            )
+
+
+class CpuModel:
+    """Trace-driven CPU producing :class:`EventCounts` per task.
+
+    Typical lifecycle per classification::
+
+        cpu.begin_task()
+        cpu.load_store(line_ids)          # any number of times
+        cpu.retire_instructions(n)        # bulk instruction accounting
+        cpu.bulk_branches(n)              # loop-control branches
+        cpu.dynamic_branches(pcs, taken)  # data-dependent branches
+        counts = cpu.read_counters()
+
+    Args:
+        config: Microarchitecture parameters.
+        seed: Forwarded to stochastic components (random replacement).
+        cold_start: When True (default), :meth:`begin_task` flushes caches,
+            TLB and predictor so each classification starts cold — mirroring
+            the per-process ``perf stat`` measurements of the paper.
+    """
+
+    def __init__(self, config: Optional[CpuConfig] = None, seed: int = 0,
+                 cold_start: bool = True):
+        self.config = config or CpuConfig()
+        self.cold_start = cold_start
+        self.hierarchy = CacheHierarchy(self.config.hierarchy, seed=seed)
+        self.tlb = Tlb(self.config.tlb, line_bytes=self.config.hierarchy.line_bytes)
+        self.predictor: BranchPredictor = make_predictor(self.config.predictor)
+        self.prefetcher: Prefetcher = make_prefetcher(self.config.prefetcher)
+        self._instructions = 0
+        self._tlb_walk_cycles = 0
+        self._extra_cycles = 0
+
+    def begin_task(self) -> None:
+        """Start accounting a new measured task (classification)."""
+        if self.cold_start:
+            self.hierarchy.reset()
+            self.tlb.reset()
+            self.predictor.reset()
+            self.prefetcher.reset()
+        else:
+            # Keep microarchitectural state warm but restart the counters.
+            for level in self.hierarchy.levels:
+                level.stats.reset()
+            self.hierarchy.totals.__init__()
+            self.tlb.stats.reset()
+            self.predictor.stats.reset()
+            self.prefetcher.stats.reset()
+        self._instructions = 0
+        self._tlb_walk_cycles = 0
+        self._extra_cycles = 0
+
+    def load_store(self, lines: Sequence[int], write: bool = False) -> None:
+        """Run a line-id stream through TLB + prefetcher + cache hierarchy."""
+        if len(lines) == 0:
+            return
+        self._tlb_walk_cycles += self.tlb.translate_lines(lines)
+        expanded = self.prefetcher.expand_stream(lines)
+        self.hierarchy.access_stream(expanded, write=write)
+
+    def retire_instructions(self, count: int) -> None:
+        """Account ``count`` retired instructions."""
+        if count < 0:
+            raise ConfigError(f"instruction count must be >= 0, got {count}")
+        self._instructions += count
+
+    def bulk_branches(self, count: int, miss_rate: float = 0.001) -> None:
+        """Account perfectly-biased loop-control branches in aggregate."""
+        self.predictor.record_bulk(count, miss_rate=miss_rate)
+
+    def dynamic_branches(self, pcs: Sequence[int],
+                         outcomes: Sequence[bool]) -> int:
+        """Simulate data-dependent branches; returns mispredictions added."""
+        return self.predictor.execute_stream(pcs, outcomes)
+
+    def add_cycles(self, cycles: int) -> None:
+        """Charge fixed extra cycles (I/O, syscall overhead models)."""
+        if cycles < 0:
+            raise ConfigError(f"cycles must be >= 0, got {cycles}")
+        self._extra_cycles += cycles
+
+    # ------------------------------------------------------------------
+    # Derived events
+    # ------------------------------------------------------------------
+
+    @property
+    def instructions(self) -> int:
+        """Retired instructions so far in this task."""
+        return self._instructions
+
+    def cycles(self) -> int:
+        """Core cycles under the stall model described in the module docstring."""
+        base = (self._instructions * self.config.base_cpi) // 1000
+        memory = self.hierarchy.totals.stall_cycles
+        branch = (self.predictor.stats.total_mispredictions
+                  * self.config.branch_miss_penalty)
+        return base + memory + branch + self._tlb_walk_cycles + self._extra_cycles
+
+    def ground_truth(self) -> Dict[HpcEvent, int]:
+        """Exact per-event totals for the current task."""
+        cycles = self.cycles()
+        totals = self.hierarchy.totals
+        return {
+            HpcEvent.CYCLES: cycles,
+            HpcEvent.INSTRUCTIONS: self._instructions,
+            HpcEvent.REF_CYCLES: (cycles * self.config.ref_cycles_per_mille) // 1000,
+            HpcEvent.BUS_CYCLES: cycles // self.config.bus_divisor,
+            HpcEvent.CACHE_REFERENCES: totals.l2_misses,
+            HpcEvent.CACHE_MISSES: totals.llc_misses,
+            HpcEvent.BRANCHES: self.predictor.stats.total_branches,
+            HpcEvent.BRANCH_MISSES: self.predictor.stats.total_mispredictions,
+        }
+
+    def read_counters(self) -> EventCounts:
+        """All eight events as an :class:`EventCounts`."""
+        return EventCounts(self.ground_truth())
+
+    def describe(self) -> str:
+        """Multi-line configuration dump for reports."""
+        cfg = self.config
+        return "\n".join([
+            self.hierarchy.describe(),
+            f"TLB: {cfg.tlb.entries} entries, {cfg.tlb.page_bytes}B pages, "
+            f"walk={cfg.tlb.walk_latency}cy",
+            f"predictor={cfg.predictor} miss_penalty={cfg.branch_miss_penalty}cy",
+            f"prefetcher={cfg.prefetcher}",
+            f"base CPI={cfg.base_cpi / 1000:.3f} bus_divisor={cfg.bus_divisor} "
+            f"ref_ratio={cfg.ref_cycles_per_mille / 1000:.3f}",
+        ])

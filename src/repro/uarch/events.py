@@ -1,0 +1,150 @@
+"""Hardware performance event definitions.
+
+The paper monitors the eight generic events that Linux ``perf`` exposes on
+essentially every x86 machine (its Figure 2(b) lists exactly these).  The
+same names are used across the whole library: the simulated CPU produces
+them, the ``perf`` backend requests them, and the evaluator tests them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Mapping
+
+from ..errors import ConfigError
+
+
+class HpcEvent(enum.Enum):
+    """Generic hardware events, named exactly as ``perf list`` reports them."""
+
+    BRANCHES = "branches"
+    BRANCH_MISSES = "branch-misses"
+    BUS_CYCLES = "bus-cycles"
+    CACHE_MISSES = "cache-misses"
+    CACHE_REFERENCES = "cache-references"
+    CYCLES = "cycles"
+    INSTRUCTIONS = "instructions"
+    REF_CYCLES = "ref-cycles"
+
+    @property
+    def perf_name(self) -> str:
+        """The event name understood by ``perf stat -e``."""
+        return self.value
+
+    @classmethod
+    def from_name(cls, name: str) -> "HpcEvent":
+        """Parse a perf-style event name (case-insensitive, ``_``/``-`` agnostic)."""
+        normalized = name.strip().lower().replace("_", "-")
+        for event in cls:
+            if event.value == normalized:
+                return event
+        raise ConfigError(f"unknown HPC event name {name!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: The full event set of the paper's Figure 2(b), in its display order.
+ALL_EVENTS = (
+    HpcEvent.BRANCHES,
+    HpcEvent.BRANCH_MISSES,
+    HpcEvent.BUS_CYCLES,
+    HpcEvent.CACHE_MISSES,
+    HpcEvent.CACHE_REFERENCES,
+    HpcEvent.CYCLES,
+    HpcEvent.INSTRUCTIONS,
+    HpcEvent.REF_CYCLES,
+)
+
+#: The two events the paper's Tables 1 and 2 analyse in depth.
+PAPER_TABLE_EVENTS = (HpcEvent.CACHE_MISSES, HpcEvent.BRANCHES)
+
+
+class EventCounts:
+    """An immutable mapping of :class:`HpcEvent` to integer counts.
+
+    This is the unit of measurement everywhere: one ``EventCounts`` per
+    classification operation, mirroring one ``perf stat`` invocation.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Mapping[HpcEvent, int]):
+        clean: Dict[HpcEvent, int] = {}
+        for event, value in counts.items():
+            if not isinstance(event, HpcEvent):
+                event = HpcEvent.from_name(str(event))
+            value = int(round(value))
+            if value < 0:
+                raise ConfigError(f"negative count {value} for event {event}")
+            clean[event] = value
+        self._counts = clean
+
+    def __getitem__(self, event: HpcEvent) -> int:
+        if not isinstance(event, HpcEvent):
+            event = HpcEvent.from_name(str(event))
+        return self._counts[event]
+
+    def get(self, event: HpcEvent, default: int = 0) -> int:
+        """Count for ``event``, or ``default`` when it was not measured."""
+        if not isinstance(event, HpcEvent):
+            event = HpcEvent.from_name(str(event))
+        return self._counts.get(event, default)
+
+    def __contains__(self, event: object) -> bool:
+        return event in self._counts
+
+    def __iter__(self):
+        return iter(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventCounts):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{e.value}={v}" for e, v in sorted(
+            self._counts.items(), key=lambda item: item[0].value))
+        return f"EventCounts({inner})"
+
+    def events(self) -> List[HpcEvent]:
+        """Measured events in Figure 2(b) display order (extras last)."""
+        ordered = [e for e in ALL_EVENTS if e in self._counts]
+        extras = [e for e in self._counts if e not in ordered]
+        return ordered + extras
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain ``{perf_name: count}`` dict (JSON-friendly)."""
+        return {event.value: count for event, count in self._counts.items()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int]) -> "EventCounts":
+        """Inverse of :meth:`as_dict`."""
+        return cls({HpcEvent.from_name(k): v for k, v in data.items()})
+
+    def subset(self, events: Iterable[HpcEvent]) -> "EventCounts":
+        """Restrict to ``events`` (each must have been measured)."""
+        return EventCounts({e: self[e] for e in events})
+
+    def format(self, indent: str = "  ") -> str:
+        """Render like the paper's Figure 2(b): count, then event name."""
+        lines = []
+        for event in self.events():
+            lines.append(f"{indent}{self._counts[event]:>18,}      {event.value}")
+        return "\n".join(lines)
+
+
+def sum_counts(samples: Iterable[EventCounts]) -> EventCounts:
+    """Element-wise sum over measurements (events must match)."""
+    totals: Dict[HpcEvent, int] = {}
+    count = 0
+    for sample in samples:
+        count += 1
+        for event in sample:
+            totals[event] = totals.get(event, 0) + sample[event]
+    if count == 0:
+        raise ConfigError("sum_counts needs at least one sample")
+    return EventCounts(totals)

@@ -1,0 +1,171 @@
+"""Multi-level cache hierarchy.
+
+Models the inclusive L1-data / L2 / LLC path that ``perf``'s generic
+``cache-references`` / ``cache-misses`` events observe on Intel parts:
+``cache-references`` counts last-level-cache lookups and ``cache-misses``
+counts LLC misses, which is the convention the paper's Figure 2(b) numbers
+follow (6.3e7 references vs 8.3e6 misses for one MNIST classification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigError
+from .cache import Cache, CacheGeometry
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Geometry and latency description of the cache/memory system.
+
+    The default geometry is deliberately scaled down so that the working set
+    of the (scaled-down) CNN models sits around LLC capacity, the same regime
+    a full-size TensorFlow model occupies on a Xeon (see DESIGN.md §5.2).
+
+    Attributes:
+        l1: L1 data cache geometry.
+        l2: L2 geometry.
+        llc: Last-level cache geometry.
+        policy: Replacement policy name used at every level.
+        l1_latency: Load-to-use cycles on an L1 hit.
+        l2_latency: Cycles for an L2 hit.
+        llc_latency: Cycles for an LLC hit.
+        memory_latency: Cycles for a DRAM access (LLC miss).
+    """
+
+    l1: CacheGeometry = field(default_factory=lambda: CacheGeometry(
+        total_bytes=4 * 1024, line_bytes=64, associativity=4))
+    l2: CacheGeometry = field(default_factory=lambda: CacheGeometry(
+        total_bytes=32 * 1024, line_bytes=64, associativity=8))
+    llc: CacheGeometry = field(default_factory=lambda: CacheGeometry(
+        total_bytes=128 * 1024, line_bytes=64, associativity=16))
+    policy: str = "lru"
+    l1_latency: int = 4
+    l2_latency: int = 12
+    llc_latency: int = 40
+    memory_latency: int = 200
+
+    def __post_init__(self) -> None:
+        if not (self.l1.line_bytes == self.l2.line_bytes == self.llc.line_bytes):
+            raise ConfigError("all levels must share one line size")
+        if not (self.l1.total_bytes <= self.l2.total_bytes <= self.llc.total_bytes):
+            raise ConfigError("levels must be monotonically non-decreasing in size")
+        for latency in (self.l1_latency, self.l2_latency, self.llc_latency,
+                        self.memory_latency):
+            if latency <= 0:
+                raise ConfigError("latencies must be positive cycles")
+
+    @property
+    def line_bytes(self) -> int:
+        """Shared cache-line size."""
+        return self.l1.line_bytes
+
+
+@dataclass
+class AccessSummary:
+    """Outcome of pushing one access stream through the hierarchy.
+
+    Attributes:
+        accesses: Number of L1 lookups performed.
+        l1_misses: Accesses missing L1 (== L2 lookups).
+        l2_misses: Accesses missing L2 (== LLC lookups, perf ``cache-references``).
+        llc_misses: Accesses missing LLC (perf ``cache-misses``).
+        stall_cycles: Modeled memory stall cycles beyond L1 latency.
+    """
+
+    accesses: int = 0
+    l1_misses: int = 0
+    l2_misses: int = 0
+    llc_misses: int = 0
+    stall_cycles: int = 0
+
+    def merge(self, other: "AccessSummary") -> None:
+        """Accumulate ``other`` into this summary in place."""
+        self.accesses += other.accesses
+        self.l1_misses += other.l1_misses
+        self.l2_misses += other.l2_misses
+        self.llc_misses += other.llc_misses
+        self.stall_cycles += other.stall_cycles
+
+
+class CacheHierarchy:
+    """Three-level data-cache hierarchy with miss forwarding.
+
+    Args:
+        config: Geometry/latency description.
+        seed: Seed forwarded to stochastic replacement policies.
+    """
+
+    def __init__(self, config: Optional[HierarchyConfig] = None, seed: int = 0):
+        self.config = config or HierarchyConfig()
+        self.l1 = Cache(self.config.l1, policy=self.config.policy, name="L1D",
+                        seed=seed)
+        self.l2 = Cache(self.config.l2, policy=self.config.policy, name="L2",
+                        seed=seed + 1)
+        self.llc = Cache(self.config.llc, policy=self.config.policy, name="LLC",
+                         seed=seed + 2)
+        self.totals = AccessSummary()
+
+    @property
+    def levels(self) -> List[Cache]:
+        """Caches ordered from closest to the core outward."""
+        return [self.l1, self.l2, self.llc]
+
+    def reset(self) -> None:
+        """Cold-start every level and zero the running totals."""
+        for level in self.levels:
+            level.reset()
+        self.totals = AccessSummary()
+
+    def access_stream(self, lines: Sequence[int],
+                      write: bool = False) -> AccessSummary:
+        """Push an ordered line-id stream through L1 -> L2 -> LLC.
+
+        Returns:
+            An :class:`AccessSummary` for this stream only (also merged into
+            :attr:`totals`).
+        """
+        cfg = self.config
+        l1_missed = self.l1.access_many(lines, write=write)
+        l2_missed = self.l2.access_many(l1_missed)
+        llc_missed = self.llc.access_many(l2_missed)
+        summary = AccessSummary(
+            accesses=len(lines),
+            l1_misses=len(l1_missed),
+            l2_misses=len(l2_missed),
+            llc_misses=len(llc_missed),
+        )
+        # Stall model: every deeper level adds its incremental latency.
+        summary.stall_cycles = (
+            summary.l1_misses * (cfg.l2_latency - cfg.l1_latency)
+            + summary.l2_misses * (cfg.llc_latency - cfg.l2_latency)
+            + summary.llc_misses * (cfg.memory_latency - cfg.llc_latency)
+        )
+        self.totals.merge(summary)
+        return summary
+
+    def touch(self, line: int, write: bool = False) -> AccessSummary:
+        """Single-line convenience wrapper over :meth:`access_stream`."""
+        return self.access_stream([line], write=write)
+
+    def invalidate(self, line: int) -> None:
+        """Flush ``line`` from every level (``clflush`` semantics)."""
+        for level in self.levels:
+            level.invalidate(line)
+
+    def miss_breakdown(self) -> Dict[str, int]:
+        """Per-level miss counts since the last reset."""
+        return {level.name: level.stats.misses for level in self.levels}
+
+    def describe(self) -> str:
+        """Multi-line human-readable configuration dump."""
+        cfg = self.config
+        lines = [f"policy={cfg.policy} line={cfg.line_bytes}B"]
+        for level, latency in zip(self.levels,
+                                  (cfg.l1_latency, cfg.l2_latency, cfg.llc_latency)):
+            lines.append(f"{level.name}: {level.geometry.describe()} "
+                         f"latency={latency}cy")
+        lines.append(f"DRAM latency={cfg.memory_latency}cy")
+        return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Performance Monitoring Unit register model.
+
+Real PMUs expose a handful of *fixed* counters (cycles, instructions,
+ref-cycles on Intel) plus a small set of *programmable* counters; this is why
+the paper notes that ``perf`` can observe "a maximum of 6 to 8 hardware
+events in parallel".  This module models that constraint, including the
+time-multiplexing estimate the kernel produces when a session over-commits
+the programmable counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from ..errors import ConfigError, SimulationError
+from .events import ALL_EVENTS, EventCounts, HpcEvent
+
+#: Events served by dedicated fixed counters on Intel PMUs.
+FIXED_EVENTS = (HpcEvent.CYCLES, HpcEvent.INSTRUCTIONS, HpcEvent.REF_CYCLES)
+
+
+@dataclass(frozen=True)
+class PmuConfig:
+    """PMU capability description.
+
+    Attributes:
+        programmable_counters: Simultaneously usable general-purpose counters.
+        allow_multiplexing: When True, over-committed events are rotated and
+            their counts are scaled estimates (what ``perf`` prints with a
+            ``(xx.x%)`` annotation); when False, over-commit raises.
+    """
+
+    programmable_counters: int = 4
+    allow_multiplexing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.programmable_counters < 1:
+            raise ConfigError(
+                f"need >= 1 programmable counter, got {self.programmable_counters}"
+            )
+
+
+class Pmu:
+    """A programmed set of event counters reading from a ground-truth source.
+
+    The CPU model computes exact event totals; the PMU decides which of them
+    are architecturally visible and at what fidelity.
+
+    Args:
+        config: Capability description.
+    """
+
+    def __init__(self, config: PmuConfig = None):
+        self.config = config or PmuConfig()
+        self._programmed: List[HpcEvent] = []
+
+    @property
+    def programmed_events(self) -> List[HpcEvent]:
+        """Events currently selected for counting."""
+        return list(self._programmed)
+
+    def program(self, events: Iterable[HpcEvent]) -> None:
+        """Select the events to observe for the next measurement.
+
+        Raises:
+            SimulationError: When the request needs more programmable
+                counters than exist and multiplexing is disabled.
+        """
+        selected: List[HpcEvent] = []
+        for event in events:
+            if not isinstance(event, HpcEvent):
+                event = HpcEvent.from_name(str(event))
+            if event not in selected:
+                selected.append(event)
+        programmable_needed = len([e for e in selected if e not in FIXED_EVENTS])
+        if (programmable_needed > self.config.programmable_counters
+                and not self.config.allow_multiplexing):
+            raise SimulationError(
+                f"{programmable_needed} programmable events requested but only "
+                f"{self.config.programmable_counters} counters exist and "
+                "multiplexing is disabled"
+            )
+        self._programmed = selected
+
+    def multiplex_share(self) -> Dict[HpcEvent, float]:
+        """Fraction of the run each programmed event was actually counted."""
+        programmable = [e for e in self._programmed if e not in FIXED_EVENTS]
+        shares: Dict[HpcEvent, float] = {
+            e: 1.0 for e in self._programmed if e in FIXED_EVENTS
+        }
+        slots = self.config.programmable_counters
+        if len(programmable) <= slots:
+            share = 1.0
+        else:
+            share = slots / len(programmable)
+        for event in programmable:
+            shares[event] = share
+        return shares
+
+    def read(self, ground_truth: Mapping[HpcEvent, int]) -> EventCounts:
+        """Produce the architectural view of ``ground_truth``.
+
+        Only programmed events appear; multiplexed events are scaled
+        estimates ``count = observed / share`` where the observed window is
+        assumed uniform — which is exactly the estimate ``perf`` reports.
+        """
+        if not self._programmed:
+            raise SimulationError("no events programmed; call program() first")
+        out: Dict[HpcEvent, int] = {}
+        shares = self.multiplex_share()
+        for event in self._programmed:
+            try:
+                exact = ground_truth[event]
+            except KeyError:
+                raise SimulationError(
+                    f"ground truth does not provide event {event}"
+                ) from None
+            share = shares[event]
+            # Counting a 'share' fraction then extrapolating back is lossless
+            # for a uniform-rate event; we keep it exact and integral.
+            observed = int(round(exact * share))
+            out[event] = int(round(observed / share)) if share > 0 else 0
+        return EventCounts(out)
+
+    def describe(self) -> str:
+        """Human-readable capability line."""
+        return (
+            f"PMU: {len(FIXED_EVENTS)} fixed + "
+            f"{self.config.programmable_counters} programmable counters, "
+            f"multiplexing={'on' if self.config.allow_multiplexing else 'off'}"
+        )
+
+
+def default_full_programming() -> Tuple[HpcEvent, ...]:
+    """The paper's full Figure 2(b) event set."""
+    return ALL_EVENTS

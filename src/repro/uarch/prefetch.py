@@ -1,0 +1,141 @@
+"""Hardware prefetcher models.
+
+Prefetchers blur data-dependent access patterns (a perfect prefetcher would
+be a side-channel countermeasure for streaming workloads), so the ablation
+bench compares leakage with prefetching off, next-line, and stride.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import ConfigError
+
+
+@dataclass
+class PrefetchStats:
+    """Issued/late accounting for a prefetcher."""
+
+    issued: int = 0
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.issued = 0
+
+
+class Prefetcher(abc.ABC):
+    """Base class: observes demand line ids, emits prefetch line ids."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = PrefetchStats()
+
+    @abc.abstractmethod
+    def observe(self, line: int) -> List[int]:
+        """Record a demand access; return the lines to prefetch (maybe empty)."""
+
+    def reset(self) -> None:
+        """Clear learned state and statistics."""
+        self.stats.reset()
+
+    def expand_stream(self, lines: Sequence[int]) -> List[int]:
+        """Interleave prefetches after their triggering demand access."""
+        out: List[int] = []
+        for line in lines:
+            out.append(line)
+            fetched = self.observe(line)
+            self.stats.issued += len(fetched)
+            out.extend(fetched)
+        return out
+
+
+class NullPrefetcher(Prefetcher):
+    """No prefetching (the default for the paper experiments)."""
+
+    name = "none"
+
+    def observe(self, line: int) -> List[int]:
+        return []
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Always prefetches the ``degree`` sequentially following lines."""
+
+    name = "next-line"
+
+    def __init__(self, degree: int = 1):
+        super().__init__()
+        if degree < 1:
+            raise ConfigError(f"degree must be >= 1, got {degree}")
+        self.degree = degree
+
+    def observe(self, line: int) -> List[int]:
+        return [line + d for d in range(1, self.degree + 1)]
+
+
+class StridePrefetcher(Prefetcher):
+    """Detects a stable global stride and runs ``degree`` lines ahead.
+
+    A stride is confirmed after ``confidence_threshold`` consecutive accesses
+    exhibiting the same non-zero delta; prefetching stops the moment the
+    pattern breaks.
+    """
+
+    name = "stride"
+
+    def __init__(self, degree: int = 2, confidence_threshold: int = 2):
+        super().__init__()
+        if degree < 1:
+            raise ConfigError(f"degree must be >= 1, got {degree}")
+        if confidence_threshold < 1:
+            raise ConfigError(
+                f"confidence_threshold must be >= 1, got {confidence_threshold}"
+            )
+        self.degree = degree
+        self.confidence_threshold = confidence_threshold
+        self._last_line = None
+        self._last_stride = 0
+        self._confidence = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._last_line = None
+        self._last_stride = 0
+        self._confidence = 0
+
+    def observe(self, line: int) -> List[int]:
+        prefetches: List[int] = []
+        if self._last_line is not None:
+            stride = line - self._last_line
+            if stride != 0 and stride == self._last_stride:
+                self._confidence = min(self._confidence + 1,
+                                       self.confidence_threshold)
+            else:
+                self._confidence = 0
+            self._last_stride = stride
+            if self._confidence >= self.confidence_threshold and stride != 0:
+                prefetches = [line + stride * d
+                              for d in range(1, self.degree + 1)]
+        self._last_line = line
+        return prefetches
+
+
+_PREFETCHERS = {
+    "none": NullPrefetcher,
+    "next-line": NextLinePrefetcher,
+    "stride": StridePrefetcher,
+}
+
+
+def make_prefetcher(name: str, **kwargs) -> Prefetcher:
+    """Construct a prefetcher by name (``none``, ``next-line``, ``stride``)."""
+    try:
+        cls = _PREFETCHERS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown prefetcher {name!r}; choose from {sorted(_PREFETCHERS)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,186 @@
+"""Cache replacement policies.
+
+Each policy manages the contents of a single cache set and answers, per
+access, whether the line hit.  The LRU policy is the default (and the one
+the figure/table experiments use); FIFO, random and tree-PLRU are provided
+for the cache-geometry ablation bench.
+
+The per-set state is a plain Python ``list`` of line identifiers, ordered by
+whatever discipline the policy maintains; keeping it a flat list keeps the
+inner simulation loop on C-speed list primitives.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+class ReplacementPolicy(abc.ABC):
+    """Replacement discipline for one set of an ``associativity``-way cache."""
+
+    name = "abstract"
+
+    def __init__(self, associativity: int):
+        if associativity < 1:
+            raise ConfigError(f"associativity must be >= 1, got {associativity}")
+        self.associativity = associativity
+
+    def new_set(self) -> list:
+        """Fresh (empty) per-set state."""
+        return []
+
+    @abc.abstractmethod
+    def access(self, set_state: list, line: int) -> Tuple[bool, Optional[int]]:
+        """Record an access to ``line`` in ``set_state``.
+
+        Returns:
+            ``(hit, evicted_line)`` where ``evicted_line`` is ``None`` unless
+            the insertion displaced a resident line.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(associativity={self.associativity})"
+
+
+class LruPolicy(ReplacementPolicy):
+    """Least-recently-used: list kept in recency order (MRU at the tail)."""
+
+    name = "lru"
+
+    def access(self, set_state: list, line: int) -> Tuple[bool, Optional[int]]:
+        try:
+            set_state.remove(line)
+        except ValueError:
+            set_state.append(line)
+            if len(set_state) > self.associativity:
+                return False, set_state.pop(0)
+            return False, None
+        set_state.append(line)
+        return True, None
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in-first-out: hits do not refresh recency."""
+
+    name = "fifo"
+
+    def access(self, set_state: list, line: int) -> Tuple[bool, Optional[int]]:
+        if line in set_state:
+            return True, None
+        set_state.append(line)
+        if len(set_state) > self.associativity:
+            return False, set_state.pop(0)
+        return False, None
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Random victim selection with a seeded generator (reproducible)."""
+
+    name = "random"
+
+    def __init__(self, associativity: int, seed: int = 0):
+        super().__init__(associativity)
+        self._rng = np.random.default_rng(seed)
+
+    def access(self, set_state: list, line: int) -> Tuple[bool, Optional[int]]:
+        if line in set_state:
+            return True, None
+        if len(set_state) < self.associativity:
+            set_state.append(line)
+            return False, None
+        victim_index = int(self._rng.integers(self.associativity))
+        evicted = set_state[victim_index]
+        set_state[victim_index] = line
+        return False, evicted
+
+
+class TreePlruPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU (the policy of most real L1 caches).
+
+    Maintains a binary decision tree over the ways; each access flips the
+    traversed tree bits away from the touched way, and the victim is found by
+    following the bits.  Associativity must be a power of two.
+    """
+
+    name = "tree-plru"
+
+    def __init__(self, associativity: int):
+        super().__init__(associativity)
+        if associativity & (associativity - 1):
+            raise ConfigError(
+                f"tree-PLRU needs power-of-two associativity, got {associativity}"
+            )
+
+    def new_set(self) -> list:
+        # State layout: [lines list, tree bits list].
+        return [[None] * self.associativity, [0] * max(1, self.associativity - 1)]
+
+    def _touch(self, bits: List[int], way: int) -> None:
+        node = 0
+        span = self.associativity
+        while span > 1:
+            span //= 2
+            go_right = way % (span * 2) >= span
+            bits[node] = 0 if go_right else 1  # point away from the touched half
+            node = 2 * node + (2 if go_right else 1)
+
+    def _victim(self, bits: List[int]) -> int:
+        node = 0
+        way = 0
+        span = self.associativity
+        while span > 1:
+            span //= 2
+            if bits[node]:
+                way += span
+                node = 2 * node + 2
+            else:
+                node = 2 * node + 1
+        return way
+
+    def access(self, set_state: list, line: int) -> Tuple[bool, Optional[int]]:
+        lines, bits = set_state
+        if line in lines:
+            self._touch(bits, lines.index(line))
+            return True, None
+        if None in lines:
+            way = lines.index(None)
+            lines[way] = line
+            self._touch(bits, way)
+            return False, None
+        way = self._victim(bits)
+        evicted = lines[way]
+        lines[way] = line
+        self._touch(bits, way)
+        return False, evicted
+
+
+_POLICIES = {
+    "lru": LruPolicy,
+    "fifo": FifoPolicy,
+    "random": RandomPolicy,
+    "tree-plru": TreePlruPolicy,
+}
+
+
+def make_policy(name: str, associativity: int, seed: int = 0) -> ReplacementPolicy:
+    """Construct a replacement policy by name.
+
+    Args:
+        name: One of ``lru``, ``fifo``, ``random``, ``tree-plru``.
+        associativity: Ways per set.
+        seed: Used only by the ``random`` policy.
+    """
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+    if cls is RandomPolicy:
+        return cls(associativity, seed=seed)
+    return cls(associativity)

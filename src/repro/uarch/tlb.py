@@ -1,0 +1,116 @@
+"""Translation lookaside buffer model.
+
+TLB misses contribute both cycles (page-walk latency) and extra memory
+traffic.  The CNN working sets here span a few dozen pages, so a small LRU
+TLB exhibits input-dependent behaviour only through the sparsity-driven
+access pattern, exactly like the caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TlbConfig:
+    """TLB shape and cost.
+
+    Attributes:
+        entries: Number of cached translations (fully associative, LRU).
+        page_bytes: Page size (power of two).
+        walk_latency: Cycles charged per page walk (TLB miss).
+    """
+
+    entries: int = 32
+    page_bytes: int = 4096
+    walk_latency: int = 50
+
+    def __post_init__(self) -> None:
+        if self.entries < 1:
+            raise ConfigError(f"TLB needs >= 1 entry, got {self.entries}")
+        if self.page_bytes & (self.page_bytes - 1) or self.page_bytes <= 0:
+            raise ConfigError(f"page_bytes must be a power of two, got {self.page_bytes}")
+        if self.walk_latency < 0:
+            raise ConfigError(f"walk_latency must be >= 0, got {self.walk_latency}")
+
+
+@dataclass
+class TlbStats:
+    """Hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total translations requested."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per translation."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.hits = self.misses = 0
+
+
+class Tlb:
+    """Fully associative LRU TLB over page numbers.
+
+    Args:
+        config: Shape and page-walk cost.
+        line_bytes: Cache-line size of the address stream this TLB observes;
+            line ids are converted to page numbers internally.
+    """
+
+    def __init__(self, config: TlbConfig = None, line_bytes: int = 64):
+        self.config = config or TlbConfig()
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ConfigError(f"line_bytes must be a power of two, got {line_bytes}")
+        if self.config.page_bytes < line_bytes:
+            raise ConfigError("page must be at least one cache line")
+        self._lines_per_page_shift = (self.config.page_bytes // line_bytes
+                                      ).bit_length() - 1
+        self.stats = TlbStats()
+        self._entries: List[int] = []
+
+    def reset(self) -> None:
+        """Invalidate all translations and zero statistics."""
+        self._entries = []
+        self.stats.reset()
+
+    def translate_lines(self, lines: Sequence[int]) -> int:
+        """Translate a cache-line id stream; returns page-walk cycles charged.
+
+        Consecutive accesses to one page cost a single lookup each but only
+        the first can miss, mirroring a hardware TLB in front of the L1.
+        """
+        shift = self._lines_per_page_shift
+        entries = self._entries
+        capacity = self.config.entries
+        misses = 0
+        hits = 0
+        for line in lines:
+            page = line >> shift
+            try:
+                entries.remove(page)
+            except ValueError:
+                misses += 1
+                entries.append(page)
+                if len(entries) > capacity:
+                    entries.pop(0)
+            else:
+                entries.append(page)
+                hits += 1
+        self.stats.hits += hits
+        self.stats.misses += misses
+        return misses * self.config.walk_latency
+
+    def resident_pages(self) -> List[int]:
+        """Currently cached page numbers (LRU order, most recent last)."""
+        return list(self._entries)

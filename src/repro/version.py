@@ -1,0 +1,6 @@
+"""Single source of truth for the package version."""
+
+__version__ = "1.0.0"
+
+#: (major, minor, patch) tuple parsed from :data:`__version__`.
+VERSION_INFO = tuple(int(part) for part in __version__.split("."))

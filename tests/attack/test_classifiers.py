@@ -1,0 +1,103 @@
+"""Tests for repro.attack.classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.attack import (
+    GaussianNaiveBayes,
+    LinearDiscriminant,
+    NearestCentroid,
+    make_classifier,
+)
+from repro.errors import StatisticsError
+
+ALL_CLASSIFIERS = ("gaussian-nb", "lda", "nearest-centroid")
+
+
+def blobs(rng, separation=6.0, n=60, features=4, classes=3):
+    """Well-separated Gaussian blobs."""
+    xs, ys = [], []
+    for label in range(classes):
+        center = rng.normal(size=features) * 0.1 + label * separation
+        xs.append(rng.normal(center, 1.0, size=(n, features)))
+        ys.append(np.full(n, label))
+    return np.concatenate(xs), np.concatenate(ys)
+
+
+class TestSeparableAccuracy:
+    @pytest.mark.parametrize("name", ALL_CLASSIFIERS)
+    def test_near_perfect_on_separated_blobs(self, name, rng):
+        x, y = blobs(rng)
+        classifier = make_classifier(name)
+        classifier.fit(x, y)
+        assert classifier.score(x, y) > 0.98
+
+    @pytest.mark.parametrize("name", ALL_CLASSIFIERS)
+    def test_generalizes_to_fresh_samples(self, name, rng):
+        x, y = blobs(rng)
+        x2, y2 = blobs(np.random.default_rng(77))
+        classifier = make_classifier(name).fit(x, y)
+        assert classifier.score(x2, y2) > 0.95
+
+    @pytest.mark.parametrize("name", ALL_CLASSIFIERS)
+    def test_chance_level_on_identical_classes(self, name, rng):
+        x = rng.normal(size=(200, 3))
+        y = rng.integers(0, 2, size=200)
+        classifier = make_classifier(name).fit(x, y)
+        assert classifier.score(x, y) < 0.75
+
+
+class TestGaussianNB:
+    def test_log_posterior_shape(self, rng):
+        x, y = blobs(rng, classes=2)
+        model = GaussianNaiveBayes().fit(x, y)
+        assert model.log_posterior(x[:5]).shape == (5, 2)
+
+    def test_priors_reflect_imbalance(self, rng):
+        x = np.concatenate([rng.normal(0, 1, (90, 2)),
+                            rng.normal(0, 1, (10, 2))])
+        y = np.concatenate([np.zeros(90), np.ones(10)]).astype(int)
+        model = GaussianNaiveBayes().fit(x, y)
+        # Ambiguous points should lean towards the majority class.
+        predictions = model.predict(rng.normal(0, 1, (200, 2)))
+        assert np.mean(predictions == 0) > 0.7
+
+    def test_unfitted_predict_rejected(self, rng):
+        with pytest.raises(StatisticsError):
+            GaussianNaiveBayes().predict(rng.normal(size=(2, 2)))
+
+
+class TestLda:
+    def test_shrinkage_bounds(self):
+        with pytest.raises(StatisticsError):
+            LinearDiscriminant(shrinkage=-0.1)
+        with pytest.raises(StatisticsError):
+            LinearDiscriminant(shrinkage=1.1)
+
+    def test_decision_function_shape(self, rng):
+        x, y = blobs(rng, classes=3)
+        model = LinearDiscriminant().fit(x, y)
+        assert model.decision_function(x[:7]).shape == (7, 3)
+
+    def test_handles_correlated_features(self, rng):
+        base = rng.normal(size=(120, 1))
+        x = np.hstack([base, base * 2.0 + rng.normal(0, 0.01, (120, 1))])
+        y = (base[:, 0] > 0).astype(int)
+        model = LinearDiscriminant(shrinkage=0.2).fit(x, y)
+        assert model.score(x, y) > 0.95
+
+
+class TestValidation:
+    @pytest.mark.parametrize("name", ALL_CLASSIFIERS)
+    def test_fit_input_checks(self, name, rng):
+        classifier = make_classifier(name)
+        with pytest.raises(StatisticsError):
+            classifier.fit(rng.normal(size=(4,)), np.array([0, 1, 0, 1]))
+        with pytest.raises(StatisticsError):
+            classifier.fit(rng.normal(size=(4, 2)), np.array([0, 1]))
+        with pytest.raises(StatisticsError):
+            classifier.fit(rng.normal(size=(4, 2)), np.zeros(4))
+
+    def test_unknown_name(self):
+        with pytest.raises(StatisticsError):
+            make_classifier("svm")

@@ -1,0 +1,115 @@
+"""Tests for repro.attack.features and repro.attack.attacker."""
+
+import numpy as np
+import pytest
+
+from repro.attack import (
+    InputRecoveryAttack,
+    Standardizer,
+    build_features,
+    profile_and_attack,
+)
+from repro.errors import MeasurementError
+from repro.hpc import EventDistributions
+from repro.uarch import HpcEvent
+
+
+def leaky_distributions(n=40, gap=80.0, seed=0):
+    """Categories separated on cache-misses, identical on branches."""
+    rng = np.random.default_rng(seed)
+    data = {}
+    for i, category in enumerate((1, 2, 3)):
+        data[category] = {
+            HpcEvent.CACHE_MISSES: rng.normal(1000 + i * gap, 10.0, n),
+            HpcEvent.BRANCHES: rng.normal(50_000, 40.0, n),
+        }
+    return EventDistributions(data)
+
+
+class TestFeatures:
+    def test_build_features_shapes(self):
+        features = build_features(leaky_distributions())
+        assert features.x.shape == (120, 2)
+        assert features.y.shape == (120,)
+        assert features.categories == [1, 2, 3]
+
+    def test_event_column_selection(self):
+        features = build_features(leaky_distributions(),
+                                  events=[HpcEvent.BRANCHES])
+        assert features.x.shape == (120, 1)
+        assert features.events == (HpcEvent.BRANCHES,)
+
+    def test_split_stratified(self):
+        features = build_features(leaky_distributions(n=10))
+        train, test = features.split(0.7, seed=1)
+        for label in (1, 2, 3):
+            assert np.sum(train.y == label) == 7
+            assert np.sum(test.y == label) == 3
+
+    def test_split_rejects_bad_fraction(self):
+        features = build_features(leaky_distributions(n=4))
+        with pytest.raises(MeasurementError):
+            features.split(0.0)
+
+    def test_standardizer(self, rng):
+        x = rng.normal(5.0, 3.0, size=(100, 4))
+        transform = Standardizer.fit(x)
+        z = transform.transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), np.zeros(4), atol=1e-10)
+        np.testing.assert_allclose(z.std(axis=0), np.ones(4), rtol=1e-10)
+
+    def test_standardizer_constant_column_safe(self):
+        x = np.ones((10, 2))
+        z = Standardizer.fit(x).transform(x)
+        assert np.all(np.isfinite(z))
+
+
+class TestInputRecoveryAttack:
+    def test_fit_predict_evaluate(self):
+        attack = InputRecoveryAttack("gaussian-nb")
+        attack.fit(leaky_distributions())
+        fresh = leaky_distributions(seed=9)
+        result = attack.evaluate(fresh)
+        assert result.accuracy > 0.9
+        assert result.chance_level == pytest.approx(1 / 3)
+        assert result.advantage > 0.8
+
+    def test_predict_single_reading(self):
+        attack = InputRecoveryAttack("nearest-centroid")
+        attack.fit(leaky_distributions())
+        reading = np.array([1160.0, 50_000.0])  # near category 3's template
+        assert attack.predict(reading)[0] == 3
+
+    def test_unfitted_attack_rejected(self):
+        attack = InputRecoveryAttack()
+        with pytest.raises(MeasurementError):
+            attack.predict(np.zeros(2))
+        with pytest.raises(MeasurementError):
+            attack.evaluate(leaky_distributions())
+
+    def test_non_leaky_event_gives_chance_accuracy(self):
+        attack = InputRecoveryAttack("gaussian-nb",
+                                     events=[HpcEvent.BRANCHES])
+        attack.fit(leaky_distributions())
+        result = attack.evaluate(leaky_distributions(seed=5))
+        assert result.accuracy < 0.55
+
+
+class TestProfileAndAttack:
+    def test_split_protocol(self):
+        result = profile_and_attack(leaky_distributions(), seed=2)
+        assert result.accuracy > 0.85
+        assert result.n_train + result.n_test == 120
+        assert set(result.per_category_accuracy) == {1, 2, 3}
+
+    def test_summary_text(self):
+        result = profile_and_attack(leaky_distributions())
+        text = result.summary()
+        assert "accuracy" in text
+        assert "chance" in text
+
+    @pytest.mark.parametrize("name", ("gaussian-nb", "lda",
+                                      "nearest-centroid"))
+    def test_all_classifiers_beat_chance_on_leak(self, name):
+        result = profile_and_attack(leaky_distributions(), classifier=name)
+        assert result.accuracy > 0.8

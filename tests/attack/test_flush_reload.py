@@ -1,0 +1,117 @@
+"""Tests for the simulated Flush+Reload attack and cache invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.attack import (
+    FlushReloadAttacker,
+    flush_reload_attack,
+    weight_lines,
+)
+from repro.errors import SimulationError
+from repro.trace import Trace, TracedInference
+from repro.uarch import Cache, CacheGeometry, CacheHierarchy
+
+
+class TestInvalidate:
+    def test_invalidate_removes_resident_line(self):
+        cache = Cache(CacheGeometry(4 * 64, 64, 2))
+        cache.access(5)
+        assert cache.contains(5)
+        assert cache.invalidate(5)
+        assert not cache.contains(5)
+
+    def test_invalidate_absent_line_is_noop(self):
+        cache = Cache(CacheGeometry(4 * 64, 64, 2))
+        assert not cache.invalidate(9)
+
+    def test_invalidate_clears_dirty_state(self):
+        cache = Cache(CacheGeometry(2 * 64, 64, 2))
+        cache.access(0, write=True)
+        cache.invalidate(0)
+        cache.access_many([2, 4])  # fill the set, force evictions
+        assert cache.stats.writebacks == 0
+
+    def test_invalidate_plru_variant(self):
+        cache = Cache(CacheGeometry(4 * 64, 64, 2), policy="tree-plru")
+        cache.access(3)
+        assert cache.invalidate(3)
+        assert not cache.contains(3)
+
+    def test_hierarchy_invalidate_all_levels(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access_stream([7])
+        hierarchy.invalidate(7)
+        assert all(not level.contains(7) for level in hierarchy.levels)
+        # The next access misses everywhere again.
+        summary = hierarchy.access_stream([7])
+        assert summary.llc_misses == 1
+
+
+def trace_touching(lines):
+    trace = Trace()
+    trace.mem(np.asarray(lines, dtype=np.int64))
+    return trace
+
+
+class TestFlushReloadAttacker:
+    def test_detects_touched_lines_only(self):
+        attacker = FlushReloadAttacker([100, 200, 300])
+        observation = attacker.observe(trace_touching([100, 300, 55]),
+                                       epochs=1)
+        np.testing.assert_array_equal(observation, [1, 0, 1])
+
+    def test_epoch_resolution(self):
+        attacker = FlushReloadAttacker([100, 200])
+        trace = Trace()
+        trace.mem(np.asarray([100, 1, 2, 3], dtype=np.int64))
+        trace.mem(np.asarray([200, 4, 5, 6], dtype=np.int64))
+        observation = attacker.observe(trace, epochs=2)
+        np.testing.assert_array_equal(observation, [1, 0, 0, 1])
+
+    def test_deterministic(self, rng):
+        attacker = FlushReloadAttacker(list(range(50)))
+        lines = rng.integers(0, 100, size=500)
+        a = attacker.observe(trace_touching(lines), epochs=4)
+        b = attacker.observe(trace_touching(lines), epochs=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(SimulationError):
+            FlushReloadAttacker([])
+        attacker = FlushReloadAttacker([1])
+        with pytest.raises(SimulationError):
+            attacker.observe(Trace(), epochs=1)
+        with pytest.raises(SimulationError):
+            attacker.observe(trace_touching([1]), epochs=0)
+
+    def test_describe(self):
+        assert "2 shared lines" in FlushReloadAttacker([1, 2]).describe()
+
+
+class TestWeightLines:
+    def test_resolves_layer_region(self, traced_inference):
+        lines = weight_lines(traced_inference, "fc")
+        region = traced_inference.space["fc.weight"]
+        np.testing.assert_array_equal(lines, region.all_lines())
+
+    def test_unknown_layer_rejected(self, traced_inference):
+        from repro.errors import TraceError
+        with pytest.raises(TraceError):
+            weight_lines(traced_inference, "ghost")
+
+
+class TestFullAttack:
+    def test_recovers_categories_above_chance(self, tiny_trained_model,
+                                              digits_dataset):
+        result = flush_reload_attack(tiny_trained_model, digits_dataset,
+                                     [0, 1], 10, layer_name="fc", seed=3)
+        assert result.chance_level == pytest.approx(0.5)
+        assert result.accuracy > 0.6
+        assert "flush+reload attack" in result.summary()
+
+    def test_insufficient_samples_rejected(self, tiny_trained_model,
+                                           digits_dataset):
+        with pytest.raises(SimulationError):
+            flush_reload_attack(tiny_trained_model, digits_dataset, [0],
+                                10_000, layer_name="fc")

@@ -1,0 +1,113 @@
+"""Tests for the simulated Prime+Probe attack."""
+
+import numpy as np
+import pytest
+
+from repro.attack import PrimeProbeAttacker, collect_probe_vectors
+from repro.errors import SimulationError
+from repro.trace import Trace
+from repro.uarch import CacheGeometry, HierarchyConfig
+
+
+def small_hierarchy():
+    return HierarchyConfig(
+        l1=CacheGeometry(2 * 64, 64, 2),
+        l2=CacheGeometry(8 * 64, 64, 2),
+        llc=CacheGeometry(8 * 4 * 64, 64, 4),  # 8 sets x 4 ways
+    )
+
+
+def trace_touching(lines):
+    trace = Trace()
+    trace.mem(np.asarray(lines, dtype=np.int64))
+    return trace
+
+
+class TestProbeVector:
+    def test_idle_victim_displaces_nothing(self):
+        attacker = PrimeProbeAttacker(small_hierarchy())
+        # One access that stays inside the victim's private L1 after the
+        # first epoch boundary is unavoidable; touch a single line.
+        vector = attacker.probe_vector(trace_touching([0]), epochs=1)
+        assert vector.shape == (8,)
+        assert vector.sum() == 1  # exactly the one displaced way
+
+    def test_victim_activity_lands_in_the_right_set(self):
+        attacker = PrimeProbeAttacker(small_hierarchy())
+        # Victim touches 4 distinct lines all mapping to LLC set 3.
+        lines = [3 + 8 * i for i in range(4)]
+        vector = attacker.probe_vector(trace_touching(lines), epochs=1)
+        assert vector[3] == 4
+        assert vector.sum() == 4
+
+    def test_saturation_bounded_by_associativity(self):
+        attacker = PrimeProbeAttacker(small_hierarchy())
+        lines = [5 + 8 * i for i in range(20)]  # 20 lines into set 5
+        vector = attacker.probe_vector(trace_touching(lines), epochs=1)
+        assert vector[5] == 4  # can't displace more ways than exist
+
+    def test_epoch_slicing_shape_and_content(self):
+        attacker = PrimeProbeAttacker(small_hierarchy())
+        # First half touches set 0, second half set 7.
+        trace = Trace()
+        trace.mem(np.asarray([0, 8, 16, 24], dtype=np.int64))
+        trace.mem(np.asarray([7, 15, 23, 31], dtype=np.int64))
+        vector = attacker.probe_vector(trace, epochs=2)
+        assert vector.shape == (16,)
+        first, second = vector[:8], vector[8:]
+        assert first[0] == 4 and first[7] == 0
+        assert second[7] == 4 and second[0] == 0
+
+    def test_deterministic(self, rng):
+        attacker = PrimeProbeAttacker(small_hierarchy())
+        lines = rng.integers(0, 64, size=200)
+        a = attacker.probe_vector(trace_touching(lines), epochs=4)
+        b = attacker.probe_vector(trace_touching(lines), epochs=4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_empty_trace_and_bad_epochs(self):
+        attacker = PrimeProbeAttacker(small_hierarchy())
+        with pytest.raises(SimulationError):
+            attacker.probe_vector(Trace(), epochs=1)
+        with pytest.raises(SimulationError):
+            attacker.probe_vector(trace_touching([1]), epochs=0)
+
+    def test_describe(self):
+        attacker = PrimeProbeAttacker(small_hierarchy())
+        assert "8 LLC sets x 4 ways" in attacker.describe()
+
+
+class TestCollection:
+    def test_probe_vectors_labelled_and_shaped(self, tiny_trained_model,
+                                               digits_dataset):
+        x, y = collect_probe_vectors(tiny_trained_model, digits_dataset,
+                                     [0, 1], 3, epochs=4)
+        attacker = PrimeProbeAttacker()
+        assert x.shape == (6, 4 * attacker.num_sets)
+        assert sorted(set(y.tolist())) == [0, 1]
+
+    def test_vectors_vary_with_input(self, tiny_trained_model,
+                                     digits_dataset):
+        x, _ = collect_probe_vectors(tiny_trained_model, digits_dataset,
+                                     [0], 3, epochs=4)
+        assert not np.array_equal(x[0], x[1])
+
+    def test_insufficient_samples_rejected(self, tiny_trained_model,
+                                           digits_dataset):
+        with pytest.raises(SimulationError):
+            collect_probe_vectors(tiny_trained_model, digits_dataset,
+                                  [0], 10_000)
+
+
+class TestFullAttack:
+    def test_recovers_categories_above_chance(self, tiny_trained_model,
+                                              digits_dataset):
+        from repro.attack import prime_probe_attack
+
+        result = prime_probe_attack(tiny_trained_model, digits_dataset,
+                                    [0, 1], 10,
+                                    classifier="nearest-centroid", seed=2)
+        assert result.chance_level == pytest.approx(0.5)
+        assert result.accuracy > 0.6
+        assert result.n_train + result.n_test == 20
+        assert "prime+probe attack" in result.summary()

@@ -1,0 +1,134 @@
+"""Tests for the repro command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def tiny_args(tmp_path, monkeypatch):
+    """CLI argument suffix keeping runs small and cache isolated."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return ["--samples", "3", "--categories", "0", "1"]
+
+
+@pytest.fixture()
+def fast_training(monkeypatch):
+    """Shrink training so CLI tests stay quick."""
+    import importlib
+
+    # `repro.cli.main` the *attribute* is the main() function (re-exported
+    # by the package), so resolve the module object via importlib.
+    cli_main = importlib.import_module("repro.cli.main")
+    from repro.core.experiment import ExperimentConfig as original
+
+    def patched(**kwargs):
+        kwargs.setdefault("train_samples_per_class", 8)
+        kwargs.setdefault("epochs", 1)
+        return original(**kwargs)
+
+    monkeypatch.setattr(cli_main, "ExperimentConfig", patched)
+    return patched
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions
+            if a.__class__.__name__ == "_SubParsersAction")
+        commands = set(subparsers.choices)
+        assert {"evaluate", "figure1", "figure2", "figure3", "figure4",
+                "table1", "table2", "attack", "defend", "perf-probe",
+                "info", "bits", "latency", "localize"} <= commands
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "repro" in capsys.readouterr().out
+
+    def test_dataset_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--dataset", "imagenet"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "Conv2D" in out
+
+    def test_perf_probe_runs(self, capsys):
+        code = main(["perf-probe"])
+        out = capsys.readouterr().out
+        assert "perf hardware counters" in out
+        assert code in (0, 1)
+
+    def test_evaluate_tiny(self, tiny_args, fast_training, capsys):
+        assert main(["evaluate"] + tiny_args) == 0
+        out = capsys.readouterr().out
+        assert "leakage evaluation" in out
+        assert "model accuracy" in out
+
+    def test_table1_tiny(self, tiny_args, fast_training, capsys):
+        assert main(["table1", "--csv"] + tiny_args) == 0
+        out = capsys.readouterr().out
+        assert "cache-misses t" in out
+        assert "event,category_a" in out  # CSV header
+
+    def test_figure1_tiny(self, tiny_args, fast_training, capsys):
+        assert main(["figure1"] + tiny_args) == 0
+        assert "average cache-misses" in capsys.readouterr().out
+
+    def test_figure2_tiny(self, tiny_args, fast_training, capsys):
+        assert main(["figure2"] + tiny_args) == 0
+        out = capsys.readouterr().out
+        assert "HPC events for one" in out
+        assert "instructions" in out
+
+    def test_figure3_tiny(self, tiny_args, fast_training, capsys):
+        assert main(["figure3", "--event", "branches"] + tiny_args) == 0
+        assert "distribution of branches" in capsys.readouterr().out
+
+    def test_attack_tiny(self, tiny_args, fast_training, capsys):
+        assert main(["attack"] + tiny_args) == 0
+        assert "input-recovery attack" in capsys.readouterr().out
+
+    def test_defend_tiny(self, tiny_args, fast_training, capsys):
+        assert main(["defend"] + tiny_args) == 0
+        out = capsys.readouterr().out
+        assert "defended alarm" in out
+        assert "overhead" in out
+
+    def test_attack_prime_probe_tiny(self, tiny_args, fast_training, capsys):
+        assert main(["attack", "--technique", "prime-probe"]
+                    + tiny_args) == 0
+        assert "prime+probe attack" in capsys.readouterr().out
+
+    def test_attack_flush_reload_tiny(self, tiny_args, fast_training,
+                                      capsys):
+        assert main(["attack", "--technique", "flush-reload"]
+                    + tiny_args) == 0
+        assert "flush+reload attack" in capsys.readouterr().out
+
+    def test_bits_tiny(self, tiny_args, fast_training, capsys):
+        assert main(["bits"] + tiny_args) == 0
+        out = capsys.readouterr().out
+        assert "bits" in out
+        assert "cache-misses" in out
+
+    def test_latency_tiny(self, tiny_args, fast_training, capsys):
+        assert main(["latency", "--event", "cache-misses"] + tiny_args) == 0
+        out = capsys.readouterr().out
+        assert "vs budget" in out
+
+    def test_localize_tiny(self, tiny_args, fast_training, capsys):
+        assert main(["localize"] + tiny_args) == 0
+        out = capsys.readouterr().out
+        assert "leak localization" in out
+        assert "harden first" in out

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite.
+
+Heavy artifacts (trained models, traced-inference bindings) are session
+scoped so the many tests that need "a small trained CNN" pay for training
+once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import build_model
+from repro.datasets import SyntheticDigits, SyntheticObjects
+from repro.nn import Adam, Trainer
+from repro.trace import TracedInference
+
+
+@pytest.fixture(scope="session")
+def digits_dataset():
+    """A small deterministic digit dataset (10 classes x 12 samples)."""
+    return SyntheticDigits().generate(12, seed=101)
+
+
+@pytest.fixture(scope="session")
+def objects_dataset():
+    """A small deterministic CIFAR-like dataset (10 classes x 8 samples)."""
+    return SyntheticObjects().generate(8, seed=202)
+
+
+@pytest.fixture(scope="session")
+def tiny_trained_model(digits_dataset):
+    """A quickly trained MNIST-style CNN (enough epochs to beat chance)."""
+    model = build_model("mnist", seed=3)
+    train, _ = digits_dataset.split(0.8, seed=4)
+    trainer = Trainer(model, optimizer=Adam(0.002), batch_size=32,
+                      shuffle_seed=3)
+    trainer.fit(train.images, train.labels, epochs=3)
+    return model
+
+
+@pytest.fixture(scope="session")
+def traced_inference(tiny_trained_model):
+    """Traced binding of the session model (default sparse config)."""
+    return TracedInference(tiny_trained_model)
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

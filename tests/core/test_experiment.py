@@ -1,0 +1,114 @@
+"""Tests for repro.core.experiment (orchestration + caching)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExperimentConfig,
+    build_model,
+    cifar_experiment,
+    mnist_experiment,
+    prepare_model,
+    run_experiment,
+)
+from repro.errors import ConfigError
+
+
+def tiny_config(tmp_path, **overrides):
+    defaults = dict(
+        dataset="mnist",
+        categories=(0, 1),
+        samples_per_category=3,
+        train_samples_per_class=6,
+        epochs=1,
+        cache_dir=str(tmp_path),
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestConfig:
+    def test_dataset_validation(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(dataset="imagenet")
+
+    def test_needs_two_categories(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(categories=(1,))
+
+    def test_display_map_is_one_based(self):
+        config = ExperimentConfig(categories=(4, 2, 9))
+        assert config.display_map() == {2: 1, 4: 2, 9: 3}
+
+    def test_model_key_stable_and_sensitive(self, tmp_path):
+        a = tiny_config(tmp_path)
+        b = tiny_config(tmp_path)
+        assert a.model_key() == b.model_key()
+        c = tiny_config(tmp_path, epochs=2)
+        assert c.model_key() != a.model_key()
+
+    def test_generators(self):
+        assert mnist_experiment().generator().name == "synthetic-mnist"
+        assert cifar_experiment().generator().name == "synthetic-cifar"
+
+
+class TestBuildModel:
+    def test_mnist_architecture(self):
+        model = build_model("mnist")
+        assert model.input_shape == (1, 28, 28)
+        assert model.output_shape == (10,)
+
+    def test_cifar_architecture(self):
+        model = build_model("cifar10")
+        assert model.input_shape == (3, 32, 32)
+        assert model.output_shape == (10,)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigError):
+            build_model("svhn")
+
+
+class TestPrepareModel:
+    def test_trains_and_caches(self, tmp_path):
+        config = tiny_config(tmp_path)
+        model, accuracy = prepare_model(config)
+        assert 0.0 <= accuracy <= 1.0
+        cached = list(tmp_path.glob("model-*.npz"))
+        assert len(cached) == 1
+        # Second call loads the exact same weights.
+        reloaded, _ = prepare_model(config)
+        assert reloaded.weights_fingerprint() == model.weights_fingerprint()
+
+    def test_no_cache_dir_disables_caching(self, tmp_path):
+        config = tiny_config(tmp_path, cache_dir="")
+        prepare_model(config)
+        assert list(tmp_path.glob("model-*.npz")) == []
+
+
+class TestRunExperiment:
+    def test_end_to_end_tiny(self, tmp_path):
+        result = run_experiment(tiny_config(tmp_path))
+        assert result.distributions.categories == [0, 1]
+        assert result.distributions.sample_count(0) == 3
+        assert len(result.report.results) == 8  # 1 pair x 8 events
+        assert 0.0 <= result.test_accuracy <= 1.0
+
+    def test_measurements_cached_across_runs(self, tmp_path):
+        config = tiny_config(tmp_path)
+        first = run_experiment(config)
+        second = run_experiment(config)
+        for event in first.distributions.events:
+            np.testing.assert_array_equal(
+                first.distributions.values(0, event),
+                second.distributions.values(0, event))
+
+    def test_noise_seed_changes_measurements(self, tmp_path):
+        base = run_experiment(tiny_config(tmp_path))
+        other = run_experiment(tiny_config(tmp_path, noise_seed=99))
+        differs = any(
+            not np.array_equal(base.distributions.values(0, event),
+                               other.distributions.values(0, event))
+            for event in base.distributions.events)
+        assert differs

@@ -1,0 +1,84 @@
+"""Tests for repro.core.export (JSON experiment export)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExperimentConfig,
+    distributions_to_dict,
+    experiment_to_dict,
+    report_to_dict,
+    run_experiment,
+    save_experiment_json,
+)
+from repro.hpc import EventDistributions
+from repro.uarch import HpcEvent
+
+
+@pytest.fixture(scope="module")
+def tiny_result(tmp_path_factory):
+    config = ExperimentConfig(
+        dataset="mnist", categories=(0, 1), samples_per_category=3,
+        train_samples_per_class=6, epochs=1,
+        cache_dir=str(tmp_path_factory.mktemp("cache")))
+    return run_experiment(config)
+
+
+class TestDistributionsExport:
+    def test_summaries(self):
+        dists = EventDistributions({
+            1: {HpcEvent.CYCLES: np.array([10.0, 20.0, 30.0])},
+        })
+        doc = distributions_to_dict(dists)
+        summary = doc["1"]["cycles"]
+        assert summary["n"] == 3
+        assert summary["mean"] == 20.0
+        assert summary["min"] == 10.0
+        assert summary["max"] == 30.0
+
+    def test_single_reading_std_zero(self):
+        dists = EventDistributions(
+            {0: {HpcEvent.CYCLES: np.array([5.0])}})
+        assert distributions_to_dict(dists)["0"]["cycles"]["std"] == 0.0
+
+
+class TestReportExport:
+    def test_fields(self, tiny_result):
+        doc = report_to_dict(tiny_result.report)
+        assert doc["confidence"] == 0.95
+        assert doc["method"] == "welch"
+        assert isinstance(doc["alarm"], bool)
+        assert len(doc["pairwise"]) == len(tiny_result.report.results)
+        assert set(doc["verdicts"]) == {"paper_policy", "holm_corrected"}
+
+
+class TestExperimentExport:
+    def test_dict_is_json_serializable(self, tiny_result):
+        text = json.dumps(experiment_to_dict(tiny_result))
+        assert "export_version" in text
+
+    def test_round_trip_fields(self, tiny_result, tmp_path):
+        path = save_experiment_json(tiny_result, tmp_path / "run.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["export_version"] == 1
+        assert loaded["config"]["dataset"] == "mnist"
+        assert loaded["config"]["trace_config"]["dense_stride"] == 4
+        assert loaded["model"]["parameters"] > 0
+        assert 0.0 <= loaded["model"]["test_accuracy"] <= 1.0
+        assert loaded["backend_fingerprint"].startswith("sim-")
+        assert "0" in loaded["distributions"]
+        assert "cache-misses" in loaded["distributions"]["0"]
+
+    def test_cli_json_flag(self, tiny_result, tmp_path, monkeypatch):
+        import importlib
+
+        from repro.cli import main as cli_entry
+
+        cli_main = importlib.import_module("repro.cli.main")
+        monkeypatch.setattr(cli_main, "run_experiment",
+                            lambda config: tiny_result)
+        out = tmp_path / "cli.json"
+        assert cli_entry(["evaluate", "--json", str(out)]) == 0
+        assert json.loads(out.read_text())["report"]["pairwise"]

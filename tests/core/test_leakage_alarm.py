@@ -1,0 +1,112 @@
+"""Tests for repro.core.leakage and repro.core.alarm."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AlarmPolicy,
+    CONSERVATIVE_POLICY,
+    Evaluator,
+    PAPER_POLICY,
+)
+from repro.errors import EvaluationError
+from repro.hpc import EventDistributions
+from repro.uarch import HpcEvent
+
+from .test_evaluator import make_distributions
+
+
+@pytest.fixture(scope="module")
+def report():
+    return Evaluator().evaluate(make_distributions())
+
+
+class TestLeakageReport:
+    def test_for_event_and_for_pair(self, report):
+        cm = report.for_event(HpcEvent.CACHE_MISSES)
+        assert len(cm) == 3
+        pair = report.for_pair(1, 3)
+        assert len(pair) == 2  # one result per event
+
+    def test_for_pair_order_insensitive(self, report):
+        assert report.for_pair(3, 1) == report.for_pair(1, 3)
+
+    def test_unknown_queries_rejected(self, report):
+        with pytest.raises(EvaluationError):
+            report.for_event(HpcEvent.CYCLES)
+        with pytest.raises(EvaluationError):
+            report.for_pair(1, 9)
+
+    def test_rejection_count(self, report):
+        assert report.rejection_count(HpcEvent.CACHE_MISSES) == 2
+        assert report.rejection_count(HpcEvent.BRANCHES) <= 1
+
+    def test_fully_distinguishable_events(self):
+        rng = np.random.default_rng(0)
+        dists = EventDistributions({
+            1: {HpcEvent.CACHE_MISSES: rng.normal(100, 1, 30)},
+            2: {HpcEvent.CACHE_MISSES: rng.normal(200, 1, 30)},
+            3: {HpcEvent.CACHE_MISSES: rng.normal(300, 1, 30)},
+        })
+        report = Evaluator().evaluate(dists)
+        assert report.fully_distinguishable_events() == [
+            HpcEvent.CACHE_MISSES]
+
+    def test_corrected_rejections_more_conservative(self, report):
+        raw = [r.distinguishable
+               for r in report.for_event(HpcEvent.CACHE_MISSES)]
+        corrected = report.corrected_rejections(HpcEvent.CACHE_MISSES,
+                                                method="bonferroni")
+        assert sum(corrected) <= sum(raw)
+
+    def test_rows_and_csv(self, report):
+        rows = report.rows()
+        assert len(rows) == len(report.results)
+        assert {"event", "t", "p", "cohens_d"} <= set(rows[0])
+        csv_text = report.to_csv()
+        assert csv_text.count("\n") == len(rows)
+        assert "cache-misses" in csv_text
+
+    def test_summary_mentions_verdict(self, report):
+        text = report.summary()
+        assert "ALARM: RAISED" in text
+        assert "cache-misses" in text
+
+    def test_label_with_display_map(self, report):
+        result = report.for_pair(1, 3)[0]
+        assert result.label() == "t1,3"
+        assert result.label({1: 5, 3: 6}) == "t5,6"
+
+
+class TestAlarmPolicy:
+    def test_paper_policy_triggers(self, report):
+        alarm = PAPER_POLICY.decide(report)
+        assert alarm.triggered
+        assert any("cache-misses" in reason for reason in alarm.reasons)
+        assert "ALARM RAISED" in alarm.format()
+
+    def test_no_alarm_formatting(self):
+        quiet = Evaluator().evaluate(make_distributions(shift=0.0, seed=8))
+        alarm = AlarmPolicy(min_rejections=3).decide(quiet)
+        assert not alarm.triggered
+        assert "no alarm" in alarm.format()
+
+    def test_min_rejections_threshold(self, report):
+        # cache-misses distinguishes exactly 2 pairs in this fixture.
+        assert AlarmPolicy(min_rejections=2).decide(report).triggered
+        assert not AlarmPolicy(min_rejections=3).decide(report).triggered
+
+    def test_conservative_policy_still_catches_strong_leak(self, report):
+        alarm = CONSERVATIVE_POLICY.decide(report)
+        assert alarm.triggered
+        assert alarm.rejections_by_event[HpcEvent.CACHE_MISSES] >= 1
+
+    def test_correction_reduces_rejections(self, report):
+        raw = PAPER_POLICY.decide(report).rejections_by_event
+        corrected = CONSERVATIVE_POLICY.decide(report).rejections_by_event
+        for event in raw:
+            assert corrected[event] <= raw[event]
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(EvaluationError):
+            AlarmPolicy(min_rejections=0)

@@ -1,0 +1,126 @@
+"""Tests for repro.core.reporting (paper-style renderings)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Evaluator,
+    format_category_means,
+    format_distribution_figure,
+    format_event_readout,
+    format_full_report,
+    format_paper_table,
+)
+from repro.errors import EvaluationError
+from repro.uarch import ALL_EVENTS, EventCounts, HpcEvent
+
+from .test_evaluator import make_distributions
+
+
+@pytest.fixture(scope="module")
+def dists():
+    return make_distributions()
+
+
+@pytest.fixture(scope="module")
+def report(dists):
+    return Evaluator().evaluate(dists)
+
+
+class TestEventReadout:
+    def test_figure2_style(self):
+        counts = EventCounts({event: 1000 + i
+                              for i, event in enumerate(ALL_EVENTS)})
+        text = format_event_readout(counts, title="one classification:")
+        assert text.startswith("one classification:")
+        for event in ALL_EVENTS:
+            assert event.value in text
+        assert "1,000" in text  # thousands grouping like the paper
+
+
+class TestCategoryMeans:
+    def test_figure1_style(self, dists):
+        text = format_category_means(dists, HpcEvent.CACHE_MISSES)
+        assert "cache-misses" in text
+        assert text.count("\n  category") == 3
+        assert "#" in text
+
+    def test_bars_reflect_ordering(self, dists):
+        text = format_category_means(dists, HpcEvent.CACHE_MISSES, width=30)
+        lines = [l for l in text.splitlines() if "category" in l]
+        bar_lengths = {line.split(":")[0].strip(): line.count("#")
+                       for line in lines}
+        # Category 3 has the shifted (larger) mean -> longest bar.
+        assert bar_lengths["category 3"] == max(bar_lengths.values())
+
+    def test_display_mapping(self, dists):
+        text = format_category_means(dists, HpcEvent.CACHE_MISSES,
+                                     display={1: 7, 2: 8, 3: 9})
+        assert "category 7" in text
+
+
+class TestDistributionFigure:
+    def test_figure3_style(self, dists):
+        text = format_distribution_figure(dists, HpcEvent.CACHE_MISSES,
+                                          bins=10)
+        assert text.count("-- category") == 3
+        assert "shared range" in text
+
+    def test_histograms_share_range(self, dists):
+        text = format_distribution_figure(dists, HpcEvent.CACHE_MISSES,
+                                          bins=8)
+        # Every block renders the same number of bins.
+        blocks = text.split("\n\n")[1:]
+        bin_counts = [sum(1 for line in block.splitlines() if "[" in line)
+                      for block in blocks]
+        assert len(set(bin_counts)) == 1
+
+
+class TestPaperTable:
+    def test_table_rows_and_columns(self, report):
+        text = format_paper_table(report,
+                                  events=[HpcEvent.CACHE_MISSES,
+                                          HpcEvent.BRANCHES])
+        assert "t1,2" in text and "t2,3" in text
+        assert "cache-misses t" in text
+        assert "branches p" in text
+        assert "95% confidence" in text
+
+    def test_significance_stars(self, report):
+        text = format_paper_table(report,
+                                  events=[HpcEvent.CACHE_MISSES])
+        starred = [line for line in text.splitlines() if "*" in line
+                   and line.strip().startswith("t")]
+        assert len(starred) == 2  # pairs (1,3) and (2,3)
+
+    def test_missing_event_rejected(self, report):
+        with pytest.raises(EvaluationError):
+            format_paper_table(report, events=[HpcEvent.CYCLES])
+
+    def test_display_remap(self, report):
+        text = format_paper_table(report, events=[HpcEvent.CACHE_MISSES],
+                                  display={1: 1, 2: 2, 3: 4})
+        assert "t1,4" in text
+
+
+class TestLeakageBits:
+    def test_table_lists_every_event(self, dists):
+        from repro.core import format_leakage_bits
+        text = format_leakage_bits(dists)
+        assert "max 1.58 bits" in text  # log2(3) categories
+        assert "cache-misses" in text and "branches" in text
+
+    def test_leaky_event_gets_longer_bar(self, dists):
+        from repro.core import format_leakage_bits
+        lines = format_leakage_bits(dists).splitlines()
+        by_event = {line.split()[0]: line.count("#") for line in lines[1:]}
+        # cache-misses separates category 3; branches are identical noise.
+        assert by_event["cache-misses"] > by_event["branches"]
+
+
+class TestFullReport:
+    def test_contains_summary_and_table(self, report):
+        text = format_full_report(report)
+        assert "leakage evaluation" in text
+        assert "ALARM" in text
+        assert "t1,2" in text

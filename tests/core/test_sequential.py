@@ -1,0 +1,117 @@
+"""Tests for repro.core.sequential (group-sequential detection)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SequentialEvaluator,
+    default_checkpoints,
+    detection_latency_curve,
+)
+from repro.errors import EvaluationError
+from repro.hpc import EventDistributions
+from repro.uarch import HpcEvent
+
+
+def streaming_distributions(gap, n=160, seed=0):
+    rng = np.random.default_rng(seed)
+    return EventDistributions({
+        1: {HpcEvent.CACHE_MISSES: rng.normal(1000.0, 10.0, n)},
+        2: {HpcEvent.CACHE_MISSES: rng.normal(1000.0 + gap, 10.0, n)},
+    })
+
+
+class TestCheckpointSchedule:
+    def test_doubling_schedule(self):
+        assert default_checkpoints(100) == (5, 10, 20, 40, 80, 100)
+
+    def test_exact_power_of_two_end(self):
+        assert default_checkpoints(40) == (5, 10, 20, 40)
+
+    def test_tiny_budget_degrades_to_single_checkpoint(self):
+        assert default_checkpoints(3) == (3,)
+
+    def test_rejects_budget_below_two(self):
+        with pytest.raises(EvaluationError):
+            default_checkpoints(1)
+
+
+class TestSequentialEvaluator:
+    def test_strong_leak_detected_early(self):
+        result = SequentialEvaluator().run(
+            streaming_distributions(gap=50.0), HpcEvent.CACHE_MISSES)
+        assert result.detected
+        assert result.detection_n <= 10
+        assert result.first_pair == (1, 2)
+        assert "detected at n=" in result.format()
+
+    def test_weak_leak_detected_late(self):
+        strong = SequentialEvaluator().run(
+            streaming_distributions(gap=50.0), HpcEvent.CACHE_MISSES)
+        weak = SequentialEvaluator().run(
+            streaming_distributions(gap=5.0), HpcEvent.CACHE_MISSES)
+        assert weak.detected
+        assert weak.detection_n > strong.detection_n
+
+    def test_no_leak_not_detected(self):
+        result = SequentialEvaluator(alpha=0.05).run(
+            streaming_distributions(gap=0.0), HpcEvent.CACHE_MISSES)
+        assert not result.detected
+        assert result.detection_n is None
+        assert "not detected" in result.format()
+
+    def test_false_alarm_rate_respects_alpha(self):
+        # 60 independent no-leak streams: expect about alpha*60 false alarms.
+        alarms = 0
+        for seed in range(60):
+            result = SequentialEvaluator(alpha=0.05).run(
+                streaming_distributions(gap=0.0, n=80, seed=seed),
+                HpcEvent.CACHE_MISSES)
+            alarms += result.detected
+        assert alarms <= 8  # generous binomial bound for p<=0.05
+
+    def test_custom_checkpoints(self):
+        evaluator = SequentialEvaluator(checkpoints=(20, 40))
+        result = evaluator.run(streaming_distributions(gap=50.0),
+                               HpcEvent.CACHE_MISSES)
+        assert result.checkpoints == (20, 40)
+        assert result.detection_n == 20
+
+    def test_checkpoints_clipped_to_available_data(self):
+        evaluator = SequentialEvaluator(checkpoints=(20, 10_000))
+        result = evaluator.run(streaming_distributions(gap=50.0, n=50),
+                               HpcEvent.CACHE_MISSES)
+        assert result.checkpoints == (20,)
+
+    def test_unusable_checkpoints_rejected(self):
+        evaluator = SequentialEvaluator(checkpoints=(10_000,))
+        with pytest.raises(EvaluationError):
+            evaluator.run(streaming_distributions(gap=1.0, n=50),
+                          HpcEvent.CACHE_MISSES)
+
+    def test_run_all(self):
+        results = SequentialEvaluator().run_all(
+            streaming_distributions(gap=30.0))
+        assert set(results) == {HpcEvent.CACHE_MISSES}
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(EvaluationError):
+            SequentialEvaluator(alpha=1.5)
+
+
+class TestLatencyCurve:
+    def test_monotone_power_growth(self):
+        curve = detection_latency_curve(
+            streaming_distributions(gap=6.0), HpcEvent.CACHE_MISSES,
+            checkpoints=(5, 20, 80, 160))
+        budgets = [point[0] for point in curve]
+        rejections = [point[1] for point in curve]
+        assert budgets == [5, 20, 80, 160]
+        assert rejections[-1] >= rejections[0]
+        assert rejections[-1] == 1  # eventually detected
+
+    def test_no_leak_flat_curve(self):
+        curve = detection_latency_curve(
+            streaming_distributions(gap=0.0, seed=4),
+            HpcEvent.CACHE_MISSES, checkpoints=(10, 40, 160))
+        assert sum(point[1] for point in curve) <= 1

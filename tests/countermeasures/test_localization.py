@@ -1,0 +1,82 @@
+"""Tests for repro.countermeasures.localization."""
+
+import numpy as np
+import pytest
+
+from repro.countermeasures import LayerLeak, LocalizationReport, localize_leak
+from repro.errors import EvaluationError
+from repro.trace import TraceConfig, TracedInference
+from repro.uarch import HpcEvent
+
+
+class TestSparseLayersKnob:
+    def test_explicit_selection_overrides_threshold(self):
+        config = TraceConfig(sparse_from_layer=1, sparse_layers=(3,))
+        assert not config.sparse_enabled(1)
+        assert config.sparse_enabled(3)
+
+    def test_empty_selection_is_all_dense(self):
+        config = TraceConfig(sparse_layers=())
+        assert not any(config.sparse_enabled(i) for i in range(10))
+
+    def test_isolated_layer_trace_differs_from_all_dense(
+            self, tiny_trained_model, digits_dataset):
+        sample = digits_dataset.images[0]
+        dense = TracedInference(tiny_trained_model,
+                                TraceConfig(sparse_layers=()))
+        isolated = TracedInference(tiny_trained_model,
+                                   TraceConfig(sparse_layers=(3,)))
+        _, dense_trace = dense.trace_sample(sample)
+        _, isolated_trace = isolated.trace_sample(sample)
+        assert (dense_trace.memory_accesses
+                != isolated_trace.memory_accesses)
+
+
+class TestLayerLeak:
+    def test_floor_comparison(self):
+        leak = LayerLeak(0, "conv", "Conv2D", rejections=3, total_pairs=6,
+                         max_abs_t=4.0)
+        assert leak.leaks_above(1)
+        assert not leak.leaks_above(3)
+        assert "LEAKS" in leak.format(floor=1)
+        assert "quiet" in leak.format(floor=5)
+
+
+class TestLocalization:
+    @pytest.fixture(scope="class")
+    def report(self, tiny_trained_model, digits_dataset):
+        return localize_leak(tiny_trained_model, digits_dataset,
+                             [0, 1, 2], 10, seed=3)
+
+    def test_one_entry_per_layer(self, report, tiny_trained_model):
+        assert len(report.layers) == len(tiny_trained_model.layers)
+        assert [leak.layer_index for leak in report.layers] == list(
+            range(len(tiny_trained_model.layers)))
+
+    def test_weight_layers_dominate(self, report):
+        by_name = {leak.layer_name: leak for leak in report.layers}
+        weight_strength = max(by_name["conv2"].max_abs_t,
+                              by_name["fc"].max_abs_t)
+        elementwise_strength = max(
+            leak.max_abs_t for leak in report.layers
+            if leak.layer_type in ("ReLU", "Flatten"))
+        assert weight_strength > elementwise_strength
+
+    def test_culprits_exclude_noise_floor(self, report):
+        for leak in report.culprits():
+            assert leak.rejections > report.floor_rejections
+
+    def test_ranked_is_descending(self, report):
+        ranked = report.ranked()
+        keys = [(leak.rejections, leak.max_abs_t) for leak in ranked]
+        assert keys == sorted(keys, reverse=True)
+
+    def test_summary_text(self, report):
+        text = report.summary()
+        assert "leak localization on cache-misses" in text
+        assert "noise floor" in text
+        assert "layers to harden first" in text
+
+    def test_rejects_tiny_budget(self, tiny_trained_model, digits_dataset):
+        with pytest.raises(EvaluationError):
+            localize_leak(tiny_trained_model, digits_dataset, [0, 1], 1)

@@ -1,0 +1,128 @@
+"""Tests for repro.datasets.base."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import LabeledDataset, concatenate
+from repro.errors import DatasetError
+
+
+def make_dataset(n_per_class=5, classes=3, rng=None):
+    rng = rng or np.random.default_rng(0)
+    images = rng.random((n_per_class * classes, 1, 4, 4))
+    labels = np.repeat(np.arange(classes), n_per_class)
+    return LabeledDataset(images, labels,
+                          tuple(f"c{i}" for i in range(classes)), name="toy")
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        ds = make_dataset()
+        assert len(ds) == 15
+        assert ds.num_classes == 3
+        assert ds.sample_shape == (1, 4, 4)
+        assert ds.class_counts() == [5, 5, 5]
+
+    def test_rejects_flat_samples(self):
+        with pytest.raises(DatasetError):
+            LabeledDataset(np.zeros((3, 4)), np.zeros(3), ("a",))
+        with pytest.raises(DatasetError):
+            LabeledDataset(np.zeros((3, 1, 2, 2, 2)), np.zeros(3), ("a",))
+
+    def test_accepts_sequence_samples(self):
+        ds = LabeledDataset(np.zeros((3, 8, 2)), np.zeros(3), ("a",))
+        assert ds.sample_shape == (8, 2)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(DatasetError):
+            LabeledDataset(np.zeros((3, 1, 2, 2)), np.zeros(2), ("a",))
+
+    def test_rejects_out_of_range_labels(self):
+        with pytest.raises(DatasetError):
+            LabeledDataset(np.zeros((2, 1, 2, 2)), np.array([0, 5]),
+                           ("a", "b"))
+
+
+class TestCategory:
+    def test_filters_single_class(self):
+        ds = make_dataset()
+        sub = ds.category(1)
+        assert len(sub) == 5
+        assert np.all(sub.labels == 1)
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(DatasetError):
+            make_dataset().category(7)
+
+    def test_empty_category_rejected(self):
+        ds = LabeledDataset(np.zeros((2, 1, 2, 2)), np.array([0, 0]),
+                            ("a", "b"))
+        with pytest.raises(DatasetError):
+            ds.category(1)
+
+
+class TestSplit:
+    def test_stratified(self):
+        train, test = make_dataset(n_per_class=10).split(0.7, seed=1)
+        assert train.class_counts() == [7, 7, 7]
+        assert test.class_counts() == [3, 3, 3]
+
+    def test_disjoint_and_complete(self):
+        ds = make_dataset(n_per_class=10)
+        train, test = ds.split(0.5, seed=2)
+        assert len(train) + len(test) == len(ds)
+
+    def test_deterministic(self):
+        ds = make_dataset(n_per_class=10)
+        a = ds.split(0.6, seed=3)[0]
+        b = ds.split(0.6, seed=3)[0]
+        np.testing.assert_array_equal(a.images, b.images)
+
+    def test_rejects_degenerate_fraction(self):
+        with pytest.raises(DatasetError):
+            make_dataset().split(1.0)
+
+    def test_rejects_empty_side(self):
+        ds = make_dataset(n_per_class=1)
+        with pytest.raises(DatasetError):
+            ds.split(0.99, seed=0)
+
+
+class TestMisc:
+    def test_take(self):
+        ds = make_dataset()
+        assert len(ds.take(4)) == 4
+        with pytest.raises(DatasetError):
+            ds.take(0)
+        with pytest.raises(DatasetError):
+            ds.take(100)
+
+    def test_shuffled_is_permutation(self):
+        ds = make_dataset()
+        shuffled = ds.shuffled(seed=9)
+        assert sorted(shuffled.labels.tolist()) == sorted(ds.labels.tolist())
+        assert not np.array_equal(shuffled.labels, ds.labels)
+
+    def test_iter_samples(self):
+        ds = make_dataset(n_per_class=2, classes=2)
+        pairs = list(ds.iter_samples())
+        assert len(pairs) == 4
+        image, label = pairs[0]
+        assert image.shape == (1, 4, 4)
+        assert isinstance(label, int)
+
+    def test_concatenate(self):
+        a = make_dataset(n_per_class=2)
+        b = make_dataset(n_per_class=3)
+        merged = concatenate([a, b])
+        assert len(merged) == len(a) + len(b)
+
+    def test_concatenate_rejects_mismatched_classes(self):
+        a = make_dataset()
+        b = LabeledDataset(np.zeros((1, 1, 4, 4)), np.zeros(1), ("other",))
+        with pytest.raises(DatasetError):
+            concatenate([a, b])
+
+    def test_concatenate_rejects_empty_list(self):
+        with pytest.raises(DatasetError):
+            concatenate([])

@@ -1,0 +1,88 @@
+"""Tests for repro.datasets.strokes (rasterization primitives)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets.strokes import arc, line, rasterize, transform_strokes
+from repro.errors import DatasetError
+
+
+class TestPrimitives:
+    def test_line_two_points(self):
+        assert line(0.0, 0.1, 1.0, 0.9) == [(0.0, 0.1), (1.0, 0.9)]
+
+    def test_arc_endpoints(self):
+        points = arc(0.5, 0.5, 0.4, 0.4, 0, 90, segments=4)
+        assert len(points) == 5
+        assert points[0] == pytest.approx((0.9, 0.5))
+        assert points[-1] == pytest.approx((0.5, 0.9))
+
+    def test_full_circle_closes(self):
+        points = arc(0.5, 0.5, 0.3, 0.3, 0, 360, segments=16)
+        assert points[0] == pytest.approx(points[-1])
+
+    def test_arc_rejects_zero_segments(self):
+        with pytest.raises(DatasetError):
+            arc(0.5, 0.5, 0.1, 0.1, 0, 90, segments=0)
+
+
+class TestTransform:
+    def test_identity(self):
+        strokes = [line(0.2, 0.2, 0.8, 0.8)]
+        assert transform_strokes(strokes) == strokes
+
+    def test_translation(self):
+        out = transform_strokes([[(0.5, 0.5)] * 2], translate=(0.1, -0.2))
+        assert out[0][0] == pytest.approx((0.6, 0.3))
+
+    def test_rotation_about_center(self):
+        out = transform_strokes([[(1.0, 0.5), (1.0, 0.5)]], rotation_deg=90)
+        # (1.0, 0.5) is 0.5 right of center; rotating 90deg clockwise in
+        # screen coordinates maps it 0.5 below center.
+        assert out[0][0] == pytest.approx((0.5, 1.0))
+
+    def test_scale_about_center(self):
+        out = transform_strokes([[(1.0, 0.5), (0.5, 0.5)]], scale=0.5)
+        assert out[0][0] == pytest.approx((0.75, 0.5))
+        assert out[0][1] == pytest.approx((0.5, 0.5))
+
+    def test_shear(self):
+        out = transform_strokes([[(0.5, 1.0), (0.5, 1.0)]], shear=0.2)
+        assert out[0][0][0] == pytest.approx(0.5 + 0.2 * 0.5)
+
+
+class TestRasterize:
+    def test_output_shape_and_range(self):
+        image = rasterize([line(0.1, 0.5, 0.9, 0.5)], size=28)
+        assert image.shape == (28, 28)
+        assert image.min() >= 0.0
+        assert image.max() <= 1.0
+        assert image.max() > 0.5  # the stroke is visible
+
+    def test_stroke_is_where_expected(self):
+        image = rasterize([line(0.0, 0.5, 1.0, 0.5)], size=21,
+                          thickness=0.04, margin=0.0)
+        middle_row = image[10]
+        top_row = image[0]
+        assert middle_row.mean() > 0.9
+        assert top_row.mean() < 0.05
+
+    def test_thicker_stroke_covers_more(self):
+        thin = rasterize([line(0.1, 0.5, 0.9, 0.5)], thickness=0.03)
+        thick = rasterize([line(0.1, 0.5, 0.9, 0.5)], thickness=0.09)
+        assert thick.sum() > thin.sum() * 1.5
+
+    def test_degenerate_segment_is_a_dot(self):
+        image = rasterize([[(0.5, 0.5), (0.5, 0.5)]], size=28)
+        assert image.max() > 0.5
+        assert image.sum() < 80.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(DatasetError):
+            rasterize([line(0, 0, 1, 1)], size=2)
+        with pytest.raises(DatasetError):
+            rasterize([line(0, 0, 1, 1)], thickness=0.0)
+        with pytest.raises(DatasetError):
+            rasterize([[(0.5, 0.5)]])

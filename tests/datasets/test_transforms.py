@@ -1,0 +1,126 @@
+"""Tests for repro.datasets.transforms and shapes helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    LabeledDataset,
+    batches,
+    ellipse_mask,
+    horizontal_flip,
+    normalize,
+    paint,
+    random_shift,
+    rectangle_mask,
+    triangle_mask,
+    vertical_gradient,
+)
+from repro.errors import DatasetError
+
+
+def toy_dataset(rng, n=12):
+    images = rng.random((n, 1, 6, 6))
+    labels = np.arange(n) % 3
+    return LabeledDataset(images, labels, ("a", "b", "c"))
+
+
+class TestNormalize:
+    def test_zero_mean_unit_std(self, rng):
+        ds, mean, std = normalize(toy_dataset(rng))
+        assert float(ds.images.mean()) == pytest.approx(0.0, abs=1e-12)
+        assert float(ds.images.std()) == pytest.approx(1.0, rel=1e-12)
+
+    def test_reusing_training_statistics(self, rng):
+        train = toy_dataset(rng)
+        test = toy_dataset(np.random.default_rng(99))
+        _, mean, std = normalize(train)
+        normalized, m2, s2 = normalize(test, mean=mean, std=std)
+        assert (m2, s2) == (mean, std)
+        np.testing.assert_allclose(normalized.images,
+                                   (test.images - mean) / std)
+
+    def test_rejects_constant_dataset(self):
+        ds = LabeledDataset(np.ones((2, 1, 2, 2)), np.zeros(2), ("a",))
+        with pytest.raises(DatasetError):
+            normalize(ds)
+
+
+class TestAugmentations:
+    def test_random_shift_preserves_shape_and_mass_bound(self, rng):
+        ds = toy_dataset(rng)
+        shifted = random_shift(ds, max_pixels=2, seed=4)
+        assert shifted.images.shape == ds.images.shape
+        assert float(shifted.images.sum()) <= float(ds.images.sum()) + 1e-9
+
+    def test_zero_shift_noop(self, rng):
+        ds = toy_dataset(rng)
+        assert random_shift(ds, max_pixels=0) is ds
+
+    def test_flip_probability_one_mirrors_everything(self, rng):
+        ds = toy_dataset(rng)
+        flipped = horizontal_flip(ds, probability=1.0, seed=1)
+        np.testing.assert_array_equal(flipped.images,
+                                      ds.images[:, :, :, ::-1])
+
+    def test_flip_probability_zero_noop(self, rng):
+        ds = toy_dataset(rng)
+        flipped = horizontal_flip(ds, probability=0.0, seed=1)
+        np.testing.assert_array_equal(flipped.images, ds.images)
+
+    def test_rejects_bad_probability(self, rng):
+        with pytest.raises(DatasetError):
+            horizontal_flip(toy_dataset(rng), probability=1.5)
+
+
+class TestBatches:
+    def test_covers_every_sample_once(self, rng):
+        ds = toy_dataset(rng, n=10)
+        seen = 0
+        for x, y in batches(ds, batch_size=3, seed=0):
+            seen += x.shape[0]
+            assert x.shape[0] == y.shape[0]
+        assert seen == 10
+
+    def test_unshuffled_order(self, rng):
+        ds = toy_dataset(rng, n=6)
+        first_x, first_y = next(iter(batches(ds, 4, shuffle=False)))
+        np.testing.assert_array_equal(first_x, ds.images[:4])
+
+    def test_rejects_bad_batch_size(self, rng):
+        with pytest.raises(DatasetError):
+            next(iter(batches(toy_dataset(rng), 0)))
+
+
+class TestShapeMasks:
+    def test_ellipse_center_inside(self):
+        mask = ellipse_mask(16, 0.5, 0.5, 0.25, 0.25)
+        assert mask[8, 8]
+        assert not mask[0, 0]
+        # Area of a r=0.25 circle in a unit square is ~pi/16 of pixels.
+        assert mask.mean() == pytest.approx(np.pi / 16, rel=0.2)
+
+    def test_rectangle_bounds(self):
+        mask = rectangle_mask(10, 0.0, 0.0, 0.5, 1.0)
+        assert mask[:, :5].all()
+        assert not mask[:, 5:].any()
+
+    def test_triangle_contains_centroid(self):
+        mask = triangle_mask(32, (0.2, 0.8), (0.8, 0.8), (0.5, 0.2))
+        assert mask[int(0.6 * 32), 16]
+        assert not mask[1, 1]
+
+    def test_paint_blends(self):
+        image = np.zeros((3, 8, 8))
+        mask = rectangle_mask(8, 0.0, 0.0, 1.0, 1.0)
+        paint(image, mask, (1.0, 0.5, 0.0), alpha=0.5)
+        assert image[0, 0, 0] == pytest.approx(0.5)
+        assert image[1, 0, 0] == pytest.approx(0.25)
+
+    def test_vertical_gradient_endpoints(self):
+        image = vertical_gradient(16, (0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+        assert image[0, 0, 0] < 0.1
+        assert image[0, -1, 0] > 0.9
+
+    def test_degenerate_rectangle_rejected(self):
+        with pytest.raises(DatasetError):
+            rectangle_mask(8, 0.5, 0.5, 0.5, 0.6)

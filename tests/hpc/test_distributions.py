@@ -1,0 +1,112 @@
+"""Tests for repro.hpc.distributions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.hpc import EventDistributions
+from repro.uarch import EventCounts, HpcEvent
+
+
+def sample_distributions():
+    return EventDistributions({
+        1: {HpcEvent.CACHE_MISSES: np.array([10.0, 12.0, 11.0]),
+            HpcEvent.BRANCHES: np.array([100.0, 101.0, 99.0])},
+        2: {HpcEvent.CACHE_MISSES: np.array([20.0, 21.0]),
+            HpcEvent.BRANCHES: np.array([100.0, 102.0])},
+    })
+
+
+class TestConstruction:
+    def test_accessors(self):
+        dists = sample_distributions()
+        assert dists.categories == [1, 2]
+        assert set(dists.events) == {HpcEvent.CACHE_MISSES, HpcEvent.BRANCHES}
+        np.testing.assert_array_equal(
+            dists.values(1, HpcEvent.CACHE_MISSES), [10.0, 12.0, 11.0])
+        assert dists.sample_count(1) == 3
+        assert dists.sample_count(2) == 2
+
+    def test_mean_and_category_means(self):
+        dists = sample_distributions()
+        assert dists.mean(1, HpcEvent.CACHE_MISSES) == pytest.approx(11.0)
+        means = dists.category_means(HpcEvent.CACHE_MISSES)
+        assert means == {1: pytest.approx(11.0), 2: pytest.approx(20.5)}
+
+    def test_string_event_names_accepted(self):
+        dists = sample_distributions()
+        np.testing.assert_array_equal(
+            dists.values(1, "cache-misses"), [10.0, 12.0, 11.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(MeasurementError):
+            EventDistributions({})
+        with pytest.raises(MeasurementError):
+            EventDistributions({1: {}})
+        with pytest.raises(MeasurementError):
+            EventDistributions({1: {HpcEvent.CYCLES: np.array([])}})
+
+    def test_rejects_ragged_event_sets(self):
+        with pytest.raises(MeasurementError):
+            EventDistributions({
+                1: {HpcEvent.CYCLES: np.array([1.0])},
+                2: {HpcEvent.BRANCHES: np.array([1.0])},
+            })
+
+    def test_unknown_queries_rejected(self):
+        dists = sample_distributions()
+        with pytest.raises(MeasurementError):
+            dists.values(9, HpcEvent.CYCLES)
+        with pytest.raises(MeasurementError):
+            dists.values(1, HpcEvent.CYCLES)
+
+
+class TestConstructionFromMeasurements:
+    def test_from_event_counts(self):
+        dists = EventDistributions.from_measurements({
+            0: [EventCounts({HpcEvent.CYCLES: 10}),
+                EventCounts({HpcEvent.CYCLES: 12})],
+            1: [EventCounts({HpcEvent.CYCLES: 30}),
+                EventCounts({HpcEvent.CYCLES: 33})],
+        })
+        np.testing.assert_array_equal(dists.values(0, HpcEvent.CYCLES),
+                                      [10, 12])
+
+
+class TestPersistence:
+    def test_array_round_trip(self):
+        dists = sample_distributions()
+        restored = EventDistributions.from_arrays(dists.to_arrays())
+        assert restored.categories == dists.categories
+        for category in dists.categories:
+            for event in dists.events:
+                np.testing.assert_array_equal(
+                    restored.values(category, event),
+                    dists.values(category, event))
+
+    def test_from_arrays_rejects_garbage(self):
+        with pytest.raises(MeasurementError):
+            EventDistributions.from_arrays({"unrelated": np.array([1.0])})
+
+
+class TestCombinators:
+    def test_subset(self):
+        dists = sample_distributions()
+        sub = dists.subset([2])
+        assert sub.categories == [2]
+
+    def test_merge_concatenates(self):
+        dists = sample_distributions()
+        merged = dists.merged_with(sample_distributions())
+        assert merged.sample_count(1) == 6
+
+    def test_merge_rejects_mismatched_events(self):
+        other = EventDistributions(
+            {1: {HpcEvent.CYCLES: np.array([1.0, 2.0])}})
+        with pytest.raises(MeasurementError):
+            sample_distributions().merged_with(other)
+
+    def test_summary_text(self):
+        text = sample_distributions().summary()
+        assert "category 1" in text
+        assert "cache-misses" in text

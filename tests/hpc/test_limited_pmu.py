@@ -1,0 +1,61 @@
+"""Tests for MeasurementSession.collect_with_limited_pmu."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.hpc import MeasurementSession, SimBackend
+from repro.uarch import ALL_EVENTS, HpcEvent
+from repro.uarch.pmu import FIXED_EVENTS
+
+
+@pytest.fixture(scope="module")
+def limited_session(tiny_trained_model):
+    backend = SimBackend(tiny_trained_model, noise_scale=0.0)
+    return MeasurementSession(backend, warmup=0)
+
+
+class TestLimitedPmuCollection:
+    def test_all_events_collected_across_passes(self, limited_session,
+                                                digits_dataset):
+        dists = limited_session.collect_with_limited_pmu(
+            digits_dataset, [0, 1], 4, programmable_counters=2)
+        assert set(dists.events) == set(ALL_EVENTS)
+        assert dists.sample_count(0) == 4
+
+    def test_single_counter_still_works(self, limited_session,
+                                        digits_dataset):
+        dists = limited_session.collect_with_limited_pmu(
+            digits_dataset, [0], 3, programmable_counters=1)
+        assert set(dists.events) == set(ALL_EVENTS)
+
+    def test_matches_unlimited_collection_with_zero_noise(
+            self, limited_session, digits_dataset):
+        # Deterministic backend: per-pass measurements of the same samples
+        # must equal a one-pass collection value-for-value.
+        full = limited_session.collect(digits_dataset, [0, 1], 4)
+        limited = limited_session.collect_with_limited_pmu(
+            digits_dataset, [0, 1], 4, programmable_counters=2)
+        for category in (0, 1):
+            for event in ALL_EVENTS:
+                np.testing.assert_array_equal(
+                    limited.values(category, event),
+                    full.values(category, event))
+
+    def test_fixed_events_measured_once(self, limited_session,
+                                        digits_dataset):
+        dists = limited_session.collect_with_limited_pmu(
+            digits_dataset, [0], 3, programmable_counters=2)
+        for event in FIXED_EVENTS:
+            assert event in dists.events
+
+    def test_rejects_zero_counters(self, limited_session, digits_dataset):
+        with pytest.raises(MeasurementError):
+            limited_session.collect_with_limited_pmu(
+                digits_dataset, [0], 3, programmable_counters=0)
+
+    def test_rejects_insufficient_samples(self, limited_session,
+                                          digits_dataset):
+        with pytest.raises(MeasurementError):
+            limited_session.collect_with_limited_pmu(
+                digits_dataset, [0], 10_000)

@@ -1,0 +1,87 @@
+"""Tests for repro.hpc.parse (perf stat CSV parsing)."""
+
+import pytest
+
+from repro.errors import BackendError
+from repro.hpc import build_perf_command, parse_perf_stat_csv
+from repro.uarch import HpcEvent
+
+SAMPLE_OUTPUT = """\
+# started on Mon Jul  6 12:00:00 2026
+
+226770129,,branches,401528361,100.00,,
+6246087,,branch-misses,401528361,100.00,,
+61954576,,bus-cycles,401528361,100.00,,
+8364694,,cache-misses,401528361,100.00,,
+63415934,,cache-references,401528361,100.00,,
+1622128035,,cycles,401528361,100.00,,
+1209422281,,instructions,401528361,100.00,,
+1599201092,,ref-cycles,401528361,100.00,,
+"""
+
+
+class TestParsing:
+    def test_full_event_set(self):
+        result = parse_perf_stat_csv(SAMPLE_OUTPUT)
+        assert result.counts[HpcEvent.CACHE_MISSES] == 8364694
+        assert result.counts[HpcEvent.BRANCHES] == 226770129
+        assert len(result.counts) == 8
+        assert result.multiplex_fraction[HpcEvent.CYCLES] == 100.0
+
+    def test_not_counted_and_not_supported(self):
+        text = ("<not counted>,,cache-misses,0,0.00,,\n"
+                "<not supported>,,ref-cycles,0,0.00,,\n"
+                "123,,cycles,100,100.00,,\n")
+        result = parse_perf_stat_csv(text)
+        assert HpcEvent.CACHE_MISSES in result.not_counted
+        assert HpcEvent.REF_CYCLES in result.not_supported
+        assert result.counts[HpcEvent.CYCLES] == 123
+
+    def test_event_modifiers_stripped(self):
+        result = parse_perf_stat_csv("55,,cycles:u,10,100.00,,\n")
+        assert result.counts[HpcEvent.CYCLES] == 55
+
+    def test_unknown_events_skipped(self):
+        text = ("10,,cycles,5,100.00,,\n"
+                "77,,weird-vendor-event,5,100.00,,\n")
+        result = parse_perf_stat_csv(text)
+        assert len(result.counts) == 1
+
+    def test_comments_and_blank_lines_skipped(self):
+        result = parse_perf_stat_csv("# comment\n\n12,,cycles,5,100.00,,\n")
+        assert result.counts[HpcEvent.CYCLES] == 12
+
+    def test_custom_separator(self):
+        result = parse_perf_stat_csv("1234;;cycles;5;100.00", separator=";")
+        assert result.counts[HpcEvent.CYCLES] == 1234
+        assert result.multiplex_fraction[HpcEvent.CYCLES] == 100.0
+
+    def test_garbage_value_rejected(self):
+        with pytest.raises(BackendError):
+            parse_perf_stat_csv("abc,,cycles,5,100.00,,\n")
+
+    def test_empty_output_rejected(self):
+        with pytest.raises(BackendError):
+            parse_perf_stat_csv("# nothing here\n")
+
+
+class TestCommandBuilder:
+    def test_pid_attach_form(self):
+        argv = build_perf_command([HpcEvent.CACHE_MISSES], pid=1234)
+        assert argv[:2] == ["perf", "stat"]
+        assert "-p" in argv
+        assert "1234" in argv
+        assert "cache-misses" in argv[argv.index("-e") + 1]
+
+    def test_command_form(self):
+        argv = build_perf_command([HpcEvent.CYCLES, HpcEvent.BRANCHES],
+                                  command=["true"])
+        assert argv[-1] == "true"
+        assert "--" in argv
+        assert "cycles,branches" == argv[argv.index("-e") + 1]
+
+    def test_exactly_one_target_required(self):
+        with pytest.raises(BackendError):
+            build_perf_command([HpcEvent.CYCLES])
+        with pytest.raises(BackendError):
+            build_perf_command([HpcEvent.CYCLES], pid=1, command=["true"])

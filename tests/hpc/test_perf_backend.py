@@ -1,0 +1,61 @@
+"""Tests for repro.hpc.perf_backend.
+
+Real hardware counters are rarely available in CI containers; the behaviour
+tests run only where ``perf`` works, while the availability probing and
+failure paths are always exercised.
+"""
+
+import pytest
+
+from repro.errors import PerfUnavailableError
+from repro.hpc import PerfBackend, perf_available
+from repro.uarch import HpcEvent
+
+PERF_OK = perf_available()
+
+
+class TestAvailabilityProbe:
+    def test_probe_returns_bool(self):
+        assert isinstance(PERF_OK, bool)
+
+    def test_probe_is_safe_to_repeat(self):
+        assert perf_available() == PERF_OK
+
+    def test_probe_handles_missing_binary(self, monkeypatch):
+        monkeypatch.setattr("shutil.which", lambda name: None)
+        assert perf_available() is False
+
+
+@pytest.mark.skipif(PERF_OK, reason="perf works here; failure path untestable")
+class TestUnavailableHost:
+    def test_backend_construction_raises(self, tiny_trained_model):
+        with pytest.raises(PerfUnavailableError):
+            PerfBackend(tiny_trained_model)
+
+
+@pytest.mark.skipif(not PERF_OK, reason="perf hardware counters unavailable")
+class TestRealPerf:
+    def test_measures_all_requested_events(self, tiny_trained_model,
+                                           digits_dataset):
+        backend = PerfBackend(tiny_trained_model,
+                              events=(HpcEvent.CYCLES,
+                                      HpcEvent.INSTRUCTIONS))
+        try:
+            measurement = backend.measure(digits_dataset.images[0])
+            assert measurement.counts[HpcEvent.CYCLES] > 0
+            assert measurement.counts[HpcEvent.INSTRUCTIONS] > 0
+            assert 0 <= measurement.prediction < 10
+        finally:
+            backend.cleanup()
+
+    def test_prediction_matches_local_model(self, tiny_trained_model,
+                                            digits_dataset):
+        backend = PerfBackend(tiny_trained_model,
+                              events=(HpcEvent.CYCLES,))
+        try:
+            image = digits_dataset.images[0]
+            measurement = backend.measure(image)
+            assert measurement.prediction == (
+                tiny_trained_model.classify_one(image))
+        finally:
+            backend.cleanup()

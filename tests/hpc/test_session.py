@@ -1,0 +1,121 @@
+"""Tests for repro.hpc.session (collection + caching)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.hpc import (
+    EventDistributions,
+    MeasurementCache,
+    MeasurementSession,
+    SimBackend,
+)
+from repro.uarch import HpcEvent
+
+
+@pytest.fixture(scope="module")
+def module_backend(tiny_trained_model):
+    return SimBackend(tiny_trained_model, noise_scale=0.0)
+
+
+class TestCollect:
+    def test_shapes(self, module_backend, digits_dataset):
+        session = MeasurementSession(module_backend, warmup=0)
+        dists = session.collect(digits_dataset, [0, 1], 4)
+        assert dists.categories == [0, 1]
+        assert dists.sample_count(0) == 4
+        assert len(dists.events) == 8
+
+    def test_insufficient_samples_rejected(self, module_backend,
+                                           digits_dataset):
+        session = MeasurementSession(module_backend, warmup=0)
+        with pytest.raises(MeasurementError):
+            session.collect(digits_dataset, [0], 999)
+
+    def test_minimum_two_measurements(self, module_backend, digits_dataset):
+        session = MeasurementSession(module_backend, warmup=0)
+        with pytest.raises(MeasurementError):
+            session.collect(digits_dataset, [0], 1)
+
+    def test_negative_warmup_rejected(self, module_backend):
+        with pytest.raises(MeasurementError):
+            MeasurementSession(module_backend, warmup=-1)
+
+    def test_measure_category_warmup_not_recorded(self, module_backend,
+                                                  digits_dataset):
+        session = MeasurementSession(module_backend, warmup=2)
+        sub = digits_dataset.category(0)
+        readings = session.measure_category(sub.images[:5])
+        assert len(readings) == 5
+
+    def test_measure_category_rejects_empty(self, module_backend):
+        session = MeasurementSession(module_backend)
+        with pytest.raises(MeasurementError):
+            session.measure_category([])
+
+
+class TestCache:
+    def test_round_trip(self, tmp_path):
+        cache = MeasurementCache(tmp_path)
+        dists = EventDistributions(
+            {0: {HpcEvent.CYCLES: np.array([1.0, 2.0])}})
+        cache.put("key", dists)
+        restored = cache.get("key")
+        np.testing.assert_array_equal(restored.values(0, HpcEvent.CYCLES),
+                                      [1.0, 2.0])
+
+    def test_miss_returns_none(self, tmp_path):
+        assert MeasurementCache(tmp_path).get("absent") is None
+
+    def test_corrupt_entry_self_heals(self, tmp_path):
+        cache = MeasurementCache(tmp_path)
+        dists = EventDistributions(
+            {0: {HpcEvent.CYCLES: np.array([1.0, 2.0])}})
+        path = cache.put("key", dists)
+        path.write_bytes(b"garbage")
+        assert cache.get("key") is None
+        assert not path.exists()
+
+    def test_collect_uses_cache(self, tiny_trained_model, digits_dataset,
+                                tmp_path):
+        backend = SimBackend(tiny_trained_model, noise_scale=0.0)
+        cache = MeasurementCache(tmp_path)
+        session = MeasurementSession(backend, warmup=0, cache=cache)
+        first = session.collect(digits_dataset, [0, 1], 3)
+        counting = _CountingBackend(backend)
+        session_cached = MeasurementSession(counting, warmup=0, cache=cache)
+        second = session_cached.collect(digits_dataset, [0, 1], 3)
+        assert counting.calls == 0  # everything served from cache
+        for category in (0, 1):
+            np.testing.assert_array_equal(
+                first.values(category, HpcEvent.CYCLES),
+                second.values(category, HpcEvent.CYCLES))
+
+    def test_cache_key_respects_sample_count(self, tiny_trained_model,
+                                             digits_dataset, tmp_path):
+        backend = SimBackend(tiny_trained_model, noise_scale=0.0)
+        cache = MeasurementCache(tmp_path)
+        session = MeasurementSession(backend, warmup=0, cache=cache)
+        three = session.collect(digits_dataset, [0], 3)
+        four = session.collect(digits_dataset, [0], 4)
+        assert three.sample_count(0) == 3
+        assert four.sample_count(0) == 4
+
+
+class _CountingBackend:
+    """Delegating backend that counts measure() calls."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.calls = 0
+
+    def measure(self, sample):
+        self.calls += 1
+        return self._inner.measure(sample)
+
+    def fingerprint(self):
+        return self._inner.fingerprint()
+
+    @property
+    def events(self):
+        return self._inner.events

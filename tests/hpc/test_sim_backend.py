@@ -1,0 +1,107 @@
+"""Tests for repro.hpc.sim_backend."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BackendError
+from repro.hpc import SimBackend
+from repro.trace import TraceConfig
+from repro.uarch import CpuConfig, HpcEvent
+
+
+@pytest.fixture(scope="module")
+def backend_factory(request):
+    def make(model, **kwargs):
+        return SimBackend(model, **kwargs)
+    return make
+
+
+class TestMeasurement:
+    def test_measure_returns_prediction_and_counts(self, tiny_trained_model,
+                                                   digits_dataset):
+        backend = SimBackend(tiny_trained_model, noise_scale=0.0)
+        measurement = backend.measure(digits_dataset.images[0])
+        assert 0 <= measurement.prediction < 10
+        assert len(measurement.counts) == 8
+
+    def test_zero_noise_is_deterministic(self, tiny_trained_model,
+                                         digits_dataset):
+        backend = SimBackend(tiny_trained_model, noise_scale=0.0)
+        image = digits_dataset.images[0]
+        assert backend.measure(image).counts == backend.measure(image).counts
+
+    def test_noise_perturbs_counts(self, tiny_trained_model, digits_dataset):
+        backend = SimBackend(tiny_trained_model, noise_scale=1.0, seed=1)
+        image = digits_dataset.images[0]
+        a = backend.measure(image).counts
+        b = backend.measure(image).counts
+        assert a != b
+
+    def test_noise_is_small_relative_to_counts(self, tiny_trained_model,
+                                               digits_dataset):
+        image = digits_dataset.images[0]
+        clean = SimBackend(tiny_trained_model, noise_scale=0.0).measure(image)
+        noisy = SimBackend(tiny_trained_model, noise_scale=1.0,
+                           seed=2).measure(image)
+        for event in clean.counts:
+            reference = clean.counts[event]
+            assert abs(noisy.counts[event] - reference) < max(
+                0.05 * reference, 50_000)
+
+    def test_measure_clean_bypasses_noise(self, tiny_trained_model,
+                                          digits_dataset):
+        backend = SimBackend(tiny_trained_model, noise_scale=1.0, seed=3)
+        image = digits_dataset.images[0]
+        assert (backend.measure_clean(image).counts
+                == backend.measure_clean(image).counts)
+
+    def test_reset_noise_reproduces_stream(self, tiny_trained_model,
+                                           digits_dataset):
+        backend = SimBackend(tiny_trained_model, seed=4)
+        image = digits_dataset.images[0]
+        first = [backend.measure(image).counts for _ in range(3)]
+        backend.reset_noise()
+        second = [backend.measure(image).counts for _ in range(3)]
+        assert first == second
+
+    def test_noise_profile_override(self, tiny_trained_model, digits_dataset):
+        quiet = SimBackend(
+            tiny_trained_model, seed=5,
+            noise_profile={event: 0.0 for event in HpcEvent})
+        image = digits_dataset.images[0]
+        a = quiet.measure(image).counts
+        b = quiet.measure(image).counts
+        # Relative noise zeroed; only the additive floor remains.
+        for event in (HpcEvent.BRANCHES, HpcEvent.INSTRUCTIONS):
+            assert abs(a[event] - b[event]) < 5000
+
+    def test_measure_many(self, tiny_trained_model, digits_dataset):
+        backend = SimBackend(tiny_trained_model)
+        results = backend.measure_many(digits_dataset.images[:3])
+        assert len(results) == 3
+
+    def test_rejects_negative_noise(self, tiny_trained_model):
+        with pytest.raises(BackendError):
+            SimBackend(tiny_trained_model, noise_scale=-1.0)
+
+
+class TestFingerprint:
+    def test_stable_for_same_configuration(self, tiny_trained_model):
+        a = SimBackend(tiny_trained_model, seed=7)
+        b = SimBackend(tiny_trained_model, seed=7)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_changes_with_seed_and_configs(self, tiny_trained_model):
+        base = SimBackend(tiny_trained_model, seed=7).fingerprint()
+        assert SimBackend(tiny_trained_model, seed=8).fingerprint() != base
+        assert SimBackend(tiny_trained_model, seed=7,
+                          trace_config=TraceConfig(dense_stride=2)
+                          ).fingerprint() != base
+        assert SimBackend(tiny_trained_model, seed=7,
+                          cpu_config=CpuConfig(base_cpi=2000)
+                          ).fingerprint() != base
+
+    def test_describe_mentions_configuration(self, tiny_trained_model):
+        text = SimBackend(tiny_trained_model).describe()
+        assert "sim backend" in text
+        assert "L1D" in text

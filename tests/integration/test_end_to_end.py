@@ -1,0 +1,108 @@
+"""End-to-end integration tests: the paper's qualitative claims must hold.
+
+These run the full pipeline (train -> trace -> simulate -> measure ->
+evaluate) on reduced sample counts.  The assertions encode the *shape* of
+the paper's results, not absolute numbers:
+
+* ``cache-misses`` distinguishes most category pairs;
+* ``branches`` distinguishes (almost) none;
+* the Evaluator raises an alarm;
+* the recovered-category attack beats chance;
+* the constant-footprint countermeasure removes the leak.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attack import profile_and_attack
+from repro.core import (
+    CONSERVATIVE_POLICY,
+    Evaluator,
+    ExperimentConfig,
+    PAPER_POLICY,
+    run_experiment,
+)
+from repro.countermeasures import evaluate_defense, harden_backend
+from repro.hpc import MeasurementCache, MeasurementSession
+from repro.uarch import HpcEvent
+
+
+@pytest.fixture(scope="module")
+def mnist_result(tmp_path_factory):
+    config = ExperimentConfig(
+        dataset="mnist",
+        categories=(1, 2, 3, 4),
+        samples_per_category=30,
+        cache_dir=str(tmp_path_factory.mktemp("cache")),
+    )
+    return run_experiment(config)
+
+
+class TestPaperShapeMnist:
+    def test_classifier_actually_works(self, mnist_result):
+        assert mnist_result.test_accuracy > 0.7
+
+    def test_alarm_raised(self, mnist_result):
+        assert mnist_result.report.alarm
+        assert PAPER_POLICY.decide(mnist_result.report).triggered
+
+    def test_cache_misses_distinguish_most_pairs(self, mnist_result):
+        rejections = mnist_result.report.rejection_count(
+            HpcEvent.CACHE_MISSES)
+        assert rejections >= 4  # of 6 pairs (paper: 6/6 with n~1000)
+
+    def test_branches_mostly_indistinguishable(self, mnist_result):
+        rejections = mnist_result.report.rejection_count(HpcEvent.BRANCHES)
+        assert rejections <= 2  # paper: 2/6 marginal
+
+    def test_cache_misses_stronger_than_branches(self, mnist_result):
+        cm = [abs(r.ttest.statistic) for r in
+              mnist_result.report.for_event(HpcEvent.CACHE_MISSES)]
+        br = [abs(r.ttest.statistic) for r in
+              mnist_result.report.for_event(HpcEvent.BRANCHES)]
+        assert max(cm) > 3 * max(br)
+
+    def test_attack_beats_chance(self, mnist_result):
+        outcome = profile_and_attack(mnist_result.distributions, seed=1)
+        assert outcome.accuracy > outcome.chance_level + 0.10
+
+    def test_countermeasure_removes_leak(self, mnist_result):
+        config = mnist_result.config
+        hardened = harden_backend(mnist_result.backend)
+        pool = config.generator().generate(
+            20, seed=config.eval_seed, categories=list(config.categories))
+        defense = evaluate_defense(
+            hardened, pool, config.categories, 20,
+            baseline_report=mnist_result.report,
+            cache=MeasurementCache(config.cache_dir))
+        # TOST certifies equivalence on the paper's two headline events.
+        assert defense.equivalence[HpcEvent.CACHE_MISSES] == 1.0
+        assert defense.equivalence[HpcEvent.BRANCHES] == 1.0
+        # The Holm-corrected policy stays quiet on the defended system.
+        assert not CONSERVATIVE_POLICY.decide(defense.defended).triggered
+
+    def test_measured_magnitudes_are_plausible(self, mnist_result):
+        dists = mnist_result.distributions
+        category = dists.categories[0]
+        instructions = dists.mean(category, HpcEvent.INSTRUCTIONS)
+        cycles = dists.mean(category, HpcEvent.CYCLES)
+        references = dists.mean(category, HpcEvent.CACHE_REFERENCES)
+        misses = dists.mean(category, HpcEvent.CACHE_MISSES)
+        assert 0.5 < cycles / instructions < 10.0    # sane CPI
+        assert misses <= references                   # miss ratio <= 1
+        assert dists.mean(category, HpcEvent.BUS_CYCLES) < cycles
+
+    def test_deterministic_reproduction(self, mnist_result, tmp_path):
+        config_dict = {
+            "dataset": "mnist",
+            "categories": (1, 2, 3, 4),
+            "samples_per_category": 12,
+            "cache_dir": "",
+        }
+        a = run_experiment(ExperimentConfig(**config_dict))
+        b = run_experiment(ExperimentConfig(**config_dict))
+        for event in (HpcEvent.CACHE_MISSES, HpcEvent.BRANCHES):
+            for category in (1, 2, 3, 4):
+                np.testing.assert_array_equal(
+                    a.distributions.values(category, event),
+                    b.distributions.values(category, event))

@@ -1,0 +1,113 @@
+"""Property test: ANY registry-built architecture traces consistently.
+
+Hypothesis generates small random CNN/MLP stacks; for each one we verify the
+library-wide contracts that every other result relies on:
+
+* the traced forward pass predicts exactly what the model predicts;
+* tracing is deterministic;
+* retired-branch counts are input-independent (the paper's `branches`
+  observation must hold structurally, not just for the two case-study
+  models);
+* constant-footprint mode produces identical readouts for any two inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    AvgPool2D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.trace import TraceConfig, TracedInference
+from repro.uarch import CpuModel
+
+
+@st.composite
+def small_architectures(draw):
+    """A random but always-valid conv stack on 10x10 inputs."""
+    channels = draw(st.integers(min_value=1, max_value=3))
+    layers = []
+    filters = draw(st.integers(min_value=2, max_value=6))
+    padding = draw(st.sampled_from([0, 1]))
+    layers.append(Conv2D(filters, 3, padding=padding, name="conv_a"))
+    activation = draw(st.sampled_from([ReLU, LeakyReLU, Tanh, Sigmoid]))
+    layers.append(activation(name="act_a"))
+    if draw(st.booleans()):
+        layers.append(BatchNorm2D(name="bn"))
+    pool = draw(st.sampled_from([MaxPool2D, AvgPool2D, None]))
+    if pool is not None:
+        layers.append(pool(2, name="pool_a"))
+    if draw(st.booleans()):
+        layers.append(Conv2D(draw(st.integers(2, 5)), 3, name="conv_b"))
+        layers.append(ReLU(name="act_b"))
+    layers.append(Flatten(name="flat"))
+    if draw(st.booleans()):
+        layers.append(Dense(draw(st.integers(4, 12)), name="hidden"))
+        layers.append(ReLU(name="act_c"))
+        layers.append(Dropout(0.3, name="drop"))
+    layers.append(Dense(5, name="out"))
+    model = Sequential(layers, name="fuzzed")
+    model.build((channels, 10, 10), seed=draw(st.integers(0, 2 ** 16)))
+    return model
+
+
+@settings(max_examples=20, deadline=None)
+@given(model=small_architectures(), data_seed=st.integers(0, 2 ** 16))
+def test_traced_predictions_match_model(model, data_seed):
+    traced = TracedInference(model)
+    rng = np.random.default_rng(data_seed)
+    for _ in range(2):
+        sample = rng.normal(size=model.input_shape)
+        prediction, trace = traced.trace_sample(sample)
+        assert prediction == model.classify_one(sample)
+        assert trace.instructions > 0
+        assert trace.memory_accesses > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(model=small_architectures(), data_seed=st.integers(0, 2 ** 16))
+def test_tracing_is_deterministic(model, data_seed):
+    traced = TracedInference(model)
+    sample = np.random.default_rng(data_seed).normal(size=model.input_shape)
+    _, first = traced.trace_sample(sample)
+    _, second = traced.trace_sample(sample)
+    assert first.instructions == second.instructions
+    assert first.branches == second.branches
+    np.testing.assert_array_equal(first.memory_lines(),
+                                  second.memory_lines())
+
+
+@settings(max_examples=15, deadline=None)
+@given(model=small_architectures(), data_seed=st.integers(0, 2 ** 16))
+def test_branch_counts_are_input_independent(model, data_seed):
+    traced = TracedInference(model)
+    rng = np.random.default_rng(data_seed)
+    counts = set()
+    for _ in range(3):
+        _, trace = traced.trace_sample(rng.normal(size=model.input_shape))
+        counts.add(trace.branches)
+    assert len(counts) == 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(model=small_architectures(), data_seed=st.integers(0, 2 ** 16))
+def test_constant_footprint_readouts_identical(model, data_seed):
+    hardened = TracedInference(
+        model, TraceConfig(sparse_from_layer=None, branchless_compares=True))
+    cpu = CpuModel(seed=0)
+    rng = np.random.default_rng(data_seed)
+    readouts = [hardened.run(rng.normal(size=model.input_shape), cpu)[1]
+                for _ in range(2)]
+    assert readouts[0] == readouts[1]

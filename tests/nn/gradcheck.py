@@ -1,0 +1,52 @@
+"""Numeric gradient-checking helpers shared by the layer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def numeric_gradient(fn, x: np.ndarray, epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` w.r.t. array ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        high = fn()
+        flat[i] = original - epsilon
+        low = fn()
+        flat[i] = original
+        grad_flat[i] = (high - low) / (2.0 * epsilon)
+    return grad
+
+
+def check_layer_gradients(layer, x: np.ndarray, rng: np.random.Generator,
+                          rtol: float = 1e-5, atol: float = 1e-7) -> None:
+    """Verify a layer's backward pass against central differences.
+
+    Uses the scalar objective ``sum(forward(x) * weights)`` with fixed random
+    weights so every output element contributes a distinct gradient.
+    """
+    y = layer.forward(x, training=True)
+    mix = rng.normal(size=y.shape)
+
+    def objective() -> float:
+        return float(np.sum(layer.forward(x, training=True) * mix))
+
+    # Analytic input gradient.
+    layer.zero_grad()
+    layer.forward(x, training=True)
+    grad_x = layer.backward(mix)
+    numeric_x = numeric_gradient(objective, x)
+    np.testing.assert_allclose(grad_x, numeric_x, rtol=rtol, atol=atol)
+
+    # Analytic parameter gradients.
+    for param in layer.parameters():
+        layer.zero_grad()
+        layer.forward(x, training=True)
+        layer.backward(mix)
+        analytic = param.grad.copy()
+        numeric = numeric_gradient(objective, param.value)
+        np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol,
+                                   err_msg=f"parameter {param.name}")

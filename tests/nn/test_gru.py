@@ -1,0 +1,115 @@
+"""Tests for repro.nn.layers.recurrent.GRU."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, LayerError, ShapeError
+from repro.nn import GRU, Adam, Dense, Sequential, Trainer
+
+from .gradcheck import check_layer_gradients
+
+
+def build(layer, shape, seed=0):
+    layer.build(shape, np.random.default_rng(seed))
+    return layer
+
+
+class TestForward:
+    def test_output_shape(self, rng):
+        layer = build(GRU(6), (5, 3))
+        assert layer.output_shape == (6,)
+        assert layer.forward(rng.normal(size=(4, 5, 3))).shape == (4, 6)
+
+    def test_recurrence_matches_manual_unroll(self, rng):
+        layer = build(GRU(3), (2, 2))
+        x = rng.normal(size=(1, 2, 2))
+        y = layer.forward(x)
+
+        def sigmoid(v):
+            return 1.0 / (1.0 + np.exp(-v))
+
+        units = 3
+        w_x, w_h, b = layer.w_x.value, layer.w_h.value, layer.bias.value
+        h = np.zeros(units)
+        for t in range(2):
+            gx = x[0, t] @ w_x + b
+            gh = h @ w_h
+            z = sigmoid(gx[:units] + gh[:units])
+            r = sigmoid(gx[units:2 * units] + gh[units:2 * units])
+            c = np.tanh(gx[2 * units:] + (r * h) @ w_h[:, 2 * units:])
+            h = (1.0 - z) * h + z * c
+        np.testing.assert_allclose(y[0], h, rtol=1e-12)
+
+    def test_state_stays_bounded(self, rng):
+        layer = build(GRU(8), (50, 2))
+        y = layer.forward(rng.normal(size=(3, 50, 2)) * 5.0)
+        assert np.all(np.abs(y) <= 1.0 + 1e-9)  # convex blend of tanh values
+
+    def test_no_exact_zeros_in_state(self, rng):
+        # The side-channel-relevant property: GRU states are never exactly
+        # zero, so sparsity-aware kernels have nothing to skip.
+        layer = build(GRU(12), (10, 3))
+        y = layer.forward(rng.normal(size=(8, 10, 3)))
+        assert np.all(y != 0.0)
+
+    def test_rejects_bad_shapes_and_config(self, rng):
+        with pytest.raises(ConfigError):
+            GRU(0)
+        with pytest.raises(ShapeError):
+            build(GRU(4), (5,))
+        layer = build(GRU(4), (5, 3))
+        with pytest.raises(ShapeError):
+            layer.forward(rng.normal(size=(2, 5, 4)))
+
+
+class TestBackward:
+    def test_gradients_numeric(self, rng):
+        layer = build(GRU(3), (4, 2))
+        check_layer_gradients(layer, rng.normal(size=(2, 4, 2)), rng,
+                              rtol=3e-4, atol=1e-6)
+
+    def test_backward_requires_forward(self, rng):
+        layer = build(GRU(4), (5, 3))
+        with pytest.raises(LayerError):
+            layer.backward(rng.normal(size=(2, 4)))
+
+
+class TestTrainingAndSerialization:
+    def test_learns_sequence_classification(self):
+        from repro.datasets import SyntheticSensorTraces
+        dataset = SyntheticSensorTraces().generate(30, seed=3,
+                                                   categories=[0, 2])
+        model = Sequential([GRU(12), Dense(6)]).build((32, 3), seed=1)
+        trainer = Trainer(model, optimizer=Adam(0.01), batch_size=16)
+        history = trainer.fit(dataset.images, dataset.labels, epochs=10)
+        assert history.train_accuracy[-1] > 0.9
+
+    def test_save_load_round_trip(self, tmp_path, rng):
+        from repro.nn import load_model, save_model
+        model = Sequential([GRU(5), Dense(3)]).build((6, 2), seed=2)
+        x = rng.normal(size=(3, 6, 2))
+        expected = model.forward(x)
+        loaded = load_model(save_model(model, tmp_path / "gru.npz"))
+        np.testing.assert_allclose(loaded.forward(x), expected, rtol=1e-12)
+
+
+class TestSideChannelProperty:
+    def test_traced_footprint_is_input_independent(self, rng):
+        from repro.trace import TracedInference
+        from repro.uarch import CpuModel
+
+        from repro.uarch import HpcEvent
+
+        model = Sequential([GRU(8, name="gru"),
+                            Dense(4, name="fc")]).build((10, 3), seed=0)
+        traced = TracedInference(model)
+        cpu = CpuModel(seed=0)
+        readouts = [traced.run(rng.normal(size=(10, 3)), cpu)[1]
+                    for _ in range(3)]
+        # The memory footprint and work are input-independent; only the
+        # final argmax's few branch *outcomes* (hence branch-misses and the
+        # cycles they cost) can differ.
+        for event in (HpcEvent.CACHE_MISSES, HpcEvent.CACHE_REFERENCES,
+                      HpcEvent.BRANCHES, HpcEvent.INSTRUCTIONS):
+            values = {counts[event] for counts in readouts}
+            assert len(values) == 1

@@ -1,0 +1,76 @@
+"""Tests for repro.nn.initializers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.initializers import (
+    constant,
+    get_initializer,
+    glorot_uniform,
+    he_normal,
+    normal,
+    ones,
+    uniform,
+    zeros,
+)
+
+
+class TestBasics:
+    def test_zeros_and_ones(self, rng):
+        assert np.all(zeros((3, 4), rng) == 0.0)
+        assert np.all(ones((5,), rng) == 1.0)
+
+    def test_constant(self, rng):
+        assert np.all(constant(2.5)((2, 2), rng) == 2.5)
+
+    def test_normal_scale(self, rng):
+        values = normal(std=0.5)((10000,), rng)
+        assert float(np.std(values)) == pytest.approx(0.5, rel=0.05)
+
+    def test_uniform_bounds(self, rng):
+        values = uniform(limit=0.1)((10000,), rng)
+        assert float(values.min()) >= -0.1
+        assert float(values.max()) <= 0.1
+
+    def test_rejects_bad_scales(self):
+        with pytest.raises(ConfigError):
+            normal(std=0.0)
+        with pytest.raises(ConfigError):
+            uniform(limit=-1.0)
+
+
+class TestFanScaled:
+    def test_he_normal_dense_variance(self, rng):
+        values = he_normal((400, 300), rng)
+        assert float(np.std(values)) == pytest.approx(math.sqrt(2.0 / 400),
+                                                      rel=0.05)
+
+    def test_he_normal_conv_fan_in(self, rng):
+        values = he_normal((16, 8, 3, 3), rng)
+        assert float(np.std(values)) == pytest.approx(
+            math.sqrt(2.0 / (8 * 9)), rel=0.05)
+
+    def test_glorot_uniform_limit(self, rng):
+        values = glorot_uniform((200, 100), rng)
+        limit = math.sqrt(6.0 / 300)
+        assert float(np.abs(values).max()) <= limit
+
+    def test_rejects_weird_shapes(self, rng):
+        with pytest.raises(ConfigError):
+            he_normal((4, 4, 4), rng)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_initializer("he_normal") is he_normal
+
+    def test_callable_passthrough(self):
+        fn = constant(1.0)
+        assert get_initializer(fn) is fn
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            get_initializer("lecun")

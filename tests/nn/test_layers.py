@@ -1,0 +1,273 @@
+"""Gradient and behaviour tests for every layer type."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, LayerError, ShapeError
+from repro.nn.layers import (
+    AvgPool2D,
+    BatchNorm1D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+
+from .gradcheck import check_layer_gradients
+
+
+def build(layer, shape, seed=0):
+    layer.build(shape, np.random.default_rng(seed))
+    return layer
+
+
+class TestConv2D:
+    def test_forward_matches_direct_convolution(self, rng):
+        layer = build(Conv2D(4, 3), (2, 6, 6))
+        x = rng.normal(size=(2, 2, 6, 6))
+        y = layer.forward(x)
+        w = layer.weight.value
+        b = layer.bias.value
+        for n in range(2):
+            for f in range(4):
+                for i in range(4):
+                    for j in range(4):
+                        expected = np.sum(x[n, :, i:i + 3, j:j + 3] * w[f]) + b[f]
+                        assert y[n, f, i, j] == pytest.approx(expected,
+                                                              rel=1e-10)
+
+    def test_output_shape_with_stride_padding(self, rng):
+        layer = build(Conv2D(5, 3, stride=2, padding=1), (3, 9, 9))
+        assert layer.output_shape == (5, 5, 5)
+        y = layer.forward(rng.normal(size=(1, 3, 9, 9)))
+        assert y.shape == (1, 5, 5, 5)
+
+    def test_gradients(self, rng):
+        layer = build(Conv2D(3, 3, stride=1, padding=1), (2, 5, 5))
+        check_layer_gradients(layer, rng.normal(size=(2, 2, 5, 5)), rng)
+
+    def test_no_bias(self, rng):
+        layer = build(Conv2D(2, 3, use_bias=False), (1, 5, 5))
+        assert len(layer.parameters()) == 1
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            Conv2D(0, 3)
+        with pytest.raises(ConfigError):
+            Conv2D(1, 3, stride=0)
+
+    def test_rejects_wrong_input_shape(self, rng):
+        layer = build(Conv2D(2, 3), (1, 5, 5))
+        with pytest.raises(ShapeError):
+            layer.forward(rng.normal(size=(1, 2, 5, 5)))
+
+    def test_backward_requires_forward(self, rng):
+        layer = build(Conv2D(2, 3), (1, 5, 5))
+        with pytest.raises(LayerError):
+            layer.backward(rng.normal(size=(1, 2, 3, 3)))
+
+
+class TestDense:
+    def test_forward_affine(self, rng):
+        layer = build(Dense(4), (6,))
+        x = rng.normal(size=(3, 6))
+        np.testing.assert_allclose(
+            layer.forward(x), x @ layer.weight.value + layer.bias.value)
+
+    def test_gradients(self, rng):
+        layer = build(Dense(5), (7,))
+        check_layer_gradients(layer, rng.normal(size=(4, 7)), rng)
+
+    def test_rejects_unflattened_input(self):
+        with pytest.raises(ShapeError):
+            build(Dense(4), (2, 3))
+
+    def test_gradient_accumulates_across_backwards(self, rng):
+        layer = build(Dense(2), (3,))
+        x = rng.normal(size=(2, 3))
+        grad = rng.normal(size=(2, 2))
+        layer.forward(x, training=True)
+        layer.backward(grad)
+        once = layer.weight.grad.copy()
+        layer.forward(x, training=True)
+        layer.backward(grad)
+        np.testing.assert_allclose(layer.weight.grad, 2.0 * once)
+
+
+class TestPooling:
+    def test_maxpool_forward_matches_manual(self, rng):
+        layer = build(MaxPool2D(2), (2, 4, 4))
+        x = rng.normal(size=(1, 2, 4, 4))
+        y = layer.forward(x)
+        for c in range(2):
+            for i in range(2):
+                for j in range(2):
+                    window = x[0, c, 2 * i:2 * i + 2, 2 * j:2 * j + 2]
+                    assert y[0, c, i, j] == window.max()
+
+    def test_maxpool_gradient_routes_to_argmax(self):
+        layer = build(MaxPool2D(2), (1, 2, 2))
+        x = np.array([[[[1.0, 5.0], [2.0, 3.0]]]])
+        layer.forward(x, training=True)
+        grad = layer.backward(np.array([[[[7.0]]]]))
+        np.testing.assert_array_equal(
+            grad, [[[[0.0, 7.0], [0.0, 0.0]]]])
+
+    def test_maxpool_gradients_numeric(self, rng):
+        layer = build(MaxPool2D(2), (2, 4, 4))
+        # Distinct values avoid argmax ties that break central differences.
+        x = rng.permutation(np.arange(32.0)).reshape(1, 2, 4, 4) * 0.1
+        check_layer_gradients(layer, x, rng)
+
+    def test_avgpool_forward_and_gradients(self, rng):
+        layer = build(AvgPool2D(2), (2, 4, 4))
+        x = rng.normal(size=(1, 2, 4, 4))
+        y = layer.forward(x)
+        assert y[0, 0, 0, 0] == pytest.approx(x[0, 0, :2, :2].mean())
+        check_layer_gradients(layer, x, rng)
+
+    def test_global_avgpool(self, rng):
+        layer = build(GlobalAvgPool2D(), (3, 4, 4))
+        x = rng.normal(size=(2, 3, 4, 4))
+        np.testing.assert_allclose(layer.forward(x), x.mean(axis=(2, 3)))
+        check_layer_gradients(layer, x, rng)
+
+    def test_pool_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            MaxPool2D(0)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("layer_cls", [ReLU, LeakyReLU, Sigmoid, Tanh,
+                                           Softmax])
+    def test_gradients(self, layer_cls, rng):
+        layer = build(layer_cls(), (6,))
+        check_layer_gradients(layer, rng.normal(size=(3, 6)) + 0.1, rng,
+                              rtol=1e-4, atol=1e-6)
+
+    def test_relu_zeroes_negatives(self):
+        layer = build(ReLU(), (3,))
+        np.testing.assert_array_equal(
+            layer.forward(np.array([[-1.0, 0.0, 2.0]])), [[0.0, 0.0, 2.0]])
+
+    def test_leaky_relu_slope(self):
+        layer = build(LeakyReLU(alpha=0.1), (2,))
+        np.testing.assert_allclose(
+            layer.forward(np.array([[-10.0, 10.0]])), [[-1.0, 10.0]])
+
+    def test_sigmoid_range_and_stability(self):
+        layer = build(Sigmoid(), (3,))
+        y = layer.forward(np.array([[-1000.0, 0.0, 1000.0]]))
+        assert np.all(np.isfinite(y))
+        assert y[0, 1] == pytest.approx(0.5)
+
+    def test_softmax_rows_normalized(self, rng):
+        layer = build(Softmax(), (5,))
+        y = layer.forward(rng.normal(size=(4, 5)))
+        np.testing.assert_allclose(y.sum(axis=1), np.ones(4), rtol=1e-12)
+
+    def test_leaky_relu_rejects_negative_alpha(self):
+        with pytest.raises(ConfigError):
+            LeakyReLU(alpha=-0.1)
+
+
+class TestShapeOps:
+    def test_flatten_round_trip(self, rng):
+        layer = build(Flatten(), (2, 3, 4))
+        x = rng.normal(size=(5, 2, 3, 4))
+        y = layer.forward(x, training=True)
+        assert y.shape == (5, 24)
+        grad = layer.backward(y)
+        np.testing.assert_array_equal(grad, x)
+
+    def test_dropout_inference_is_identity(self, rng):
+        layer = build(Dropout(0.5), (10,))
+        x = rng.normal(size=(4, 10))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_dropout_training_scales_survivors(self):
+        layer = build(Dropout(0.5, seed=1), (1000,))
+        x = np.ones((1, 1000))
+        y = layer.forward(x, training=True)
+        survivors = y[y != 0]
+        np.testing.assert_allclose(survivors, 2.0)
+        assert 300 < survivors.size < 700
+
+    def test_dropout_backward_uses_same_mask(self):
+        layer = build(Dropout(0.3, seed=2), (50,))
+        x = np.ones((1, 50))
+        y = layer.forward(x, training=True)
+        grad = layer.backward(np.ones((1, 50)))
+        np.testing.assert_array_equal(grad, y)
+
+    def test_dropout_rejects_rate_one(self):
+        with pytest.raises(ConfigError):
+            Dropout(1.0)
+
+
+class TestBatchNorm:
+    def test_1d_normalizes_batch(self, rng):
+        layer = build(BatchNorm1D(), (4,))
+        x = rng.normal(3.0, 2.0, size=(64, 4))
+        y = layer.forward(x, training=True)
+        np.testing.assert_allclose(y.mean(axis=0), np.zeros(4), atol=1e-10)
+        np.testing.assert_allclose(y.std(axis=0), np.ones(4), atol=1e-3)
+
+    def test_1d_gradients(self, rng):
+        layer = build(BatchNorm1D(), (3,))
+        check_layer_gradients(layer, rng.normal(size=(6, 3)), rng,
+                              rtol=1e-4, atol=1e-6)
+
+    def test_2d_normalizes_per_channel(self, rng):
+        layer = build(BatchNorm2D(), (3, 5, 5))
+        x = rng.normal(1.0, 4.0, size=(16, 3, 5, 5))
+        y = layer.forward(x, training=True)
+        np.testing.assert_allclose(y.mean(axis=(0, 2, 3)), np.zeros(3),
+                                   atol=1e-10)
+
+    def test_inference_uses_running_stats(self, rng):
+        layer = build(BatchNorm1D(momentum=0.0), (2,))
+        x = rng.normal(5.0, 2.0, size=(128, 2))
+        layer.forward(x, training=True)  # momentum 0: running = batch stats
+        y = layer.forward(x, training=False)
+        np.testing.assert_allclose(y.mean(axis=0), np.zeros(2), atol=1e-6)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ConfigError):
+            BatchNorm1D(momentum=1.0)
+
+
+class TestLayerLifecycle:
+    def test_double_build_rejected(self, rng):
+        layer = build(Dense(3), (4,))
+        with pytest.raises(LayerError):
+            layer.build((4,), np.random.default_rng(0))
+
+    def test_use_before_build_rejected(self, rng):
+        with pytest.raises(LayerError):
+            Dense(3).forward(rng.normal(size=(1, 4)))
+
+    def test_parameter_count(self):
+        layer = build(Conv2D(4, 3), (2, 5, 5))
+        assert layer.parameter_count() == 4 * 2 * 9 + 4
+
+    def test_state_arrays_round_trip(self, rng):
+        layer = build(Dense(3), (4,))
+        saved = {k: v.copy() for k, v in layer.state_arrays().items()}
+        layer.weight.value += 1.0
+        layer.load_state_arrays(saved)
+        np.testing.assert_array_equal(layer.weight.value, saved["weight"])
+
+    def test_load_state_shape_mismatch(self, rng):
+        layer = build(Dense(3), (4,))
+        with pytest.raises(LayerError):
+            layer.load_state_arrays({"weight": np.zeros((2, 2)),
+                                     "bias": np.zeros(3)})

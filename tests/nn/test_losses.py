@@ -1,0 +1,92 @@
+"""Tests for repro.nn.losses."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.losses import HingeLoss, MeanSquaredError, SoftmaxCrossEntropy
+from repro.nn.tensor_utils import one_hot, softmax
+
+from .gradcheck import numeric_gradient
+
+
+class TestSoftmaxCrossEntropy:
+    def test_value_matches_manual(self, rng):
+        logits = rng.normal(size=(4, 5))
+        labels = np.array([0, 2, 4, 1])
+        loss, _ = SoftmaxCrossEntropy().forward(logits, labels)
+        probs = softmax(logits)
+        manual = -np.mean(np.log(probs[np.arange(4), labels]))
+        assert loss == pytest.approx(manual, rel=1e-12)
+
+    def test_accepts_one_hot_targets(self, rng):
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([1, 0, 3])
+        by_int, _ = SoftmaxCrossEntropy().forward(logits, labels)
+        by_onehot, _ = SoftmaxCrossEntropy().forward(logits, one_hot(labels, 4))
+        assert by_int == pytest.approx(by_onehot, rel=1e-12)
+
+    def test_gradient_numeric(self, rng):
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([2, 0, 1])
+        loss_fn = SoftmaxCrossEntropy()
+        _, grad = loss_fn.forward(logits, labels)
+        numeric = numeric_gradient(
+            lambda: loss_fn.forward(logits, labels)[0], logits)
+        np.testing.assert_allclose(grad, numeric, rtol=1e-5, atol=1e-8)
+
+    def test_perfect_prediction_has_near_zero_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = SoftmaxCrossEntropy().forward(logits, np.array([0, 1]))
+        assert loss < 1e-8
+
+    def test_rejects_bad_shapes(self, rng):
+        with pytest.raises(ShapeError):
+            SoftmaxCrossEntropy().forward(rng.normal(size=(4,)),
+                                          np.array([0]))
+        with pytest.raises(ShapeError):
+            SoftmaxCrossEntropy().forward(rng.normal(size=(2, 3)),
+                                          np.zeros((2, 4)))
+
+
+class TestMeanSquaredError:
+    def test_value(self):
+        loss, _ = MeanSquaredError().forward(np.array([[1.0, 2.0]]),
+                                             np.array([[0.0, 0.0]]))
+        assert loss == pytest.approx(2.5)
+
+    def test_gradient_numeric(self, rng):
+        pred = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 3))
+        loss_fn = MeanSquaredError()
+        _, grad = loss_fn.forward(pred, target)
+        numeric = numeric_gradient(
+            lambda: loss_fn.forward(pred, target)[0], pred)
+        np.testing.assert_allclose(grad, numeric, rtol=1e-6, atol=1e-9)
+
+    def test_rejects_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            MeanSquaredError().forward(rng.normal(size=(2, 2)),
+                                       rng.normal(size=(2, 3)))
+
+
+class TestHinge:
+    def test_zero_loss_when_margin_satisfied(self):
+        scores = np.array([[10.0, 0.0, 0.0]])
+        loss, _ = HingeLoss().forward(scores, np.array([0]))
+        assert loss == 0.0
+
+    def test_violations_counted(self):
+        scores = np.array([[1.0, 1.5, 0.0]])
+        loss, _ = HingeLoss(margin=1.0).forward(scores, np.array([0]))
+        # Class 1 violates by 1.5, class 2 by 0.
+        assert loss == pytest.approx(1.5)
+
+    def test_gradient_numeric(self, rng):
+        scores = rng.normal(size=(3, 4))
+        labels = np.array([0, 3, 2])
+        loss_fn = HingeLoss()
+        _, grad = loss_fn.forward(scores, labels)
+        numeric = numeric_gradient(
+            lambda: loss_fn.forward(scores, labels)[0], scores)
+        np.testing.assert_allclose(grad, numeric, rtol=1e-5, atol=1e-7)

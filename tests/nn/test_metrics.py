@@ -1,0 +1,80 @@
+"""Tests for repro.nn.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.metrics import (
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    per_class_accuracy,
+    top_k_accuracy,
+)
+
+
+class TestAccuracy:
+    def test_exact(self):
+        assert accuracy([0, 1, 2, 1], [0, 1, 1, 1]) == 0.75
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ShapeError):
+            accuracy([0, 1], [0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError):
+            accuracy([], [])
+
+
+class TestConfusionMatrix:
+    def test_layout_true_rows_pred_columns(self):
+        matrix = confusion_matrix([0, 0, 1], [0, 1, 1])
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 1]])
+
+    def test_explicit_class_count(self):
+        matrix = confusion_matrix([0], [0], num_classes=4)
+        assert matrix.shape == (4, 4)
+        assert matrix.sum() == 1
+
+    def test_trace_equals_correct_count(self, rng):
+        y_true = rng.integers(0, 5, size=50)
+        y_pred = rng.integers(0, 5, size=50)
+        matrix = confusion_matrix(y_true, y_pred, num_classes=5)
+        assert np.trace(matrix) == int(np.sum(y_true == y_pred))
+
+
+class TestPerClass:
+    def test_recall_per_class(self):
+        recalls = per_class_accuracy([0, 0, 1, 1], [0, 1, 1, 1])
+        assert recalls == [0.5, 1.0]
+
+    def test_absent_class_reports_zero(self):
+        recalls = per_class_accuracy([0, 0], [0, 0], num_classes=3)
+        assert recalls[2] == 0.0
+
+
+class TestTopK:
+    def test_top1_equals_accuracy(self, rng):
+        probs = rng.random((20, 4))
+        labels = rng.integers(0, 4, size=20)
+        top1 = top_k_accuracy(labels, probs, k=1)
+        assert top1 == accuracy(labels, np.argmax(probs, axis=1))
+
+    def test_topk_monotone_in_k(self, rng):
+        probs = rng.random((30, 5))
+        labels = rng.integers(0, 5, size=30)
+        values = [top_k_accuracy(labels, probs, k=k) for k in (1, 2, 5)]
+        assert values[0] <= values[1] <= values[2] == 1.0
+
+    def test_rejects_bad_k(self, rng):
+        with pytest.raises(ShapeError):
+            top_k_accuracy([0], rng.random((1, 3)), k=4)
+
+
+class TestReport:
+    def test_contains_all_pieces(self):
+        report = classification_report([0, 1, 1], [0, 1, 0])
+        assert report["accuracy"] == pytest.approx(2 / 3)
+        assert report["support"] == [1, 2]
+        assert report["confusion_matrix"].shape == (2, 2)
+        assert len(report["per_class_accuracy"]) == 2

@@ -1,0 +1,139 @@
+"""Tests for repro.nn.model.Sequential."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LayerError, ShapeError
+from repro.nn import (
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    Softmax,
+)
+
+
+def small_model(seed=0):
+    return Sequential([
+        Conv2D(4, 3), ReLU(), MaxPool2D(2), Flatten(), Dense(10),
+    ]).build((1, 8, 8), seed=seed)
+
+
+class TestBuild:
+    def test_shapes_propagate(self):
+        model = small_model()
+        assert model.input_shape == (1, 8, 8)
+        assert model.layers[0].output_shape == (4, 6, 6)
+        assert model.layers[2].output_shape == (4, 3, 3)
+        assert model.output_shape == (10,)
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(LayerError):
+            Sequential().build((1, 8, 8))
+
+    def test_double_build_rejected(self):
+        model = small_model()
+        with pytest.raises(LayerError):
+            model.build((1, 8, 8))
+
+    def test_add_after_build_rejected(self):
+        model = small_model()
+        with pytest.raises(LayerError):
+            model.add(Dense(2))
+
+    def test_non_layer_rejected(self):
+        with pytest.raises(LayerError):
+            Sequential().add("not a layer")
+
+    def test_duplicate_names_uniquified(self):
+        model = Sequential([ReLU(name="act"), ReLU(name="act")])
+        model.build((4,))
+        names = [layer.name for layer in model.layers]
+        assert len(set(names)) == 2
+
+    def test_deterministic_initialization(self):
+        a = small_model(seed=42)
+        b = small_model(seed=42)
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            np.testing.assert_array_equal(pa.value, pb.value)
+        c = small_model(seed=43)
+        assert any(not np.array_equal(pa.value, pc.value)
+                   for pa, pc in zip(a.parameters(), c.parameters()))
+
+
+class TestInference:
+    def test_forward_shape(self, rng):
+        model = small_model()
+        y = model.forward(rng.normal(size=(5, 1, 8, 8)))
+        assert y.shape == (5, 10)
+
+    def test_predict_returns_labels(self, rng):
+        model = small_model()
+        labels = model.predict(rng.normal(size=(7, 1, 8, 8)))
+        assert labels.shape == (7,)
+        assert labels.dtype.kind == "i"
+        assert np.all((labels >= 0) & (labels < 10))
+
+    def test_predict_proba_rows_sum_to_one(self, rng):
+        model = small_model()
+        probs = model.predict_proba(rng.normal(size=(3, 1, 8, 8)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(3), rtol=1e-10)
+
+    def test_predict_proba_respects_terminal_softmax(self, rng):
+        model = Sequential([Flatten(), Dense(5), Softmax()]).build((2, 2))
+        probs = model.predict_proba(rng.normal(size=(3, 2, 2)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(3), rtol=1e-10)
+
+    def test_classify_one(self, rng):
+        model = small_model()
+        sample = rng.normal(size=(1, 8, 8))
+        assert model.classify_one(sample) == model.predict(sample[None])[0]
+
+    def test_classify_one_rejects_batched(self, rng):
+        model = small_model()
+        with pytest.raises(ShapeError):
+            model.classify_one(rng.normal(size=(2, 1, 8, 8)))
+
+    def test_forward_rejects_wrong_shape(self, rng):
+        model = small_model()
+        with pytest.raises(ShapeError):
+            model.forward(rng.normal(size=(1, 1, 9, 9)))
+
+    def test_unbuilt_model_rejected(self, rng):
+        model = Sequential([Dense(3)])
+        with pytest.raises(LayerError):
+            model.forward(rng.normal(size=(1, 4)))
+
+
+class TestIntrospection:
+    def test_parameter_count(self):
+        model = small_model()
+        conv = 4 * 1 * 9 + 4
+        dense = 36 * 10 + 10
+        assert model.parameter_count() == conv + dense
+
+    def test_zero_grad(self, rng):
+        model = small_model()
+        model.forward(rng.normal(size=(2, 1, 8, 8)), training=True)
+        model.backward(rng.normal(size=(2, 10)))
+        assert any(np.any(p.grad != 0) for p in model.parameters())
+        model.zero_grad()
+        assert all(np.all(p.grad == 0) for p in model.parameters())
+
+    def test_summary_lists_layers(self):
+        model = small_model()
+        text = model.summary()
+        for token in ("Conv2D", "Dense", "total parameters"):
+            assert token in text
+
+    def test_fingerprint_changes_with_weights(self):
+        model = small_model()
+        before = model.weights_fingerprint()
+        model.parameters()[0].value += 1.0
+        assert model.weights_fingerprint() != before
+
+    def test_fingerprint_stable(self):
+        assert (small_model(seed=5).weights_fingerprint()
+                == small_model(seed=5).weights_fingerprint())

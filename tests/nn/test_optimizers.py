@@ -1,0 +1,100 @@
+"""Tests for repro.nn.optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn.layers.base import Parameter
+from repro.nn.optimizers import SGD, Adam, RMSProp
+
+
+def quadratic_parameter(start=5.0):
+    """A parameter minimizing f(w) = w^2 (gradient 2w)."""
+    return Parameter("w", np.array([start]))
+
+
+def descend(optimizer, param, steps):
+    for _ in range(steps):
+        param.grad = 2.0 * param.value
+        optimizer.step([param])
+    return float(param.value[0])
+
+
+class TestSGD:
+    def test_plain_step_math(self):
+        param = Parameter("w", np.array([1.0, 2.0]))
+        param.grad = np.array([0.5, -0.5])
+        SGD(learning_rate=0.1).step([param])
+        np.testing.assert_allclose(param.value, [0.95, 2.05])
+
+    def test_converges_on_quadratic(self):
+        assert abs(descend(SGD(0.1), quadratic_parameter(), 100)) < 1e-6
+
+    def test_momentum_accelerates(self):
+        plain = abs(descend(SGD(0.01), quadratic_parameter(), 30))
+        momentum = abs(descend(SGD(0.01, momentum=0.9),
+                               quadratic_parameter(), 30))
+        assert momentum < plain
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ConfigError):
+            SGD(0.1, nesterov=True)
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter("w", np.array([10.0]))
+        param.grad = np.array([0.0])
+        SGD(0.1, weight_decay=0.5).step([param])
+        assert param.value[0] < 10.0
+
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ConfigError):
+            SGD(0.0)
+        with pytest.raises(ConfigError):
+            SGD(0.1, momentum=1.0)
+        with pytest.raises(ConfigError):
+            SGD(0.1, weight_decay=-1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        assert abs(descend(Adam(0.2), quadratic_parameter(), 200)) < 1e-3
+
+    def test_first_step_magnitude_is_learning_rate(self):
+        # With bias correction, the first Adam step is ~lr in the gradient
+        # direction regardless of gradient scale.
+        param = Parameter("w", np.array([0.0]))
+        param.grad = np.array([1234.5])
+        Adam(learning_rate=0.01).step([param])
+        assert param.value[0] == pytest.approx(-0.01, rel=1e-6)
+
+    def test_per_parameter_state_is_independent(self):
+        a = Parameter("a", np.array([1.0]))
+        b = Parameter("b", np.array([1.0]))
+        opt = Adam(0.1)
+        a.grad = np.array([1.0])
+        b.grad = np.array([0.0])
+        opt.step([a, b])
+        assert a.value[0] != 1.0
+        assert b.value[0] == 1.0
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ConfigError):
+            Adam(beta1=1.0)
+        with pytest.raises(ConfigError):
+            Adam(beta2=-0.1)
+        with pytest.raises(ConfigError):
+            Adam(epsilon=0.0)
+
+
+class TestRMSProp:
+    def test_converges_on_quadratic(self):
+        assert abs(descend(RMSProp(0.05), quadratic_parameter(), 300)) < 0.05
+
+    def test_momentum_variant_converges(self):
+        final = descend(RMSProp(0.01, momentum=0.5), quadratic_parameter(),
+                        300)
+        assert abs(final) < 0.5
+
+    def test_rejects_bad_rho(self):
+        with pytest.raises(ConfigError):
+            RMSProp(rho=1.0)

@@ -1,0 +1,105 @@
+"""Tests for repro.nn.layers.recurrent.SimpleRNN."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, LayerError, ShapeError
+from repro.nn import Adam, Dense, Sequential, SimpleRNN, Trainer
+
+from .gradcheck import check_layer_gradients
+
+
+def build(layer, shape, seed=0):
+    layer.build(shape, np.random.default_rng(seed))
+    return layer
+
+
+class TestForward:
+    def test_output_shapes(self, rng):
+        last = build(SimpleRNN(5), (7, 3))
+        assert last.output_shape == (5,)
+        assert last.forward(rng.normal(size=(4, 7, 3))).shape == (4, 5)
+        seq = build(SimpleRNN(5, return_sequences=True), (7, 3))
+        assert seq.output_shape == (7, 5)
+        assert seq.forward(rng.normal(size=(4, 7, 3))).shape == (4, 7, 5)
+
+    def test_recurrence_matches_manual_unroll(self, rng):
+        layer = build(SimpleRNN(4, activation="tanh"), (3, 2))
+        x = rng.normal(size=(1, 3, 2))
+        y = layer.forward(x)
+        h = np.zeros(4)
+        for t in range(3):
+            h = np.tanh(x[0, t] @ layer.w_xh.value + h @ layer.w_hh.value
+                        + layer.bias.value)
+        np.testing.assert_allclose(y[0], h, rtol=1e-12)
+
+    def test_relu_activation_produces_zeros(self, rng):
+        layer = build(SimpleRNN(16, activation="relu"), (8, 3))
+        y = layer.forward(rng.normal(size=(6, 8, 3)))
+        assert np.any(y == 0.0)
+        assert np.all(y >= 0.0)
+
+    def test_hidden_states_consistent_with_forward(self, rng):
+        layer = build(SimpleRNN(6), (5, 3))
+        x = rng.normal(size=(5, 3))
+        states = layer.hidden_states(x)
+        assert states.shape == (5, 6)
+        np.testing.assert_allclose(states[-1], layer.forward(x[None])[0],
+                                   rtol=1e-12)
+
+    def test_rejects_wrong_shapes(self, rng):
+        layer = build(SimpleRNN(4), (5, 3))
+        with pytest.raises(ShapeError):
+            layer.forward(rng.normal(size=(2, 5, 4)))
+        with pytest.raises(ShapeError):
+            layer.hidden_states(rng.normal(size=(4, 3)))
+
+    def test_rejects_non_sequence_input_shape(self):
+        with pytest.raises(ShapeError):
+            build(SimpleRNN(4), (5,))
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            SimpleRNN(0)
+        with pytest.raises(ConfigError):
+            SimpleRNN(4, activation="gelu")
+
+
+class TestBackward:
+    @pytest.mark.parametrize("activation", ["tanh", "relu"])
+    def test_gradients_last_state(self, activation, rng):
+        layer = build(SimpleRNN(4, activation=activation), (5, 3))
+        # Shift inputs away from ReLU kinks for stable central differences.
+        x = rng.normal(size=(2, 5, 3)) + 0.05
+        check_layer_gradients(layer, x, rng, rtol=2e-4, atol=1e-6)
+
+    def test_gradients_sequence_output(self, rng):
+        layer = build(SimpleRNN(3, activation="tanh",
+                                return_sequences=True), (4, 2))
+        check_layer_gradients(layer, rng.normal(size=(2, 4, 2)), rng,
+                              rtol=2e-4, atol=1e-6)
+
+    def test_backward_requires_forward(self, rng):
+        layer = build(SimpleRNN(4), (5, 3))
+        with pytest.raises(LayerError):
+            layer.backward(rng.normal(size=(2, 4)))
+
+
+class TestTrainingAndSerialization:
+    def test_learns_sequence_classification(self, rng):
+        from repro.datasets import SyntheticSensorTraces
+        dataset = SyntheticSensorTraces().generate(30, seed=3,
+                                                   categories=[0, 2])
+        model = Sequential([SimpleRNN(16), Dense(6)]).build((32, 3), seed=1)
+        trainer = Trainer(model, optimizer=Adam(0.005), batch_size=16)
+        history = trainer.fit(dataset.images, dataset.labels, epochs=8)
+        assert history.train_accuracy[-1] > 0.9
+
+    def test_save_load_round_trip(self, tmp_path, rng):
+        from repro.nn import load_model, save_model
+        model = Sequential([SimpleRNN(5, activation="tanh"),
+                            Dense(3)]).build((6, 2), seed=2)
+        x = rng.normal(size=(3, 6, 2))
+        expected = model.forward(x)
+        loaded = load_model(save_model(model, tmp_path / "rnn.npz"))
+        np.testing.assert_allclose(loaded.forward(x), expected, rtol=1e-12)

@@ -1,0 +1,105 @@
+"""Tests for repro.nn.schedules and the trainer integration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import (
+    Adam,
+    ConstantSchedule,
+    CosineDecay,
+    Dense,
+    ExponentialDecay,
+    ReLU,
+    Sequential,
+    StepDecay,
+    Trainer,
+    WarmupSchedule,
+)
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(0.01)
+        assert schedule(0) == schedule(100) == 0.01
+
+    def test_step_decay(self):
+        schedule = StepDecay(1.0, factor=0.1, step_epochs=3)
+        assert schedule(0) == 1.0
+        assert schedule(2) == 1.0
+        assert schedule(3) == pytest.approx(0.1)
+        assert schedule(6) == pytest.approx(0.01)
+
+    def test_exponential_decay(self):
+        schedule = ExponentialDecay(0.5, rate=0.1)
+        assert schedule(0) == 0.5
+        assert schedule(10) == pytest.approx(0.5 * math.exp(-1.0))
+
+    def test_cosine_endpoints(self):
+        schedule = CosineDecay(1.0, total_epochs=10, floor=0.1)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(10) == pytest.approx(0.1)
+        assert schedule(5) == pytest.approx(0.55)
+        assert schedule(50) == pytest.approx(0.1)  # clamps past the horizon
+
+    def test_cosine_monotone_decreasing(self):
+        schedule = CosineDecay(0.3, total_epochs=20)
+        values = [schedule(e) for e in range(21)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_warmup_ramps_then_delegates(self):
+        schedule = WarmupSchedule(ConstantSchedule(1.0), warmup_epochs=4)
+        ramp = [schedule(e) for e in range(4)]
+        assert all(a < b for a, b in zip(ramp, ramp[1:]))
+        assert all(v < 1.0 for v in ramp)
+        assert schedule(4) == 1.0
+        assert schedule(9) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ConstantSchedule(0.0)
+        with pytest.raises(ConfigError):
+            StepDecay(0.1, factor=0.0)
+        with pytest.raises(ConfigError):
+            CosineDecay(0.1, total_epochs=0)
+        with pytest.raises(ConfigError):
+            CosineDecay(0.1, total_epochs=5, floor=0.2)
+        with pytest.raises(ConfigError):
+            WarmupSchedule(ConstantSchedule(0.1), warmup_epochs=0)
+        with pytest.raises(ConfigError):
+            ConstantSchedule(0.1)(-1)
+
+
+class TestTrainerIntegration:
+    def _problem(self, rng):
+        x = np.concatenate([rng.normal(-2, 0.5, (30, 4)),
+                            rng.normal(2, 0.5, (30, 4))])
+        y = np.concatenate([np.zeros(30, dtype=int), np.ones(30, dtype=int)])
+        return x, y
+
+    def test_schedule_applied_each_epoch(self, rng):
+        x, y = self._problem(rng)
+        model = Sequential([Dense(8), ReLU(), Dense(2)]).build((4,))
+        seen = []
+
+        def recording_schedule(epoch):
+            rate = 0.01 * (0.5 ** epoch)
+            seen.append(rate)
+            return rate
+
+        trainer = Trainer(model, optimizer=Adam(1.0),
+                          schedule=recording_schedule)
+        trainer.fit(x, y, epochs=3)
+        assert seen == [0.01, 0.005, 0.0025]
+        assert trainer.optimizer.learning_rate == 0.0025
+
+    def test_training_with_cosine_still_learns(self, rng):
+        x, y = self._problem(rng)
+        model = Sequential([Dense(8), ReLU(), Dense(2)]).build((4,))
+        trainer = Trainer(model, optimizer=Adam(0.05),
+                          schedule=CosineDecay(0.05, total_epochs=8),
+                          batch_size=16)
+        history = trainer.fit(x, y, epochs=8)
+        assert history.train_accuracy[-1] > 0.95

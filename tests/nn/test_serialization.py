@@ -1,0 +1,86 @@
+"""Tests for repro.nn.serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.nn import (
+    BatchNorm1D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    clone_model,
+    load_model,
+    save_model,
+)
+
+
+def build_rich_model(seed=3):
+    return Sequential([
+        Conv2D(4, 3, name="conv"), ReLU(), MaxPool2D(2), Flatten(),
+        Dense(12, name="hidden"), BatchNorm1D(), ReLU(), Dropout(0.2),
+        Dense(5, name="out"),
+    ], name="rich").build((1, 10, 10), seed=seed)
+
+
+class TestSaveLoad:
+    def test_round_trip_preserves_outputs(self, tmp_path, rng):
+        model = build_rich_model()
+        x = rng.normal(size=(4, 1, 10, 10))
+        # Exercise batch-norm running stats so they must round-trip too.
+        model.forward(x, training=True)
+        expected = model.forward(x)
+        path = save_model(model, tmp_path / "model.npz")
+        loaded = load_model(path)
+        np.testing.assert_allclose(loaded.forward(x), expected, rtol=1e-12)
+
+    def test_round_trip_preserves_architecture(self, tmp_path):
+        model = build_rich_model()
+        loaded = load_model(save_model(model, tmp_path / "m.npz"))
+        assert loaded.name == "rich"
+        assert loaded.input_shape == model.input_shape
+        assert [type(l).__name__ for l in loaded.layers] == [
+            type(l).__name__ for l in model.layers]
+
+    def test_suffix_enforced(self, tmp_path):
+        model = build_rich_model()
+        path = save_model(model, tmp_path / "weird.bin")
+        assert path.suffix == ".npz"
+
+    def test_unbuilt_model_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            save_model(Sequential([Dense(3)]), tmp_path / "m.npz")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_model(tmp_path / "absent.npz")
+
+    def test_non_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(SerializationError):
+            load_model(path)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        path.write_bytes(b"not a zip at all")
+        with pytest.raises(SerializationError):
+            load_model(path)
+
+
+class TestClone:
+    def test_clone_is_equal_but_independent(self, rng):
+        model = build_rich_model()
+        x = rng.normal(size=(2, 1, 10, 10))
+        clone = clone_model(model)
+        np.testing.assert_allclose(clone.forward(x), model.forward(x))
+        clone.parameters()[0].value += 1.0
+        assert not np.allclose(clone.forward(x), model.forward(x))
+
+    def test_clone_requires_built(self):
+        with pytest.raises(SerializationError):
+            clone_model(Sequential([Dense(2)]))

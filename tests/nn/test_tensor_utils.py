@@ -1,0 +1,139 @@
+"""Tests for repro.nn.tensor_utils."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.nn.tensor_utils import (
+    col2im,
+    conv_output_size,
+    im2col,
+    log_softmax,
+    one_hot,
+    pad_nchw,
+    softmax,
+)
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert conv_output_size(28, 3, 1, 0) == 26
+        assert conv_output_size(28, 3, 1, 1) == 28
+        assert conv_output_size(32, 5, 2, 0) == 14
+
+    def test_rejects_oversized_kernel(self):
+        with pytest.raises(ShapeError):
+            conv_output_size(4, 7, 1, 0)
+
+
+class TestPad:
+    def test_zero_padding_noop(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        assert pad_nchw(x, 0) is x
+
+    def test_padding_shape_and_content(self, rng):
+        x = rng.normal(size=(1, 2, 3, 3))
+        padded = pad_nchw(x, 2)
+        assert padded.shape == (1, 2, 7, 7)
+        np.testing.assert_array_equal(padded[:, :, 2:-2, 2:-2], x)
+        assert padded[0, 0, 0, 0] == 0.0
+
+    def test_rejects_negative(self, rng):
+        with pytest.raises(ShapeError):
+            pad_nchw(rng.normal(size=(1, 1, 2, 2)), -1)
+
+
+class TestIm2Col:
+    def test_shape(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols = im2col(x, 3, 3, 1, 0)
+        assert cols.shape == (2 * 6 * 6, 3 * 9)
+
+    def test_patch_contents_match_manual_extraction(self, rng):
+        x = rng.normal(size=(1, 2, 5, 5))
+        cols = im2col(x, 3, 3, 1, 0)
+        # First row must be the top-left patch flattened channel-major.
+        expected = x[0, :, 0:3, 0:3].reshape(-1)
+        np.testing.assert_allclose(cols[0], expected)
+        # Row for output position (1, 2).
+        expected = x[0, :, 1:4, 2:5].reshape(-1)
+        np.testing.assert_allclose(cols[1 * 3 + 2], expected)
+
+    def test_stride_and_padding(self, rng):
+        x = rng.normal(size=(1, 1, 6, 6))
+        cols = im2col(x, 3, 3, 2, 1)
+        assert cols.shape == (3 * 3, 9)
+
+    def test_rejects_non_4d(self, rng):
+        with pytest.raises(ShapeError):
+            im2col(rng.normal(size=(3, 8, 8)), 3, 3, 1, 0)
+
+    def test_conv_via_im2col_matches_direct_loop(self, rng):
+        x = rng.normal(size=(1, 2, 6, 6))
+        w = rng.normal(size=(4, 2, 3, 3))
+        cols = im2col(x, 3, 3, 1, 0)
+        fast = (cols @ w.reshape(4, -1).T).reshape(4, 4, 4, order="C")
+        slow = np.zeros((4, 4, 4))
+        for f in range(4):
+            for i in range(4):
+                for j in range(4):
+                    slow[i, j, f] = np.sum(x[0, :, i:i + 3, j:j + 3] * w[f])
+        np.testing.assert_allclose(fast.reshape(16, 4),
+                                   slow.reshape(16, 4), rtol=1e-10)
+
+
+class TestCol2Im:
+    def test_adjoint_property(self, rng):
+        # col2im is the transpose of im2col: <im2col(x), y> == <x, col2im(y)>.
+        x = rng.normal(size=(2, 3, 7, 7))
+        cols = im2col(x, 3, 3, 2, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * col2im(y, x.shape, 3, 3, 2, 1)))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_rejects_wrong_shape(self, rng):
+        with pytest.raises(ShapeError):
+            col2im(rng.normal(size=(5, 5)), (1, 1, 6, 6), 3, 3, 1, 0)
+
+
+class TestOneHot:
+    def test_encoding(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(
+            out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.array([0, 3]), 3)
+
+    def test_rejects_matrix_labels(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(10, 7)))
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(10), rtol=1e-12)
+        assert np.all(probs >= 0)
+
+    def test_shift_invariance(self, rng):
+        logits = rng.normal(size=(4, 5))
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0),
+                                   rtol=1e-10)
+
+    def test_extreme_values_stable(self):
+        probs = softmax(np.array([[1000.0, 0.0, -1000.0]]))
+        assert np.all(np.isfinite(probs))
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(min_value=-50, max_value=50), min_size=2,
+                    max_size=10))
+    @settings(max_examples=50)
+    def test_property_log_softmax_consistent(self, logits):
+        arr = np.asarray([logits])
+        np.testing.assert_allclose(np.exp(log_softmax(arr)), softmax(arr),
+                                   rtol=1e-9, atol=1e-12)

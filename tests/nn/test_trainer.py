@@ -1,0 +1,109 @@
+"""Tests for repro.nn.trainer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, TrainingError
+from repro.nn import (
+    Adam,
+    Dense,
+    Flatten,
+    ReLU,
+    SGD,
+    Sequential,
+    Trainer,
+)
+
+
+def separable_problem(rng, n=120):
+    """Two Gaussian blobs, linearly separable."""
+    half = n // 2
+    x = np.concatenate([rng.normal(-2.0, 0.5, size=(half, 4)),
+                        rng.normal(+2.0, 0.5, size=(half, 4))])
+    y = np.concatenate([np.zeros(half, dtype=int), np.ones(half, dtype=int)])
+    return x, y
+
+
+def mlp(seed=0):
+    return Sequential([Dense(8), ReLU(), Dense(2)]).build((4,), seed=seed)
+
+
+class TestTraining:
+    def test_learns_separable_problem(self, rng):
+        x, y = separable_problem(rng)
+        trainer = Trainer(mlp(), optimizer=Adam(0.01), batch_size=16)
+        history = trainer.fit(x, y, epochs=10)
+        assert history.train_accuracy[-1] > 0.95
+        assert history.loss[-1] < history.loss[0]
+
+    def test_history_has_one_entry_per_epoch(self, rng):
+        x, y = separable_problem(rng, n=40)
+        trainer = Trainer(mlp(), batch_size=8)
+        history = trainer.fit(x, y, epochs=3)
+        assert history.epochs == 3
+        assert len(history.train_accuracy) == 3
+        assert history.val_accuracy == []
+
+    def test_validation_tracked(self, rng):
+        x, y = separable_problem(rng, n=60)
+        trainer = Trainer(mlp(), optimizer=Adam(0.01))
+        history = trainer.fit(x[:40], y[:40], epochs=2,
+                              validation=(x[40:], y[40:]))
+        assert len(history.val_accuracy) == 2
+        assert "val_accuracy" in history.final()
+
+    @pytest.mark.filterwarnings("ignore:overflow:RuntimeWarning")
+    def test_divergence_detected(self, rng):
+        from repro.nn import MeanSquaredError
+        from repro.nn.tensor_utils import one_hot
+        x, y = separable_problem(rng, n=40)
+        # MSE with an absurd learning rate overflows the weights to inf.
+        trainer = Trainer(mlp(), loss=MeanSquaredError(),
+                          optimizer=SGD(learning_rate=1e9))
+        with pytest.raises(TrainingError):
+            for _ in range(200):
+                trainer.train_step(x * 1e3, one_hot(y, 2))
+
+    def test_deterministic_given_seeds(self, rng):
+        x, y = separable_problem(rng, n=40)
+        h1 = Trainer(mlp(seed=1), optimizer=Adam(0.01),
+                     shuffle_seed=9).fit(x, y, epochs=2)
+        h2 = Trainer(mlp(seed=1), optimizer=Adam(0.01),
+                     shuffle_seed=9).fit(x, y, epochs=2)
+        assert h1.loss == h2.loss
+
+
+class TestValidation:
+    def test_requires_built_model(self):
+        with pytest.raises(TrainingError):
+            Trainer(Sequential([Dense(2)]))
+
+    def test_rejects_mismatched_lengths(self, rng):
+        trainer = Trainer(mlp())
+        with pytest.raises(TrainingError):
+            trainer.fit(rng.normal(size=(5, 4)), np.zeros(4, dtype=int))
+
+    def test_rejects_empty_dataset(self):
+        trainer = Trainer(mlp())
+        with pytest.raises(TrainingError):
+            trainer.fit(np.empty((0, 4)), np.empty(0, dtype=int))
+
+    def test_rejects_bad_epochs_and_batch(self, rng):
+        with pytest.raises(ConfigError):
+            Trainer(mlp(), batch_size=0)
+        x, y = separable_problem(rng, n=10)
+        with pytest.raises(ConfigError):
+            Trainer(mlp()).fit(x, y, epochs=0)
+
+    def test_final_requires_training(self):
+        from repro.nn.trainer import TrainingHistory
+        with pytest.raises(TrainingError):
+            TrainingHistory().final()
+
+    def test_evaluate_batches_cover_everything(self, rng):
+        x, y = separable_problem(rng, n=30)
+        trainer = Trainer(mlp(), optimizer=Adam(0.01))
+        trainer.fit(x, y, epochs=5)
+        full = trainer.evaluate(x, y, batch_size=7)
+        assert full == pytest.approx(
+            float(np.mean(trainer.model.predict(x) == y)))

@@ -1,0 +1,87 @@
+"""Tests for repro.stats.bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatisticsError
+from repro.stats.bootstrap import (
+    bootstrap_mean_difference,
+    bootstrap_statistic,
+)
+
+
+class TestMeanDifference:
+    def test_interval_brackets_true_difference(self, rng):
+        a = rng.normal(10.0, 2.0, 200)
+        b = rng.normal(7.0, 2.0, 200)
+        interval = bootstrap_mean_difference(a, b, seed=1)
+        assert interval.contains(3.0)
+        assert interval.low < interval.estimate < interval.high
+
+    def test_no_difference_interval_contains_zero(self, rng):
+        a = rng.normal(5.0, 1.0, 150)
+        b = rng.normal(5.0, 1.0, 150)
+        interval = bootstrap_mean_difference(a, b, seed=2)
+        assert interval.contains(0.0)
+
+    def test_deterministic_given_seed(self, rng):
+        a = rng.normal(size=50)
+        b = rng.normal(size=50)
+        first = bootstrap_mean_difference(a, b, seed=7)
+        second = bootstrap_mean_difference(a, b, seed=7)
+        assert (first.low, first.high) == (second.low, second.high)
+
+    def test_higher_confidence_wider_interval(self, rng):
+        a = rng.normal(size=60)
+        b = rng.normal(size=60)
+        narrow = bootstrap_mean_difference(a, b, confidence=0.80, seed=3)
+        wide = bootstrap_mean_difference(a, b, confidence=0.99, seed=3)
+        assert (wide.high - wide.low) > (narrow.high - narrow.low)
+
+    def test_coverage_calibration(self):
+        # ~95% of intervals from null data should contain 0.
+        hits = 0
+        for seed in range(60):
+            local = np.random.default_rng(seed)
+            a = local.normal(0.0, 1.0, 40)
+            b = local.normal(0.0, 1.0, 40)
+            interval = bootstrap_mean_difference(a, b, resamples=500,
+                                                 seed=seed)
+            hits += interval.contains(0.0)
+        assert hits >= 50
+
+    def test_validation(self, rng):
+        with pytest.raises(StatisticsError):
+            bootstrap_mean_difference([1.0, 2.0], [3.0], confidence=1.5)
+        with pytest.raises(StatisticsError):
+            bootstrap_mean_difference([1.0, 2.0], [3.0, 4.0], resamples=10)
+
+
+class TestGenericStatistic:
+    def test_median_interval(self, rng):
+        values = rng.normal(100.0, 5.0, 300)
+        interval = bootstrap_statistic(values, np.median, seed=4)
+        assert interval.contains(100.0)
+        assert interval.method == "percentile"
+
+    def test_bca_on_skewed_statistic(self, rng):
+        values = rng.exponential(2.0, 300)
+        percentile = bootstrap_statistic(values, np.mean, seed=5,
+                                         method="percentile")
+        bca = bootstrap_statistic(values, np.mean, seed=5, method="bca")
+        # Both should bracket the true mean of 2 on a large sample.
+        assert percentile.contains(2.0)
+        assert bca.contains(2.0)
+        assert bca.method == "bca"
+
+    def test_format_mentions_bounds(self, rng):
+        interval = bootstrap_statistic(rng.normal(size=50), np.mean, seed=6)
+        text = interval.format()
+        assert "[" in text and "95%" in text
+
+    def test_rejects_tiny_sample_and_bad_method(self, rng):
+        with pytest.raises(StatisticsError):
+            bootstrap_statistic([1.0], np.mean)
+        with pytest.raises(StatisticsError):
+            bootstrap_statistic(rng.normal(size=20), np.mean,
+                                method="studentized")

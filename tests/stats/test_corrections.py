@@ -1,0 +1,99 @@
+"""Tests for repro.stats.corrections."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StatisticsError
+from repro.stats.corrections import (
+    adjust_p_values,
+    benjamini_hochberg,
+    bonferroni,
+    holm_bonferroni,
+    significant_after_correction,
+)
+
+p_values_strategy = st.lists(st.floats(min_value=0.0, max_value=1.0),
+                             min_size=1, max_size=25)
+
+
+class TestBonferroni:
+    def test_simple_scaling(self):
+        assert bonferroni([0.01, 0.2]) == [0.02, 0.4]
+
+    def test_caps_at_one(self):
+        assert bonferroni([0.6, 0.9]) == [1.0, 1.0]
+
+    @given(p_values_strategy)
+    @settings(max_examples=50)
+    def test_property_dominates_raw(self, ps):
+        adjusted = bonferroni(ps)
+        assert all(adj >= raw - 1e-15 for adj, raw in zip(adjusted, ps))
+        assert all(0.0 <= adj <= 1.0 for adj in adjusted)
+
+
+class TestHolm:
+    def test_known_example(self):
+        # Classic example: sorted p = (0.01, 0.02, 0.03, 0.04) with m=4.
+        adjusted = holm_bonferroni([0.01, 0.04, 0.03, 0.02])
+        assert adjusted[0] == pytest.approx(0.04)
+        assert adjusted[1] == pytest.approx(0.06)
+        assert adjusted[2] == pytest.approx(0.06)
+        assert adjusted[3] == pytest.approx(0.06)
+
+    def test_never_more_conservative_than_bonferroni(self):
+        ps = [0.001, 0.01, 0.02, 0.5]
+        holm = holm_bonferroni(ps)
+        bonf = bonferroni(ps)
+        assert all(h <= b + 1e-15 for h, b in zip(holm, bonf))
+
+    @given(p_values_strategy)
+    @settings(max_examples=50)
+    def test_property_monotone_in_raw_order(self, ps):
+        adjusted = holm_bonferroni(ps)
+        order = sorted(range(len(ps)), key=lambda i: ps[i])
+        sorted_adjusted = [adjusted[i] for i in order]
+        assert all(x <= y + 1e-15
+                   for x, y in zip(sorted_adjusted, sorted_adjusted[1:]))
+
+
+class TestBenjaminiHochberg:
+    def test_known_example(self):
+        adjusted = benjamini_hochberg([0.01, 0.04, 0.03, 0.005])
+        # q_i = p_i * m / rank, then running minimum from the top.
+        assert adjusted[3] == pytest.approx(0.02)
+        assert adjusted[0] == pytest.approx(0.02)
+        assert adjusted[2] == pytest.approx(0.04)
+        assert adjusted[1] == pytest.approx(0.04)
+
+    @given(p_values_strategy)
+    @settings(max_examples=50)
+    def test_property_less_conservative_than_holm(self, ps):
+        bh = benjamini_hochberg(ps)
+        holm = holm_bonferroni(ps)
+        assert all(q <= h + 1e-12 for q, h in zip(bh, holm))
+
+
+class TestDispatch:
+    def test_none_passthrough(self):
+        assert adjust_p_values([0.3, 0.1], method="none") == [0.3, 0.1]
+
+    def test_unknown_method(self):
+        with pytest.raises(StatisticsError):
+            adjust_p_values([0.5], method="sidak")
+
+    def test_rejects_invalid_p(self):
+        with pytest.raises(StatisticsError):
+            adjust_p_values([1.5])
+        with pytest.raises(StatisticsError):
+            adjust_p_values([])
+
+    def test_significance_vector(self):
+        flags = significant_after_correction([0.001, 0.04, 0.8], alpha=0.05,
+                                             method="holm")
+        assert flags == [True, False, False]
+
+    def test_significance_rejects_bad_alpha(self):
+        with pytest.raises(StatisticsError):
+            significant_after_correction([0.5], alpha=0.0)

@@ -1,0 +1,139 @@
+"""Tests for repro.stats.descriptive."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StatisticsError
+from repro.stats.descriptive import (
+    Histogram,
+    Summary,
+    coefficient_of_variation,
+    mean,
+    median,
+    quantile,
+    shared_histogram_range,
+    standard_error,
+    std,
+    variance,
+)
+
+values_strategy = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False,
+              allow_infinity=False),
+    min_size=2, max_size=50)
+
+
+class TestMoments:
+    def test_mean_median(self):
+        assert mean([1, 2, 3, 4]) == 2.5
+        assert median([1, 2, 3, 4, 100]) == 3.0
+
+    def test_variance_matches_numpy(self, rng):
+        data = rng.normal(1e9, 3.0, size=100)  # large offset stresses naive sums
+        assert variance(data) == pytest.approx(float(np.var(data, ddof=1)),
+                                               rel=1e-7)
+        assert std(data) == pytest.approx(float(np.std(data, ddof=1)),
+                                          rel=1e-7)
+
+    @given(values_strategy)
+    @settings(max_examples=60)
+    def test_property_variance_non_negative_and_matches_numpy(self, data):
+        v = variance(data)
+        assert v >= 0.0
+        assert v == pytest.approx(float(np.var(data, ddof=1)), rel=1e-6,
+                                  abs=1e-6)
+
+    def test_variance_needs_enough_data(self):
+        with pytest.raises(StatisticsError):
+            variance([1.0])
+
+    def test_rejects_empty_and_nan(self):
+        with pytest.raises(StatisticsError):
+            mean([])
+        with pytest.raises(StatisticsError):
+            mean([1.0, float("nan")])
+
+    def test_standard_error(self):
+        data = [2.0, 4.0, 6.0, 8.0]
+        assert standard_error(data) == pytest.approx(
+            float(np.std(data, ddof=1)) / 2.0)
+
+    def test_coefficient_of_variation(self):
+        assert coefficient_of_variation([10.0, 12.0, 8.0]) == pytest.approx(
+            float(np.std([10, 12, 8], ddof=1)) / 10.0)
+        with pytest.raises(StatisticsError):
+            coefficient_of_variation([-1.0, 1.0])
+
+    def test_quantile_bounds(self):
+        assert quantile([1, 2, 3], 0.0) == 1.0
+        assert quantile([1, 2, 3], 1.0) == 3.0
+        with pytest.raises(StatisticsError):
+            quantile([1, 2, 3], 1.5)
+
+
+class TestSummary:
+    def test_fields(self):
+        s = Summary.of([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == 2.5
+
+    def test_single_observation(self):
+        s = Summary.of([7.0])
+        assert s.n == 1
+        assert s.std == 0.0
+
+    def test_format_mentions_everything(self):
+        text = Summary.of([1.0, 2.0]).format()
+        for token in ("n=", "mean=", "std=", "min=", "max="):
+            assert token in text
+
+
+class TestHistogram:
+    def test_counts_sum_to_n(self, rng):
+        data = rng.normal(size=200)
+        hist = Histogram.of(data, bins=16)
+        assert hist.total == 200
+        assert len(hist.counts) == 16
+        assert len(hist.edges) == 17
+
+    def test_densities_integrate_to_one(self, rng):
+        data = rng.normal(size=500)
+        hist = Histogram.of(data, bins=20)
+        widths = np.diff(hist.edges)
+        assert float(np.sum(np.asarray(hist.densities()) * widths)) == (
+            pytest.approx(1.0, rel=1e-9))
+
+    def test_fixed_range(self):
+        hist = Histogram.of([0.5, 1.5, 2.5], bins=3, value_range=(0.0, 3.0))
+        assert hist.counts == (1, 1, 1)
+
+    def test_render_has_one_line_per_bin(self):
+        hist = Histogram.of([1, 2, 3, 4], bins=4)
+        lines = hist.render(label="demo").splitlines()
+        assert lines[0] == "demo"
+        assert len(lines) == 5
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(StatisticsError):
+            Histogram.of([1.0], bins=0)
+
+    @given(values_strategy, st.integers(min_value=1, max_value=30))
+    @settings(max_examples=40)
+    def test_property_total_preserved(self, data, bins):
+        assert Histogram.of(data, bins=bins).total == len(data)
+
+
+class TestSharedRange:
+    def test_covers_all_groups(self):
+        lo, hi = shared_histogram_range([[1.0, 2.0], [10.0, 20.0]])
+        assert lo < 1.0
+        assert hi > 20.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(StatisticsError):
+            shared_histogram_range([])

@@ -1,0 +1,107 @@
+"""Tests for repro.stats.distributions (Normal, StudentT)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StatisticsError
+from repro.stats.distributions import Normal, StudentT
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestNormal:
+    def test_standard_cdf_values(self):
+        n = Normal()
+        assert n.cdf(0.0) == pytest.approx(0.5, abs=1e-15)
+        assert n.cdf(1.959963984540054) == pytest.approx(0.975, abs=1e-9)
+        assert n.sf(1.959963984540054) == pytest.approx(0.025, abs=1e-9)
+
+    def test_location_scale(self):
+        n = Normal(mu=10.0, sigma=2.0)
+        assert n.cdf(10.0) == pytest.approx(0.5)
+        assert n.cdf(12.0) == pytest.approx(Normal().cdf(1.0))
+
+    def test_pdf_matches_scipy(self):
+        n = Normal(1.0, 3.0)
+        for x in (-5.0, 0.0, 1.0, 4.0):
+            assert n.pdf(x) == pytest.approx(
+                float(scipy_stats.norm.pdf(x, 1.0, 3.0)), rel=1e-12)
+
+    def test_ppf_inverts_cdf(self):
+        n = Normal(2.0, 0.5)
+        for q in (0.001, 0.025, 0.3, 0.5, 0.84, 0.999):
+            assert n.cdf(n.ppf(q)) == pytest.approx(q, abs=1e-9)
+
+    @given(st.floats(min_value=0.0005, max_value=0.9995))
+    @settings(max_examples=60)
+    def test_property_ppf_matches_scipy(self, q):
+        assert Normal().ppf(q) == pytest.approx(
+            float(scipy_stats.norm.ppf(q)), rel=1e-6, abs=1e-8)
+
+    def test_rejects_bad_sigma_and_quantiles(self):
+        with pytest.raises(StatisticsError):
+            Normal(sigma=0.0)
+        with pytest.raises(StatisticsError):
+            Normal().ppf(0.0)
+        with pytest.raises(StatisticsError):
+            Normal().ppf(1.0)
+
+
+class TestStudentT:
+    def test_cdf_symmetry(self):
+        t = StudentT(7.0)
+        assert t.cdf(0.0) == pytest.approx(0.5)
+        assert t.cdf(1.3) == pytest.approx(1.0 - t.cdf(-1.3), abs=1e-12)
+
+    def test_cdf_matches_scipy(self):
+        for df in (1.0, 2.5, 10.0, 38.7, 200.0):
+            dist = StudentT(df)
+            for x in (-4.0, -1.0, 0.5, 2.0, 6.0):
+                assert dist.cdf(x) == pytest.approx(
+                    float(scipy_stats.t.cdf(x, df)), rel=1e-9, abs=1e-12)
+
+    def test_pdf_matches_scipy(self):
+        dist = StudentT(9.0)
+        for x in (-2.0, 0.0, 1.5):
+            assert dist.pdf(x) == pytest.approx(
+                float(scipy_stats.t.pdf(x, 9.0)), rel=1e-10)
+
+    def test_two_sided_p_value(self):
+        dist = StudentT(20.0)
+        t = 2.5
+        expected = 2.0 * float(scipy_stats.t.sf(t, 20.0))
+        assert dist.two_sided_p_value(t) == pytest.approx(expected, rel=1e-9)
+        assert dist.two_sided_p_value(-t) == pytest.approx(expected, rel=1e-9)
+        assert dist.two_sided_p_value(0.0) == 1.0
+
+    def test_known_critical_values(self):
+        # Standard table: two-sided 95% critical values.
+        assert StudentT(10).critical_value(0.95) == pytest.approx(2.228,
+                                                                  abs=2e-3)
+        assert StudentT(30).critical_value(0.95) == pytest.approx(2.042,
+                                                                  abs=2e-3)
+        assert StudentT(120).critical_value(0.95) == pytest.approx(1.980,
+                                                                   abs=2e-3)
+
+    def test_ppf_inverts_cdf(self):
+        dist = StudentT(6.3)
+        for q in (0.01, 0.2, 0.5, 0.77, 0.99):
+            assert dist.cdf(dist.ppf(q)) == pytest.approx(q, abs=1e-9)
+
+    @given(st.floats(min_value=1.0, max_value=300.0),
+           st.floats(min_value=-8.0, max_value=8.0))
+    @settings(max_examples=80)
+    def test_property_cdf_matches_scipy(self, df, x):
+        assert StudentT(df).cdf(x) == pytest.approx(
+            float(scipy_stats.t.cdf(x, df)), rel=1e-7, abs=1e-10)
+
+    def test_rejects_bad_df(self):
+        with pytest.raises(StatisticsError):
+            StudentT(0.0)
+        with pytest.raises(StatisticsError):
+            StudentT(-3.0)
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(StatisticsError):
+            StudentT(5.0).critical_value(1.0)

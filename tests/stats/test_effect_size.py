@@ -1,0 +1,91 @@
+"""Tests for repro.stats.effect_size."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import StatisticsError
+from repro.stats.effect_size import (
+    cohens_d,
+    glass_delta,
+    hedges_g,
+    interpret_cohens_d,
+    overlap_coefficient,
+)
+
+
+class TestCohensD:
+    def test_hand_computed_value(self):
+        a = [2.0, 4.0, 6.0]   # mean 4, var 4
+        b = [1.0, 3.0, 5.0]   # mean 3, var 4
+        assert cohens_d(a, b) == pytest.approx(0.5)
+
+    def test_sign(self):
+        assert cohens_d([10, 11, 12], [1, 2, 3]) > 0
+        assert cohens_d([1, 2, 3], [10, 11, 12]) < 0
+
+    def test_scale_invariance(self, rng):
+        a = rng.normal(5, 2, size=30)
+        b = rng.normal(6, 2, size=30)
+        assert cohens_d(a * 10, b * 10) == pytest.approx(cohens_d(a, b),
+                                                         rel=1e-12)
+
+    def test_constant_groups(self):
+        assert cohens_d([3.0, 3.0], [3.0, 3.0]) == 0.0
+        assert cohens_d([4.0, 4.0], [3.0, 3.0]) == math.inf
+        assert cohens_d([2.0, 2.0], [3.0, 3.0]) == -math.inf
+
+    def test_requires_two_observations(self):
+        with pytest.raises(StatisticsError):
+            cohens_d([1.0], [2.0, 3.0])
+
+
+class TestHedgesG:
+    def test_smaller_magnitude_than_d(self, rng):
+        a = rng.normal(0, 1, size=8)
+        b = rng.normal(1, 1, size=8)
+        d = cohens_d(a, b)
+        g = hedges_g(a, b)
+        assert abs(g) < abs(d)
+        assert math.copysign(1, g) == math.copysign(1, d)
+
+    def test_correction_converges_with_n(self, rng):
+        a = rng.normal(0, 1, size=500)
+        b = rng.normal(0.5, 1, size=500)
+        assert hedges_g(a, b) == pytest.approx(cohens_d(a, b), rel=1e-2)
+
+
+class TestGlassDelta:
+    def test_uses_control_std(self):
+        a = [10.0, 10.0, 10.0]
+        b = [0.0, 2.0, 4.0]  # std = 2
+        assert glass_delta(a, b) == pytest.approx((10.0 - 2.0) / 2.0)
+
+    def test_constant_control(self):
+        assert glass_delta([5.0, 6.0], [3.0, 3.0]) == math.inf
+
+
+class TestOverlap:
+    def test_identical_data_full_overlap(self, rng):
+        a = rng.normal(size=300)
+        assert overlap_coefficient(a, a.copy()) == pytest.approx(1.0)
+
+    def test_disjoint_data_no_overlap(self):
+        assert overlap_coefficient([0.0, 1.0, 2.0],
+                                   [100.0, 101.0, 102.0]) == 0.0
+
+    def test_partial_overlap_between_zero_and_one(self, rng):
+        a = rng.normal(0.0, 1.0, size=400)
+        b = rng.normal(1.0, 1.0, size=400)
+        value = overlap_coefficient(a, b)
+        assert 0.2 < value < 0.9
+
+
+class TestInterpretation:
+    @pytest.mark.parametrize("d,label", [
+        (0.05, "negligible"), (-0.3, "small"), (0.6, "medium"),
+        (-1.5, "large"), (0.2, "small"), (0.8, "large"),
+    ])
+    def test_thresholds(self, d, label):
+        assert interpret_cohens_d(d) == label

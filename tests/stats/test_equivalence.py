@@ -1,0 +1,79 @@
+"""Tests for repro.stats.equivalence (TOST)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatisticsError
+from repro.stats.equivalence import relative_margin, tost_equivalence
+
+
+class TestTost:
+    def test_identical_distributions_are_equivalent(self, rng):
+        a = rng.normal(1000.0, 5.0, size=200)
+        b = rng.normal(1000.0, 5.0, size=200)
+        result = tost_equivalence(a, b, margin=5.0)
+        assert result.equivalent(0.05)
+        assert result.p_value < 0.05
+
+    def test_shifted_distributions_are_not_equivalent(self, rng):
+        a = rng.normal(1000.0, 5.0, size=200)
+        b = rng.normal(1020.0, 5.0, size=200)
+        result = tost_equivalence(a, b, margin=5.0)
+        assert not result.equivalent(0.05)
+
+    def test_shift_inside_margin_is_equivalent(self, rng):
+        a = rng.normal(1000.0, 2.0, size=300)
+        b = rng.normal(1001.0, 2.0, size=300)
+        result = tost_equivalence(a, b, margin=5.0)
+        assert result.equivalent(0.05)
+        assert result.mean_difference == pytest.approx(-1.0, abs=0.6)
+
+    def test_low_power_fails_to_certify(self, rng):
+        # Tiny samples with wide spread: failure to reject difference is NOT
+        # equivalence — TOST correctly refuses to certify.
+        a = rng.normal(0.0, 50.0, size=4)
+        b = rng.normal(0.0, 50.0, size=4)
+        result = tost_equivalence(a, b, margin=1.0)
+        assert not result.equivalent(0.05)
+
+    def test_p_value_is_max_of_one_sided(self, rng):
+        a = rng.normal(size=40)
+        b = rng.normal(size=40)
+        result = tost_equivalence(a, b, margin=0.5)
+        assert result.p_value == max(result.p_lower, result.p_upper)
+
+    def test_constant_samples(self):
+        inside = tost_equivalence([5.0, 5.0, 5.0], [5.0, 5.0], margin=1.0)
+        assert inside.equivalent(0.05)
+        outside = tost_equivalence([5.0, 5.0, 5.0], [9.0, 9.0], margin=1.0)
+        assert not outside.equivalent(0.05)
+
+    def test_rejects_bad_margin(self):
+        with pytest.raises(StatisticsError):
+            tost_equivalence([1.0, 2.0], [1.0, 2.0], margin=0.0)
+
+    def test_rejects_tiny_samples(self):
+        with pytest.raises(StatisticsError):
+            tost_equivalence([1.0], [1.0, 2.0], margin=1.0)
+
+    def test_rejects_bad_alpha(self, rng):
+        result = tost_equivalence(rng.normal(size=10), rng.normal(size=10),
+                                  margin=1.0)
+        with pytest.raises(StatisticsError):
+            result.equivalent(1.0)
+
+
+class TestRelativeMargin:
+    def test_fraction_of_mean(self):
+        assert relative_margin([100.0, 100.0, 100.0], 0.01) == pytest.approx(1.0)
+
+    def test_uses_absolute_mean(self):
+        assert relative_margin([-100.0, -100.0], 0.05) == pytest.approx(5.0)
+
+    def test_rejects_zero_mean(self):
+        with pytest.raises(StatisticsError):
+            relative_margin([-1.0, 1.0], 0.01)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(StatisticsError):
+            relative_margin([1.0, 2.0], 0.0)

@@ -1,0 +1,65 @@
+"""Tests for repro.stats.mannwhitney."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatisticsError
+from repro.stats.mannwhitney import (
+    mann_whitney_u,
+    rank_biserial_correlation,
+)
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestMannWhitney:
+    def test_matches_scipy_normal_approximation(self, rng):
+        a = rng.normal(0.0, 1.0, size=30)
+        b = rng.normal(0.8, 1.0, size=35)
+        ours = mann_whitney_u(a, b)
+        theirs = scipy_stats.mannwhitneyu(a, b, alternative="two-sided",
+                                          method="asymptotic")
+        assert ours.u_statistic == pytest.approx(theirs.statistic, rel=1e-12)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-6)
+
+    def test_with_heavy_ties(self):
+        a = [1, 1, 2, 2, 3, 3, 3]
+        b = [2, 2, 3, 3, 4, 4, 4]
+        ours = mann_whitney_u(a, b)
+        theirs = scipy_stats.mannwhitneyu(a, b, alternative="two-sided",
+                                          method="asymptotic")
+        assert ours.u_statistic == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-6)
+
+    def test_identical_pooled_values(self):
+        result = mann_whitney_u([3.0, 3.0, 3.0], [3.0, 3.0])
+        assert result.p_value == 1.0
+        assert not result.rejects_null()
+
+    def test_separated_samples_reject(self):
+        result = mann_whitney_u(list(range(20)), list(range(100, 120)))
+        assert result.rejects_null(0.95)
+        assert result.p_value < 1e-4
+
+    def test_requires_two_per_group(self):
+        with pytest.raises(StatisticsError):
+            mann_whitney_u([1.0], [2.0, 3.0])
+
+    def test_symmetry_of_p(self, rng):
+        a = rng.normal(size=15)
+        b = rng.normal(0.4, 1.0, size=12)
+        assert mann_whitney_u(a, b).p_value == pytest.approx(
+            mann_whitney_u(b, a).p_value, rel=1e-9)
+
+
+class TestRankBiserial:
+    def test_range_and_direction(self):
+        high_first = rank_biserial_correlation([10, 11, 12], [1, 2, 3])
+        low_first = rank_biserial_correlation([1, 2, 3], [10, 11, 12])
+        assert high_first == pytest.approx(1.0)
+        assert low_first == pytest.approx(-1.0)
+
+    def test_balanced_overlap_is_near_zero(self, rng):
+        a = rng.normal(size=200)
+        b = rng.normal(size=200)
+        assert abs(rank_biserial_correlation(a, b)) < 0.2

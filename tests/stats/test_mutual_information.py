@@ -1,0 +1,88 @@
+"""Tests for repro.stats.mutual_information."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import StatisticsError
+from repro.stats.mutual_information import (
+    binned_mutual_information,
+    entropy_bits,
+    leakage_fraction,
+    max_leakage_bits,
+)
+
+
+class TestEntropy:
+    def test_uniform(self):
+        assert entropy_bits([0.25] * 4) == pytest.approx(2.0)
+
+    def test_degenerate(self):
+        assert entropy_bits([1.0, 0.0, 0.0]) == 0.0
+
+    def test_unnormalized_input_normalized(self):
+        assert entropy_bits([2, 2]) == pytest.approx(1.0)
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(StatisticsError):
+            entropy_bits([0.0, 0.0])
+
+
+class TestBinnedMi:
+    def test_perfectly_separated_classes_reach_label_entropy(self, rng):
+        values = {
+            0: rng.normal(0.0, 0.5, 600),
+            1: rng.normal(100.0, 0.5, 600),
+        }
+        mi = binned_mutual_information(values, bins=16)
+        assert mi == pytest.approx(1.0, abs=0.05)
+
+    def test_identical_distributions_near_zero(self, rng):
+        values = {
+            0: rng.normal(0.0, 1.0, 800),
+            1: rng.normal(0.0, 1.0, 800),
+        }
+        assert binned_mutual_information(values, bins=12) < 0.05
+
+    def test_partial_overlap_in_between(self, rng):
+        values = {
+            0: rng.normal(0.0, 1.0, 800),
+            1: rng.normal(1.5, 1.0, 800),
+        }
+        mi = binned_mutual_information(values)
+        assert 0.15 < mi < 0.85
+
+    def test_constant_observable_zero(self):
+        values = {0: np.full(50, 7.0), 1: np.full(50, 7.0)}
+        assert binned_mutual_information(values) == 0.0
+
+    def test_four_classes_bounded_by_two_bits(self, rng):
+        values = {i: rng.normal(i * 50.0, 0.5, 300) for i in range(4)}
+        mi = binned_mutual_information(values, bins=32)
+        assert 1.8 < mi <= 2.0 + 0.05
+
+    def test_never_negative(self, rng):
+        values = {0: rng.normal(size=10), 1: rng.normal(size=10)}
+        assert binned_mutual_information(values) >= 0.0
+
+    def test_rejects_degenerate_input(self, rng):
+        with pytest.raises(StatisticsError):
+            binned_mutual_information({0: rng.normal(size=5)})
+        with pytest.raises(StatisticsError):
+            binned_mutual_information({0: np.array([]), 1: np.ones(3)})
+        with pytest.raises(StatisticsError):
+            binned_mutual_information({0: np.ones(3), 1: np.ones(3)}, bins=1)
+
+
+class TestLeakageFraction:
+    def test_max_leakage(self):
+        assert max_leakage_bits(4) == 2.0
+        with pytest.raises(StatisticsError):
+            max_leakage_bits(1)
+
+    def test_fraction_in_unit_interval(self, rng):
+        values = {i: rng.normal(i * 3.0, 1.0, 200) for i in range(3)}
+        fraction = leakage_fraction(values)
+        assert 0.0 <= fraction <= 1.0
+        assert fraction > 0.3  # partially separated

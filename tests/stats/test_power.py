@@ -1,0 +1,89 @@
+"""Tests for repro.stats.power."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StatisticsError
+from repro.stats.power import (
+    detectable_effect_size,
+    required_samples_per_group,
+    ttest_power,
+)
+from repro.stats.ttest import welch_t_test
+
+
+class TestTtestPower:
+    def test_known_reference_value(self):
+        # Classic benchmark: d=0.5, n=64/group, alpha=0.05 -> power ~ 0.80.
+        assert ttest_power(0.5, 64) == pytest.approx(0.80, abs=0.02)
+
+    def test_monotone_in_n(self):
+        powers = [ttest_power(0.5, n) for n in (10, 20, 40, 80, 160)]
+        assert all(a < b for a, b in zip(powers, powers[1:]))
+
+    def test_monotone_in_effect(self):
+        powers = [ttest_power(d, 30) for d in (0.1, 0.3, 0.6, 1.0, 2.0)]
+        assert all(a < b for a, b in zip(powers, powers[1:]))
+
+    def test_zero_effect_gives_alpha(self):
+        assert ttest_power(0.0, 50, alpha=0.05) == pytest.approx(0.05,
+                                                                 abs=0.01)
+
+    def test_sign_symmetric(self):
+        assert ttest_power(0.7, 25) == ttest_power(-0.7, 25)
+
+    def test_agrees_with_simulation(self, rng):
+        d, n = 0.8, 25
+        rejections = 0
+        trials = 400
+        for _ in range(trials):
+            a = rng.normal(0.0, 1.0, n)
+            b = rng.normal(d, 1.0, n)
+            rejections += welch_t_test(a, b).p_value < 0.05
+        simulated = rejections / trials
+        assert ttest_power(d, n) == pytest.approx(simulated, abs=0.06)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(StatisticsError):
+            ttest_power(0.5, 1)
+        with pytest.raises(StatisticsError):
+            ttest_power(0.5, 10, alpha=0.0)
+
+
+class TestRequiredSamples:
+    def test_known_reference_value(self):
+        # d=0.5, power 0.8 -> n ~ 64 per group (standard tables).
+        assert required_samples_per_group(0.5, 0.8) == pytest.approx(64,
+                                                                     abs=2)
+
+    def test_achieves_requested_power(self):
+        for d in (0.3, 0.8, 1.5):
+            n = required_samples_per_group(d, 0.9)
+            assert ttest_power(d, n) >= 0.9
+            if n > 2:
+                assert ttest_power(d, n - 1) < 0.9
+
+    def test_small_effects_need_more_samples(self):
+        assert (required_samples_per_group(0.2, 0.8)
+                > required_samples_per_group(0.8, 0.8))
+
+    def test_rejects_zero_effect(self):
+        with pytest.raises(StatisticsError):
+            required_samples_per_group(0.0)
+
+    def test_cap_enforced(self):
+        with pytest.raises(StatisticsError):
+            required_samples_per_group(1e-6, 0.99, max_n=1000)
+
+
+class TestDetectableEffect:
+    def test_round_trip_with_required_samples(self):
+        d = detectable_effect_size(64, power=0.8)
+        assert d == pytest.approx(0.5, abs=0.02)
+
+    def test_more_samples_detect_smaller_effects(self):
+        assert detectable_effect_size(400) < detectable_effect_size(20)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(StatisticsError):
+            detectable_effect_size(1)

@@ -1,0 +1,114 @@
+"""Tests for repro.stats.special (log-gamma, incomplete beta)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StatisticsError
+from repro.stats.special import (
+    binomial_coefficient,
+    log_beta,
+    log_factorial,
+    log_gamma,
+    regularized_incomplete_beta,
+)
+
+scipy_special = pytest.importorskip("scipy.special")
+
+
+class TestLogGamma:
+    def test_matches_math_lgamma_on_positives(self):
+        for x in (0.1, 0.5, 1.0, 1.5, 2.0, 3.7, 10.0, 100.5, 1e4):
+            assert log_gamma(x) == pytest.approx(math.lgamma(x), rel=1e-12)
+
+    def test_reflection_for_negative_non_integers(self):
+        for x in (-0.5, -1.5, -2.3, -10.7):
+            assert log_gamma(x) == pytest.approx(math.lgamma(x), rel=1e-9)
+
+    def test_integer_factorial_identity(self):
+        # Gamma(n) = (n-1)!
+        assert math.exp(log_gamma(6)) == pytest.approx(120.0, rel=1e-12)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, -5.0])
+    def test_rejects_non_positive_integers(self, bad):
+        with pytest.raises(StatisticsError):
+            log_gamma(bad)
+
+    @given(st.floats(min_value=0.01, max_value=500.0))
+    @settings(max_examples=60)
+    def test_property_matches_lgamma(self, x):
+        assert log_gamma(x) == pytest.approx(math.lgamma(x), rel=1e-10,
+                                             abs=1e-10)
+
+
+class TestLogBeta:
+    def test_matches_scipy(self):
+        for a, b in ((0.5, 0.5), (1.0, 2.0), (3.5, 7.2), (100.0, 0.1)):
+            assert log_beta(a, b) == pytest.approx(
+                float(scipy_special.betaln(a, b)), rel=1e-12)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(StatisticsError):
+            log_beta(0.0, 1.0)
+        with pytest.raises(StatisticsError):
+            log_beta(1.0, -2.0)
+
+
+class TestIncompleteBeta:
+    def test_boundary_values(self):
+        assert regularized_incomplete_beta(2.0, 3.0, 0.0) == 0.0
+        assert regularized_incomplete_beta(2.0, 3.0, 1.0) == 1.0
+
+    def test_symmetry_relation(self):
+        # I_x(a, b) = 1 - I_{1-x}(b, a)
+        value = regularized_incomplete_beta(2.5, 4.0, 0.3)
+        mirror = regularized_incomplete_beta(4.0, 2.5, 0.7)
+        assert value == pytest.approx(1.0 - mirror, abs=1e-12)
+
+    def test_matches_scipy_betainc(self):
+        cases = [(0.5, 0.5, 0.5), (2.0, 3.0, 0.25), (10.0, 10.0, 0.5),
+                 (1.0, 1.0, 0.123), (50.0, 0.5, 0.99), (0.5, 20.0, 0.01)]
+        for a, b, x in cases:
+            assert regularized_incomplete_beta(a, b, x) == pytest.approx(
+                float(scipy_special.betainc(a, b, x)), rel=1e-9, abs=1e-12)
+
+    @given(st.floats(min_value=0.1, max_value=50.0),
+           st.floats(min_value=0.1, max_value=50.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=80)
+    def test_property_matches_scipy(self, a, b, x):
+        ours = regularized_incomplete_beta(a, b, x)
+        theirs = float(scipy_special.betainc(a, b, x))
+        assert ours == pytest.approx(theirs, rel=1e-7, abs=1e-9)
+
+    @given(st.floats(min_value=0.2, max_value=20.0),
+           st.floats(min_value=0.2, max_value=20.0))
+    @settings(max_examples=40)
+    def test_property_monotone_in_x(self, a, b):
+        values = [regularized_incomplete_beta(a, b, x)
+                  for x in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert all(v1 <= v2 + 1e-12 for v1, v2 in zip(values, values[1:]))
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(StatisticsError):
+            regularized_incomplete_beta(-1.0, 2.0, 0.5)
+        with pytest.raises(StatisticsError):
+            regularized_incomplete_beta(1.0, 2.0, 1.5)
+
+
+class TestCombinatorics:
+    def test_log_factorial(self):
+        assert math.exp(log_factorial(5)) == pytest.approx(120.0, rel=1e-12)
+        assert log_factorial(0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_log_factorial_rejects_negative(self):
+        with pytest.raises(StatisticsError):
+            log_factorial(-1)
+
+    def test_binomial_coefficient(self):
+        assert binomial_coefficient(10, 3) == pytest.approx(120.0, rel=1e-10)
+        assert binomial_coefficient(5, 0) == pytest.approx(1.0, rel=1e-12)
+        assert binomial_coefficient(5, 6) == 0.0
+        assert binomial_coefficient(5, -1) == 0.0

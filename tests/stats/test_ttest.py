@@ -1,0 +1,122 @@
+"""Tests for repro.stats.ttest against SciPy and known behaviour."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StatisticsError
+from repro.stats.ttest import (
+    format_p_value,
+    one_sample_t_test,
+    student_t_test,
+    welch_t_test,
+)
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+samples = st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                             allow_nan=False, allow_infinity=False),
+                   min_size=3, max_size=40)
+
+
+class TestWelch:
+    def test_matches_scipy(self, rng):
+        a = rng.normal(10.0, 2.0, size=25)
+        b = rng.normal(11.0, 5.0, size=40)
+        ours = welch_t_test(a, b)
+        theirs = scipy_stats.ttest_ind(a, b, equal_var=False)
+        assert ours.statistic == pytest.approx(theirs.statistic, rel=1e-12)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-9)
+        assert ours.df == pytest.approx(float(theirs.df), rel=1e-12)
+
+    def test_sign_follows_mean_difference(self):
+        low = [1.0, 2.0, 3.0]
+        high = [11.0, 12.0, 13.0]
+        assert welch_t_test(high, low).statistic > 0
+        assert welch_t_test(low, high).statistic < 0
+
+    @given(samples, samples)
+    @settings(max_examples=50)
+    def test_property_antisymmetric_and_bounded_p(self, a, b):
+        r_ab = welch_t_test(a, b)
+        r_ba = welch_t_test(b, a)
+        if math.isfinite(r_ab.statistic):
+            assert r_ab.statistic == pytest.approx(-r_ba.statistic, rel=1e-9,
+                                                   abs=1e-9)
+        assert 0.0 <= r_ab.p_value <= 1.0
+        assert r_ab.p_value == pytest.approx(r_ba.p_value, rel=1e-9, abs=1e-12)
+
+    def test_identical_constant_samples(self):
+        result = welch_t_test([5.0, 5.0, 5.0], [5.0, 5.0])
+        assert result.statistic == 0.0
+        assert result.p_value == 1.0
+
+    def test_distinct_constant_samples(self):
+        result = welch_t_test([5.0, 5.0, 5.0], [7.0, 7.0])
+        assert result.statistic == -math.inf
+        assert result.p_value == 0.0
+        assert result.rejects_null()
+
+    def test_rejects_null_threshold(self, rng):
+        a = rng.normal(0.0, 1.0, 50)
+        b = rng.normal(5.0, 1.0, 50)
+        assert welch_t_test(a, b).rejects_null(0.95)
+        same = welch_t_test(a, a + 0.0)
+        assert not same.rejects_null(0.95)
+
+    def test_requires_two_observations(self):
+        with pytest.raises(StatisticsError):
+            welch_t_test([1.0], [2.0, 3.0])
+
+    def test_rejects_bad_confidence(self, rng):
+        result = welch_t_test(rng.normal(size=5), rng.normal(size=5))
+        with pytest.raises(StatisticsError):
+            result.rejects_null(0.0)
+
+
+class TestStudent:
+    def test_matches_scipy(self, rng):
+        a = rng.normal(3.0, 1.0, size=12)
+        b = rng.normal(3.5, 1.0, size=18)
+        ours = student_t_test(a, b)
+        theirs = scipy_stats.ttest_ind(a, b, equal_var=True)
+        assert ours.statistic == pytest.approx(theirs.statistic, rel=1e-12)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-9)
+        assert ours.df == 28.0
+
+    def test_equal_variance_agrees_with_welch_on_balanced_data(self, rng):
+        a = rng.normal(0.0, 1.0, size=30)
+        b = rng.normal(0.3, 1.0, size=30)
+        # Equal n and similar variance: the two tests nearly coincide.
+        assert student_t_test(a, b).statistic == pytest.approx(
+            welch_t_test(a, b).statistic, rel=1e-9)
+
+
+class TestOneSample:
+    def test_matches_scipy(self, rng):
+        values = rng.normal(7.0, 2.0, size=20)
+        ours = one_sample_t_test(values, 6.5)
+        theirs = scipy_stats.ttest_1samp(values, 6.5)
+        assert ours.statistic == pytest.approx(theirs.statistic, rel=1e-12)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-9)
+
+    def test_constant_sample(self):
+        hit = one_sample_t_test([4.0, 4.0, 4.0], 4.0)
+        assert hit.p_value == 1.0
+        miss = one_sample_t_test([4.0, 4.0, 4.0], 5.0)
+        assert miss.p_value == 0.0
+
+
+class TestFormatting:
+    def test_format_p_value_paper_style(self):
+        assert format_p_value(1e-7) == "~0"
+        assert format_p_value(0.0449) == "0.0449"
+        assert format_p_value(0.6669) == "0.6669"
+
+    def test_result_format_contains_stats(self, rng):
+        result = welch_t_test(rng.normal(size=10), rng.normal(size=10))
+        text = result.format()
+        assert "t=" in text and "p=" in text and "df=" in text

@@ -1,0 +1,96 @@
+"""Public-API quality gates.
+
+Every ``__all__`` entry must resolve, every public item must carry a
+docstring, and the version metadata must be coherent — the contract a
+downstream user relies on before reading any code.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.attack",
+    "repro.cli",
+    "repro.core",
+    "repro.countermeasures",
+    "repro.datasets",
+    "repro.hpc",
+    "repro.nn",
+    "repro.stats",
+    "repro.trace",
+    "repro.uarch",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__"), f"{module_name} missing __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.{name} does not resolve"
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_all_entries_sorted_and_unique(module_name):
+    module = importlib.import_module(module_name)
+    exported = list(module.__all__)
+    assert len(exported) == len(set(exported)), (
+        f"{module_name}.__all__ has duplicates"
+    )
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_public_items_have_docstrings(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} missing a module docstring"
+    missing = []
+    for name in module.__all__:
+        item = getattr(module, name)
+        if inspect.isclass(item) or inspect.isfunction(item):
+            if not inspect.getdoc(item):
+                missing.append(name)
+    assert not missing, f"{module_name} items without docstrings: {missing}"
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_public_classes_document_their_methods(module_name):
+    module = importlib.import_module(module_name)
+    missing = []
+    for name in module.__all__:
+        item = getattr(module, name)
+        if not inspect.isclass(item):
+            continue
+        for method_name, method in inspect.getmembers(
+                item, inspect.isfunction):
+            if method_name.startswith("_"):
+                continue
+            if method.__qualname__.split(".")[0] != item.__name__:
+                continue  # inherited elsewhere; documented at the source
+            if not inspect.getdoc(method):
+                missing.append(f"{name}.{method_name}")
+    assert not missing, (
+        f"{module_name} public methods without docstrings: {missing}"
+    )
+
+
+def test_version_metadata():
+    import repro
+    from repro.version import VERSION_INFO
+
+    assert repro.__version__.count(".") == 2
+    assert VERSION_INFO == tuple(
+        int(part) for part in repro.__version__.split("."))
+
+
+def test_error_hierarchy_is_catchable():
+    import repro.errors as errors
+
+    base = errors.ReproError
+    for name in dir(errors):
+        item = getattr(errors, name)
+        if (inspect.isclass(item) and issubclass(item, Exception)
+                and item is not base and item.__module__ == "repro.errors"):
+            assert issubclass(item, base), f"{name} escapes ReproError"

@@ -1,0 +1,112 @@
+"""Tests for repro.trace.address_map."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import AddressSpace, ArrayRegion
+
+
+class TestArrayRegion:
+    def region(self, base=0x1000, shape=(4, 8), itemsize=4):
+        return ArrayRegion("weights", base, shape, itemsize)
+
+    def test_sizes(self):
+        region = self.region()
+        assert region.num_elements == 32
+        assert region.num_bytes == 128
+
+    def test_lines_of_maps_addresses(self):
+        region = self.region(base=0)
+        # 16 float32 per 64B line.
+        lines = region.lines_of([0, 15, 16, 31])
+        np.testing.assert_array_equal(lines, [0, 1])  # consecutive dedupe
+
+    def test_lines_of_keeps_order_nonconsecutive(self):
+        region = self.region(base=0)
+        lines = region.lines_of([0, 16, 0, 16])
+        np.testing.assert_array_equal(lines, [0, 1, 0, 1])
+
+    def test_lines_of_respects_base(self):
+        region = self.region(base=64 * 10)
+        assert region.lines_of([0])[0] == 10
+
+    def test_lines_of_rejects_out_of_range(self):
+        with pytest.raises(TraceError):
+            self.region().lines_of([32])
+        with pytest.raises(TraceError):
+            self.region().lines_of([-1])
+
+    def test_empty_indices_ok(self):
+        assert self.region().lines_of([]).size == 0
+
+    def test_all_lines_and_span(self):
+        region = self.region(base=0, shape=(40,))  # 160 bytes -> 3 lines
+        np.testing.assert_array_equal(region.all_lines(), [0, 1, 2])
+        assert region.line_span() == 3
+
+    def test_unaligned_base_spans_extra_line(self):
+        region = ArrayRegion("r", 32, (16,), 4)  # bytes 32..96
+        assert region.line_span() == 2
+
+
+class TestAddressSpace:
+    def test_page_alignment(self):
+        space = AddressSpace(page_bytes=4096, base=0)
+        a = space.allocate("a", (10,))
+        b = space.allocate("b", (10,))
+        assert a.base == 0
+        assert b.base == 4096
+
+    def test_large_region_spans_pages(self):
+        space = AddressSpace(page_bytes=4096, base=0)
+        space.allocate("big", (3000,))  # 12000 bytes -> 3 pages
+        c = space.allocate("next", (1,))
+        assert c.base == 3 * 4096
+
+    def test_lookup_and_contains(self):
+        space = AddressSpace()
+        region = space.allocate("x", (5,))
+        assert space["x"] is region
+        assert "x" in space
+        assert "y" not in space
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.allocate("x", (5,))
+        with pytest.raises(TraceError):
+            space.allocate("x", (5,))
+
+    def test_unknown_lookup_rejected(self):
+        with pytest.raises(TraceError):
+            AddressSpace()["ghost"]
+
+    def test_degenerate_shape_rejected(self):
+        with pytest.raises(TraceError):
+            AddressSpace().allocate("bad", (0, 3))
+
+    def test_bad_page_size_rejected(self):
+        with pytest.raises(TraceError):
+            AddressSpace(page_bytes=1000)
+
+    def test_regions_in_allocation_order(self):
+        space = AddressSpace()
+        space.allocate("first", (1,))
+        space.allocate("second", (1,))
+        assert [r.name for r in space.regions()] == ["first", "second"]
+
+    def test_total_bytes_and_describe(self):
+        space = AddressSpace(page_bytes=4096, base=0)
+        space.allocate("a", (10,))
+        assert space.total_bytes == 4096
+        assert "a" in space.describe()
+
+    def test_regions_never_overlap(self):
+        space = AddressSpace(page_bytes=256, base=0)
+        spans = []
+        for i, shape in enumerate([(100,), (7,), (64, 64), (1,)]):
+            region = space.allocate(f"r{i}", shape)
+            spans.append((region.base, region.base + region.num_bytes))
+        spans.sort()
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start

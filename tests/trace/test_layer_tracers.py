@@ -1,0 +1,207 @@
+"""Tests for repro.trace.layer_tracers — the data-dependence contracts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.nn import (
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+from repro.trace import Trace, TraceConfig, TracedInference
+from repro.trace.layer_tracers import tracer_for
+from repro.trace.address_map import AddressSpace
+
+
+def single_layer_setup(layer, input_shape, config=None, layer_index=1):
+    """Build one layer with regions and its tracer."""
+    config = config or TraceConfig()
+    rng = np.random.default_rng(0)
+    layer.build(input_shape, rng)
+    space = AddressSpace(base=0)
+    in_region = space.allocate("in", input_shape)
+    for key, value in layer.state_arrays().items():
+        space.allocate(f"{layer.name}.{key}", value.shape)
+    out_region = space.allocate("out", layer.output_shape)
+    tracer = tracer_for(layer, layer_index, in_region, out_region, space,
+                        config)
+    tracer.prepare()
+    return layer, tracer
+
+
+def run_trace(layer, tracer, x):
+    trace = Trace()
+    y = layer.forward(x[None])[0]
+    tracer.trace(x, y, trace)
+    return trace
+
+
+class TestConvTracer:
+    def test_sparse_trace_scales_with_live_activations(self, rng):
+        layer, tracer = single_layer_setup(Conv2D(4, 3, name="c"), (2, 8, 8))
+        dense_input = np.abs(rng.normal(size=(2, 8, 8))) + 0.1
+        sparse_input = dense_input.copy()
+        sparse_input[:, ::2, :] = 0.0
+        full = run_trace(layer, tracer, dense_input)
+        half = run_trace(layer, tracer, sparse_input)
+        assert half.memory_accesses < full.memory_accesses
+        assert half.instructions < full.instructions
+
+    def test_sparse_branch_count_is_input_independent(self, rng):
+        layer, tracer = single_layer_setup(Conv2D(4, 3, name="c"), (2, 8, 8))
+        a = run_trace(layer, tracer, np.abs(rng.normal(size=(2, 8, 8))))
+        zeros = np.zeros((2, 8, 8))
+        b = run_trace(layer, tracer, zeros)
+        assert a.branches == b.branches
+
+    def test_all_zero_input_does_minimal_work(self):
+        layer, tracer = single_layer_setup(Conv2D(4, 3, name="c"), (2, 8, 8))
+        trace = run_trace(layer, tracer, np.zeros((2, 8, 8)))
+        # Only the activation-test sweep remains.
+        assert trace.memory_accesses == tracer.in_region.line_span()
+
+    def test_dense_mode_is_input_independent(self, rng):
+        layer, tracer = single_layer_setup(Conv2D(4, 3, name="c"), (2, 8, 8),
+                                           layer_index=0)
+        assert not tracer.sparse
+        a = run_trace(layer, tracer, rng.normal(size=(2, 8, 8)))
+        b = run_trace(layer, tracer, np.zeros((2, 8, 8)))
+        assert a.memory_accesses == b.memory_accesses
+        assert a.instructions == b.instructions
+        assert a.branches == b.branches
+        np.testing.assert_array_equal(a.memory_lines(), b.memory_lines())
+
+    def test_scatter_orders_same_volume_different_order(self, rng):
+        x = np.abs(rng.normal(size=(2, 8, 8)))
+        x[x < 0.5] = 0.0
+        traces = {}
+        for order in ("channel-major", "spatial-major"):
+            layer, tracer = single_layer_setup(
+                Conv2D(4, 3, name="c"), (2, 8, 8),
+                config=TraceConfig(scatter_order=order))
+            traces[order] = run_trace(layer, tracer, x)
+        assert (traces["channel-major"].memory_accesses
+                == traces["spatial-major"].memory_accesses)
+        assert not np.array_equal(traces["channel-major"].memory_lines(),
+                                  traces["spatial-major"].memory_lines())
+
+    def test_padded_convolution_traces(self, rng):
+        layer, tracer = single_layer_setup(Conv2D(2, 3, padding=1, name="c"),
+                                           (1, 8, 8))
+        x = np.abs(rng.normal(size=(1, 8, 8)))
+        trace = run_trace(layer, tracer, x)
+        assert trace.memory_accesses > 0
+
+    def test_padded_dense_mode_is_input_independent(self, rng):
+        layer, tracer = single_layer_setup(
+            Conv2D(2, 3, padding=1, stride=2, name="c"), (1, 8, 8),
+            layer_index=0)
+        a = run_trace(layer, tracer, rng.normal(size=(1, 8, 8)))
+        b = run_trace(layer, tracer, np.zeros((1, 8, 8)))
+        np.testing.assert_array_equal(a.memory_lines(), b.memory_lines())
+
+    def test_padded_scatter_targets_valid_outputs_only(self):
+        # A corner input pixel of a padded conv scatters into the corner
+        # output block; all referenced lines must be inside the out region.
+        layer, tracer = single_layer_setup(Conv2D(2, 3, padding=1, name="c"),
+                                           (1, 6, 6))
+        x = np.zeros((1, 6, 6))
+        x[0, 0, 0] = 1.0
+        trace = run_trace(layer, tracer, x)
+        out_lines = set(tracer.out_region.all_lines().tolist())
+        ws_lines = set(tracer._workspace.all_lines().tolist())
+        w_lines = set(
+            tracer.weight_region("weight").all_lines().tolist())
+        in_lines = set(tracer.in_region.all_lines().tolist())
+        allowed = out_lines | ws_lines | w_lines | in_lines
+        assert set(trace.memory_lines().tolist()) <= allowed
+
+
+class TestDenseTracer:
+    def test_sparse_row_gather_scales_with_nnz(self):
+        layer, tracer = single_layer_setup(Dense(10, name="fc"), (64,))
+        full = run_trace(layer, tracer, np.ones(64))
+        half_input = np.ones(64)
+        half_input[::2] = 0.0
+        half = run_trace(layer, tracer, half_input)
+        assert half.memory_accesses < full.memory_accesses
+
+    def test_dense_mode_strided_sweep(self, rng):
+        layer, tracer = single_layer_setup(Dense(10, name="fc"), (64,),
+                                           layer_index=0)
+        a = run_trace(layer, tracer, rng.normal(size=64))
+        b = run_trace(layer, tracer, np.zeros(64))
+        assert a.memory_accesses == b.memory_accesses
+
+    def test_dynamic_branch_outcomes_track_zero_pattern(self):
+        layer, tracer = single_layer_setup(Dense(4, name="fc"), (8,))
+        x = np.array([1.0, 0.0, 2.0, 0.0, 0.0, 3.0, 0.0, 1.0])
+        trace = run_trace(layer, tracer, x)
+        dyn_ops = [op for op in trace.ops if op[0] == "dyn-branch"]
+        assert len(dyn_ops) == 1
+        np.testing.assert_array_equal(dyn_ops[0][2], x != 0)
+
+
+class TestPoolAndActivationTracers:
+    def test_maxpool_compare_outcomes_are_data_dependent(self, rng):
+        layer, tracer = single_layer_setup(MaxPool2D(2, name="p"), (2, 4, 4))
+        a = run_trace(layer, tracer, rng.normal(size=(2, 4, 4)))
+        b = run_trace(layer, tracer, rng.normal(size=(2, 4, 4)))
+        assert a.branches == b.branches  # counts constant
+        a_outcomes = np.concatenate(
+            [op[2] for op in a.ops if op[0] == "dyn-branch"])
+        b_outcomes = np.concatenate(
+            [op[2] for op in b.ops if op[0] == "dyn-branch"])
+        assert not np.array_equal(a_outcomes, b_outcomes)
+
+    def test_maxpool_branchless_mode_has_no_dynamic_branches(self, rng):
+        layer, tracer = single_layer_setup(
+            MaxPool2D(2, name="p"), (2, 4, 4),
+            config=TraceConfig(branchless_compares=True))
+        trace = run_trace(layer, tracer, rng.normal(size=(2, 4, 4)))
+        assert trace.dynamic_branches == 0
+
+    def test_relu_sign_outcomes(self):
+        layer, tracer = single_layer_setup(ReLU(name="r"), (6,))
+        x = np.array([1.0, -1.0, 2.0, -2.0, 0.0, 3.0])
+        trace = run_trace(layer, tracer, x)
+        outcomes = [op[2] for op in trace.ops if op[0] == "dyn-branch"][0]
+        np.testing.assert_array_equal(outcomes, x > 0)
+
+    def test_relu_branchless_mode(self):
+        layer, tracer = single_layer_setup(
+            ReLU(name="r"), (6,), config=TraceConfig(branchless_compares=True))
+        trace = run_trace(layer, tracer, np.array([1.0, -1.0, 0.5, 0, 0, 2]))
+        assert trace.dynamic_branches == 0
+
+    def test_flatten_emits_almost_nothing(self):
+        layer, tracer = single_layer_setup(Flatten(name="f"), (2, 3, 3))
+        trace = run_trace(layer, tracer, np.ones((2, 3, 3)))
+        assert trace.memory_accesses == 0
+        assert trace.instructions < 20
+
+
+class TestRegistry:
+    def test_unknown_layer_rejected(self):
+        from repro.nn.layers.base import Layer
+
+        class Exotic(Layer):
+            def _build(self, input_shape, rng):
+                return input_shape
+
+            def forward(self, x, training=False):
+                return x
+
+            def backward(self, grad):
+                return grad
+
+        layer = Exotic()
+        layer.build((4,), np.random.default_rng(0))
+        space = AddressSpace()
+        region = space.allocate("r", (4,))
+        with pytest.raises(TraceError):
+            tracer_for(layer, 0, region, region, space, TraceConfig())

@@ -1,0 +1,108 @@
+"""Tests for repro.trace.recorder (Trace and TraceConfig)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import Trace, TraceConfig
+from repro.uarch import CpuModel
+
+
+class TestTraceConfig:
+    def test_defaults_are_sparse_aware(self):
+        config = TraceConfig()
+        assert not config.sparse_enabled(0)   # dense stem
+        assert config.sparse_enabled(1)
+        assert config.sparse_enabled(5)
+
+    def test_sparse_disabled_entirely(self):
+        config = TraceConfig(sparse_from_layer=None)
+        assert not config.sparse_enabled(3)
+
+    def test_sparse_everywhere(self):
+        config = TraceConfig(sparse_from_layer=0)
+        assert config.sparse_enabled(0)
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            TraceConfig(line_bytes=100)
+        with pytest.raises(TraceError):
+            TraceConfig(dense_stride=0)
+        with pytest.raises(TraceError):
+            TraceConfig(sparse_from_layer=-1)
+        with pytest.raises(TraceError):
+            TraceConfig(bulk_branch_miss_rate=2.0)
+        with pytest.raises(TraceError):
+            TraceConfig(scatter_order="diagonal")
+
+
+class TestTrace:
+    def test_aggregates(self):
+        trace = Trace()
+        trace.mem(np.array([1, 2, 3]))
+        trace.instr(100)
+        trace.bulk_branch(50, 0.001)
+        trace.dyn_branch(7, np.array([True, False]))
+        assert trace.memory_accesses == 3
+        assert trace.instructions == 100
+        assert trace.branches == 52
+        assert trace.dynamic_branches == 2
+
+    def test_empty_ops_skipped(self):
+        trace = Trace()
+        trace.mem(np.array([], dtype=np.int64))
+        trace.instr(0)
+        trace.bulk_branch(0, 0.0)
+        trace.dyn_branch(1, np.array([], dtype=bool))
+        assert trace.ops == []
+
+    def test_memory_lines_concatenates_in_order(self):
+        trace = Trace()
+        trace.mem(np.array([5, 6]))
+        trace.instr(10)
+        trace.mem(np.array([7]))
+        np.testing.assert_array_equal(trace.memory_lines(), [5, 6, 7])
+
+    def test_extend(self):
+        a = Trace()
+        a.instr(10)
+        b = Trace()
+        b.instr(20)
+        a.extend(b)
+        assert a.instructions == 30
+
+    def test_negative_counts_rejected(self):
+        trace = Trace()
+        with pytest.raises(TraceError):
+            trace.instr(-1)
+        with pytest.raises(TraceError):
+            trace.bulk_branch(-1, 0.0)
+
+    def test_replay_matches_manual_feeding(self):
+        trace = Trace()
+        trace.mem(np.arange(30))
+        trace.instr(500)
+        trace.bulk_branch(100, 0.0)
+        trace.dyn_branch(3, np.array([True, False, True, False] * 5))
+
+        replayed = CpuModel(seed=0)
+        replayed.begin_task()
+        trace.replay(replayed)
+
+        manual = CpuModel(seed=0)
+        manual.begin_task()
+        manual.load_store(np.arange(30))
+        manual.retire_instructions(500)
+        manual.bulk_branches(100, miss_rate=0.0)
+        manual.dynamic_branches(np.full(20, 3),
+                                np.array([True, False, True, False] * 5))
+
+        assert replayed.read_counters() == manual.read_counters()
+
+    def test_summary_mentions_totals(self):
+        trace = Trace()
+        trace.mem(np.array([1]))
+        trace.instr(2)
+        text = trace.summary()
+        assert "1 mem" in text
+        assert "2 instructions" in text

@@ -1,0 +1,83 @@
+"""Tests for the SimpleRNN tracer (the future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SyntheticSensorTraces
+from repro.nn import Adam, Dense, Sequential, SimpleRNN, Trainer
+from repro.trace import Trace, TraceConfig, TracedInference
+from repro.uarch import CpuModel, HpcEvent
+
+
+@pytest.fixture(scope="module")
+def rnn_model():
+    dataset = SyntheticSensorTraces().generate(20, seed=3)
+    model = Sequential([SimpleRNN(16, name="rnn"), Dense(6, name="fc")],
+                       name="activity-rnn").build((32, 3), seed=1)
+    trainer = Trainer(model, optimizer=Adam(0.005), batch_size=16)
+    trainer.fit(dataset.images, dataset.labels, epochs=6)
+    return model
+
+
+@pytest.fixture(scope="module")
+def traces(rnn_model):
+    traced = TracedInference(rnn_model)
+    gen = SyntheticSensorTraces()
+    resting = gen.generate(1, seed=7, categories=[0]).images[0]
+    running = gen.generate(1, seed=7, categories=[2]).images[0]
+    return {
+        0: traced.trace_sample(resting)[1],
+        2: traced.trace_sample(running)[1],
+    }
+
+
+class TestRnnTracing:
+    def test_prediction_matches_model(self, rnn_model):
+        traced = TracedInference(rnn_model)
+        sample = SyntheticSensorTraces().generate(1, seed=11).images[0]
+        prediction, _ = traced.trace_sample(sample)
+        assert prediction == rnn_model.classify_one(sample)
+
+    def test_traffic_depends_on_activity_class(self, traces):
+        assert traces[0].memory_accesses != traces[2].memory_accesses
+
+    def test_branch_count_is_class_independent(self, traces):
+        assert traces[0].branches == traces[2].branches
+
+    def test_instructions_scale_with_live_state(self, traces):
+        # Running excites far more hidden units than resting.
+        assert traces[2].instructions != traces[0].instructions
+
+    def test_regions_allocated(self, rnn_model):
+        traced = TracedInference(rnn_model)
+        names = [r.name for r in traced.space.regions()]
+        assert "rnn.w_hh" in names
+        assert "rnn.workspace" in names
+        assert "rnn.state" in names
+
+    def test_constant_footprint_mode(self, rnn_model):
+        hardened = TracedInference(
+            rnn_model,
+            TraceConfig(sparse_from_layer=None, branchless_compares=True))
+        cpu = CpuModel(seed=0)
+        gen = SyntheticSensorTraces()
+        counts = [
+            hardened.run(gen.generate(1, seed=s, categories=[s % 6]
+                                      ).images[0], cpu)[1]
+            for s in range(4)
+        ]
+        assert all(c == counts[0] for c in counts)
+
+    def test_full_pipeline_leaks_cache_misses_not_branches(self, rnn_model):
+        from repro.core import Evaluator
+        from repro.hpc import MeasurementSession, SimBackend
+
+        backend = SimBackend(rnn_model, seed=5)
+        pool = SyntheticSensorTraces().generate(15, seed=9,
+                                                categories=[0, 2])
+        dists = MeasurementSession(backend, warmup=0).collect(
+            pool, [0, 2], 15)
+        report = Evaluator().evaluate(
+            dists, events=[HpcEvent.CACHE_MISSES, HpcEvent.BRANCHES])
+        assert report.rejection_count(HpcEvent.CACHE_MISSES) == 1
+        assert report.rejection_count(HpcEvent.BRANCHES) == 0

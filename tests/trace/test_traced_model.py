@@ -1,0 +1,120 @@
+"""Tests for repro.trace.traced_model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.nn import Dense, Flatten, ReLU, Sequential
+from repro.trace import TraceConfig, TracedInference
+from repro.uarch import CpuModel, HpcEvent
+
+
+class TestConstruction:
+    def test_requires_built_model(self):
+        with pytest.raises(TraceError):
+            TracedInference(Sequential([Dense(3)]))
+
+    def test_regions_allocated_for_weights_and_activations(self,
+                                                           traced_inference):
+        names = [r.name for r in traced_inference.space.regions()]
+        assert "input" in names
+        assert any(name.startswith("conv1.weight") for name in names)
+        assert any(name.startswith("act") for name in names)
+
+    def test_flatten_shares_its_input_region(self, traced_inference):
+        model = traced_inference.model
+        flatten_index = next(
+            i for i, l in enumerate(model.layers)
+            if type(l).__name__ == "Flatten")
+        tracer = traced_inference.tracers[flatten_index]
+        assert tracer.out_region is tracer.in_region
+
+    def test_footprint_positive(self, traced_inference):
+        assert traced_inference.footprint_bytes() > 10_000
+
+    def test_describe(self, traced_inference):
+        text = traced_inference.describe()
+        assert "sparsity-aware" in text
+        assert "input" in text
+
+
+class TestTraceSample:
+    def test_prediction_matches_model(self, traced_inference, digits_dataset):
+        model = traced_inference.model
+        for image in digits_dataset.images[:5]:
+            prediction, _ = traced_inference.trace_sample(image)
+            assert prediction == model.classify_one(image)
+
+    def test_rejects_wrong_shape(self, traced_inference):
+        with pytest.raises(TraceError):
+            traced_inference.trace_sample(np.zeros((2, 28, 28)))
+
+    def test_trace_is_deterministic(self, traced_inference, digits_dataset):
+        image = digits_dataset.images[0]
+        _, a = traced_inference.trace_sample(image)
+        _, b = traced_inference.trace_sample(image)
+        assert a.instructions == b.instructions
+        np.testing.assert_array_equal(a.memory_lines(), b.memory_lines())
+
+    def test_different_inputs_different_traces(self, traced_inference,
+                                               digits_dataset):
+        _, a = traced_inference.trace_sample(digits_dataset.images[0])
+        _, b = traced_inference.trace_sample(digits_dataset.images[1])
+        assert (a.memory_accesses != b.memory_accesses
+                or not np.array_equal(a.memory_lines(), b.memory_lines()))
+
+    def test_branch_count_is_input_independent(self, traced_inference,
+                                               digits_dataset):
+        counts = set()
+        for image in digits_dataset.images[:6]:
+            _, trace = traced_inference.trace_sample(image)
+            counts.add(trace.branches - trace.dynamic_branches
+                       + trace.dynamic_branches)  # total retired branches
+        # The sparsity-aware kernels keep the branch count constant; only
+        # the tiny argmax tail could vary, and it has a fixed count too.
+        assert len(counts) == 1
+
+
+class TestRun:
+    def test_run_produces_all_events(self, traced_inference, digits_dataset):
+        cpu = CpuModel(seed=0)
+        prediction, counts = traced_inference.run(digits_dataset.images[0],
+                                                  cpu)
+        assert len(counts) == 8
+        assert counts[HpcEvent.INSTRUCTIONS] > 10_000
+        assert counts[HpcEvent.CACHE_MISSES] > 0
+
+    def test_run_is_reproducible(self, traced_inference, digits_dataset):
+        cpu = CpuModel(seed=0)
+        image = digits_dataset.images[0]
+        _, first = traced_inference.run(image, cpu)
+        _, second = traced_inference.run(image, cpu)
+        assert first == second
+
+
+class TestConstantFootprintMode:
+    def test_counts_identical_across_inputs(self, tiny_trained_model,
+                                            digits_dataset):
+        hardened = TracedInference(
+            tiny_trained_model,
+            TraceConfig(sparse_from_layer=None, branchless_compares=True))
+        cpu = CpuModel(seed=0)
+        readouts = []
+        for image in digits_dataset.images[:5]:
+            _, counts = hardened.run(image, cpu)
+            readouts.append(counts)
+        assert all(counts == readouts[0] for counts in readouts)
+
+    def test_predictions_unchanged_by_hardening(self, tiny_trained_model,
+                                                digits_dataset):
+        hardened = TracedInference(
+            tiny_trained_model,
+            TraceConfig(sparse_from_layer=None, branchless_compares=True))
+        for image in digits_dataset.images[:5]:
+            prediction, _ = hardened.trace_sample(image)
+            assert prediction == tiny_trained_model.classify_one(image)
+
+    def test_describe_shows_constant_footprint(self, tiny_trained_model):
+        hardened = TracedInference(
+            tiny_trained_model, TraceConfig(sparse_from_layer=None))
+        assert "constant footprint" in hardened.describe()

@@ -1,0 +1,139 @@
+"""Tests for repro.uarch.branch predictors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.uarch import (
+    BimodalPredictor,
+    GsharePredictor,
+    StaticTakenPredictor,
+    TournamentPredictor,
+    make_predictor,
+)
+
+
+class TestStatic:
+    def test_always_taken(self):
+        predictor = StaticTakenPredictor()
+        assert not predictor.execute(0, True)
+        assert predictor.execute(0, False)
+        assert predictor.stats.branches == 2
+        assert predictor.stats.mispredictions == 1
+
+
+class TestBimodal:
+    def test_learns_strong_bias(self):
+        predictor = BimodalPredictor()
+        misses = predictor.execute_stream([7] * 100, [True] * 100)
+        # Initialized weakly-taken: a taken-biased branch never mispredicts.
+        assert misses == 0
+
+    def test_learns_not_taken_bias(self):
+        predictor = BimodalPredictor()
+        misses = predictor.execute_stream([7] * 100, [False] * 100)
+        assert misses <= 2  # at most the training transient
+
+    def test_alternating_pattern_defeats_bimodal(self):
+        predictor = BimodalPredictor()
+        outcomes = [bool(i % 2) for i in range(200)]
+        misses = predictor.execute_stream([3] * 200, outcomes)
+        assert misses > 60  # 2-bit counters thrash on alternation
+
+    def test_independent_pcs(self):
+        predictor = BimodalPredictor()
+        predictor.execute_stream([1] * 50, [True] * 50)
+        misses = predictor.execute_stream([2] * 50, [False] * 50)
+        assert misses <= 2
+
+    def test_reset_clears_training(self):
+        predictor = BimodalPredictor()
+        predictor.execute_stream([5] * 50, [False] * 50)
+        predictor.reset()
+        assert predictor.stats.branches == 0
+        # After reset the table is weakly-taken again: first prediction True.
+        assert predictor._predict_update(5, False)
+
+    def test_rejects_bad_table_bits(self):
+        with pytest.raises(ConfigError):
+            BimodalPredictor(table_bits=0)
+
+
+class TestGshare:
+    def test_learns_alternation_via_history(self):
+        predictor = GsharePredictor(table_bits=10, history_bits=8)
+        outcomes = [bool(i % 2) for i in range(600)]
+        misses = predictor.execute_stream([3] * 600, outcomes)
+        # After warm-up the alternating pattern is perfectly predictable.
+        assert misses < 60
+
+    def test_beats_bimodal_on_periodic_pattern(self):
+        pattern = ([True, True, False, False] * 200)
+        pcs = [9] * len(pattern)
+        bimodal = BimodalPredictor()
+        gshare = GsharePredictor()
+        bimodal_misses = bimodal.execute_stream(pcs, pattern)
+        gshare_misses = gshare.execute_stream(pcs, pattern)
+        assert gshare_misses < bimodal_misses
+
+    def test_rejects_history_longer_than_table(self):
+        with pytest.raises(ConfigError):
+            GsharePredictor(table_bits=4, history_bits=8)
+
+
+class TestTournament:
+    def test_tracks_best_component_on_biased_stream(self):
+        predictor = TournamentPredictor()
+        misses = predictor.execute_stream([4] * 300, [True] * 300)
+        assert misses <= 2
+
+    def test_periodic_stream_close_to_gshare(self):
+        pattern = [bool(i % 2) for i in range(600)]
+        tournament = TournamentPredictor()
+        misses = tournament.execute_stream([2] * 600, pattern)
+        assert misses < 120
+
+
+class TestBulkAccounting:
+    def test_bulk_counts(self):
+        predictor = BimodalPredictor()
+        missed = predictor.record_bulk(10_000, miss_rate=0.001)
+        assert missed == 10
+        assert predictor.stats.total_branches == 10_000
+        assert predictor.stats.total_mispredictions == 10
+
+    def test_bulk_combines_with_dynamic(self):
+        predictor = BimodalPredictor()
+        predictor.record_bulk(100, miss_rate=0.0)
+        predictor.execute_stream([1] * 10, [True] * 10)
+        assert predictor.stats.total_branches == 110
+
+    def test_bulk_rejects_bad_arguments(self):
+        predictor = BimodalPredictor()
+        with pytest.raises(ConfigError):
+            predictor.record_bulk(-1)
+        with pytest.raises(ConfigError):
+            predictor.record_bulk(10, miss_rate=2.0)
+
+    def test_miss_rate_property(self):
+        predictor = StaticTakenPredictor()
+        predictor.execute_stream([0, 0], [True, False])
+        assert predictor.stats.miss_rate == pytest.approx(0.5)
+
+
+class TestStreamApi:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            BimodalPredictor().execute_stream([1, 2], [True])
+
+    def test_numpy_arrays_accepted(self):
+        predictor = BimodalPredictor()
+        misses = predictor.execute_stream(np.array([1, 1, 1]),
+                                          np.array([True, True, True]))
+        assert misses == 0
+
+    def test_factory(self):
+        for name in ("static-taken", "bimodal", "gshare", "tournament"):
+            assert make_predictor(name).name == name
+        with pytest.raises(ConfigError):
+            make_predictor("perceptron")

@@ -1,0 +1,171 @@
+"""Tests for repro.uarch.cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.uarch import Cache, CacheGeometry
+
+
+def tiny_cache(sets=2, ways=2, policy="lru"):
+    geometry = CacheGeometry(total_bytes=sets * ways * 64, line_bytes=64,
+                             associativity=ways)
+    return Cache(geometry, policy=policy, name="test")
+
+
+class TestGeometry:
+    def test_derived_quantities(self):
+        g = CacheGeometry(32 * 1024, 64, 8)
+        assert g.num_lines == 512
+        assert g.num_sets == 64
+        assert "32KiB" in g.describe()
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(1024, 48, 4)
+
+    def test_rejects_indivisible_capacity(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(1000, 64, 4)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(3 * 64 * 4, 64, 4)
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = tiny_cache()
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_set_mapping_isolates_conflicts(self):
+        cache = tiny_cache(sets=2, ways=1)
+        cache.access(0)   # set 0
+        cache.access(1)   # set 1
+        assert cache.access(0)
+        assert cache.access(1)
+
+    def test_lru_eviction_order(self):
+        cache = tiny_cache(sets=1, ways=2)
+        cache.access_many([0, 1])     # fill: LRU=0
+        cache.access(0)               # touch 0: LRU=1
+        cache.access(2)               # evicts 1
+        assert cache.contains(0)
+        assert cache.contains(2)
+        assert not cache.contains(1)
+
+    def test_eviction_counted(self):
+        cache = tiny_cache(sets=1, ways=2)
+        cache.access_many([0, 1, 2, 3])
+        assert cache.stats.evictions == 2
+
+    def test_writeback_of_dirty_lines(self):
+        cache = tiny_cache(sets=1, ways=2)
+        cache.access(0, write=True)
+        cache.access_many([1, 2])  # 0 evicted dirty
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = tiny_cache(sets=1, ways=2)
+        cache.access_many([0, 1, 2])
+        assert cache.stats.writebacks == 0
+
+    def test_access_many_returns_missed_lines_in_order(self):
+        cache = tiny_cache(sets=1, ways=4)
+        missed = cache.access_many([5, 6, 5, 7])
+        assert missed == [5, 6, 7]
+
+    def test_reset_restores_cold_state(self):
+        cache = tiny_cache()
+        cache.access_many([0, 1, 2])
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert not cache.contains(0)
+
+    def test_warm_preloads_without_stats(self):
+        cache = tiny_cache()
+        cache.warm([0, 1])
+        assert cache.stats.accesses == 0
+        assert cache.access(0)
+
+    def test_numpy_input_accepted(self):
+        cache = tiny_cache()
+        missed = cache.access_many(np.array([0, 1, 0], dtype=np.int64))
+        assert missed == [0, 1]
+
+    def test_miss_rate(self):
+        cache = tiny_cache()
+        cache.access_many([0, 0, 0, 1])
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+
+class TestPolicyIntegration:
+    def test_fifo_ignores_recency(self):
+        cache = tiny_cache(sets=1, ways=2, policy="fifo")
+        cache.access_many([0, 1])
+        cache.access(0)     # hit but does not refresh
+        cache.access(2)     # FIFO evicts 0 (oldest insertion)
+        assert not cache.contains(0)
+        assert cache.contains(1)
+
+    def test_policy_mismatch_rejected(self):
+        from repro.uarch import LruPolicy
+        geometry = CacheGeometry(4 * 64, 64, 2)
+        with pytest.raises(ConfigError):
+            Cache(geometry, policy=LruPolicy(4))
+
+    def test_plru_behaves_as_cache(self):
+        cache = tiny_cache(sets=1, ways=4, policy="tree-plru")
+        assert cache.access_many([0, 1, 2, 3]) == [0, 1, 2, 3]
+        assert cache.access(0)
+        cache.access(4)
+        assert cache.stats.evictions == 1
+
+    def test_random_policy_deterministic_with_seed(self):
+        a = tiny_cache(sets=1, ways=2, policy="random")
+        b = tiny_cache(sets=1, ways=2, policy="random")
+        stream = [0, 1, 2, 3, 0, 2, 4, 1]
+        assert a.access_many(stream) == b.access_many(stream)
+
+
+line_streams = st.lists(st.integers(min_value=0, max_value=63),
+                        min_size=1, max_size=200)
+
+
+class TestProperties:
+    @given(line_streams)
+    @settings(max_examples=60)
+    def test_misses_bounded_by_accesses_and_distinct_lines(self, stream):
+        cache = tiny_cache(sets=4, ways=2)
+        missed = cache.access_many(stream)
+        assert len(missed) <= len(stream)
+        assert len(missed) >= len(set(stream)) - cache.geometry.num_lines
+        assert cache.stats.hits + cache.stats.misses == len(stream)
+
+    @given(line_streams)
+    @settings(max_examples=60)
+    def test_most_recent_line_always_resident(self, stream):
+        cache = tiny_cache(sets=4, ways=2)
+        cache.access_many(stream)
+        assert cache.contains(stream[-1])
+
+    @given(line_streams)
+    @settings(max_examples=40)
+    def test_large_enough_cache_only_cold_misses(self, stream):
+        cache = tiny_cache(sets=16, ways=8)  # 128 lines >= domain size
+        missed = cache.access_many(stream)
+        assert len(missed) == len(set(stream))
+
+    @given(line_streams)
+    @settings(max_examples=40)
+    def test_resident_lines_unique_and_bounded(self, stream):
+        cache = tiny_cache(sets=2, ways=2)
+        cache.access_many(stream)
+        resident = cache.resident_lines()
+        assert len(resident) == len(set(resident))
+        assert len(resident) <= cache.geometry.num_lines

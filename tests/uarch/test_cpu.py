@@ -1,0 +1,146 @@
+"""Tests for repro.uarch.cpu (the top-level CPU model)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.uarch import (
+    CacheGeometry,
+    CpuConfig,
+    CpuModel,
+    HierarchyConfig,
+    HpcEvent,
+)
+
+
+def small_cpu(**kwargs):
+    hierarchy = HierarchyConfig(
+        l1=CacheGeometry(2 * 64, 64, 2),
+        l2=CacheGeometry(8 * 64, 64, 2),
+        llc=CacheGeometry(32 * 64, 64, 4),
+    )
+    return CpuModel(CpuConfig(hierarchy=hierarchy, **kwargs), seed=0)
+
+
+class TestCycleModel:
+    def test_pure_compute_cycles(self):
+        cpu = small_cpu(base_cpi=1500)
+        cpu.begin_task()
+        cpu.retire_instructions(1000)
+        assert cpu.cycles() == 1500
+
+    def test_memory_stalls_added(self):
+        cpu = small_cpu()
+        cpu.begin_task()
+        cpu.load_store([0])
+        cfg = cpu.config.hierarchy
+        # One TLB walk + full miss chain.
+        expected = ((cfg.l2_latency - cfg.l1_latency)
+                    + (cfg.llc_latency - cfg.l2_latency)
+                    + (cfg.memory_latency - cfg.llc_latency)
+                    + cpu.config.tlb.walk_latency)
+        assert cpu.cycles() == expected
+
+    def test_branch_miss_penalty(self):
+        cpu = small_cpu(branch_miss_penalty=20)
+        cpu.begin_task()
+        # Static mispredict: alternate a single PC to force misses.
+        cpu.dynamic_branches([1] * 4, [True, False, True, False])
+        misses = cpu.predictor.stats.mispredictions
+        assert cpu.cycles() == misses * 20
+
+    def test_extra_cycles(self):
+        cpu = small_cpu()
+        cpu.begin_task()
+        cpu.add_cycles(123)
+        assert cpu.cycles() == 123
+        with pytest.raises(ConfigError):
+            cpu.add_cycles(-1)
+
+
+class TestEvents:
+    def test_ground_truth_consistency(self):
+        cpu = small_cpu()
+        cpu.begin_task()
+        cpu.load_store(list(range(40)))
+        cpu.retire_instructions(5000)
+        cpu.bulk_branches(100, miss_rate=0.0)
+        truth = cpu.ground_truth()
+        assert truth[HpcEvent.INSTRUCTIONS] == 5000
+        assert truth[HpcEvent.BRANCHES] == 100
+        assert truth[HpcEvent.CACHE_REFERENCES] >= truth[HpcEvent.CACHE_MISSES]
+        assert truth[HpcEvent.CYCLES] > 0
+        assert truth[HpcEvent.BUS_CYCLES] == (
+            truth[HpcEvent.CYCLES] // cpu.config.bus_divisor)
+        assert truth[HpcEvent.REF_CYCLES] == (
+            truth[HpcEvent.CYCLES] * cpu.config.ref_cycles_per_mille // 1000)
+
+    def test_read_counters_has_all_eight(self):
+        cpu = small_cpu()
+        cpu.begin_task()
+        cpu.retire_instructions(10)
+        counts = cpu.read_counters()
+        assert len(counts) == 8
+
+    def test_cold_start_resets_state(self):
+        cpu = small_cpu()
+        cpu.begin_task()
+        cpu.load_store([0, 1, 2])
+        first = cpu.read_counters()
+        cpu.begin_task()
+        cpu.load_store([0, 1, 2])
+        second = cpu.read_counters()
+        assert first == second
+
+    def test_warm_start_keeps_cache_contents(self):
+        cpu = CpuModel(seed=0, cold_start=False)
+        cpu.begin_task()
+        cpu.load_store([0, 1, 2])
+        first_misses = cpu.read_counters()[HpcEvent.CACHE_MISSES]
+        cpu.begin_task()
+        cpu.load_store([0, 1, 2])
+        second_misses = cpu.read_counters()[HpcEvent.CACHE_MISSES]
+        assert first_misses > 0
+        assert second_misses == 0
+
+    def test_identical_tasks_are_deterministic(self):
+        def run():
+            cpu = small_cpu()
+            cpu.begin_task()
+            cpu.load_store(list(range(100)))
+            cpu.dynamic_branches([3] * 50, [i % 3 == 0 for i in range(50)])
+            cpu.retire_instructions(777)
+            return cpu.read_counters()
+
+        assert run() == run()
+
+    def test_rejects_negative_instructions(self):
+        cpu = small_cpu()
+        cpu.begin_task()
+        with pytest.raises(ConfigError):
+            cpu.retire_instructions(-5)
+
+    def test_describe_mentions_components(self):
+        text = small_cpu().describe()
+        for token in ("L1D", "TLB", "predictor", "CPI"):
+            assert token in text
+
+
+class TestConfigValidation:
+    def test_rejects_bad_cpi(self):
+        with pytest.raises(ConfigError):
+            CpuConfig(base_cpi=0)
+
+    def test_rejects_bad_divisor(self):
+        with pytest.raises(ConfigError):
+            CpuConfig(bus_divisor=0)
+
+    def test_rejects_negative_penalty(self):
+        with pytest.raises(ConfigError):
+            CpuConfig(branch_miss_penalty=-1)
+
+    def test_prefetcher_integration(self):
+        cpu = CpuModel(CpuConfig(prefetcher="next-line"), seed=0)
+        cpu.begin_task()
+        cpu.load_store([0])
+        # Demand line 0 plus prefetched line 1 both fetched.
+        assert cpu.hierarchy.totals.accesses == 2

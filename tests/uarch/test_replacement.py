@@ -1,0 +1,105 @@
+"""Tests for repro.uarch.replacement policies in isolation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.uarch.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    TreePlruPolicy,
+    make_policy,
+)
+
+
+class TestLru:
+    def test_hit_refreshes_recency(self):
+        policy = LruPolicy(2)
+        state = policy.new_set()
+        assert policy.access(state, 1) == (False, None)
+        assert policy.access(state, 2) == (False, None)
+        assert policy.access(state, 1) == (True, None)
+        hit, evicted = policy.access(state, 3)
+        assert not hit
+        assert evicted == 2  # 1 was refreshed, 2 was LRU
+
+
+class TestFifo:
+    def test_hit_does_not_refresh(self):
+        policy = FifoPolicy(2)
+        state = policy.new_set()
+        policy.access(state, 1)
+        policy.access(state, 2)
+        assert policy.access(state, 1) == (True, None)
+        hit, evicted = policy.access(state, 3)
+        assert evicted == 1  # oldest insertion despite the recent hit
+
+
+class TestRandom:
+    def test_seeded_determinism(self):
+        def run(seed):
+            policy = RandomPolicy(2, seed=seed)
+            state = policy.new_set()
+            out = []
+            for line in (1, 2, 3, 4, 1, 2):
+                out.append(policy.access(state, line))
+            return out
+
+        assert run(7) == run(7)
+
+    def test_fills_before_evicting(self):
+        policy = RandomPolicy(3, seed=0)
+        state = policy.new_set()
+        for line in (1, 2, 3):
+            hit, evicted = policy.access(state, line)
+            assert evicted is None
+        hit, evicted = policy.access(state, 4)
+        assert evicted in (1, 2, 3)
+
+
+class TestTreePlru:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ConfigError):
+            TreePlruPolicy(3)
+
+    def test_single_way_degenerates_to_direct(self):
+        policy = TreePlruPolicy(1)
+        state = policy.new_set()
+        assert policy.access(state, 1) == (False, None)
+        assert policy.access(state, 1) == (True, None)
+        hit, evicted = policy.access(state, 2)
+        assert evicted == 1
+
+    def test_victim_avoids_most_recent(self):
+        policy = TreePlruPolicy(4)
+        state = policy.new_set()
+        for line in (1, 2, 3, 4):
+            policy.access(state, line)
+        policy.access(state, 1)       # make 1 most recently touched
+        hit, evicted = policy.access(state, 5)
+        assert not hit
+        assert evicted != 1
+
+    def test_hits_track_contents(self):
+        policy = TreePlruPolicy(2)
+        state = policy.new_set()
+        policy.access(state, 10)
+        policy.access(state, 20)
+        assert policy.access(state, 10)[0]
+        assert policy.access(state, 20)[0]
+
+
+class TestFactory:
+    def test_all_names_construct(self):
+        for name in ("lru", "fifo", "random", "tree-plru"):
+            policy = make_policy(name, 4)
+            assert policy.associativity == 4
+            assert policy.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            make_policy("belady", 4)
+
+    def test_rejects_zero_associativity(self):
+        with pytest.raises(ConfigError):
+            make_policy("lru", 0)
