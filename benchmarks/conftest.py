@@ -6,12 +6,17 @@ cached on disk under ``.repro_cache`` (override with ``REPRO_CACHE_DIR``), so
 only the first benchmark run pays for them; the timed portion of every bench
 is the analysis/rendering step the paper artifact requires.
 
+Per-bench wall time is recorded through :class:`repro.obs.MetricsRegistry`
+and printed as a summary table at session end.
+
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
 """
 
 from __future__ import annotations
+
+import time
 
 import pytest
 
@@ -21,6 +26,10 @@ from repro.core import (
     mnist_experiment,
     run_experiment,
 )
+from repro.obs import MetricsRegistry
+
+#: Registry collecting one ``bench.wall_s`` histogram per benchmark node.
+BENCH_METRICS = MetricsRegistry()
 
 
 @pytest.fixture(scope="session")
@@ -39,3 +48,32 @@ def emit(title: str, body: str) -> None:
     """Print a labelled reproduction artifact (visible with ``-s``)."""
     bar = "=" * 72
     print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Time each bench body into the shared metrics registry."""
+    start = time.perf_counter()
+    yield
+    BENCH_METRICS.observe("bench.wall_s", time.perf_counter() - start,
+                          bench=item.name)
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Render the per-bench wall-time table collected this session."""
+    rows = [record for record in BENCH_METRICS.snapshot()
+            if record["name"] == "bench.wall_s"]
+    if not rows:
+        return
+    rows.sort(key=lambda record: -record["total"])
+    write = terminalreporter.write_line
+    write("")
+    write("benchmark wall-time summary (repro.obs)")
+    write("-" * 58)
+    write(f"{'bench':<40} {'calls':>5} {'total s':>10}")
+    for record in rows:
+        name = record["labels"].get("bench", "?")
+        write(f"{name:<40} {record['count']:>5g} {record['total']:>10.3f}")
+    total = sum(record["total"] for record in rows)
+    write("-" * 58)
+    write(f"{'total':<40} {'':>5} {total:>10.3f}")

@@ -11,7 +11,8 @@ The package builds the paper's full pipeline from scratch:
 * :mod:`repro.hpc` — measurement backends (simulated + real ``perf``);
 * :mod:`repro.core` — the paper's Evaluator (t-tests, alarms, reports);
 * :mod:`repro.attack` — the adversary the alarm warns about;
-* :mod:`repro.countermeasures` — constant-footprint defense + certification.
+* :mod:`repro.countermeasures` — constant-footprint defense + certification;
+* :mod:`repro.obs` — telemetry: span tracing, metrics, exporters.
 
 Quickstart::
 
@@ -37,8 +38,10 @@ from .core import (
     mnist_experiment,
     run_experiment,
 )
+from . import obs
 from .errors import ReproError
 from .hpc import EventDistributions, MeasurementSession, PerfBackend, SimBackend
+from .obs import TelemetryConfig
 from .trace import TraceConfig, TracedInference
 from .uarch import ALL_EVENTS, CpuConfig, CpuModel, EventCounts, HpcEvent
 from .version import __version__
@@ -60,9 +63,11 @@ __all__ = [
     "PerfBackend",
     "ReproError",
     "SimBackend",
+    "TelemetryConfig",
     "TraceConfig",
     "TracedInference",
     "__version__",
+    "obs",
     "build_model",
     "cifar_experiment",
     "format_category_means",

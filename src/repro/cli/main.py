@@ -11,16 +11,24 @@ Subcommands mirror the paper's artifacts::
     repro attack   --dataset mnist      # input-recovery adversary
     repro defend   --dataset mnist      # constant-footprint countermeasure
     repro perf-probe                    # can this host use real perf?
+    repro telemetry                     # evaluation + stage/latency breakdown
     repro info                          # version + configuration dump
+
+Every experiment subcommand also accepts ``--telemetry`` (print the stage
+breakdown after the command's own output) and ``--telemetry-out FILE``
+(write the span/metric records as JSONL).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from ..attack.attacker import profile_and_attack
+from ..obs import runtime as obs
+from ..obs.runtime import TelemetryConfig
 from ..core.alarm import CONSERVATIVE_POLICY, PAPER_POLICY
 from ..core.experiment import ExperimentConfig, run_experiment
 from ..core.reporting import (
@@ -54,6 +62,10 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
                         help="disable the on-disk artifact cache")
     parser.add_argument("--seed", type=int, default=None,
                         help="override every random seed at once")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="print the telemetry stage breakdown afterwards")
+    parser.add_argument("--telemetry-out", metavar="FILE", default=None,
+                        help="write telemetry span/metric records as JSONL")
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -67,7 +79,21 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     if args.seed is not None:
         kwargs.update(data_seed=args.seed, eval_seed=args.seed + 1,
                       model_seed=args.seed + 2, noise_seed=args.seed + 3)
+    telemetry = _telemetry_from_args(args)
+    if telemetry is not None:
+        kwargs["telemetry"] = telemetry
     return ExperimentConfig(**kwargs)
+
+
+def _telemetry_from_args(args: argparse.Namespace
+                         ) -> Optional[TelemetryConfig]:
+    """Telemetry configuration requested via CLI flags (None when absent)."""
+    wants_console = getattr(args, "telemetry", False)
+    out = getattr(args, "telemetry_out", None)
+    if not wants_console and not out:
+        return None
+    return TelemetryConfig(enabled=True, console=wants_console,
+                           jsonl_path=out or "")
 
 
 def _run(args: argparse.Namespace):
@@ -219,6 +245,26 @@ def cmd_perf_probe(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    if config.telemetry is None:
+        # `repro telemetry` implies telemetry even without the flags.
+        config = replace(config, telemetry=TelemetryConfig(
+            enabled=True, console=False,
+            jsonl_path=args.telemetry_out or ""))
+    result = run_experiment(config)
+    print(f"dataset={config.dataset} "
+          f"model accuracy={result.test_accuracy:.3f} "
+          f"alarm={'yes' if result.report.alarm else 'no'}")
+    print()
+    snapshot = obs.flush(console=False)
+    from ..obs.exporters import ConsoleExporter
+    print(ConsoleExporter().format(snapshot))
+    if args.telemetry_out and obs.active().jsonl_written:
+        print(f"\nwrote telemetry JSONL to {args.telemetry_out}")
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     from ..core.experiment import build_model
     from ..hpc.sim_backend import SimBackend
@@ -229,6 +275,15 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(model.summary())
     print()
     print(backend.describe())
+    print()
+    active = obs.active().config
+    print("telemetry:")
+    print(f"  enabled={active.enabled} console={active.console} "
+          f"jsonl_path={active.jsonl_path or '(none)'}")
+    print(f"  env: {obs.ENV_ENABLED}=1 enables, "
+          f"{obs.ENV_OUT}=FILE adds a JSONL sink")
+    print("  cli: --telemetry / --telemetry-out FILE on every "
+          "experiment subcommand")
     return 0
 
 
@@ -310,6 +365,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("perf-probe", help="probe real perf availability")
     p.set_defaults(handler=cmd_perf_probe)
 
+    p = sub.add_parser("telemetry",
+                       help="run an evaluation and print the stage/latency "
+                            "and metrics breakdown")
+    _add_experiment_args(p)
+    p.set_defaults(handler=cmd_telemetry, owns_telemetry_flush=True)
+
     p = sub.add_parser("info", help="version and configuration dump")
     p.set_defaults(handler=cmd_info)
     return parser
@@ -320,7 +381,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     # Subparser defaults may pin the dataset (figure3 is MNIST by definition).
-    return args.handler(args)
+    code = args.handler(args)
+    # One flush at exit covers --telemetry/--telemetry-out on every
+    # experiment subcommand (the `telemetry` subcommand flushes itself).
+    if obs.is_enabled() and not getattr(args, "owns_telemetry_flush", False):
+        cfg = obs.active().config
+        if cfg.console:
+            print()
+        obs.flush()
+        if cfg.jsonl_path and obs.active().jsonl_written:
+            print(f"wrote telemetry JSONL to {cfg.jsonl_path}")
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

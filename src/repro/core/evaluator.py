@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence
 
 from ..errors import EvaluationError
 from ..hpc.distributions import EventDistributions
+from ..obs import runtime as obs
 from ..stats.effect_size import cohens_d
 from ..stats.mannwhitney import MannWhitneyResult, mann_whitney_u
 from ..stats.ttest import TTestResult, student_t_test, welch_t_test
@@ -93,10 +94,18 @@ class Evaluator:
             if event not in distributions.events:
                 raise EvaluationError(f"event {event} was not measured")
         results: List[PairwiseResult] = []
-        for event in events:
-            for cat_a, cat_b in itertools.combinations(categories, 2):
-                results.append(
-                    self.test_pair(distributions, event, cat_a, cat_b))
+        with obs.span("evaluate.ttests", method=self.method,
+                      confidence=self.confidence, events=len(events),
+                      categories=len(categories)) as span:
+            for event in events:
+                for cat_a, cat_b in itertools.combinations(categories, 2):
+                    results.append(
+                        self.test_pair(distributions, event, cat_a, cat_b))
+            obs.inc("ttest.pairs", len(results))
+            distinguishable = sum(r.distinguishable for r in results)
+            obs.inc("ttest.rejections", distinguishable)
+            span.set_attribute("pairs", len(results))
+            span.set_attribute("rejections", distinguishable)
         return LeakageReport(
             results=results,
             confidence=self.confidence,

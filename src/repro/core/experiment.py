@@ -30,6 +30,8 @@ from ..nn.model import Sequential
 from ..nn.optimizers import Adam
 from ..nn.serialization import load_model, save_model
 from ..nn.trainer import Trainer
+from ..obs import runtime as obs
+from ..obs.runtime import TelemetryConfig
 from ..trace.recorder import TraceConfig
 from ..uarch.cpu import CpuConfig
 from .evaluator import Evaluator
@@ -73,6 +75,10 @@ class ExperimentConfig:
         cpu_config: Simulated microarchitecture.
         confidence: Evaluator confidence level.
         cache_dir: Artifact cache directory ('' disables caching).
+        telemetry: Optional :class:`repro.obs.TelemetryConfig`; when set,
+            :func:`run_experiment` installs it as the active telemetry
+            runtime before the pipeline starts (None keeps whatever runtime
+            is active — by default the env-derived one, disabled).
     """
 
     dataset: str = "mnist"
@@ -91,6 +97,7 @@ class ExperimentConfig:
     cpu_config: CpuConfig = field(default_factory=CpuConfig)
     confidence: float = 0.95
     cache_dir: str = field(default_factory=lambda: str(default_cache_dir()))
+    telemetry: Optional[TelemetryConfig] = None
 
     def __post_init__(self) -> None:
         if self.dataset not in DATASETS:
@@ -187,9 +194,12 @@ def prepare_model(config: ExperimentConfig,
                                  seed=config.data_seed)
     train, holdout = dataset.split(0.85, seed=config.data_seed + 1)
     if model_path is not None and model_path.exists():
+        obs.inc("cache.hit", kind="model")
         model = load_model(model_path)
         trainer = Trainer(model)
         return model, trainer.evaluate(holdout.images, holdout.labels)
+    if model_path is not None:
+        obs.inc("cache.miss", kind="model")
     model = build_model(config.dataset, seed=config.model_seed)
     trainer = Trainer(model, optimizer=Adam(config.learning_rate),
                       batch_size=32, shuffle_seed=config.model_seed)
@@ -198,6 +208,7 @@ def prepare_model(config: ExperimentConfig,
     accuracy = trainer.evaluate(holdout.images, holdout.labels)
     if model_path is not None:
         save_model(model, model_path)
+        obs.inc("cache.write", kind="model")
     return model, accuracy
 
 
@@ -230,13 +241,29 @@ def measure_distributions(config: ExperimentConfig, backend: SimBackend
 
 def run_experiment(config: Optional[ExperimentConfig] = None,
                    verbose: bool = False) -> ExperimentResult:
-    """Execute the full pipeline for one configuration."""
+    """Execute the full pipeline for one configuration.
+
+    When ``config.telemetry`` is set it becomes the active
+    :mod:`repro.obs` runtime for this (and any later) run, so the pipeline
+    stages emit a span tree — ``experiment.run`` with ``experiment.train``,
+    ``experiment.measure`` and ``experiment.evaluate`` children — plus the
+    cache/measurement/t-test counters underneath.
+    """
     config = config or ExperimentConfig()
-    model, accuracy = prepare_model(config, verbose=verbose)
-    backend = make_backend(config, model)
-    distributions = measure_distributions(config, backend)
-    evaluator = Evaluator(confidence=config.confidence)
-    report = evaluator.evaluate(distributions)
+    if config.telemetry is not None:
+        obs.configure(config.telemetry)
+    with obs.span("experiment.run", dataset=config.dataset) as root:
+        with obs.span("experiment.train"):
+            model, accuracy = prepare_model(config, verbose=verbose)
+        obs.set_gauge("model.test_accuracy", accuracy)
+        backend = make_backend(config, model)
+        with obs.span("experiment.measure"):
+            distributions = measure_distributions(config, backend)
+        evaluator = Evaluator(confidence=config.confidence)
+        with obs.span("experiment.evaluate"):
+            report = evaluator.evaluate(distributions)
+        root.set_attribute("accuracy", round(accuracy, 4))
+        root.set_attribute("alarm", report.alarm)
     return ExperimentResult(
         config=config,
         model=model,

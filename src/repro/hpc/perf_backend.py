@@ -19,12 +19,14 @@ import shutil
 import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
 from typing import Sequence, Tuple
 
 import numpy as np
 
 from ..errors import PerfUnavailableError
+from ..obs import runtime as obs
 from ..nn.model import Sequential
 from ..nn.serialization import save_model
 from ..uarch.events import ALL_EVENTS, HpcEvent
@@ -101,6 +103,7 @@ class PerfBackend(HpcBackend):
 
     def measure(self, sample: np.ndarray) -> Measurement:
         """Launch one classification under ``perf stat`` and parse it."""
+        start = time.perf_counter_ns() if obs.is_enabled() else 0
         sample_path = self._workdir / "sample.npz"
         np.savez(sample_path, sample=np.asarray(sample, dtype=np.float64))
         argv = build_perf_command(
@@ -122,6 +125,10 @@ class PerfBackend(HpcBackend):
             raise PerfUnavailableError(
                 f"measured worker produced no prediction: {proc.stdout!r}"
             ) from None
+        if obs.is_enabled():
+            obs.observe("backend.measure_ns", time.perf_counter_ns() - start,
+                        backend=self.name)
+            obs.inc("backend.measurements", backend=self.name)
         return Measurement(prediction, result.counts)
 
     def fingerprint(self) -> str:

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..datasets.base import LabeledDataset
 from ..errors import MeasurementError
+from ..obs import runtime as obs
 from ..uarch.events import EventCounts
 from .backend import HpcBackend
 from .distributions import EventDistributions
@@ -40,24 +41,35 @@ class MeasurementCache:
         return self.directory / f"measure-{safe}.npz"
 
     def get(self, key: str) -> Optional[EventDistributions]:
-        """Load cached distributions, or None on miss/corruption."""
+        """Load cached distributions, or None on miss/corruption.
+
+        A corrupt or truncated ``.npz`` is treated as a miss: the bad file
+        is evicted (so the re-measured result can be stored cleanly) and a
+        ``cache.corrupt`` counter records the event for telemetry.
+        """
         path = self._path(key)
         if not path.exists():
+            obs.inc("cache.miss", kind="measurement")
             return None
         try:
             with np.load(path) as archive:
                 arrays = {name: archive[name] for name in archive.files}
-            return EventDistributions.from_arrays(arrays)
+            distributions = EventDistributions.from_arrays(arrays)
         except Exception:
             # A corrupt cache entry must never poison an experiment.
+            obs.inc("cache.corrupt", kind="measurement")
+            obs.inc("cache.miss", kind="measurement")
             path.unlink(missing_ok=True)
             return None
+        obs.inc("cache.hit", kind="measurement")
+        return distributions
 
     def put(self, key: str, distributions: EventDistributions) -> Path:
         """Store distributions under ``key``; returns the written path."""
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         np.savez(path, **distributions.to_arrays())
+        obs.inc("cache.write", kind="measurement")
         return path
 
 
@@ -123,24 +135,34 @@ class MeasurementSession:
             str(samples_per_category),
             f"warmup={self.warmup}",
         ])
-        if self.cache is not None:
-            cached = self.cache.get(key)
-            if cached is not None:
-                return cached
-        per_category: Dict[int, List[EventCounts]] = {}
-        for category in categories:
-            subset = dataset.category(category)
-            if len(subset) < samples_per_category:
-                raise MeasurementError(
-                    f"category {category} has only {len(subset)} samples, "
-                    f"need {samples_per_category}"
-                )
-            per_category[category] = self.measure_category(
-                subset.images, max_samples=samples_per_category)
-        distributions = EventDistributions.from_measurements(per_category)
-        if self.cache is not None:
-            self.cache.put(key, distributions)
-        return distributions
+        with obs.span("measure.collect",
+                      backend=getattr(self.backend, "name", "?"),
+                      categories=len(categories),
+                      samples_per_category=samples_per_category) as span:
+            if self.cache is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    span.set_attribute("cache", "hit")
+                    return cached
+            span.set_attribute("cache",
+                               "miss" if self.cache is not None else "off")
+            per_category: Dict[int, List[EventCounts]] = {}
+            for category in categories:
+                subset = dataset.category(category)
+                if len(subset) < samples_per_category:
+                    raise MeasurementError(
+                        f"category {category} has only {len(subset)} samples, "
+                        f"need {samples_per_category}"
+                    )
+                with obs.span("measure.category", category=category):
+                    per_category[category] = self.measure_category(
+                        subset.images, max_samples=samples_per_category)
+                obs.inc("measurement.samples",
+                        len(per_category[category]), category=category)
+            distributions = EventDistributions.from_measurements(per_category)
+            if self.cache is not None:
+                self.cache.put(key, distributions)
+            return distributions
 
     def collect_with_limited_pmu(self, dataset: LabeledDataset,
                                  categories: Sequence[int],

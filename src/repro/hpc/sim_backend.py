@@ -11,11 +11,13 @@ small additive floor per event.
 from __future__ import annotations
 
 import hashlib
+import time
 from typing import Dict, Optional
 
 import numpy as np
 
 from ..errors import BackendError
+from ..obs import runtime as obs
 from ..nn.model import Sequential
 from ..trace.recorder import TraceConfig
 from ..trace.traced_model import TracedInference
@@ -104,7 +106,14 @@ class SimBackend(HpcBackend):
 
     def measure(self, sample: np.ndarray) -> Measurement:
         """Run one traced classification and return its noisy readout."""
+        if not obs.is_enabled():
+            prediction, counts = self.traced.run(sample, self.cpu)
+            return Measurement(prediction, self._noisy(counts))
+        start = time.perf_counter_ns()
         prediction, counts = self.traced.run(sample, self.cpu)
+        obs.observe("backend.measure_ns", time.perf_counter_ns() - start,
+                    backend=self.name)
+        obs.inc("backend.measurements", backend=self.name)
         return Measurement(prediction, self._noisy(counts))
 
     def measure_clean(self, sample: np.ndarray) -> Measurement:

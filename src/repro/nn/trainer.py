@@ -8,6 +8,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import ConfigError, TrainingError
+from ..obs import runtime as obs
 from .losses import Loss, SoftmaxCrossEntropy
 from .metrics import accuracy
 from .model import Sequential
@@ -104,7 +105,20 @@ class Trainer:
             raise TrainingError("cannot train on an empty dataset")
         history = TrainingHistory()
         n = x.shape[0]
-        for epoch in range(epochs):
+        with obs.span("train.fit", model=self.model.name, epochs=epochs,
+                      samples=n, batch_size=self.batch_size):
+            for epoch in range(epochs):
+                self._fit_epoch(x, y, epoch, epochs, history, validation,
+                                verbose)
+        return history
+
+    def _fit_epoch(self, x: np.ndarray, y: np.ndarray, epoch: int,
+                   epochs: int, history: TrainingHistory,
+                   validation: Optional[Tuple[np.ndarray, np.ndarray]],
+                   verbose: bool) -> None:
+        """One shuffled pass over the data, recorded into ``history``."""
+        n = x.shape[0]
+        with obs.span("train.epoch", epoch=epoch + 1) as span:
             if self.schedule is not None:
                 self.optimizer.learning_rate = self.schedule(epoch)
             order = self._rng.permutation(n)
@@ -116,13 +130,18 @@ class Trainer:
             history.train_accuracy.append(self.evaluate(x, y))
             if validation is not None:
                 history.val_accuracy.append(self.evaluate(*validation))
+            obs.inc("train.batches", len(epoch_losses))
+            obs.set_gauge("train.loss", history.loss[-1])
+            obs.set_gauge("train.accuracy", history.train_accuracy[-1])
+            span.set_attribute("loss", round(history.loss[-1], 6))
+            span.set_attribute("accuracy",
+                               round(history.train_accuracy[-1], 4))
             if verbose:
                 val = (f" val_acc={history.val_accuracy[-1]:.3f}"
                        if validation is not None else "")
                 print(f"epoch {epoch + 1}/{epochs} "
                       f"loss={history.loss[-1]:.4f} "
                       f"acc={history.train_accuracy[-1]:.3f}{val}")
-        return history
 
     def evaluate(self, x: np.ndarray, y: np.ndarray,
                  batch_size: int = 256) -> float:

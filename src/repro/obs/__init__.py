@@ -1,0 +1,77 @@
+"""Observability: structured tracing, metrics and exporters.
+
+The paper's Evaluator is itself a monitoring system, so the reproduction
+carries first-class telemetry: :mod:`repro.obs.spans` times nested units
+of pipeline work, :mod:`repro.obs.metrics` counts what happened (samples,
+cache hits, t-test pairs), and :mod:`repro.obs.exporters` renders both for
+humans (console), tooling (JSONL) and tests (in-memory).  The module-level
+API in :mod:`repro.obs.runtime` is what instrumented code calls; it is a
+zero-overhead no-op until telemetry is enabled via ``REPRO_TELEMETRY=1``,
+:class:`TelemetryConfig`, or the CLI's ``--telemetry`` flag.
+
+Quickstart::
+
+    from repro import obs
+    obs.configure(obs.TelemetryConfig(enabled=True))
+    with obs.span("my.stage", items=4):
+        obs.inc("my.counter")
+    obs.flush()          # prints the stage breakdown
+"""
+
+from .exporters import (
+    ConsoleExporter,
+    InMemoryExporter,
+    JsonlExporter,
+    TelemetrySnapshot,
+    read_jsonl,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, format_labels
+from .runtime import (
+    ENV_ENABLED,
+    ENV_OUT,
+    Telemetry,
+    TelemetryConfig,
+    active,
+    configure,
+    flush,
+    inc,
+    is_enabled,
+    observe,
+    reset,
+    session,
+    set_gauge,
+    span,
+    traced,
+)
+from .spans import NOOP_SPAN, Span, SpanTracer
+
+__all__ = [
+    "ConsoleExporter",
+    "Counter",
+    "ENV_ENABLED",
+    "ENV_OUT",
+    "Gauge",
+    "Histogram",
+    "InMemoryExporter",
+    "JsonlExporter",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Span",
+    "SpanTracer",
+    "Telemetry",
+    "TelemetryConfig",
+    "TelemetrySnapshot",
+    "active",
+    "configure",
+    "flush",
+    "format_labels",
+    "inc",
+    "is_enabled",
+    "observe",
+    "read_jsonl",
+    "reset",
+    "session",
+    "set_gauge",
+    "span",
+    "traced",
+]

@@ -1,0 +1,181 @@
+"""Telemetry exporters: console summary, JSONL file sink, in-memory sink.
+
+Exporters consume a :class:`TelemetrySnapshot` — the finished span trees
+plus a metrics snapshot — taken when the runtime flushes.  Three sinks
+cover the three consumers: humans (console stage breakdown), tooling
+(JSONL, one JSON object per span/metric record), and tests (in-memory).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from .metrics import format_labels
+from .spans import Span
+
+
+@dataclass
+class TelemetrySnapshot:
+    """Everything telemetry knows at one flush point.
+
+    Attributes:
+        spans: Finished root spans (each the root of a tree).
+        metrics: Metric records from :meth:`MetricsRegistry.snapshot`.
+    """
+
+    spans: List[Span] = field(default_factory=list)
+    metrics: List[Dict[str, Any]] = field(default_factory=list)
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Flat JSON-serializable records: every span, then every metric."""
+        out: List[Dict[str, Any]] = []
+        for root in self.spans:
+            for span in root.walk():
+                out.append(span.to_dict())
+        out.extend(self.metrics)
+        return out
+
+    def find_spans(self, name: str) -> List[Span]:
+        """All spans named ``name`` across the trees."""
+        return [span for root in self.spans for span in root.find(name)]
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Summed value of counter ``name`` over matching label sets.
+
+        With no labels given, every label set of the counter is summed;
+        with labels, only records whose labels are a superset match.
+        """
+        wanted = {str(k): str(v) for k, v in labels.items()}
+        total = 0.0
+        for record in self.metrics:
+            if record["kind"] != "counter" or record["name"] != name:
+                continue
+            if all(record["labels"].get(k) == v for k, v in wanted.items()):
+                total += record["value"]
+        return total
+
+
+class ConsoleExporter:
+    """Renders a snapshot as the human-readable stage breakdown."""
+
+    def __init__(self, max_children_per_name: int = 8):
+        self.max_children_per_name = max_children_per_name
+
+    def _format_span(self, span: Span, depth: int, lines: List[str]) -> None:
+        indent = "  " * depth
+        attrs = ""
+        if span.attributes:
+            attrs = "  " + " ".join(
+                f"{k}={v}" for k, v in sorted(span.attributes.items()))
+        flag = "  [error]" if span.status == "error" else ""
+        lines.append(f"{indent}{span.name:<{max(1, 34 - 2 * depth)}} "
+                     f"wall={span.wall_s * 1e3:9.2f}ms "
+                     f"cpu={span.cpu_s * 1e3:9.2f}ms{flag}{attrs}")
+        by_name: Dict[str, List[Span]] = {}
+        for child in span.children:
+            by_name.setdefault(child.name, []).append(child)
+        for name, group in by_name.items():
+            if len(group) > self.max_children_per_name:
+                wall = sum(s.wall_s for s in group)
+                cpu = sum(s.cpu_s for s in group)
+                child_indent = "  " * (depth + 1)
+                lines.append(
+                    f"{child_indent}{name} x{len(group):<5} "
+                    f"wall={wall * 1e3:9.2f}ms cpu={cpu * 1e3:9.2f}ms")
+            else:
+                for child in group:
+                    self._format_span(child, depth + 1, lines)
+
+    def format(self, snapshot: TelemetrySnapshot) -> str:
+        """The full console summary (spans, counters, gauges, histograms)."""
+        lines: List[str] = ["telemetry summary", "=" * 17]
+        if snapshot.spans:
+            lines.append("")
+            lines.append("pipeline stages (wall / cpu):")
+            for root in snapshot.spans:
+                self._format_span(root, 1, lines)
+        kinds = {"counter": [], "gauge": [], "histogram": []}
+        for record in snapshot.metrics:
+            kinds[record["kind"]].append(record)
+        if kinds["counter"]:
+            lines.append("")
+            lines.append("counters:")
+            for rec in kinds["counter"]:
+                label = rec["name"] + format_labels(
+                    tuple(sorted(rec["labels"].items())))
+                lines.append(f"  {label:<44} {rec['value']:>12g}")
+        if kinds["gauge"]:
+            lines.append("")
+            lines.append("gauges:")
+            for rec in kinds["gauge"]:
+                label = rec["name"] + format_labels(
+                    tuple(sorted(rec["labels"].items())))
+                value = rec["value"]
+                shown = "unset" if value is None else f"{value:g}"
+                lines.append(f"  {label:<44} {shown:>12}")
+        if kinds["histogram"]:
+            lines.append("")
+            lines.append("histograms:")
+            for rec in kinds["histogram"]:
+                label = rec["name"] + format_labels(
+                    tuple(sorted(rec["labels"].items())))
+                lines.append(
+                    f"  {label:<44} count={rec['count']:<6g} "
+                    f"mean={rec['mean']:.4g} p50={rec['p50']:.4g} "
+                    f"p95={rec['p95']:.4g} max={rec['max']:.4g}")
+        return "\n".join(lines)
+
+    def export(self, snapshot: TelemetrySnapshot) -> None:
+        """Print the summary to stdout."""
+        print(self.format(snapshot))
+
+
+class JsonlExporter:
+    """Appends one JSON object per span/metric record to a file."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def export(self, snapshot: TelemetrySnapshot) -> Path:
+        """Write the snapshot's records; returns the file path."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            for record in snapshot.records():
+                handle.write(json.dumps(record, default=str) + "\n")
+        return self.path
+
+
+class InMemoryExporter:
+    """Keeps exported snapshots in a list — the test sink."""
+
+    def __init__(self) -> None:
+        self.snapshots: List[TelemetrySnapshot] = []
+
+    def export(self, snapshot: TelemetrySnapshot) -> None:
+        """Store the snapshot."""
+        self.snapshots.append(snapshot)
+
+    @property
+    def last(self) -> TelemetrySnapshot:
+        """The most recent snapshot (empty one when nothing exported)."""
+        return self.snapshots[-1] if self.snapshots else TelemetrySnapshot()
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Flat records across every stored snapshot."""
+        out: List[Dict[str, Any]] = []
+        for snapshot in self.snapshots:
+            out.extend(snapshot.records())
+        return out
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL telemetry file back into records (round-trip helper)."""
+    records = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records

@@ -1,0 +1,216 @@
+"""Metrics registry: counters, gauges and histograms with labels.
+
+The registry is the numeric half of the telemetry layer: span trees say
+*where* time went, metrics say *how much of what* happened — samples
+measured, cache hits, t-test pairs, per-readout nanoseconds.  Each metric
+is identified by ``(name, labels)``; labels are free-form key/value pairs
+(``cache.hit{kind=measurement}``).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ConfigError
+
+#: Canonical label identity: sorted (key, value-as-string) pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def format_labels(labels: LabelKey) -> str:
+    """Render a label set as ``{k=v,k2=v2}`` (empty string when unlabeled)."""
+    if not labels:
+        return ""
+    inner = ",".join(f"{key}={value}" for key, value in labels)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonically increasing count (events, hits, samples)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ConfigError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (accuracy, loss, configuration readouts)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Distribution of observed values (latencies, per-layer timings)."""
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        """Sum of observations."""
+        return float(sum(self.values))
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        return self.total / self.count if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (nearest-rank; 0 <= q <= 100)."""
+        if not 0.0 <= q <= 100.0:
+            raise ConfigError(f"percentile must be in [0, 100], got {q}")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, float]:
+        """count/total/mean/min/p50/p95/max of the observations."""
+        if not self.values:
+            return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0,
+                    "p50": 0.0, "p95": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": min(self.values),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "max": max(self.values),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe home of every metric instrument.
+
+    Instruments are created on first touch and keyed by
+    ``(kind, name, labels)``; asking for an existing name with a different
+    kind is an error (one name, one instrument type).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, LabelKey], Any] = {}
+        self._kinds: Dict[str, str] = {}
+
+    def _instrument(self, kind: str, name: str, labels: Dict[str, Any],
+                    factory) -> Any:
+        key = (name, _label_key(labels))
+        with self._lock:
+            existing_kind = self._kinds.get(name)
+            if existing_kind is None:
+                self._kinds[name] = kind
+            elif existing_kind != kind:
+                raise ConfigError(
+                    f"metric {name!r} already registered as {existing_kind}, "
+                    f"cannot reuse it as a {kind}"
+                )
+            instrument = self._metrics.get(key)
+            if instrument is None:
+                instrument = self._metrics[key] = factory()
+            return instrument
+
+    # ------------------------------------------------------------------
+    # Instrument accessors
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter registered under ``(name, labels)``."""
+        return self._instrument("counter", name, labels, Counter)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge registered under ``(name, labels)``."""
+        return self._instrument("gauge", name, labels, Gauge)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """The histogram registered under ``(name, labels)``."""
+        return self._instrument("histogram", name, labels, Histogram)
+
+    # ------------------------------------------------------------------
+    # One-shot recording helpers
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0, **labels: Any) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counter(name, **labels).inc(amount)
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set gauge ``name`` to ``value``."""
+        self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record ``value`` into histogram ``name``."""
+        self.histogram(name, **labels).observe(value)
+
+    # ------------------------------------------------------------------
+    # Readout
+    # ------------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Current value of a counter (0.0 when never touched)."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._metrics.get(key)
+        return instrument.value if isinstance(instrument, Counter) else 0.0
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """All instruments as plain records, sorted by (name, labels).
+
+        Counter/gauge records carry ``value``; histogram records carry the
+        :meth:`Histogram.summary` fields.
+        """
+        with self._lock:
+            items = list(self._metrics.items())
+            kinds = dict(self._kinds)
+        records = []
+        for (name, labels), instrument in sorted(items):
+            record: Dict[str, Any] = {
+                "type": "metric",
+                "kind": kinds[name],
+                "name": name,
+                "labels": dict(labels),
+            }
+            if isinstance(instrument, Histogram):
+                record.update(instrument.summary())
+            else:
+                record["value"] = instrument.value
+            records.append(record)
+        return records
+
+    def clear(self) -> None:
+        """Drop every instrument."""
+        with self._lock:
+            self._metrics.clear()
+            self._kinds.clear()

@@ -1,0 +1,180 @@
+"""Global telemetry runtime: configuration, fast-path API, flushing.
+
+The whole pipeline is instrumented through this module's free functions
+(:func:`span`, :func:`inc`, :func:`observe`...).  With telemetry disabled —
+the default — each call is a single attribute check returning a shared
+no-op, so the instrumented hot paths cost effectively nothing.  Enabling
+telemetry (``REPRO_TELEMETRY=1``, ``ExperimentConfig.telemetry``, or the
+CLI's ``--telemetry``) routes the same calls into a live
+:class:`~repro.obs.spans.SpanTracer` and
+:class:`~repro.obs.metrics.MetricsRegistry`, flushed through the
+configured exporters.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import sys
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional
+
+from .exporters import ConsoleExporter, JsonlExporter, TelemetrySnapshot
+from .metrics import MetricsRegistry
+from .spans import NOOP_SPAN, SpanTracer
+
+#: Environment variable switching telemetry on ("1", "true", "yes", "on").
+ENV_ENABLED = "REPRO_TELEMETRY"
+#: Environment variable naming the JSONL output file.
+ENV_OUT = "REPRO_TELEMETRY_OUT"
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Telemetry behaviour of one run.
+
+    Attributes:
+        enabled: Master switch; everything below is inert when False.
+        console: Print the human-readable summary on flush.
+        jsonl_path: JSONL sink file ('' disables the file sink).
+    """
+
+    enabled: bool = False
+    console: bool = True
+    jsonl_path: str = ""
+
+    @classmethod
+    def from_env(cls) -> "TelemetryConfig":
+        """Configuration implied by ``REPRO_TELEMETRY[_OUT]``."""
+        enabled = os.environ.get(ENV_ENABLED, "").strip().lower() in _TRUTHY
+        out = os.environ.get(ENV_OUT, "").strip()
+        return cls(enabled=enabled or bool(out), jsonl_path=out)
+
+
+class Telemetry:
+    """One live telemetry context: tracer + metrics + exporters."""
+
+    def __init__(self, config: Optional[TelemetryConfig] = None):
+        self.config = config or TelemetryConfig()
+        self.enabled = self.config.enabled
+        self.tracer = SpanTracer()
+        self.metrics = MetricsRegistry()
+        self.exporters: List[Any] = []
+        #: True once a JSONL flush has succeeded (CLI success message gate).
+        self.jsonl_written = False
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """The current cumulative snapshot (finished spans + metrics)."""
+        return TelemetrySnapshot(spans=self.tracer.root_spans(),
+                                 metrics=self.metrics.snapshot())
+
+    def flush(self, console: Optional[bool] = None) -> TelemetrySnapshot:
+        """Export the cumulative snapshot through every configured sink.
+
+        Args:
+            console: Override the config's console flag for this flush.
+
+        Returns:
+            The exported snapshot.
+        """
+        snapshot = self.snapshot()
+        if self.config.jsonl_path:
+            try:
+                JsonlExporter(self.config.jsonl_path).export(snapshot)
+                self.jsonl_written = True
+            except OSError as exc:
+                # The run's results must survive a bad sink path.
+                print(f"warning: could not write telemetry JSONL to "
+                      f"{self.config.jsonl_path}: {exc}", file=sys.stderr)
+        for exporter in self.exporters:
+            exporter.export(snapshot)
+        show = self.config.console if console is None else console
+        if show:
+            ConsoleExporter().export(snapshot)
+        return snapshot
+
+
+#: The active runtime; module functions below delegate to it.
+_ACTIVE = Telemetry(TelemetryConfig.from_env())
+
+
+def active() -> Telemetry:
+    """The currently active :class:`Telemetry` runtime."""
+    return _ACTIVE
+
+
+def configure(config: TelemetryConfig) -> Telemetry:
+    """Install a fresh runtime for ``config`` and return it."""
+    global _ACTIVE
+    _ACTIVE = Telemetry(config)
+    return _ACTIVE
+
+
+def reset() -> Telemetry:
+    """Re-read the environment and install a fresh runtime (test helper)."""
+    return configure(TelemetryConfig.from_env())
+
+
+def is_enabled() -> bool:
+    """Whether the active runtime records anything (the fast-path check)."""
+    return _ACTIVE.enabled
+
+
+def span(name: str, **attributes: Any):
+    """Open a (possibly no-op) span; use as a context manager."""
+    if not _ACTIVE.enabled:
+        return NOOP_SPAN
+    return _ACTIVE.tracer.span(name, **attributes)
+
+
+def traced(name: Optional[str] = None, **attributes: Any) -> Callable:
+    """Decorator wrapping each call of a function in :func:`span`."""
+    def decorate(func: Callable) -> Callable:
+        span_name = name or func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not _ACTIVE.enabled:
+                return func(*args, **kwargs)
+            with _ACTIVE.tracer.span(span_name, **attributes):
+                return func(*args, **kwargs)
+        return wrapper
+    return decorate
+
+
+def inc(name: str, amount: float = 1.0, **labels: Any) -> None:
+    """Increment counter ``name`` (no-op when disabled)."""
+    if _ACTIVE.enabled:
+        _ACTIVE.metrics.inc(name, amount, **labels)
+
+
+def set_gauge(name: str, value: float, **labels: Any) -> None:
+    """Set gauge ``name`` (no-op when disabled)."""
+    if _ACTIVE.enabled:
+        _ACTIVE.metrics.set_gauge(name, value, **labels)
+
+
+def observe(name: str, value: float, **labels: Any) -> None:
+    """Record one histogram observation (no-op when disabled)."""
+    if _ACTIVE.enabled:
+        _ACTIVE.metrics.observe(name, value, **labels)
+
+
+def flush(console: Optional[bool] = None) -> TelemetrySnapshot:
+    """Flush the active runtime (see :meth:`Telemetry.flush`)."""
+    return _ACTIVE.flush(console=console)
+
+
+@contextmanager
+def session(config: TelemetryConfig) -> Iterator[Telemetry]:
+    """Temporarily install a runtime for ``config``, restoring on exit."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = Telemetry(config)
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous

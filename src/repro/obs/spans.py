@@ -1,0 +1,223 @@
+"""Span-based tracing: timed, nestable units of pipeline work.
+
+A :class:`Span` records where wall-clock and CPU time went during one unit
+of work (an epoch, a measurement pass, a t-test sweep).  Spans nest: the
+tracer keeps a per-thread stack, so a span opened while another is active
+becomes its child, and finished root spans form the trees that exporters
+render as the pipeline stage breakdown.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed unit of work.
+
+    Attributes:
+        name: Dotted span name (e.g. ``"experiment.train"``).
+        attributes: Arbitrary key/value annotations.
+        parent: Enclosing span, or None for a root.
+        children: Spans opened while this one was active.
+        status: ``"ok"``, ``"error"``, or ``"open"`` while running.
+        error: ``repr`` of the exception that escaped the span, if any.
+    """
+
+    __slots__ = ("name", "attributes", "parent", "children", "span_id",
+                 "status", "error", "_start_wall", "_end_wall",
+                 "_start_cpu", "_end_cpu")
+
+    def __init__(self, name: str, span_id: int,
+                 parent: Optional["Span"] = None,
+                 attributes: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.span_id = span_id
+        self.parent = parent
+        self.children: List["Span"] = []
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.status = "open"
+        self.error: Optional[str] = None
+        self._start_wall = time.perf_counter()
+        self._start_cpu = time.process_time()
+        self._end_wall: Optional[float] = None
+        self._end_cpu: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one annotation on this span."""
+        self.attributes[key] = value
+
+    def finish(self, error: Optional[BaseException] = None) -> None:
+        """Close the span; idempotent, monotonic end time."""
+        if self._end_wall is not None:
+            return
+        self._end_wall = time.perf_counter()
+        self._end_cpu = time.process_time()
+        if error is not None:
+            self.status = "error"
+            self.error = repr(error)
+        else:
+            self.status = "ok"
+
+    # ------------------------------------------------------------------
+    # Readouts
+    # ------------------------------------------------------------------
+
+    @property
+    def wall_s(self) -> float:
+        """Elapsed wall-clock seconds (to now while still open)."""
+        end = self._end_wall if self._end_wall is not None else time.perf_counter()
+        return max(0.0, end - self._start_wall)
+
+    @property
+    def cpu_s(self) -> float:
+        """Elapsed process CPU seconds (to now while still open)."""
+        end = self._end_cpu if self._end_cpu is not None else time.process_time()
+        return max(0.0, end - self._start_cpu)
+
+    @property
+    def finished(self) -> bool:
+        """Whether :meth:`finish` has run."""
+        return self._end_wall is not None
+
+    def walk(self) -> Iterator["Span"]:
+        """Yield this span and all descendants, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["Span"]:
+        """All spans named ``name`` in this subtree (depth-first order)."""
+        return [span for span in self.walk() if span.name == name]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable record of this span (no children)."""
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent_id": self.parent.span_id if self.parent else None,
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "status": self.status,
+            "error": self.error,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:
+        state = f"{self.wall_s:.4f}s" if self.finished else "open"
+        return f"Span({self.name!r}, {state}, children={len(self.children)})"
+
+
+class _NoopSpan:
+    """Stateless stand-in returned when telemetry is disabled.
+
+    Supports the full :class:`Span` surface used at instrumentation sites
+    (context manager + ``set_attribute``) at zero bookkeeping cost; a single
+    shared instance is safe because it stores nothing.
+    """
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """No-op."""
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+
+#: Shared no-op span; reentrant because it is stateless.
+NOOP_SPAN = _NoopSpan()
+
+
+class SpanTracer:
+    """Collects span trees with a per-thread active-span stack."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self.roots: List[Span] = []
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a child span of the current one (context manager).
+
+        The span closes on exit even when an exception escapes, recording
+        ``status="error"`` and re-raising.
+        """
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        span = Span(name, span_id, parent=parent, attributes=attributes)
+        if parent is not None:
+            parent.children.append(span)
+        stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.finish(error=exc)
+            raise
+        else:
+            span.finish()
+        finally:
+            stack.pop()
+            if parent is None:
+                with self._lock:
+                    self.roots.append(span)
+
+    def traced(self, name: Optional[str] = None,
+               **attributes: Any) -> Callable:
+        """Decorator form of :meth:`span` (default name: the function's)."""
+        def decorate(func: Callable) -> Callable:
+            span_name = name or func.__qualname__
+
+            @functools.wraps(func)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                with self.span(span_name, **attributes):
+                    return func(*args, **kwargs)
+            return wrapper
+        return decorate
+
+    def root_spans(self) -> List[Span]:
+        """Finished root spans (a consistent copy)."""
+        with self._lock:
+            return list(self.roots)
+
+    def all_spans(self) -> List[Span]:
+        """Every finished span, depth first across root trees."""
+        return [span for root in self.root_spans() for span in root.walk()]
+
+    def find(self, name: str) -> List[Span]:
+        """All finished spans named ``name``."""
+        return [span for span in self.all_spans() if span.name == name]
+
+    def clear(self) -> None:
+        """Drop all recorded root spans (open stacks are untouched)."""
+        with self._lock:
+            self.roots.clear()

@@ -8,12 +8,14 @@ inspected directly by tests.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import TraceError
+from ..obs import runtime as obs
 
 #: Operation tags used in the trace stream.
 OP_MEM = "mem"
@@ -178,6 +180,17 @@ class Trace:
 
         The CPU's task must already be open (``cpu.begin_task()``).
         """
+        if obs.is_enabled():
+            start = time.perf_counter_ns()
+            self._replay_ops(cpu)
+            obs.observe("trace.replay_ns", time.perf_counter_ns() - start)
+            obs.inc("trace.ops", len(self.ops))
+            obs.inc("trace.mem_accesses", self.memory_accesses)
+            return
+        self._replay_ops(cpu)
+
+    def _replay_ops(self, cpu) -> None:
+        """The untimed replay loop shared by both telemetry modes."""
         for op in self.ops:
             tag = op[0]
             if tag == OP_MEM:

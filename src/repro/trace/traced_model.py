@@ -10,11 +10,13 @@ cache-line / instruction / branch trace, and (3) replays it through a
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import TraceError
+from ..obs import runtime as obs
 from ..nn.layers import Flatten
 from ..nn.model import Sequential
 from ..uarch.cpu import CpuModel
@@ -99,10 +101,22 @@ class TracedInference:
         trace.mem(self.input_region.all_lines(self.config.line_bytes),
                   write=True)
         x = sample
-        for tracer in self.tracers:
-            y = tracer.layer.forward(x[None, ...], training=False)[0]
-            tracer.trace(x, y, trace)
-            x = y
+        if obs.is_enabled():
+            # Per-layer profiling hook: forward + trace-emission nanoseconds
+            # of every layer, labelled by layer name.
+            for tracer in self.tracers:
+                start = time.perf_counter_ns()
+                y = tracer.layer.forward(x[None, ...], training=False)[0]
+                tracer.trace(x, y, trace)
+                obs.observe("trace.layer_ns",
+                            time.perf_counter_ns() - start,
+                            layer=tracer.layer.name)
+                x = y
+        else:
+            for tracer in self.tracers:
+                y = tracer.layer.forward(x[None, ...], training=False)[0]
+                tracer.trace(x, y, trace)
+                x = y
         logits = x.ravel()
         if self.config.branchless_compares:
             # Countermeasure: conditional-move argmax — fixed instruction and

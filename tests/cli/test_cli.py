@@ -40,7 +40,8 @@ class TestParser:
         commands = set(subparsers.choices)
         assert {"evaluate", "figure1", "figure2", "figure3", "figure4",
                 "table1", "table2", "attack", "defend", "perf-probe",
-                "info", "bits", "latency", "localize"} <= commands
+                "info", "bits", "latency", "localize",
+                "telemetry"} <= commands
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -132,3 +133,59 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "leak localization" in out
         assert "harden first" in out
+
+    def test_info_reports_telemetry_config(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        assert "REPRO_TELEMETRY" in out
+
+
+class TestTelemetry:
+    @pytest.fixture(autouse=True)
+    def restore_runtime(self):
+        """CLI telemetry flags install a global runtime; restore it."""
+        yield
+        from repro import obs
+        obs.reset()
+
+    def test_telemetry_subcommand_prints_breakdown(self, tiny_args,
+                                                   fast_training, capsys):
+        assert main(["telemetry"] + tiny_args) == 0
+        out = capsys.readouterr().out
+        assert "model accuracy" in out
+        assert "telemetry summary" in out
+        for stage in ("experiment.train", "experiment.measure",
+                      "experiment.evaluate"):
+            assert stage in out
+        assert "cache.miss{kind=measurement}" in out
+        assert "ttest.pairs" in out
+
+    def test_evaluate_with_telemetry_flag(self, tiny_args, fast_training,
+                                          capsys):
+        assert main(["evaluate", "--telemetry"] + tiny_args) == 0
+        out = capsys.readouterr().out
+        assert "leakage evaluation" in out
+        assert "telemetry summary" in out
+        assert "experiment.run" in out
+
+    def test_evaluate_telemetry_out_writes_jsonl(self, tiny_args,
+                                                 fast_training, tmp_path,
+                                                 capsys):
+        from repro.obs import read_jsonl
+        path = tmp_path / "telemetry.jsonl"
+        assert main(["evaluate", "--telemetry-out", str(path)]
+                    + tiny_args) == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary" not in out  # console off without the flag
+        assert f"wrote telemetry JSONL to {path}" in out
+        records = read_jsonl(path)
+        span_names = {r["name"] for r in records if r["type"] == "span"}
+        assert {"experiment.run", "experiment.train",
+                "experiment.measure", "experiment.evaluate"} <= span_names
+        assert any(r["type"] == "metric" for r in records)
+
+    def test_telemetry_disabled_by_default(self, tiny_args, fast_training,
+                                           capsys):
+        assert main(["evaluate"] + tiny_args) == 0
+        assert "telemetry summary" not in capsys.readouterr().out

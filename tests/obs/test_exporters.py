@@ -1,0 +1,141 @@
+"""Tests for telemetry exporters: JSONL round-trip, in-memory, console."""
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    ConsoleExporter,
+    InMemoryExporter,
+    JsonlExporter,
+    TelemetryConfig,
+    read_jsonl,
+)
+
+
+@pytest.fixture()
+def populated_runtime():
+    """An enabled runtime with one span tree and a few metrics."""
+    with obs.session(TelemetryConfig(enabled=True, console=False)) as runtime:
+        with obs.span("experiment.run", dataset="mnist"):
+            with obs.span("experiment.train"):
+                obs.set_gauge("train.loss", 0.25)
+            with obs.span("experiment.measure"):
+                obs.inc("cache.miss", kind="measurement")
+                obs.observe("backend.measure_ns", 1000.0, backend="sim")
+        yield runtime
+
+
+class TestSnapshot:
+    def test_records_flatten_spans_then_metrics(self, populated_runtime):
+        snapshot = populated_runtime.snapshot()
+        records = snapshot.records()
+        span_records = [r for r in records if r["type"] == "span"]
+        metric_records = [r for r in records if r["type"] == "metric"]
+        assert [r["name"] for r in span_records] == [
+            "experiment.run", "experiment.train", "experiment.measure"]
+        assert {r["name"] for r in metric_records} == {
+            "train.loss", "cache.miss", "backend.measure_ns"}
+
+    def test_find_spans_and_counter_value(self, populated_runtime):
+        snapshot = populated_runtime.snapshot()
+        assert len(snapshot.find_spans("experiment.train")) == 1
+        assert snapshot.counter_value("cache.miss") == 1.0
+        assert snapshot.counter_value("cache.miss", kind="measurement") == 1.0
+        assert snapshot.counter_value("cache.miss", kind="model") == 0.0
+
+
+class TestJsonl:
+    def test_round_trip(self, populated_runtime, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        JsonlExporter(path).export(populated_runtime.snapshot())
+        records = read_jsonl(path)
+        assert all(isinstance(r, dict) for r in records)
+        spans = [r for r in records if r["type"] == "span"]
+        root = next(r for r in spans if r["parent_id"] is None)
+        assert root["name"] == "experiment.run"
+        assert root["attributes"] == {"dataset": "mnist"}
+        children = [r for r in spans if r["parent_id"] == root["id"]]
+        assert {r["name"] for r in children} == {
+            "experiment.train", "experiment.measure"}
+        assert all(r["wall_s"] >= 0.0 for r in spans)
+
+    def test_export_appends(self, populated_runtime, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        exporter = JsonlExporter(path)
+        exporter.export(populated_runtime.snapshot())
+        first = len(read_jsonl(path))
+        exporter.export(populated_runtime.snapshot())
+        assert len(read_jsonl(path)) == 2 * first
+
+    def test_flush_writes_configured_sink(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        with obs.session(TelemetryConfig(enabled=True, console=False,
+                                         jsonl_path=str(path))):
+            with obs.span("stage"):
+                obs.inc("events")
+            obs.flush()
+        names = {r["name"] for r in read_jsonl(path)}
+        assert names == {"stage", "events"}
+
+
+class TestInMemory:
+    def test_sink_collects_snapshots(self, populated_runtime):
+        sink = InMemoryExporter()
+        populated_runtime.exporters.append(sink)
+        populated_runtime.flush()
+        populated_runtime.flush()
+        assert len(sink.snapshots) == 2
+        assert sink.last.counter_value("cache.miss") == 1.0
+        assert any(r["type"] == "span" for r in sink.records())
+
+    def test_empty_sink_has_empty_last(self):
+        sink = InMemoryExporter()
+        assert sink.last.spans == [] and sink.last.metrics == []
+
+
+class TestConsole:
+    def test_format_contains_stages_and_metrics(self, populated_runtime):
+        text = ConsoleExporter().format(populated_runtime.snapshot())
+        assert "telemetry summary" in text
+        assert "experiment.run" in text
+        assert "experiment.train" in text
+        assert "wall=" in text and "cpu=" in text
+        assert "cache.miss{kind=measurement}" in text
+        assert "train.loss" in text
+        assert "backend.measure_ns{backend=sim}" in text
+
+    def test_many_siblings_are_aggregated(self):
+        with obs.session(TelemetryConfig(enabled=True, console=False)):
+            with obs.span("root"):
+                for _ in range(20):
+                    with obs.span("leaf"):
+                        pass
+            text = ConsoleExporter(max_children_per_name=8).format(
+                obs.active().snapshot())
+        assert "leaf x20" in text
+
+    def test_error_span_is_flagged(self):
+        with obs.session(TelemetryConfig(enabled=True, console=False)):
+            with pytest.raises(ValueError):
+                with obs.span("doomed"):
+                    raise ValueError("nope")
+            text = ConsoleExporter().format(obs.active().snapshot())
+        assert "[error]" in text
+
+
+class TestEnvConfig:
+    def test_from_env_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(obs.ENV_ENABLED, raising=False)
+        monkeypatch.delenv(obs.ENV_OUT, raising=False)
+        config = TelemetryConfig.from_env()
+        assert not config.enabled
+
+    def test_from_env_enabled(self, monkeypatch):
+        monkeypatch.setenv(obs.ENV_ENABLED, "1")
+        assert TelemetryConfig.from_env().enabled
+
+    def test_out_path_implies_enabled(self, monkeypatch):
+        monkeypatch.delenv(obs.ENV_ENABLED, raising=False)
+        monkeypatch.setenv(obs.ENV_OUT, "/tmp/t.jsonl")
+        config = TelemetryConfig.from_env()
+        assert config.enabled and config.jsonl_path == "/tmp/t.jsonl"

@@ -1,0 +1,130 @@
+"""Integration: the experiment pipeline emits the expected telemetry.
+
+Runs the full (tiny) pipeline twice against one cache directory and checks
+the span tree, the cold-run cache misses, the warm-run cache hits, and the
+corrupt-cache-entry recovery path.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.experiment import ExperimentConfig, run_experiment
+
+
+@pytest.fixture()
+def restore_runtime():
+    """Restore the env-derived telemetry runtime after the test."""
+    yield
+    obs.reset()
+
+
+def tiny_config(cache_dir, **overrides) -> ExperimentConfig:
+    overrides.setdefault("telemetry",
+                         obs.TelemetryConfig(enabled=True, console=False))
+    return ExperimentConfig(
+        dataset="mnist", samples_per_category=3, categories=(0, 1),
+        train_samples_per_class=8, epochs=2, cache_dir=str(cache_dir),
+        **overrides)
+
+
+class TestExperimentTelemetry:
+    def test_cold_run_emits_span_tree_and_misses(self, tmp_path,
+                                                 restore_runtime):
+        run_experiment(tiny_config(tmp_path))
+        snapshot = obs.active().snapshot()
+
+        (root,) = snapshot.find_spans("experiment.run")
+        stages = [child.name for child in root.children]
+        assert stages == ["experiment.train", "experiment.measure",
+                          "experiment.evaluate"]
+        assert all(child.wall_s > 0.0 for child in root.children)
+        assert root.wall_s >= sum(child.wall_s for child in root.children)
+
+        # Stage internals nest where they should.
+        assert len(root.find("train.fit")) == 1
+        assert len(root.find("train.epoch")) == 2
+        (collect,) = root.find("measure.collect")
+        assert collect.attributes["cache"] == "miss"
+        assert len(root.find("measure.category")) == 2
+        assert len(root.find("evaluate.ttests")) == 1
+
+        # Cold run: both artifact caches miss, then write.
+        assert snapshot.counter_value("cache.miss", kind="model") == 1.0
+        assert snapshot.counter_value("cache.miss", kind="measurement") == 1.0
+        assert snapshot.counter_value("cache.hit") == 0.0
+        assert snapshot.counter_value("cache.write") == 2.0
+        assert snapshot.counter_value("measurement.samples") == 6.0
+        assert snapshot.counter_value("ttest.pairs") == 8.0
+
+    def test_warm_run_hits_both_caches(self, tmp_path, restore_runtime):
+        config = tiny_config(tmp_path)
+        run_experiment(config)
+        run_experiment(config)  # fresh runtime via config.telemetry
+        snapshot = obs.active().snapshot()
+
+        assert snapshot.counter_value("cache.hit", kind="model") == 1.0
+        assert snapshot.counter_value("cache.hit", kind="measurement") == 1.0
+        assert snapshot.counter_value("cache.miss") == 0.0
+        # The measurement stage is a cache lookup: no categories measured.
+        (collect,) = snapshot.find_spans("measure.collect")
+        assert collect.attributes["cache"] == "hit"
+        assert snapshot.find_spans("measure.category") == []
+        assert snapshot.counter_value("measurement.samples") == 0.0
+
+    def test_corrupt_cache_entry_is_evicted_and_remeasured(self, tmp_path,
+                                                           restore_runtime):
+        config = tiny_config(tmp_path)
+        cold = run_experiment(config)
+        (entry,) = list(tmp_path.glob("measure-*.npz"))
+        entry.write_bytes(b"this is not an npz archive")
+
+        result = run_experiment(config)
+        snapshot = obs.active().snapshot()
+        assert snapshot.counter_value("cache.corrupt",
+                                      kind="measurement") == 1.0
+        assert snapshot.counter_value("cache.miss", kind="measurement") == 1.0
+        # Re-measured, re-cached, and statistically identical to the cold run.
+        assert snapshot.counter_value("cache.write", kind="measurement") == 1.0
+        assert snapshot.counter_value("measurement.samples") == 6.0
+        assert list(tmp_path.glob("measure-*.npz"))
+        assert result.distributions.categories == \
+            cold.distributions.categories
+
+    def test_disabled_telemetry_records_nothing(self, tmp_path,
+                                                restore_runtime):
+        config = tiny_config(tmp_path,
+                             telemetry=obs.TelemetryConfig(enabled=False))
+        run_experiment(config)
+        snapshot = obs.active().snapshot()
+        assert snapshot.spans == []
+        assert snapshot.metrics == []
+
+    def test_gauges_and_backend_histograms_populate(self, tmp_path,
+                                                    restore_runtime):
+        run_experiment(tiny_config(tmp_path))
+        records = {(r["name"], tuple(sorted(r["labels"].items()))): r
+                   for r in obs.active().metrics.snapshot()}
+        accuracy = records[("model.test_accuracy", ())]
+        assert 0.0 <= accuracy["value"] <= 1.0
+        measure = records[("backend.measure_ns", (("backend", "sim"),))]
+        assert measure["count"] == 6  # 3 samples x 2 categories
+        assert measure["min"] > 0
+        layer_records = [r for r in records.values()
+                         if r["name"] == "trace.layer_ns"]
+        assert {r["labels"]["layer"] for r in layer_records} >= {
+            "conv1", "conv2", "fc"}
+
+    def test_unwritable_jsonl_sink_warns_instead_of_raising(
+            self, tmp_path, restore_runtime, capsys):
+        bad = tmp_path / "missing" / "sub"
+        # Parent creation will fail: make `missing` a *file*.
+        (tmp_path / "missing").write_text("not a directory")
+        config = tiny_config(tmp_path / "cache",
+                             telemetry=obs.TelemetryConfig(
+                                 enabled=True, console=False,
+                                 jsonl_path=str(bad / "out.jsonl")))
+        run_experiment(config)
+        snapshot = obs.flush()  # must not raise
+        assert snapshot.spans  # the run's telemetry survived the bad sink
+        assert obs.active().jsonl_written is False
+        assert "could not write telemetry JSONL" in capsys.readouterr().err

@@ -1,0 +1,129 @@
+"""Tests for the metrics registry: counters, gauges, histograms, labels."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigError
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_counts_up_from_zero(self, registry):
+        counter = registry.counter("hits")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ConfigError):
+            registry.counter("hits").inc(-1)
+
+    def test_same_name_same_labels_is_same_instrument(self, registry):
+        registry.inc("cache.hit", kind="model")
+        registry.inc("cache.hit", kind="model")
+        assert registry.counter_value("cache.hit", kind="model") == 2.0
+
+    def test_labels_partition_instruments(self, registry):
+        registry.inc("cache.hit", kind="model")
+        registry.inc("cache.hit", kind="measurement", amount=3)
+        assert registry.counter_value("cache.hit", kind="model") == 1.0
+        assert registry.counter_value("cache.hit", kind="measurement") == 3.0
+
+    def test_label_order_is_canonical(self, registry):
+        registry.inc("m", a=1, b=2)
+        registry.inc("m", b=2, a=1)
+        assert registry.counter_value("m", a=1, b=2) == 2.0
+
+    def test_untouched_counter_reads_zero(self, registry):
+        assert registry.counter_value("never") == 0.0
+
+
+class TestGauge:
+    def test_last_write_wins(self, registry):
+        registry.set_gauge("accuracy", 0.5)
+        registry.set_gauge("accuracy", 0.9)
+        (record,) = registry.snapshot()
+        assert record["kind"] == "gauge"
+        assert record["value"] == 0.9
+
+    def test_unset_gauge_snapshot_is_none(self, registry):
+        registry.gauge("pending")
+        (record,) = registry.snapshot()
+        assert record["value"] is None
+
+
+class TestHistogram:
+    def test_summary_statistics(self, registry):
+        histogram = registry.histogram("latency")
+        for value in [1.0, 2.0, 3.0, 4.0, 10.0]:
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 5
+        assert summary["total"] == 20.0
+        assert summary["mean"] == 4.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 10.0
+        assert summary["p50"] == 3.0
+        assert summary["p95"] == 10.0
+
+    def test_empty_histogram_summary_is_zeroed(self, registry):
+        assert registry.histogram("empty").summary()["count"] == 0
+
+    def test_percentile_bounds_checked(self, registry):
+        with pytest.raises(ConfigError):
+            registry.histogram("h").percentile(101)
+
+    def test_observe_helper(self, registry):
+        registry.observe("layer_ns", 100, layer="conv1")
+        registry.observe("layer_ns", 200, layer="conv1")
+        (record,) = registry.snapshot()
+        assert record["labels"] == {"layer": "conv1"}
+        assert record["count"] == 2 and record["mean"] == 150.0
+
+
+class TestRegistry:
+    def test_kind_conflicts_rejected(self, registry):
+        registry.counter("thing")
+        with pytest.raises(ConfigError):
+            registry.gauge("thing")
+        with pytest.raises(ConfigError):
+            registry.histogram("thing")
+
+    def test_snapshot_is_sorted_and_typed(self, registry):
+        registry.inc("b.counter")
+        registry.set_gauge("a.gauge", 1.0)
+        names = [record["name"] for record in registry.snapshot()]
+        assert names == sorted(names)
+        for record in registry.snapshot():
+            assert record["type"] == "metric"
+
+    def test_clear_drops_everything(self, registry):
+        registry.inc("x")
+        registry.clear()
+        assert registry.snapshot() == []
+        assert registry.counter_value("x") == 0.0
+
+
+class TestRuntimeMetricsFastPath:
+    def test_disabled_runtime_records_nothing(self):
+        with obs.session(obs.TelemetryConfig(enabled=False)):
+            obs.inc("c")
+            obs.set_gauge("g", 1.0)
+            obs.observe("h", 2.0)
+            assert obs.active().metrics.snapshot() == []
+
+    def test_enabled_runtime_records(self):
+        with obs.session(obs.TelemetryConfig(enabled=True, console=False)):
+            obs.inc("c", 2)
+            obs.set_gauge("g", 1.5)
+            obs.observe("h", 2.0)
+            records = {r["name"]: r for r in obs.active().metrics.snapshot()}
+            assert records["c"]["value"] == 2.0
+            assert records["g"]["value"] == 1.5
+            assert records["h"]["count"] == 1

@@ -1,0 +1,170 @@
+"""Tests for span tracing: nesting, exception safety, durations."""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import NOOP_SPAN, SpanTracer
+
+
+@pytest.fixture()
+def tracer():
+    return SpanTracer()
+
+
+class TestSpanTree:
+    def test_nesting_builds_parent_child_tree(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("child-a") as a:
+                with tracer.span("grandchild") as g:
+                    pass
+            with tracer.span("child-b") as b:
+                pass
+        assert root.children == [a, b]
+        assert a.children == [g]
+        assert g.parent is a and a.parent is root and root.parent is None
+        assert tracer.roots == [root]
+
+    def test_sequential_roots_are_separate_trees(self, tracer):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [span.name for span in tracer.roots] == ["first", "second"]
+
+    def test_walk_and_find(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("epoch"):
+                pass
+            with tracer.span("epoch"):
+                pass
+        root = tracer.roots[0]
+        assert [s.name for s in root.walk()] == ["outer", "epoch", "epoch"]
+        assert len(root.find("epoch")) == 2
+        assert len(tracer.find("epoch")) == 2
+
+    def test_attributes_via_kwargs_and_setter(self, tracer):
+        with tracer.span("s", dataset="mnist") as span:
+            span.set_attribute("accuracy", 0.9)
+        assert span.attributes == {"dataset": "mnist", "accuracy": 0.9}
+
+    def test_current_tracks_innermost(self, tracer):
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+
+class TestDurations:
+    def test_durations_are_monotonic_and_nonnegative(self, tracer):
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                time.sleep(0.01)
+        assert child.wall_s >= 0.01
+        assert parent.wall_s >= child.wall_s
+        assert parent.cpu_s >= 0.0
+
+    def test_finish_is_idempotent(self, tracer):
+        with tracer.span("s") as span:
+            pass
+        first = span.wall_s
+        span.finish()
+        assert span.wall_s == first
+
+    def test_open_span_reports_running_duration(self, tracer):
+        with tracer.span("s") as span:
+            assert not span.finished
+            assert span.wall_s >= 0.0
+        assert span.finished
+
+
+class TestExceptionSafety:
+    def test_exception_closes_span_and_reraises(self, tracer):
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("failing") as span:
+                raise ValueError("boom")
+        assert span.finished
+        assert span.status == "error"
+        assert "boom" in span.error
+        assert tracer.roots == [span]
+
+    def test_exception_unwinds_nested_stack(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError()
+        assert tracer.current is None
+        root = tracer.roots[0]
+        assert root.status == "error"
+        assert root.children[0].status == "error"
+
+    def test_ok_status_on_clean_exit(self, tracer):
+        with tracer.span("s") as span:
+            pass
+        assert span.status == "ok" and span.error is None
+
+
+class TestDecorator:
+    def test_traced_decorator_records_calls(self, tracer):
+        @tracer.traced("work.unit", flavour="test")
+        def work(x):
+            return x * 2
+
+        assert work(21) == 42
+        (span,) = tracer.roots
+        assert span.name == "work.unit"
+        assert span.attributes == {"flavour": "test"}
+
+    def test_traced_default_name_is_qualname(self, tracer):
+        @tracer.traced()
+        def helper():
+            return 1
+
+        helper()
+        assert "helper" in tracer.roots[0].name
+
+
+class TestSerialization:
+    def test_to_dict_round_trips_ids(self, tracer):
+        with tracer.span("root", k="v"):
+            with tracer.span("child"):
+                pass
+        root = tracer.roots[0]
+        record = root.to_dict()
+        child_record = root.children[0].to_dict()
+        assert record["parent_id"] is None
+        assert child_record["parent_id"] == record["id"]
+        assert record["attributes"] == {"k": "v"}
+        assert record["wall_s"] >= child_record["wall_s"]
+
+
+class TestRuntimeFastPath:
+    def test_disabled_runtime_returns_shared_noop(self):
+        with obs.session(obs.TelemetryConfig(enabled=False)):
+            assert obs.span("anything", a=1) is NOOP_SPAN
+            with obs.span("x") as span:
+                span.set_attribute("ignored", True)  # must not raise
+            assert obs.active().tracer.roots == []
+
+    def test_enabled_runtime_records(self):
+        with obs.session(obs.TelemetryConfig(enabled=True, console=False)):
+            with obs.span("stage", n=3):
+                pass
+            (root,) = obs.active().tracer.roots
+            assert root.name == "stage" and root.attributes == {"n": 3}
+
+    def test_traced_runtime_decorator_respects_enablement(self):
+        @obs.traced("decorated.fn")
+        def fn():
+            return "ok"
+
+        with obs.session(obs.TelemetryConfig(enabled=False)):
+            assert fn() == "ok"
+            assert obs.active().tracer.roots == []
+        with obs.session(obs.TelemetryConfig(enabled=True, console=False)):
+            assert fn() == "ok"
+            assert obs.active().tracer.roots[0].name == "decorated.fn"

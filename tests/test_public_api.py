@@ -19,6 +19,7 @@ PUBLIC_MODULES = [
     "repro.datasets",
     "repro.hpc",
     "repro.nn",
+    "repro.obs",
     "repro.stats",
     "repro.trace",
     "repro.uarch",
