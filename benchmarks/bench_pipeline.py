@@ -1,0 +1,118 @@
+"""End-to-end pipeline wall-clock: sequential vs parallel collection.
+
+Runs the MNIST 10-category pipeline stage by stage — train, measure
+(``workers=1`` and ``workers=N``), evaluate — timing each stage into a
+:class:`repro.obs.MetricsRegistry`, and writes the record to
+``BENCH_pipeline.json``.  The CI ``bench-smoke`` job uploads that file as
+an artifact, so the speedup trajectory is tracked per commit.
+
+Two properties are asserted unconditionally:
+
+* parallel and sequential collection yield **bit-identical** distributions
+  (the per-sample noise-seeding guarantee of :mod:`repro.parallel`);
+* the vectorized evaluator agrees with collection done either way.
+
+The ``>= 2x`` measurement-speedup gate only applies on machines with at
+least 4 CPU cores; below that the speedup is recorded but not asserted
+(process-pool overhead can dominate on 1-2 cores).
+
+Environment knobs: ``REPRO_BENCH_SAMPLES`` (measurements per category,
+default 30), ``REPRO_BENCH_WORKERS`` (parallel worker count, default
+``min(4, cpu_count)``), ``REPRO_BENCH_OUT`` (output path).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.evaluator import Evaluator
+from repro.core.experiment import make_backend, mnist_experiment, prepare_model
+from repro.hpc import MeasurementSession
+from repro.obs import MetricsRegistry
+
+SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "30"))
+CPU_COUNT = os.cpu_count() or 1
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS",
+                             str(max(2, min(4, CPU_COUNT)))))
+OUT_PATH = Path(os.environ.get("REPRO_BENCH_OUT", "BENCH_pipeline.json"))
+STRICT_CORES = 4
+REQUIRED_PARALLEL_SPEEDUP = 2.0
+
+
+def _timed(registry: MetricsRegistry, stage: str, callable_):
+    start = time.perf_counter()
+    result = callable_()
+    elapsed = time.perf_counter() - start
+    registry.observe("pipeline.stage_s", elapsed, stage=stage)
+    return elapsed, result
+
+
+def test_pipeline_sequential_vs_parallel():
+    registry = MetricsRegistry()
+    config = mnist_experiment(
+        categories=tuple(range(10)),
+        samples_per_category=SAMPLES,
+        cache_dir="",  # time real work, not cache hits
+    )
+
+    train_s, (model, accuracy) = _timed(
+        registry, "train", lambda: prepare_model(config))
+
+    generator = config.generator()
+    pool = generator.generate(config.samples_per_category,
+                              seed=config.eval_seed,
+                              categories=list(config.categories))
+    backend = make_backend(config, model)
+    session = MeasurementSession(backend, warmup=0)
+    categories = list(config.categories)
+
+    sequential_s, sequential = _timed(
+        registry, "measure.sequential",
+        lambda: session.collect(pool, categories, SAMPLES))
+    parallel_s, parallel = _timed(
+        registry, f"measure.workers={WORKERS}",
+        lambda: session.collect(pool, categories, SAMPLES, workers=WORKERS))
+
+    # The determinism contract: worker count never changes the data.
+    for category in categories:
+        for event in sequential.events:
+            np.testing.assert_array_equal(
+                sequential.values(category, event),
+                parallel.values(category, event))
+
+    evaluate_s, report = _timed(
+        registry, "evaluate", lambda: Evaluator().evaluate(sequential))
+
+    speedup = sequential_s / parallel_s
+    record = {
+        "dataset": config.dataset,
+        "categories": len(categories),
+        "samples_per_category": SAMPLES,
+        "cpu_count": CPU_COUNT,
+        "workers": WORKERS,
+        "model_accuracy": round(accuracy, 4),
+        "pairwise_results": len(report.results),
+        "stages_s": {
+            "train": round(train_s, 4),
+            "measure_sequential": round(sequential_s, 4),
+            f"measure_workers_{WORKERS}": round(parallel_s, 4),
+            "evaluate": round(evaluate_s, 4),
+        },
+        "measure_speedup": round(speedup, 3),
+        "bit_identical": True,
+        "metrics": registry.snapshot(),
+    }
+    OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {OUT_PATH}: sequential {sequential_s:.2f}s, "
+          f"workers={WORKERS} {parallel_s:.2f}s ({speedup:.2f}x), "
+          f"cpu_count={CPU_COUNT}")
+
+    if CPU_COUNT >= STRICT_CORES:
+        assert speedup >= REQUIRED_PARALLEL_SPEEDUP, (
+            f"workers={WORKERS} only {speedup:.2f}x faster than sequential "
+            f"on {CPU_COUNT} cores (required "
+            f"{REQUIRED_PARALLEL_SPEEDUP:.0f}x)"
+        )

@@ -58,6 +58,10 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
                         help="model labels to monitor (default: 0 1 2 3)")
     parser.add_argument("--noise-scale", type=float, default=1.0,
                         help="measurement-noise multiplier")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="measurement worker processes (default: 1, "
+                             "in-process; results are identical for any "
+                             "worker count)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk artifact cache")
     parser.add_argument("--seed", type=int, default=None,
@@ -74,6 +78,8 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         kwargs["samples_per_category"] = args.samples
     if args.categories is not None:
         kwargs["categories"] = tuple(args.categories)
+    if getattr(args, "workers", None) is not None:
+        kwargs["workers"] = args.workers
     if args.no_cache:
         kwargs["cache_dir"] = ""
     if args.seed is not None:

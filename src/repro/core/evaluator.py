@@ -20,6 +20,7 @@ from ..obs import runtime as obs
 from ..stats.effect_size import cohens_d
 from ..stats.mannwhitney import MannWhitneyResult, mann_whitney_u
 from ..stats.ttest import TTestResult, student_t_test, welch_t_test
+from ..stats.vectorized import SufficientStats, batch_pairwise_tests
 from ..uarch.events import HpcEvent
 from .leakage import LeakageReport, PairwiseResult
 
@@ -72,13 +73,77 @@ class Evaluator:
             distinguishable=ttest.rejects_null(self.confidence),
         )
 
+    def _evaluate_vectorized(self, distributions: EventDistributions,
+                             events: Sequence[HpcEvent]
+                             ) -> List[PairwiseResult]:
+        """All pairwise tests through the batched array path.
+
+        Produces the same results (t, p, df, Cohen's d, verdicts) in the
+        same ``for event: for pair:`` order as the scalar loop, but computes
+        per-(category, event) sufficient statistics once and evaluates every
+        pair with broadcast arithmetic.
+        """
+        stats = SufficientStats.from_distributions(distributions, events)
+        arrays = batch_pairwise_tests(stats, method=self.method)
+        alpha = 1.0 - self.confidence
+        # Bulk-convert once; per-cell float()/int() coercion of numpy
+        # scalars dominates construction time otherwise.
+        statistic = arrays.statistic.tolist()
+        p_value = arrays.p_value.tolist()
+        df = arrays.df.tolist()
+        mean_a = arrays.mean_a.tolist()
+        mean_b = arrays.mean_b.tolist()
+        effect = arrays.effect_size.tolist()
+        n_a = [int(n) for n in arrays.n_a.tolist()]
+        n_b = [int(n) for n in arrays.n_b.tolist()]
+        pair_a = [stats.categories[i] for i in arrays.index_a.tolist()]
+        pair_b = [stats.categories[i] for i in arrays.index_b.tolist()]
+        # Both result types are plain frozen dataclasses (no __post_init__,
+        # no __slots__); populating __dict__ directly skips the per-field
+        # object.__setattr__ that dominates when building thousands of
+        # results, without changing the constructed objects.
+        method = self.method
+        new = object.__new__
+        results: List[PairwiseResult] = []
+        for ei, event in enumerate(events):
+            for pi in range(len(pair_a)):
+                p = p_value[pi][ei]
+                ttest = new(TTestResult)
+                ttest.__dict__.update(
+                    statistic=statistic[pi][ei],
+                    p_value=p,
+                    df=df[pi][ei],
+                    mean_a=mean_a[pi][ei],
+                    mean_b=mean_b[pi][ei],
+                    n_a=n_a[pi],
+                    n_b=n_b[pi],
+                    method=method,
+                )
+                result = new(PairwiseResult)
+                result.__dict__.update(
+                    event=event,
+                    category_a=pair_a[pi],
+                    category_b=pair_b[pi],
+                    ttest=ttest,
+                    effect_size=effect[pi][ei],
+                    rank_test=None,
+                    distinguishable=p < alpha,
+                )
+                results.append(result)
+        return results
+
     def evaluate(self, distributions: EventDistributions,
-                 events: Optional[Sequence[HpcEvent]] = None) -> LeakageReport:
+                 events: Optional[Sequence[HpcEvent]] = None,
+                 vectorized: Optional[bool] = None) -> LeakageReport:
         """Run all pairwise tests and assemble the leakage report.
 
         Args:
             distributions: Per-category event distributions.
             events: Events to analyse (default: everything measured).
+            vectorized: Force the batched array path on or off.  Default
+                (None) uses it whenever possible — always, except when
+                ``rank_test`` requires the scalar per-pair Mann-Whitney
+                corroboration.  Both paths produce identical results.
 
         Returns:
             A :class:`LeakageReport`; its :attr:`LeakageReport.alarm` is True
@@ -93,14 +158,26 @@ class Evaluator:
         for event in events:
             if event not in distributions.events:
                 raise EvaluationError(f"event {event} was not measured")
-        results: List[PairwiseResult] = []
+        if vectorized and self.rank_test:
+            raise EvaluationError(
+                "the vectorized path cannot run per-pair rank tests; "
+                "use rank_test=False or vectorized=False"
+            )
+        use_vectorized = (not self.rank_test if vectorized is None
+                          else vectorized)
         with obs.span("evaluate.ttests", method=self.method,
                       confidence=self.confidence, events=len(events),
-                      categories=len(categories)) as span:
-            for event in events:
-                for cat_a, cat_b in itertools.combinations(categories, 2):
-                    results.append(
-                        self.test_pair(distributions, event, cat_a, cat_b))
+                      categories=len(categories),
+                      vectorized=use_vectorized) as span:
+            if use_vectorized:
+                results = self._evaluate_vectorized(distributions, events)
+                obs.inc("evaluate.vectorized", len(results))
+            else:
+                results = [
+                    self.test_pair(distributions, event, cat_a, cat_b)
+                    for event in events
+                    for cat_a, cat_b in itertools.combinations(categories, 2)
+                ]
             obs.inc("ttest.pairs", len(results))
             distinguishable = sum(r.distinguishable for r in results)
             obs.inc("ttest.rejections", distinguishable)

@@ -70,7 +70,12 @@ class ExperimentConfig:
         eval_seed: Dataset-generation seed of the measured pool (held out).
         model_seed: Weight-initialization seed.
         noise_scale: Measurement-noise multiplier of the simulated backend.
-        noise_seed: Measurement-noise stream seed.
+        noise_seed: Measurement-noise seed.
+        noise_scheme: Sim-backend noise scheme — ``"per-sample"`` (default,
+            order-independent, required for ``workers > 1``) or the legacy
+            sequential ``"stream"``.
+        workers: Measurement worker processes (1 = in-process collection;
+            the worker count never changes the measured distributions).
         trace_config: Trace-generation knobs.
         cpu_config: Simulated microarchitecture.
         confidence: Evaluator confidence level.
@@ -93,6 +98,8 @@ class ExperimentConfig:
     model_seed: int = 7
     noise_scale: float = 1.0
     noise_seed: int = 5
+    noise_scheme: str = "per-sample"
+    workers: int = 1
     trace_config: TraceConfig = field(default_factory=TraceConfig)
     cpu_config: CpuConfig = field(default_factory=CpuConfig)
     confidence: float = 0.95
@@ -106,6 +113,8 @@ class ExperimentConfig:
             )
         if len(self.categories) < 2:
             raise ConfigError("need at least two monitored categories")
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
 
     # ------------------------------------------------------------------
     # Derived pieces
@@ -220,6 +229,7 @@ def make_backend(config: ExperimentConfig, model: Sequential) -> SimBackend:
         cpu_config=config.cpu_config,
         noise_scale=config.noise_scale,
         seed=config.noise_seed,
+        noise_scheme=config.noise_scheme,
     )
 
 
@@ -236,7 +246,8 @@ def measure_distributions(config: ExperimentConfig, backend: SimBackend
     session = MeasurementSession(backend, warmup=0, cache=cache)
     return session.collect(eval_pool, list(config.categories),
                            config.samples_per_category,
-                           cache_tag=f"gen{GENERATOR_VERSION}-eval-seed={config.eval_seed}")
+                           cache_tag=f"gen{GENERATOR_VERSION}-eval-seed={config.eval_seed}",
+                           workers=config.workers)
 
 
 def run_experiment(config: Optional[ExperimentConfig] = None,

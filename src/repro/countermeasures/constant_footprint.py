@@ -55,6 +55,7 @@ def harden_backend(backend: SimBackend) -> SimBackend:
         noise_scale=backend.noise_scale,
         noise_profile=backend.noise_profile,
         seed=backend.seed,
+        noise_scheme=backend.noise_scheme,
     )
 
 

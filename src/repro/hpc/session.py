@@ -9,6 +9,7 @@ distributions of every event.
 from __future__ import annotations
 
 import hashlib
+import os
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -65,10 +66,22 @@ class MeasurementCache:
         return distributions
 
     def put(self, key: str, distributions: EventDistributions) -> Path:
-        """Store distributions under ``key``; returns the written path."""
+        """Store distributions under ``key``; returns the written path.
+
+        Writes are atomic: the archive lands in a per-process temp file
+        first and is renamed over the final name, so concurrent writers
+        (parallel benches sharing one cache directory) can never leave a
+        torn ``.npz`` behind — last writer wins, both payloads are valid.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
-        np.savez(path, **distributions.to_arrays())
+        temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        try:
+            with open(temp, "wb") as stream:
+                np.savez(stream, **distributions.to_arrays())
+            os.replace(temp, path)
+        finally:
+            temp.unlink(missing_ok=True)
         obs.inc("cache.write", kind="measurement")
         return path
 
@@ -96,20 +109,50 @@ class MeasurementSession:
     # ------------------------------------------------------------------
 
     def measure_category(self, samples: Sequence[np.ndarray],
-                         max_samples: Optional[int] = None) -> List[EventCounts]:
-        """Measure one classification per sample; returns the readouts."""
+                         max_samples: Optional[int] = None,
+                         category: Optional[int] = None) -> List[EventCounts]:
+        """Measure one classification per sample; returns the readouts.
+
+        Args:
+            samples: Inputs to classify (one measurement each).
+            max_samples: Optional cap on the number of measurements.
+            category: When given and the backend supports per-sample noise
+                keys, measurement ``i`` is keyed ``(category, i)`` — the
+                order-independent scheme that makes sequential and parallel
+                collection bit-identical (see :mod:`repro.parallel`).
+        """
         samples = list(samples)
         if max_samples is not None:
             samples = samples[:max_samples]
         if not samples:
             raise MeasurementError("no samples to measure")
+        keyed = (category is not None
+                 and getattr(self.backend, "supports_noise_keys", False))
+        if keyed:
+            warm = samples[:self.warmup]
+            if warm:
+                # Warm-up readouts are discarded and keyed noise has no
+                # stream to advance, so the batched clean path (one
+                # forward pass for the whole warm-up) is equivalent.
+                batch_measure = getattr(self.backend, "measure_clean_batch",
+                                        None)
+                if batch_measure is not None:
+                    batch_measure(warm)
+                else:
+                    for index, sample in enumerate(warm):
+                        self.backend.measure(sample,
+                                             noise_key=(category, index))
+            return [self.backend.measure(sample,
+                                         noise_key=(category, index)).counts
+                    for index, sample in enumerate(samples)]
         for sample in samples[:self.warmup]:
             self.backend.measure(sample)
         return [self.backend.measure(sample).counts for sample in samples]
 
     def collect(self, dataset: LabeledDataset, categories: Sequence[int],
                 samples_per_category: int,
-                cache_tag: str = "") -> EventDistributions:
+                cache_tag: str = "",
+                workers: Optional[int] = None) -> EventDistributions:
         """Measure ``samples_per_category`` classifications per category.
 
         Args:
@@ -119,6 +162,11 @@ class MeasurementSession:
             categories: Category indices to monitor.
             samples_per_category: Measurements per category.
             cache_tag: Extra cache-key component (e.g. the dataset seed).
+            workers: Fan measurement out across this many worker processes
+                (requires a backend with per-sample noise keys; see
+                :mod:`repro.parallel`).  ``None`` or 1 measures in-process.
+                Worker count never changes the measured distributions, so
+                it is deliberately absent from the cache key.
 
         Returns:
             The per-category :class:`EventDistributions`.
@@ -127,6 +175,9 @@ class MeasurementSession:
             raise MeasurementError(
                 "need at least 2 measurements per category for a t-test"
             )
+        if workers is not None and workers < 1:
+            raise MeasurementError(f"workers must be >= 1, got {workers}")
+        workers = workers or 1
         key = "|".join([
             self.backend.fingerprint(),
             dataset.name,
@@ -138,7 +189,8 @@ class MeasurementSession:
         with obs.span("measure.collect",
                       backend=getattr(self.backend, "name", "?"),
                       categories=len(categories),
-                      samples_per_category=samples_per_category) as span:
+                      samples_per_category=samples_per_category,
+                      workers=workers) as span:
             if self.cache is not None:
                 cached = self.cache.get(key)
                 if cached is not None:
@@ -146,7 +198,7 @@ class MeasurementSession:
                     return cached
             span.set_attribute("cache",
                                "miss" if self.cache is not None else "off")
-            per_category: Dict[int, List[EventCounts]] = {}
+            subsets: Dict[int, Sequence[np.ndarray]] = {}
             for category in categories:
                 subset = dataset.category(category)
                 if len(subset) < samples_per_category:
@@ -154,11 +206,23 @@ class MeasurementSession:
                         f"category {category} has only {len(subset)} samples, "
                         f"need {samples_per_category}"
                     )
-                with obs.span("measure.category", category=category):
-                    per_category[category] = self.measure_category(
-                        subset.images, max_samples=samples_per_category)
-                obs.inc("measurement.samples",
-                        len(per_category[category]), category=category)
+                subsets[category] = subset.images[:samples_per_category]
+            if workers > 1:
+                from ..parallel import measure_categories_parallel
+                per_category = measure_categories_parallel(
+                    self.backend, subsets, warmup=self.warmup,
+                    workers=workers)
+                for category, readings in per_category.items():
+                    obs.inc("measurement.samples", len(readings),
+                            category=category)
+            else:
+                per_category: Dict[int, List[EventCounts]] = {}
+                for category in categories:
+                    with obs.span("measure.category", category=category):
+                        per_category[category] = self.measure_category(
+                            subsets[category], category=category)
+                    obs.inc("measurement.samples",
+                            len(per_category[category]), category=category)
             distributions = EventDistributions.from_measurements(per_category)
             if self.cache is not None:
                 self.cache.put(key, distributions)
@@ -234,12 +298,15 @@ def _merge_event_columns(first: EventDistributions,
         raise MeasurementError(
             f"passes measured overlapping events: {sorted(overlap)}"
         )
-    data = {}
-    for category in first.categories:
-        per_event = {}
-        for event in first.events:
-            per_event[event] = first.values(category, event)
-        for event in second.events:
-            per_event[event] = second.values(category, event)
-        data[category] = per_event
+    first_events = first.events
+    second_events = second.events
+    data = {
+        category: {
+            **{event: first.values(category, event)
+               for event in first_events},
+            **{event: second.values(category, event)
+               for event in second_events},
+        }
+        for category in first.categories
+    }
     return EventDistributions(data)

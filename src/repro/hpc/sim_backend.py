@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import time
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -52,6 +52,10 @@ DEFAULT_NOISE_FLOOR: Dict[HpcEvent, float] = {
 }
 
 
+#: Supported measurement-noise schemes (see :class:`SimBackend`).
+NOISE_SCHEMES = ("per-sample", "stream")
+
+
 class SimBackend(HpcBackend):
     """Measures classifications on the simulated CPU.
 
@@ -62,7 +66,16 @@ class SimBackend(HpcBackend):
         noise_scale: Global multiplier on the per-event noise profile
             (0 disables measurement noise entirely — useful in unit tests).
         noise_profile: Optional per-event relative-noise overrides.
-        seed: Seed of the measurement-noise stream.
+        seed: Seed of the measurement noise.
+        noise_scheme: ``"per-sample"`` (default) derives an independent
+            generator per ``(seed, category, sample_index)`` noise key, so a
+            measurement's noise depends only on *which* sample it is — never
+            on how many measurements ran before it.  That makes
+            distributions identical whether samples are measured
+            sequentially or fanned out across worker processes in any
+            order (see :mod:`repro.parallel`).  ``"stream"`` restores the
+            legacy behavior of one sequential generator shared by all
+            measurements.
     """
 
     name = "sim"
@@ -72,9 +85,15 @@ class SimBackend(HpcBackend):
                  cpu_config: Optional[CpuConfig] = None,
                  noise_scale: float = 1.0,
                  noise_profile: Optional[Dict[HpcEvent, float]] = None,
-                 seed: int = 0):
+                 seed: int = 0,
+                 noise_scheme: str = "per-sample"):
         if noise_scale < 0:
             raise BackendError(f"noise_scale must be >= 0, got {noise_scale}")
+        if noise_scheme not in NOISE_SCHEMES:
+            raise BackendError(
+                f"noise_scheme must be one of {NOISE_SCHEMES}, "
+                f"got {noise_scheme!r}"
+            )
         self.model = model
         self.trace_config = trace_config or TraceConfig()
         self.cpu_config = cpu_config or CpuConfig()
@@ -83,43 +102,106 @@ class SimBackend(HpcBackend):
         if noise_profile:
             self.noise_profile.update(noise_profile)
         self.seed = seed
+        self.noise_scheme = noise_scheme
         self.traced = TracedInference(model, self.trace_config)
         self.cpu = CpuModel(self.cpu_config, seed=seed)
+        self._noise_seed = seed
         self._rng = np.random.default_rng(seed)
+        self._auto_index = 0
+
+    @property
+    def supports_noise_keys(self) -> bool:
+        """True when measurement noise is a pure function of the noise key.
+
+        Required by :mod:`repro.parallel`: only keyed noise makes
+        distributions independent of measurement order and worker count.
+        """
+        return self.noise_scheme == "per-sample"
 
     def reset_noise(self, seed: Optional[int] = None) -> None:
-        """Restart the noise stream (defaults to the construction seed)."""
-        self._rng = np.random.default_rng(self.seed if seed is None else seed)
+        """Restart the noise source (defaults to the construction seed).
 
-    def _noisy(self, counts: EventCounts) -> EventCounts:
+        Under the ``"stream"`` scheme this reseeds the sequential
+        generator; under ``"per-sample"`` it rewinds the auto-assigned
+        sample index of unkeyed :meth:`measure` calls (and optionally
+        replaces the noise seed), so a repeated call sequence reproduces
+        the same readouts either way.
+        """
+        self._noise_seed = self.seed if seed is None else seed
+        self._rng = np.random.default_rng(self._noise_seed)
+        self._auto_index = 0
+
+    def _keyed_rng(self, category: int, index: int) -> np.random.Generator:
+        """Independent noise generator for one ``(category, index)`` key."""
+        digest = hashlib.sha256(
+            f"{self._noise_seed}:{category}:{index}".encode()).digest()
+        return np.random.default_rng(int.from_bytes(digest[:16], "little"))
+
+    def _noisy(self, counts: EventCounts,
+               noise_key: Optional[Tuple[int, int]] = None) -> EventCounts:
         if self.noise_scale == 0.0:
             return counts
+        if self.noise_scheme == "per-sample":
+            if noise_key is None:
+                noise_key = (-1, self._auto_index)
+                self._auto_index += 1
+            rng = self._keyed_rng(*noise_key)
+        else:
+            rng = self._rng
         noisy = {}
         for event in counts:
             value = float(counts[event])
             rel = self.noise_profile.get(event, 0.002) * self.noise_scale
             floor = DEFAULT_NOISE_FLOOR.get(event, 0.0) * self.noise_scale
-            jitter = self._rng.normal(0.0, rel * value) if rel else 0.0
-            offset = abs(self._rng.normal(0.0, floor)) if floor else 0.0
+            jitter = rng.normal(0.0, rel * value) if rel else 0.0
+            offset = abs(rng.normal(0.0, floor)) if floor else 0.0
             noisy[event] = max(0, int(round(value + jitter + offset)))
         return EventCounts(noisy)
 
-    def measure(self, sample: np.ndarray) -> Measurement:
-        """Run one traced classification and return its noisy readout."""
+    def measure(self, sample: np.ndarray,
+                noise_key: Optional[Tuple[int, int]] = None) -> Measurement:
+        """Run one traced classification and return its noisy readout.
+
+        Args:
+            sample: Input image.
+            noise_key: Optional ``(category, sample_index)`` identity of
+                this measurement under the ``"per-sample"`` scheme; unkeyed
+                calls auto-assign ``(-1, 0)``, ``(-1, 1)``, ... in call
+                order.  Rejected under the ``"stream"`` scheme, whose noise
+                is inherently sequential.
+        """
+        if noise_key is not None and self.noise_scheme != "per-sample":
+            raise BackendError(
+                "noise_key requires noise_scheme='per-sample' "
+                f"(got scheme {self.noise_scheme!r})"
+            )
         if not obs.is_enabled():
             prediction, counts = self.traced.run(sample, self.cpu)
-            return Measurement(prediction, self._noisy(counts))
+            return Measurement(prediction, self._noisy(counts, noise_key))
         start = time.perf_counter_ns()
         prediction, counts = self.traced.run(sample, self.cpu)
         obs.observe("backend.measure_ns", time.perf_counter_ns() - start,
                     backend=self.name)
         obs.inc("backend.measurements", backend=self.name)
-        return Measurement(prediction, self._noisy(counts))
+        return Measurement(prediction, self._noisy(counts, noise_key))
 
     def measure_clean(self, sample: np.ndarray) -> Measurement:
         """Like :meth:`measure` but without measurement noise."""
         prediction, counts = self.traced.run(sample, self.cpu)
         return Measurement(prediction, counts)
+
+    def measure_clean_batch(self, samples) -> list:
+        """Noise-free measurements of a whole batch, one per sample.
+
+        Runs the reference forward pass once for the batch (see
+        :meth:`repro.trace.TracedInference.run_batch`), amortizing the
+        per-sample layer-dispatch overhead — the fast path for warm-up
+        classifications and clean baseline collection.
+        """
+        batch = np.asarray(samples, dtype=np.float64)
+        return [Measurement(prediction, counts)
+                for prediction, counts in self.traced.run_batch(batch,
+                                                                self.cpu)]
 
     def fingerprint(self) -> str:
         digest = hashlib.sha256()
@@ -129,11 +211,17 @@ class SimBackend(HpcBackend):
         digest.update(f"{self.noise_scale}:{self.seed}".encode())
         digest.update(repr(sorted(
             (e.value, v) for e, v in self.noise_profile.items())).encode())
+        if self.noise_scheme != "stream":
+            # The noise scheme changes the measured values, so it must
+            # change the cache key; "stream" keeps the legacy fingerprint
+            # so caches written before schemes existed stay valid.
+            digest.update(f"noise-scheme={self.noise_scheme}".encode())
         return f"sim-{digest.hexdigest()[:16]}"
 
     def describe(self) -> str:
         return "\n".join([
-            f"sim backend (noise_scale={self.noise_scale}, seed={self.seed})",
+            f"sim backend (noise_scale={self.noise_scale}, "
+            f"seed={self.seed}, noise_scheme={self.noise_scheme})",
             self.traced.describe(),
             self.cpu.describe(),
         ])

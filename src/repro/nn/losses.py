@@ -44,7 +44,10 @@ class SoftmaxCrossEntropy(Loss):
         n, classes = predictions.shape
         targets = np.asarray(targets)
         if targets.ndim == 1:
-            targets = one_hot(targets.astype(int), classes)
+            # Match the logits' precision: float32 training should not pay
+            # for (or be upcast by) float64 one-hot targets.
+            targets = one_hot(targets.astype(int), classes,
+                              dtype=predictions.dtype)
         if targets.shape != predictions.shape:
             raise ShapeError(
                 f"targets shape {targets.shape} does not match logits "

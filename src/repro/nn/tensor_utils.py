@@ -54,6 +54,11 @@ def im2col(x: np.ndarray, kernel_h: int, kernel_w: int, stride: int,
     out_h = conv_output_size(h, kernel_h, stride, padding)
     out_w = conv_output_size(w, kernel_w, stride, padding)
     x = pad_nchw(x, padding)
+    if kernel_h == 1 and kernel_w == 1 and stride == 1:
+        # 1x1 kernel, unit stride: every pixel is its own receptive field —
+        # a plain transpose + reshape, no stride tricks needed.
+        cols = x.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, c)
+        return cols.copy() if cols.base is not None else cols
     # Gather all patches with stride tricks, then reorder.
     strides = x.strides
     shape = (n, c, kernel_h, kernel_w, out_h, out_w)
@@ -64,10 +69,13 @@ def im2col(x: np.ndarray, kernel_h: int, kernel_w: int, stride: int,
                  strides[2] * stride, strides[3] * stride),
         writeable=False,
     )
-    # (n, out_h, out_w, c, kh, kw) -> rows.
+    # (n, out_h, out_w, c, kh, kw) -> rows.  Reshaping the non-contiguous
+    # transpose already produces a fresh contiguous array in all but
+    # degenerate shapes, so copy only when the result still aliases the
+    # read-only strided view.
     cols = view.transpose(0, 4, 5, 1, 2, 3).reshape(
         n * out_h * out_w, c * kernel_h * kernel_w)
-    return np.ascontiguousarray(cols)
+    return cols.copy() if cols.base is not None else cols
 
 
 def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kernel_h: int,
@@ -99,8 +107,16 @@ def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kernel_h: int,
     return padded
 
 
-def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
-    """Integer labels ``(n,)`` to one-hot matrix ``(n, num_classes)``."""
+def one_hot(labels: np.ndarray, num_classes: int,
+            dtype=np.float64) -> np.ndarray:
+    """Integer labels ``(n,)`` to one-hot matrix ``(n, num_classes)``.
+
+    Args:
+        labels: Integer class labels, shape ``(n,)``.
+        num_classes: Number of columns of the output.
+        dtype: Output dtype — e.g. ``np.float32`` halves the target-matrix
+            memory when training in single precision.
+    """
     labels = np.asarray(labels)
     if labels.ndim != 1:
         raise ShapeError(f"labels must be 1-D, got shape {labels.shape}")
@@ -109,8 +125,8 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
             f"labels must lie in [0, {num_classes}), got range "
             f"[{labels.min()}, {labels.max()}]"
         )
-    out = np.zeros((labels.size, num_classes), dtype=np.float64)
-    out[np.arange(labels.size), labels] = 1.0
+    out = np.zeros((labels.size, num_classes), dtype=dtype)
+    out[np.arange(labels.size), labels] = 1
     return out
 
 

@@ -49,11 +49,13 @@ class Trainer:
         shuffle_seed: Seed of the per-epoch shuffling stream.
         schedule: Optional learning-rate :class:`repro.nn.schedules.Schedule`
             (or any ``epoch -> lr`` callable), applied at each epoch start.
+        dtype: Input (and one-hot target) precision — ``np.float32`` halves
+            the activation and target memory of large label sets.
     """
 
     def __init__(self, model: Sequential, loss: Loss = None,
                  optimizer: Optimizer = None, batch_size: int = 32,
-                 shuffle_seed: int = 0, schedule=None):
+                 shuffle_seed: int = 0, schedule=None, dtype=np.float64):
         if not model.built:
             raise TrainingError("model must be built before training")
         if batch_size < 1:
@@ -63,6 +65,7 @@ class Trainer:
         self.optimizer = optimizer or Adam()
         self.batch_size = batch_size
         self.schedule = schedule
+        self.dtype = dtype
         self._rng = np.random.default_rng(shuffle_seed)
 
     def train_step(self, x_batch: np.ndarray, y_batch: np.ndarray) -> float:
@@ -95,7 +98,7 @@ class Trainer:
         """
         if epochs < 1:
             raise ConfigError(f"epochs must be >= 1, got {epochs}")
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         y = np.asarray(y).ravel()
         if x.shape[0] != y.shape[0]:
             raise TrainingError(
@@ -146,7 +149,7 @@ class Trainer:
     def evaluate(self, x: np.ndarray, y: np.ndarray,
                  batch_size: int = 256) -> float:
         """Accuracy of the current model on ``(x, y)``, batched."""
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.dtype)
         y = np.asarray(y).ravel()
         predictions = []
         for start in range(0, x.shape[0], batch_size):

@@ -1,0 +1,186 @@
+"""Process-pool execution of per-category measurement chunks.
+
+Each worker process owns a private copy of the backend (inherited via
+``fork`` where available, pickled under ``spawn``) and measures contiguous
+``(category, start, stop)`` sample ranges.  Workers return plain
+``{event name: count}`` dictionaries; the parent reassembles them in
+``(category, sample_index)`` order, so the merged result never depends on
+which worker measured what or when.
+
+Determinism contract: the backend must expose ``supports_noise_keys=True``
+(the sim backend's ``"per-sample"`` noise scheme) so that every
+measurement is a pure function of its ``(category, sample_index)`` key.
+The legacy sequential-stream scheme draws noise in call order and is
+rejected.  One caveat rides along from the microarchitecture model: a
+``random`` cache-replacement policy carries generator state across
+measurements, so only the default deterministic policies preserve
+bit-identical counts across worker counts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..errors import MeasurementError
+from ..obs import runtime as obs
+from ..obs.runtime import TelemetryConfig
+from ..uarch.events import EventCounts
+
+__all__ = [
+    "ChunkSpec",
+    "measure_categories_parallel",
+    "plan_chunks",
+    "resolve_context",
+]
+
+
+@dataclass(frozen=True)
+class ChunkSpec:
+    """One contiguous range of samples of one category.
+
+    Attributes:
+        category: Category whose samples this chunk measures.
+        start: First sample index (inclusive).
+        stop: Last sample index (exclusive).
+    """
+
+    category: int
+    start: int
+    stop: int
+
+
+def plan_chunks(sample_counts: Mapping[int, int],
+                workers: int) -> List[ChunkSpec]:
+    """Split each category's sample range into roughly ``workers`` chunks.
+
+    Args:
+        sample_counts: Category -> number of samples to measure.
+        workers: Worker-process count (chunks per category; more chunks
+            than workers keeps the pool busy when categories finish at
+            different times).
+
+    Returns:
+        Chunk specs covering every ``(category, index)`` exactly once,
+        ordered by category then start index.
+    """
+    if workers < 1:
+        raise MeasurementError(f"workers must be >= 1, got {workers}")
+    chunks: List[ChunkSpec] = []
+    for category in sorted(sample_counts):
+        total = sample_counts[category]
+        if total < 1:
+            raise MeasurementError(
+                f"category {category} has no samples to measure"
+            )
+        size = -(-total // workers)  # ceil division
+        for start in range(0, total, size):
+            chunks.append(ChunkSpec(category, start, min(start + size, total)))
+    return chunks
+
+
+def resolve_context(prefer: str = "fork") -> multiprocessing.context.BaseContext:
+    """The multiprocessing context to use (``fork`` where available).
+
+    ``fork`` inherits the backend and sample arrays by memory copy —
+    nothing is pickled and worker start-up is cheap.  Platforms without
+    ``fork`` (Windows, macOS defaults) fall back to ``spawn``, where the
+    initializer arguments are pickled once per worker.
+    """
+    try:
+        return multiprocessing.get_context(prefer)
+    except ValueError:
+        return multiprocessing.get_context("spawn")
+
+
+# Worker-side state, populated once per worker process by _init_worker.
+_WORKER_STATE: Optional[tuple] = None
+
+
+def _init_worker(backend, samples_by_category, warmup) -> None:
+    global _WORKER_STATE
+    # Workers never export telemetry: spans/metrics of child processes
+    # would interleave with the parent's exporters.
+    obs.configure(TelemetryConfig(enabled=False))
+    _WORKER_STATE = (backend, samples_by_category, warmup)
+
+
+def _measure_chunk(spec: ChunkSpec):
+    backend, samples_by_category, warmup = _WORKER_STATE
+    samples = samples_by_category[spec.category]
+    if spec.start == 0 and warmup:
+        # Warm-up classifications (unrecorded) run once per category, on
+        # the chunk that owns its first samples — noise keys make their
+        # draws side-effect free, so other chunks need no warm-up.
+        warm = samples[:min(warmup, len(samples))]
+        batch_measure = getattr(backend, "measure_clean_batch", None)
+        if batch_measure is not None:
+            batch_measure(warm)
+        else:
+            for index in range(len(warm)):
+                backend.measure(samples[index],
+                                noise_key=(spec.category, index))
+    readings = []
+    for index in range(spec.start, spec.stop):
+        measurement = backend.measure(samples[index],
+                                      noise_key=(spec.category, index))
+        readings.append({event.value: measurement.counts[event]
+                         for event in measurement.counts})
+    return spec.category, spec.start, readings
+
+
+def measure_categories_parallel(
+        backend,
+        samples_by_category: Mapping[int, Sequence[np.ndarray]],
+        warmup: int = 0,
+        workers: int = 2) -> Dict[int, List[EventCounts]]:
+    """Measure every category's samples across a process pool.
+
+    Args:
+        backend: Measurement backend; must expose
+            ``supports_noise_keys=True`` (see the module docstring).
+        samples_by_category: Category -> samples to measure (one
+            measurement per sample).
+        warmup: Unrecorded classifications before each category's measured
+            ones, mirroring :class:`repro.hpc.MeasurementSession`.
+        workers: Worker-process count (>= 1).
+
+    Returns:
+        Category -> readouts in sample order, bit-identical to measuring
+        the same keys sequentially.
+    """
+    if workers < 1:
+        raise MeasurementError(f"workers must be >= 1, got {workers}")
+    if not getattr(backend, "supports_noise_keys", False):
+        raise MeasurementError(
+            "parallel measurement requires a backend with per-sample noise "
+            "keys (sim backend noise_scheme='per-sample'); sequential-stream "
+            "noise would make results depend on scheduling order"
+        )
+    chunks = plan_chunks(
+        {category: len(samples)
+         for category, samples in samples_by_category.items()}, workers)
+    with obs.span("parallel.measure", workers=workers,
+                  chunks=len(chunks)) as span:
+        obs.set_gauge("parallel.workers", workers)
+        by_chunk: Dict[tuple, list] = {}
+        context = resolve_context()
+        span.set_attribute("start_method", context.get_start_method())
+        with context.Pool(
+                processes=workers,
+                initializer=_init_worker,
+                initargs=(backend, dict(samples_by_category), warmup),
+        ) as pool:
+            for category, start, readings in pool.imap_unordered(
+                    _measure_chunk, chunks):
+                by_chunk[(category, start)] = readings
+                obs.inc("measure.chunk", category=category)
+        per_category: Dict[int, List[EventCounts]] = {}
+        for spec in chunks:
+            per_category.setdefault(spec.category, []).extend(
+                EventCounts(counts)
+                for counts in by_chunk[(spec.category, spec.start)])
+    return per_category

@@ -64,6 +64,13 @@ from .ttest import (
     student_t_test,
     welch_t_test,
 )
+from .vectorized import (
+    PairwiseTestArrays,
+    SufficientStats,
+    batch_pairwise_tests,
+    regularized_incomplete_beta_array,
+    two_sided_p_values,
+)
 
 __all__ = [
     "bootstrap_statistic",
@@ -79,11 +86,14 @@ __all__ = [
     "Histogram",
     "MannWhitneyResult",
     "Normal",
+    "PairwiseTestArrays",
     "StudentT",
+    "SufficientStats",
     "Summary",
     "TTestResult",
     "TostResult",
     "adjust_p_values",
+    "batch_pairwise_tests",
     "benjamini_hochberg",
     "binomial_coefficient",
     "bonferroni",
@@ -105,6 +115,7 @@ __all__ = [
     "quantile",
     "rank_biserial_correlation",
     "regularized_incomplete_beta",
+    "regularized_incomplete_beta_array",
     "relative_margin",
     "shared_histogram_range",
     "significant_after_correction",
@@ -112,6 +123,7 @@ __all__ = [
     "std",
     "student_t_test",
     "tost_equivalence",
+    "two_sided_p_values",
     "variance",
     "welch_t_test",
 ]

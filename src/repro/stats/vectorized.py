@@ -1,0 +1,363 @@
+"""Vectorized pairwise hypothesis testing — the evaluator's fast path.
+
+The scalar path (:mod:`repro.stats.ttest`) recomputes sample moments for
+every one of the C(n, 2) category pairs and walks a Python continued
+fraction per p-value.  This module computes per-(category, event)
+sufficient statistics *once* as NumPy arrays and then evaluates every pair
+of every event with broadcast arithmetic: Welch/Student t statistics,
+degrees of freedom, two-sided p-values (through an array implementation of
+the regularized incomplete beta function) and Cohen's d, all in a handful
+of array operations.
+
+The array beta function runs the same Lentz continued fraction as
+:func:`repro.stats.special.regularized_incomplete_beta`, lane-by-lane
+retired at each lane's own convergence step, so vectorized p-values match
+the scalar ones to the last few ulps (most lanes exactly) — a property the
+test-suite asserts to 1e-12 across random and degenerate distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import StatisticsError
+from .special import (
+    _CF_EPSILON,
+    _CF_FPMIN,
+    _LANCZOS_COEFFS,
+    _LANCZOS_G,
+    _MAX_CF_ITERATIONS,
+)
+
+__all__ = [
+    "PairwiseTestArrays",
+    "SufficientStats",
+    "batch_pairwise_tests",
+    "log_gamma_array",
+    "regularized_incomplete_beta_array",
+    "two_sided_p_values",
+]
+
+_LOG_TWO_PI_HALF = 0.5 * np.log(2.0 * np.pi)
+
+
+def log_gamma_array(x: np.ndarray) -> np.ndarray:
+    """Elementwise ``ln |Gamma(x)|`` — the array twin of ``special.log_gamma``.
+
+    Runs the same Lanczos series (same coefficients, same operation order)
+    over whole arrays, with the reflection formula applied through a mask
+    for lanes below 0.5.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if np.any((x <= 0.0) & (x == np.floor(x))):
+        raise StatisticsError("log_gamma undefined at non-positive integers")
+    out = np.empty(x.shape, dtype=np.float64)
+    reflect = x < 0.5
+    if reflect.any():
+        xr = x[reflect]
+        out[reflect] = (np.log(np.pi / np.abs(np.sin(np.pi * xr)))
+                        - log_gamma_array(1.0 - xr))
+    direct = ~reflect
+    if direct.any():
+        xd = x[direct] - 1.0
+        series = np.full(xd.shape, _LANCZOS_COEFFS[0])
+        for i, coeff in enumerate(_LANCZOS_COEFFS[1:], start=1):
+            series += coeff / (xd + i)
+        t = xd + _LANCZOS_G + 0.5
+        out[direct] = (_LOG_TWO_PI_HALF + (xd + 0.5) * np.log(t) - t
+                       + np.log(series))
+    return out
+
+
+def _log_beta_array(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise ``ln B(a, b)`` for positive arrays."""
+    return log_gamma_array(a) + log_gamma_array(b) - log_gamma_array(a + b)
+
+
+def _beta_continued_fraction_array(a: np.ndarray, b: np.ndarray,
+                                   x: np.ndarray) -> np.ndarray:
+    """Lentz's continued fraction, elementwise over equally-shaped arrays.
+
+    Each lane is frozen at its own convergence iteration, replicating the
+    scalar kernel's early exit exactly.
+    """
+    a = a.ravel().copy()
+    b = b.ravel().copy()
+    x = x.ravel().copy()
+    out = np.empty(x.shape, dtype=np.float64)
+    lanes = np.arange(x.size)  # output positions of the remaining lanes
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = np.ones_like(x)
+    d = 1.0 - qab * x / qap
+    d = np.where(np.abs(d) < _CF_FPMIN, _CF_FPMIN, d)
+    d = 1.0 / d
+    h = d.copy()
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        for m in range(1, _MAX_CF_ITERATIONS + 1):
+            m2 = 2 * m
+            am2 = a + m2
+            # Even step.
+            aa = m * (b - m) * x / ((qam + m2) * am2)
+            d = 1.0 + aa * d
+            d = np.where(np.abs(d) < _CF_FPMIN, _CF_FPMIN, d)
+            c = 1.0 + aa / c
+            c = np.where(np.abs(c) < _CF_FPMIN, _CF_FPMIN, c)
+            d = 1.0 / d
+            h = h * (d * c)
+            # Odd step.
+            aa = -(a + m) * (qab + m) * x / (am2 * (qap + m2))
+            d = 1.0 + aa * d
+            d = np.where(np.abs(d) < _CF_FPMIN, _CF_FPMIN, d)
+            c = 1.0 + aa / c
+            c = np.where(np.abs(c) < _CF_FPMIN, _CF_FPMIN, c)
+            d = 1.0 / d
+            delta = d * c
+            h = h * delta
+            # Retire converged lanes at their own stopping iteration (the
+            # scalar kernel's early exit), compacting the working set.
+            converged = np.abs(delta - 1.0) < _CF_EPSILON
+            if converged.any():
+                out[lanes[converged]] = h[converged]
+                if converged.all():
+                    return out
+                keep = ~converged
+                lanes = lanes[keep]
+                a, b, x = a[keep], b[keep], x[keep]
+                qab, qap, qam = qab[keep], qap[keep], qam[keep]
+                c, d, h = c[keep], d[keep], h[keep]
+    raise StatisticsError(
+        "incomplete beta continued fraction failed to converge for "
+        f"{lanes.size} lane(s)"
+    )
+
+
+def regularized_incomplete_beta_array(a: np.ndarray, b: np.ndarray,
+                                      x: np.ndarray) -> np.ndarray:
+    """Elementwise regularized incomplete beta ``I_x(a, b)`` over arrays.
+
+    Args:
+        a: First shape parameters (> 0), broadcastable against ``x``.
+        b: Second shape parameters (> 0), broadcastable against ``x``.
+        x: Upper integration limits in ``[0, 1]``.
+
+    Returns:
+        ``I_x(a, b)`` with the broadcast shape, matching the scalar
+        :func:`repro.stats.special.regularized_incomplete_beta` lane by lane.
+    """
+    a, b, x = np.broadcast_arrays(np.asarray(a, dtype=np.float64),
+                                  np.asarray(b, dtype=np.float64),
+                                  np.asarray(x, dtype=np.float64))
+    if np.any(a <= 0.0) or np.any(b <= 0.0):
+        raise StatisticsError("incomplete beta requires positive shapes")
+    if np.any(x < 0.0) or np.any(x > 1.0):
+        raise StatisticsError("incomplete beta arguments must lie in [0, 1]")
+    out = np.empty(x.shape, dtype=np.float64)
+    flat_a, flat_b, flat_x = a.ravel(), b.ravel(), x.ravel()
+    flat_out = out.ravel()
+    at_zero = flat_x == 0.0
+    at_one = flat_x == 1.0
+    flat_out[at_zero] = 0.0
+    flat_out[at_one] = 1.0
+    interior = ~(at_zero | at_one)
+    if interior.any():
+        ai, bi, xi = flat_a[interior], flat_b[interior], flat_x[interior]
+        log_b = _log_beta_array(ai, bi)
+        front = np.exp(ai * np.log(xi) + bi * np.log(1.0 - xi) - log_b)
+        # The continued fraction converges fastest below the split point;
+        # use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) above it.  Both
+        # orientations run through ONE fraction call (lanes are independent,
+        # so mixing them changes nothing per lane but halves the fixed
+        # per-iteration dispatch overhead of two separate loops).
+        direct = xi < (ai + 1.0) / (ai + bi + 2.0)
+        cf_a = np.where(direct, ai, bi)
+        cf_b = np.where(direct, bi, ai)
+        cf_x = np.where(direct, xi, 1.0 - xi)
+        tail = front * _beta_continued_fraction_array(cf_a, cf_b, cf_x) / cf_a
+        flat_out[interior] = np.where(direct, tail, 1.0 - tail)
+    return flat_out.reshape(x.shape)
+
+
+def two_sided_p_values(t: np.ndarray, df: np.ndarray) -> np.ndarray:
+    """``P(|T| >= |t|)`` elementwise, matching ``StudentT.two_sided_p_value``.
+
+    Args:
+        t: t statistics (finite; infinite statistics are handled by the
+            degenerate-variance branches of :func:`batch_pairwise_tests`).
+        df: Degrees of freedom (> 0), same shape as ``t``.
+    """
+    t = np.asarray(t, dtype=np.float64)
+    df = np.asarray(df, dtype=np.float64)
+    p = np.ones(np.broadcast(t, df).shape, dtype=np.float64)
+    nonzero = (t != 0.0) & np.isfinite(t)
+    if nonzero.any():
+        tz = np.broadcast_to(t, p.shape)[nonzero]
+        dz = np.broadcast_to(df, p.shape)[nonzero]
+        z = dz / (dz + tz * tz)
+        p[nonzero] = np.minimum(
+            1.0, regularized_incomplete_beta_array(dz / 2.0, 0.5, z))
+    p[np.broadcast_to(np.isinf(t), p.shape)] = 0.0
+    return p
+
+
+@dataclass(frozen=True)
+class SufficientStats:
+    """Per-(category, event) sample moments of one set of distributions.
+
+    Attributes:
+        categories: Category indices, sorted (row order of the arrays).
+        events: Events, in evaluation order (column order of the arrays).
+        n: Sample counts, shape ``(C,)``.
+        mean: Sample means, shape ``(C, E)``.
+        var: Unbiased (ddof=1) sample variances, shape ``(C, E)``.
+    """
+
+    categories: Tuple[int, ...]
+    events: tuple
+    n: np.ndarray
+    mean: np.ndarray
+    var: np.ndarray
+
+    @classmethod
+    def from_distributions(cls, distributions,
+                           events: Optional[Sequence] = None
+                           ) -> "SufficientStats":
+        """Compute the moment arrays from an ``EventDistributions``.
+
+        Each 1-D readings vector is reduced exactly once with the same
+        ``np.mean`` / ``np.var(ddof=1)`` reductions as the scalar tests, so
+        downstream broadcast arithmetic reproduces the scalar results.
+        """
+        categories = tuple(distributions.categories)
+        events = tuple(events) if events is not None else tuple(
+            distributions.events)
+        n = np.empty(len(categories), dtype=np.float64)
+        mean = np.empty((len(categories), len(events)), dtype=np.float64)
+        var = np.empty_like(mean)
+        for ci, category in enumerate(categories):
+            n[ci] = distributions.sample_count(category)
+            if n[ci] < 2:
+                raise StatisticsError(
+                    f"category {category} needs at least 2 observations, "
+                    f"got {int(n[ci])}"
+                )
+            # One stacked (E, n) reduction per category instead of E scalar
+            # np.mean/np.var dispatches — rows are contiguous, so the
+            # per-row reductions are numerically the 1-D reductions.
+            stacked = np.stack([distributions.values(category, event)
+                                for event in events])
+            mean[ci] = stacked.mean(axis=1)
+            var[ci] = stacked.var(axis=1, ddof=1)
+        return cls(categories=categories, events=events, n=n, mean=mean,
+                   var=var)
+
+
+@dataclass(frozen=True)
+class PairwiseTestArrays:
+    """All C(n,2) x E pairwise test results as arrays.
+
+    Rows follow ``itertools.combinations(categories, 2)`` order; columns
+    follow the event order of the originating :class:`SufficientStats`.
+
+    Attributes:
+        index_a: Row index (into ``SufficientStats.categories``) of the
+            first category of each pair, shape ``(P,)``.
+        index_b: Row index of the second category of each pair.
+        statistic: t statistics, shape ``(P, E)`` (signed, may be ``inf``).
+        p_value: Two-sided p-values, shape ``(P, E)``.
+        df: Degrees of freedom, shape ``(P, E)``.
+        mean_a: First-group means, shape ``(P, E)``.
+        mean_b: Second-group means, shape ``(P, E)``.
+        n_a: First-group sizes, shape ``(P,)``.
+        n_b: Second-group sizes, shape ``(P,)``.
+        effect_size: Cohen's d, shape ``(P, E)``.
+        method: ``"welch"`` or ``"student"``.
+    """
+
+    index_a: np.ndarray
+    index_b: np.ndarray
+    statistic: np.ndarray
+    p_value: np.ndarray
+    df: np.ndarray
+    mean_a: np.ndarray
+    mean_b: np.ndarray
+    n_a: np.ndarray
+    n_b: np.ndarray
+    effect_size: np.ndarray
+    method: str
+
+
+def batch_pairwise_tests(stats: SufficientStats,
+                         method: str = "welch") -> PairwiseTestArrays:
+    """Evaluate every category pair on every event in broadcast arithmetic.
+
+    Args:
+        stats: Per-(category, event) sufficient statistics.
+        method: ``"welch"`` (unequal variances) or ``"student"`` (pooled).
+
+    Returns:
+        A :class:`PairwiseTestArrays` whose entries match the scalar
+        :func:`repro.stats.ttest.welch_t_test` /
+        :func:`~repro.stats.ttest.student_t_test` and
+        :func:`repro.stats.effect_size.cohens_d` results.
+    """
+    if method not in ("welch", "student"):
+        raise StatisticsError(
+            f"method must be 'welch' or 'student', got {method!r}"
+        )
+    n_categories = len(stats.categories)
+    if n_categories < 2:
+        raise StatisticsError("need at least two categories to compare")
+    ia, ib = np.triu_indices(n_categories, k=1)
+    n_a = stats.n[ia][:, None]
+    n_b = stats.n[ib][:, None]
+    mean_a = stats.mean[ia]
+    mean_b = stats.mean[ib]
+    var_a = stats.var[ia]
+    var_b = stats.var[ib]
+    diff = mean_a - mean_b
+    pooled_df = n_a + n_b - 2.0
+    pooled_var = ((n_a - 1.0) * var_a + (n_b - 1.0) * var_b) / pooled_df
+    signed_inf = np.where(diff > 0.0, np.inf, -np.inf)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        if method == "welch":
+            se_a = var_a / n_a
+            se_b = var_b / n_b
+            se_sq = se_a + se_b
+            degenerate = se_sq == 0.0
+            t = diff / np.sqrt(se_sq)
+            df_denominator = (se_a * se_a) / (n_a - 1.0) + \
+                (se_b * se_b) / (n_b - 1.0)
+            df = np.where(df_denominator > 0.0,
+                          se_sq * se_sq / df_denominator, pooled_df)
+        else:
+            degenerate = pooled_var == 0.0
+            t = diff / np.sqrt(pooled_var * (1.0 / n_a + 1.0 / n_b))
+            df = np.broadcast_to(pooled_df, t.shape).copy()
+        # Degenerate lanes (both samples exactly constant): equal constants
+        # carry no evidence, unequal constants are perfectly separable.
+        t = np.where(degenerate, np.where(diff == 0.0, 0.0, signed_inf), t)
+        df = np.where(degenerate, np.broadcast_to(pooled_df, t.shape), df)
+        p = two_sided_p_values(t, df)
+        p = np.where(degenerate, np.where(diff == 0.0, 1.0, 0.0), p)
+        effect = diff / np.sqrt(pooled_var)
+        effect = np.where(pooled_var == 0.0,
+                          np.where(diff == 0.0, 0.0, signed_inf), effect)
+    return PairwiseTestArrays(
+        index_a=ia,
+        index_b=ib,
+        statistic=t,
+        p_value=p,
+        df=df,
+        mean_a=mean_a,
+        mean_b=mean_b,
+        n_a=stats.n[ia],
+        n_b=stats.n[ib],
+        effect_size=effect,
+        method=method,
+    )

@@ -78,6 +78,35 @@ class TracedInference:
     # Trace construction
     # ------------------------------------------------------------------
 
+    def _emit_preamble(self, trace: Trace) -> None:
+        """Framework preamble + copy-in of the user's input."""
+        trace.instr(_PREAMBLE_INSTRUCTIONS)
+        trace.bulk_branch(_PREAMBLE_BRANCHES,
+                          self.config.bulk_branch_miss_rate)
+        trace.mem(self.input_region.all_lines(self.config.line_bytes),
+                  write=True)
+
+    def _emit_classifier_tail(self, logits: np.ndarray, trace: Trace) -> int:
+        """Final argmax over the logits; returns the predicted class."""
+        if self.config.branchless_compares:
+            # Countermeasure: conditional-move argmax — fixed instruction and
+            # branch counts regardless of the logit ordering.
+            trace.instr(logits.size * 8)
+            trace.bulk_branch(logits.size, self.config.bulk_branch_miss_rate)
+        else:
+            # Final argmax: running-max update branches are data dependent
+            # but few — a deliberately weak branch signal (paper Tables 1-2).
+            running = logits[0]
+            outcomes = np.empty(logits.size - 1, dtype=bool)
+            for i in range(1, logits.size):
+                outcomes[i - 1] = logits[i] > running
+                if outcomes[i - 1]:
+                    running = logits[i]
+            trace.dyn_branch(_ARGMAX_PC, outcomes)
+            trace.instr(logits.size * 6)
+            trace.bulk_branch(logits.size, self.config.bulk_branch_miss_rate)
+        return int(np.argmax(logits))
+
     def trace_sample(self, sample: np.ndarray) -> Tuple[int, Trace]:
         """Classify ``sample`` and build its full execution trace.
 
@@ -94,12 +123,7 @@ class TracedInference:
                 f"{self.model.input_shape}"
             )
         trace = Trace()
-        # Framework preamble + copy-in of the user's input.
-        trace.instr(_PREAMBLE_INSTRUCTIONS)
-        trace.bulk_branch(_PREAMBLE_BRANCHES,
-                          self.config.bulk_branch_miss_rate)
-        trace.mem(self.input_region.all_lines(self.config.line_bytes),
-                  write=True)
+        self._emit_preamble(trace)
         x = sample
         if obs.is_enabled():
             # Per-layer profiling hook: forward + trace-emission nanoseconds
@@ -118,25 +142,53 @@ class TracedInference:
                 tracer.trace(x, y, trace)
                 x = y
         logits = x.ravel()
-        if self.config.branchless_compares:
-            # Countermeasure: conditional-move argmax — fixed instruction and
-            # branch counts regardless of the logit ordering.
-            trace.instr(logits.size * 8)
-            trace.bulk_branch(logits.size, self.config.bulk_branch_miss_rate)
-        else:
-            # Final argmax: running-max update branches are data dependent
-            # but few — a deliberately weak branch signal (paper Tables 1-2).
-            running = logits[0]
-            outcomes = np.empty(logits.size - 1, dtype=bool)
-            for i in range(1, logits.size):
-                outcomes[i - 1] = logits[i] > running
-                if outcomes[i - 1]:
-                    running = logits[i]
-            trace.dyn_branch(_ARGMAX_PC, outcomes)
-            trace.instr(logits.size * 6)
-            trace.bulk_branch(logits.size, self.config.bulk_branch_miss_rate)
-        prediction = int(np.argmax(logits))
+        prediction = self._emit_classifier_tail(logits, trace)
         return prediction, trace
+
+    def trace_batch(self, samples: np.ndarray) -> List[Tuple[int, Trace]]:
+        """Classify a batch and build one execution trace per sample.
+
+        The reference forward pass runs once over the whole batch (one
+        layer dispatch per layer instead of one per sample), then each
+        sample's trace is emitted from its slice of the batched
+        activations.  This amortizes the per-sample Python overhead of
+        :meth:`trace_sample` for warm-up and clean measurement paths.
+
+        Note:
+            Batched BLAS reductions are not guaranteed to round identically
+            to the per-sample forward pass, so traces may differ from
+            :meth:`trace_sample` in rare near-tie cases.  Use it where
+            results are discarded (warm-up) or consumed as a batch.
+
+        Args:
+            samples: Array of shape ``(batch,) + model.input_shape``.
+
+        Returns:
+            One ``(predicted_class, trace)`` pair per sample, in order.
+        """
+        batch = np.asarray(samples, dtype=np.float64)
+        if batch.ndim != len(self.model.input_shape) + 1 or \
+                batch.shape[1:] != self.model.input_shape:
+            raise TraceError(
+                f"batch shape {batch.shape} does not match "
+                f"(batch,) + {self.model.input_shape}"
+            )
+        activations = [batch]
+        x = batch
+        for tracer in self.tracers:
+            x = tracer.layer.forward(x, training=False)
+            activations.append(x)
+        obs.inc("trace.batched_samples", batch.shape[0])
+        results: List[Tuple[int, Trace]] = []
+        for index in range(batch.shape[0]):
+            trace = Trace()
+            self._emit_preamble(trace)
+            for li, tracer in enumerate(self.tracers):
+                tracer.trace(activations[li][index],
+                             activations[li + 1][index], trace)
+            logits = activations[-1][index].ravel()
+            results.append((self._emit_classifier_tail(logits, trace), trace))
+        return results
 
     # ------------------------------------------------------------------
     # Measurement
@@ -153,6 +205,29 @@ class TracedInference:
         cpu.begin_task()
         trace.replay(cpu)
         return prediction, cpu.read_counters()
+
+    def run_batch(self, samples: np.ndarray,
+                  cpu: CpuModel) -> List[Tuple[int, EventCounts]]:
+        """Classify a batch on the simulated CPU, one readout per sample.
+
+        Traces are built through :meth:`trace_batch` (single batched
+        forward pass) and each is replayed in its own measured task, so
+        the readouts mirror ``len(samples)`` separate ``perf stat``
+        windows.
+
+        Args:
+            samples: Array of shape ``(batch,) + model.input_shape``.
+            cpu: Simulated CPU to replay on.
+
+        Returns:
+            One ``(predicted_class, counts)`` pair per sample, in order.
+        """
+        results: List[Tuple[int, EventCounts]] = []
+        for prediction, trace in self.trace_batch(samples):
+            cpu.begin_task()
+            trace.replay(cpu)
+            results.append((prediction, cpu.read_counters()))
+        return results
 
     def footprint_bytes(self) -> int:
         """Total bytes of all mapped tensors (working-set estimate)."""

@@ -1,8 +1,11 @@
 """Tests for repro.hpc.session (collection + caching)."""
 
+import multiprocessing
+
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.errors import MeasurementError
 from repro.hpc import (
     EventDistributions,
@@ -10,6 +13,7 @@ from repro.hpc import (
     MeasurementSession,
     SimBackend,
 )
+from repro.hpc.session import _merge_event_columns
 from repro.uarch import HpcEvent
 
 
@@ -100,6 +104,93 @@ class TestCache:
         four = session.collect(digits_dataset, [0], 4)
         assert three.sample_count(0) == 3
         assert four.sample_count(0) == 4
+
+
+def _hammer_cache(directory, key, value, rounds):
+    """Worker for the concurrent-writer test: put the same key repeatedly."""
+    cache = MeasurementCache(directory)
+    dists = EventDistributions(
+        {0: {HpcEvent.CYCLES: np.full(4096, float(value))}})
+    for _ in range(rounds):
+        cache.put(key, dists)
+
+
+class TestCacheAtomicity:
+    def test_concurrent_writers_never_corrupt_an_entry(self, tmp_path):
+        context = multiprocessing.get_context()
+        writers = [
+            context.Process(target=_hammer_cache,
+                            args=(str(tmp_path), "shared", value, 20))
+            for value in (1, 2)
+        ]
+        for process in writers:
+            process.start()
+        for process in writers:
+            process.join()
+        assert all(process.exitcode == 0 for process in writers)
+        restored = MeasurementCache(tmp_path).get("shared")
+        assert restored is not None  # a torn write would read as corrupt
+        values = restored.values(0, HpcEvent.CYCLES)
+        # Last writer wins, but the entry must be one writer's intact
+        # payload — never an interleaving of the two.
+        assert np.all(values == values[0])
+        assert values[0] in (1.0, 2.0)
+
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        cache = MeasurementCache(tmp_path)
+        dists = EventDistributions(
+            {0: {HpcEvent.CYCLES: np.array([1.0, 2.0])}})
+        cache.put("key", dists)
+        leftovers = [p.name for p in tmp_path.iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+
+    def test_corrupt_entry_increments_eviction_counter(self, tmp_path):
+        obs.configure(obs.TelemetryConfig(enabled=True, console=False))
+        try:
+            cache = MeasurementCache(tmp_path)
+            dists = EventDistributions(
+                {0: {HpcEvent.CYCLES: np.array([1.0, 2.0])}})
+            path = cache.put("key", dists)
+            path.write_bytes(b"garbage")
+            assert cache.get("key") is None
+            snapshot = obs.active().snapshot()
+            assert snapshot.counter_value(
+                "cache.corrupt", kind="measurement") == 1.0
+            assert snapshot.counter_value(
+                "cache.miss", kind="measurement") == 1.0
+        finally:
+            obs.reset()
+
+
+class TestMergeEventColumns:
+    def _dists(self, categories, events, base=0.0):
+        return EventDistributions({
+            category: {event: np.array([base + category, base + category + 1])
+                       for event in events}
+            for category in categories
+        })
+
+    def test_merges_disjoint_event_columns(self):
+        first = self._dists([0, 1], [HpcEvent.CYCLES])
+        second = self._dists([0, 1], [HpcEvent.INSTRUCTIONS], base=10.0)
+        merged = _merge_event_columns(first, second)
+        assert set(merged.events) == {HpcEvent.CYCLES, HpcEvent.INSTRUCTIONS}
+        np.testing.assert_array_equal(
+            merged.values(1, HpcEvent.CYCLES), [1.0, 2.0])
+        np.testing.assert_array_equal(
+            merged.values(1, HpcEvent.INSTRUCTIONS), [11.0, 12.0])
+
+    def test_rejects_overlapping_events(self):
+        first = self._dists([0], [HpcEvent.CYCLES, HpcEvent.INSTRUCTIONS])
+        second = self._dists([0], [HpcEvent.CYCLES])
+        with pytest.raises(MeasurementError, match="overlapping"):
+            _merge_event_columns(first, second)
+
+    def test_rejects_mismatched_categories(self):
+        first = self._dists([0, 1], [HpcEvent.CYCLES])
+        second = self._dists([0, 2], [HpcEvent.INSTRUCTIONS])
+        with pytest.raises(MeasurementError, match="different categories"):
+            _merge_event_columns(first, second)
 
 
 class _CountingBackend:

@@ -85,6 +85,65 @@ class TestMeasurement:
             SimBackend(tiny_trained_model, noise_scale=-1.0)
 
 
+class TestNoiseSchemes:
+    def test_keyed_measurement_is_pure(self, tiny_trained_model,
+                                       digits_dataset):
+        backend = SimBackend(tiny_trained_model, seed=6)
+        image = digits_dataset.images[0]
+        assert (backend.measure(image, noise_key=(2, 7)).counts
+                == backend.measure(image, noise_key=(2, 7)).counts)
+
+    def test_keyed_noise_independent_of_order(self, tiny_trained_model,
+                                              digits_dataset):
+        image = digits_dataset.images[0]
+        keys = [(0, 0), (0, 1), (1, 0), (1, 1)]
+        backend = SimBackend(tiny_trained_model, seed=6)
+        forward = {key: backend.measure(image, noise_key=key).counts
+                   for key in keys}
+        backend = SimBackend(tiny_trained_model, seed=6)
+        backward = {key: backend.measure(image, noise_key=key).counts
+                    for key in reversed(keys)}
+        assert forward == backward
+
+    def test_distinct_keys_draw_distinct_noise(self, tiny_trained_model,
+                                               digits_dataset):
+        backend = SimBackend(tiny_trained_model, seed=6)
+        image = digits_dataset.images[0]
+        assert (backend.measure(image, noise_key=(0, 0)).counts
+                != backend.measure(image, noise_key=(0, 1)).counts)
+
+    def test_stream_scheme_reproduces_sequentially(self, tiny_trained_model,
+                                                   digits_dataset):
+        image = digits_dataset.images[0]
+        first = SimBackend(tiny_trained_model, seed=6,
+                           noise_scheme="stream")
+        second = SimBackend(tiny_trained_model, seed=6,
+                            noise_scheme="stream")
+        for _ in range(3):
+            assert first.measure(image).counts == second.measure(image).counts
+
+    def test_stream_scheme_rejects_noise_keys(self, tiny_trained_model,
+                                              digits_dataset):
+        backend = SimBackend(tiny_trained_model, noise_scheme="stream")
+        with pytest.raises(BackendError):
+            backend.measure(digits_dataset.images[0], noise_key=(0, 0))
+
+    def test_rejects_unknown_scheme(self, tiny_trained_model):
+        with pytest.raises(BackendError):
+            SimBackend(tiny_trained_model, noise_scheme="bogus")
+
+    def test_supports_noise_keys_flag(self, tiny_trained_model):
+        assert SimBackend(tiny_trained_model).supports_noise_keys
+        assert not SimBackend(tiny_trained_model,
+                              noise_scheme="stream").supports_noise_keys
+
+    def test_scheme_changes_fingerprint(self, tiny_trained_model):
+        per_sample = SimBackend(tiny_trained_model, seed=7).fingerprint()
+        stream = SimBackend(tiny_trained_model, seed=7,
+                            noise_scheme="stream").fingerprint()
+        assert per_sample != stream
+
+
 class TestFingerprint:
     def test_stable_for_same_configuration(self, tiny_trained_model):
         a = SimBackend(tiny_trained_model, seed=7)

@@ -70,6 +70,28 @@ class TestIm2Col:
         with pytest.raises(ShapeError):
             im2col(rng.normal(size=(3, 8, 8)), 3, 3, 1, 0)
 
+    def test_pointwise_fast_path_matches_general_path(self, rng):
+        # 1x1 kernel, stride 1 takes the transpose/reshape shortcut; it
+        # must produce exactly the rows the strided gather would.
+        x = rng.normal(size=(2, 3, 4, 5))
+        cols = im2col(x, 1, 1, 1, 0)
+        assert cols.shape == (2 * 4 * 5, 3)
+        expected = x.transpose(0, 2, 3, 1).reshape(-1, 3)
+        np.testing.assert_array_equal(cols, expected)
+        assert cols.flags["C_CONTIGUOUS"]
+        assert cols.flags["WRITEABLE"]
+
+    def test_pointwise_fast_path_respects_padding(self, rng):
+        x = rng.normal(size=(1, 2, 3, 3))
+        cols = im2col(x, 1, 1, 1, 1)
+        assert cols.shape == (5 * 5, 2)
+        np.testing.assert_array_equal(cols[0], [0.0, 0.0])  # padded corner
+
+    def test_output_is_contiguous_and_writable(self, rng):
+        cols = im2col(rng.normal(size=(2, 3, 8, 8)), 3, 3, 2, 1)
+        assert cols.flags["C_CONTIGUOUS"]
+        assert cols.flags["WRITEABLE"]
+
     def test_conv_via_im2col_matches_direct_loop(self, rng):
         x = rng.normal(size=(1, 2, 6, 6))
         w = rng.normal(size=(4, 2, 3, 3))
@@ -112,6 +134,15 @@ class TestOneHot:
     def test_rejects_matrix_labels(self):
         with pytest.raises(ShapeError):
             one_hot(np.zeros((2, 2), dtype=int), 3)
+
+    def test_default_dtype_is_float64(self):
+        assert one_hot(np.array([0, 1]), 2).dtype == np.float64
+
+    def test_dtype_parameter(self):
+        out = one_hot(np.array([0, 2, 1]), 3, dtype=np.float32)
+        assert out.dtype == np.float32
+        np.testing.assert_array_equal(
+            out, np.array([[1, 0, 0], [0, 0, 1], [0, 1, 0]], dtype=np.float32))
 
 
 class TestSoftmax:

@@ -1,0 +1,153 @@
+"""Tests for repro.stats.vectorized (batched t-tests on the fast path)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import StatisticsError
+from repro.hpc import EventDistributions
+from repro.stats import (
+    SufficientStats,
+    batch_pairwise_tests,
+    cohens_d,
+    regularized_incomplete_beta,
+    regularized_incomplete_beta_array,
+    student_t_test,
+    two_sided_p_values,
+    welch_t_test,
+)
+from repro.stats.distributions import StudentT
+from repro.uarch import ALL_EVENTS, HpcEvent
+
+TOL = 1e-12
+
+
+def _random_distributions(rng, categories=6, events=4, samples=40,
+                          scale=1000.0):
+    data = {}
+    event_list = list(ALL_EVENTS[:events])
+    for cat in range(categories):
+        offset = rng.uniform(-2.0, 2.0)
+        data[cat] = {
+            event: scale + offset + rng.normal(0.0, 3.0, size=samples)
+            for event in event_list
+        }
+    return EventDistributions(data)
+
+
+class TestIncompleteBetaArray:
+    def test_matches_scalar_across_grid(self):
+        a_values = [0.5, 1.0, 3.5, 17.0, 250.0]
+        x_values = [0.0, 1e-9, 0.1, 0.4999, 0.5, 0.73, 1.0 - 1e-9, 1.0]
+        a, x = np.meshgrid(a_values, x_values, indexing="ij")
+        b = np.full_like(a, 0.5)
+        result = regularized_incomplete_beta_array(a, b, x)
+        for (i, j), value in np.ndenumerate(result):
+            expected = regularized_incomplete_beta(a[i, j], b[i, j], x[i, j])
+            assert value == pytest.approx(expected, abs=TOL)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(StatisticsError):
+            regularized_incomplete_beta_array(
+                np.array([-1.0]), np.array([0.5]), np.array([0.5]))
+        with pytest.raises(StatisticsError):
+            regularized_incomplete_beta_array(
+                np.array([1.0]), np.array([0.5]), np.array([1.5]))
+
+    def test_two_sided_p_matches_student_t(self):
+        t = np.array([0.0, 0.3, -2.5, 11.0, -44.0])
+        df = np.array([3.0, 17.4, 98.0, 2.2, 600.0])
+        p = two_sided_p_values(t, df)
+        for ti, dfi, pi in zip(t, df, p):
+            assert pi == pytest.approx(
+                StudentT(dfi).two_sided_p_value(ti), abs=TOL)
+
+
+class TestBatchAgainstScalar:
+    @pytest.mark.parametrize("method", ["welch", "student"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_distributions_match_exactly(self, method, seed):
+        rng = np.random.default_rng(seed)
+        dists = _random_distributions(rng)
+        stats = SufficientStats.from_distributions(dists)
+        arrays = batch_pairwise_tests(stats, method=method)
+        scalar = welch_t_test if method == "welch" else student_t_test
+        pairs = list(itertools.combinations(dists.categories, 2))
+        for ei, event in enumerate(stats.events):
+            for pi, (cat_a, cat_b) in enumerate(pairs):
+                a = dists.values(cat_a, event)
+                b = dists.values(cat_b, event)
+                expected = scalar(a, b)
+                assert arrays.statistic[pi, ei] == pytest.approx(
+                    expected.statistic, abs=TOL, rel=TOL)
+                assert arrays.p_value[pi, ei] == pytest.approx(
+                    expected.p_value, abs=TOL)
+                assert arrays.df[pi, ei] == pytest.approx(
+                    expected.df, abs=TOL, rel=TOL)
+                assert arrays.effect_size[pi, ei] == pytest.approx(
+                    cohens_d(a, b), abs=TOL, rel=TOL)
+
+    @pytest.mark.parametrize("method", ["welch", "student"])
+    def test_unequal_sample_sizes(self, method):
+        rng = np.random.default_rng(7)
+        dists = EventDistributions({
+            0: {HpcEvent.CYCLES: rng.normal(10.0, 2.0, size=31)},
+            1: {HpcEvent.CYCLES: rng.normal(10.5, 4.0, size=97)},
+            2: {HpcEvent.CYCLES: rng.normal(12.0, 1.0, size=8)},
+        })
+        stats = SufficientStats.from_distributions(dists)
+        arrays = batch_pairwise_tests(stats, method=method)
+        scalar = welch_t_test if method == "welch" else student_t_test
+        for pi, (cat_a, cat_b) in enumerate(
+                itertools.combinations([0, 1, 2], 2)):
+            expected = scalar(dists.values(cat_a, HpcEvent.CYCLES),
+                              dists.values(cat_b, HpcEvent.CYCLES))
+            assert arrays.statistic[pi, 0] == pytest.approx(
+                expected.statistic, abs=TOL, rel=TOL)
+            assert arrays.p_value[pi, 0] == pytest.approx(
+                expected.p_value, abs=TOL)
+            assert arrays.df[pi, 0] == pytest.approx(
+                expected.df, abs=TOL, rel=TOL)
+
+    @pytest.mark.parametrize("method", ["welch", "student"])
+    def test_degenerate_constant_distributions(self, method):
+        dists = EventDistributions({
+            0: {HpcEvent.CYCLES: np.full(5, 100.0)},
+            1: {HpcEvent.CYCLES: np.full(5, 100.0)},
+            2: {HpcEvent.CYCLES: np.full(5, 250.0)},
+        })
+        stats = SufficientStats.from_distributions(dists)
+        arrays = batch_pairwise_tests(stats, method=method)
+        scalar = welch_t_test if method == "welch" else student_t_test
+        for pi, (cat_a, cat_b) in enumerate(
+                itertools.combinations([0, 1, 2], 2)):
+            expected = scalar(dists.values(cat_a, HpcEvent.CYCLES),
+                              dists.values(cat_b, HpcEvent.CYCLES))
+            assert arrays.statistic[pi, 0] == expected.statistic
+            assert arrays.p_value[pi, 0] == expected.p_value
+            assert arrays.df[pi, 0] == expected.df
+            assert arrays.effect_size[pi, 0] == cohens_d(
+                dists.values(cat_a, HpcEvent.CYCLES),
+                dists.values(cat_b, HpcEvent.CYCLES))
+
+    def test_rejects_unknown_method(self):
+        rng = np.random.default_rng(3)
+        stats = SufficientStats.from_distributions(
+            _random_distributions(rng, categories=2, events=1))
+        with pytest.raises(StatisticsError):
+            batch_pairwise_tests(stats, method="bogus")
+
+    def test_rejects_single_category(self):
+        stats = SufficientStats(
+            categories=(0,), events=(HpcEvent.CYCLES,),
+            n=np.array([4.0]), mean=np.zeros((1, 1)), var=np.ones((1, 1)))
+        with pytest.raises(StatisticsError):
+            batch_pairwise_tests(stats)
+
+    def test_sufficient_stats_rejects_tiny_samples(self):
+        dists = EventDistributions(
+            {0: {HpcEvent.CYCLES: np.array([1.0])},
+             1: {HpcEvent.CYCLES: np.array([2.0])}})
+        with pytest.raises(StatisticsError):
+            SufficientStats.from_distributions(dists)

@@ -20,6 +20,7 @@ PUBLIC_MODULES = [
     "repro.hpc",
     "repro.nn",
     "repro.obs",
+    "repro.parallel",
     "repro.stats",
     "repro.trace",
     "repro.uarch",

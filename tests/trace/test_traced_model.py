@@ -92,6 +92,51 @@ class TestRun:
         assert first == second
 
 
+class TestBatchedInference:
+    def test_trace_batch_matches_trace_sample(self, traced_inference,
+                                              digits_dataset):
+        batch = digits_dataset.images[:4]
+        batched = traced_inference.trace_batch(batch)
+        assert len(batched) == 4
+        for image, (prediction, trace) in zip(batch, batched):
+            expected_prediction, expected_trace = \
+                traced_inference.trace_sample(image)
+            assert prediction == expected_prediction
+            assert trace.instructions == expected_trace.instructions
+            assert trace.branches == expected_trace.branches
+            np.testing.assert_array_equal(trace.memory_lines(),
+                                          expected_trace.memory_lines())
+
+    def test_run_batch_matches_run(self, traced_inference, digits_dataset):
+        batch = digits_dataset.images[:3]
+        batched = traced_inference.run_batch(batch, CpuModel(seed=0))
+        cpu = CpuModel(seed=0)
+        for image, (prediction, counts) in zip(batch, batched):
+            expected_prediction, expected_counts = traced_inference.run(
+                image, cpu)
+            assert prediction == expected_prediction
+            assert counts == expected_counts
+
+    def test_trace_batch_rejects_unbatched_input(self, traced_inference,
+                                                 digits_dataset):
+        with pytest.raises(TraceError):
+            traced_inference.trace_batch(digits_dataset.images[0])
+        with pytest.raises(TraceError):
+            traced_inference.trace_batch(np.zeros((2, 3, 28, 28)))
+
+    def test_measure_clean_batch_matches_measure_clean(self,
+                                                       tiny_trained_model,
+                                                       digits_dataset):
+        from repro.hpc import SimBackend
+        backend = SimBackend(tiny_trained_model, noise_scale=1.0, seed=3)
+        batch = digits_dataset.images[:3]
+        batched = backend.measure_clean_batch(batch)
+        for image, measurement in zip(batch, batched):
+            expected = backend.measure_clean(image)
+            assert measurement.prediction == expected.prediction
+            assert measurement.counts == expected.counts
+
+
 class TestConstantFootprintMode:
     def test_counts_identical_across_inputs(self, tiny_trained_model,
                                             digits_dataset):
