@@ -1,0 +1,109 @@
+"""Compiled inference engine vs the layer-by-layer forward pass.
+
+Times the MNIST-CNN forward pass in both engines at batch size 1 (the
+measurement pipeline's unit of work — one classification per ``perf
+stat`` window) and batch size 32 (the trainer's evaluation batches), and
+writes the record to ``BENCH_inference.json``.  The CI ``bench-smoke``
+job uploads that file as an artifact, so the speedup trajectory is
+tracked per commit.
+
+Asserted unconditionally:
+
+* compiled and reference logits agree to <= 1e-9;
+* the single-sample compiled forward is >= 3x faster than the layer path.
+
+Timing uses warmup + best-of-``REPEATS`` loops so scheduler noise biases
+both engines equally and the reported ratio reflects steady state.
+
+Environment knobs: ``REPRO_BENCH_INFER_REPS`` (iterations per timing
+loop, default 300), ``REPRO_BENCH_INFER_REPEATS`` (loops kept for the
+best-of reduction, default 7), ``REPRO_BENCH_INFER_OUT`` (output path).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.experiment import build_model
+from repro.nn.engine import compile_model
+
+REPS = int(os.environ.get("REPRO_BENCH_INFER_REPS", "300"))
+REPEATS = int(os.environ.get("REPRO_BENCH_INFER_REPEATS", "7"))
+OUT_PATH = Path(os.environ.get("REPRO_BENCH_INFER_OUT",
+                               "BENCH_inference.json"))
+REQUIRED_SINGLE_SPEEDUP = 3.0
+TOLERANCE = 1e-9
+
+
+def best_of(callable_, reps, repeats):
+    """Best mean-per-call seconds over ``repeats`` loops of ``reps`` calls."""
+    callable_()  # warmup: bind buffers, fault pages, warm caches
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(reps):
+            callable_()
+        best = min(best, (time.perf_counter() - start) / reps)
+    return best
+
+
+def test_compiled_engine_speedup():
+    model = build_model("mnist", seed=3)
+    rng = np.random.default_rng(7)
+    single = rng.standard_normal((1,) + model.input_shape)
+    batch = rng.standard_normal((32,) + model.input_shape)
+
+    plan_single = compile_model(model, batch_size=1)
+    plan_batch = compile_model(model, batch_size=32)
+
+    # Correctness first: a fast engine that drifts is worthless here.
+    for x, plan in ((single, plan_single), (batch, plan_batch)):
+        reference = model.predict_logits(x)
+        drift = float(np.max(np.abs(plan.forward(x) - reference)))
+        assert drift <= TOLERANCE, f"compiled drift {drift} > {TOLERANCE}"
+
+    layers_single_s = best_of(lambda: model.predict_logits(single),
+                              REPS, REPEATS)
+    compiled_single_s = best_of(lambda: plan_single.forward(single),
+                                REPS, REPEATS)
+    batch_reps = max(1, REPS // 4)
+    layers_batch_s = best_of(lambda: model.predict_logits(batch),
+                             batch_reps, REPEATS)
+    compiled_batch_s = best_of(lambda: plan_batch.forward(batch),
+                               batch_reps, REPEATS)
+
+    single_speedup = layers_single_s / compiled_single_s
+    batch_speedup = layers_batch_s / compiled_batch_s
+    record = {
+        "model": model.name,
+        "reps": REPS,
+        "repeats": REPEATS,
+        "fused_layers": plan_single.stats.fused_layers,
+        "ops": plan_single.stats.ops,
+        "layers": plan_single.stats.layers,
+        "single": {
+            "layers_us": round(layers_single_s * 1e6, 2),
+            "compiled_us": round(compiled_single_s * 1e6, 2),
+            "speedup": round(single_speedup, 3),
+        },
+        "batch32": {
+            "layers_us": round(layers_batch_s * 1e6, 2),
+            "compiled_us": round(compiled_batch_s * 1e6, 2),
+            "speedup": round(batch_speedup, 3),
+        },
+        "max_abs_drift": float(np.max(np.abs(
+            plan_single.forward(single) - model.predict_logits(single)))),
+    }
+    OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {OUT_PATH}: single {single_speedup:.2f}x "
+          f"({record['single']['layers_us']}us -> "
+          f"{record['single']['compiled_us']}us), "
+          f"batch32 {batch_speedup:.2f}x")
+
+    assert single_speedup >= REQUIRED_SINGLE_SPEEDUP, (
+        f"compiled single-sample forward only {single_speedup:.2f}x faster "
+        f"than the layer path (required {REQUIRED_SINGLE_SPEEDUP:.0f}x)"
+    )

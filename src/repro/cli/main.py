@@ -62,6 +62,11 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
                         help="measurement worker processes (default: 1, "
                              "in-process; results are identical for any "
                              "worker count)")
+    parser.add_argument("--engine", choices=("layers", "compiled"),
+                        default=None,
+                        help="forward-pass implementation (default: "
+                             "compiled; identical results, 'layers' runs "
+                             "the reference path)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk artifact cache")
     parser.add_argument("--seed", type=int, default=None,
@@ -80,6 +85,8 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         kwargs["categories"] = tuple(args.categories)
     if getattr(args, "workers", None) is not None:
         kwargs["workers"] = args.workers
+    if getattr(args, "engine", None) is not None:
+        kwargs["engine"] = args.engine
     if args.no_cache:
         kwargs["cache_dir"] = ""
     if args.seed is not None:

@@ -25,6 +25,7 @@ from ..errors import ConfigError
 from ..hpc.distributions import EventDistributions
 from ..hpc.session import MeasurementCache, MeasurementSession
 from ..hpc.sim_backend import SimBackend
+from ..nn.engine import ENGINES
 from ..nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
 from ..nn.model import Sequential
 from ..nn.optimizers import Adam
@@ -76,6 +77,10 @@ class ExperimentConfig:
             sequential ``"stream"``.
         workers: Measurement worker processes (1 = in-process collection;
             the worker count never changes the measured distributions).
+        engine: Forward-pass implementation of the measurement pipeline —
+            ``"compiled"`` (default) runs the frozen inference plan,
+            ``"layers"`` the layer-by-layer reference path.  The engine
+            never changes measured values or verdicts, only speed.
         trace_config: Trace-generation knobs.
         cpu_config: Simulated microarchitecture.
         confidence: Evaluator confidence level.
@@ -100,6 +105,7 @@ class ExperimentConfig:
     noise_seed: int = 5
     noise_scheme: str = "per-sample"
     workers: int = 1
+    engine: str = "compiled"
     trace_config: TraceConfig = field(default_factory=TraceConfig)
     cpu_config: CpuConfig = field(default_factory=CpuConfig)
     confidence: float = 0.95
@@ -115,6 +121,9 @@ class ExperimentConfig:
             raise ConfigError("need at least two monitored categories")
         if self.workers < 1:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.engine not in ENGINES:
+            raise ConfigError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}")
 
     # ------------------------------------------------------------------
     # Derived pieces
@@ -205,13 +214,14 @@ def prepare_model(config: ExperimentConfig,
     if model_path is not None and model_path.exists():
         obs.inc("cache.hit", kind="model")
         model = load_model(model_path)
-        trainer = Trainer(model)
+        trainer = Trainer(model, engine=config.engine)
         return model, trainer.evaluate(holdout.images, holdout.labels)
     if model_path is not None:
         obs.inc("cache.miss", kind="model")
     model = build_model(config.dataset, seed=config.model_seed)
     trainer = Trainer(model, optimizer=Adam(config.learning_rate),
-                      batch_size=32, shuffle_seed=config.model_seed)
+                      batch_size=32, shuffle_seed=config.model_seed,
+                      engine=config.engine)
     trainer.fit(train.images, train.labels, epochs=config.epochs,
                 verbose=verbose)
     accuracy = trainer.evaluate(holdout.images, holdout.labels)
@@ -230,6 +240,7 @@ def make_backend(config: ExperimentConfig, model: Sequential) -> SimBackend:
         noise_scale=config.noise_scale,
         seed=config.noise_seed,
         noise_scheme=config.noise_scheme,
+        engine=config.engine,
     )
 
 

@@ -29,6 +29,10 @@ class TrainingError(ReproError):
     """Model training failed (divergence, bad hyper-parameters...)."""
 
 
+class EngineError(ReproError):
+    """The inference engine could not compile or execute a plan."""
+
+
 class SerializationError(ReproError):
     """A model or measurement archive could not be written or read back."""
 

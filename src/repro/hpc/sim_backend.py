@@ -76,6 +76,11 @@ class SimBackend(HpcBackend):
             order (see :mod:`repro.parallel`).  ``"stream"`` restores the
             legacy behavior of one sequential generator shared by all
             measurements.
+        engine: Forward-pass implementation behind the tracers —
+            ``"compiled"`` (default) or ``"layers"``; see
+            :class:`repro.trace.TracedInference`.  The engine never
+            changes measured values (and therefore does not enter
+            :meth:`fingerprint`), only how fast they are produced.
     """
 
     name = "sim"
@@ -86,7 +91,8 @@ class SimBackend(HpcBackend):
                  noise_scale: float = 1.0,
                  noise_profile: Optional[Dict[HpcEvent, float]] = None,
                  seed: int = 0,
-                 noise_scheme: str = "per-sample"):
+                 noise_scheme: str = "per-sample",
+                 engine: str = "compiled"):
         if noise_scale < 0:
             raise BackendError(f"noise_scale must be >= 0, got {noise_scale}")
         if noise_scheme not in NOISE_SCHEMES:
@@ -103,7 +109,9 @@ class SimBackend(HpcBackend):
             self.noise_profile.update(noise_profile)
         self.seed = seed
         self.noise_scheme = noise_scheme
-        self.traced = TracedInference(model, self.trace_config)
+        self.engine = engine
+        self.traced = TracedInference(model, self.trace_config,
+                                      engine=engine)
         self.cpu = CpuModel(self.cpu_config, seed=seed)
         self._noise_seed = seed
         self._rng = np.random.default_rng(seed)

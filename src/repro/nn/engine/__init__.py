@@ -1,0 +1,35 @@
+"""Compiled inference engine: graph freezing + workspace reuse.
+
+Compiles a built :class:`repro.nn.Sequential` into an
+:class:`InferencePlan` — BatchNorm folded into the preceding GEMM,
+Dropout dropped, ReLU fused into GEMM epilogues, and every buffer
+preallocated per batch size — so the steady-state forward pass allocates
+nothing and skips all layer-dispatch bookkeeping::
+
+    plan = model.compile_inference(batch_size=32)   # or engine.compile
+    logits = plan.forward(batch)                    # == model.predict_logits
+
+The layer-by-layer path remains the reference implementation; the plan
+matches it to <= 1e-9 (see ``benchmarks/bench_inference.py`` for the
+speedup gate and ``tests/nn/test_engine.py`` for the equivalence
+contract).
+"""
+
+from .freezer import FreezeStats, FrozenOp, freeze
+from .plan import InferencePlan, compile_model
+
+#: Engine identifiers accepted by the pipeline's ``engine=`` knobs.
+ENGINES = ("layers", "compiled")
+
+# `engine.compile(model)` reads naturally at call sites.
+compile = compile_model  # noqa: A001 - deliberate, module-scoped
+
+__all__ = [
+    "ENGINES",
+    "FreezeStats",
+    "FrozenOp",
+    "InferencePlan",
+    "compile",
+    "compile_model",
+    "freeze",
+]

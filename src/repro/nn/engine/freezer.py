@@ -1,0 +1,571 @@
+"""Graph freezing: turn a built :class:`Sequential` into frozen ops.
+
+Freezing walks the layer stack once and emits a flat list of
+:class:`FrozenOp` records, applying the classic inference-graph
+simplifications:
+
+* **constant folding** — BatchNorm running statistics collapse into the
+  preceding Conv2D/Dense weights and bias (``scale = gamma /
+  sqrt(running_var + eps)``, ``shift = beta - running_mean * scale``);
+* **dead-layer elimination** — Dropout is the identity at inference and
+  is dropped outright;
+* **epilogue fusion** — a ReLU/LeakyReLU immediately following a GEMM (or
+  folded affine) becomes an in-place epilogue of that op instead of a
+  separate pass;
+* **layout propagation** — conv GEMM outputs stay in NHWC between fused
+  ops (the GEMM writes NHWC for free); Dense weights are permuted once so
+  a Flatten of an NHWC map costs nothing, and a conversion op is inserted
+  only where canonical order is genuinely required.
+
+``preserve_layers=True`` disables every transformation and emits exactly
+one canonical-layout op per layer, each replicating its layer's
+arithmetic operation-for-operation.  That mode exists for
+:class:`repro.trace.TracedInference`, whose per-layer tracers need the
+exact intermediate activations (including ReLU zero patterns) of the
+reference implementation.
+
+Ops hold plain arrays and layer references only — no buffers or views —
+so a frozen plan pickles cleanly into worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ...errors import EngineError
+from ..layers import (
+    AvgPool2D,
+    BatchNorm1D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Tanh,
+)
+from ..model import Sequential
+from . import kernels
+from .kernels import CANONICAL, FLAT_NHWC, NHWC
+
+
+@dataclass
+class FreezeStats:
+    """What freezing did to the graph (exposed as ``plan.stats``)."""
+
+    layers: int = 0
+    ops: int = 0
+    folded_batchnorm: int = 0
+    fused_activations: int = 0
+    dropped_layers: int = 0
+    layout_converts: int = 0
+
+    @property
+    def fused_layers(self) -> int:
+        """Layers eliminated from the op list by folding/fusion/dropping."""
+        return (self.folded_batchnorm + self.fused_activations
+                + self.dropped_layers)
+
+    def as_dict(self) -> dict:
+        return {
+            "layers": self.layers,
+            "ops": self.ops,
+            "folded_batchnorm": self.folded_batchnorm,
+            "fused_activations": self.fused_activations,
+            "dropped_layers": self.dropped_layers,
+            "layout_converts": self.layout_converts,
+            "fused_layers": self.fused_layers,
+        }
+
+
+class FrozenOp:
+    """One executable step of an :class:`InferencePlan`.
+
+    Attributes:
+        label: Display name (fused ops join their source layer names).
+        in_shape / out_shape: Per-sample shapes in *canonical* order.
+        in_layout / out_layout: Buffer layout tags (see :mod:`.kernels`).
+    """
+
+    def __init__(self, label: str, in_shape: Tuple[int, ...],
+                 out_shape: Tuple[int, ...], in_layout: str, out_layout: str):
+        self.label = label
+        self.in_shape = tuple(in_shape)
+        self.out_shape = tuple(out_shape)
+        self.in_layout = in_layout
+        self.out_layout = out_layout
+
+    def bind(self, n: int, src: np.ndarray):
+        """Allocate this op's output buffer for batch size ``n``.
+
+        Returns ``(out_buffer, runs)`` where ``runs`` is the flat list of
+        zero-argument thunks executing the op from ``src`` into the
+        returned buffer.
+        """
+        raise NotImplementedError
+
+    def _out(self, n: int) -> np.ndarray:
+        return np.empty(kernels.buffer_shape(n, self.out_shape,
+                                             self.out_layout))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{type(self).__name__}({self.label!r}, "
+                f"{self.in_layout}->{self.out_layout})")
+
+
+class ConvOp(FrozenOp):
+    """im2col GEMM with the bias folded in as a constant ones column.
+
+    The patch buffer carries ``K + 1`` columns whose last column is fixed
+    to 1 at bind time, and the weight matrix carries the bias as its last
+    row — the bias-add then rides along inside the GEMM instead of a
+    separate broadcast pass.  In ``preserve`` mode the op instead mirrors
+    :meth:`Conv2D.forward` step for step (strided im2col order, ``cols @
+    W.T``, separate bias add, transpose to NCHW).
+    """
+
+    def __init__(self, label, in_shape, out_shape, kernel, stride, padding,
+                 weight, bias, in_layout, preserve=False):
+        out_layout = CANONICAL if preserve else NHWC
+        super().__init__(label, in_shape, out_shape, in_layout, out_layout)
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self.weight = weight          # (filters, in_ch, k, k)
+        self.bias = bias              # (filters,) or None
+        self.preserve = preserve
+        self.activation: Optional[str] = None
+        self.alpha = 0.0
+
+    def bind(self, n: int, src: np.ndarray):
+        c, h, w = self.in_shape
+        filters, out_h, out_w = self.out_shape
+        k, stride, pad = self.kernel, self.stride, self.padding
+        patch = c * k * k
+        runs = []
+        if pad:
+            padded = np.zeros(kernels.buffer_shape(
+                n, (c, h + 2 * pad, w + 2 * pad), self.in_layout))
+            if self.in_layout == CANONICAL:
+                interior = padded[:, :, pad:pad + h, pad:pad + w]
+            else:
+                interior = padded[:, pad:pad + h, pad:pad + w, :]
+            runs.append(partial(np.copyto, interior, src))
+            src = padded
+
+        fold_bias = self.bias is not None and not self.preserve
+        ncols = patch + 1 if fold_bias else patch
+        if not self.preserve and self.in_layout == CANONICAL:
+            # Plane-major patch buffer: every feature column is one
+            # contiguous (n*oh*ow) plane, which the canonical source view
+            # fills row-contiguously — ~4x faster than the row-major
+            # unfold on NCHW inputs.  The GEMM consumes it through a
+            # transposed view, which BLAS handles natively.
+            cols = np.empty((ncols, n * out_h * out_w))
+            if fold_bias:
+                cols[patch] = 1.0
+            runs.extend(kernels.conv_plane_copy(
+                src, cols[:patch], c, k, stride, out_h, out_w))
+            cols2d = cols.T
+        else:
+            cols = np.empty((n, out_h, out_w, ncols))
+            if fold_bias:
+                cols[..., patch] = 1.0
+            runs.extend(kernels.conv_slot_copies(
+                src, cols[..., :patch] if fold_bias else cols, c, k, stride,
+                self.in_layout))
+            cols2d = cols.reshape(n * out_h * out_w, ncols)
+
+        if self.preserve:
+            kernel_mat = self.weight.reshape(filters, patch)
+            rows = np.empty((n * out_h * out_w, filters))
+            out = self._out(n)
+            nhwc_view = rows.reshape(n, out_h, out_w, filters)
+            runs.append(partial(np.matmul, cols2d, kernel_mat.T, out=rows))
+            if self.bias is not None:
+                runs.append(partial(np.add, rows, self.bias, out=rows))
+            runs.append(partial(np.copyto, out,
+                                nhwc_view.transpose(0, 3, 1, 2)))
+            return out, runs
+
+        if self.in_layout == CANONICAL:
+            weight_mat = self.weight.reshape(filters, patch).T.copy()
+        else:
+            weight_mat = self.weight.transpose(0, 2, 3, 1).reshape(
+                filters, patch).T.copy()
+        if fold_bias:
+            weight_mat = np.concatenate([weight_mat, self.bias[None, :]])
+        out = self._out(n)
+        rows = out.reshape(n * out_h * out_w, filters)
+        runs.append(partial(np.matmul, cols2d, weight_mat, out=rows))
+        if self.activation is not None:
+            runs.extend(kernels.activation_runs(out, self.activation,
+                                                self.alpha))
+        return out, runs
+
+
+class DenseOp(FrozenOp):
+    """GEMM over flat features; weights pre-permuted for NHWC inputs."""
+
+    def __init__(self, label, in_shape, out_shape, weight, bias, in_layout):
+        super().__init__(label, in_shape, out_shape, in_layout, CANONICAL)
+        self.weight = weight          # (in_features, units)
+        self.bias = bias
+        self.activation: Optional[str] = None
+        self.alpha = 0.0
+
+    def bind(self, n: int, src: np.ndarray):
+        out = self._out(n)
+        runs = [partial(np.matmul, src, self.weight, out=out)]
+        if self.bias is not None:
+            runs.append(partial(np.add, out, self.bias, out=out))
+        if self.activation is not None:
+            runs.extend(kernels.activation_runs(out, self.activation,
+                                                self.alpha))
+        return out, runs
+
+
+class PoolOp(FrozenOp):
+    """Window pooling via pairwise slot reduction (no im2col, no argmax)."""
+
+    def __init__(self, label, in_shape, out_shape, pool, stride, mode,
+                 in_layout):
+        super().__init__(label, in_shape, out_shape, in_layout, in_layout)
+        if mode not in ("max", "avg"):
+            raise EngineError(f"unknown pool mode {mode!r}")
+        self.pool = pool
+        self.stride = stride
+        self.mode = mode
+
+    def bind(self, n: int, src: np.ndarray):
+        out_h, out_w = (self.out_shape[1], self.out_shape[2])
+        views = kernels.pool_slot_views(src, self.pool, self.stride, out_h,
+                                        out_w, self.in_layout)
+        out = self._out(n)
+        reduce = np.maximum if self.mode == "max" else np.add
+        if len(views) == 1:
+            runs = [partial(np.copyto, out, views[0])]
+        else:
+            # First reduction consumes two slots at once, skipping the
+            # seed copy whose dispatch cost matters at batch size 1.
+            runs = [partial(reduce, views[0], views[1], out=out)]
+            runs.extend(partial(reduce, out, view, out=out)
+                        for view in views[2:])
+        if self.mode == "avg":
+            runs.append(partial(np.divide, out, float(self.pool * self.pool),
+                                out=out))
+        return out, runs
+
+
+class GlobalPoolOp(FrozenOp):
+    """Spatial mean per channel: ``(c, h, w) -> (c,)``."""
+
+    def bind(self, n: int, src: np.ndarray):
+        out = self._out(n)
+        axis = (2, 3) if self.in_layout == CANONICAL else (1, 2)
+        return out, [partial(np.mean, src, axis=axis, out=out)]
+
+
+class FlattenOp(FrozenOp):
+    """Zero-cost reshape alias of the previous op's buffer."""
+
+    def bind(self, n: int, src: np.ndarray):
+        return src.reshape(n, -1), []
+
+
+class IdentityOp(FrozenOp):
+    """Alias op standing in for inference-inert layers (preserve mode)."""
+
+    def bind(self, n: int, src: np.ndarray):
+        return src, []
+
+
+class AffineOp(FrozenOp):
+    """Folded standalone BatchNorm: ``y = x * scale + shift``."""
+
+    def __init__(self, label, in_shape, in_layout, scale, shift):
+        super().__init__(label, in_shape, in_shape, in_layout, in_layout)
+        self.scale = scale
+        self.shift = shift
+        self.activation: Optional[str] = None
+        self.alpha = 0.0
+
+    def _broadcast(self, values: np.ndarray) -> np.ndarray:
+        if self.in_layout == CANONICAL and len(self.in_shape) == 3:
+            return values[:, None, None]
+        return values
+
+    def bind(self, n: int, src: np.ndarray):
+        out = self._out(n)
+        runs = [partial(np.multiply, src, self._broadcast(self.scale),
+                        out=out),
+                partial(np.add, out, self._broadcast(self.shift), out=out)]
+        if self.activation is not None:
+            runs.extend(kernels.activation_runs(out, self.activation,
+                                                self.alpha))
+        return out, runs
+
+
+class BatchNormOp(FrozenOp):
+    """Preserve-mode BatchNorm replicating the layer's exact op order."""
+
+    def __init__(self, label, in_shape, mean, inv_std, gamma, beta):
+        super().__init__(label, in_shape, in_shape, CANONICAL, CANONICAL)
+        self.mean = mean
+        self.inv_std = inv_std
+        self.gamma = gamma
+        self.beta = beta
+
+    def bind(self, n: int, src: np.ndarray):
+        if len(self.in_shape) == 3:
+            shape = (-1, 1, 1)
+        else:
+            shape = (-1,)
+        mean = self.mean.reshape(shape)
+        inv_std = self.inv_std.reshape(shape)
+        gamma = self.gamma.reshape(shape)
+        beta = self.beta.reshape(shape)
+        out = self._out(n)
+        # Exactly the layer's `(x - mean) * inv_std * gamma + beta`
+        # element-wise sequence, so values are bit-identical.
+        return out, [partial(np.subtract, src, mean, out=out),
+                     partial(np.multiply, out, inv_std, out=out),
+                     partial(np.multiply, out, gamma, out=out),
+                     partial(np.add, out, beta, out=out)]
+
+
+class ActivationOp(FrozenOp):
+    """Standalone element-wise activation (any layout)."""
+
+    def __init__(self, label, in_shape, in_layout, activation,
+                 alpha: float = 0.0):
+        super().__init__(label, in_shape, in_shape, in_layout, in_layout)
+        self.activation = activation
+        self.alpha = alpha
+
+    def bind(self, n: int, src: np.ndarray):
+        out = self._out(n)
+        return out, kernels.activation_runs(out, self.activation, self.alpha,
+                                            src=src)
+
+
+class GenericOp(FrozenOp):
+    """Fallback wrapping ``layer.forward`` (RNNs, Softmax, exotic layers).
+
+    Requires canonical layout on both sides; the freezer inserts a
+    :class:`ConvertOp` in front when needed.
+    """
+
+    def __init__(self, label, layer):
+        super().__init__(label, layer.input_shape, layer.output_shape,
+                         CANONICAL, CANONICAL)
+        self.layer = layer
+
+    def bind(self, n: int, src: np.ndarray):
+        out = self._out(n)
+        layer = self.layer
+
+        def run():
+            np.copyto(out, layer.forward(src, training=False))
+        return out, [run]
+
+
+class ConvertOp(FrozenOp):
+    """Restore canonical order from an engine-internal layout."""
+
+    def __init__(self, label, shape, in_layout, spatial_shape=None):
+        super().__init__(label, shape, shape, in_layout, CANONICAL)
+        if in_layout not in (NHWC, FLAT_NHWC):
+            raise EngineError(
+                f"nothing to convert from layout {in_layout!r}")
+        # The (c, h, w) shape behind a FLAT_NHWC feature vector.
+        self.spatial_shape = spatial_shape
+
+    def bind(self, n: int, src: np.ndarray):
+        out = self._out(n)
+        if self.in_layout == NHWC:
+            return out, [partial(np.copyto, out, src.transpose(0, 3, 1, 2))]
+        order = kernels.nhwc_feature_order(self.spatial_shape)
+        inverse = np.empty_like(order)
+        inverse[order] = np.arange(order.size)
+        return out, [partial(np.take, src, inverse, axis=1, out=out)]
+
+
+_FUSABLE = (ConvOp, DenseOp, AffineOp)
+
+
+def freeze(model: Sequential, preserve_layers: bool = False
+           ) -> Tuple[List[FrozenOp], FreezeStats]:
+    """Emit the frozen op list (and stats) for a built model."""
+    if not model.built:
+        raise EngineError(
+            f"model {model.name!r} must be built before freezing")
+    stats = FreezeStats(layers=len(model.layers))
+    ops: List[FrozenOp] = []
+    layout = CANONICAL
+    # Spatial (c, h, w) shape behind the current FLAT_NHWC layout, needed
+    # to permute per-feature constants (Dense weights, BN scale/shift).
+    nhwc_flat_shape: Optional[Tuple[int, int, int]] = None
+
+    def current_shape() -> Tuple[int, ...]:
+        return ops[-1].out_shape if ops else model.input_shape
+
+    def ensure_canonical() -> None:
+        nonlocal layout
+        if layout != CANONICAL:
+            ops.append(ConvertOp("to_canonical", current_shape(), layout,
+                                 spatial_shape=nhwc_flat_shape))
+            stats.layout_converts += 1
+            layout = CANONICAL
+
+    for layer in model.layers:
+        if preserve_layers:
+            ops.append(_freeze_preserved(layer))
+            continue
+        if isinstance(layer, Dropout):
+            stats.dropped_layers += 1
+            continue
+        if isinstance(layer, (BatchNorm1D, BatchNorm2D)):
+            scale = layer.gamma.value / np.sqrt(layer.running_var
+                                                + layer.epsilon)
+            shift = layer.beta.value - layer.running_mean * scale
+            if ops and isinstance(ops[-1], (ConvOp, DenseOp)) \
+                    and ops[-1].activation is None:
+                _fold_batchnorm(ops[-1], scale, shift)
+                ops[-1].label += f"+{layer.name}"
+                stats.folded_batchnorm += 1
+            else:
+                if layout == FLAT_NHWC:
+                    order = kernels.nhwc_feature_order(nhwc_flat_shape)
+                    scale, shift = scale[order], shift[order]
+                ops.append(AffineOp(layer.name, current_shape(), layout,
+                                    scale, shift))
+            continue
+        if isinstance(layer, (ReLU, LeakyReLU)):
+            alpha = getattr(layer, "alpha", 0.0)
+            kind = "relu" if isinstance(layer, ReLU) else "leaky_relu"
+            if alpha <= 1.0 and ops and isinstance(ops[-1], _FUSABLE) \
+                    and ops[-1].activation is None:
+                ops[-1].activation = kind
+                ops[-1].alpha = alpha
+                ops[-1].label += f"+{layer.name}"
+                stats.fused_activations += 1
+            elif alpha <= 1.0:
+                ops.append(ActivationOp(layer.name, current_shape(), layout,
+                                        kind, alpha))
+            else:
+                ensure_canonical()
+                ops.append(GenericOp(layer.name, layer))
+            continue
+        if isinstance(layer, Tanh):
+            ops.append(ActivationOp(layer.name, current_shape(), layout,
+                                    "tanh"))
+            continue
+        if isinstance(layer, Conv2D):
+            ops.append(ConvOp(
+                layer.name, layer.input_shape, layer.output_shape,
+                layer.kernel, layer.stride, layer.padding,
+                layer.weight.value.copy(),
+                layer.bias.value.copy() if layer.use_bias else None,
+                layout))
+            layout = NHWC
+            continue
+        if isinstance(layer, Dense):
+            weight = layer.weight.value.copy()
+            if layout == FLAT_NHWC:
+                # One permutation at freeze time makes the NHWC-flattened
+                # activations directly consumable: x_nhwc @ W[order] ==
+                # x_canonical @ W.
+                weight = weight[kernels.nhwc_feature_order(nhwc_flat_shape)]
+            ops.append(DenseOp(
+                layer.name, layer.input_shape, layer.output_shape, weight,
+                layer.bias.value.copy() if layer.use_bias else None, layout))
+            layout = CANONICAL
+            continue
+        if isinstance(layer, (MaxPool2D, AvgPool2D)):
+            mode = "max" if isinstance(layer, MaxPool2D) else "avg"
+            ops.append(PoolOp(layer.name, layer.input_shape,
+                              layer.output_shape, layer.pool, layer.stride,
+                              mode, layout))
+            continue
+        if isinstance(layer, GlobalAvgPool2D):
+            ops.append(GlobalPoolOp(layer.name, layer.input_shape,
+                                    layer.output_shape, layout, CANONICAL))
+            layout = CANONICAL
+            continue
+        if isinstance(layer, Flatten):
+            out_layout = FLAT_NHWC if layout == NHWC else CANONICAL
+            if out_layout == FLAT_NHWC:
+                nhwc_flat_shape = layer.input_shape
+            ops.append(FlattenOp(layer.name, layer.input_shape,
+                                 layer.output_shape, layout, out_layout))
+            layout = out_layout
+            continue
+        ensure_canonical()
+        ops.append(GenericOp(layer.name, layer))
+
+    if not preserve_layers and layout != CANONICAL:
+        ops.append(ConvertOp("to_canonical", current_shape(), layout,
+                             spatial_shape=nhwc_flat_shape))
+        stats.layout_converts += 1
+    stats.ops = len(ops)
+    return ops, stats
+
+
+def _fold_batchnorm(op: FrozenOp, scale: np.ndarray,
+                    shift: np.ndarray) -> None:
+    """Fold per-channel scale/shift into a ConvOp/DenseOp in place."""
+    if isinstance(op, ConvOp):
+        op.weight *= scale[:, None, None, None]
+    else:
+        op.weight *= scale[None, :]
+    bias = op.bias if op.bias is not None else 0.0
+    op.bias = bias * scale + shift
+
+
+def _freeze_preserved(layer) -> FrozenOp:
+    """The one-op-per-layer canonical emission of preserve mode."""
+    if isinstance(layer, Conv2D):
+        return ConvOp(layer.name, layer.input_shape, layer.output_shape,
+                      layer.kernel, layer.stride, layer.padding,
+                      layer.weight.value.copy(),
+                      layer.bias.value.copy() if layer.use_bias else None,
+                      CANONICAL, preserve=True)
+    if isinstance(layer, Dense):
+        return DenseOp(layer.name, layer.input_shape, layer.output_shape,
+                       layer.weight.value.copy(),
+                       layer.bias.value.copy() if layer.use_bias else None,
+                       CANONICAL)
+    if isinstance(layer, (BatchNorm1D, BatchNorm2D)):
+        inv_std = 1.0 / np.sqrt(layer.running_var + layer.epsilon)
+        return BatchNormOp(layer.name, layer.input_shape,
+                           layer.running_mean.copy(), inv_std,
+                           layer.gamma.value.copy(), layer.beta.value.copy())
+    if isinstance(layer, Dropout):
+        return IdentityOp(layer.name, layer.input_shape, layer.output_shape,
+                          CANONICAL, CANONICAL)
+    if isinstance(layer, ReLU):
+        return ActivationOp(layer.name, layer.input_shape, CANONICAL, "relu")
+    if isinstance(layer, LeakyReLU) and layer.alpha <= 1.0:
+        return ActivationOp(layer.name, layer.input_shape, CANONICAL,
+                            "leaky_relu", layer.alpha)
+    if isinstance(layer, Tanh):
+        return ActivationOp(layer.name, layer.input_shape, CANONICAL, "tanh")
+    if isinstance(layer, (MaxPool2D, AvgPool2D)):
+        mode = "max" if isinstance(layer, MaxPool2D) else "avg"
+        return PoolOp(layer.name, layer.input_shape, layer.output_shape,
+                      layer.pool, layer.stride, mode, CANONICAL)
+    if isinstance(layer, GlobalAvgPool2D):
+        return GlobalPoolOp(layer.name, layer.input_shape,
+                            layer.output_shape, CANONICAL, CANONICAL)
+    if isinstance(layer, Flatten):
+        return FlattenOp(layer.name, layer.input_shape, layer.output_shape,
+                         CANONICAL, CANONICAL)
+    return GenericOp(layer.name, layer)

@@ -1,0 +1,168 @@
+"""Low-level view machinery of the compiled inference engine.
+
+The engine never allocates in steady state: at *bind* time each frozen op
+precomputes NumPy views over preallocated workspace buffers (source window
+-> destination slot), and each call then reduces to a short flat list of
+``np.copyto`` / ``np.maximum`` / ``np.matmul(..., out=...)`` invocations
+over those views.
+
+Layout tags
+-----------
+
+``"canonical"``
+    ``(n,) + semantic_shape`` — the framework's native order (NCHW for
+    feature maps, C-major feature vectors).  Plan inputs and outputs are
+    always canonical.
+``"nhwc"``
+    ``(n, h, w, c)`` — the natural output order of the im2col GEMM.  Kept
+    internal between fused ops so conv outputs never pay a transpose.
+``"flat_nhwc"``
+    ``(n, features)`` with NHWC feature order — a Flatten applied to an
+    NHWC map.  Dense weights are permuted once at freeze time to consume
+    it directly.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import partial
+from typing import List, Tuple
+
+import numpy as np
+
+from ...errors import EngineError
+
+CANONICAL = "canonical"
+NHWC = "nhwc"
+FLAT_NHWC = "flat_nhwc"
+
+
+def buffer_shape(n: int, shape: Tuple[int, ...], layout: str) -> Tuple[int, ...]:
+    """Concrete buffer shape for a per-sample canonical ``shape``."""
+    if layout == CANONICAL:
+        return (n,) + tuple(shape)
+    if layout == NHWC:
+        c, h, w = shape
+        return (n, h, w, c)
+    if layout == FLAT_NHWC:
+        return (n, int(math.prod(shape)))
+    raise EngineError(f"unknown buffer layout {layout!r}")
+
+
+def nhwc_feature_order(shape: Tuple[int, int, int]) -> np.ndarray:
+    """Canonical index of each NHWC-flattened feature.
+
+    ``flat_nhwc[:, j] == flat_canonical[:, order[j]]``; a Dense weight
+    matrix consuming NHWC-flattened input is therefore ``weight[order]``.
+    """
+    c, h, w = shape
+    return np.transpose(
+        np.arange(c * h * w).reshape(c, h, w), (1, 2, 0)).ravel()
+
+
+def conv_slot_copies(src: np.ndarray, cols: np.ndarray, channels: int,
+                     kernel: int, stride: int, layout: str) -> List:
+    """A single ``np.copyto`` thunk populating an im2col buffer from ``src``.
+
+    ``src`` is the (already padded) input buffer; ``cols`` the 4-D patch
+    buffer ``(n, out_h, out_w, columns)``.  Both sides are expressed as
+    6-D strided views — source windows gathered with stride tricks, the
+    destination's column axis split into its semantic factors — so the
+    whole unfold is one C-level copy rather than ``kernel**2`` small calls
+    whose fixed dispatch cost dominates single-sample inference.  Column
+    order is ``(c, ky, kx)`` for canonical input — matching
+    :func:`repro.nn.tensor_utils.im2col` — and ``(ky, kx, c)`` for NHWC
+    input, matching the NHWC-ordered kernel matrix.
+    """
+    n, out_h, out_w = cols.shape[0], cols.shape[1], cols.shape[2]
+    d0, d1, d2, d3 = cols.strides
+    s0, s1, s2, s3 = src.strides
+    if layout == CANONICAL:
+        # src (n, c, H, W) windows -> (n, oh, ow, c, ky, kx)
+        sv = np.lib.stride_tricks.as_strided(
+            src, shape=(n, out_h, out_w, channels, kernel, kernel),
+            strides=(s0, s2 * stride, s3 * stride, s1, s2, s3),
+            writeable=False)
+        dv = np.lib.stride_tricks.as_strided(
+            cols, shape=(n, out_h, out_w, channels, kernel, kernel),
+            strides=(d0, d1, d2, d3 * kernel * kernel, d3 * kernel, d3))
+    else:
+        # src (n, H, W, c) windows -> (n, oh, ow, ky, kx, c)
+        sv = np.lib.stride_tricks.as_strided(
+            src, shape=(n, out_h, out_w, kernel, kernel, channels),
+            strides=(s0, s1 * stride, s2 * stride, s1, s2, s3),
+            writeable=False)
+        dv = np.lib.stride_tricks.as_strided(
+            cols, shape=(n, out_h, out_w, kernel, kernel, channels),
+            strides=(d0, d1, d2, d3 * kernel * channels, d3 * channels, d3))
+    return [partial(np.copyto, dv, sv)]
+
+
+def conv_plane_copy(src: np.ndarray, planes: np.ndarray, channels: int,
+                    kernel: int, stride: int, out_h: int,
+                    out_w: int) -> List:
+    """Single-copy unfold into a plane-major patch buffer.
+
+    ``planes`` has shape ``(c * k * k, n * out_h * out_w)`` — feature
+    major, so every destination plane is contiguous and the matching
+    source view over a canonical (NCHW) ``src`` walks the image
+    row-contiguously.  This beats the row-major unfold of
+    :func:`conv_slot_copies` by ~4x on canonical inputs; NHWC inputs
+    iterate their channel axis innermost and keep the row-major buffer.
+    """
+    n = src.shape[0]
+    s0, s1, s2, s3 = src.strides
+    sv = np.lib.stride_tricks.as_strided(
+        src, shape=(channels, kernel, kernel, n, out_h, out_w),
+        strides=(s1, s2, s3, s0, s2 * stride, s3 * stride),
+        writeable=False)
+    dv = planes.reshape(channels, kernel, kernel, n, out_h, out_w)
+    return [partial(np.copyto, dv, sv)]
+
+
+def pool_slot_views(src: np.ndarray, pool: int, stride: int, out_h: int,
+                    out_w: int, layout: str) -> List[np.ndarray]:
+    """One source view per window offset, each shaped like the pool output.
+
+    Valid for any ``stride``/``pool`` combination (overlapping windows just
+    read the same elements from several views) and for both spatial
+    layouts.  Reducing these views pairwise (``np.maximum`` / ``np.add``)
+    replaces the im2col + axis-reduction of the layer path, which is
+    pathologically slow on the small per-sample maps of the paper's CNNs.
+    """
+    views = []
+    for ky in range(pool):
+        for kx in range(pool):
+            if layout == CANONICAL:
+                views.append(src[:, :, ky:ky + stride * out_h:stride,
+                                 kx:kx + stride * out_w:stride])
+            else:
+                views.append(src[:, ky:ky + stride * out_h:stride,
+                                 kx:kx + stride * out_w:stride, :])
+    return views
+
+
+def activation_runs(buf: np.ndarray, activation: str, alpha: float = 0.0,
+                    src: np.ndarray = None) -> List:
+    """In-place epilogue thunks applying ``activation`` to ``buf``.
+
+    When ``src`` is given the first thunk reads from it instead of ``buf``
+    (standalone activation ops); otherwise the activation is a fused
+    epilogue over ``buf`` itself.  ``np.maximum`` is value-identical to the
+    layers' ``np.where`` formulations (for leaky ReLU whenever
+    ``alpha <= 1``) and preserves exact zeros, which the trace layer's
+    sparsity analysis depends on.
+    """
+    source = buf if src is None else src
+    if activation == "relu":
+        return [partial(np.maximum, source, 0.0, out=buf)]
+    if activation == "leaky_relu":
+        if alpha > 1.0:
+            raise EngineError(
+                f"leaky_relu epilogue requires alpha <= 1, got {alpha}")
+        scratch = np.empty_like(buf)
+        return [partial(np.multiply, source, alpha, out=scratch),
+                partial(np.maximum, source, scratch, out=buf)]
+    if activation == "tanh":
+        return [partial(np.tanh, source, out=buf)]
+    raise EngineError(f"unknown activation epilogue {activation!r}")

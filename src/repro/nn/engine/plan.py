@@ -1,0 +1,231 @@
+"""The executable inference plan: workspace arena + frozen op programs.
+
+A :class:`_Program` is the bound form of a plan for one batch size: every
+output, im2col and scratch buffer is allocated once, every view over them
+is precomputed, and a forward pass is a loop over a flat list of
+zero-argument thunks (mostly ``functools.partial`` over NumPy C entry
+points).  Steady-state inference therefore performs no large allocations
+— only the final ``out.copy()`` handed to the caller.
+
+Programs are cached per batch size (the measurement loop always uses one
+or two sizes), and dropped on pickling — a plan travels to worker
+processes as frozen ops only and rebinds lazily on first use.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from ...errors import ConfigError, EngineError, ShapeError
+from ...obs import runtime as obs
+from ..model import Sequential
+from .freezer import FreezeStats, FrozenOp, freeze
+
+#: Bound programs kept per plan; measurement loops touch 1-2 batch sizes.
+_PROGRAM_CACHE_SIZE = 8
+
+
+class _Program:
+    """All buffers and thunks of one plan bound to one batch size."""
+
+    __slots__ = ("n", "in_buf", "out_buf", "outputs", "runs", "op_runs")
+
+    def __init__(self, ops: List[FrozenOp], input_shape: Tuple[int, ...],
+                 n: int):
+        self.n = n
+        self.in_buf = np.empty((n,) + tuple(input_shape))
+        self.outputs: List[np.ndarray] = []
+        self.runs: List = []
+        self.op_runs: List[Tuple[int, int]] = []
+        src = self.in_buf
+        for op in ops:
+            start = len(self.runs)
+            out, runs = op.bind(n, src)
+            self.runs.extend(runs)
+            self.op_runs.append((start, len(self.runs)))
+            self.outputs.append(out)
+            src = out
+        self.out_buf = src
+
+    def execute(self) -> None:
+        for run in self.runs:
+            run()
+
+    def execute_op(self, index: int) -> None:
+        start, stop = self.op_runs[index]
+        for run in self.runs[start:stop]:
+            run()
+
+
+class InferencePlan:
+    """A frozen, buffer-bound forward pass of one :class:`Sequential`.
+
+    Obtained from :meth:`Sequential.compile_inference` or
+    :func:`compile_model`.  The plan snapshots the model's weights at
+    compile time; recompile after further training.
+
+    Attributes:
+        name: The source model's name.
+        input_shape / output_shape: Per-sample shapes.
+        ops: The frozen op list.
+        stats: :class:`FreezeStats` describing folding/fusion.
+        preserve_layers: True when compiled in layer-preserving mode
+            (one canonical-layout op per layer, no fusion).
+    """
+
+    def __init__(self, name: str, input_shape: Tuple[int, ...],
+                 output_shape: Tuple[int, ...], ops: List[FrozenOp],
+                 stats: FreezeStats, preserve_layers: bool,
+                 batch_size: int = 1):
+        if batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+        self.name = name
+        self.input_shape = tuple(input_shape)
+        self.output_shape = tuple(output_shape)
+        self.ops = ops
+        self.stats = stats
+        self.preserve_layers = preserve_layers
+        self.batch_size = batch_size
+        self._programs: Dict[int, _Program] = {}
+        self._program(batch_size)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _program(self, n: int) -> _Program:
+        program = self._programs.get(n)
+        if program is None:
+            if len(self._programs) >= _PROGRAM_CACHE_SIZE:
+                self._programs.pop(next(iter(self._programs)))
+            program = _Program(self.ops, self.input_shape, n)
+            self._programs[n] = program
+        return program
+
+    def _load(self, x: np.ndarray) -> _Program:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != len(self.input_shape) + 1 \
+                or x.shape[1:] != self.input_shape:
+            raise ShapeError(
+                f"plan {self.name!r} expects (n,) + {self.input_shape}, "
+                f"got {x.shape}"
+            )
+        program = self._program(x.shape[0])
+        np.copyto(program.in_buf, x)
+        return program
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the plan on a batch; returns a fresh logits/output array."""
+        if not obs.is_enabled():
+            program = self._load(x)
+            program.execute()
+            return program.out_buf.copy()
+        start = time.perf_counter_ns()
+        program = self._load(x)
+        program.execute()
+        out = program.out_buf.copy()
+        obs.observe("engine.forward", time.perf_counter_ns() - start,
+                    model=self.name)
+        return out
+
+    __call__ = forward
+
+    def predict_logits(self, x: np.ndarray) -> np.ndarray:
+        """Alias of :meth:`forward` mirroring the Sequential API."""
+        return self.forward(x)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class indices for a batch."""
+        return np.argmax(self.forward(x), axis=-1)
+
+    def run_layers(self, x: np.ndarray
+                   ) -> List[Tuple[str, np.ndarray, np.ndarray]]:
+        """Run the plan and return ``(label, input, output)`` per op.
+
+        The returned arrays are views into the plan's workspace — valid
+        until the next call on this plan; copy them to keep them.  In
+        ``preserve_layers`` mode ops map 1:1 onto the model's layers, so
+        this is the per-layer activation sequence the trace layer needs.
+        """
+        return list(self.iter_layers(x))
+
+    def iter_layers(self, x: np.ndarray
+                    ) -> Iterator[Tuple[str, np.ndarray, np.ndarray]]:
+        """Lazily run op by op, yielding ``(label, input, output)`` views.
+
+        Each op executes between ``next()`` calls, so callers can time the
+        per-op forward cost (see ``trace.layer_ns``).
+        """
+        program = self._load(x)
+        src = program.in_buf
+        for index, op in enumerate(self.ops):
+            program.execute_op(index)
+            out = program.outputs[index]
+            yield op.label, src, out
+            src = out
+
+    # ------------------------------------------------------------------
+    # Introspection / pickling
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable op listing with layouts and fusion stats."""
+        lines = [f"inference plan: {self.name} "
+                 f"(preserve_layers={self.preserve_layers}, "
+                 f"batch_size={self.batch_size})"]
+        for op in self.ops:
+            lines.append(f"  {type(op).__name__:<14} {op.label:<28} "
+                         f"{op.in_layout}->{op.out_layout} {op.out_shape}")
+        s = self.stats
+        lines.append(f"  {s.layers} layers -> {s.ops} ops "
+                     f"({s.folded_batchnorm} batchnorm folded, "
+                     f"{s.fused_activations} activations fused, "
+                     f"{s.dropped_layers} dropped)")
+        return "\n".join(lines)
+
+    def __getstate__(self):
+        # Bound programs are closures over workspace views — not
+        # picklable and pointless to ship; workers rebind lazily.
+        state = self.__dict__.copy()
+        state["_programs"] = {}
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"InferencePlan({self.name!r}, ops={len(self.ops)}, "
+                f"preserve_layers={self.preserve_layers})")
+
+
+def compile_model(model: Sequential, batch_size: int = 1,
+                  preserve_layers: bool = False) -> InferencePlan:
+    """Freeze ``model`` and bind an :class:`InferencePlan`.
+
+    Args:
+        model: A built :class:`Sequential`.
+        batch_size: Batch size whose workspace is bound eagerly (other
+            sizes bind on demand and are cached).
+        preserve_layers: Disable folding/fusion/layout changes and keep
+            one canonical op per layer — required when per-layer
+            activations must match the reference implementation exactly
+            (see :class:`repro.trace.TracedInference`).
+
+    Returns:
+        The compiled plan.  Matches ``model.predict_logits`` to well
+        below 1e-9; see ``tests/nn/test_engine.py`` for the contract.
+    """
+    if not model.built:
+        raise EngineError(
+            f"model {model.name!r} must be built before compiling")
+    with obs.span("engine.compile", model=model.name,
+                  batch_size=batch_size, preserve=preserve_layers):
+        ops, stats = freeze(model, preserve_layers=preserve_layers)
+        plan = InferencePlan(model.name, model.input_shape,
+                             model.output_shape, ops, stats,
+                             preserve_layers, batch_size=batch_size)
+    if not preserve_layers:
+        # Preserve-mode plans never fuse by construction; publishing their
+        # zero would clobber the meaningful value of the fused plan.
+        obs.set_gauge("engine.fused_layers", float(stats.fused_layers))
+    return plan

@@ -65,11 +65,23 @@ class MaxPool2D(_Pool2D):
         n = x.shape[0]
         c, out_h, out_w = self.output_shape
         windows = self._patches(x)
-        argmax = windows.argmax(axis=1)
-        values = windows[np.arange(windows.shape[0]), argmax]
         if training:
+            argmax = windows.argmax(axis=1)
+            values = windows[np.arange(windows.shape[0]), argmax]
             self._cached_argmax = argmax
             self._cached_x_shape = x.shape
+        else:
+            # Inference needs only the max; argmax (and the fancy-index
+            # gather it feeds) is backward-only bookkeeping.  A pairwise
+            # maximum over the window columns beats the axis reduction on
+            # the small per-sample maps this framework runs.  Any stale
+            # training cache is invalidated: its argmax describes an older
+            # input, and a later backward must not silently consume it.
+            self._cached_argmax = None
+            self._cached_x_shape = None
+            values = windows[:, 0].copy()
+            for column in range(1, windows.shape[1]):
+                np.maximum(values, windows[:, column], out=values)
         return values.reshape(n, c, out_h, out_w)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -84,6 +96,10 @@ class MaxPool2D(_Pool2D):
             (n * c * out_h * out_w, self.pool * self.pool), dtype=grad_output.dtype)
         grad_windows[np.arange(grad_windows.shape[0]), self._cached_argmax] = (
             grad_output.reshape(-1))
+        # The cached indices belong to exactly one forward pass; drop them
+        # so a second backward cannot reuse them against newer activations.
+        self._cached_argmax = None
+        self._cached_x_shape = None
         from ..tensor_utils import col2im
         grad_as_batch = col2im(grad_windows, (n * c, 1, h, w), self.pool,
                                self.pool, self.stride, 0)

@@ -121,6 +121,19 @@ class Sequential:
             )
         return int(self.predict(sample[None, ...])[0])
 
+    def compile_inference(self, batch_size: int = 1,
+                          preserve_layers: bool = False):
+        """Compile this model into an :class:`repro.nn.engine.InferencePlan`.
+
+        The plan snapshots the current weights (recompile after further
+        training) and matches :meth:`predict_logits` to <= 1e-9.  See
+        :func:`repro.nn.engine.compile_model` for the parameters.
+        """
+        self._require_built()
+        from .engine import compile_model
+        return compile_model(self, batch_size=batch_size,
+                             preserve_layers=preserve_layers)
+
     # ------------------------------------------------------------------
     # Parameters / introspection
     # ------------------------------------------------------------------

@@ -83,7 +83,9 @@ def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kernel_h: int,
     """Fold a patch matrix back into an NCHW tensor (adjoint of im2col).
 
     Overlapping patch contributions are summed, which is exactly the gradient
-    of the unfolding operation.
+    of the unfolding operation.  Non-overlapping configurations (``stride >=
+    kernel``, the pooling-gradient case) take a single-reshape fast path
+    instead of the per-offset strided accumulation.
     """
     n, c, h, w = x_shape
     out_h = conv_output_size(h, kernel_h, stride, padding)
@@ -94,16 +96,59 @@ def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kernel_h: int,
         raise ShapeError(
             f"col2im got {cols.shape}, expected {(expected_rows, expected_cols)}"
         )
-    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
     patches = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(
         0, 3, 4, 5, 1, 2)
+    if stride >= kernel_h and stride >= kernel_w:
+        padded = _fold_nonoverlapping(patches, x_shape, kernel_h, kernel_w,
+                                      stride, padding, cols.dtype)
+    else:
+        padded = _fold_accumulate(patches, x_shape, kernel_h, kernel_w,
+                                  stride, padding, cols.dtype)
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def _fold_accumulate(patches: np.ndarray, x_shape, kernel_h: int,
+                     kernel_w: int, stride: int, padding: int,
+                     dtype) -> np.ndarray:
+    """General col2im fold: strided accumulation per kernel offset."""
+    n, c, h, w = x_shape
+    out_h, out_w = patches.shape[4], patches.shape[5]
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=dtype)
     for i in range(kernel_h):
         i_end = i + stride * out_h
         for j in range(kernel_w):
             j_end = j + stride * out_w
             padded[:, :, i:i_end:stride, j:j_end:stride] += patches[:, :, i, j]
-    if padding:
-        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def _fold_nonoverlapping(patches: np.ndarray, x_shape, kernel_h: int,
+                         kernel_w: int, stride: int, padding: int,
+                         dtype) -> np.ndarray:
+    """col2im fold for ``stride >= kernel``: one reshape/transpose scatter.
+
+    With no window overlap every input position receives at most one patch
+    element, so the kh*kw accumulation loop collapses into a single fancy
+    assignment onto a stride-aligned canvas.  The canvas spans ``stride *
+    out`` per axis — possibly beyond the padded input when ``stride >
+    kernel`` leaves trailing positions no window touches — and is cropped
+    or zero-extended to the padded extent afterwards.
+    """
+    n, c, h, w = x_shape
+    out_h, out_w = patches.shape[4], patches.shape[5]
+    padded_h, padded_w = h + 2 * padding, w + 2 * padding
+    canvas = np.zeros((n, c, stride * out_h, stride * out_w), dtype=dtype)
+    tiles = canvas.reshape(n, c, out_h, stride, out_w, stride)
+    tiles[:, :, :, :kernel_h, :, :kernel_w] = patches.transpose(0, 1, 4, 2,
+                                                                5, 3)
+    if canvas.shape[2:] == (padded_h, padded_w):
+        return canvas
+    padded = np.zeros((n, c, padded_h, padded_w), dtype=dtype)
+    cover_h = min(padded_h, stride * out_h)
+    cover_w = min(padded_w, stride * out_w)
+    padded[:, :, :cover_h, :cover_w] = canvas[:, :, :cover_h, :cover_w]
     return padded
 
 

@@ -51,21 +51,32 @@ class Trainer:
             (or any ``epoch -> lr`` callable), applied at each epoch start.
         dtype: Input (and one-hot target) precision — ``np.float32`` halves
             the activation and target memory of large label sets.
+        engine: Forward-pass implementation used by :meth:`evaluate` —
+            ``"compiled"`` (default) freezes the current weights into an
+            :class:`repro.nn.engine.InferencePlan` per call, ``"layers"``
+            runs the layer-by-layer reference path.  Training itself always
+            uses the layers (autograd) path.
     """
 
     def __init__(self, model: Sequential, loss: Loss = None,
                  optimizer: Optimizer = None, batch_size: int = 32,
-                 shuffle_seed: int = 0, schedule=None, dtype=np.float64):
+                 shuffle_seed: int = 0, schedule=None, dtype=np.float64,
+                 engine: str = "compiled"):
         if not model.built:
             raise TrainingError("model must be built before training")
         if batch_size < 1:
             raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+        from .engine import ENGINES
+        if engine not in ENGINES:
+            raise ConfigError(
+                f"engine must be one of {ENGINES}, got {engine!r}")
         self.model = model
         self.loss = loss or SoftmaxCrossEntropy()
         self.optimizer = optimizer or Adam()
         self.batch_size = batch_size
         self.schedule = schedule
         self.dtype = dtype
+        self.engine = engine
         self._rng = np.random.default_rng(shuffle_seed)
 
     def train_step(self, x_batch: np.ndarray, y_batch: np.ndarray) -> float:
@@ -148,10 +159,21 @@ class Trainer:
 
     def evaluate(self, x: np.ndarray, y: np.ndarray,
                  batch_size: int = 256) -> float:
-        """Accuracy of the current model on ``(x, y)``, batched."""
+        """Accuracy of the current model on ``(x, y)``, batched.
+
+        With ``engine="compiled"`` the weights are frozen into an
+        inference plan once per call (they change every epoch), and all
+        full-size batches reuse one bound workspace.
+        """
         x = np.asarray(x, dtype=self.dtype)
         y = np.asarray(y).ravel()
+        if self.engine == "compiled" and x.shape[0] > 0:
+            plan = self.model.compile_inference(
+                batch_size=min(batch_size, x.shape[0]))
+            predict = plan.predict
+        else:
+            predict = self.model.predict
         predictions = []
         for start in range(0, x.shape[0], batch_size):
-            predictions.append(self.model.predict(x[start:start + batch_size]))
+            predictions.append(predict(x[start:start + batch_size]))
         return accuracy(y, np.concatenate(predictions))

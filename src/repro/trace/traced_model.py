@@ -15,7 +15,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import TraceError
+from ..errors import ConfigError, TraceError
 from ..obs import runtime as obs
 from ..nn.layers import Flatten
 from ..nn.model import Sequential
@@ -40,14 +40,28 @@ class TracedInference:
         model: A built :class:`Sequential` classifier.
         config: Trace-generation knobs (sparsity policy, stride...).
         page_bytes: Address-space alignment granule.
+        engine: Forward-pass implementation feeding the tracers —
+            ``"compiled"`` (default) lazily freezes the model into a
+            layer-preserving :class:`repro.nn.engine.InferencePlan`
+            (bit-identical per-layer activations, no per-layer dispatch
+            or allocation), ``"layers"`` calls each layer directly.  The
+            emitted traces are identical either way; the plan snapshots
+            the weights at first use, so retrain-then-trace flows should
+            construct a fresh ``TracedInference``.
     """
 
     def __init__(self, model: Sequential, config: Optional[TraceConfig] = None,
-                 page_bytes: int = 4096):
+                 page_bytes: int = 4096, engine: str = "compiled"):
         if not model.built:
             raise TraceError("model must be built before tracing")
+        from ..nn.engine import ENGINES
+        if engine not in ENGINES:
+            raise ConfigError(
+                f"engine must be one of {ENGINES}, got {engine!r}")
         self.model = model
         self.config = config or TraceConfig()
+        self.engine = engine
+        self._plan = None
         self.space = AddressSpace(page_bytes=page_bytes)
         itemsize = self.config.itemsize
         self.input_region = self.space.allocate("input", model.input_shape,
@@ -77,6 +91,19 @@ class TracedInference:
     # ------------------------------------------------------------------
     # Trace construction
     # ------------------------------------------------------------------
+
+    def _preserve_plan(self):
+        """The lazily-compiled layer-preserving inference plan.
+
+        Compiled in ``preserve_layers`` mode so each plan op reproduces
+        its layer's activations bit for bit — the tracers' sparsity and
+        value analyses see exactly what the reference path produces.
+        """
+        if self._plan is None:
+            from ..nn.engine import compile_model
+            self._plan = compile_model(self.model, batch_size=1,
+                                       preserve_layers=True)
+        return self._plan
 
     def _emit_preamble(self, trace: Trace) -> None:
         """Framework preamble + copy-in of the user's input."""
@@ -125,7 +152,26 @@ class TracedInference:
         trace = Trace()
         self._emit_preamble(trace)
         x = sample
-        if obs.is_enabled():
+        if self.engine == "compiled":
+            # Each op executes between iterator steps, so the
+            # trace.layer_ns split below still charges forward +
+            # trace-emission time to the right layer.
+            steps = zip(self.tracers,
+                        self._preserve_plan().iter_layers(sample[None, ...]))
+            if obs.is_enabled():
+                start = time.perf_counter_ns()
+                for tracer, (_label, xin, yout) in steps:
+                    tracer.trace(xin[0], yout[0], trace)
+                    now = time.perf_counter_ns()
+                    obs.observe("trace.layer_ns", now - start,
+                                layer=tracer.layer.name)
+                    start = now
+                    x = yout[0]
+            else:
+                for tracer, (_label, xin, yout) in steps:
+                    tracer.trace(xin[0], yout[0], trace)
+                    x = yout[0]
+        elif obs.is_enabled():
             # Per-layer profiling hook: forward + trace-emission nanoseconds
             # of every layer, labelled by layer name.
             for tracer in self.tracers:
@@ -173,11 +219,15 @@ class TracedInference:
                 f"batch shape {batch.shape} does not match "
                 f"(batch,) + {self.model.input_shape}"
             )
-        activations = [batch]
-        x = batch
-        for tracer in self.tracers:
-            x = tracer.layer.forward(x, training=False)
-            activations.append(x)
+        if self.engine == "compiled":
+            triples = self._preserve_plan().run_layers(batch)
+            activations = [batch] + [yout for _label, _xin, yout in triples]
+        else:
+            activations = [batch]
+            x = batch
+            for tracer in self.tracers:
+                x = tracer.layer.forward(x, training=False)
+                activations.append(x)
         obs.inc("trace.batched_samples", batch.shape[0])
         results: List[Tuple[int, Trace]] = []
         for index in range(batch.shape[0]):

@@ -56,6 +56,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["evaluate", "--dataset", "imagenet"])
 
+    def test_engine_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--engine", "turbo"])
+
+    def test_engine_flag_reaches_config(self):
+        from repro.cli.main import _config_from_args
+        args = build_parser().parse_args(["evaluate", "--engine", "layers"])
+        assert _config_from_args(args).engine == "layers"
+        # Unset flag keeps the config default (compiled).
+        args = build_parser().parse_args(["evaluate"])
+        assert args.engine is None
+        assert _config_from_args(args).engine == "compiled"
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -75,6 +88,10 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "leakage evaluation" in out
         assert "model accuracy" in out
+
+    def test_evaluate_layers_engine(self, tiny_args, fast_training, capsys):
+        assert main(["evaluate", "--engine", "layers"] + tiny_args) == 0
+        assert "leakage evaluation" in capsys.readouterr().out
 
     def test_table1_tiny(self, tiny_args, fast_training, capsys):
         assert main(["table1", "--csv"] + tiny_args) == 0

@@ -53,6 +53,17 @@ class TestConfig:
         assert mnist_experiment().generator().name == "synthetic-mnist"
         assert cifar_experiment().generator().name == "synthetic-cifar"
 
+    def test_engine_validation(self):
+        assert ExperimentConfig().engine == "compiled"
+        assert ExperimentConfig(engine="layers").engine == "layers"
+        with pytest.raises(ConfigError):
+            ExperimentConfig(engine="turbo")
+
+    def test_engine_does_not_change_model_key(self, tmp_path):
+        # The engine never changes values, so cached models stay shared.
+        assert (tiny_config(tmp_path, engine="layers").model_key()
+                == tiny_config(tmp_path, engine="compiled").model_key())
+
 
 class TestBuildModel:
     def test_mnist_architecture(self):

@@ -164,3 +164,39 @@ class TestFingerprint:
         text = SimBackend(tiny_trained_model).describe()
         assert "sim backend" in text
         assert "L1D" in text
+
+
+class TestEngines:
+    def test_engine_reaches_traced_inference(self, tiny_trained_model):
+        backend = SimBackend(tiny_trained_model, engine="layers")
+        assert backend.engine == "layers"
+        assert backend.traced.engine == "layers"
+        assert SimBackend(tiny_trained_model).traced.engine == "compiled"
+
+    def test_rejects_unknown_engine(self, tiny_trained_model):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            SimBackend(tiny_trained_model, engine="bogus")
+
+    def test_measurements_engine_invariant(self, tiny_trained_model,
+                                           digits_dataset):
+        compiled = SimBackend(tiny_trained_model, noise_scale=0.0)
+        layers = SimBackend(tiny_trained_model, noise_scale=0.0,
+                            engine="layers")
+        for image in digits_dataset.images[:4]:
+            mc = compiled.measure_clean(image)
+            ml = layers.measure_clean(image)
+            assert mc.prediction == ml.prediction
+            assert mc.counts == ml.counts
+        batch = digits_dataset.images[:4]
+        for mc, ml in zip(compiled.measure_clean_batch(batch),
+                          layers.measure_clean_batch(batch)):
+            assert mc.prediction == ml.prediction
+            assert mc.counts == ml.counts
+
+    def test_fingerprint_engine_invariant(self, tiny_trained_model):
+        # The engine never changes measured values, so cached artifacts
+        # must remain valid across engines.
+        assert (SimBackend(tiny_trained_model).fingerprint()
+                == SimBackend(tiny_trained_model,
+                              engine="layers").fingerprint())

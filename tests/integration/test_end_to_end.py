@@ -111,3 +111,31 @@ class TestPaperShapeMnist:
                 np.testing.assert_array_equal(
                     a.distributions.values(category, event),
                     b.distributions.values(category, event))
+
+    def test_engine_invariance(self, tmp_path):
+        # The compiled engine must change nothing observable: identical
+        # measured distributions, identical t-test verdicts.
+        config_dict = {
+            "dataset": "mnist",
+            "categories": (1, 2, 3, 4),
+            "samples_per_category": 12,
+            "cache_dir": "",
+        }
+        compiled = run_experiment(
+            ExperimentConfig(engine="compiled", **config_dict))
+        layers = run_experiment(
+            ExperimentConfig(engine="layers", **config_dict))
+        for event in HpcEvent:
+            for category in (1, 2, 3, 4):
+                np.testing.assert_array_equal(
+                    compiled.distributions.values(category, event),
+                    layers.distributions.values(category, event))
+        assert compiled.report.alarm == layers.report.alarm
+        assert compiled.report.leaking_events == layers.report.leaking_events
+        assert len(compiled.report.results) == len(layers.report.results)
+        for result_c, result_l in zip(compiled.report.results,
+                                      layers.report.results):
+            assert result_c.event == result_l.event
+            assert result_c.pair == result_l.pair
+            assert result_c.distinguishable == result_l.distinguishable
+            assert result_c.ttest == result_l.ttest

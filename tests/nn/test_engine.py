@@ -1,0 +1,282 @@
+"""Tests for repro.nn.engine — the compiled inference engine.
+
+The contract under test: a compiled plan matches the layer-by-layer
+reference forward pass to <= 1e-9 (fused mode) or bit for bit per layer
+(preserve mode), while allocating its workspace once per batch size.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import build_model
+from repro.errors import ConfigError, EngineError, ShapeError
+from repro.nn import (
+    AvgPool2D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GRU,
+    GlobalAvgPool2D,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from repro.nn import engine
+from repro.nn.engine import InferencePlan, compile_model, freeze
+
+TOLERANCE = 1e-9
+
+
+def paper_model(dataset, seed=3):
+    return build_model(dataset, seed=seed)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("dataset", ["mnist", "cifar10"])
+    @pytest.mark.parametrize("batch", [1, 3, 32])
+    def test_matches_reference_forward(self, dataset, batch, rng):
+        model = paper_model(dataset)
+        x = rng.normal(size=(batch,) + model.input_shape)
+        plan = compile_model(model, batch_size=batch)
+        np.testing.assert_allclose(plan.forward(x), model.predict_logits(x),
+                                   rtol=0, atol=TOLERANCE)
+
+    def test_predict_and_logits_aliases(self, rng):
+        model = paper_model("mnist")
+        x = rng.normal(size=(5,) + model.input_shape)
+        plan = compile_model(model, batch_size=5)
+        np.testing.assert_allclose(plan.predict_logits(x), plan(x),
+                                   rtol=0, atol=0)
+        np.testing.assert_array_equal(plan.predict(x), model.predict(x))
+
+    def test_other_batch_sizes_bind_on_demand(self, rng):
+        model = paper_model("mnist")
+        plan = compile_model(model, batch_size=2)
+        for batch in (1, 4, 7):
+            x = rng.normal(size=(batch,) + model.input_shape)
+            np.testing.assert_allclose(plan.forward(x),
+                                       model.predict_logits(x),
+                                       rtol=0, atol=TOLERANCE)
+
+    def test_padded_and_strided_conv(self, rng):
+        model = Sequential([
+            Conv2D(6, 3, stride=2, padding=1, name="c1"), ReLU(),
+            Conv2D(4, 3, padding=1, name="c2"), Tanh(),
+            AvgPool2D(2), Flatten(), Dense(5),
+        ]).build((2, 15, 15), seed=5)
+        x = rng.normal(size=(4, 2, 15, 15))
+        plan = compile_model(model, batch_size=4)
+        np.testing.assert_allclose(plan.forward(x), model.predict_logits(x),
+                                   rtol=0, atol=TOLERANCE)
+
+    def test_global_pool_and_leaky_relu(self, rng):
+        model = Sequential([
+            Conv2D(5, 3), LeakyReLU(0.1), GlobalAvgPool2D(), Dense(3),
+        ]).build((1, 9, 9), seed=2)
+        x = rng.normal(size=(3, 1, 9, 9))
+        plan = compile_model(model, batch_size=3)
+        np.testing.assert_allclose(plan.forward(x), model.predict_logits(x),
+                                   rtol=0, atol=TOLERANCE)
+
+    def test_plan_reflects_compile_time_weights(self, rng):
+        model = paper_model("mnist")
+        x = rng.normal(size=(2,) + model.input_shape)
+        plan = compile_model(model, batch_size=2)
+        before = model.predict_logits(x)
+        model.parameters()[0].value += 1.0
+        # The plan froze the old weights; the model moved on.
+        np.testing.assert_allclose(plan.forward(x), before,
+                                   rtol=0, atol=TOLERANCE)
+        assert np.max(np.abs(model.predict_logits(x) - before)) > 0
+
+
+class TestWorkspaceReuse:
+    def test_program_cached_per_batch_size(self, rng):
+        model = paper_model("mnist")
+        plan = compile_model(model, batch_size=4)
+        program = plan._program(4)
+        x = rng.normal(size=(4,) + model.input_shape)
+        plan.forward(x)
+        plan.forward(x)
+        assert plan._program(4) is program
+
+    def test_program_cache_evicts_oldest(self, rng):
+        from repro.nn.engine.plan import _PROGRAM_CACHE_SIZE
+        model = paper_model("mnist")
+        plan = compile_model(model, batch_size=1)
+        for n in range(2, _PROGRAM_CACHE_SIZE + 3):
+            plan._program(n)
+        assert len(plan._programs) == _PROGRAM_CACHE_SIZE
+        assert 1 not in plan._programs
+
+    def test_forward_returns_fresh_arrays(self, rng):
+        model = paper_model("mnist")
+        plan = compile_model(model, batch_size=1)
+        x1 = rng.normal(size=(1,) + model.input_shape)
+        x2 = rng.normal(size=(1,) + model.input_shape)
+        out1 = plan.forward(x1)
+        out2 = plan.forward(x2)
+        # out1 must not have been overwritten by the second call.
+        np.testing.assert_allclose(out1, model.predict_logits(x1),
+                                   rtol=0, atol=TOLERANCE)
+        assert np.max(np.abs(out1 - out2)) > 0
+
+
+class TestFreezing:
+    def test_mnist_fusion_stats(self):
+        model = paper_model("mnist")
+        plan = compile_model(model)
+        stats = plan.stats
+        assert stats.layers == 8
+        assert stats.ops == len(plan.ops)
+        assert stats.fused_activations == 2
+        assert stats.folded_batchnorm == 0
+        assert stats.fused_layers >= 2
+        assert stats.ops < stats.layers
+
+    def test_dropout_dropped(self, rng):
+        model = Sequential([
+            Conv2D(4, 3), ReLU(), Dropout(0.5), Flatten(), Dense(3),
+        ]).build((1, 8, 8), seed=1)
+        plan = compile_model(model)
+        assert plan.stats.dropped_layers == 1
+        x = rng.normal(size=(2, 1, 8, 8))
+        np.testing.assert_allclose(plan.forward(x), model.predict_logits(x),
+                                   rtol=0, atol=TOLERANCE)
+
+    def test_stats_as_dict_round_trips(self):
+        stats = compile_model(paper_model("mnist")).stats
+        as_dict = stats.as_dict()
+        assert as_dict["fused_activations"] == stats.fused_activations
+        assert as_dict["ops"] == stats.ops
+
+    def test_freeze_without_binding(self):
+        model = paper_model("mnist")
+        ops, stats = freeze(model)
+        assert len(ops) == stats.ops
+
+    def test_leaky_relu_alpha_above_one_falls_back(self, rng):
+        # np.maximum(x, alpha*x) is only the leaky rectifier for alpha<=1;
+        # larger slopes must run the layer itself.
+        model = Sequential([
+            Conv2D(3, 3), LeakyReLU(1.5), Flatten(), Dense(3),
+        ]).build((1, 7, 7), seed=4)
+        plan = compile_model(model)
+        x = rng.normal(size=(2, 1, 7, 7))
+        np.testing.assert_allclose(plan.forward(x), model.predict_logits(x),
+                                   rtol=0, atol=TOLERANCE)
+
+    def test_generic_fallback_layers(self, rng):
+        # Sigmoid / Softmax / GRU have no frozen kernel; the plan wraps
+        # the layer's own forward and still matches end to end.
+        model = Sequential([
+            GRU(12), Dense(6), Sigmoid(), Dense(4), Softmax(),
+        ]).build((5, 5), seed=6)
+        plan = compile_model(model)
+        x = rng.normal(size=(3, 5, 5))
+        np.testing.assert_allclose(plan.forward(x), model.predict_logits(x),
+                                   rtol=0, atol=TOLERANCE)
+
+    def test_standalone_batchnorm_becomes_affine(self, rng):
+        # BatchNorm with no foldable GEMM upstream (first layer) still
+        # compiles — as a standalone affine op.
+        model = Sequential([
+            BatchNorm2D(), Conv2D(4, 3), ReLU(), Flatten(), Dense(3),
+        ]).build((2, 8, 8), seed=7)
+        model.forward(rng.normal(size=(16, 2, 8, 8)), training=True)
+        plan = compile_model(model)
+        assert plan.stats.folded_batchnorm == 0
+        x = rng.normal(size=(3, 2, 8, 8))
+        np.testing.assert_allclose(plan.forward(x), model.predict_logits(x),
+                                   rtol=0, atol=TOLERANCE)
+
+
+class TestPreserveMode:
+    def test_per_layer_activations_bit_exact(self, rng):
+        model = paper_model("mnist")
+        plan = compile_model(model, batch_size=1, preserve_layers=True)
+        assert len(plan.ops) == len(model.layers)
+        x = rng.normal(size=(1,) + model.input_shape)
+        reference = x
+        for (label, _xin, yout), layer in zip(plan.iter_layers(x),
+                                              model.layers):
+            reference = layer.forward(reference, training=False)
+            assert label == layer.name
+            np.testing.assert_array_equal(yout, reference)
+
+    def test_relu_zero_pattern_preserved(self, rng):
+        # The trace layer's sparsity analysis keys off exact zeros.
+        model = paper_model("mnist")
+        plan = compile_model(model, batch_size=1, preserve_layers=True)
+        x = rng.normal(size=(1,) + model.input_shape)
+        triples = plan.run_layers(x)
+        relu_out = dict((label, out) for label, _i, out in triples)["relu1"]
+        reference = model.layers[0].forward(x, training=False)
+        reference = model.layers[1].forward(reference, training=False)
+        np.testing.assert_array_equal(relu_out == 0.0, reference == 0.0)
+
+    def test_preserve_mode_performs_no_fusion(self):
+        plan = compile_model(paper_model("mnist"), preserve_layers=True)
+        assert plan.preserve_layers
+        stats = plan.stats
+        assert stats.fused_activations == 0
+        assert stats.folded_batchnorm == 0
+        assert stats.dropped_layers == 0
+        assert stats.ops == stats.layers
+
+
+class TestErrors:
+    def test_unbuilt_model_rejected(self):
+        model = Sequential([Flatten(), Dense(3)])
+        with pytest.raises(EngineError):
+            compile_model(model)
+
+    def test_wrong_input_shape_rejected(self, rng):
+        plan = compile_model(paper_model("mnist"))
+        with pytest.raises(ShapeError):
+            plan.forward(rng.normal(size=(2, 3, 28, 28)))
+        with pytest.raises(ShapeError):
+            plan.forward(rng.normal(size=(1, 28, 28)))
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(ConfigError):
+            compile_model(paper_model("mnist"), batch_size=0)
+
+
+class TestApiSurface:
+    def test_model_compile_inference(self, rng):
+        model = paper_model("mnist")
+        plan = model.compile_inference(batch_size=2)
+        assert isinstance(plan, InferencePlan)
+        x = rng.normal(size=(2,) + model.input_shape)
+        np.testing.assert_allclose(plan.forward(x), model.predict_logits(x),
+                                   rtol=0, atol=TOLERANCE)
+
+    def test_engine_compile_alias(self):
+        plan = engine.compile(paper_model("mnist"))
+        assert isinstance(plan, InferencePlan)
+
+    def test_engines_tuple(self):
+        assert engine.ENGINES == ("layers", "compiled")
+
+    def test_describe_mentions_fusion(self):
+        text = compile_model(paper_model("mnist")).describe()
+        assert "activations fused" in text
+        assert "batchnorm folded" in text
+
+    def test_plan_pickles_and_rebinds(self, rng):
+        model = paper_model("mnist")
+        plan = compile_model(model, batch_size=2)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone._programs == {}
+        x = rng.normal(size=(2,) + model.input_shape)
+        np.testing.assert_allclose(clone.forward(x), plan.forward(x),
+                                   rtol=0, atol=0)

@@ -1,0 +1,127 @@
+"""BatchNorm-folding coverage for the compiled inference engine.
+
+Folding collapses an inference-mode BatchNorm into the preceding
+Conv2D/Dense weights and bias; these tests pin the arithmetic against the
+unfused reference across dtypes, non-default hyperparameters, trained
+running statistics, and a serialize/reload round trip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    BatchNorm1D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    Trainer,
+    load_model,
+    save_model,
+)
+from repro.nn.engine import compile_model
+
+TOLERANCE = 1e-9
+
+
+def conv_bn_model(momentum=0.9, epsilon=1e-5, seed=3):
+    return Sequential([
+        Conv2D(6, 3, name="conv"),
+        BatchNorm2D(momentum=momentum, epsilon=epsilon, name="bn2"),
+        ReLU(),
+        MaxPool2D(2),
+        Flatten(),
+        Dense(8, name="hidden"),
+        BatchNorm1D(momentum=momentum, epsilon=epsilon, name="bn1"),
+        ReLU(),
+        Dense(4, name="out"),
+    ], name="bn-mix").build((1, 12, 12), seed=seed)
+
+
+def warm_up_running_stats(model, rng, batches=5):
+    """Drive training-mode forwards so the running stats move off init."""
+    for _ in range(batches):
+        model.forward(rng.normal(loc=0.3, scale=1.7, size=(16, 1, 12, 12)),
+                      training=True)
+
+
+class TestFolding:
+    def test_both_batchnorms_fold(self, rng):
+        model = conv_bn_model()
+        warm_up_running_stats(model, rng)
+        plan = compile_model(model)
+        assert plan.stats.folded_batchnorm == 2
+        x = rng.normal(size=(4, 1, 12, 12))
+        np.testing.assert_allclose(plan.forward(x), model.predict_logits(x),
+                                   rtol=0, atol=TOLERANCE)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_folding_matches_across_input_dtypes(self, dtype, rng):
+        model = conv_bn_model()
+        warm_up_running_stats(model, rng)
+        plan = compile_model(model)
+        x = rng.normal(size=(3, 1, 12, 12)).astype(dtype)
+        np.testing.assert_allclose(plan.forward(x), model.predict_logits(x),
+                                   rtol=0, atol=TOLERANCE)
+
+    @pytest.mark.parametrize("momentum,epsilon", [(0.8, 1e-3), (0.0, 0.5),
+                                                  (0.99, 1e-7)])
+    def test_non_default_hyperparameters(self, momentum, epsilon, rng):
+        model = conv_bn_model(momentum=momentum, epsilon=epsilon)
+        warm_up_running_stats(model, rng)
+        plan = compile_model(model)
+        assert plan.stats.folded_batchnorm == 2
+        x = rng.normal(size=(4, 1, 12, 12))
+        np.testing.assert_allclose(plan.forward(x), model.predict_logits(x),
+                                   rtol=0, atol=TOLERANCE)
+
+    def test_folding_after_training(self, rng):
+        model = conv_bn_model()
+        xs = rng.normal(size=(48, 1, 12, 12))
+        ys = rng.integers(0, 4, size=48)
+        Trainer(model, optimizer=Adam(0.01), batch_size=16,
+                shuffle_seed=1).fit(xs, ys, epochs=2)
+        plan = compile_model(model)
+        x = rng.normal(size=(5, 1, 12, 12))
+        np.testing.assert_allclose(plan.forward(x), model.predict_logits(x),
+                                   rtol=0, atol=TOLERANCE)
+
+    def test_serialized_then_reloaded_model_folds(self, tmp_path, rng):
+        model = conv_bn_model(momentum=0.8, epsilon=1e-3)
+        warm_up_running_stats(model, rng)
+        path = save_model(model, tmp_path / "bn-mix.npz")
+        reloaded = load_model(path)
+        plan = compile_model(reloaded)
+        assert plan.stats.folded_batchnorm == 2
+        x = rng.normal(size=(4, 1, 12, 12))
+        np.testing.assert_allclose(plan.forward(x), model.predict_logits(x),
+                                   rtol=0, atol=TOLERANCE)
+
+    def test_conv_without_bias_still_folds(self, rng):
+        model = Sequential([
+            Conv2D(4, 3, use_bias=False, name="conv"),
+            BatchNorm2D(name="bn"),
+            ReLU(),
+            Flatten(),
+            Dense(3),
+        ]).build((1, 8, 8), seed=9)
+        warmup = rng.normal(size=(16, 1, 8, 8))
+        model.forward(warmup, training=True)
+        plan = compile_model(model)
+        assert plan.stats.folded_batchnorm == 1
+        x = rng.normal(size=(3, 1, 8, 8))
+        np.testing.assert_allclose(plan.forward(x), model.predict_logits(x),
+                                   rtol=0, atol=TOLERANCE)
+
+    def test_preserve_mode_replicates_batchnorm_bitwise(self, rng):
+        model = conv_bn_model()
+        warm_up_running_stats(model, rng)
+        plan = compile_model(model, preserve_layers=True)
+        assert plan.stats.folded_batchnorm == 0
+        x = rng.normal(size=(2, 1, 12, 12))
+        np.testing.assert_array_equal(plan.forward(x),
+                                      model.predict_logits(x))

@@ -144,6 +144,32 @@ class TestPooling:
         with pytest.raises(ConfigError):
             MaxPool2D(0)
 
+    def test_maxpool_inference_matches_training_values(self, rng):
+        # Inference skips the argmax bookkeeping but must produce the
+        # same maxima, including with overlapping windows.
+        for pool, stride, shape in [(2, 2, (2, 4, 4)), (3, 1, (1, 5, 5)),
+                                    (2, 1, (3, 4, 4))]:
+            layer = build(MaxPool2D(pool, stride=stride), shape)
+            x = rng.normal(size=(2,) + shape)
+            np.testing.assert_array_equal(layer.forward(x, training=False),
+                                          layer.forward(x, training=True))
+
+    def test_maxpool_inference_invalidates_stale_cache(self, rng):
+        # A training forward followed by an inference forward must not
+        # leave the old argmax behind for a later backward to consume.
+        layer = build(MaxPool2D(2), (2, 4, 4))
+        layer.forward(rng.normal(size=(1, 2, 4, 4)), training=True)
+        layer.forward(rng.normal(size=(1, 2, 4, 4)), training=False)
+        with pytest.raises(LayerError):
+            layer.backward(np.ones((1, 2, 2, 2)))
+
+    def test_maxpool_backward_consumes_cache_once(self, rng):
+        layer = build(MaxPool2D(2), (2, 4, 4))
+        layer.forward(rng.normal(size=(1, 2, 4, 4)), training=True)
+        layer.backward(np.ones((1, 2, 2, 2)))
+        with pytest.raises(LayerError):
+            layer.backward(np.ones((1, 2, 2, 2)))
+
 
 class TestActivations:
     @pytest.mark.parametrize("layer_cls", [ReLU, LeakyReLU, Sigmoid, Tanh,

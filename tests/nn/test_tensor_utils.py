@@ -120,6 +120,40 @@ class TestCol2Im:
         with pytest.raises(ShapeError):
             col2im(rng.normal(size=(5, 5)), (1, 1, 6, 6), 3, 3, 1, 0)
 
+    @pytest.mark.parametrize("x_shape,kernel,stride,padding", [
+        ((2, 3, 8, 8), 2, 2, 0),    # pooling gradient: stride == kernel
+        ((1, 2, 9, 9), 2, 3, 0),    # stride > kernel leaves untouched gaps
+        ((2, 1, 10, 10), 3, 3, 1),  # non-overlapping with padding
+        ((1, 4, 7, 7), 1, 2, 0),    # 1x1 kernel, strided
+        ((2, 2, 6, 6), 2, 2, 2),    # padding wider than the coverage
+    ])
+    def test_nonoverlapping_fast_path_matches_general(self, rng, x_shape,
+                                                      kernel, stride,
+                                                      padding):
+        # stride >= kernel takes the single-reshape scatter; it must agree
+        # bit for bit with the strided-accumulation reference.
+        from repro.nn.tensor_utils import (_fold_accumulate, conv_output_size)
+        n, c, h, w = x_shape
+        out_h = conv_output_size(h, kernel, stride, padding)
+        out_w = conv_output_size(w, kernel, stride, padding)
+        cols = rng.normal(size=(n * out_h * out_w, c * kernel * kernel))
+        fast = col2im(cols, x_shape, kernel, kernel, stride, padding)
+        patches = cols.reshape(n, out_h, out_w, c, kernel, kernel).transpose(
+            0, 3, 4, 5, 1, 2)
+        general = _fold_accumulate(patches, x_shape, kernel, kernel, stride,
+                                   padding, cols.dtype)
+        if padding:
+            general = general[:, :, padding:-padding, padding:-padding]
+        np.testing.assert_array_equal(fast, general)
+
+    def test_overlapping_still_accumulates(self, rng):
+        # stride < kernel must keep summing overlapping contributions.
+        cols = np.ones((1 * 3 * 3, 1 * 2 * 2))
+        out = col2im(cols, (1, 1, 4, 4), 2, 2, 1, 0)
+        # Center positions are covered by four windows.
+        assert out[0, 0, 1, 1] == 4.0
+        assert out[0, 0, 0, 0] == 1.0
+
 
 class TestOneHot:
     def test_encoding(self):

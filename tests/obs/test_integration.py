@@ -90,6 +90,34 @@ class TestExperimentTelemetry:
         assert result.distributions.categories == \
             cold.distributions.categories
 
+    def test_engine_telemetry_emitted(self, tmp_path, restore_runtime):
+        run_experiment(tiny_config(tmp_path))
+        snapshot = obs.active().snapshot()
+
+        # The trainer's evaluation pass and the traced measurement path
+        # each compile a plan.
+        compiles = snapshot.find_spans("engine.compile")
+        assert len(compiles) >= 2
+        assert all(span.attributes["model"] == "mnist-cnn"
+                   for span in compiles)
+        assert any(span.attributes["preserve"] for span in compiles)
+
+        records = {(r["name"], tuple(sorted(r["labels"].items()))): r
+                   for r in obs.active().metrics.snapshot()}
+        fused = records[("engine.fused_layers", ())]
+        assert fused["value"] >= 2.0  # two conv+relu fusions in mnist-cnn
+        forward = records[("engine.forward", (("model", "mnist-cnn"),))]
+        assert forward["count"] >= 1
+        assert forward["min"] > 0
+
+    def test_layers_engine_emits_no_engine_telemetry(self, tmp_path,
+                                                     restore_runtime):
+        run_experiment(tiny_config(tmp_path, engine="layers"))
+        snapshot = obs.active().snapshot()
+        assert snapshot.find_spans("engine.compile") == []
+        assert all(r["name"] != "engine.forward"
+                   for r in obs.active().metrics.snapshot())
+
     def test_disabled_telemetry_records_nothing(self, tmp_path,
                                                 restore_runtime):
         config = tiny_config(tmp_path,

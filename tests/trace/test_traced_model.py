@@ -163,3 +163,60 @@ class TestConstantFootprintMode:
         hardened = TracedInference(
             tiny_trained_model, TraceConfig(sparse_from_layer=None))
         assert "constant footprint" in hardened.describe()
+
+
+class TestEngines:
+    def test_rejects_unknown_engine(self, tiny_trained_model):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            TracedInference(tiny_trained_model, engine="bogus")
+
+    def test_default_engine_is_compiled(self, traced_inference):
+        assert traced_inference.engine == "compiled"
+
+    def test_trace_sample_identical_across_engines(self, tiny_trained_model,
+                                                   digits_dataset):
+        compiled = TracedInference(tiny_trained_model, engine="compiled")
+        layers = TracedInference(tiny_trained_model, engine="layers")
+        for image in digits_dataset.images[:5]:
+            pc, tc = compiled.trace_sample(image)
+            pl, tl = layers.trace_sample(image)
+            assert pc == pl
+            cpu_c, cpu_l = CpuModel(seed=0), CpuModel(seed=0)
+            cpu_c.begin_task()
+            tc.replay(cpu_c)
+            cpu_l.begin_task()
+            tl.replay(cpu_l)
+            assert cpu_c.read_counters() == cpu_l.read_counters()
+
+    def test_trace_batch_identical_across_engines(self, tiny_trained_model,
+                                                  digits_dataset):
+        compiled = TracedInference(tiny_trained_model, engine="compiled")
+        layers = TracedInference(tiny_trained_model, engine="layers")
+        batch = digits_dataset.images[:6]
+        for (pc, tc), (pl, tl) in zip(compiled.trace_batch(batch),
+                                      layers.trace_batch(batch)):
+            assert pc == pl
+            cpu_c, cpu_l = CpuModel(seed=0), CpuModel(seed=0)
+            cpu_c.begin_task()
+            tc.replay(cpu_c)
+            cpu_l.begin_task()
+            tl.replay(cpu_l)
+            assert cpu_c.read_counters() == cpu_l.read_counters()
+
+    def test_preserve_plan_compiled_once_and_lazily(self, tiny_trained_model,
+                                                    digits_dataset):
+        traced = TracedInference(tiny_trained_model, engine="compiled")
+        assert traced._plan is None
+        traced.trace_sample(digits_dataset.images[0])
+        plan = traced._plan
+        assert plan is not None and plan.preserve_layers
+        traced.trace_sample(digits_dataset.images[1])
+        assert traced._plan is plan
+
+    def test_layers_engine_never_compiles(self, tiny_trained_model,
+                                          digits_dataset):
+        traced = TracedInference(tiny_trained_model, engine="layers")
+        traced.trace_sample(digits_dataset.images[0])
+        traced.trace_batch(digits_dataset.images[:3])
+        assert traced._plan is None
