@@ -1,0 +1,190 @@
+"""Compiled training engine vs the layer-by-layer autograd path.
+
+Times one MNIST-CNN training epoch (fixed batch order, batch size 32) in
+both engines, measures the per-epoch allocation traffic of each via
+``tracemalloc``, and writes the record to ``BENCH_training.json``.  The
+CI ``bench-smoke`` job uploads that file as an artifact, so the speedup
+trajectory is tracked per commit.
+
+Asserted unconditionally:
+
+* a multi-epoch ``Trainer.fit`` with ``engine="compiled"`` reproduces the
+  ``engine="layers"`` weights to <= 1e-9 (they are bitwise identical in
+  practice; the reported drift is committed with the record);
+* the compiled epoch allocates >= ``REQUIRED_ALLOC_REDUCTION``x less
+  memory than the layer path (tracemalloc is deterministic, so this gate
+  is machine-independent).
+
+On >= ``STRICT_CORES`` cores the compiled epoch must additionally be
+>= ``REQUIRED_EPOCH_SPEEDUP``x faster than the layer path.  Below that
+the ratio is recorded but not gated — starved BLAS pools make wall-clock
+ratios meaningless, matching ``bench_pipeline.py``.  The wall-clock gate
+is intentionally conservative: both engines share the irreducible
+im2col/GEMM memory traffic (the arithmetic is bitwise identical by
+contract), so the compiled win is the eliminated per-layer allocation,
+dispatch and re-materialization — measured 1.3-1.7x on the MNIST-CNN
+epoch, and ~40x on peak allocation volume.
+
+Timing uses warmup + best-of-``REPEATS`` loops so scheduler noise biases
+both engines equally and the reported ratio reflects steady state.
+
+Environment knobs: ``REPRO_BENCH_TRAIN_SAMPLES`` (epoch size, default
+256), ``REPRO_BENCH_TRAIN_REPS`` (epochs per timing loop, default 3),
+``REPRO_BENCH_TRAIN_REPEATS`` (loops kept for the best-of reduction,
+default 5), ``REPRO_BENCH_TRAIN_OUT`` (output path).
+"""
+
+import json
+import os
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.experiment import build_model
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.optimizers import Adam
+from repro.nn.trainer import Trainer
+
+SAMPLES = int(os.environ.get("REPRO_BENCH_TRAIN_SAMPLES", "256"))
+REPS = int(os.environ.get("REPRO_BENCH_TRAIN_REPS", "3"))
+REPEATS = int(os.environ.get("REPRO_BENCH_TRAIN_REPEATS", "5"))
+OUT_PATH = Path(os.environ.get("REPRO_BENCH_TRAIN_OUT",
+                               "BENCH_training.json"))
+CPU_COUNT = os.cpu_count() or 1
+#: Below this, BLAS threading is starved and ratios are noise.
+STRICT_CORES = 4
+REQUIRED_EPOCH_SPEEDUP = 1.25
+REQUIRED_ALLOC_REDUCTION = 20.0
+TOLERANCE = 1e-9
+BATCH = 32
+
+
+def best_of(callable_, reps, repeats):
+    """Best mean-per-call seconds over ``repeats`` loops of ``reps`` calls."""
+    callable_()  # warmup: bind buffers, fault pages, warm caches
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(reps):
+            callable_()
+        best = min(best, (time.perf_counter() - start) / reps)
+    return best
+
+
+def _data(rng, n):
+    x = rng.standard_normal((n, 1, 28, 28))
+    y = rng.integers(0, 10, size=n)
+    return x, y
+
+
+def test_compiled_training_speedup():
+    rng = np.random.default_rng(7)
+    x, y = _data(rng, SAMPLES)
+
+    # Correctness first: identical seeds through both engines must land on
+    # the same weights, or the speedup below is meaningless.
+    trained = {}
+    for engine in ("layers", "compiled"):
+        model = build_model("mnist", seed=3)
+        trainer = Trainer(model, SoftmaxCrossEntropy(), Adam(0.001),
+                          batch_size=BATCH, shuffle_seed=11, engine=engine)
+        trainer.fit(x, y, epochs=2)
+        trained[engine] = model
+    drift = max(
+        float(np.max(np.abs(a.value - b.value)))
+        for a, b in zip(trained["layers"].parameters(),
+                        trained["compiled"].parameters()))
+    assert drift <= TOLERANCE, \
+        f"compiled training drift {drift} > {TOLERANCE}"
+
+    # Timing: one epoch of train steps in a fixed batch order, so both
+    # engines do the exact same arithmetic per call.
+    slices = [np.arange(start, min(start + BATCH, SAMPLES))
+              for start in range(0, SAMPLES, BATCH)]
+
+    layers_model = build_model("mnist", seed=3)
+    layers_trainer = Trainer(layers_model, SoftmaxCrossEntropy(),
+                             Adam(0.001), batch_size=BATCH, engine="layers")
+    batches = [(x[index], y[index]) for index in slices]
+
+    def layers_epoch():
+        for xb, yb in batches:
+            layers_trainer.train_step(xb, yb)
+
+    compiled_model = build_model("mnist", seed=3)
+    plan = compiled_model.compile_training(SoftmaxCrossEntropy(),
+                                           Adam(0.001), batch_size=BATCH)
+    x64 = np.ascontiguousarray(x)
+    y64 = y.astype(np.int64)
+
+    def compiled_epoch():
+        for index in slices:
+            plan.step_gather(x64, y64, index)
+
+    layers_s = best_of(layers_epoch, REPS, REPEATS)
+    compiled_s = best_of(compiled_epoch, REPS, REPEATS)
+    speedup = layers_s / compiled_s
+
+    # Peak transient allocation of one steady-state epoch (both loops are
+    # warm: the timing above already bound every buffer).
+    def allocated_bytes(epoch):
+        tracemalloc.start()
+        try:
+            base = tracemalloc.get_traced_memory()[0]
+            tracemalloc.reset_peak()
+            epoch()
+            peak = tracemalloc.get_traced_memory()[1]
+        finally:
+            tracemalloc.stop()
+        return max(1, peak - base)
+
+    layers_alloc = allocated_bytes(layers_epoch)
+    compiled_alloc = allocated_bytes(compiled_epoch)
+    alloc_reduction = layers_alloc / compiled_alloc
+
+    record = {
+        "model": compiled_model.name,
+        "samples": SAMPLES,
+        "batch_size": BATCH,
+        "reps": REPS,
+        "repeats": REPEATS,
+        "cpu_count": CPU_COUNT,
+        "fused_layers": plan.stats.fused_layers,
+        "generic_layers": plan.stats.generic_layers,
+        "fused_loss": plan.stats.fused_loss,
+        "ops": plan.stats.ops,
+        "layers": plan.stats.layers,
+        "epoch": {
+            "layers_ms": round(layers_s * 1e3, 2),
+            "compiled_ms": round(compiled_s * 1e3, 2),
+            "speedup": round(speedup, 3),
+        },
+        "alloc": {
+            "layers_bytes": layers_alloc,
+            "compiled_bytes": compiled_alloc,
+            "reduction": round(alloc_reduction, 1),
+        },
+        "max_abs_weight_drift": drift,
+    }
+    OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {OUT_PATH}: epoch {speedup:.2f}x "
+          f"({record['epoch']['layers_ms']}ms -> "
+          f"{record['epoch']['compiled_ms']}ms), "
+          f"alloc {alloc_reduction:.0f}x smaller "
+          f"({layers_alloc >> 20}MiB -> {compiled_alloc >> 10}KiB), "
+          f"cpu_count={CPU_COUNT}")
+
+    assert alloc_reduction >= REQUIRED_ALLOC_REDUCTION, (
+        f"compiled epoch allocates only {alloc_reduction:.1f}x less than "
+        f"the layer path (required {REQUIRED_ALLOC_REDUCTION}x)"
+    )
+    if CPU_COUNT >= STRICT_CORES:
+        assert speedup >= REQUIRED_EPOCH_SPEEDUP, (
+            f"compiled training epoch only {speedup:.2f}x faster than the "
+            f"layer path (required {REQUIRED_EPOCH_SPEEDUP}x)"
+        )
+    else:
+        print(f"cpu_count={CPU_COUNT} < {STRICT_CORES}: recording "
+              f"wall-clock ratio without gating")

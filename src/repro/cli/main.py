@@ -64,9 +64,10 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
                              "worker count)")
     parser.add_argument("--engine", choices=("layers", "compiled"),
                         default=None,
-                        help="forward-pass implementation (default: "
-                             "compiled; identical results, 'layers' runs "
-                             "the reference path)")
+                        help="execution backend for training and "
+                             "measurement (default: compiled, fused "
+                             "train/inference plans; identical results, "
+                             "'layers' runs the reference path)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk artifact cache")
     parser.add_argument("--seed", type=int, default=None,

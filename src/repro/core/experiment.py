@@ -77,10 +77,12 @@ class ExperimentConfig:
             sequential ``"stream"``.
         workers: Measurement worker processes (1 = in-process collection;
             the worker count never changes the measured distributions).
-        engine: Forward-pass implementation of the measurement pipeline —
-            ``"compiled"`` (default) runs the frozen inference plan,
-            ``"layers"`` the layer-by-layer reference path.  The engine
-            never changes measured values or verdicts, only speed.
+        engine: Execution backend of the full pipeline — ``"compiled"``
+            (default) trains through the fused
+            :class:`repro.nn.engine.TrainPlan` and measures through the
+            frozen inference plan, ``"layers"`` runs the layer-by-layer
+            reference path for both.  The engine never changes trained
+            weights, measured values or verdicts, only speed.
         trace_config: Trace-generation knobs.
         cpu_config: Simulated microarchitecture.
         confidence: Evaluator confidence level.

@@ -1,4 +1,4 @@
-"""Compiled inference engine: graph freezing + workspace reuse.
+"""Compiled execution engine: graph freezing + workspace reuse.
 
 Compiles a built :class:`repro.nn.Sequential` into an
 :class:`InferencePlan` — BatchNorm folded into the preceding GEMM,
@@ -9,14 +9,25 @@ nothing and skips all layer-dispatch bookkeeping::
     plan = model.compile_inference(batch_size=32)   # or engine.compile
     logits = plan.forward(batch)                    # == model.predict_logits
 
-The layer-by-layer path remains the reference implementation; the plan
-matches it to <= 1e-9 (see ``benchmarks/bench_inference.py`` for the
-speedup gate and ``tests/nn/test_engine.py`` for the equivalence
-contract).
+Training is compiled the same way: :func:`compile_training` freezes a
+model + loss + optimizer into a :class:`TrainPlan` whose fused
+forward/loss/backward/update step reuses a preallocated gradient
+workspace arena and is *bitwise identical* to the layer-by-layer
+autograd path::
+
+    plan = engine.compile_training(model, loss, optimizer, batch_size=32)
+    loss_value = plan.step_gather(x, y, batch_index)
+
+The layer-by-layer path remains the reference implementation; the
+inference plan matches it to <= 1e-9 and the train plan byte-for-byte
+(see ``benchmarks/bench_inference.py`` / ``benchmarks/bench_training.py``
+for the speedup gates and ``tests/nn/test_engine.py`` /
+``tests/nn/test_train_plan.py`` for the equivalence contracts).
 """
 
 from .freezer import FreezeStats, FrozenOp, freeze
 from .plan import InferencePlan, compile_model
+from .train_plan import TrainPlan, TrainStats, compile_training, freeze_training
 
 #: Engine identifiers accepted by the pipeline's ``engine=`` knobs.
 ENGINES = ("layers", "compiled")
@@ -29,7 +40,11 @@ __all__ = [
     "FreezeStats",
     "FrozenOp",
     "InferencePlan",
+    "TrainPlan",
+    "TrainStats",
     "compile",
     "compile_model",
+    "compile_training",
     "freeze",
+    "freeze_training",
 ]

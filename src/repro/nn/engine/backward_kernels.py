@@ -1,0 +1,235 @@
+"""Fused training kernels: thunk builders for the compiled train step.
+
+Everything here exists to make a compiled training step *bitwise
+identical* to the layer-by-layer autograd path while allocating nothing
+in steady state.  That constraint is load-bearing: the end-to-end
+engine-invariance contract (``tests/integration/test_end_to_end.py``)
+asserts byte-identical measured distributions between ``engine="layers"``
+and ``engine="compiled"`` experiments, and those distributions derive
+from the *trained weights* — any floating-point reordering in the train
+step would change them.
+
+Consequences worth knowing before editing:
+
+* Reductions replicate the layer path's exact operator order.  The
+  bias gradient is ``np.add.reduce(grad_rows, axis=0, out=...)`` —
+  the very ufunc behind ``grad_rows.sum(axis=0)`` — rather than a
+  ones-column GEMM epilogue, because BLAS dot-product accumulation is
+  not bitwise equal to NumPy's pairwise summation.
+* GEMMs keep the reference operand layouts (``cols @ W.T``,
+  ``grad_rows.T @ cols``, contiguous left operands) so the BLAS kernel
+  selection — and therefore the exact rounding — matches the layer path.
+* The col2im fold mirrors :func:`repro.nn.tensor_utils.col2im` offset
+  order per branch (accumulating for overlapping windows, scatter-assign
+  for ``stride >= kernel``).
+* Max-pool gradient routing reproduces ``argmax`` first-occurrence tie
+  breaking with a running strict-greater comparison.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import List, Optional
+
+import numpy as np
+
+from ...errors import ShapeError
+
+
+def relu_forward_runs(src: np.ndarray, out: np.ndarray,
+                      mask: np.ndarray) -> List:
+    """``out = max(src, 0)`` plus the backward mask, both preallocated.
+
+    ``max(src, 0) > 0`` iff ``src > 0``, so the mask can be taken from the
+    output — the fused conv/dense epilogues never materialize their
+    pre-activation in canonical layout.
+    """
+    return [partial(np.maximum, src, 0.0, out=out),
+            partial(np.greater, out, 0.0, out=mask)]
+
+
+def relu_backward_runs(gout: np.ndarray, mask: np.ndarray,
+                       gin: Optional[np.ndarray] = None) -> List:
+    """``gin = gout * mask`` (in place over ``gout`` when fused)."""
+    return [partial(np.multiply, gout, mask,
+                    out=gout if gin is None else gin)]
+
+
+def leaky_relu_forward_runs(src: np.ndarray, out: np.ndarray,
+                            mask: np.ndarray, alpha: float) -> List:
+    """``out = where(src > 0, src, alpha * src)`` without temporaries."""
+    return [partial(np.greater, src, 0.0, out=mask),
+            partial(np.multiply, src, alpha, out=out),
+            partial(np.copyto, out, src, where=mask)]
+
+
+def leaky_relu_backward_runs(gout: np.ndarray, mask: np.ndarray,
+                             gin: np.ndarray, alpha: float) -> List:
+    """``gin = gout * where(mask, 1, alpha)``; ``x * 1.0 == x`` bitwise."""
+    return [partial(np.multiply, gout, alpha, out=gin),
+            partial(np.copyto, gin, gout, where=mask)]
+
+
+def unfold_runs(src: np.ndarray, cols: np.ndarray, channels: int,
+                kernel: int, stride: int) -> List:
+    """Row-major im2col copy matching the reference column order.
+
+    ``src`` is the (padded) canonical input, ``cols`` the contiguous
+    ``(n, out_h, out_w, c*k*k)`` patch buffer whose 2-D reshape has the
+    exact layout of :func:`repro.nn.tensor_utils.im2col` — the training
+    GEMMs must see the reference operand layout (see module docstring).
+    """
+    from . import kernels
+    return kernels.conv_slot_copies(src, cols, channels, kernel, stride,
+                                    kernels.CANONICAL)
+
+
+def fold_runs(grad_patches: np.ndarray, canvas: np.ndarray, kernel: int,
+              stride: int) -> List:
+    """col2im adjoint fold of ``grad_patches`` into a zeroed ``canvas``.
+
+    ``grad_patches`` is the 6-D view ``grad_cols.reshape(n, oh, ow, c, k,
+    k)``; ``canvas`` the (padded) canonical input-gradient buffer.  The
+    first thunk zeroes the canvas, then either branch of
+    :func:`repro.nn.tensor_utils.col2im` is replicated exactly:
+
+    * overlapping windows (``stride < kernel``): per-offset ``+=`` in the
+      same ``(i, j)`` order as ``_fold_accumulate``;
+    * non-overlapping (``stride >= kernel``): per-offset assignment into
+      disjoint strided views, value-identical to the
+      ``_fold_nonoverlapping`` scatter (including gradient zero signs,
+      which a multiply-by-mask formulation would flip).
+    """
+    out_h, out_w = grad_patches.shape[1], grad_patches.shape[2]
+    runs = [partial(np.copyto, canvas, 0.0)]
+    assign = stride >= kernel
+    for i in range(kernel):
+        i_end = i + stride * out_h
+        for j in range(kernel):
+            j_end = j + stride * out_w
+            slot = canvas[:, :, i:i_end:stride, j:j_end:stride]
+            patch = grad_patches[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+            if assign:
+                runs.append(partial(np.copyto, slot, patch))
+            else:
+                runs.append(partial(np.add, slot, patch, out=slot))
+    return runs
+
+
+def max_pool_forward_runs(views: List[np.ndarray], out: np.ndarray,
+                          idx: np.ndarray, cmp: np.ndarray) -> List:
+    """Running max with slot tracking, matching ``argmax`` tie breaking.
+
+    ``views`` are the per-offset window views (slot ``j = ky*pool + kx``,
+    the im2col column order); the strict ``>`` update keeps the first
+    maximal slot, exactly like ``argmax`` over the window matrix.
+    """
+    runs = [partial(np.copyto, out, views[0]),
+            partial(np.copyto, idx, 0)]
+    for j, view in enumerate(views[1:], start=1):
+        runs.append(partial(np.greater, view, out, out=cmp))
+        runs.append(partial(np.copyto, out, view, where=cmp))
+        runs.append(partial(np.copyto, idx, j, where=cmp))
+    return runs
+
+
+def max_pool_backward_runs(gin: np.ndarray, gin_views: List[np.ndarray],
+                           gout: np.ndarray, idx: np.ndarray,
+                           cmp: np.ndarray, overlap: bool,
+                           scratch: Optional[np.ndarray]) -> List:
+    """Scatter ``gout`` to the winning slots recorded in ``idx``.
+
+    The where-copy formulation (not ``gout * (idx == j)``) keeps the
+    layer path's exact zero pattern: untouched positions stay ``+0.0``
+    from the zero fill and selected positions receive ``gout`` verbatim.
+    Overlapping windows accumulate per offset in ``_fold_accumulate``
+    order via the ``scratch`` buffer.
+    """
+    runs = [partial(np.copyto, gin, 0.0)]
+    for j, view in enumerate(gin_views):
+        runs.append(partial(np.equal, idx, j, out=cmp))
+        if overlap:
+            runs.append(partial(np.copyto, scratch, 0.0))
+            runs.append(partial(np.copyto, scratch, gout, where=cmp))
+            runs.append(partial(np.add, view, scratch, out=view))
+        else:
+            runs.append(partial(np.copyto, view, gout, where=cmp))
+    return runs
+
+
+def avg_pool_forward_runs(views: List[np.ndarray], out: np.ndarray,
+                          area: int) -> List:
+    """Sequential slot sum then divide — ``windows.mean(axis=1)`` bitwise.
+
+    Only valid for window areas small enough (``<= 8``) that NumPy's
+    axis reduction is itself sequential; the freezer falls back to the
+    generic layer op beyond that.
+    """
+    runs = [partial(np.copyto, out, views[0])]
+    runs.extend(partial(np.add, out, view, out=out) for view in views[1:])
+    runs.append(partial(np.divide, out, float(area), out=out))
+    return runs
+
+
+def avg_pool_backward_runs(gin: np.ndarray, gin_views: List[np.ndarray],
+                           gout: np.ndarray, scratch: np.ndarray,
+                           area: int, overlap: bool) -> List:
+    """Spread ``gout / area`` back over every window position."""
+    runs = [partial(np.divide, gout, float(area), out=scratch),
+            partial(np.copyto, gin, 0.0)]
+    for view in gin_views:
+        if overlap:
+            runs.append(partial(np.add, view, scratch, out=view))
+        else:
+            runs.append(partial(np.copyto, view, scratch))
+    return runs
+
+
+class SoftmaxXentStep:
+    """Fused softmax-cross-entropy forward + gradient over bound buffers.
+
+    One shift/exp/sum pass produces both the scalar loss and the batch
+    gradient ``(softmax(logits) - one_hot(labels)) / n``, written into the
+    bound ``grad`` buffer.  The gradient is bitwise identical to
+    :class:`repro.nn.losses.SoftmaxCrossEntropy` (same elementwise
+    sequence; subtracting the one-hot only touches the target column, and
+    ``p - 0.0 == p`` exactly for the rest).  The scalar loss is the same
+    quantity accumulated in a different order, so it may differ from the
+    layer path in the last few ULPs — it feeds reporting and the
+    divergence check, never the weights.
+    """
+
+    def __init__(self, logits: np.ndarray, labels: np.ndarray,
+                 grad: np.ndarray):
+        n, classes = logits.shape
+        self.n = n
+        self.classes = classes
+        self.logits = logits
+        self.labels = labels
+        self.grad = grad
+        self._grad_flat = grad.reshape(-1)
+        self._row_stat = np.empty((n, 1))
+        self._row_sum = np.empty((n, 1))
+        self._picked = np.empty(n)
+        self._base = np.arange(n, dtype=np.int64) * classes
+        self._flat_idx = np.empty(n, dtype=np.int64)
+
+    def __call__(self) -> float:
+        labels = self.labels
+        if labels.size and (labels.min() < 0 or labels.max() >= self.classes):
+            raise ShapeError(
+                f"labels must lie in [0, {self.classes}), got range "
+                f"[{labels.min()}, {labels.max()}]")
+        logits, grad = self.logits, self.grad
+        np.max(logits, axis=1, keepdims=True, out=self._row_stat)
+        np.subtract(logits, self._row_stat, out=grad)          # shifted
+        np.add(self._base, labels, out=self._flat_idx)
+        np.take(self._grad_flat, self._flat_idx, out=self._picked)
+        np.exp(grad, out=grad)
+        np.sum(grad, axis=1, keepdims=True, out=self._row_sum)
+        np.log(self._row_sum, out=self._row_stat)
+        loss = float((self._row_stat.sum() - self._picked.sum()) / self.n)
+        np.divide(grad, self._row_sum, out=grad)               # softmax
+        self._grad_flat[self._flat_idx] -= 1.0
+        np.divide(grad, self.n, out=grad)
+        return loss

@@ -111,6 +111,17 @@ class FrozenOp:
         """
         raise NotImplementedError
 
+    def refresh(self, layers: dict) -> None:
+        """Re-snapshot this op's constants from the live ``layers``.
+
+        ``layers`` maps layer name to layer.  Ops that copied weights at
+        freeze time overwrite their snapshots *in place* (re-applying any
+        folded BatchNorm statistics), so programs already bound to this
+        op observe the new values without rebinding.  Ops without
+        constants inherit this no-op.  Raises ``KeyError`` when a source
+        layer is missing.
+        """
+
     def _out(self, n: int) -> np.ndarray:
         return np.empty(kernels.buffer_shape(n, self.out_shape,
                                              self.out_layout))
@@ -132,7 +143,7 @@ class ConvOp(FrozenOp):
     """
 
     def __init__(self, label, in_shape, out_shape, kernel, stride, padding,
-                 weight, bias, in_layout, preserve=False):
+                 weight, bias, in_layout, preserve=False, source=None):
         out_layout = CANONICAL if preserve else NHWC
         super().__init__(label, in_shape, out_shape, in_layout, out_layout)
         self.kernel = kernel
@@ -143,6 +154,41 @@ class ConvOp(FrozenOp):
         self.preserve = preserve
         self.activation: Optional[str] = None
         self.alpha = 0.0
+        self.source = source          # originating layer name
+        self.folded: List[str] = []   # BatchNorm layer names folded in
+        self._weight_mat: Optional[np.ndarray] = None
+
+    def _build_gemm_weight(self) -> np.ndarray:
+        filters = self.out_shape[0]
+        patch = self.in_shape[0] * self.kernel * self.kernel
+        if self.in_layout == CANONICAL:
+            weight_mat = self.weight.reshape(filters, patch).T.copy()
+        else:
+            weight_mat = self.weight.transpose(0, 2, 3, 1).reshape(
+                filters, patch).T.copy()
+        if self.bias is not None:
+            weight_mat = np.concatenate([weight_mat, self.bias[None, :]])
+        return weight_mat
+
+    def _gemm_weight(self) -> np.ndarray:
+        # Shared across bound programs so refresh() can update it in place.
+        if self._weight_mat is None:
+            self._weight_mat = self._build_gemm_weight()
+        return self._weight_mat
+
+    def refresh(self, layers: dict) -> None:
+        layer = layers[self.source]
+        weight = layer.weight.value.copy()
+        bias = layer.bias.value.copy() if layer.use_bias else None
+        for name in self.folded:
+            scale, shift = _batchnorm_scale_shift(layers[name])
+            weight *= scale[:, None, None, None]
+            bias = (bias if bias is not None else 0.0) * scale + shift
+        self.weight[...] = weight
+        if self.bias is not None:
+            self.bias[...] = bias
+        if self._weight_mat is not None:
+            self._weight_mat[...] = self._build_gemm_weight()
 
     def bind(self, n: int, src: np.ndarray):
         c, h, w = self.in_shape
@@ -195,13 +241,7 @@ class ConvOp(FrozenOp):
                                 nhwc_view.transpose(0, 3, 1, 2)))
             return out, runs
 
-        if self.in_layout == CANONICAL:
-            weight_mat = self.weight.reshape(filters, patch).T.copy()
-        else:
-            weight_mat = self.weight.transpose(0, 2, 3, 1).reshape(
-                filters, patch).T.copy()
-        if fold_bias:
-            weight_mat = np.concatenate([weight_mat, self.bias[None, :]])
+        weight_mat = self._gemm_weight()
         out = self._out(n)
         rows = out.reshape(n * out_h * out_w, filters)
         runs.append(partial(np.matmul, cols2d, weight_mat, out=rows))
@@ -214,12 +254,31 @@ class ConvOp(FrozenOp):
 class DenseOp(FrozenOp):
     """GEMM over flat features; weights pre-permuted for NHWC inputs."""
 
-    def __init__(self, label, in_shape, out_shape, weight, bias, in_layout):
+    def __init__(self, label, in_shape, out_shape, weight, bias, in_layout,
+                 source=None, feature_order=None):
         super().__init__(label, in_shape, out_shape, in_layout, CANONICAL)
         self.weight = weight          # (in_features, units)
         self.bias = bias
         self.activation: Optional[str] = None
         self.alpha = 0.0
+        self.source = source
+        self.folded: List[str] = []
+        # Input-feature permutation applied at freeze time (FLAT_NHWC).
+        self.feature_order = feature_order
+
+    def refresh(self, layers: dict) -> None:
+        layer = layers[self.source]
+        weight = layer.weight.value.copy()
+        if self.feature_order is not None:
+            weight = weight[self.feature_order]
+        bias = layer.bias.value.copy() if layer.use_bias else None
+        for name in self.folded:
+            scale, shift = _batchnorm_scale_shift(layers[name])
+            weight *= scale[None, :]
+            bias = (bias if bias is not None else 0.0) * scale + shift
+        self.weight[...] = weight
+        if self.bias is not None:
+            self.bias[...] = bias
 
     def bind(self, n: int, src: np.ndarray):
         out = self._out(n)
@@ -290,12 +349,23 @@ class IdentityOp(FrozenOp):
 class AffineOp(FrozenOp):
     """Folded standalone BatchNorm: ``y = x * scale + shift``."""
 
-    def __init__(self, label, in_shape, in_layout, scale, shift):
+    def __init__(self, label, in_shape, in_layout, scale, shift,
+                 source=None, order=None):
         super().__init__(label, in_shape, in_shape, in_layout, in_layout)
         self.scale = scale
         self.shift = shift
         self.activation: Optional[str] = None
         self.alpha = 0.0
+        self.source = source
+        # Feature permutation applied at freeze time (FLAT_NHWC inputs).
+        self.order = order
+
+    def refresh(self, layers: dict) -> None:
+        scale, shift = _batchnorm_scale_shift(layers[self.source])
+        if self.order is not None:
+            scale, shift = scale[self.order], shift[self.order]
+        self.scale[...] = scale
+        self.shift[...] = shift
 
     def _broadcast(self, values: np.ndarray) -> np.ndarray:
         if self.in_layout == CANONICAL and len(self.in_shape) == 3:
@@ -316,12 +386,21 @@ class AffineOp(FrozenOp):
 class BatchNormOp(FrozenOp):
     """Preserve-mode BatchNorm replicating the layer's exact op order."""
 
-    def __init__(self, label, in_shape, mean, inv_std, gamma, beta):
+    def __init__(self, label, in_shape, mean, inv_std, gamma, beta,
+                 source=None):
         super().__init__(label, in_shape, in_shape, CANONICAL, CANONICAL)
         self.mean = mean
         self.inv_std = inv_std
         self.gamma = gamma
         self.beta = beta
+        self.source = source
+
+    def refresh(self, layers: dict) -> None:
+        layer = layers[self.source]
+        self.mean[...] = layer.running_mean
+        self.inv_std[...] = 1.0 / np.sqrt(layer.running_var + layer.epsilon)
+        self.gamma[...] = layer.gamma.value
+        self.beta[...] = layer.beta.value
 
     def bind(self, n: int, src: np.ndarray):
         if len(self.in_shape) == 3:
@@ -401,6 +480,13 @@ class ConvertOp(FrozenOp):
 _FUSABLE = (ConvOp, DenseOp, AffineOp)
 
 
+def _batchnorm_scale_shift(layer) -> Tuple[np.ndarray, np.ndarray]:
+    """The inference-time affine equivalent of a BatchNorm layer."""
+    scale = layer.gamma.value / np.sqrt(layer.running_var + layer.epsilon)
+    shift = layer.beta.value - layer.running_mean * scale
+    return scale, shift
+
+
 def freeze(model: Sequential, preserve_layers: bool = False
            ) -> Tuple[List[FrozenOp], FreezeStats]:
     """Emit the frozen op list (and stats) for a built model."""
@@ -433,20 +519,21 @@ def freeze(model: Sequential, preserve_layers: bool = False
             stats.dropped_layers += 1
             continue
         if isinstance(layer, (BatchNorm1D, BatchNorm2D)):
-            scale = layer.gamma.value / np.sqrt(layer.running_var
-                                                + layer.epsilon)
-            shift = layer.beta.value - layer.running_mean * scale
+            scale, shift = _batchnorm_scale_shift(layer)
             if ops and isinstance(ops[-1], (ConvOp, DenseOp)) \
                     and ops[-1].activation is None:
                 _fold_batchnorm(ops[-1], scale, shift)
                 ops[-1].label += f"+{layer.name}"
+                ops[-1].folded.append(layer.name)
                 stats.folded_batchnorm += 1
             else:
+                order = None
                 if layout == FLAT_NHWC:
                     order = kernels.nhwc_feature_order(nhwc_flat_shape)
                     scale, shift = scale[order], shift[order]
                 ops.append(AffineOp(layer.name, current_shape(), layout,
-                                    scale, shift))
+                                    scale, shift, source=layer.name,
+                                    order=order))
             continue
         if isinstance(layer, (ReLU, LeakyReLU)):
             alpha = getattr(layer, "alpha", 0.0)
@@ -474,19 +561,22 @@ def freeze(model: Sequential, preserve_layers: bool = False
                 layer.kernel, layer.stride, layer.padding,
                 layer.weight.value.copy(),
                 layer.bias.value.copy() if layer.use_bias else None,
-                layout))
+                layout, source=layer.name))
             layout = NHWC
             continue
         if isinstance(layer, Dense):
             weight = layer.weight.value.copy()
+            feature_order = None
             if layout == FLAT_NHWC:
                 # One permutation at freeze time makes the NHWC-flattened
                 # activations directly consumable: x_nhwc @ W[order] ==
                 # x_canonical @ W.
-                weight = weight[kernels.nhwc_feature_order(nhwc_flat_shape)]
+                feature_order = kernels.nhwc_feature_order(nhwc_flat_shape)
+                weight = weight[feature_order]
             ops.append(DenseOp(
                 layer.name, layer.input_shape, layer.output_shape, weight,
-                layer.bias.value.copy() if layer.use_bias else None, layout))
+                layer.bias.value.copy() if layer.use_bias else None, layout,
+                source=layer.name, feature_order=feature_order))
             layout = CANONICAL
             continue
         if isinstance(layer, (MaxPool2D, AvgPool2D)):
@@ -537,17 +627,18 @@ def _freeze_preserved(layer) -> FrozenOp:
                       layer.kernel, layer.stride, layer.padding,
                       layer.weight.value.copy(),
                       layer.bias.value.copy() if layer.use_bias else None,
-                      CANONICAL, preserve=True)
+                      CANONICAL, preserve=True, source=layer.name)
     if isinstance(layer, Dense):
         return DenseOp(layer.name, layer.input_shape, layer.output_shape,
                        layer.weight.value.copy(),
                        layer.bias.value.copy() if layer.use_bias else None,
-                       CANONICAL)
+                       CANONICAL, source=layer.name)
     if isinstance(layer, (BatchNorm1D, BatchNorm2D)):
         inv_std = 1.0 / np.sqrt(layer.running_var + layer.epsilon)
         return BatchNormOp(layer.name, layer.input_shape,
                            layer.running_mean.copy(), inv_std,
-                           layer.gamma.value.copy(), layer.beta.value.copy())
+                           layer.gamma.value.copy(), layer.beta.value.copy(),
+                           source=layer.name)
     if isinstance(layer, Dropout):
         return IdentityOp(layer.name, layer.input_shape, layer.output_shape,
                           CANONICAL, CANONICAL)

@@ -168,6 +168,41 @@ class InferencePlan:
             src = out
 
     # ------------------------------------------------------------------
+    # Weight rebinding
+    # ------------------------------------------------------------------
+
+    def refresh(self, model: Sequential) -> "InferencePlan":
+        """Re-snapshot the weights of ``model`` into this plan, in place.
+
+        Orders of magnitude cheaper than recompiling: the op list, the
+        bound programs and every workspace buffer survive — only the
+        weight snapshots (and re-folded BatchNorm statistics) are
+        rewritten.  ``model`` must be the architecture this plan was
+        compiled from (same layer names and shapes); typically it *is*
+        the same model, trained a bit further.
+        """
+        if not model.built:
+            raise EngineError(
+                f"model {model.name!r} must be built before refreshing")
+        if tuple(model.input_shape) != self.input_shape \
+                or tuple(model.output_shape) != self.output_shape:
+            raise EngineError(
+                f"plan {self.name!r} was compiled for "
+                f"{self.input_shape}->{self.output_shape}; cannot refresh "
+                f"from model {model.name!r} with "
+                f"{tuple(model.input_shape)}->{tuple(model.output_shape)}")
+        layers = {layer.name: layer for layer in model.layers}
+        for op in self.ops:
+            try:
+                op.refresh(layers)
+            except KeyError as exc:
+                raise EngineError(
+                    f"plan {self.name!r} cannot refresh: model "
+                    f"{model.name!r} has no layer named {exc}") from None
+        obs.inc("engine.refresh", model=self.name)
+        return self
+
+    # ------------------------------------------------------------------
     # Introspection / pickling
     # ------------------------------------------------------------------
 

@@ -1,0 +1,723 @@
+"""The compiled training plan: fused train-step symmetric to InferencePlan.
+
+:func:`compile_training` freezes a built :class:`Sequential` together
+with a loss and an optimizer into a :class:`TrainPlan` whose
+:meth:`~TrainPlan.step_gather` runs one fused
+forward/loss/backward/update:
+
+* a **backward workspace arena** — every activation, gradient, im2col
+  and col2im buffer is preallocated per batch size, and the forward
+  im2col columns are cached in the arena and reused by both the
+  weight-gradient and input-gradient GEMMs (the layer path re-derives
+  them from scratch every backward);
+* **fused kernels** — softmax-cross-entropy forward+gradient in one
+  pass, ReLU applied (and its mask taken) inside the conv/dense
+  epilogue, max-pool argmax tracking folded into the forward reduction;
+* **in-place optimizers** — the shared :mod:`repro.nn.optimizers`
+  rewrite updates weights through ``out=`` kernels with no per-step
+  allocation;
+* a **zero-copy batch pipeline** — the per-epoch permutation is gathered
+  straight into the plan's two reused batch buffers via
+  ``np.take(..., out=)``.
+
+Equivalence contract — stronger than the inference plan's 1e-9: a
+compiled step is **bitwise identical** to
+:meth:`repro.nn.trainer.Trainer.train_step` on the layers path (see
+:mod:`.backward_kernels` for how), so compiled and layer training
+produce byte-identical weight trajectories and the end-to-end
+engine-invariance test extends to training for free.  Layers without a
+fused training kernel (BatchNorm, Dropout, Sigmoid, Tanh, Softmax,
+recurrent layers) run through their real ``forward``/``backward`` inside
+the plan, which preserves their RNG streams and running statistics.
+
+Gradients of fused layers live in plan-owned shadow
+:class:`~repro.nn.layers.base.Parameter` objects that *alias the live
+weight arrays*; the optimizer updates the real model in place, so the
+model and any bound (or refreshed) inference plan always see the current
+weights.  Plans are process-local (not picklable): they close over live
+model state.
+"""
+
+from __future__ import annotations
+
+import time
+from functools import partial
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...errors import ConfigError, EngineError, ShapeError, TrainingError
+from ...obs import runtime as obs
+from ..layers import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool2D,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+)
+from ..layers.base import Parameter
+from ..losses import Loss, SoftmaxCrossEntropy
+from ..model import Sequential
+from ..optimizers import Optimizer
+from . import backward_kernels as bk
+from . import kernels
+from .kernels import CANONICAL
+
+#: Bound train programs kept per plan (full batch + remainder, typically).
+_PROGRAM_CACHE_SIZE = 8
+
+#: Window areas up to this bound reduce sequentially in NumPy, so the
+#: slot-sum average pool is bitwise equal to ``windows.mean(axis=1)``.
+_SEQUENTIAL_REDUCE_LIMIT = 8
+
+
+class TrainStats:
+    """What freezing did to the training graph (exposed as ``plan.stats``)."""
+
+    def __init__(self, layers: int = 0):
+        self.layers = layers
+        self.ops = 0
+        self.fused_activations = 0
+        self.generic_layers = 0
+        self.fused_loss = False
+
+    @property
+    def fused_layers(self) -> int:
+        """Layers executed by fused kernels instead of their own methods."""
+        return self.layers - self.generic_layers
+
+    def as_dict(self) -> dict:
+        return {
+            "layers": self.layers,
+            "ops": self.ops,
+            "fused_activations": self.fused_activations,
+            "generic_layers": self.generic_layers,
+            "fused_layers": self.fused_layers,
+            "fused_loss": self.fused_loss,
+        }
+
+
+class TrainOp:
+    """One layer's fused forward+backward, bindable per batch size.
+
+    ``bind(n, src, need_input_grad)`` allocates the op's arena buffers
+    for batch size ``n`` and returns ``(out, fwd_runs, bind_backward)``;
+    ``bind_backward(gout)`` then returns ``(gin, bwd_runs)`` — the
+    backward thunks read ``gout`` (the gradient w.r.t. ``out``, which
+    they may clobber) and write the input gradient into the ``gin``
+    buffer they allocate (``None`` when ``need_input_grad`` was False).
+    """
+
+    def __init__(self, layer):
+        self.layer = layer
+        self.label = layer.name
+
+    def params(self) -> List[Parameter]:
+        """Parameters the optimizer must step for this op."""
+        return []
+
+    def bindings(self) -> List[Tuple[Parameter, np.ndarray]]:
+        """(parameter, aliased array) pairs to identity-check per step."""
+        return []
+
+    def bind(self, n: int, src: np.ndarray, need_input_grad: bool):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.label!r})"
+
+
+class ConvTrainOp(TrainOp):
+    """Fused Conv2D (+ optional ReLU epilogue) training kernels.
+
+    Forward: one strided-view im2col copy into the arena, ``cols @ W.T``
+    through a live view of the layer's weight, bias added in place, then
+    the NCHW transpose-copy with the ReLU folded in.  Backward reuses the
+    cached columns for the weight gradient, reduces the bias gradient
+    with the reference ufunc, and folds the input gradient with the
+    col2im-exact offset loop.  The first op of a plan skips the input
+    gradient entirely (the layer path computes and discards it).
+    """
+
+    def __init__(self, layer: Conv2D):
+        super().__init__(layer)
+        self.activation: Optional[str] = None
+        self.w_shadow = Parameter("weight", layer.weight.value)
+        self.b_shadow = (Parameter("bias", layer.bias.value)
+                         if layer.use_bias else None)
+
+    def params(self) -> List[Parameter]:
+        shadows = [self.w_shadow]
+        if self.b_shadow is not None:
+            shadows.append(self.b_shadow)
+        return shadows
+
+    def bindings(self) -> List[Tuple[Parameter, np.ndarray]]:
+        pairs = [(self.layer.weight, self.w_shadow.value)]
+        if self.b_shadow is not None:
+            pairs.append((self.layer.bias, self.b_shadow.value))
+        return pairs
+
+    def bind(self, n: int, src: np.ndarray, need_input_grad: bool):
+        layer = self.layer
+        c, h, w = layer.input_shape
+        filters, out_h, out_w = layer.output_shape
+        k, stride, pad = layer.kernel, layer.stride, layer.padding
+        patch = c * k * k
+        fwd: List = []
+        if pad:
+            padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad))
+            interior = padded[:, :, pad:pad + h, pad:pad + w]
+            fwd.append(partial(np.copyto, interior, src))
+            unfold_src = padded
+        else:
+            unfold_src = src
+        cols = np.empty((n, out_h, out_w, patch))
+        fwd.extend(bk.unfold_runs(unfold_src, cols, c, k, stride))
+        cols2d = cols.reshape(n * out_h * out_w, patch)
+        w2d = layer.weight.value.reshape(filters, patch)
+        rows = np.empty((n * out_h * out_w, filters))
+        fwd.append(partial(np.matmul, cols2d, w2d.T, out=rows))
+        if layer.use_bias:
+            fwd.append(partial(np.add, rows, layer.bias.value, out=rows))
+        # The output is the same NHWC-strided transpose view the layer
+        # returns — no copy, and downstream memory-order-sensitive
+        # reductions (GlobalAvgPool, BatchNorm statistics) iterate in the
+        # exact order the layer path sees.
+        out = rows.reshape(n, out_h, out_w, filters).transpose(0, 3, 1, 2)
+        mask = None
+        if self.activation == "relu":
+            mask = np.empty(out.shape, dtype=bool)
+            fwd.append(partial(np.maximum, out, 0.0, out=out))
+            fwd.append(partial(np.greater, out, 0.0, out=mask))
+
+        def bind_backward(gout: np.ndarray):
+            bwd: List = []
+            if mask is not None:
+                bwd.extend(bk.relu_backward_runs(gout, mask))
+            grad_rows = np.empty((n * out_h * out_w, filters))
+            bwd.append(partial(
+                np.copyto, grad_rows.reshape(n, out_h, out_w, filters),
+                gout.transpose(0, 2, 3, 1)))
+            bwd.append(partial(np.matmul, grad_rows.T, cols2d,
+                               out=self.w_shadow.grad.reshape(filters,
+                                                              patch)))
+            if self.b_shadow is not None:
+                bwd.append(partial(np.add.reduce, grad_rows, axis=0,
+                                   out=self.b_shadow.grad))
+            if not need_input_grad:
+                return None, bwd
+            grad_cols = np.empty((n * out_h * out_w, patch))
+            bwd.append(partial(np.matmul, grad_rows, w2d, out=grad_cols))
+            gin = np.empty((n, c, h, w))
+            canvas = (np.empty((n, c, h + 2 * pad, w + 2 * pad)) if pad
+                      else gin)
+            bwd.extend(bk.fold_runs(
+                grad_cols.reshape(n, out_h, out_w, c, k, k), canvas, k,
+                stride))
+            if pad:
+                bwd.append(partial(np.copyto, gin,
+                                   canvas[:, :, pad:-pad, pad:-pad]))
+            return gin, bwd
+
+        return out, fwd, bind_backward
+
+
+class DenseTrainOp(TrainOp):
+    """Fused Dense (+ optional ReLU epilogue) training kernels."""
+
+    def __init__(self, layer: Dense):
+        super().__init__(layer)
+        self.activation: Optional[str] = None
+        self.w_shadow = Parameter("weight", layer.weight.value)
+        self.b_shadow = (Parameter("bias", layer.bias.value)
+                         if layer.use_bias else None)
+
+    def params(self) -> List[Parameter]:
+        shadows = [self.w_shadow]
+        if self.b_shadow is not None:
+            shadows.append(self.b_shadow)
+        return shadows
+
+    def bindings(self) -> List[Tuple[Parameter, np.ndarray]]:
+        pairs = [(self.layer.weight, self.w_shadow.value)]
+        if self.b_shadow is not None:
+            pairs.append((self.layer.bias, self.b_shadow.value))
+        return pairs
+
+    def bind(self, n: int, src: np.ndarray, need_input_grad: bool):
+        layer = self.layer
+        in_features = layer.input_shape[0]
+        weight = layer.weight.value
+        out = np.empty((n, layer.units))
+        fwd: List = [partial(np.matmul, src, weight, out=out)]
+        if layer.use_bias:
+            fwd.append(partial(np.add, out, layer.bias.value, out=out))
+        mask = None
+        if self.activation == "relu":
+            mask = np.empty(out.shape, dtype=bool)
+            fwd.append(partial(np.maximum, out, 0.0, out=out))
+            fwd.append(partial(np.greater, out, 0.0, out=mask))
+
+        def bind_backward(gout: np.ndarray):
+            bwd: List = []
+            if mask is not None:
+                bwd.extend(bk.relu_backward_runs(gout, mask))
+            bwd.append(partial(np.matmul, src.T, gout,
+                               out=self.w_shadow.grad))
+            if self.b_shadow is not None:
+                bwd.append(partial(np.add.reduce, gout, axis=0,
+                                   out=self.b_shadow.grad))
+            if not need_input_grad:
+                return None, bwd
+            gin = np.empty((n, in_features))
+            bwd.append(partial(np.matmul, gout, weight.T, out=gin))
+            return gin, bwd
+
+        return out, fwd, bind_backward
+
+
+class MaxPoolTrainOp(TrainOp):
+    """Max pooling with argmax tracking fused into the forward reduction."""
+
+    def bind(self, n: int, src: np.ndarray, need_input_grad: bool):
+        layer = self.layer
+        c, h, w = layer.input_shape
+        _, out_h, out_w = layer.output_shape
+        pool, stride = layer.pool, layer.stride
+        views = kernels.pool_slot_views(src, pool, stride, out_h, out_w,
+                                        CANONICAL)
+        out = np.empty((n, c, out_h, out_w))
+        idx = np.empty(out.shape, dtype=np.int64)
+        cmp = np.empty(out.shape, dtype=bool)
+        fwd = bk.max_pool_forward_runs(views, out, idx, cmp)
+
+        def bind_backward(gout: np.ndarray):
+            if not need_input_grad:
+                return None, []
+            gin = np.empty((n, c, h, w))
+            gin_views = kernels.pool_slot_views(gin, pool, stride, out_h,
+                                                out_w, CANONICAL)
+            overlap = stride < pool
+            scratch = np.empty(out.shape) if overlap else None
+            return gin, bk.max_pool_backward_runs(
+                gin, gin_views, gout, idx, cmp, overlap, scratch)
+
+        return out, fwd, bind_backward
+
+
+class AvgPoolTrainOp(TrainOp):
+    """Average pooling via sequential slot sums (small windows only)."""
+
+    def bind(self, n: int, src: np.ndarray, need_input_grad: bool):
+        layer = self.layer
+        c, h, w = layer.input_shape
+        _, out_h, out_w = layer.output_shape
+        pool, stride = layer.pool, layer.stride
+        area = pool * pool
+        views = kernels.pool_slot_views(src, pool, stride, out_h, out_w,
+                                        CANONICAL)
+        out = np.empty((n, c, out_h, out_w))
+        fwd = bk.avg_pool_forward_runs(views, out, area)
+
+        def bind_backward(gout: np.ndarray):
+            if not need_input_grad:
+                return None, []
+            gin = np.empty((n, c, h, w))
+            gin_views = kernels.pool_slot_views(gin, pool, stride, out_h,
+                                                out_w, CANONICAL)
+            scratch = np.empty(out.shape)
+            return gin, bk.avg_pool_backward_runs(
+                gin, gin_views, gout, scratch, area, stride < pool)
+
+        return out, fwd, bind_backward
+
+
+class GlobalPoolTrainOp(TrainOp):
+    """Global average pool: spatial mean forward, broadcast divide back."""
+
+    def bind(self, n: int, src: np.ndarray, need_input_grad: bool):
+        c, h, w = self.layer.input_shape
+        out = np.empty((n, c))
+        fwd = [partial(np.mean, src, axis=(2, 3), out=out)]
+
+        def bind_backward(gout: np.ndarray):
+            if not need_input_grad:
+                return None, []
+            gin = np.empty((n, c, h, w))
+            scratch = np.empty((n, c))
+            runs = [partial(np.divide, gout, h * w, out=scratch),
+                    partial(np.copyto, gin, scratch[:, :, None, None])]
+            return gin, runs
+
+        return out, fwd, bind_backward
+
+
+class ReluTrainOp(TrainOp):
+    """Standalone ReLU (when not mergeable into a preceding GEMM)."""
+
+    def bind(self, n: int, src: np.ndarray, need_input_grad: bool):
+        # empty_like preserves the source's memory layout (order='K'), as
+        # the layer's np.where does — downstream reductions then iterate
+        # the same way they would on the layer path.
+        out = np.empty_like(src)
+        mask = np.empty(src.shape, dtype=bool)
+        fwd = bk.relu_forward_runs(src, out, mask)
+
+        def bind_backward(gout: np.ndarray):
+            if not need_input_grad:
+                return None, []
+            gin = np.empty(gout.shape)
+            return gin, bk.relu_backward_runs(gout, mask, gin)
+
+        return out, fwd, bind_backward
+
+
+class LeakyReluTrainOp(TrainOp):
+    """Standalone LeakyReLU with preallocated mask and scratch."""
+
+    def bind(self, n: int, src: np.ndarray, need_input_grad: bool):
+        alpha = self.layer.alpha
+        out = np.empty_like(src)
+        mask = np.empty(src.shape, dtype=bool)
+        fwd = bk.leaky_relu_forward_runs(src, out, mask, alpha)
+
+        def bind_backward(gout: np.ndarray):
+            if not need_input_grad:
+                return None, []
+            gin = np.empty(gout.shape)
+            return gin, bk.leaky_relu_backward_runs(gout, mask, gin, alpha)
+
+        return out, fwd, bind_backward
+
+
+class FlattenTrainOp(TrainOp):
+    """Reshape: an alias when the source is contiguous, else one copy.
+
+    A strided source (a conv op's NHWC-backed output view) cannot be
+    reshaped in place; ``np.reshape`` at bind time would silently
+    snapshot a stale copy, so a runtime copy into a canonical flat buffer
+    replicates what the layer's ``x.reshape`` does per batch.
+    """
+
+    def bind(self, n: int, src: np.ndarray, need_input_grad: bool):
+        fwd: List = []
+        if src.flags.c_contiguous:
+            out = src.reshape(n, -1)
+        else:
+            out = np.empty((n, int(np.prod(src.shape[1:]))))
+            fwd.append(partial(np.copyto, out.reshape(src.shape), src))
+
+        def bind_backward(gout: Optional[np.ndarray]):
+            if gout is None:
+                return None, []
+            return gout.reshape((n,) + self.layer.input_shape), []
+
+        return out, fwd, bind_backward
+
+
+class GenericTrainOp(TrainOp):
+    """Fallback running the real layer methods inside the plan.
+
+    Used for layers without a fused training kernel (BatchNorm, Dropout,
+    Sigmoid, Tanh, Softmax, recurrent layers, large-window AvgPool).
+    Calling the layer itself keeps its side effects — RNG stream
+    consumption, running-statistic updates, parameter-gradient
+    accumulation — bitwise identical to the layer path.  The layer's own
+    :class:`Parameter` objects join the optimizer list, and the plan
+    zeroes their gradients each step.
+    """
+
+    def params(self) -> List[Parameter]:
+        return self.layer.parameters()
+
+    def bind(self, n: int, src: np.ndarray, need_input_grad: bool):
+        layer = self.layer
+        out = np.empty((n,) + layer.output_shape)
+
+        def forward_run():
+            np.copyto(out, layer.forward(src, training=True))
+
+        def bind_backward(gout: np.ndarray):
+            gin = (np.empty((n,) + layer.input_shape)
+                   if need_input_grad else None)
+
+            def backward_run():
+                grad = layer.backward(gout)
+                if gin is not None:
+                    np.copyto(gin, grad)
+            return gin, [backward_run]
+
+        return out, [forward_run], bind_backward
+
+
+def freeze_training(model: Sequential) -> Tuple[List[TrainOp], TrainStats]:
+    """Emit the fused training op list (and stats) for a built model."""
+    if not model.built:
+        raise EngineError(
+            f"model {model.name!r} must be built before freezing")
+    stats = TrainStats(layers=len(model.layers))
+    ops: List[TrainOp] = []
+    for layer in model.layers:
+        if isinstance(layer, ReLU) and ops \
+                and isinstance(ops[-1], (ConvTrainOp, DenseTrainOp)) \
+                and ops[-1].activation is None:
+            ops[-1].activation = "relu"
+            ops[-1].label += f"+{layer.name}"
+            stats.fused_activations += 1
+            continue
+        if isinstance(layer, Conv2D):
+            ops.append(ConvTrainOp(layer))
+        elif isinstance(layer, Dense):
+            ops.append(DenseTrainOp(layer))
+        elif isinstance(layer, MaxPool2D):
+            ops.append(MaxPoolTrainOp(layer))
+        elif isinstance(layer, AvgPool2D) \
+                and layer.pool * layer.pool <= _SEQUENTIAL_REDUCE_LIMIT:
+            ops.append(AvgPoolTrainOp(layer))
+        elif isinstance(layer, GlobalAvgPool2D):
+            ops.append(GlobalPoolTrainOp(layer))
+        elif isinstance(layer, Flatten):
+            ops.append(FlattenTrainOp(layer))
+        elif isinstance(layer, ReLU):
+            ops.append(ReluTrainOp(layer))
+        elif isinstance(layer, LeakyReLU):
+            ops.append(LeakyReluTrainOp(layer))
+        else:
+            ops.append(GenericTrainOp(layer))
+            stats.generic_layers += 1
+    stats.ops = len(ops)
+    return ops, stats
+
+
+class _TrainProgram:
+    """All buffers and thunks of one train plan bound to one batch size."""
+
+    __slots__ = ("n", "in_buf", "label_buf", "out_buf", "fwd_runs",
+                 "bwd_runs", "loss_step")
+
+    def __init__(self, plan: "TrainPlan", n: int):
+        self.n = n
+        self.in_buf = np.empty((n,) + plan.input_shape)
+        self.label_buf = np.empty(n, dtype=plan.label_dtype)
+        self.fwd_runs: List = []
+        backbinds = []
+        src = self.in_buf
+        for index, op in enumerate(plan.ops):
+            out, fwd, bind_backward = op.bind(
+                n, src, index > plan.first_real_op)
+            self.fwd_runs.extend(fwd)
+            backbinds.append(bind_backward)
+            src = out
+        self.out_buf = src
+        grad = np.empty(src.shape)
+        self.loss_step = self._bind_loss(plan, grad)
+        self.bwd_runs: List = []
+        gout: Optional[np.ndarray] = grad
+        for bind_backward in reversed(backbinds):
+            gout, bwd = bind_backward(gout)
+            self.bwd_runs.extend(bwd)
+
+    def _bind_loss(self, plan: "TrainPlan",
+                   grad: np.ndarray) -> Callable[[], float]:
+        if plan.stats.fused_loss:
+            return bk.SoftmaxXentStep(self.out_buf, self.label_buf, grad)
+        loss, out_buf, label_buf = plan.loss, self.out_buf, self.label_buf
+
+        def fallback() -> float:
+            loss_value, loss_grad = loss.forward(out_buf, label_buf)
+            np.copyto(grad, loss_grad)
+            return loss_value
+        return fallback
+
+
+class TrainPlan:
+    """A frozen, buffer-bound train step for one model/loss/optimizer.
+
+    Obtained from :meth:`Sequential.compile_training` or
+    :func:`compile_training`.  Unlike an :class:`InferencePlan`, the plan
+    aliases the live weights — every :meth:`step` updates the model in
+    place — so it stays valid across epochs and never needs recompiling.
+
+    Attributes:
+        name: The source model's name.
+        input_shape / output_shape: Per-sample shapes.
+        ops: The fused :class:`TrainOp` list.
+        stats: :class:`TrainStats` describing fusion and fallbacks.
+    """
+
+    def __init__(self, model: Sequential, loss: Loss, optimizer: Optimizer,
+                 batch_size: int = 32):
+        if not model.built:
+            raise EngineError(
+                f"model {model.name!r} must be built before compiling")
+        if batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+        if not isinstance(loss, Loss):
+            raise ConfigError(f"loss must be a Loss, got {type(loss).__name__}")
+        if not isinstance(optimizer, Optimizer):
+            raise ConfigError(
+                f"optimizer must be an Optimizer, got {type(optimizer).__name__}")
+        self.model = model
+        self.loss = loss
+        self.optimizer = optimizer
+        self.name = model.name
+        self.input_shape = tuple(model.input_shape)
+        self.output_shape = tuple(model.output_shape)
+        self.batch_size = batch_size
+        self.ops, self.stats = freeze_training(model)
+        self.stats.fused_loss = (isinstance(loss, SoftmaxCrossEntropy)
+                                 and len(self.output_shape) == 1)
+        # The fused loss consumes integer class labels; fallback losses
+        # see float64 targets (their own casts then match the layer path).
+        self.label_dtype = np.int64 if self.stats.fused_loss else np.float64
+        # The layer path computes, then discards, the input gradient of
+        # the first real (non-reshape) layer; skip that work entirely.
+        self.first_real_op = 0
+        for op in self.ops:
+            if isinstance(op, FlattenTrainOp):
+                self.first_real_op += 1
+            else:
+                break
+        self._train_params: List[Parameter] = []
+        for op in self.ops:
+            self._train_params.extend(op.params())
+        self._generic_layers = [op.layer for op in self.ops
+                                if isinstance(op, GenericTrainOp)]
+        self._bindings: List[Tuple[Parameter, np.ndarray]] = []
+        for op in self.ops:
+            self._bindings.extend(op.bindings())
+        self._programs: Dict[int, _TrainProgram] = {}
+        self._program(batch_size)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _program(self, n: int) -> _TrainProgram:
+        program = self._programs.get(n)
+        if program is None:
+            if len(self._programs) >= _PROGRAM_CACHE_SIZE:
+                self._programs.pop(next(iter(self._programs)))
+            program = _TrainProgram(self, n)
+            self._programs[n] = program
+        return program
+
+    def step(self, x_batch: np.ndarray, y_batch: np.ndarray) -> float:
+        """One fused train step on an explicit batch; returns the loss."""
+        x_batch = np.asarray(x_batch, dtype=np.float64)
+        if x_batch.ndim != len(self.input_shape) + 1 \
+                or x_batch.shape[1:] != self.input_shape:
+            raise ShapeError(
+                f"train plan {self.name!r} expects (n,) + "
+                f"{self.input_shape}, got {x_batch.shape}")
+        y_batch = self._as_labels(np.asarray(y_batch).ravel())
+        if y_batch.shape[0] != x_batch.shape[0]:
+            raise ShapeError(
+                f"batch has {x_batch.shape[0]} samples but "
+                f"{y_batch.shape[0]} labels")
+        program = self._program(x_batch.shape[0])
+        np.copyto(program.in_buf, x_batch)
+        np.copyto(program.label_buf, y_batch)
+        return self._run(program)
+
+    def step_gather(self, x: np.ndarray, y: np.ndarray,
+                    index: np.ndarray) -> float:
+        """Gather ``index`` rows of ``(x, y)`` into the reused batch
+        buffers (zero-copy when dtypes already match) and step.
+
+        ``x`` must be float64 and ``y`` int64 for the gather to land
+        directly in the arena; :meth:`repro.nn.trainer.Trainer.fit` casts
+        once per fit, so every batch of every epoch is allocation-free.
+        """
+        if x.dtype != np.float64:
+            x = np.asarray(x, dtype=np.float64)
+        y = self._as_labels(y)
+        program = self._program(len(index))
+        np.take(x, index, axis=0, out=program.in_buf)
+        np.take(y, index, out=program.label_buf)
+        return self._run(program)
+
+    def _as_labels(self, y: np.ndarray) -> np.ndarray:
+        if y.dtype == self.label_dtype:
+            return y
+        # Integer targets: same truncation the loss applies via
+        # `.astype(int)`; float targets pass through unchanged.
+        return y.astype(self.label_dtype)
+
+    def _run(self, program: _TrainProgram) -> float:
+        for param, array in self._bindings:
+            if param.value is not array:
+                raise EngineError(
+                    f"parameter {param.name!r} storage was rebound since "
+                    f"compile; train plans require in-place updates only")
+        start = time.perf_counter_ns() if obs.is_enabled() else 0
+        for layer in self._generic_layers:
+            layer.zero_grad()
+        for run in program.fwd_runs:
+            run()
+        loss_value = program.loss_step()
+        if not np.isfinite(loss_value):
+            raise TrainingError(
+                f"loss diverged to {loss_value}; lower the learning rate")
+        for run in program.bwd_runs:
+            run()
+        self.optimizer.step(self._train_params)
+        if start:
+            obs.observe("train.step", time.perf_counter_ns() - start,
+                        model=self.name, engine="compiled")
+        return loss_value
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable op listing with fusion stats."""
+        lines = [f"train plan: {self.name} (batch_size={self.batch_size}, "
+                 f"loss={self.loss.name}, optimizer={self.optimizer.name})"]
+        for op in self.ops:
+            lines.append(f"  {type(op).__name__:<18} {op.label}")
+        s = self.stats
+        lines.append(f"  {s.layers} layers -> {s.ops} ops "
+                     f"({s.fused_activations} activations fused, "
+                     f"{s.generic_layers} generic, "
+                     f"fused_loss={s.fused_loss})")
+        return "\n".join(lines)
+
+    def __getstate__(self):  # pragma: no cover - defensive
+        raise TypeError(
+            "TrainPlan is process-local (it aliases live model weights) "
+            "and cannot be pickled; compile one per process instead")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"TrainPlan({self.name!r}, ops={len(self.ops)}, "
+                f"batch_size={self.batch_size})")
+
+
+def compile_training(model: Sequential, loss: Loss, optimizer: Optimizer,
+                     batch_size: int = 32) -> TrainPlan:
+    """Freeze ``model`` + ``loss`` + ``optimizer`` into a :class:`TrainPlan`.
+
+    Args:
+        model: A built :class:`Sequential`.
+        loss: The training objective; :class:`SoftmaxCrossEntropy` over a
+            flat output enables the fused loss kernel.
+        optimizer: Updates the model's weights in place each step.
+        batch_size: Batch size whose workspace is bound eagerly (other
+            sizes — e.g. the final partial batch — bind on demand).
+
+    Returns:
+        The compiled plan.  A plan step is bitwise identical to the
+        layer path's ``train_step`` from the same state; see
+        ``tests/nn/test_train_plan.py`` for the contract.
+    """
+    with obs.span("engine.compile_training", model=model.name,
+                  batch_size=batch_size):
+        plan = TrainPlan(model, loss, optimizer, batch_size=batch_size)
+    obs.set_gauge("engine.train_fused_layers",
+                  float(plan.stats.fused_layers))
+    return plan

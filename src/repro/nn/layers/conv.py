@@ -76,7 +76,7 @@ class Conv2D(Layer):
         kernel_matrix = self.weight.value.reshape(self.filters, -1)
         y = cols @ kernel_matrix.T
         if self.use_bias:
-            y = y + self.bias.value
+            y += self.bias.value
         if training:
             self._cached_cols = cols
             self._cached_x_shape = x.shape
@@ -97,7 +97,13 @@ class Conv2D(Layer):
         if self.use_bias:
             self.bias.grad += grad_rows.sum(axis=0)
         grad_cols = grad_rows @ kernel_matrix
-        return col2im(grad_cols, self._cached_x_shape, self.kernel, self.kernel,
+        x_shape = self._cached_x_shape
+        # The cached patch matrix is the layer's largest allocation; drop
+        # it as soon as it is consumed (a second backward needs a new
+        # forward anyway, as with the pooling layers).
+        self._cached_cols = None
+        self._cached_x_shape = None
+        return col2im(grad_cols, x_shape, self.kernel, self.kernel,
                       self.stride, self.padding)
 
     def get_config(self) -> Dict:

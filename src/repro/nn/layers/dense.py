@@ -57,7 +57,7 @@ class Dense(Layer):
             self._cached_input = x
         y = x @ self.weight.value
         if self.use_bias:
-            y = y + self.bias.value
+            y += self.bias.value
         return y
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -70,6 +70,9 @@ class Dense(Layer):
         self.weight.grad += x.T @ grad_output
         if self.use_bias:
             self.bias.grad += grad_output.sum(axis=0)
+        # Release the activation reference once consumed; a second
+        # backward needs a new forward anyway.
+        self._cached_input = None
         return grad_output @ self.weight.value.T
 
     def get_config(self) -> Dict:

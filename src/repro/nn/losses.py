@@ -8,7 +8,7 @@ from typing import Tuple
 import numpy as np
 
 from ..errors import ShapeError
-from .tensor_utils import log_softmax, one_hot, softmax
+from .tensor_utils import one_hot
 
 
 class Loss(abc.ABC):
@@ -53,9 +53,14 @@ class SoftmaxCrossEntropy(Loss):
                 f"targets shape {targets.shape} does not match logits "
                 f"{predictions.shape}"
             )
-        log_probs = log_softmax(predictions, axis=-1)
+        # One shift/exp/sum pass feeds both the loss and the gradient;
+        # bitwise identical to log_softmax / softmax computed separately.
+        shifted = predictions - np.max(predictions, axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        sum_exp = np.sum(exp, axis=-1, keepdims=True)
+        log_probs = shifted - np.log(sum_exp)
         loss = -float(np.sum(targets * log_probs)) / n
-        grad = (softmax(predictions, axis=-1) - targets) / n
+        grad = (exp / sum_exp - targets) / n
         return loss, grad
 
 

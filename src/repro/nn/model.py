@@ -125,14 +125,28 @@ class Sequential:
                           preserve_layers: bool = False):
         """Compile this model into an :class:`repro.nn.engine.InferencePlan`.
 
-        The plan snapshots the current weights (recompile after further
-        training) and matches :meth:`predict_logits` to <= 1e-9.  See
+        The plan snapshots the current weights (recompile — or
+        ``plan.refresh(model)`` — after further training) and matches
+        :meth:`predict_logits` to <= 1e-9.  See
         :func:`repro.nn.engine.compile_model` for the parameters.
         """
         self._require_built()
         from .engine import compile_model
         return compile_model(self, batch_size=batch_size,
                              preserve_layers=preserve_layers)
+
+    def compile_training(self, loss, optimizer, batch_size: int = 32):
+        """Compile this model into a :class:`repro.nn.engine.TrainPlan`.
+
+        The plan aliases the live weights (every step updates this model
+        in place) and its fused train step is bitwise identical to the
+        layer-by-layer path.  See
+        :func:`repro.nn.engine.compile_training` for the parameters.
+        """
+        self._require_built()
+        from .engine import compile_training
+        return compile_training(self, loss, optimizer,
+                                batch_size=batch_size)
 
     # ------------------------------------------------------------------
     # Parameters / introspection

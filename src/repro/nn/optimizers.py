@@ -1,9 +1,18 @@
-"""Gradient-descent optimizers operating on :class:`Parameter` lists."""
+"""Gradient-descent optimizers operating on :class:`Parameter` lists.
+
+All ``_update`` implementations work in place: per-parameter state and a
+small pool of scratch buffers are reused across steps, so ``step()``
+performs no full-size array allocations in steady state.  Every in-place
+sequence applies the exact same elementwise operations in the exact same
+order as the textbook (allocating) formulation, so trajectories are
+bitwise identical to the pre-rewrite implementations — a property the
+compiled training engine relies on (see ``tests/nn/test_optimizers.py``).
+"""
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -26,9 +35,13 @@ class Optimizer(abc.ABC):
     def _update(self, param: Parameter, state: Dict[str, np.ndarray]) -> None:
         """Apply one update to ``param`` using per-parameter ``state``."""
 
+    def _begin_step(self) -> None:
+        """Hook: precompute per-step scalars before the parameter loop."""
+
     def step(self, parameters: List[Parameter]) -> None:
         """Update every parameter in place from its ``.grad``."""
         self.iterations += 1
+        self._begin_step()
         for param in parameters:
             state = self._state_for(param)
             self._update(param, state)
@@ -37,6 +50,60 @@ class Optimizer(abc.ABC):
         if not hasattr(self, "_states"):
             self._states: Dict[int, Dict[str, np.ndarray]] = {}
         return self._states.setdefault(id(param), {})
+
+    def _scratch_for(self, param: Parameter,
+                     count: int) -> Tuple[np.ndarray, ...]:
+        """``count`` reusable work buffers shaped like ``param.value``.
+
+        Scratch holds no inter-step information, so it lives outside the
+        per-parameter state and is excluded from :meth:`state_dict`.
+        """
+        if not hasattr(self, "_scratch"):
+            self._scratch: Dict[int, Tuple[np.ndarray, ...]] = {}
+        bufs = self._scratch.get(id(param))
+        if bufs is None or len(bufs) < count \
+                or bufs[0].shape != param.value.shape:
+            bufs = tuple(np.empty_like(param.value) for _ in range(count))
+            self._scratch[id(param)] = bufs
+        return bufs[:count]
+
+    # ------------------------------------------------------------------
+    # State save / restore
+    # ------------------------------------------------------------------
+
+    def state_dict(self, parameters: List[Parameter]) -> dict:
+        """Snapshot ``iterations`` plus per-parameter state arrays.
+
+        The entries follow the order of ``parameters``; restore with
+        :meth:`load_state_dict` against the same parameter list.
+        """
+        entries = []
+        for param in parameters:
+            state = self._state_for(param)
+            entries.append({key: value.copy()
+                            for key, value in state.items()})
+        return {"iterations": self.iterations, "state": entries}
+
+    def load_state_dict(self, parameters: List[Parameter],
+                        state_dict: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        entries = state_dict["state"]
+        if len(entries) != len(parameters):
+            raise ConfigError(
+                f"optimizer state holds {len(entries)} entries but "
+                f"{len(parameters)} parameters were given")
+        for param, entry in zip(parameters, entries):
+            for key, value in entry.items():
+                array = np.asarray(value, dtype=np.float64)
+                if array.shape != param.value.shape:
+                    raise ConfigError(
+                        f"state {key!r} shape {array.shape} does not match "
+                        f"parameter {param.name!r} {param.value.shape}")
+            state = self._state_for(param)
+            state.clear()
+            for key, value in entry.items():
+                state[key] = np.array(value, dtype=np.float64)
+        self.iterations = int(state_dict["iterations"])
 
 
 class SGD(Optimizer):
@@ -65,21 +132,29 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
 
     def _update(self, param: Parameter, state: Dict[str, np.ndarray]) -> None:
+        work, decayed, delta = self._scratch_for(param, 3)
         grad = param.grad
         if self.weight_decay:
-            grad = grad + self.weight_decay * param.value
+            # grad + weight_decay * value, without the two temporaries.
+            np.multiply(param.value, self.weight_decay, out=decayed)
+            np.add(grad, decayed, out=decayed)
+            grad = decayed
         if self.momentum:
             velocity = state.get("velocity")
             if velocity is None:
-                velocity = np.zeros_like(param.value)
-            velocity = self.momentum * velocity - self.learning_rate * grad
-            state["velocity"] = velocity
+                velocity = state["velocity"] = np.zeros_like(param.value)
+            np.multiply(grad, self.learning_rate, out=work)
+            np.multiply(velocity, self.momentum, out=velocity)
+            np.subtract(velocity, work, out=velocity)
             if self.nesterov:
-                param.value += self.momentum * velocity - self.learning_rate * grad
+                np.multiply(velocity, self.momentum, out=delta)
+                np.subtract(delta, work, out=delta)
+                np.add(param.value, delta, out=param.value)
             else:
-                param.value += velocity
+                np.add(param.value, velocity, out=param.value)
         else:
-            param.value -= self.learning_rate * grad
+            np.multiply(grad, self.learning_rate, out=work)
+            np.subtract(param.value, work, out=param.value)
 
 
 class Adam(Optimizer):
@@ -111,23 +186,46 @@ class Adam(Optimizer):
         self.beta2 = beta2
         self.epsilon = epsilon
         self.weight_decay = weight_decay
+        self._correction1 = 1.0
+        self._correction2 = 1.0
+
+    def _begin_step(self) -> None:
+        # Bias-correction denominators depend only on the step count;
+        # computing them once here keeps the per-parameter loop scalar-free.
+        t = self.iterations
+        self._correction1 = 1.0 - self.beta1 ** t
+        self._correction2 = 1.0 - self.beta2 ** t
 
     def _update(self, param: Parameter, state: Dict[str, np.ndarray]) -> None:
         m = state.get("m")
-        v = state.get("v")
         if m is None:
-            m = np.zeros_like(param.value)
-            v = np.zeros_like(param.value)
+            m = state["m"] = np.zeros_like(param.value)
+            v = state["v"] = np.zeros_like(param.value)
+        else:
+            v = state["v"]
         grad = param.grad
-        m = self.beta1 * m + (1.0 - self.beta1) * grad
-        v = self.beta2 * v + (1.0 - self.beta2) * grad * grad
-        state["m"], state["v"] = m, v
-        t = self.iterations
-        m_hat = m / (1.0 - self.beta1 ** t)
-        v_hat = v / (1.0 - self.beta2 ** t)
+        work, update = self._scratch_for(param, 2)
+        # m = beta1 * m + (1 - beta1) * grad
+        np.multiply(m, self.beta1, out=m)
+        np.multiply(grad, 1.0 - self.beta1, out=work)
+        np.add(m, work, out=m)
+        # v = beta2 * v + (1 - beta2) * grad * grad  (left-associative)
+        np.multiply(v, self.beta2, out=v)
+        np.multiply(grad, 1.0 - self.beta2, out=work)
+        np.multiply(work, grad, out=work)
+        np.add(v, work, out=v)
+        # update = learning_rate * m_hat / (sqrt(v_hat) + epsilon)
+        np.divide(v, self._correction2, out=work)
+        np.sqrt(work, out=work)
+        np.add(work, self.epsilon, out=work)
+        np.divide(m, self._correction1, out=update)
+        np.multiply(update, self.learning_rate, out=update)
+        np.divide(update, work, out=update)
         if self.weight_decay:
-            param.value -= self.learning_rate * self.weight_decay * param.value
-        param.value -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+            np.multiply(param.value, self.learning_rate * self.weight_decay,
+                        out=work)
+            np.subtract(param.value, work, out=param.value)
+        np.subtract(param.value, update, out=param.value)
 
 
 class RMSProp(Optimizer):
@@ -151,15 +249,25 @@ class RMSProp(Optimizer):
     def _update(self, param: Parameter, state: Dict[str, np.ndarray]) -> None:
         avg = state.get("avg")
         if avg is None:
-            avg = np.zeros_like(param.value)
-        avg = self.rho * avg + (1.0 - self.rho) * param.grad ** 2
-        state["avg"] = avg
-        update = self.learning_rate * param.grad / (np.sqrt(avg) + self.epsilon)
+            avg = state["avg"] = np.zeros_like(param.value)
+        grad = param.grad
+        work, update = self._scratch_for(param, 2)
+        # avg = rho * avg + (1 - rho) * grad**2
+        np.multiply(grad, grad, out=work)
+        np.multiply(work, 1.0 - self.rho, out=work)
+        np.multiply(avg, self.rho, out=avg)
+        np.add(avg, work, out=avg)
+        # update = learning_rate * grad / (sqrt(avg) + epsilon)
+        np.sqrt(avg, out=work)
+        np.add(work, self.epsilon, out=work)
+        np.multiply(grad, self.learning_rate, out=update)
+        np.divide(update, work, out=update)
         if self.momentum:
             velocity = state.get("velocity")
             if velocity is None:
-                velocity = np.zeros_like(param.value)
-            velocity = self.momentum * velocity + update
-            state["velocity"] = velocity
-            update = velocity
-        param.value -= update
+                velocity = state["velocity"] = np.zeros_like(param.value)
+            np.multiply(velocity, self.momentum, out=velocity)
+            np.add(velocity, update, out=velocity)
+            np.subtract(param.value, velocity, out=param.value)
+        else:
+            np.subtract(param.value, update, out=param.value)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+import tracemalloc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -51,11 +53,13 @@ class Trainer:
             (or any ``epoch -> lr`` callable), applied at each epoch start.
         dtype: Input (and one-hot target) precision — ``np.float32`` halves
             the activation and target memory of large label sets.
-        engine: Forward-pass implementation used by :meth:`evaluate` —
-            ``"compiled"`` (default) freezes the current weights into an
-            :class:`repro.nn.engine.InferencePlan` per call, ``"layers"``
-            runs the layer-by-layer reference path.  Training itself always
-            uses the layers (autograd) path.
+        engine: Execution backend — ``"compiled"`` (default) runs
+            :meth:`fit` through a fused :class:`repro.nn.engine.TrainPlan`
+            (preallocated gradient workspace, bitwise identical weight
+            trajectory to the reference path) and :meth:`evaluate` through
+            a cached :class:`repro.nn.engine.InferencePlan` that is
+            weight-refreshed instead of recompiled; ``"layers"`` runs the
+            layer-by-layer reference path everywhere.
     """
 
     def __init__(self, model: Sequential, loss: Loss = None,
@@ -78,9 +82,16 @@ class Trainer:
         self.dtype = dtype
         self.engine = engine
         self._rng = np.random.default_rng(shuffle_seed)
+        self._train_plan = None
+        self._eval_plan = None
 
     def train_step(self, x_batch: np.ndarray, y_batch: np.ndarray) -> float:
-        """One forward/backward/update on a single batch; returns the loss."""
+        """One forward/backward/update on a single batch; returns the loss.
+
+        Always runs the layer-by-layer reference path; compiled training
+        goes through the train plan inside :meth:`fit`.
+        """
+        start = time.perf_counter_ns() if obs.is_enabled() else 0
         self.model.zero_grad()
         outputs = self.model.forward(x_batch, training=True)
         loss_value, grad = self.loss.forward(outputs, y_batch)
@@ -90,7 +101,19 @@ class Trainer:
             )
         self.model.backward(grad)
         self.optimizer.step(self.model.parameters())
+        if start:
+            obs.observe("train.step", time.perf_counter_ns() - start,
+                        model=self.model.name, engine="layers")
         return loss_value
+
+    def _ensure_train_plan(self):
+        """Compile (once) the fused train plan for this trainer's triple."""
+        if self._train_plan is None:
+            from .engine import compile_training
+            self._train_plan = compile_training(
+                self.model, self.loss, self.optimizer,
+                batch_size=self.batch_size)
+        return self._train_plan
 
     def fit(self, x: np.ndarray, y: np.ndarray, epochs: int = 5,
             validation: Optional[Tuple[np.ndarray, np.ndarray]] = None,
@@ -119,32 +142,64 @@ class Trainer:
             raise TrainingError("cannot train on an empty dataset")
         history = TrainingHistory()
         n = x.shape[0]
+        gather = None
+        if self.engine == "compiled":
+            # Cast the dataset once so every per-epoch batch gather lands
+            # straight in the plan's reused buffers with no conversion.
+            plan = self._ensure_train_plan()
+            x_gather = (x if x.dtype == np.float64
+                        else x.astype(np.float64))
+            y_gather = (y if y.dtype == plan.label_dtype
+                        else y.astype(plan.label_dtype))
+            gather = (plan, x_gather, y_gather)
         with obs.span("train.fit", model=self.model.name, epochs=epochs,
-                      samples=n, batch_size=self.batch_size):
+                      samples=n, batch_size=self.batch_size,
+                      engine=self.engine):
             for epoch in range(epochs):
                 self._fit_epoch(x, y, epoch, epochs, history, validation,
-                                verbose)
+                                verbose, gather)
         return history
 
     def _fit_epoch(self, x: np.ndarray, y: np.ndarray, epoch: int,
                    epochs: int, history: TrainingHistory,
                    validation: Optional[Tuple[np.ndarray, np.ndarray]],
-                   verbose: bool) -> None:
+                   verbose: bool, gather=None) -> None:
         """One shuffled pass over the data, recorded into ``history``."""
         n = x.shape[0]
+        # Only sample allocations when the caller opted into both telemetry
+        # and tracemalloc — tracing taxes every step of the loop.
+        track_alloc = obs.is_enabled() and tracemalloc.is_tracing()
         with obs.span("train.epoch", epoch=epoch + 1) as span:
             if self.schedule is not None:
                 self.optimizer.learning_rate = self.schedule(epoch)
             order = self._rng.permutation(n)
-            epoch_losses = []
-            for start in range(0, n, self.batch_size):
-                index = order[start:start + self.batch_size]
-                epoch_losses.append(self.train_step(x[index], y[index]))
-            history.loss.append(float(np.mean(epoch_losses)))
+            total_loss = 0.0
+            batches = 0
+            if track_alloc:
+                tracemalloc.reset_peak()
+                alloc_base = tracemalloc.get_traced_memory()[0]
+            if gather is not None:
+                plan, x_gather, y_gather = gather
+                for start in range(0, n, self.batch_size):
+                    total_loss += plan.step_gather(
+                        x_gather, y_gather,
+                        order[start:start + self.batch_size])
+                    batches += 1
+            else:
+                for start in range(0, n, self.batch_size):
+                    index = order[start:start + self.batch_size]
+                    total_loss += self.train_step(x[index], y[index])
+                    batches += 1
+            if track_alloc:
+                peak = tracemalloc.get_traced_memory()[1]
+                obs.set_gauge("train.alloc_bytes",
+                              float(max(0, peak - alloc_base)),
+                              engine=self.engine)
+            history.loss.append(total_loss / batches)
             history.train_accuracy.append(self.evaluate(x, y))
             if validation is not None:
                 history.val_accuracy.append(self.evaluate(*validation))
-            obs.inc("train.batches", len(epoch_losses))
+            obs.inc("train.batches", batches)
             obs.set_gauge("train.loss", history.loss[-1])
             obs.set_gauge("train.accuracy", history.train_accuracy[-1])
             span.set_attribute("loss", round(history.loss[-1], 6))
@@ -161,16 +216,20 @@ class Trainer:
                  batch_size: int = 256) -> float:
         """Accuracy of the current model on ``(x, y)``, batched.
 
-        With ``engine="compiled"`` the weights are frozen into an
-        inference plan once per call (they change every epoch), and all
-        full-size batches reuse one bound workspace.
+        With ``engine="compiled"`` the model is frozen into an inference
+        plan on the first call and only weight-refreshed (not recompiled)
+        on subsequent ones, so all epochs share one bound workspace.
         """
         x = np.asarray(x, dtype=self.dtype)
         y = np.asarray(y).ravel()
         if self.engine == "compiled" and x.shape[0] > 0:
-            plan = self.model.compile_inference(
-                batch_size=min(batch_size, x.shape[0]))
-            predict = plan.predict
+            if self._eval_plan is None:
+                self._eval_plan = self.model.compile_inference(
+                    batch_size=min(batch_size, x.shape[0]))
+            else:
+                # Weights moved since compile (training); rebind in place.
+                self._eval_plan.refresh(self.model)
+            predict = self._eval_plan.predict
         else:
             predict = self.model.predict
         predictions = []

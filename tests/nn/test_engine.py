@@ -199,6 +199,84 @@ class TestFreezing:
                                    rtol=0, atol=TOLERANCE)
 
 
+class TestRefresh:
+    """``plan.refresh(model)`` rebinds weights without recompiling."""
+
+    def perturb(self, model, rng):
+        for param in model.parameters():
+            param.value += rng.normal(scale=0.05, size=param.value.shape)
+
+    def assert_refresh_matches_recompile(self, model, rng, batch=3,
+                                         **compile_kwargs):
+        plan = compile_model(model, batch_size=batch, **compile_kwargs)
+        self.perturb(model, rng)
+        assert plan.refresh(model) is plan
+        fresh = compile_model(model, batch_size=batch, **compile_kwargs)
+        x = rng.normal(size=(batch,) + model.input_shape)
+        np.testing.assert_array_equal(plan.forward(x), fresh.forward(x))
+        np.testing.assert_allclose(plan.forward(x), model.predict_logits(x),
+                                   rtol=0, atol=TOLERANCE)
+
+    def test_refresh_matches_recompile(self, rng):
+        self.assert_refresh_matches_recompile(paper_model("mnist"), rng)
+
+    def test_refresh_preserve_mode(self, rng):
+        self.assert_refresh_matches_recompile(paper_model("mnist"), rng,
+                                              preserve_layers=True)
+
+    def test_refresh_refolds_batchnorm(self, rng):
+        model = Sequential([
+            Conv2D(4, 3), BatchNorm2D(), ReLU(), Flatten(), Dense(3),
+        ]).build((1, 8, 8), seed=9)
+        model.forward(rng.normal(size=(16, 1, 8, 8)), training=True)
+        plan = compile_model(model, batch_size=2)
+        assert plan.stats.folded_batchnorm == 1
+        # Move the conv weights AND the folded statistics: more training
+        # shifts the running mean/var the fold consumed at compile time.
+        self.perturb(model, rng)
+        model.forward(rng.normal(size=(16, 1, 8, 8)) + 1.0, training=True)
+        plan.refresh(model)
+        x = rng.normal(size=(2, 1, 8, 8))
+        fresh = compile_model(model, batch_size=2)
+        np.testing.assert_array_equal(plan.forward(x), fresh.forward(x))
+
+    def test_refresh_standalone_batchnorm_affine(self, rng):
+        model = Sequential([
+            BatchNorm2D(), Conv2D(4, 3), ReLU(), Flatten(), Dense(3),
+        ]).build((2, 8, 8), seed=10)
+        model.forward(rng.normal(size=(16, 2, 8, 8)), training=True)
+        self.assert_refresh_matches_recompile(model, rng)
+
+    def test_refresh_after_real_training(self, rng):
+        # The Trainer's usage pattern: compile once, train, refresh.
+        from repro.nn import Adam, Trainer
+        model = paper_model("mnist")
+        plan = compile_model(model, batch_size=4)
+        x = rng.normal(size=(24,) + model.input_shape)
+        y = rng.integers(0, 10, size=24)
+        Trainer(model, optimizer=Adam(0.002), batch_size=8,
+                engine="layers").fit(x, y, epochs=1)
+        plan.refresh(model)
+        np.testing.assert_allclose(plan.forward(x[:4]),
+                                   model.predict_logits(x[:4]),
+                                   rtol=0, atol=TOLERANCE)
+
+    def test_refresh_rejects_unbuilt_or_mismatched_model(self, rng):
+        plan = compile_model(paper_model("mnist"), batch_size=1)
+        with pytest.raises(EngineError):
+            plan.refresh(Sequential([Flatten(), Dense(3)]))
+        other = Sequential([Flatten(), Dense(10)]).build((3, 32, 32), seed=0)
+        with pytest.raises(EngineError):
+            plan.refresh(other)
+
+    def test_refresh_rejects_renamed_layers(self, rng):
+        plan = compile_model(paper_model("mnist"), batch_size=1)
+        renamed = paper_model("mnist")
+        renamed.layers[0].name = "not-conv1"
+        with pytest.raises(EngineError):
+            plan.refresh(renamed)
+
+
 class TestPreserveMode:
     def test_per_layer_activations_bit_exact(self, rng):
         model = paper_model("mnist")

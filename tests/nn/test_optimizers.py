@@ -98,3 +98,172 @@ class TestRMSProp:
     def test_rejects_bad_rho(self):
         with pytest.raises(ConfigError):
             RMSProp(rho=1.0)
+
+
+# ----------------------------------------------------------------------
+# In-place updates vs the textbook allocating formulations.
+#
+# The compiled training engine aliases parameter storage and relies on
+# every optimizer being (a) strictly in-place and (b) bitwise identical
+# to the allocating math it replaced.  The references below spell out
+# that math with the same operation order and associativity.
+# ----------------------------------------------------------------------
+
+
+def reference_sgd(opt, value, grad, state):
+    if opt.weight_decay:
+        grad = grad + value * opt.weight_decay
+    if opt.momentum:
+        velocity = state.setdefault("velocity", np.zeros_like(value))
+        work = grad * opt.learning_rate
+        velocity[...] = velocity * opt.momentum - work
+        if opt.nesterov:
+            return value + (velocity * opt.momentum - work)
+        return value + velocity
+    return value - grad * opt.learning_rate
+
+
+def reference_adam(opt, value, grad, state, t):
+    m = state.setdefault("m", np.zeros_like(value))
+    v = state.setdefault("v", np.zeros_like(value))
+    m[...] = m * opt.beta1 + grad * (1.0 - opt.beta1)
+    v[...] = v * opt.beta2 + (grad * (1.0 - opt.beta2)) * grad
+    update = ((m / (1.0 - opt.beta1 ** t)) * opt.learning_rate
+              / (np.sqrt(v / (1.0 - opt.beta2 ** t)) + opt.epsilon))
+    if opt.weight_decay:
+        value = value - value * (opt.learning_rate * opt.weight_decay)
+    return value - update
+
+
+def reference_rmsprop(opt, value, grad, state):
+    avg = state.setdefault("avg", np.zeros_like(value))
+    avg[...] = avg * opt.rho + (grad * grad) * (1.0 - opt.rho)
+    update = (grad * opt.learning_rate) / (np.sqrt(avg) + opt.epsilon)
+    if opt.momentum:
+        velocity = state.setdefault("velocity", np.zeros_like(value))
+        velocity[...] = velocity * opt.momentum + update
+        return value - velocity
+    return value - update
+
+
+OPTIMIZER_CASES = [
+    ("sgd-plain", lambda: SGD(0.05), reference_sgd),
+    ("sgd-momentum", lambda: SGD(0.05, momentum=0.9), reference_sgd),
+    ("sgd-nesterov",
+     lambda: SGD(0.05, momentum=0.9, nesterov=True), reference_sgd),
+    ("sgd-decay",
+     lambda: SGD(0.05, momentum=0.9, weight_decay=1e-3), reference_sgd),
+    ("adam", lambda: Adam(0.002), reference_adam),
+    ("adam-decay", lambda: Adam(0.002, weight_decay=1e-2), reference_adam),
+    ("rmsprop", lambda: RMSProp(0.003), reference_rmsprop),
+    ("rmsprop-momentum",
+     lambda: RMSProp(0.003, momentum=0.5), reference_rmsprop),
+]
+
+
+class TestInPlaceEquivalence:
+    @pytest.mark.parametrize("name,factory,reference",
+                             OPTIMIZER_CASES,
+                             ids=[case[0] for case in OPTIMIZER_CASES])
+    def test_matches_allocating_reference_bitwise(self, name, factory,
+                                                  reference, rng):
+        params = [Parameter("w", rng.normal(size=(7, 5))),
+                  Parameter("b", rng.normal(size=5))]
+        expected = [p.value.copy() for p in params]
+        states = [{} for _ in params]
+        optimizer = factory()
+        for t in range(1, 13):
+            grads = [rng.normal(size=p.value.shape) for p in params]
+            for p, g in zip(params, grads):
+                p.grad = g
+            optimizer.step(params)
+            for i, (value, grad) in enumerate(zip(expected, grads)):
+                if reference is reference_adam:
+                    expected[i] = reference(optimizer, value, grad,
+                                            states[i], t)
+                else:
+                    expected[i] = reference(optimizer, value, grad,
+                                            states[i])
+        for p, value in zip(params, expected):
+            np.testing.assert_array_equal(p.value, value, err_msg=name)
+
+    @pytest.mark.parametrize("factory", [lambda: SGD(0.05, momentum=0.9),
+                                         lambda: Adam(0.002),
+                                         lambda: RMSProp(0.003)])
+    def test_updates_never_rebind_storage(self, factory, rng):
+        # The compiled train plan aliases param.value; a step that swaps
+        # the underlying array would silently detach the model.
+        param = Parameter("w", rng.normal(size=(4, 3)))
+        storage = param.value
+        optimizer = factory()
+        for _ in range(3):
+            param.grad = rng.normal(size=(4, 3))
+            optimizer.step([param])
+        assert param.value is storage
+
+
+class TestStateDict:
+    def run_steps(self, optimizer, params, grads):
+        for step_grads in grads:
+            for p, g in zip(params, step_grads):
+                p.grad = g
+            optimizer.step(params)
+
+    @pytest.mark.parametrize("factory",
+                             [lambda: SGD(0.05, momentum=0.9, nesterov=True),
+                              lambda: Adam(0.002),
+                              lambda: RMSProp(0.003, momentum=0.5)],
+                             ids=["sgd", "adam", "rmsprop"])
+    def test_round_trip_resumes_bitwise(self, factory, rng):
+        params = [Parameter("w", rng.normal(size=(6, 4)))]
+        grads = [[rng.normal(size=(6, 4))] for _ in range(8)]
+        optimizer = factory()
+        self.run_steps(optimizer, params, grads[:4])
+        snapshot = optimizer.state_dict(params)
+        midpoint = params[0].value.copy()
+        assert snapshot["iterations"] == 4
+
+        self.run_steps(optimizer, params, grads[4:])
+        final = params[0].value.copy()
+
+        # A fresh optimizer restored from the snapshot must replay the
+        # remaining steps onto the exact same trajectory.  The
+        # ``iterations`` restore matters for Adam's bias correction.
+        resumed = [Parameter("w", midpoint.copy())]
+        restored = factory()
+        restored.load_state_dict(resumed, snapshot)
+        assert restored.iterations == 4
+        self.run_steps(restored, resumed, grads[4:])
+        np.testing.assert_array_equal(resumed[0].value, final)
+
+    def test_load_rejects_wrong_parameter_count(self):
+        param = Parameter("w", np.zeros(3))
+        optimizer = SGD(0.05, momentum=0.9)
+        param.grad = np.ones(3)
+        optimizer.step([param])
+        snapshot = optimizer.state_dict([param])
+        with pytest.raises(ConfigError):
+            SGD(0.05, momentum=0.9).load_state_dict([], snapshot)
+
+    def test_load_rejects_wrong_shapes(self):
+        param = Parameter("w", np.zeros(3))
+        optimizer = Adam(0.002)
+        param.grad = np.ones(3)
+        optimizer.step([param])
+        snapshot = optimizer.state_dict([param])
+        other = Parameter("w", np.zeros(4))
+        with pytest.raises(ConfigError):
+            Adam(0.002).load_state_dict([other], snapshot)
+
+    def test_state_dict_copies_are_independent(self):
+        param = Parameter("w", np.zeros(2))
+        optimizer = Adam(0.002)
+        param.grad = np.ones(2)
+        optimizer.step([param])
+        snapshot = optimizer.state_dict([param])
+        param.grad = np.ones(2)
+        optimizer.step([param])
+        # Stepping after the snapshot must not mutate the snapshot.
+        restored = Adam(0.002)
+        restored.load_state_dict([param], snapshot)
+        assert restored.iterations == 1

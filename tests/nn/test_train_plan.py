@@ -1,0 +1,394 @@
+"""Tests for repro.nn.engine.train_plan — the compiled training engine.
+
+The contract under test: a compiled train step is *bitwise* identical to
+the layer-by-layer reference step (same forward, same gradients, same
+optimizer update, in the same order), while reusing one preallocated
+workspace per batch size.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import build_model
+from repro.errors import ConfigError, EngineError, ShapeError, TrainingError
+from repro.nn import (
+    Adam,
+    AvgPool2D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    HingeLoss,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    RMSProp,
+    SGD,
+    Sequential,
+    SoftmaxCrossEntropy,
+    Tanh,
+    Trainer,
+)
+from repro.nn.engine import TrainPlan, compile_training, freeze_training
+
+
+def reference_steps(model, loss, optimizer, batches):
+    """The layer-by-layer training loop the plan must reproduce exactly."""
+    for xb, yb in batches:
+        model.zero_grad()
+        outputs = model.forward(np.asarray(xb, dtype=np.float64),
+                                training=True)
+        _, grad = loss.forward(outputs, yb)
+        model.backward(grad)
+        optimizer.step(model.parameters())
+
+
+def assert_bitwise_training(make_model, make_loss, make_optimizer, x, y,
+                            batch=8):
+    """Run identical batch sequences through both paths; weights must be
+    bit-for-bit equal (the last batch is partial, exercising rebinding)."""
+    n = x.shape[0]
+    slices = [np.arange(s, min(s + batch, n)) for s in range(0, n, batch)]
+    batches = [(x[i], y[i]) for i in slices] * 2  # two passes
+
+    ref = make_model()
+    reference_steps(ref, make_loss(), make_optimizer(), batches)
+
+    compiled = make_model()
+    plan = compile_training(compiled, make_loss(), make_optimizer(),
+                            batch_size=batch)
+    for xb, yb in batches:
+        plan.step(xb, yb)
+
+    for p_ref, p_com in zip(ref.parameters(), compiled.parameters()):
+        np.testing.assert_array_equal(p_ref.value, p_com.value,
+                                      err_msg=p_ref.name)
+
+
+def class_data(rng, n, shape, classes=4):
+    x = rng.normal(size=(n,) + shape)
+    y = rng.integers(0, classes, size=n)
+    return x, y
+
+
+class TestBitwiseEquivalence:
+    def test_paper_cnn_adam(self, rng):
+        x, y = class_data(rng, 12, (1, 28, 28), classes=10)
+        assert_bitwise_training(
+            lambda: build_model("mnist", seed=3),
+            SoftmaxCrossEntropy, lambda: Adam(0.002), x, y, batch=5)
+
+    def test_padded_strided_conv_nesterov_sgd(self, rng):
+        def make():
+            return Sequential([
+                Conv2D(5, 3, stride=2, padding=1), ReLU(), Flatten(),
+                Dense(4),
+            ]).build((2, 9, 9), seed=1)
+        x, y = class_data(rng, 20, (2, 9, 9))
+        assert_bitwise_training(
+            make, SoftmaxCrossEntropy,
+            lambda: SGD(0.05, momentum=0.9, nesterov=True,
+                        weight_decay=1e-3), x, y)
+
+    def test_overlapping_maxpool_rmsprop(self, rng):
+        def make():
+            return Sequential([
+                Conv2D(4, 3), ReLU(), MaxPool2D(3, stride=2), Flatten(),
+                Dense(4),
+            ]).build((1, 11, 11), seed=2)
+        x, y = class_data(rng, 20, (1, 11, 11))
+        assert_bitwise_training(
+            make, SoftmaxCrossEntropy,
+            lambda: RMSProp(0.003, momentum=0.5), x, y)
+
+    def test_avgpool_and_leaky_relu_adam_decay(self, rng):
+        def make():
+            return Sequential([
+                Conv2D(4, 3), LeakyReLU(0.1), AvgPool2D(2), Flatten(),
+                Dense(4),
+            ]).build((1, 10, 10), seed=3)
+        x, y = class_data(rng, 20, (1, 10, 10))
+        assert_bitwise_training(
+            make, SoftmaxCrossEntropy,
+            lambda: Adam(0.002, weight_decay=1e-2), x, y)
+
+    def test_large_avgpool_generic_fallback(self, rng):
+        # pool * pool > the sequential-reduce limit: falls back to the
+        # layer's own forward/backward yet must stay bitwise.
+        def make():
+            return Sequential([
+                Conv2D(3, 3), ReLU(), AvgPool2D(3), Flatten(), Dense(4),
+            ]).build((1, 11, 11), seed=4)
+        x, y = class_data(rng, 16, (1, 11, 11))
+        plan_stats = freeze_training(make())[1]
+        assert plan_stats.generic_layers == 1
+        assert_bitwise_training(make, SoftmaxCrossEntropy,
+                                lambda: SGD(0.05), x, y)
+
+    def test_global_avgpool(self, rng):
+        def make():
+            return Sequential([
+                Conv2D(4, 3), ReLU(), GlobalAvgPool2D(), Dense(4),
+            ]).build((1, 9, 9), seed=5)
+        x, y = class_data(rng, 16, (1, 9, 9))
+        assert_bitwise_training(make, SoftmaxCrossEntropy,
+                                lambda: Adam(0.002), x, y)
+
+    def test_batchnorm_dropout_tanh_generic_layers(self, rng):
+        # Stateful / random fallbacks: BatchNorm updates running stats,
+        # Dropout draws from its own RNG stream — both must advance
+        # exactly as in the reference path.
+        def make():
+            return Sequential([
+                Conv2D(3, 3), BatchNorm2D(), Tanh(), MaxPool2D(2),
+                Flatten(), Dropout(0.3), Dense(4),
+            ]).build((1, 10, 10), seed=6)
+        x, y = class_data(rng, 16, (1, 10, 10))
+        assert_bitwise_training(make, SoftmaxCrossEntropy,
+                                lambda: SGD(0.05, momentum=0.8), x, y)
+
+    def test_hinge_loss_fallback(self, rng):
+        def make():
+            return Sequential([Dense(12), ReLU(), Dense(4)]).build(
+                (6,), seed=7)
+        x, y = class_data(rng, 20, (6,))
+        stats = compile_training(make(), HingeLoss(), SGD(0.05)).stats
+        assert stats.fused_loss is False
+        assert_bitwise_training(make, HingeLoss, lambda: SGD(0.05), x, y)
+
+    def test_standalone_relu_between_generic_ops(self, rng):
+        # ReLU that cannot fuse (generic op in between) runs standalone.
+        def make():
+            return Sequential([
+                Conv2D(3, 3), Dropout(0.0), ReLU(), Flatten(), Dense(4),
+            ]).build((1, 8, 8), seed=8)
+        x, y = class_data(rng, 16, (1, 8, 8))
+        assert_bitwise_training(make, SoftmaxCrossEntropy,
+                                lambda: Adam(0.002), x, y)
+
+
+class TestTrainerIntegration:
+    def test_fit_engines_reach_identical_weights(self, rng):
+        x, y = class_data(rng, 30, (1, 28, 28), classes=10)
+        trained = {}
+        for engine in ("layers", "compiled"):
+            model = build_model("mnist", seed=3)
+            Trainer(model, SoftmaxCrossEntropy(), Adam(0.002), batch_size=8,
+                    shuffle_seed=11, engine=engine).fit(x, y, epochs=2)
+            trained[engine] = model
+        for a, b in zip(trained["layers"].parameters(),
+                        trained["compiled"].parameters()):
+            np.testing.assert_array_equal(a.value, b.value, err_msg=a.name)
+
+    def test_fit_compiles_one_plan(self, rng):
+        x, y = class_data(rng, 16, (6,))
+        model = Sequential([Dense(8), ReLU(), Dense(4)]).build((6,), seed=1)
+        trainer = Trainer(model, batch_size=8, engine="compiled")
+        trainer.fit(x, y, epochs=2)
+        plan = trainer._train_plan
+        assert isinstance(plan, TrainPlan)
+        trainer.fit(x, y, epochs=1)
+        assert trainer._train_plan is plan
+
+    def test_layers_engine_never_compiles(self, rng):
+        x, y = class_data(rng, 16, (6,))
+        model = Sequential([Dense(8), ReLU(), Dense(4)]).build((6,), seed=1)
+        trainer = Trainer(model, batch_size=8, engine="layers")
+        trainer.fit(x, y, epochs=1)
+        assert trainer._train_plan is None
+
+
+class TestStepSemantics:
+    def mlp_plan(self, batch=8, optimizer=None):
+        model = Sequential([Dense(10), ReLU(), Dense(4)]).build((5,), seed=9)
+        plan = compile_training(model, SoftmaxCrossEntropy(),
+                                optimizer or SGD(0.05), batch_size=batch)
+        return model, plan
+
+    def test_step_gather_matches_step(self, rng):
+        x = rng.normal(size=(24, 5))
+        y = rng.integers(0, 4, size=24)
+        model_a, plan_a = self.mlp_plan()
+        model_b, plan_b = self.mlp_plan()
+        index = np.array([3, 17, 5, 9, 21, 0, 11, 8])
+        loss_a = plan_a.step(x[index], y[index])
+        loss_b = plan_b.step_gather(x, y.astype(np.int64), index)
+        assert loss_a == loss_b
+        for pa, pb in zip(model_a.parameters(), model_b.parameters()):
+            np.testing.assert_array_equal(pa.value, pb.value)
+
+    def test_loss_matches_reference_value(self, rng):
+        x = rng.normal(size=(8, 5))
+        y = rng.integers(0, 4, size=8)
+        model, plan = self.mlp_plan()
+        reference = Sequential([Dense(10), ReLU(), Dense(4)]).build(
+            (5,), seed=9)
+        expected, _ = SoftmaxCrossEntropy().forward(
+            reference.forward(x, training=True), y)
+        # The fused loss reduces in a different order; values agree to the
+        # last few ulps (gradients — what moves the weights — are bitwise).
+        assert plan.step(x, y) == pytest.approx(expected, rel=1e-12)
+
+    def test_partial_batches_bind_on_demand(self, rng):
+        model, plan = self.mlp_plan(batch=8)
+        assert set(plan._programs) == {8}
+        plan.step(rng.normal(size=(3, 5)), rng.integers(0, 4, size=3))
+        assert set(plan._programs) == {8, 3}
+        program = plan._programs[3]
+        plan.step(rng.normal(size=(3, 5)), rng.integers(0, 4, size=3))
+        assert plan._programs[3] is program
+
+    def test_weight_storage_rebind_detected(self, rng):
+        model, plan = self.mlp_plan()
+        layer = model.layers[0]
+        layer.weight.value = layer.weight.value.copy()
+        with pytest.raises(EngineError):
+            plan.step(rng.normal(size=(8, 5)), rng.integers(0, 4, size=8))
+
+    @pytest.mark.filterwarnings("ignore:overflow:RuntimeWarning")
+    @pytest.mark.filterwarnings("ignore:invalid value:RuntimeWarning")
+    def test_divergence_detected(self, rng):
+        model, plan = self.mlp_plan(optimizer=SGD(1e12))
+        x = rng.normal(size=(8, 5)) * 1e3
+        y = rng.integers(0, 4, size=8)
+        with pytest.raises(TrainingError):
+            for _ in range(50):
+                plan.step(x, y)
+
+    def test_optimizer_sees_every_parameter(self):
+        model, plan = self.mlp_plan()
+        assert len(plan._train_params) == len(model.parameters())
+
+
+class TestErrors:
+    def test_unbuilt_model_rejected(self):
+        model = Sequential([Dense(3)])
+        with pytest.raises(EngineError):
+            compile_training(model, SoftmaxCrossEntropy(), SGD(0.1))
+
+    def test_bad_batch_size_rejected(self):
+        model = Sequential([Dense(3)]).build((4,), seed=0)
+        with pytest.raises(ConfigError):
+            compile_training(model, SoftmaxCrossEntropy(), SGD(0.1),
+                             batch_size=0)
+
+    def test_loss_and_optimizer_types_validated(self):
+        model = Sequential([Dense(3)]).build((4,), seed=0)
+        with pytest.raises(ConfigError):
+            compile_training(model, "not a loss", SGD(0.1))
+        with pytest.raises(ConfigError):
+            compile_training(model, SoftmaxCrossEntropy(), "not an optimizer")
+
+    def test_wrong_input_shape_rejected(self, rng):
+        model = Sequential([Dense(3)]).build((4,), seed=0)
+        plan = compile_training(model, SoftmaxCrossEntropy(), SGD(0.1))
+        with pytest.raises(ShapeError):
+            plan.step(rng.normal(size=(2, 5)), np.zeros(2, dtype=int))
+
+    def test_mismatched_label_count_rejected(self, rng):
+        model = Sequential([Dense(3)]).build((4,), seed=0)
+        plan = compile_training(model, SoftmaxCrossEntropy(), SGD(0.1))
+        with pytest.raises(ShapeError):
+            plan.step(rng.normal(size=(2, 4)), np.zeros(3, dtype=int))
+
+    def test_out_of_range_labels_rejected(self, rng):
+        model = Sequential([Dense(3)]).build((4,), seed=0)
+        plan = compile_training(model, SoftmaxCrossEntropy(), SGD(0.1))
+        with pytest.raises(ShapeError):
+            plan.step(rng.normal(size=(2, 4)), np.array([0, 3]))
+
+    def test_plan_refuses_to_pickle(self):
+        model = Sequential([Dense(3)]).build((4,), seed=0)
+        plan = compile_training(model, SoftmaxCrossEntropy(), SGD(0.1))
+        with pytest.raises(TypeError):
+            pickle.dumps(plan)
+
+
+class TestTelemetry:
+    def fit_with_telemetry(self, rng, engine, tracemalloc_on=False):
+        import tracemalloc
+
+        from repro import obs
+        x = rng.normal(size=(32, 6))
+        y = rng.integers(0, 4, size=32)
+        model = Sequential([Dense(16), ReLU(), Dense(4)]).build((6,), seed=2)
+        trainer = Trainer(model, batch_size=8, shuffle_seed=1, engine=engine)
+        with obs.session(obs.TelemetryConfig(enabled=True,
+                                             console=False)) as telemetry:
+            if tracemalloc_on:
+                tracemalloc.start()
+            try:
+                trainer.fit(x, y, epochs=2)
+            finally:
+                if tracemalloc_on:
+                    tracemalloc.stop()
+            return {(r["name"], tuple(sorted(r["labels"].items()))): r
+                    for r in telemetry.metrics.snapshot()}
+
+    @pytest.mark.parametrize("engine", ["layers", "compiled"])
+    def test_train_step_histogram_emitted(self, rng, engine):
+        records = self.fit_with_telemetry(rng, engine)
+        step = records[("train.step", (("engine", engine),
+                                       ("model", "sequential")))]
+        assert step["count"] == 8  # 4 batches x 2 epochs
+        assert step["min"] > 0
+
+    def test_compile_training_telemetry(self, rng):
+        records = self.fit_with_telemetry(rng, "compiled")
+        fused = records[("engine.train_fused_layers", ())]
+        assert fused["value"] == 3.0
+        assert ("train.batches", ()) in records
+
+    @pytest.mark.parametrize("engine", ["layers", "compiled"])
+    def test_alloc_gauge_requires_tracemalloc(self, rng, engine):
+        records = self.fit_with_telemetry(rng, engine)
+        assert ("train.alloc_bytes", (("engine", engine),)) not in records
+
+    def test_alloc_gauge_shows_compiled_savings(self, rng):
+        allocated = {}
+        for engine in ("layers", "compiled"):
+            records = self.fit_with_telemetry(rng, engine,
+                                              tracemalloc_on=True)
+            gauge = records[("train.alloc_bytes", (("engine", engine),))]
+            allocated[engine] = gauge["value"]
+        # The gauge holds the *last* epoch: the compiled arena is already
+        # bound, so the loop's per-step allocations all but vanish.
+        assert allocated["layers"] > 0
+        assert allocated["compiled"] < allocated["layers"]
+
+
+class TestIntrospection:
+    def test_paper_cnn_fusion_stats(self):
+        model = build_model("mnist", seed=3)
+        plan = compile_training(model, SoftmaxCrossEntropy(), Adam(0.001))
+        stats = plan.stats
+        assert stats.layers == 8
+        assert stats.ops == len(plan.ops) == 6
+        assert stats.fused_activations == 2
+        assert stats.generic_layers == 0
+        assert stats.fused_layers == 8
+        assert stats.fused_loss is True
+        assert stats.as_dict()["fused_loss"] is True
+
+    def test_model_compile_training_api(self):
+        model = Sequential([Dense(3)]).build((4,), seed=0)
+        plan = model.compile_training(SoftmaxCrossEntropy(), SGD(0.1),
+                                      batch_size=4)
+        assert isinstance(plan, TrainPlan)
+        assert plan.batch_size == 4
+
+    def test_describe_mentions_fusion(self):
+        model = build_model("mnist", seed=3)
+        plan = compile_training(model, SoftmaxCrossEntropy(), Adam(0.001))
+        text = plan.describe()
+        assert "activations fused" in text
+        assert "fused_loss=True" in text
+        assert "conv1+relu1" in text
+
+    def test_freeze_requires_built_model(self):
+        with pytest.raises(EngineError):
+            freeze_training(Sequential([Dense(3)]))

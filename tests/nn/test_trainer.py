@@ -107,3 +107,41 @@ class TestValidation:
         full = trainer.evaluate(x, y, batch_size=7)
         assert full == pytest.approx(
             float(np.mean(trainer.model.predict(x) == y)))
+
+
+class TestEvalPlanReuse:
+    def test_eval_plan_compiled_once_then_refreshed(self, rng, monkeypatch):
+        x, y = separable_problem(rng, n=40)
+        trainer = Trainer(mlp(), optimizer=Adam(0.01), batch_size=8,
+                          engine="compiled")
+        compiles = []
+        original = trainer.model.compile_inference
+
+        def counting_compile(**kwargs):
+            compiles.append(kwargs)
+            return original(**kwargs)
+        monkeypatch.setattr(trainer.model, "compile_inference",
+                            counting_compile)
+        # fit evaluates after every epoch; only the first call compiles.
+        trainer.fit(x, y, epochs=3)
+        trainer.evaluate(x, y)
+        assert len(compiles) == 1
+
+    def test_refreshed_plan_tracks_trained_weights(self, rng):
+        x, y = separable_problem(rng, n=40)
+        trainer = Trainer(mlp(), optimizer=Adam(0.01), batch_size=8,
+                          engine="compiled")
+        trainer.evaluate(x, y)  # compile against the untrained weights
+        plan = trainer._eval_plan
+        trainer.fit(x, y, epochs=3)
+        assert trainer._eval_plan is plan
+        # The cached plan must see the post-training weights, exactly as
+        # the reference path does.
+        assert trainer.evaluate(x, y) == pytest.approx(
+            float(np.mean(trainer.model.predict(x) == y)))
+
+    def test_layers_engine_never_compiles_for_evaluate(self, rng):
+        x, y = separable_problem(rng, n=20)
+        trainer = Trainer(mlp(), optimizer=Adam(0.01), engine="layers")
+        trainer.fit(x, y, epochs=1)
+        assert trainer._eval_plan is None
