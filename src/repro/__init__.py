@@ -12,7 +12,9 @@ The package builds the paper's full pipeline from scratch:
 * :mod:`repro.core` — the paper's Evaluator (t-tests, alarms, reports);
 * :mod:`repro.attack` — the adversary the alarm warns about;
 * :mod:`repro.countermeasures` — constant-footprint defense + certification;
-* :mod:`repro.obs` — telemetry: span tracing, metrics, exporters.
+* :mod:`repro.obs` — telemetry: span tracing, metrics, exporters;
+* :mod:`repro.resilience` — measurement fault tolerance: retries, fault
+  injection, worker supervision.
 
 Quickstart::
 
@@ -39,9 +41,11 @@ from .core import (
     run_experiment,
 )
 from . import obs
+from . import resilience
 from .errors import ReproError
 from .hpc import EventDistributions, MeasurementSession, PerfBackend, SimBackend
 from .obs import TelemetryConfig
+from .resilience import RetryPolicy
 from .trace import TraceConfig, TracedInference
 from .uarch import ALL_EVENTS, CpuConfig, CpuModel, EventCounts, HpcEvent
 from .version import __version__
@@ -62,12 +66,14 @@ __all__ = [
     "MeasurementSession",
     "PerfBackend",
     "ReproError",
+    "RetryPolicy",
     "SimBackend",
     "TelemetryConfig",
     "TraceConfig",
     "TracedInference",
     "__version__",
     "obs",
+    "resilience",
     "build_model",
     "cifar_experiment",
     "format_category_means",

@@ -62,6 +62,17 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
                         help="measurement worker processes (default: 1, "
                              "in-process; results are identical for any "
                              "worker count)")
+    parser.add_argument("--backend", choices=("sim", "perf", "auto"),
+                        default=None,
+                        help="measurement backend (default: sim; 'auto' "
+                             "uses real perf counters when the host "
+                             "supports them, else falls back to sim with "
+                             "a warning)")
+    parser.add_argument("--retries", type=int, default=None,
+                        help="attempts per measurement (default: 3); "
+                             "transient acquisition failures are retried "
+                             "with deterministic backoff and never change "
+                             "results")
     parser.add_argument("--engine", choices=("layers", "compiled"),
                         default=None,
                         help="execution backend for training and "
@@ -88,6 +99,10 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         kwargs["workers"] = args.workers
     if getattr(args, "engine", None) is not None:
         kwargs["engine"] = args.engine
+    if getattr(args, "backend", None) is not None:
+        kwargs["backend"] = args.backend
+    if getattr(args, "retries", None) is not None:
+        kwargs["retries"] = args.retries
     if args.no_cache:
         kwargs["cache_dir"] = ""
     if args.seed is not None:
@@ -253,9 +268,13 @@ def cmd_latency(args: argparse.Namespace) -> int:
 
 def cmd_perf_probe(args: argparse.Namespace) -> int:
     from ..hpc.perf_backend import perf_available
-    ok = perf_available()
+    from ..resilience import RetryPolicy
+    retry = (RetryPolicy(max_attempts=args.retries)
+             if args.retries and args.retries > 1 else None)
+    ok = perf_available(retry=retry)
     print("perf hardware counters:", "available" if ok else "NOT available")
     print("backends usable here: sim" + (", perf" if ok else ""))
+    print("backend=auto would select:", "perf" if ok else "sim")
     return 0 if ok else 1
 
 
@@ -377,6 +396,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=cmd_latency)
 
     p = sub.add_parser("perf-probe", help="probe real perf availability")
+    p.add_argument("--retries", type=int, default=None,
+                   help="repeat a failing probe this many times (flaky "
+                        "hosts) before reporting unavailable")
     p.set_defaults(handler=cmd_perf_probe)
 
     p = sub.add_parser("telemetry",

@@ -10,6 +10,7 @@ from .export import (
     save_experiment_json,
 )
 from .experiment import (
+    BACKENDS,
     DATASETS,
     ExperimentConfig,
     ExperimentResult,
@@ -21,6 +22,7 @@ from .experiment import (
     measure_distributions,
     mnist_experiment,
     prepare_model,
+    resolve_backend_choice,
     run_experiment,
 )
 from .leakage import LeakageReport, PairwiseResult
@@ -51,6 +53,7 @@ __all__ = [
     "SequentialEvaluator",
     "Alarm",
     "AlarmPolicy",
+    "BACKENDS",
     "CONSERVATIVE_POLICY",
     "DATASETS",
     "Evaluator",
@@ -73,5 +76,6 @@ __all__ = [
     "measure_distributions",
     "mnist_experiment",
     "prepare_model",
+    "resolve_backend_choice",
     "run_experiment",
 ]

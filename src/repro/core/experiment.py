@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Tuple
@@ -22,9 +23,12 @@ from typing import Dict, Optional, Tuple
 from ..datasets.synthetic_cifar import SyntheticObjects
 from ..datasets.synthetic_mnist import SyntheticDigits
 from ..errors import ConfigError
+from ..hpc.backend import HpcBackend
 from ..hpc.distributions import EventDistributions
+from ..hpc.perf_backend import PerfBackend, perf_available
 from ..hpc.session import MeasurementCache, MeasurementSession
 from ..hpc.sim_backend import SimBackend
+from ..resilience.retry import RetryPolicy
 from ..nn.engine import ENGINES
 from ..nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
 from ..nn.model import Sequential
@@ -40,6 +44,11 @@ from .leakage import LeakageReport
 
 #: Supported dataset identifiers.
 DATASETS = ("mnist", "cifar10")
+
+#: Supported measurement-backend identifiers.  ``"auto"`` degrades
+#: gracefully: real ``perf`` where the host can count hardware events,
+#: the simulated backend (with a logged warning) everywhere else.
+BACKENDS = ("sim", "perf", "auto")
 
 #: Bumped whenever the synthetic generators change, invalidating caches.
 GENERATOR_VERSION = 2
@@ -75,6 +84,15 @@ class ExperimentConfig:
         noise_scheme: Sim-backend noise scheme — ``"per-sample"`` (default,
             order-independent, required for ``workers > 1``) or the legacy
             sequential ``"stream"``.
+        backend: Measurement backend — ``"sim"`` (default), ``"perf"``
+            (real hardware counters; raises where unavailable) or
+            ``"auto"`` (perf when the host can count hardware events,
+            otherwise sim with a logged warning and a
+            ``backend.fallback`` telemetry counter).
+        retries: Attempts per individual measurement (>= 1); transient
+            acquisition failures are retried under a deterministic
+            backoff before failing the run.  Retries never change
+            measured values, so they are absent from cache keys.
         workers: Measurement worker processes (1 = in-process collection;
             the worker count never changes the measured distributions).
         engine: Execution backend of the full pipeline — ``"compiled"``
@@ -106,6 +124,8 @@ class ExperimentConfig:
     noise_scale: float = 1.0
     noise_seed: int = 5
     noise_scheme: str = "per-sample"
+    backend: str = "sim"
+    retries: int = 3
     workers: int = 1
     engine: str = "compiled"
     trace_config: TraceConfig = field(default_factory=TraceConfig)
@@ -126,6 +146,11 @@ class ExperimentConfig:
         if self.engine not in ENGINES:
             raise ConfigError(
                 f"engine must be one of {ENGINES}, got {self.engine!r}")
+        if self.backend not in BACKENDS:
+            raise ConfigError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if self.retries < 1:
+            raise ConfigError(f"retries must be >= 1, got {self.retries}")
 
     # ------------------------------------------------------------------
     # Derived pieces
@@ -138,6 +163,12 @@ class ExperimentConfig:
     def display_map(self) -> Dict[int, int]:
         """Model label -> paper display index (1-based)."""
         return {cat: i + 1 for i, cat in enumerate(sorted(self.categories))}
+
+    def retry_policy(self) -> Optional[RetryPolicy]:
+        """The measurement retry policy (None when retries are off)."""
+        if self.retries <= 1:
+            return None
+        return RetryPolicy(max_attempts=self.retries, seed=self.noise_seed)
 
     def model_key(self) -> str:
         """Fingerprint of everything that affects the trained model."""
@@ -196,7 +227,7 @@ class ExperimentResult:
     test_accuracy: float
     distributions: EventDistributions
     report: LeakageReport
-    backend: SimBackend
+    backend: HpcBackend
 
 
 def prepare_model(config: ExperimentConfig,
@@ -233,8 +264,35 @@ def prepare_model(config: ExperimentConfig,
     return model, accuracy
 
 
-def make_backend(config: ExperimentConfig, model: Sequential) -> SimBackend:
-    """The simulated measurement backend for this configuration."""
+def resolve_backend_choice(config: ExperimentConfig) -> str:
+    """Concrete backend for ``config.backend`` (resolves ``"auto"``).
+
+    ``"auto"`` prefers real hardware counters and degrades gracefully:
+    when the host cannot count hardware events the simulated backend is
+    used instead, with a logged warning and a ``backend.fallback``
+    telemetry counter so the degradation is visible in reports.
+    """
+    if config.backend != "auto":
+        return config.backend
+    if perf_available(retry=config.retry_policy()):
+        return "perf"
+    warnings.warn(
+        "backend='auto': perf cannot count hardware events on this host; "
+        "falling back to the simulated backend",
+        RuntimeWarning, stacklevel=2)
+    obs.inc("backend.fallback", requested="auto", used="sim")
+    return "sim"
+
+
+def make_backend(config: ExperimentConfig, model: Sequential) -> HpcBackend:
+    """The measurement backend for this configuration.
+
+    Honors ``config.backend`` (``"sim"``, ``"perf"`` or ``"auto"``) and
+    attaches the configured retry policy where the backend supports it.
+    """
+    choice = resolve_backend_choice(config)
+    if choice == "perf":
+        return PerfBackend(model, retry=config.retry_policy())
     return SimBackend(
         model,
         trace_config=config.trace_config,
@@ -246,7 +304,7 @@ def make_backend(config: ExperimentConfig, model: Sequential) -> SimBackend:
     )
 
 
-def measure_distributions(config: ExperimentConfig, backend: SimBackend
+def measure_distributions(config: ExperimentConfig, backend: HpcBackend
                           ) -> EventDistributions:
     """Collect the per-category distributions for this configuration."""
     generator = config.generator()
@@ -256,7 +314,8 @@ def measure_distributions(config: ExperimentConfig, backend: SimBackend
                                    categories=list(config.categories))
     cache = (MeasurementCache(Path(config.cache_dir))
              if config.cache_dir else None)
-    session = MeasurementSession(backend, warmup=0, cache=cache)
+    session = MeasurementSession(backend, warmup=0, cache=cache,
+                                 retry=config.retry_policy())
     return session.collect(eval_pool, list(config.categories),
                            config.samples_per_category,
                            cache_tag=f"gen{GENERATOR_VERSION}-eval-seed={config.eval_seed}",

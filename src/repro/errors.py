@@ -58,7 +58,17 @@ class PerfUnavailableError(BackendError):
 
 
 class MeasurementError(ReproError):
-    """A measurement session produced inconsistent or insufficient data."""
+    """A measurement session produced inconsistent or insufficient data.
+
+    Attributes:
+        diagnostics: Optional structured failure details — e.g. the
+            supervisor attaches one
+            :class:`repro.resilience.ChunkDiagnostic` per lost chunk.
+    """
+
+    def __init__(self, message: str = "", diagnostics=None):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics) if diagnostics else ()
 
 
 class StatisticsError(ReproError, ValueError):

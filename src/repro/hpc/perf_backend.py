@@ -10,18 +10,26 @@ Availability is environment-dependent: containers and locked-down kernels
 (``perf_event_paranoid`` > 2, no PMU passthrough) cannot count hardware
 events.  :func:`perf_available` probes this so callers — and the test suite
 — can fall back to the simulated backend.
+
+Acquisitions on real hosts also fail *transiently* (counter multiplexing,
+paranoid-level flips, scheduler stalls past the timeout); every such
+failure surfaces as a :class:`~repro.errors.PerfUnavailableError`, which a
+:class:`repro.resilience.RetryPolicy` — attachable via the ``retry``
+argument — knows to retry.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import shutil
 import subprocess
 import sys
 import tempfile
 import time
+import weakref
 from pathlib import Path
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,6 +37,7 @@ from ..errors import PerfUnavailableError
 from ..obs import runtime as obs
 from ..nn.model import Sequential
 from ..nn.serialization import save_model
+from ..resilience.retry import RetryPolicy
 from ..uarch.events import ALL_EVENTS, HpcEvent
 from .backend import HpcBackend, Measurement
 from .parse import build_perf_command, parse_perf_stat_csv
@@ -45,8 +54,21 @@ _WORKER_SNIPPET = (
 
 
 def perf_available(events: Sequence[HpcEvent] = (HpcEvent.CYCLES,),
-                   timeout: float = 10.0) -> bool:
-    """True when ``perf stat`` can count hardware events on this host."""
+                   timeout: float = 10.0,
+                   retry: Optional[RetryPolicy] = None) -> bool:
+    """True when ``perf stat`` can count hardware events on this host.
+
+    Args:
+        events: Events the probe requests.
+        timeout: Probe-subprocess timeout in seconds.
+        retry: Optional policy; a falsy probe is then repeated under its
+            backoff schedule before giving up — useful on hosts where
+            ``perf`` fails intermittently rather than categorically.
+    """
+    if retry is not None and retry.max_attempts > 1:
+        return retry.call_until(
+            lambda: perf_available(events, timeout=timeout),
+            label="perf_available")
     if shutil.which("perf") is None:
         return False
     argv = build_perf_command(events, command=["true"])
@@ -67,12 +89,22 @@ def perf_available(events: Sequence[HpcEvent] = (HpcEvent.CYCLES,),
 class PerfBackend(HpcBackend):
     """Measures classifications with the Linux ``perf`` tool.
 
+    The backend owns a scratch directory (serialized model + worker
+    script).  It is removed by :meth:`cleanup`, by using the backend as a
+    context manager, or — as a last resort — by a ``weakref.finalize``
+    hook when the backend is garbage collected, so forgotten backends no
+    longer leak temp directories.
+
     Args:
         model: Built classifier; it is serialized once into a scratch
             directory and re-loaded by each measured subprocess.
         events: Events to request (defaults to the paper's full set).
         python: Interpreter for the measured subprocess.
         timeout: Per-measurement subprocess timeout in seconds.
+        retry: Optional :class:`repro.resilience.RetryPolicy` applied to
+            every :meth:`measure`; transient acquisition failures
+            (timeouts, nonzero exits, garbage CSV) are retried under its
+            deterministic backoff schedule.
 
     Raises:
         PerfUnavailableError: When ``perf`` cannot count events here.
@@ -82,7 +114,8 @@ class PerfBackend(HpcBackend):
 
     def __init__(self, model: Sequential,
                  events: Sequence[HpcEvent] = ALL_EVENTS,
-                 python: str = sys.executable, timeout: float = 120.0):
+                 python: str = sys.executable, timeout: float = 120.0,
+                 retry: Optional[RetryPolicy] = None):
         if not perf_available():
             raise PerfUnavailableError(
                 "perf cannot count hardware events on this host "
@@ -92,44 +125,87 @@ class PerfBackend(HpcBackend):
         self._events = tuple(events)
         self.python = python
         self.timeout = timeout
+        self.retry = retry
+        self._measure_count = 0
         self._workdir = Path(tempfile.mkdtemp(prefix="repro-perf-"))
-        self.model_path = save_model(model, self._workdir / "model.npz")
-        self.worker_path = self._workdir / "worker.py"
-        self.worker_path.write_text(_WORKER_SNIPPET, encoding="utf-8")
+        # From here on the scratch directory exists: guarantee it is
+        # reclaimed even if the rest of construction fails, and at the
+        # latest when the backend object is collected.
+        self._finalizer = weakref.finalize(
+            self, shutil.rmtree, str(self._workdir), True)
+        try:
+            self.model_path = save_model(model, self._workdir / "model.npz")
+            self.worker_path = self._workdir / "worker.py"
+            self.worker_path.write_text(_WORKER_SNIPPET, encoding="utf-8")
+        except BaseException:
+            self._finalizer()
+            raise
 
     @property
     def events(self) -> Tuple[HpcEvent, ...]:
         return self._events
 
-    def measure(self, sample: np.ndarray) -> Measurement:
-        """Launch one classification under ``perf stat`` and parse it."""
+    def _measure_once(self, sample: np.ndarray) -> Measurement:
+        """One acquisition attempt (no retry): launch, parse, clean up."""
         start = time.perf_counter_ns() if obs.is_enabled() else 0
-        sample_path = self._workdir / "sample.npz"
-        np.savez(sample_path, sample=np.asarray(sample, dtype=np.float64))
-        argv = build_perf_command(
-            self._events,
-            command=[self.python, str(self.worker_path),
-                     str(self.model_path), str(sample_path)],
-        )
-        proc = subprocess.run(argv, capture_output=True, text=True,
-                              timeout=self.timeout)
-        if proc.returncode != 0:
-            raise PerfUnavailableError(
-                f"perf stat failed (rc={proc.returncode}): "
-                f"{proc.stderr.strip()[:500]}"
-            )
-        result = parse_perf_stat_csv(proc.stderr)
+        # Each measurement gets a private sample file: concurrent
+        # measurements (parallel executor workers, two sessions sharing
+        # one backend) must never race on a shared path.
+        fd, name = tempfile.mkstemp(prefix="sample-", suffix=".npz",
+                                    dir=self._workdir)
+        sample_path = Path(name)
         try:
-            prediction = int(proc.stdout.strip().splitlines()[-1])
-        except (IndexError, ValueError):
-            raise PerfUnavailableError(
-                f"measured worker produced no prediction: {proc.stdout!r}"
-            ) from None
+            with os.fdopen(fd, "wb") as stream:
+                np.savez(stream, sample=np.asarray(sample, dtype=np.float64))
+            argv = build_perf_command(
+                self._events,
+                command=[self.python, str(self.worker_path),
+                         str(self.model_path), str(sample_path)],
+            )
+            try:
+                proc = subprocess.run(argv, capture_output=True, text=True,
+                                      timeout=self.timeout)
+            except subprocess.TimeoutExpired:
+                # A stalled acquisition is transient, not fatal: surface it
+                # as the retryable backend error instead of killing the
+                # whole experiment.
+                raise PerfUnavailableError(
+                    f"perf stat measurement exceeded its {self.timeout:.0f}s "
+                    "timeout (scheduler stall or wedged counter)"
+                ) from None
+            if proc.returncode != 0:
+                raise PerfUnavailableError(
+                    f"perf stat failed (rc={proc.returncode}): "
+                    f"{proc.stderr.strip()[:500]}"
+                )
+            result = parse_perf_stat_csv(proc.stderr)
+            try:
+                prediction = int(proc.stdout.strip().splitlines()[-1])
+            except (IndexError, ValueError):
+                raise PerfUnavailableError(
+                    f"measured worker produced no prediction: {proc.stdout!r}"
+                ) from None
+        finally:
+            sample_path.unlink(missing_ok=True)
         if obs.is_enabled():
             obs.observe("backend.measure_ns", time.perf_counter_ns() - start,
                         backend=self.name)
             obs.inc("backend.measurements", backend=self.name)
         return Measurement(prediction, result.counts)
+
+    def measure(self, sample: np.ndarray) -> Measurement:
+        """Launch one classification under ``perf stat`` and parse it.
+
+        With a :attr:`retry` policy attached, transient failures
+        (timeouts, nonzero exits, unparseable output) are retried under
+        its deterministic backoff before the last error propagates.
+        """
+        index = self._measure_count
+        self._measure_count += 1
+        if self.retry is None or self.retry.max_attempts <= 1:
+            return self._measure_once(sample)
+        return self.retry.call(lambda: self._measure_once(sample),
+                               key=(0, index), label="perf.measure")
 
     def fingerprint(self) -> str:
         digest = hashlib.sha256()
@@ -142,5 +218,11 @@ class PerfBackend(HpcBackend):
                 f"subprocess classification (model at {self.model_path})")
 
     def cleanup(self) -> None:
-        """Remove the scratch directory."""
-        shutil.rmtree(self._workdir, ignore_errors=True)
+        """Remove the scratch directory (idempotent)."""
+        self._finalizer()
+
+    def __enter__(self) -> "PerfBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.cleanup()

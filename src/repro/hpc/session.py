@@ -41,16 +41,24 @@ class MeasurementCache:
         safe = hashlib.sha256(key.encode()).hexdigest()[:32]
         return self.directory / f"measure-{safe}.npz"
 
-    def get(self, key: str) -> Optional[EventDistributions]:
+    def get(self, key: str,
+            kind: str = "measurement") -> Optional[EventDistributions]:
         """Load cached distributions, or None on miss/corruption.
 
         A corrupt or truncated ``.npz`` is treated as a miss: the bad file
         is evicted (so the re-measured result can be stored cleanly) and a
         ``cache.corrupt`` counter records the event for telemetry.
+
+        Args:
+            key: Cache key.
+            kind: Telemetry label for the hit/miss counters — internal
+                traffic (e.g. the session's per-category ``"checkpoint"``
+                probes) is kept distinct from ordinary ``"measurement"``
+                lookups so it never skews cache-effectiveness metrics.
         """
         path = self._path(key)
         if not path.exists():
-            obs.inc("cache.miss", kind="measurement")
+            obs.inc("cache.miss", kind=kind)
             return None
         try:
             with np.load(path) as archive:
@@ -58,14 +66,15 @@ class MeasurementCache:
             distributions = EventDistributions.from_arrays(arrays)
         except Exception:
             # A corrupt cache entry must never poison an experiment.
-            obs.inc("cache.corrupt", kind="measurement")
-            obs.inc("cache.miss", kind="measurement")
+            obs.inc("cache.corrupt", kind=kind)
+            obs.inc("cache.miss", kind=kind)
             path.unlink(missing_ok=True)
             return None
-        obs.inc("cache.hit", kind="measurement")
+        obs.inc("cache.hit", kind=kind)
         return distributions
 
-    def put(self, key: str, distributions: EventDistributions) -> Path:
+    def put(self, key: str, distributions: EventDistributions,
+            kind: str = "measurement") -> Path:
         """Store distributions under ``key``; returns the written path.
 
         Writes are atomic: the archive lands in a per-process temp file
@@ -82,8 +91,12 @@ class MeasurementCache:
             os.replace(temp, path)
         finally:
             temp.unlink(missing_ok=True)
-        obs.inc("cache.write", kind="measurement")
+        obs.inc("cache.write", kind=kind)
         return path
+
+    def remove(self, key: str) -> None:
+        """Drop the entry stored under ``key`` (missing entries are fine)."""
+        self._path(key).unlink(missing_ok=True)
 
 
 class MeasurementSession:
@@ -94,19 +107,60 @@ class MeasurementSession:
         warmup: Unrecorded classifications run before the measured ones
             (first-run effects: code paging, allocator warm-up).
         cache: Optional :class:`MeasurementCache`.
+        retry: Optional :class:`repro.resilience.RetryPolicy`; each
+            individual measurement is then retried on transient backend
+            failures (``BackendError``) before the error propagates.
+            Retries never change collected values — a measurement is a
+            pure function of its ``(category, index)`` key.
+        checkpoint: Persist each completed category's readouts through the
+            cache as :meth:`collect` progresses, so an interrupted run
+            resumes from the finished categories instead of restarting
+            (requires ``cache``; checkpoints are promoted into the final
+            entry and dropped once collection completes).
     """
 
     def __init__(self, backend: HpcBackend, warmup: int = 2,
-                 cache: Optional[MeasurementCache] = None):
+                 cache: Optional[MeasurementCache] = None,
+                 retry=None, checkpoint: bool = True):
         if warmup < 0:
             raise MeasurementError(f"warmup must be >= 0, got {warmup}")
         self.backend = backend
         self.warmup = warmup
         self.cache = cache
+        self.retry = retry
+        self.checkpoint = checkpoint
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (e.g. the perf scratch directory)."""
+        cleanup = getattr(self.backend, "cleanup", None)
+        if cleanup is not None:
+            cleanup()
+
+    def __enter__(self) -> "MeasurementSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Collection
     # ------------------------------------------------------------------
+
+    def _measure_one(self, sample: np.ndarray,
+                     noise_key=None) -> EventCounts:
+        """One (optionally retried) measurement; returns its counts."""
+        if noise_key is not None:
+            operation = lambda: self.backend.measure(sample,
+                                                     noise_key=noise_key)
+        else:
+            operation = lambda: self.backend.measure(sample)
+        if self.retry is not None and self.retry.max_attempts > 1:
+            return self.retry.call(operation, key=noise_key).counts
+        return operation().counts
 
     def measure_category(self, samples: Sequence[np.ndarray],
                          max_samples: Optional[int] = None,
@@ -140,14 +194,13 @@ class MeasurementSession:
                     batch_measure(warm)
                 else:
                     for index, sample in enumerate(warm):
-                        self.backend.measure(sample,
-                                             noise_key=(category, index))
-            return [self.backend.measure(sample,
-                                         noise_key=(category, index)).counts
+                        self._measure_one(sample,
+                                          noise_key=(category, index))
+            return [self._measure_one(sample, noise_key=(category, index))
                     for index, sample in enumerate(samples)]
         for sample in samples[:self.warmup]:
-            self.backend.measure(sample)
-        return [self.backend.measure(sample).counts for sample in samples]
+            self._measure_one(sample)
+        return [self._measure_one(sample) for sample in samples]
 
     def collect(self, dataset: LabeledDataset, categories: Sequence[int],
                 samples_per_category: int,
@@ -198,8 +251,22 @@ class MeasurementSession:
                     return cached
             span.set_attribute("cache",
                                "miss" if self.cache is not None else "off")
+            # Resume from per-category checkpoints an interrupted run left
+            # behind: those categories are already fully measured.
+            checkpointing = self.cache is not None and self.checkpoint
+            resumed: Dict[int, EventDistributions] = {}
+            if checkpointing:
+                for category in categories:
+                    entry = self.cache.get(self._checkpoint_key(key, category),
+                                           kind="checkpoint")
+                    if entry is not None and category in entry.categories:
+                        resumed[category] = entry
+                        obs.inc("checkpoint.resume", category=category)
+                if resumed:
+                    span.set_attribute("resumed_categories", len(resumed))
+            remaining = [c for c in categories if c not in resumed]
             subsets: Dict[int, Sequence[np.ndarray]] = {}
-            for category in categories:
+            for category in remaining:
                 subset = dataset.category(category)
                 if len(subset) < samples_per_category:
                     raise MeasurementError(
@@ -207,26 +274,58 @@ class MeasurementSession:
                         f"need {samples_per_category}"
                     )
                 subsets[category] = subset.images[:samples_per_category]
-            if workers > 1:
+            per_category: Dict[int, List[EventCounts]] = {}
+            if workers > 1 and subsets:
                 from ..parallel import measure_categories_parallel
                 per_category = measure_categories_parallel(
                     self.backend, subsets, warmup=self.warmup,
-                    workers=workers)
+                    workers=workers, retry=self.retry)
                 for category, readings in per_category.items():
                     obs.inc("measurement.samples", len(readings),
                             category=category)
+                    self._write_checkpoint(checkpointing, key, category,
+                                           readings)
             else:
-                per_category: Dict[int, List[EventCounts]] = {}
-                for category in categories:
+                for category in remaining:
                     with obs.span("measure.category", category=category):
                         per_category[category] = self.measure_category(
                             subsets[category], category=category)
                     obs.inc("measurement.samples",
                             len(per_category[category]), category=category)
-            distributions = EventDistributions.from_measurements(per_category)
+                    # Checkpoint each finished category immediately, so a
+                    # crash mid-collection loses at most one category.
+                    self._write_checkpoint(checkpointing, key, category,
+                                           per_category[category])
+            data: Dict[int, Dict] = {}
+            for category, entry in resumed.items():
+                data[category] = {event: entry.values(category, event)
+                                  for event in entry.events}
+            if per_category:
+                fresh = EventDistributions.from_measurements(per_category)
+                for category in fresh.categories:
+                    data[category] = {event: fresh.values(category, event)
+                                      for event in fresh.events}
+            distributions = EventDistributions(data)
             if self.cache is not None:
                 self.cache.put(key, distributions)
+            if checkpointing:
+                # The full entry now covers everything; drop the partials.
+                for category in categories:
+                    self.cache.remove(self._checkpoint_key(key, category))
             return distributions
+
+    @staticmethod
+    def _checkpoint_key(key: str, category: int) -> str:
+        return f"{key}|checkpoint-cat={category}"
+
+    def _write_checkpoint(self, enabled: bool, key: str, category: int,
+                          readings: List[EventCounts]) -> None:
+        if not enabled:
+            return
+        entry = EventDistributions.from_measurements({category: readings})
+        self.cache.put(self._checkpoint_key(key, category), entry,
+                       kind="checkpoint")
+        obs.inc("checkpoint.write", category=category)
 
     def collect_with_limited_pmu(self, dataset: LabeledDataset,
                                  categories: Sequence[int],

@@ -69,13 +69,19 @@ def plan_chunks(sample_counts: Mapping[int, int],
     """
     if workers < 1:
         raise MeasurementError(f"workers must be >= 1, got {workers}")
+    # Validate every category before planning anything, so a bad request
+    # surfaces one complete error naming all offenders instead of failing
+    # mid-plan on the first.
+    empty = sorted(category for category, total in sample_counts.items()
+                   if total < 1)
+    if empty:
+        raise MeasurementError(
+            "categories with no samples to measure: "
+            + ", ".join(str(category) for category in empty)
+        )
     chunks: List[ChunkSpec] = []
     for category in sorted(sample_counts):
         total = sample_counts[category]
-        if total < 1:
-            raise MeasurementError(
-                f"category {category} has no samples to measure"
-            )
         size = -(-total // workers)  # ceil division
         for start in range(0, total, size):
             chunks.append(ChunkSpec(category, start, min(start + size, total)))
@@ -100,16 +106,23 @@ def resolve_context(prefer: str = "fork") -> multiprocessing.context.BaseContext
 _WORKER_STATE: Optional[tuple] = None
 
 
-def _init_worker(backend, samples_by_category, warmup) -> None:
+def _init_worker(backend, samples_by_category, warmup, retry=None) -> None:
     global _WORKER_STATE
     # Workers never export telemetry: spans/metrics of child processes
     # would interleave with the parent's exporters.
     obs.configure(TelemetryConfig(enabled=False))
-    _WORKER_STATE = (backend, samples_by_category, warmup)
+    _WORKER_STATE = (backend, samples_by_category, warmup, retry)
+
+
+def _measure_keyed(backend, sample, key, retry):
+    if retry is None or retry.max_attempts <= 1:
+        return backend.measure(sample, noise_key=key)
+    return retry.call(lambda: backend.measure(sample, noise_key=key),
+                      key=key)
 
 
 def _measure_chunk(spec: ChunkSpec):
-    backend, samples_by_category, warmup = _WORKER_STATE
+    backend, samples_by_category, warmup, retry = _WORKER_STATE
     samples = samples_by_category[spec.category]
     if spec.start == 0 and warmup:
         # Warm-up classifications (unrecorded) run once per category, on
@@ -121,12 +134,12 @@ def _measure_chunk(spec: ChunkSpec):
             batch_measure(warm)
         else:
             for index in range(len(warm)):
-                backend.measure(samples[index],
-                                noise_key=(spec.category, index))
+                _measure_keyed(backend, samples[index],
+                               (spec.category, index), retry)
     readings = []
     for index in range(spec.start, spec.stop):
-        measurement = backend.measure(samples[index],
-                                      noise_key=(spec.category, index))
+        measurement = _measure_keyed(backend, samples[index],
+                                     (spec.category, index), retry)
         readings.append({event.value: measurement.counts[event]
                          for event in measurement.counts})
     return spec.category, spec.start, readings
@@ -136,8 +149,19 @@ def measure_categories_parallel(
         backend,
         samples_by_category: Mapping[int, Sequence[np.ndarray]],
         warmup: int = 0,
-        workers: int = 2) -> Dict[int, List[EventCounts]]:
-    """Measure every category's samples across a process pool.
+        workers: int = 2,
+        retry=None,
+        max_restarts: int = 3,
+        max_chunk_retries: int = 2) -> Dict[int, List[EventCounts]]:
+    """Measure every category's samples across a supervised process pool.
+
+    Execution is supervised (see :class:`repro.resilience.ChunkSupervisor`):
+    a worker that dies mid-chunk breaks the pool, the pool is rebuilt, and
+    the chunks that never reported results are resubmitted — completed
+    chunks are kept, so no ``(category, index)`` is lost or duplicated.
+    Chunks whose task raises are retried a bounded number of times; when
+    any budget runs out, a :class:`~repro.errors.MeasurementError` with
+    per-chunk diagnostics is raised.
 
     Args:
         backend: Measurement backend; must expose
@@ -147,11 +171,18 @@ def measure_categories_parallel(
         warmup: Unrecorded classifications before each category's measured
             ones, mirroring :class:`repro.hpc.MeasurementSession`.
         workers: Worker-process count (>= 1).
+        retry: Optional :class:`repro.resilience.RetryPolicy` applied to
+            each measurement inside the workers (transient backend
+            failures never surface as chunk failures).
+        max_restarts: Pool rebuilds tolerated after worker deaths.
+        max_chunk_retries: Resubmissions per chunk whose task raised.
 
     Returns:
         Category -> readouts in sample order, bit-identical to measuring
         the same keys sequentially.
     """
+    from ..resilience.supervisor import ChunkSupervisor
+
     if workers < 1:
         raise MeasurementError(f"workers must be >= 1, got {workers}")
     if not getattr(backend, "supports_noise_keys", False):
@@ -166,18 +197,19 @@ def measure_categories_parallel(
     with obs.span("parallel.measure", workers=workers,
                   chunks=len(chunks)) as span:
         obs.set_gauge("parallel.workers", workers)
-        by_chunk: Dict[tuple, list] = {}
         context = resolve_context()
         span.set_attribute("start_method", context.get_start_method())
-        with context.Pool(
-                processes=workers,
-                initializer=_init_worker,
-                initargs=(backend, dict(samples_by_category), warmup),
-        ) as pool:
-            for category, start, readings in pool.imap_unordered(
-                    _measure_chunk, chunks):
-                by_chunk[(category, start)] = readings
-                obs.inc("measure.chunk", category=category)
+        supervisor = ChunkSupervisor(
+            context, workers,
+            initializer=_init_worker,
+            initargs=(backend, dict(samples_by_category), warmup, retry),
+            max_restarts=max_restarts,
+            max_chunk_retries=max_chunk_retries)
+        results = supervisor.run(_measure_chunk, chunks)
+        by_chunk: Dict[tuple, list] = {}
+        for category, start, readings in results.values():
+            by_chunk[(category, start)] = readings
+            obs.inc("measure.chunk", category=category)
         per_category: Dict[int, List[EventCounts]] = {}
         for spec in chunks:
             per_category.setdefault(spec.category, []).extend(

@@ -1,0 +1,36 @@
+"""Fault tolerance for the measurement pipeline.
+
+Real hosts are hostile to ``perf stat``: counters multiplex, paranoid
+levels flip mid-run, measured subprocesses stall past their timeouts and
+worker processes get killed.  This package makes the Evaluator survive all
+of it:
+
+* :mod:`~repro.resilience.retry` — bounded, deterministically-jittered
+  retry of individual acquisitions;
+* :mod:`~repro.resilience.faults` — a reproducible fault-injection harness
+  (every failure mode scriptable at exact measurement keys) so the
+  resilience machinery itself is testable;
+* :mod:`~repro.resilience.supervisor` — worker supervision for the
+  parallel executor: dead workers are detected, their lost chunks
+  resubmitted, and exhaustion surfaces structured per-chunk diagnostics.
+
+Because every measurement is a pure function of its ``(category, index)``
+key, recovery never changes results: a run that limped through timeouts,
+garbage readouts and worker deaths produces bit-identical distributions to
+a clean run.
+"""
+
+from .faults import FaultKind, FaultPlan, FaultSpec, FlakyBackend
+from .retry import NO_RETRY, RetryPolicy
+from .supervisor import ChunkDiagnostic, ChunkSupervisor
+
+__all__ = [
+    "ChunkDiagnostic",
+    "ChunkSupervisor",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FlakyBackend",
+    "NO_RETRY",
+    "RetryPolicy",
+]

@@ -1,0 +1,272 @@
+"""Deterministic fault injection for the measurement path.
+
+Testing resilience against a hostile host requires the hostility itself to
+be reproducible.  A :class:`FaultPlan` schedules failures at exact
+``(category, index)`` measurement keys — the same identity that keys
+per-sample measurement noise — so a test can say "the third measurement of
+category 1 times out twice, then succeeds" and get that script verbatim on
+every run, under any worker count.
+
+Failure modes mirror what real ``perf stat`` does in the wild:
+
+* ``TIMEOUT`` — the measured subprocess overran its deadline
+  (:class:`subprocess.TimeoutExpired` territory);
+* ``EXIT_CODE`` — ``perf`` exited nonzero (paranoid-level flip, PMU
+  contention);
+* ``GARBAGE`` — ``perf`` wrote un-parseable CSV (truncated stderr,
+  interleaved kernel warnings);
+* ``WORKER_DEATH`` — the measuring worker process is killed outright
+  (OOM killer, cgroup limit); only meaningful under the parallel
+  executor's supervision.
+
+:class:`FlakyBackend` wraps any real backend and executes the plan, so the
+whole retry/supervision stack can be exercised on the deterministic sim
+backend.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import os
+import signal
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError, PerfUnavailableError
+from ..hpc.backend import HpcBackend, Measurement
+from ..hpc.parse import parse_perf_stat_csv
+from ..obs import runtime as obs
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "FlakyBackend"]
+
+
+class FaultKind(enum.Enum):
+    """Injectable failure modes of one measurement attempt."""
+
+    TIMEOUT = "timeout"
+    EXIT_CODE = "exit-code"
+    GARBAGE = "garbage"
+    WORKER_DEATH = "worker-death"
+
+
+#: CSV fed through the real perf parser by ``GARBAGE`` faults, so the
+#: injected failure exercises the same code path as a truncated stderr.
+_GARBAGE_CSV = "###,perf,stat,mangled\nnot-a-number,,unknown-event,,\n"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Attributes:
+        kind: Failure mode.
+        category: Measurement key's category component.
+        index: Measurement key's sample-index component.
+        times: How many attempts at this key fail before attempts start
+            succeeding; ``-1`` means the key fails forever (a *persistent*
+            fault — retries cannot save it).
+    """
+
+    kind: FaultKind
+    category: int
+    index: int
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.times == 0 or self.times < -1:
+            raise ConfigError(
+                f"times must be positive or -1 (forever), got {self.times}")
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.category, self.index)
+
+
+class FaultPlan:
+    """Deterministic schedule of measurement faults.
+
+    Attempt numbers are tracked per key.  In-memory counters are enough
+    for faults that the failing process itself survives (timeouts, bad
+    exits, garbage output).  ``WORKER_DEATH`` kills the counting process,
+    so its attempts are tracked as marker files under ``state_dir`` —
+    created *before* the process dies — making the count visible to the
+    resubmitted attempt in a fresh worker.
+
+    Args:
+        faults: Scheduled faults; at most one per ``(category, index)``.
+        state_dir: Directory for cross-process attempt markers; required
+            when the plan contains ``WORKER_DEATH`` faults.
+    """
+
+    def __init__(self, faults: Sequence[FaultSpec],
+                 state_dir: Optional[os.PathLike] = None):
+        self._by_key: Dict[Tuple[int, int], FaultSpec] = {}
+        for spec in faults:
+            if spec.key in self._by_key:
+                raise ConfigError(
+                    f"duplicate fault for measurement key {spec.key}")
+            self._by_key[spec.key] = spec
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        if self.state_dir is None and any(
+                spec.kind is FaultKind.WORKER_DEATH
+                for spec in self._by_key.values()):
+            raise ConfigError(
+                "WORKER_DEATH faults need a state_dir: the dying process "
+                "cannot keep an in-memory attempt count")
+        self._attempts: Dict[Tuple[int, int], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    @property
+    def faults(self) -> Tuple[FaultSpec, ...]:
+        return tuple(self._by_key.values())
+
+    # ------------------------------------------------------------------
+    # Attempt accounting
+    # ------------------------------------------------------------------
+
+    def _next_attempt(self, key: Tuple[int, int]) -> int:
+        """Allocate this key's next 0-based attempt number."""
+        if self.state_dir is None:
+            attempt = self._attempts.get(key, 0)
+            self._attempts[key] = attempt + 1
+            return attempt
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        for attempt in itertools.count():
+            marker = self.state_dir / f"attempt-{key[0]}-{key[1]}-{attempt}"
+            try:
+                os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+            except FileExistsError:
+                continue
+            return attempt
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def fault_for(self, key: Tuple[int, int]) -> Optional[FaultSpec]:
+        """The fault to raise for this attempt at ``key`` (None = clean).
+
+        Calling this *consumes* one attempt at the key: a ``times=2``
+        fault returns itself on the first two calls and ``None`` after.
+        """
+        spec = self._by_key.get(tuple(key))
+        if spec is None:
+            return None
+        attempt = self._next_attempt(spec.key)
+        if spec.times == -1 or attempt < spec.times:
+            return spec
+        return None
+
+
+class FlakyBackend(HpcBackend):
+    """Backend wrapper that injects a :class:`FaultPlan`'s failures.
+
+    Delegates everything to the wrapped backend — fingerprint, event set,
+    noise-key support, clean-batch warm-up — and consults the plan before
+    each :meth:`measure`.  A successful (non-faulted) attempt returns the
+    inner backend's measurement unchanged, so a faulty run that recovers
+    through retries is bit-identical to a clean run.
+
+    Args:
+        inner: The real backend to wrap (typically a
+            :class:`repro.hpc.SimBackend`).
+        plan: Fault schedule.
+    """
+
+    name = "flaky"
+
+    def __init__(self, inner: HpcBackend, plan: FaultPlan):
+        self.inner = inner
+        self.plan = plan
+        self._auto_index = 0
+
+    # -- delegated surface ---------------------------------------------
+
+    @property
+    def events(self):
+        return self.inner.events
+
+    @property
+    def supports_noise_keys(self) -> bool:
+        return bool(getattr(self.inner, "supports_noise_keys", False))
+
+    def fingerprint(self) -> str:
+        return self.inner.fingerprint()
+
+    def describe(self) -> str:
+        return (f"flaky wrapper ({len(self.plan)} scheduled faults) around: "
+                f"{self.inner.describe()}")
+
+    def measure_clean_batch(self, samples):
+        """Delegate clean warm-up batches to the inner backend.
+
+        Warm-up readouts are discarded, so faults are never injected here
+        — the plan targets *measured* keys only.
+        """
+        batch = getattr(self.inner, "measure_clean_batch", None)
+        if batch is None:
+            raise AttributeError("inner backend has no measure_clean_batch")
+        return batch(samples)
+
+    def reset_noise(self, seed=None) -> None:
+        """Forward a noise reset to the inner backend (when supported)."""
+        reset = getattr(self.inner, "reset_noise", None)
+        if reset is not None:
+            reset(seed)
+
+    def cleanup(self) -> None:
+        """Forward resource cleanup to the inner backend (when present)."""
+        cleanup = getattr(self.inner, "cleanup", None)
+        if cleanup is not None:
+            cleanup()
+
+    # -- fault execution -----------------------------------------------
+
+    def _execute(self, spec: FaultSpec) -> None:
+        obs.inc("faults.injected", kind=spec.kind.value)
+        if spec.kind is FaultKind.TIMEOUT:
+            raise PerfUnavailableError(
+                f"injected fault: measurement at key {spec.key} timed out")
+        if spec.kind is FaultKind.EXIT_CODE:
+            raise PerfUnavailableError(
+                f"injected fault: perf stat exited nonzero (rc=71) at "
+                f"key {spec.key}")
+        if spec.kind is FaultKind.GARBAGE:
+            try:
+                parse_perf_stat_csv(_GARBAGE_CSV)
+            except Exception as exc:
+                raise PerfUnavailableError(
+                    f"injected fault: unparseable perf output at key "
+                    f"{spec.key}: {exc}") from exc
+            raise AssertionError(
+                "garbage CSV unexpectedly parsed")  # pragma: no cover
+        if spec.kind is FaultKind.WORKER_DEATH:
+            # The marker recording this attempt is already on disk
+            # (written by FaultPlan.fault_for), so the resubmitted chunk
+            # sees attempt numbers past this death.
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise AssertionError(f"unknown fault kind {spec.kind}")
+
+    def measure(self, sample: np.ndarray,
+                noise_key: Optional[Tuple[int, int]] = None) -> Measurement:
+        """Measure through the inner backend, unless a fault is scheduled.
+
+        Args:
+            sample: Input to classify.
+            noise_key: ``(category, index)`` identity; unkeyed calls are
+                auto-numbered ``(-1, 0)``, ``(-1, 1)``, ... like the sim
+                backend's unkeyed noise.
+        """
+        key = noise_key
+        if key is None:
+            key = (-1, self._auto_index)
+            self._auto_index += 1
+        spec = self.plan.fault_for(key)
+        if spec is not None:
+            self._execute(spec)
+        if noise_key is not None and self.supports_noise_keys:
+            return self.inner.measure(sample, noise_key=noise_key)
+        return self.inner.measure(sample)

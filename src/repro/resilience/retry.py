@@ -1,0 +1,153 @@
+"""Retry policies for flaky measurement backends.
+
+Real ``perf stat`` acquisitions fail transiently all the time: counter
+multiplexing starves an event group, ``perf_event_paranoid`` flips under
+the evaluator's feet, a scheduler stall pushes the measured subprocess past
+its timeout.  Related hardware-measurement work (CSI-NN, arXiv:1810.09076;
+Shukla et al., arXiv:2208.01113) simply repeats and discards bad
+acquisitions; :class:`RetryPolicy` builds that into the pipeline.
+
+Retries are only sound because measurements are *idempotent*: a readout is
+a pure function of its ``(category, index)`` identity (the sim backend's
+per-sample noise keys) or an independent draw from the same physical
+distribution (real ``perf``).  Re-running a failed attempt therefore never
+skews the collected distributions — it only fills the hole the failure
+left.
+
+Backoff delays are deterministic: the jitter is derived by hashing
+``(seed, category, index, attempt)``, so two runs of the same failing
+schedule sleep identically — no wall-clock or global RNG state leaks into
+the measurement path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple, Type
+
+from ..errors import BackendError, ConfigError
+from ..obs import runtime as obs
+
+__all__ = ["RetryPolicy", "NO_RETRY"]
+
+#: Key used for jitter derivation when the caller has no measurement key.
+_DEFAULT_KEY = (-1, -1)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and deterministic jitter.
+
+    Args:
+        max_attempts: Total tries per operation (1 = no retry).
+        backoff_base: Delay before the second attempt, in seconds.
+        backoff_factor: Multiplier applied per further attempt.
+        max_backoff: Ceiling on any single delay.
+        jitter: Fractional jitter; each delay is scaled by a factor drawn
+            deterministically from ``[1 - jitter, 1 + jitter]``.
+        seed: Seed of the jitter hash (so schedules are reproducible).
+        retryable: Exception types worth retrying.  Defaults to
+            :class:`repro.errors.BackendError` — the base of every
+            acquisition failure, including
+            :class:`~repro.errors.PerfUnavailableError`.
+        sleep: Injectable sleep function (tests pass a recorder).
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+    retryable: Tuple[Type[BaseException], ...] = (BackendError,)
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0 or self.max_backoff < 0:
+            raise ConfigError("backoff delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    # ------------------------------------------------------------------
+    # Schedule
+    # ------------------------------------------------------------------
+
+    def delay(self, key: Optional[Tuple[int, int]], attempt: int) -> float:
+        """Seconds to wait after failed attempt number ``attempt`` (1-based).
+
+        The jitter factor is a pure function of ``(seed, key, attempt)``,
+        so the full backoff schedule of any measurement is reproducible.
+        """
+        category, index = key if key is not None else _DEFAULT_KEY
+        base = min(self.max_backoff,
+                   self.backoff_base * self.backoff_factor ** (attempt - 1))
+        if base <= 0 or self.jitter == 0:
+            return max(0.0, base)
+        digest = hashlib.sha256(
+            f"{self.seed}:{category}:{index}:{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:8], "little") / 2 ** 64  # [0, 1)
+        return base * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def call(self, operation: Callable[[], object],
+             key: Optional[Tuple[int, int]] = None,
+             label: str = "measure"):
+        """Run ``operation`` under this policy; return its result.
+
+        Retryable failures are counted (``retry.attempt``) and retried
+        after :meth:`delay`; the last failure is re-raised unchanged once
+        the budget is exhausted (``retry.exhausted``), so callers see the
+        original exception type.
+
+        Args:
+            operation: Zero-argument callable to (re-)execute.
+            key: ``(category, index)`` identity of the measurement —
+                feeds the deterministic jitter and the telemetry labels.
+            label: Short operation name for telemetry.
+        """
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return operation()
+            except self.retryable as exc:
+                obs.inc("retry.attempt", op=label,
+                        error=type(exc).__name__)
+                if attempt >= self.max_attempts:
+                    obs.inc("retry.exhausted", op=label)
+                    raise
+                pause = self.delay(key, attempt)
+                if pause > 0:
+                    self.sleep(pause)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def call_until(self, probe: Callable[[], bool],
+                   key: Optional[Tuple[int, int]] = None,
+                   label: str = "probe") -> bool:
+        """Repeat a boolean probe until it succeeds or attempts run out.
+
+        Unlike :meth:`call` this treats a falsy *return value* as the
+        transient failure — the shape of :func:`repro.hpc.perf_available`,
+        which reports problems as ``False`` rather than raising.
+        """
+        for attempt in range(1, self.max_attempts + 1):
+            if probe():
+                return True
+            obs.inc("retry.attempt", op=label, error="probe-false")
+            if attempt >= self.max_attempts:
+                obs.inc("retry.exhausted", op=label)
+                return False
+            pause = self.delay(key, attempt)
+            if pause > 0:
+                self.sleep(pause)
+        return False  # pragma: no cover
+
+
+#: Single-attempt policy: the "retries disabled" sentinel.
+NO_RETRY = RetryPolicy(max_attempts=1)

@@ -1,0 +1,164 @@
+"""Supervised execution of parallel measurement chunks.
+
+A plain ``multiprocessing.Pool`` gives the measurement executor nothing to
+work with when a worker dies: the parent either hangs or surfaces a bare
+pool traceback, and every chunk the dead worker held is silently lost.
+This module supervises the pool instead:
+
+* dead workers (OOM kill, segfault, ``SIGKILL``) break the pool; the
+  supervisor rebuilds it and resubmits exactly the chunks that never
+  reported a result — completed chunks are never re-measured, so no
+  ``(category, index)`` is lost or duplicated;
+* poisoned chunks (a task that raises) are retried a bounded number of
+  times, then recorded;
+* when either budget is exhausted, the supervisor raises a
+  :class:`repro.errors.MeasurementError` carrying structured per-chunk
+  diagnostics instead of a bare traceback.
+
+Built on :class:`concurrent.futures.ProcessPoolExecutor`, whose broken-pool
+detection is exactly the dead-worker signal ``multiprocessing.Pool`` lacks.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import MeasurementError
+from ..obs import runtime as obs
+
+__all__ = ["ChunkDiagnostic", "ChunkSupervisor"]
+
+
+@dataclass(frozen=True)
+class ChunkDiagnostic:
+    """What happened to one failed chunk.
+
+    Attributes:
+        category: Chunk's category.
+        start: First sample index (inclusive).
+        stop: Last sample index (exclusive).
+        attempts: Task attempts consumed (resubmissions after worker death
+            do not count — the chunk never ran to a verdict).
+        error: Message of the last failure.
+    """
+
+    category: int
+    start: int
+    stop: int
+    attempts: int
+    error: str
+
+    def format(self) -> str:
+        """One-line human-readable diagnosis of the chunk failure."""
+        return (f"chunk (category={self.category}, samples "
+                f"[{self.start}, {self.stop})): {self.error} "
+                f"(after {self.attempts} attempt(s))")
+
+
+class ChunkSupervisor:
+    """Runs chunk tasks across worker processes with failure containment.
+
+    Args:
+        context: Multiprocessing context (see
+            :func:`repro.parallel.resolve_context`).
+        workers: Worker-process count.
+        initializer: Per-worker initializer (the executor's
+            ``_init_worker``).
+        initargs: Initializer arguments.
+        max_restarts: Pool rebuilds tolerated after worker deaths before
+            giving up on the chunks still pending.
+        max_chunk_retries: Re-submissions allowed per chunk whose task
+            *raised* (total attempts per chunk = ``1 + max_chunk_retries``).
+    """
+
+    def __init__(self, context, workers: int,
+                 initializer: Optional[Callable] = None,
+                 initargs: Tuple = (),
+                 max_restarts: int = 3,
+                 max_chunk_retries: int = 2):
+        if workers < 1:
+            raise MeasurementError(f"workers must be >= 1, got {workers}")
+        if max_restarts < 0 or max_chunk_retries < 0:
+            raise MeasurementError(
+                "max_restarts and max_chunk_retries must be >= 0")
+        self.context = context
+        self.workers = workers
+        self.initializer = initializer
+        self.initargs = initargs
+        self.max_restarts = max_restarts
+        self.max_chunk_retries = max_chunk_retries
+
+    def run(self, task: Callable, chunks: Sequence) -> Dict[Tuple[int, int], object]:
+        """Execute ``task(chunk)`` for every chunk; return results by key.
+
+        Returns:
+            ``{(chunk.category, chunk.start): task result}`` with exactly
+            one entry per submitted chunk.
+
+        Raises:
+            MeasurementError: When any chunk exhausted its retries or the
+                pool broke more than ``max_restarts`` times; the error's
+                ``diagnostics`` list one :class:`ChunkDiagnostic` per
+                unfinished chunk.
+        """
+        completed: Dict[Tuple[int, int], object] = {}
+        attempts: Dict[Tuple[int, int], int] = {}
+        failed: List[ChunkDiagnostic] = []
+        pending = list(chunks)
+        restarts = 0
+        while pending:
+            resubmit: List = []
+            broke = False
+            with ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=self.context,
+                    initializer=self.initializer,
+                    initargs=self.initargs) as pool:
+                futures = {pool.submit(task, spec): spec for spec in pending}
+                for future in as_completed(futures):
+                    spec = futures[future]
+                    key = (spec.category, spec.start)
+                    try:
+                        completed[key] = future.result()
+                    except BrokenProcessPool:
+                        # The chunk never ran to a verdict — a worker died
+                        # under it (or it was queued behind the death).
+                        broke = True
+                        resubmit.append(spec)
+                        obs.inc("supervisor.chunk_lost",
+                                category=spec.category)
+                    except Exception as exc:
+                        used = attempts.get(key, 0) + 1
+                        attempts[key] = used
+                        obs.inc("supervisor.chunk_error",
+                                category=spec.category,
+                                error=type(exc).__name__)
+                        if used <= self.max_chunk_retries:
+                            resubmit.append(spec)
+                        else:
+                            failed.append(ChunkDiagnostic(
+                                spec.category, spec.start, spec.stop,
+                                attempts=used, error=str(exc)))
+            if broke:
+                restarts += 1
+                obs.inc("supervisor.restart")
+                if restarts > self.max_restarts:
+                    failed.extend(ChunkDiagnostic(
+                        spec.category, spec.start, spec.stop,
+                        attempts=attempts.get((spec.category, spec.start), 0),
+                        error="worker died and the pool-restart budget "
+                              f"({self.max_restarts}) is exhausted")
+                        for spec in resubmit)
+                    resubmit = []
+            pending = resubmit
+        if failed:
+            raise MeasurementError(
+                f"{len(failed)} measurement chunk(s) could not be "
+                "completed:\n  "
+                + "\n  ".join(diag.format() for diag in failed),
+                diagnostics=failed,
+            )
+        return completed

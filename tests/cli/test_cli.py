@@ -69,6 +69,26 @@ class TestParser:
         assert args.engine is None
         assert _config_from_args(args).engine == "compiled"
 
+    def test_backend_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--backend", "quantum"])
+
+    def test_backend_flag_reaches_config(self):
+        from repro.cli.main import _config_from_args
+        args = build_parser().parse_args(["evaluate", "--backend", "auto"])
+        assert _config_from_args(args).backend == "auto"
+        args = build_parser().parse_args(["evaluate"])
+        assert args.backend is None
+        assert _config_from_args(args).backend == "sim"
+
+    def test_retries_flag_reaches_config(self):
+        from repro.cli.main import _config_from_args
+        args = build_parser().parse_args(["evaluate", "--retries", "5"])
+        assert _config_from_args(args).retries == 5
+        args = build_parser().parse_args(["evaluate"])
+        assert args.retries is None
+        assert _config_from_args(args).retries == 3
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -81,7 +101,27 @@ class TestCommands:
         code = main(["perf-probe"])
         out = capsys.readouterr().out
         assert "perf hardware counters" in out
+        assert "backend=auto would select:" in out
         assert code in (0, 1)
+
+    def test_perf_probe_with_retries(self, capsys, monkeypatch):
+        probes = []
+
+        def failing_probe(events=(), timeout=10.0, retry=None):
+            if retry is not None:
+                return retry.call_until(
+                    lambda: failing_probe(events, timeout))
+            probes.append(1)
+            return False
+
+        monkeypatch.setattr("repro.hpc.perf_backend.perf_available",
+                            failing_probe)
+        code = main(["perf-probe", "--retries", "3"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "NOT available" in out
+        assert "backend=auto would select: sim" in out
+        assert len(probes) == 3  # the probe itself was retried
 
     def test_evaluate_tiny(self, tiny_args, fast_training, capsys):
         assert main(["evaluate"] + tiny_args) == 0

@@ -6,11 +6,13 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    BACKENDS,
     ExperimentConfig,
     build_model,
     cifar_experiment,
     mnist_experiment,
     prepare_model,
+    resolve_backend_choice,
     run_experiment,
 )
 from repro.errors import ConfigError
@@ -63,6 +65,61 @@ class TestConfig:
         # The engine never changes values, so cached models stay shared.
         assert (tiny_config(tmp_path, engine="layers").model_key()
                 == tiny_config(tmp_path, engine="compiled").model_key())
+
+    def test_backend_validation(self):
+        assert ExperimentConfig().backend == "sim"
+        for name in BACKENDS:
+            assert ExperimentConfig(backend=name).backend == name
+        with pytest.raises(ConfigError):
+            ExperimentConfig(backend="oscilloscope")
+
+    def test_retries_validation(self):
+        assert ExperimentConfig(retries=1).retries == 1
+        with pytest.raises(ConfigError):
+            ExperimentConfig(retries=0)
+
+    def test_retry_policy_derivation(self):
+        policy = ExperimentConfig(retries=4, noise_seed=9).retry_policy()
+        assert policy.max_attempts == 4
+        assert policy.seed == 9
+        assert ExperimentConfig(retries=1).retry_policy() is None
+
+
+class TestBackendResolution:
+    def test_explicit_backends_pass_through(self, tmp_path):
+        assert resolve_backend_choice(tiny_config(tmp_path)) == "sim"
+        assert resolve_backend_choice(
+            tiny_config(tmp_path, backend="perf")) == "perf"
+
+    def test_auto_prefers_perf_when_available(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.core.experiment.perf_available",
+                            lambda *a, **k: True)
+        config = tiny_config(tmp_path, backend="auto")
+        assert resolve_backend_choice(config) == "perf"
+
+    def test_auto_degrades_to_sim_with_warning(self, tmp_path, monkeypatch):
+        from repro import obs
+        monkeypatch.setattr("repro.core.experiment.perf_available",
+                            lambda *a, **k: False)
+        obs.configure(obs.TelemetryConfig(enabled=True, console=False))
+        try:
+            config = tiny_config(tmp_path, backend="auto")
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                assert resolve_backend_choice(config) == "sim"
+            snapshot = obs.active().snapshot()
+            assert snapshot.counter_value("backend.fallback",
+                                          requested="auto", used="sim") == 1.0
+        finally:
+            obs.reset()
+
+    def test_auto_end_to_end_runs_on_sim_fallback(self, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setattr("repro.core.experiment.perf_available",
+                            lambda *a, **k: False)
+        with pytest.warns(RuntimeWarning):
+            result = run_experiment(tiny_config(tmp_path, backend="auto"))
+        assert result.backend.name == "sim"
+        assert result.distributions.sample_count(0) == 3
 
 
 class TestBuildModel:

@@ -1,17 +1,40 @@
 """Tests for repro.hpc.perf_backend.
 
 Real hardware counters are rarely available in CI containers; the behaviour
-tests run only where ``perf`` works, while the availability probing and
-failure paths are always exercised.
+tests run only where ``perf`` works, while the availability probing,
+failure, and lifecycle paths are exercised everywhere by faking the
+``perf stat`` subprocess.
 """
+
+import subprocess
+import types
 
 import pytest
 
 from repro.errors import PerfUnavailableError
 from repro.hpc import PerfBackend, perf_available
+from repro.resilience import RetryPolicy
 from repro.uarch import HpcEvent
 
 PERF_OK = perf_available()
+
+#: Minimal well-formed ``perf stat -x,`` stderr for the probe's event set.
+_GOOD_CSV = "12345,,cycles,1000,100.00,,\n"
+
+
+def _fake_run(stdout="7\n", stderr=_GOOD_CSV, returncode=0):
+    def run(argv, **kwargs):
+        return types.SimpleNamespace(returncode=returncode, stdout=stdout,
+                                     stderr=stderr)
+    return run
+
+
+@pytest.fixture()
+def fake_perf(monkeypatch):
+    """Make PerfBackend constructible and measurable without real perf."""
+    monkeypatch.setattr("repro.hpc.perf_backend.perf_available",
+                        lambda *a, **k: True)
+    monkeypatch.setattr("subprocess.run", _fake_run())
 
 
 class TestAvailabilityProbe:
@@ -31,6 +54,132 @@ class TestUnavailableHost:
     def test_backend_construction_raises(self, tiny_trained_model):
         with pytest.raises(PerfUnavailableError):
             PerfBackend(tiny_trained_model)
+
+
+class TestFailurePaths:
+    """Acquisition failures with a faked perf subprocess."""
+
+    def test_timeout_becomes_retryable_error(self, fake_perf, monkeypatch,
+                                             tiny_trained_model,
+                                             digits_dataset):
+        with PerfBackend(tiny_trained_model,
+                         events=(HpcEvent.CYCLES,), timeout=3.0) as backend:
+            def stall(argv, **kwargs):
+                raise subprocess.TimeoutExpired(argv, 3.0)
+            monkeypatch.setattr("subprocess.run", stall)
+            with pytest.raises(PerfUnavailableError, match="timeout"):
+                backend.measure(digits_dataset.images[0])
+
+    def test_nonzero_exit_raises(self, fake_perf, monkeypatch,
+                                 tiny_trained_model, digits_dataset):
+        with PerfBackend(tiny_trained_model,
+                         events=(HpcEvent.CYCLES,)) as backend:
+            monkeypatch.setattr("subprocess.run",
+                                _fake_run(returncode=1, stderr="boom"))
+            with pytest.raises(PerfUnavailableError, match="rc=1"):
+                backend.measure(digits_dataset.images[0])
+
+    def test_garbage_csv_raises(self, fake_perf, monkeypatch,
+                                tiny_trained_model, digits_dataset):
+        with PerfBackend(tiny_trained_model,
+                         events=(HpcEvent.CYCLES,)) as backend:
+            monkeypatch.setattr(
+                "subprocess.run",
+                _fake_run(stderr="this is not,perf output at all"))
+            with pytest.raises(Exception):
+                backend.measure(digits_dataset.images[0])
+
+    def test_retry_policy_rides_over_transient_failures(
+            self, fake_perf, monkeypatch, tiny_trained_model, digits_dataset):
+        calls = {"n": 0}
+        good = _fake_run()
+
+        def flaky_run(argv, **kwargs):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise subprocess.TimeoutExpired(argv, 1.0)
+            return good(argv, **kwargs)
+
+        retry = RetryPolicy(max_attempts=3, sleep=lambda _: None)
+        with PerfBackend(tiny_trained_model, events=(HpcEvent.CYCLES,),
+                         retry=retry) as backend:
+            monkeypatch.setattr("subprocess.run", flaky_run)
+            measurement = backend.measure(digits_dataset.images[0])
+        assert measurement.prediction == 7
+        assert calls["n"] == 3
+
+
+class TestScratchDirLifecycle:
+    def test_measure_leaves_no_sample_files(self, fake_perf,
+                                            tiny_trained_model,
+                                            digits_dataset):
+        with PerfBackend(tiny_trained_model,
+                         events=(HpcEvent.CYCLES,)) as backend:
+            workdir = backend._workdir
+            backend.measure(digits_dataset.images[0])
+            backend.measure(digits_dataset.images[1])
+            leftovers = [p.name for p in workdir.iterdir()
+                         if p.name.startswith("sample-")]
+            assert leftovers == []
+
+    def test_failed_measure_leaves_no_sample_files(self, fake_perf,
+                                                   monkeypatch,
+                                                   tiny_trained_model,
+                                                   digits_dataset):
+        with PerfBackend(tiny_trained_model,
+                         events=(HpcEvent.CYCLES,)) as backend:
+            monkeypatch.setattr("subprocess.run",
+                                _fake_run(returncode=1, stderr=""))
+            with pytest.raises(PerfUnavailableError):
+                backend.measure(digits_dataset.images[0])
+            leftovers = [p.name for p in backend._workdir.iterdir()
+                         if p.name.startswith("sample-")]
+            assert leftovers == []
+
+    def test_context_manager_removes_workdir(self, fake_perf,
+                                             tiny_trained_model):
+        with PerfBackend(tiny_trained_model,
+                         events=(HpcEvent.CYCLES,)) as backend:
+            workdir = backend._workdir
+            assert workdir.is_dir()
+        assert not workdir.exists()
+
+    def test_cleanup_is_idempotent(self, fake_perf, tiny_trained_model):
+        backend = PerfBackend(tiny_trained_model, events=(HpcEvent.CYCLES,))
+        workdir = backend._workdir
+        backend.cleanup()
+        backend.cleanup()
+        assert not workdir.exists()
+
+    def test_garbage_collection_reclaims_workdir(self, fake_perf,
+                                                 tiny_trained_model):
+        backend = PerfBackend(tiny_trained_model, events=(HpcEvent.CYCLES,))
+        workdir = backend._workdir
+        finalizer = backend._finalizer
+        del backend
+        finalizer()  # what gc would eventually trigger
+        assert not workdir.exists()
+
+    def test_failed_init_does_not_leak_workdir(self, fake_perf, monkeypatch,
+                                               tiny_trained_model):
+        created = []
+        import tempfile as _tempfile
+        real_mkdtemp = _tempfile.mkdtemp
+
+        def recording_mkdtemp(*args, **kwargs):
+            path = real_mkdtemp(*args, **kwargs)
+            created.append(path)
+            return path
+
+        monkeypatch.setattr("tempfile.mkdtemp", recording_mkdtemp)
+        monkeypatch.setattr("repro.hpc.perf_backend.save_model",
+                            lambda *a, **k: (_ for _ in ()).throw(
+                                OSError("disk full")))
+        with pytest.raises(OSError):
+            PerfBackend(tiny_trained_model, events=(HpcEvent.CYCLES,))
+        assert len(created) == 1
+        import pathlib
+        assert not pathlib.Path(created[0]).exists()
 
 
 @pytest.mark.skipif(not PERF_OK, reason="perf hardware counters unavailable")

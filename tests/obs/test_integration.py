@@ -48,11 +48,17 @@ class TestExperimentTelemetry:
         assert len(root.find("measure.category")) == 2
         assert len(root.find("evaluate.ttests")) == 1
 
-        # Cold run: both artifact caches miss, then write.
+        # Cold run: both artifact caches miss, then write.  Per-category
+        # checkpoint traffic is labelled separately and never skews the
+        # headline cache counters.
         assert snapshot.counter_value("cache.miss", kind="model") == 1.0
         assert snapshot.counter_value("cache.miss", kind="measurement") == 1.0
+        assert snapshot.counter_value("cache.miss", kind="checkpoint") == 2.0
         assert snapshot.counter_value("cache.hit") == 0.0
-        assert snapshot.counter_value("cache.write") == 2.0
+        assert snapshot.counter_value("cache.write", kind="model") == 1.0
+        assert snapshot.counter_value("cache.write", kind="measurement") == 1.0
+        assert snapshot.counter_value("cache.write", kind="checkpoint") == 2.0
+        assert snapshot.counter_value("checkpoint.write") == 2.0
         assert snapshot.counter_value("measurement.samples") == 6.0
         assert snapshot.counter_value("ttest.pairs") == 8.0
 

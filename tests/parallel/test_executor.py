@@ -38,6 +38,13 @@ class TestPlanChunks:
         with pytest.raises(MeasurementError):
             plan_chunks({0: 0}, workers=2)
 
+    def test_names_every_empty_category_up_front(self):
+        # The plan must fail atomically: no chunks for the valid
+        # categories, and one error naming *all* offenders.
+        with pytest.raises(MeasurementError) as excinfo:
+            plan_chunks({0: 5, 1: 0, 2: 3, 7: 0, 4: -2}, workers=2)
+        assert "1, 4, 7" in str(excinfo.value)
+
 
 class TestResolveContext:
     def test_returns_a_usable_context(self):

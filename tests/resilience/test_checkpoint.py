@@ -1,0 +1,150 @@
+"""Tests for MeasurementSession incremental checkpointing + lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PerfUnavailableError
+from repro.hpc import MeasurementCache, MeasurementSession, SimBackend
+from repro.resilience import FaultKind, FaultPlan, FaultSpec, FlakyBackend
+
+
+class _CountingBackend:
+    """Keyed delegating backend that counts measure() calls."""
+
+    supports_noise_keys = True
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    def measure(self, sample, noise_key=None):
+        self.calls += 1
+        return self.inner.measure(sample, noise_key=noise_key)
+
+    def fingerprint(self):
+        return self.inner.fingerprint()
+
+    @property
+    def events(self):
+        return self.inner.events
+
+
+@pytest.fixture()
+def backend(tiny_trained_model):
+    return SimBackend(tiny_trained_model, noise_scale=1.0, seed=13)
+
+
+class TestCheckpointResume:
+    def test_interrupted_collect_resumes_from_checkpoints(
+            self, backend, digits_dataset, tmp_path):
+        cache = MeasurementCache(tmp_path / "cache")
+        clean = MeasurementSession(backend, warmup=0).collect(
+            digits_dataset, [0, 1, 2], 4)
+        # First run dies on category 1's first measurement, after
+        # category 0 completed and was checkpointed.
+        dying = FlakyBackend(backend, FaultPlan(
+            [FaultSpec(FaultKind.TIMEOUT, 1, 0, times=-1)]))
+        session = MeasurementSession(dying, warmup=0, cache=cache)
+        with pytest.raises(PerfUnavailableError):
+            session.collect(digits_dataset, [0, 1, 2], 4)
+        # Second run: category 0 must come from its checkpoint, the rest
+        # is measured fresh; the merged result equals a clean pass.
+        counting = _CountingBackend(backend)
+        resumed = MeasurementSession(counting, warmup=0, cache=cache).collect(
+            digits_dataset, [0, 1, 2], 4)
+        assert counting.calls == 8  # categories 1 and 2 only
+        for category in (0, 1, 2):
+            for event in clean.events:
+                np.testing.assert_array_equal(
+                    resumed.values(category, event),
+                    clean.values(category, event))
+
+    def test_checkpoints_removed_after_successful_collect(
+            self, backend, digits_dataset, tmp_path):
+        cache = MeasurementCache(tmp_path / "cache")
+        session = MeasurementSession(backend, warmup=0, cache=cache)
+        session.collect(digits_dataset, [0, 1], 3)
+        entries = list((tmp_path / "cache").glob("measure-*.npz"))
+        assert len(entries) == 1  # the final entry only, no partials
+
+    def test_checkpointing_disabled_leaves_no_partials(
+            self, backend, digits_dataset, tmp_path):
+        cache = MeasurementCache(tmp_path / "cache")
+        dying = FlakyBackend(backend, FaultPlan(
+            [FaultSpec(FaultKind.TIMEOUT, 1, 0, times=-1)]))
+        session = MeasurementSession(dying, warmup=0, cache=cache,
+                                     checkpoint=False)
+        with pytest.raises(PerfUnavailableError):
+            session.collect(digits_dataset, [0, 1], 3)
+        assert list((tmp_path / "cache").glob("measure-*.npz")) == []
+
+    def test_full_cache_hit_still_short_circuits(self, backend,
+                                                 digits_dataset, tmp_path):
+        cache = MeasurementCache(tmp_path / "cache")
+        first = MeasurementSession(backend, warmup=0, cache=cache).collect(
+            digits_dataset, [0, 1], 3)
+        counting = _CountingBackend(backend)
+        second = MeasurementSession(counting, warmup=0, cache=cache).collect(
+            digits_dataset, [0, 1], 3)
+        assert counting.calls == 0
+        for event in first.events:
+            np.testing.assert_array_equal(second.values(0, event),
+                                          first.values(0, event))
+
+    def test_resume_survives_process_boundaries_via_disk(
+            self, backend, digits_dataset, tmp_path):
+        # Checkpoints must live in the cache directory, not in session
+        # state: a brand-new session (fresh process, after a crash) with
+        # the same cache resumes.
+        cache_dir = tmp_path / "cache"
+        dying = FlakyBackend(backend, FaultPlan(
+            [FaultSpec(FaultKind.EXIT_CODE, 1, 2, times=-1)]))
+        with pytest.raises(PerfUnavailableError):
+            MeasurementSession(dying, warmup=0,
+                               cache=MeasurementCache(cache_dir)).collect(
+                digits_dataset, [0, 1], 4)
+        partials = list(cache_dir.glob("measure-*.npz"))
+        assert len(partials) == 1  # category 0's checkpoint hit the disk
+        resumed = MeasurementSession(
+            backend, warmup=0, cache=MeasurementCache(cache_dir)).collect(
+            digits_dataset, [0, 1], 4)
+        assert resumed.sample_count(0) == 4
+        assert resumed.sample_count(1) == 4
+
+
+class TestCacheRemove:
+    def test_remove_drops_entry(self, tmp_path):
+        from repro.hpc import EventDistributions
+        from repro.uarch import HpcEvent
+        cache = MeasurementCache(tmp_path)
+        cache.put("key", EventDistributions(
+            {0: {HpcEvent.CYCLES: np.array([1.0, 2.0])}}))
+        cache.remove("key")
+        assert cache.get("key") is None
+
+    def test_remove_missing_is_fine(self, tmp_path):
+        MeasurementCache(tmp_path).remove("never-written")
+
+
+class TestSessionLifecycle:
+    def test_context_manager_calls_backend_cleanup(self, tiny_trained_model):
+        class _Closable:
+            supports_noise_keys = False
+            cleaned = False
+
+            def measure(self, sample):
+                raise NotImplementedError
+
+            def fingerprint(self):
+                return "closable"
+
+            def cleanup(self):
+                self.cleaned = True
+
+        backend = _Closable()
+        with MeasurementSession(backend, warmup=0) as session:
+            assert session.backend is backend
+        assert backend.cleaned is True
+
+    def test_close_without_cleanup_hook_is_fine(self, backend):
+        MeasurementSession(backend, warmup=0).close()

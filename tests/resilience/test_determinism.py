@@ -1,0 +1,100 @@
+"""Acceptance: fault-riddled runs are bit-identical to clean runs.
+
+With ``RetryPolicy(max_attempts=3)``, a sim-backend collection where ~10%
+of measurements suffer injected transient faults (timeouts + garbage
+readouts) must produce byte-for-byte the same distributions — and the
+Evaluator the same verdicts — as a fault-free run.  Resilience must be
+invisible in the data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Evaluator
+from repro.hpc import MeasurementSession, SimBackend
+from repro.resilience import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    FlakyBackend,
+    RetryPolicy,
+)
+
+CATEGORIES = [0, 1, 2]
+SAMPLES = 10
+
+
+def ten_percent_plan():
+    """Transient faults on ~10% of the 30 measurement keys."""
+    return FaultPlan([
+        FaultSpec(FaultKind.TIMEOUT, 0, 3, times=1),
+        FaultSpec(FaultKind.GARBAGE, 1, 0, times=2),
+        FaultSpec(FaultKind.TIMEOUT, 2, 7, times=1),
+    ])
+
+
+@pytest.fixture()
+def backend(tiny_trained_model):
+    return SimBackend(tiny_trained_model, noise_scale=1.0, seed=21)
+
+
+def _collect(session, dataset, workers=None):
+    return session.collect(dataset, CATEGORIES, SAMPLES, workers=workers)
+
+
+def assert_identical(first, second):
+    assert first.categories == second.categories
+    for category in first.categories:
+        for event in first.events:
+            np.testing.assert_array_equal(first.values(category, event),
+                                          second.values(category, event))
+
+
+class TestFaultedRunsAreBitIdentical:
+    def test_sequential(self, backend, digits_dataset):
+        clean = _collect(MeasurementSession(backend, warmup=0),
+                         digits_dataset)
+        flaky = FlakyBackend(backend, ten_percent_plan())
+        retry = RetryPolicy(max_attempts=3, backoff_base=0.0)
+        faulted = _collect(
+            MeasurementSession(flaky, warmup=0, retry=retry), digits_dataset)
+        assert_identical(clean, faulted)
+
+    def test_parallel(self, backend, digits_dataset):
+        clean = _collect(MeasurementSession(backend, warmup=0),
+                         digits_dataset)
+        flaky = FlakyBackend(backend, ten_percent_plan())
+        retry = RetryPolicy(max_attempts=3, backoff_base=0.0)
+        faulted = _collect(
+            MeasurementSession(flaky, warmup=0, retry=retry),
+            digits_dataset, workers=3)
+        assert_identical(clean, faulted)
+
+    def test_verdicts_identical(self, backend, digits_dataset):
+        evaluator = Evaluator(confidence=0.95)
+        clean_report = evaluator.evaluate(
+            _collect(MeasurementSession(backend, warmup=0), digits_dataset))
+        flaky = FlakyBackend(backend, ten_percent_plan())
+        retry = RetryPolicy(max_attempts=3, backoff_base=0.0)
+        faulted_report = evaluator.evaluate(_collect(
+            MeasurementSession(flaky, warmup=0, retry=retry),
+            digits_dataset))
+        assert faulted_report.alarm == clean_report.alarm
+        assert len(faulted_report.results) == len(clean_report.results)
+        for clean_pair, faulted_pair in zip(clean_report.results,
+                                            faulted_report.results):
+            assert faulted_pair.event == clean_pair.event
+            assert faulted_pair.pair == clean_pair.pair
+            assert faulted_pair.ttest.statistic == clean_pair.ttest.statistic
+            assert faulted_pair.ttest.p_value == clean_pair.ttest.p_value
+            assert (faulted_pair.distinguishable
+                    == clean_pair.distinguishable)
+
+    def test_warmup_runs_are_also_identical(self, backend, digits_dataset):
+        clean = _collect(MeasurementSession(backend, warmup=2),
+                         digits_dataset)
+        flaky = FlakyBackend(backend, ten_percent_plan())
+        retry = RetryPolicy(max_attempts=3, backoff_base=0.0)
+        faulted = _collect(
+            MeasurementSession(flaky, warmup=2, retry=retry), digits_dataset)
+        assert_identical(clean, faulted)

@@ -1,0 +1,128 @@
+"""Tests for repro.resilience.faults (deterministic fault injection)."""
+
+import pytest
+
+from repro.errors import ConfigError, PerfUnavailableError
+from repro.hpc import SimBackend
+from repro.resilience import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    FlakyBackend,
+    RetryPolicy,
+)
+
+
+class TestFaultSpec:
+    def test_rejects_zero_times(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(FaultKind.TIMEOUT, 0, 0, times=0)
+
+    def test_rejects_below_minus_one(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(FaultKind.TIMEOUT, 0, 0, times=-2)
+
+    def test_forever_is_allowed(self):
+        assert FaultSpec(FaultKind.TIMEOUT, 0, 0, times=-1).times == -1
+
+
+class TestFaultPlan:
+    def test_rejects_duplicate_keys(self):
+        with pytest.raises(ConfigError):
+            FaultPlan([FaultSpec(FaultKind.TIMEOUT, 0, 1),
+                       FaultSpec(FaultKind.GARBAGE, 0, 1)])
+
+    def test_worker_death_requires_state_dir(self):
+        with pytest.raises(ConfigError, match="state_dir"):
+            FaultPlan([FaultSpec(FaultKind.WORKER_DEATH, 0, 0)])
+
+    def test_transient_fault_clears_after_times(self):
+        plan = FaultPlan([FaultSpec(FaultKind.TIMEOUT, 1, 2, times=2)])
+        assert plan.fault_for((1, 2)) is not None
+        assert plan.fault_for((1, 2)) is not None
+        assert plan.fault_for((1, 2)) is None
+
+    def test_persistent_fault_never_clears(self):
+        plan = FaultPlan([FaultSpec(FaultKind.TIMEOUT, 0, 0, times=-1)])
+        for _ in range(5):
+            assert plan.fault_for((0, 0)) is not None
+
+    def test_unscheduled_keys_are_clean(self):
+        plan = FaultPlan([FaultSpec(FaultKind.TIMEOUT, 0, 0)])
+        assert plan.fault_for((0, 1)) is None
+        assert plan.fault_for((3, 0)) is None
+
+    def test_file_backed_attempts_survive_new_plan_objects(self, tmp_path):
+        # Simulates the worker-death situation: the counting process dies,
+        # a fresh plan object (fresh fork) must see prior attempts.
+        first = FaultPlan([FaultSpec(FaultKind.TIMEOUT, 0, 0, times=1)],
+                          state_dir=tmp_path)
+        assert first.fault_for((0, 0)) is not None
+        second = FaultPlan([FaultSpec(FaultKind.TIMEOUT, 0, 0, times=1)],
+                           state_dir=tmp_path)
+        assert second.fault_for((0, 0)) is None
+
+
+class TestFlakyBackend:
+    @pytest.fixture()
+    def inner(self, tiny_trained_model):
+        return SimBackend(tiny_trained_model, noise_scale=1.0, seed=11)
+
+    def test_clean_keys_pass_through_unchanged(self, inner, digits_dataset):
+        sample = digits_dataset.images[0]
+        flaky = FlakyBackend(inner, FaultPlan([]))
+        direct = inner.measure(sample, noise_key=(0, 0))
+        wrapped = flaky.measure(sample, noise_key=(0, 0))
+        assert wrapped.prediction == direct.prediction
+        assert wrapped.counts == direct.counts
+
+    @pytest.mark.parametrize("kind", [FaultKind.TIMEOUT, FaultKind.EXIT_CODE,
+                                      FaultKind.GARBAGE])
+    def test_fault_kinds_raise_retryable_error(self, kind, inner,
+                                               digits_dataset):
+        flaky = FlakyBackend(inner, FaultPlan([FaultSpec(kind, 0, 0)]))
+        with pytest.raises(PerfUnavailableError):
+            flaky.measure(digits_dataset.images[0], noise_key=(0, 0))
+
+    def test_transient_fault_recovers_to_exact_clean_value(self, inner,
+                                                           digits_dataset):
+        sample = digits_dataset.images[0]
+        clean = inner.measure(sample, noise_key=(2, 5))
+        flaky = FlakyBackend(
+            inner, FaultPlan([FaultSpec(FaultKind.TIMEOUT, 2, 5, times=1)]))
+        with pytest.raises(PerfUnavailableError):
+            flaky.measure(sample, noise_key=(2, 5))
+        recovered = flaky.measure(sample, noise_key=(2, 5))
+        assert recovered.counts == clean.counts
+
+    def test_retry_policy_rides_over_faults(self, inner, digits_dataset):
+        sample = digits_dataset.images[0]
+        clean = inner.measure(sample, noise_key=(1, 1))
+        flaky = FlakyBackend(
+            inner, FaultPlan([FaultSpec(FaultKind.GARBAGE, 1, 1, times=2)]))
+        policy = RetryPolicy(max_attempts=3, sleep=lambda _: None)
+        measured = policy.call(
+            lambda: flaky.measure(sample, noise_key=(1, 1)), key=(1, 1))
+        assert measured.counts == clean.counts
+
+    def test_delegates_backend_surface(self, inner):
+        flaky = FlakyBackend(inner, FaultPlan([]))
+        assert flaky.supports_noise_keys is True
+        assert flaky.fingerprint() == inner.fingerprint()
+        assert flaky.events == inner.events
+        assert "flaky" in flaky.describe()
+
+    def test_unkeyed_calls_auto_number(self, inner, digits_dataset):
+        sample = digits_dataset.images[0]
+        flaky = FlakyBackend(
+            inner, FaultPlan([FaultSpec(FaultKind.TIMEOUT, -1, 1)]))
+        flaky.measure(sample)  # key (-1, 0): clean
+        with pytest.raises(PerfUnavailableError):
+            flaky.measure(sample)  # key (-1, 1): faulted
+
+    def test_clean_batch_is_never_faulted(self, inner, digits_dataset):
+        flaky = FlakyBackend(
+            inner,
+            FaultPlan([FaultSpec(FaultKind.TIMEOUT, 0, 0, times=-1)]))
+        batch = flaky.measure_clean_batch(digits_dataset.images[:2])
+        assert len(batch) == 2

@@ -1,0 +1,168 @@
+"""Tests for repro.resilience.retry (bounded deterministic retry)."""
+
+import pytest
+
+from repro import obs
+from repro.errors import (
+    BackendError,
+    ConfigError,
+    MeasurementError,
+    PerfUnavailableError,
+)
+from repro.resilience import NO_RETRY, RetryPolicy
+
+
+def no_sleep_policy(**overrides):
+    sleeps = []
+    defaults = dict(max_attempts=3, sleep=sleeps.append)
+    defaults.update(overrides)
+    return RetryPolicy(**defaults), sleeps
+
+
+class _Flaky:
+    """Callable failing a scripted number of times before succeeding."""
+
+    def __init__(self, failures, exc=PerfUnavailableError):
+        self.failures = failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"transient failure #{self.calls}")
+        return "ok"
+
+
+class TestValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_negative_backoff(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_base=-1.0)
+
+    def test_rejects_out_of_range_jitter(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestCall:
+    def test_returns_on_first_success(self):
+        policy, sleeps = no_sleep_policy()
+        flaky = _Flaky(failures=0)
+        assert policy.call(flaky) == "ok"
+        assert flaky.calls == 1
+        assert sleeps == []
+
+    def test_retries_transient_failures(self):
+        policy, sleeps = no_sleep_policy()
+        flaky = _Flaky(failures=2)
+        assert policy.call(flaky, key=(1, 4)) == "ok"
+        assert flaky.calls == 3
+        assert len(sleeps) == 2
+
+    def test_exhaustion_reraises_original_error(self):
+        policy, _ = no_sleep_policy()
+        flaky = _Flaky(failures=99)
+        with pytest.raises(PerfUnavailableError, match="transient"):
+            policy.call(flaky)
+        assert flaky.calls == 3
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        policy, _ = no_sleep_policy()
+        flaky = _Flaky(failures=99, exc=ValueError)
+        with pytest.raises(ValueError):
+            policy.call(flaky)
+        assert flaky.calls == 1
+
+    def test_measurement_error_is_not_retryable_by_default(self):
+        # MeasurementError signals bad *requests*, not flaky acquisition.
+        policy, _ = no_sleep_policy()
+        flaky = _Flaky(failures=99, exc=MeasurementError)
+        with pytest.raises(MeasurementError):
+            policy.call(flaky)
+        assert flaky.calls == 1
+
+    def test_backend_error_base_is_retryable(self):
+        policy, _ = no_sleep_policy()
+        flaky = _Flaky(failures=1, exc=BackendError)
+        assert policy.call(flaky) == "ok"
+
+    def test_no_retry_sentinel_is_single_attempt(self):
+        flaky = _Flaky(failures=1)
+        with pytest.raises(PerfUnavailableError):
+            NO_RETRY.call(flaky)
+        assert flaky.calls == 1
+
+
+class TestBackoffSchedule:
+    def test_delay_is_deterministic_per_key_and_attempt(self):
+        policy = RetryPolicy(max_attempts=5, seed=7)
+        twin = RetryPolicy(max_attempts=5, seed=7)
+        for attempt in (1, 2, 3):
+            assert policy.delay((2, 9), attempt) == twin.delay((2, 9), attempt)
+
+    def test_delay_varies_with_key_attempt_and_seed(self):
+        policy = RetryPolicy(jitter=0.5)
+        assert policy.delay((0, 0), 1) != policy.delay((0, 1), 1)
+        assert policy.delay((0, 0), 1) != policy.delay((0, 0), 2)
+        assert (policy.delay((0, 0), 1)
+                != RetryPolicy(jitter=0.5, seed=1).delay((0, 0), 1))
+
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(max_attempts=10, backoff_base=0.1,
+                             backoff_factor=2.0, max_backoff=0.5, jitter=0.0)
+        assert policy.delay(None, 1) == pytest.approx(0.1)
+        assert policy.delay(None, 2) == pytest.approx(0.2)
+        assert policy.delay(None, 5) == pytest.approx(0.5)  # capped
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=1.0,
+                             max_backoff=1.0, jitter=0.1)
+        for index in range(50):
+            delay = policy.delay((0, index), 1)
+            assert 0.9 <= delay <= 1.1
+
+    def test_sleeps_follow_the_schedule(self):
+        policy, sleeps = no_sleep_policy(max_attempts=3, backoff_base=0.2,
+                                         jitter=0.0)
+        with pytest.raises(PerfUnavailableError):
+            policy.call(_Flaky(failures=99), key=(3, 3))
+        assert sleeps == [pytest.approx(0.2), pytest.approx(0.4)]
+
+
+class TestCallUntil:
+    def test_probe_success_short_circuits(self):
+        policy, sleeps = no_sleep_policy()
+        assert policy.call_until(lambda: True) is True
+        assert sleeps == []
+
+    def test_probe_retries_until_true(self):
+        policy, _ = no_sleep_policy()
+        outcomes = iter([False, False, True])
+        assert policy.call_until(lambda: next(outcomes)) is True
+
+    def test_probe_gives_up_after_budget(self):
+        policy, sleeps = no_sleep_policy()
+        calls = []
+        assert policy.call_until(lambda: calls.append(1) and False) is False
+        assert len(calls) == 3
+        assert len(sleeps) == 2
+
+
+class TestTelemetry:
+    def test_attempt_and_exhausted_counters(self):
+        obs.configure(obs.TelemetryConfig(enabled=True, console=False))
+        try:
+            policy, _ = no_sleep_policy()
+            with pytest.raises(PerfUnavailableError):
+                policy.call(_Flaky(failures=99), label="measure")
+            snapshot = obs.active().snapshot()
+            assert snapshot.counter_value(
+                "retry.attempt", op="measure",
+                error="PerfUnavailableError") == 3.0
+            assert snapshot.counter_value("retry.exhausted", op="measure") == 1.0
+        finally:
+            obs.reset()

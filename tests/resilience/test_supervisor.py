@@ -1,0 +1,167 @@
+"""Tests for repro.resilience.supervisor (worker supervision).
+
+Worker processes are genuinely forked and genuinely killed here: the
+SIGKILL tests assert the acceptance criterion that a dead worker's chunks
+are resubmitted and complete without losing or duplicating a single
+``(category, index)``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.hpc import SimBackend
+from repro.parallel import measure_categories_parallel, resolve_context
+from repro.resilience import (
+    ChunkDiagnostic,
+    ChunkSupervisor,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    FlakyBackend,
+    RetryPolicy,
+)
+
+
+# Module-level chunk tasks: worker tasks must be picklable.
+def _double(spec):
+    return spec.category * 2
+
+
+def _explode(spec):
+    if spec.category == 1:
+        raise ValueError(f"poisoned chunk {spec.category}")
+    return spec.category
+
+
+def _die(spec):
+    import os
+    import signal
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class _Spec:
+    """Minimal chunk-shaped object (category/start/stop)."""
+
+    def __init__(self, category, start=0, stop=1):
+        self.category = category
+        self.start = start
+        self.stop = stop
+
+
+class TestSupervisorBasics:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(MeasurementError):
+            ChunkSupervisor(resolve_context(), workers=0)
+
+    def test_rejects_negative_budgets(self):
+        with pytest.raises(MeasurementError):
+            ChunkSupervisor(resolve_context(), workers=1, max_restarts=-1)
+
+    def test_runs_all_chunks(self):
+        supervisor = ChunkSupervisor(resolve_context(), workers=2)
+        specs = [_Spec(i) for i in range(5)]
+        results = supervisor.run(_double, specs)
+        assert results == {(i, 0): i * 2 for i in range(5)}
+
+    def test_poisoned_chunk_exhausts_and_reports_diagnostics(self):
+        supervisor = ChunkSupervisor(resolve_context(), workers=2,
+                                     max_chunk_retries=1)
+        specs = [_Spec(0), _Spec(1)]
+        with pytest.raises(MeasurementError) as excinfo:
+            supervisor.run(_explode, specs)
+        diagnostics = excinfo.value.diagnostics
+        assert len(diagnostics) == 1
+        diag = diagnostics[0]
+        assert isinstance(diag, ChunkDiagnostic)
+        assert diag.category == 1
+        assert diag.attempts == 2  # first try + one retry
+        assert "poisoned chunk 1" in diag.error
+        assert "category=1" in diag.format()
+
+    def test_unrecoverable_worker_death_is_bounded(self):
+        supervisor = ChunkSupervisor(resolve_context(), workers=1,
+                                     max_restarts=1)
+        with pytest.raises(MeasurementError) as excinfo:
+            supervisor.run(_die, [_Spec(7)])
+        assert excinfo.value.diagnostics
+        assert "restart budget" in str(excinfo.value)
+
+
+class TestKilledWorkerRecovery:
+    """The acceptance scenario: SIGKILL a worker mid-run, lose nothing."""
+
+    def _samples(self, dataset, categories, n=4):
+        return {category: dataset.category(category).images[:n]
+                for category in categories}
+
+    def test_sigkilled_workers_chunks_are_resubmitted(
+            self, tiny_trained_model, digits_dataset, tmp_path):
+        backend = SimBackend(tiny_trained_model, noise_scale=1.0, seed=5)
+        samples = self._samples(digits_dataset, (0, 1, 2))
+        clean = measure_categories_parallel(backend, samples, workers=2)
+        # Kill whichever worker measures (1, 2) — once.
+        plan = FaultPlan([FaultSpec(FaultKind.WORKER_DEATH, 1, 2, times=1)],
+                         state_dir=tmp_path)
+        flaky = FlakyBackend(backend, plan)
+        survived = measure_categories_parallel(flaky, samples, workers=2)
+        assert survived == clean  # nothing lost, duplicated, or renumbered
+
+    def test_death_plus_transient_faults_still_bit_identical(
+            self, tiny_trained_model, digits_dataset, tmp_path):
+        backend = SimBackend(tiny_trained_model, noise_scale=1.0, seed=6)
+        samples = self._samples(digits_dataset, (0, 1))
+        clean = measure_categories_parallel(backend, samples, workers=2)
+        plan = FaultPlan(
+            [FaultSpec(FaultKind.WORKER_DEATH, 0, 1, times=1),
+             FaultSpec(FaultKind.TIMEOUT, 1, 0, times=1),
+             FaultSpec(FaultKind.GARBAGE, 1, 3, times=2)],
+            state_dir=tmp_path)
+        flaky = FlakyBackend(backend, plan)
+        retry = RetryPolicy(max_attempts=3, backoff_base=0.0)
+        survived = measure_categories_parallel(flaky, samples, workers=2,
+                                               retry=retry)
+        assert survived == clean
+
+    def test_sample_counts_exact_after_recovery(
+            self, tiny_trained_model, digits_dataset, tmp_path):
+        backend = SimBackend(tiny_trained_model, noise_scale=1.0, seed=7)
+        samples = self._samples(digits_dataset, (0, 1, 2), n=5)
+        plan = FaultPlan([FaultSpec(FaultKind.WORKER_DEATH, 2, 0, times=1)],
+                         state_dir=tmp_path)
+        flaky = FlakyBackend(backend, plan)
+        result = measure_categories_parallel(flaky, samples, workers=3)
+        for category in (0, 1, 2):
+            assert len(result[category]) == 5
+
+
+class TestExhaustedRetriesInWorkers:
+    def test_persistent_fault_surfaces_chunk_diagnostics(
+            self, tiny_trained_model, digits_dataset):
+        backend = SimBackend(tiny_trained_model, noise_scale=1.0, seed=8)
+        samples = {0: digits_dataset.category(0).images[:3]}
+        plan = FaultPlan([FaultSpec(FaultKind.TIMEOUT, 0, 1, times=-1)])
+        flaky = FlakyBackend(backend, plan)
+        retry = RetryPolicy(max_attempts=2, backoff_base=0.0)
+        with pytest.raises(MeasurementError) as excinfo:
+            measure_categories_parallel(flaky, samples, workers=1,
+                                        retry=retry, max_chunk_retries=1)
+        assert excinfo.value.diagnostics
+        assert excinfo.value.diagnostics[0].category == 0
+
+
+def test_parallel_retry_matches_sequential_clean_run(
+        tiny_trained_model, digits_dataset):
+    """Transient in-worker faults + retries == clean run, any worker count."""
+    backend = SimBackend(tiny_trained_model, noise_scale=1.0, seed=9)
+    samples = {category: digits_dataset.category(category).images[:4]
+               for category in (0, 1)}
+    clean = measure_categories_parallel(backend, samples, workers=1)
+    plan = FaultPlan([FaultSpec(FaultKind.TIMEOUT, 0, 0, times=1),
+                      FaultSpec(FaultKind.EXIT_CODE, 1, 2, times=1),
+                      FaultSpec(FaultKind.GARBAGE, 0, 3, times=2)])
+    flaky = FlakyBackend(backend, plan)
+    retry = RetryPolicy(max_attempts=3, backoff_base=0.0)
+    faulty = measure_categories_parallel(flaky, samples, workers=4,
+                                         retry=retry)
+    assert faulty == clean

@@ -21,6 +21,7 @@ PUBLIC_MODULES = [
     "repro.nn",
     "repro.obs",
     "repro.parallel",
+    "repro.resilience",
     "repro.stats",
     "repro.trace",
     "repro.uarch",
