@@ -6,11 +6,15 @@ Runs the MNIST 10-category pipeline stage by stage — train, measure
 ``BENCH_pipeline.json``.  The CI ``bench-smoke`` job uploads that file as
 an artifact, so the speedup trajectory is tracked per commit.
 
-Two properties are asserted unconditionally:
+Three properties are asserted unconditionally:
 
 * parallel and sequential collection yield **bit-identical** distributions
   (the per-sample noise-seeding guarantee of :mod:`repro.parallel`);
-* the vectorized evaluator agrees with collection done either way.
+* the vectorized evaluator agrees with collection done either way;
+* merged worker telemetry is **deterministic**: the data-derived metric
+  records (see :func:`repro.obs.deterministic_metric_records`) from a
+  parallel run equal those from a sequential run, and telemetry left
+  disabled costs nothing (no-op spans, empty registry, bounded ns/op).
 
 The ``>= 2x`` measurement-speedup gate only applies on machines with at
 least 4 CPU cores; below that the speedup is recorded but not asserted
@@ -28,10 +32,11 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.core.evaluator import Evaluator
 from repro.core.experiment import make_backend, mnist_experiment, prepare_model
 from repro.hpc import MeasurementSession
-from repro.obs import MetricsRegistry
+from repro.obs import NOOP_SPAN, MetricsRegistry, deterministic_metric_records
 
 SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "30"))
 CPU_COUNT = os.cpu_count() or 1
@@ -48,6 +53,49 @@ def _timed(registry: MetricsRegistry, stage: str, callable_):
     elapsed = time.perf_counter() - start
     registry.observe("pipeline.stage_s", elapsed, stage=stage)
     return elapsed, result
+
+
+def _deterministic_records(snapshot):
+    """Comparable (name, labels, payload) tuples of the covered metrics."""
+    return [
+        (r["name"], tuple(sorted(r["labels"].items())),
+         tuple(sorted((k, v) for k, v in r.items() if k != "labels")))
+        for r in deterministic_metric_records(snapshot.metrics)
+    ]
+
+
+def _telemetry_determinism(session, pool, categories, samples, workers):
+    """Sequential vs merged-parallel telemetry must agree bit-for-bit."""
+    snapshots = []
+    for worker_count in (1, workers):
+        with obs.session(obs.TelemetryConfig(enabled=True,
+                                             console=False)) as runtime:
+            session.collect(pool, categories, samples,
+                            workers=worker_count if worker_count > 1 else None)
+            snapshots.append(runtime.snapshot())
+    sequential, parallel = (_deterministic_records(s) for s in snapshots)
+    assert sequential, "determinism gate covered no metrics"
+    assert sequential == parallel, (
+        "merged worker telemetry diverged from the sequential run")
+    return len(sequential)
+
+
+def _telemetry_off_overhead(iterations=20_000):
+    """ns/op of the disabled-telemetry hot path; must stay no-op."""
+    with obs.session(obs.TelemetryConfig(enabled=False)) as runtime:
+        assert not obs.is_enabled()
+        start = time.perf_counter()
+        for _ in range(iterations):
+            with obs.span("bench.noop", stage="off") as span:
+                obs.inc("bench.noop")
+        elapsed = time.perf_counter() - start
+        assert span is NOOP_SPAN, "disabled telemetry must hand out NOOP_SPAN"
+        assert runtime.metrics.snapshot() == [], (
+            "disabled telemetry recorded metrics")
+    return elapsed / iterations * 1e9
+
+
+TELEMETRY_OFF_BUDGET_NS = 2000.0  # generous: ~2us per span+inc pair
 
 
 def test_pipeline_sequential_vs_parallel():
@@ -86,6 +134,20 @@ def test_pipeline_sequential_vs_parallel():
     evaluate_s, report = _timed(
         registry, "evaluate", lambda: Evaluator().evaluate(sequential))
 
+    # Telemetry gates: merged worker metrics must equal the sequential
+    # run's, and the disabled path must stay free.  A reduced sample count
+    # keeps the extra collection passes cheap; determinism is per-sample,
+    # so scale does not change the verdict.
+    telemetry_samples = min(SAMPLES, 10)
+    telemetry_s, covered_records = _timed(
+        registry, "telemetry.determinism",
+        lambda: _telemetry_determinism(session, pool, categories,
+                                       telemetry_samples, WORKERS))
+    off_ns_per_op = _telemetry_off_overhead()
+    assert off_ns_per_op <= TELEMETRY_OFF_BUDGET_NS, (
+        f"telemetry-off hot path costs {off_ns_per_op:.0f}ns/op "
+        f"(budget {TELEMETRY_OFF_BUDGET_NS:.0f}ns)")
+
     speedup = sequential_s / parallel_s
     record = {
         "dataset": config.dataset,
@@ -103,12 +165,21 @@ def test_pipeline_sequential_vs_parallel():
         },
         "measure_speedup": round(speedup, 3),
         "bit_identical": True,
+        "telemetry": {
+            "deterministic": True,
+            "covered_records": covered_records,
+            "samples_per_category": telemetry_samples,
+            "gate_s": round(telemetry_s, 4),
+            "off_ns_per_op": round(off_ns_per_op, 1),
+            "off_budget_ns": TELEMETRY_OFF_BUDGET_NS,
+        },
         "metrics": registry.snapshot(),
     }
     OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
     print(f"\nwrote {OUT_PATH}: sequential {sequential_s:.2f}s, "
           f"workers={WORKERS} {parallel_s:.2f}s ({speedup:.2f}x), "
-          f"cpu_count={CPU_COUNT}")
+          f"cpu_count={CPU_COUNT}, telemetry deterministic "
+          f"({covered_records} records), off-path {off_ns_per_op:.0f}ns/op")
 
     if CPU_COUNT >= STRICT_CORES:
         assert speedup >= REQUIRED_PARALLEL_SPEEDUP, (

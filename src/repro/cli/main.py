@@ -12,11 +12,14 @@ Subcommands mirror the paper's artifacts::
     repro defend   --dataset mnist      # constant-footprint countermeasure
     repro perf-probe                    # can this host use real perf?
     repro telemetry                     # evaluation + stage/latency breakdown
+    repro report                        # evaluation + RUN_REPORT.json artifact
     repro info                          # version + configuration dump
 
 Every experiment subcommand also accepts ``--telemetry`` (print the stage
-breakdown after the command's own output) and ``--telemetry-out FILE``
-(write the span/metric records as JSONL).
+breakdown after the command's own output), ``--telemetry-out FILE``
+(write the span/metric records as JSONL), ``--profile`` (per-stage
+resource usage) and ``--progress`` (live stderr progress line during
+parallel measurement).
 """
 
 from __future__ import annotations
@@ -87,6 +90,12 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
                         help="print the telemetry stage breakdown afterwards")
     parser.add_argument("--telemetry-out", metavar="FILE", default=None,
                         help="write telemetry span/metric records as JSONL")
+    parser.add_argument("--profile", action="store_true",
+                        help="record per-stage resource usage (CPU time, "
+                             "RSS peak, allocation peak); implies telemetry")
+    parser.add_argument("--progress", action="store_true",
+                        help="show a live progress line on stderr during "
+                             "parallel measurement")
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -119,10 +128,13 @@ def _telemetry_from_args(args: argparse.Namespace
     """Telemetry configuration requested via CLI flags (None when absent)."""
     wants_console = getattr(args, "telemetry", False)
     out = getattr(args, "telemetry_out", None)
-    if not wants_console and not out:
+    profile = getattr(args, "profile", False)
+    progress = getattr(args, "progress", False)
+    if not wants_console and not out and not profile and not progress:
         return None
-    return TelemetryConfig(enabled=True, console=wants_console,
-                           jsonl_path=out or "")
+    return TelemetryConfig(enabled=bool(wants_console or out or profile),
+                           console=wants_console, jsonl_path=out or "",
+                           profile=profile, progress=progress)
 
 
 def _run(args: argparse.Namespace):
@@ -298,6 +310,31 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    from ..obs.report import build_run_report, write_run_report
+    config = _config_from_args(args)
+    # A run report needs telemetry and the resource profile regardless of
+    # the generic flags; fold them into whatever else was requested.
+    base = config.telemetry or TelemetryConfig(enabled=True, console=False)
+    config = replace(config, telemetry=replace(base, enabled=True,
+                                               profile=True))
+    result = run_experiment(config)
+    snapshot = obs.flush()
+    report = build_run_report(snapshot, config=config, result=result)
+    path = write_run_report(report, args.out)
+    env = report["environment"]
+    # cpu_count leads: on a 1-core runner, parallel speedups are
+    # impossible and the report should say so up front.
+    print(f"cpu_count={env['cpu_count']} workers={config.workers} "
+          f"start_method={env['start_method'] or 'default'}")
+    print(f"dataset={config.dataset} backend={env.get('backend_used', config.backend)} "
+          f"engine={config.engine} "
+          f"accuracy={result.test_accuracy:.3f} "
+          f"alarm={'yes' if result.report.alarm else 'no'}")
+    print(f"wrote run report to {path}")
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     from ..core.experiment import build_model
     from ..hpc.sim_backend import SimBackend
@@ -314,9 +351,11 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(f"  enabled={active.enabled} console={active.console} "
           f"jsonl_path={active.jsonl_path or '(none)'}")
     print(f"  env: {obs.ENV_ENABLED}=1 enables, "
-          f"{obs.ENV_OUT}=FILE adds a JSONL sink")
-    print("  cli: --telemetry / --telemetry-out FILE on every "
-          "experiment subcommand")
+          f"{obs.ENV_OUT}=FILE adds a JSONL sink,")
+    print(f"       {obs.ENV_PROFILE}=1 profiles stages, "
+          f"{obs.ENV_PROGRESS}=1 shows live progress")
+    print("  cli: --telemetry / --telemetry-out FILE / --profile / "
+          "--progress on every experiment subcommand")
     return 0
 
 
@@ -406,6 +445,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "and metrics breakdown")
     _add_experiment_args(p)
     p.set_defaults(handler=cmd_telemetry, owns_telemetry_flush=True)
+
+    p = sub.add_parser("report",
+                       help="run an evaluation and write RUN_REPORT.json "
+                            "(merged metrics, span tree, environment, "
+                            "per-stage resource profile)")
+    _add_experiment_args(p)
+    p.add_argument("--out", metavar="PATH", default="RUN_REPORT.json",
+                   help="report destination (default: RUN_REPORT.json)")
+    p.set_defaults(handler=cmd_report, owns_telemetry_flush=True)
 
     p = sub.add_parser("info", help="version and configuration dump")
     p.set_defaults(handler=cmd_info)

@@ -183,6 +183,26 @@ class Evaluator:
             obs.inc("ttest.rejections", distinguishable)
             span.set_attribute("pairs", len(results))
             span.set_attribute("rejections", distinguishable)
+            if obs.is_enabled():
+                # Per-category alarm breakdown: each pairwise verdict is
+                # attributed to both of its categories, so the merged
+                # snapshot shows which monitored category leaks.  Counted
+                # in one pass and emitted in sorted category order (label
+                # order never depends on result order); skipped entirely
+                # when telemetry is off to keep the hot path free.
+                pairs: dict = {}
+                rejections: dict = {}
+                for result in results:
+                    for category in (result.category_a, result.category_b):
+                        pairs[category] = pairs.get(category, 0) + 1
+                        if result.distinguishable:
+                            rejections[category] = (
+                                rejections.get(category, 0) + 1)
+                for category in sorted(pairs):
+                    obs.inc("ttest.category_pairs", pairs[category],
+                            category=category)
+                    obs.inc("ttest.category_rejections",
+                            rejections.get(category, 0), category=category)
         return LeakageReport(
             results=results,
             confidence=self.confidence,

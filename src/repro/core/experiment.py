@@ -36,6 +36,7 @@ from ..nn.optimizers import Adam
 from ..nn.serialization import load_model, save_model
 from ..nn.trainer import Trainer
 from ..obs import runtime as obs
+from ..obs.profiling import profile_stage
 from ..obs.runtime import TelemetryConfig
 from ..trace.recorder import TraceConfig
 from ..uarch.cpu import CpuConfig
@@ -336,15 +337,18 @@ def run_experiment(config: Optional[ExperimentConfig] = None,
     if config.telemetry is not None:
         obs.configure(config.telemetry)
     with obs.span("experiment.run", dataset=config.dataset) as root:
-        with obs.span("experiment.train"):
-            model, accuracy = prepare_model(config, verbose=verbose)
+        with obs.span("experiment.train") as stage:
+            with profile_stage("train", span=stage):
+                model, accuracy = prepare_model(config, verbose=verbose)
         obs.set_gauge("model.test_accuracy", accuracy)
         backend = make_backend(config, model)
-        with obs.span("experiment.measure"):
-            distributions = measure_distributions(config, backend)
+        with obs.span("experiment.measure") as stage:
+            with profile_stage("measure", span=stage):
+                distributions = measure_distributions(config, backend)
         evaluator = Evaluator(confidence=config.confidence)
-        with obs.span("experiment.evaluate"):
-            report = evaluator.evaluate(distributions)
+        with obs.span("experiment.evaluate") as stage:
+            with profile_stage("evaluate", span=stage):
+                report = evaluator.evaluate(distributions)
         root.set_attribute("accuracy", round(accuracy, 4))
         root.set_attribute("alarm", report.alarm)
     return ExperimentResult(

@@ -277,12 +277,14 @@ class MeasurementSession:
             per_category: Dict[int, List[EventCounts]] = {}
             if workers > 1 and subsets:
                 from ..parallel import measure_categories_parallel
+                # measurement.samples is counted inside the workers (one
+                # inc per chunk, shipped back and merged) — counting here
+                # too would double it in the merged snapshot.
                 per_category = measure_categories_parallel(
                     self.backend, subsets, warmup=self.warmup,
-                    workers=workers, retry=self.retry)
+                    workers=workers, retry=self.retry,
+                    progress=self._progress_reporter(subsets, workers))
                 for category, readings in per_category.items():
-                    obs.inc("measurement.samples", len(readings),
-                            category=category)
                     self._write_checkpoint(checkpointing, key, category,
                                            readings)
             else:
@@ -313,6 +315,20 @@ class MeasurementSession:
                 for category in categories:
                     self.cache.remove(self._checkpoint_key(key, category))
             return distributions
+
+    @staticmethod
+    def _progress_reporter(subsets: Dict[int, Sequence[np.ndarray]],
+                           workers: int):
+        """A live progress reporter when the run asked for one, else None."""
+        if not (obs.active().config.progress and subsets):
+            return None
+        from ..obs.progress import ProgressReporter
+        from ..parallel import plan_chunks
+        counts = {category: len(samples)
+                  for category, samples in subsets.items()}
+        return ProgressReporter(
+            total_chunks=len(plan_chunks(counts, workers)),
+            total_samples=sum(counts.values()))
 
     @staticmethod
     def _checkpoint_key(key: str, category: int) -> str:

@@ -19,20 +19,46 @@ Quickstart::
 """
 
 from .exporters import (
+    TELEMETRY_SCHEMA_VERSION,
     ConsoleExporter,
     InMemoryExporter,
     JsonlExporter,
     TelemetrySnapshot,
     read_jsonl,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry, format_labels
+from .distributed import (
+    merge_worker_payload,
+    start_chunk_capture,
+    worker_payload,
+)
+from .metrics import (
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_labels,
+    log_bucket_boundaries,
+)
+from .profiling import profile_stage, profiling_enabled
+from .progress import ProgressReporter
+from .report import (
+    RUN_REPORT_SCHEMA_VERSION,
+    build_run_report,
+    capture_environment,
+    deterministic_metric_records,
+    write_run_report,
+)
 from .runtime import (
     ENV_ENABLED,
     ENV_OUT,
+    ENV_PROFILE,
+    ENV_PROGRESS,
     Telemetry,
     TelemetryConfig,
     active,
     configure,
+    current_context,
     flush,
     inc,
     is_enabled,
@@ -43,35 +69,52 @@ from .runtime import (
     span,
     traced,
 )
-from .spans import NOOP_SPAN, Span, SpanTracer
+from .spans import NOOP_SPAN, Span, SpanContext, SpanTracer
 
 __all__ = [
     "ConsoleExporter",
     "Counter",
     "ENV_ENABLED",
     "ENV_OUT",
+    "ENV_PROFILE",
+    "ENV_PROGRESS",
     "Gauge",
     "Histogram",
     "InMemoryExporter",
     "JsonlExporter",
+    "METRICS_SCHEMA_VERSION",
     "MetricsRegistry",
     "NOOP_SPAN",
+    "ProgressReporter",
+    "RUN_REPORT_SCHEMA_VERSION",
     "Span",
+    "SpanContext",
     "SpanTracer",
+    "TELEMETRY_SCHEMA_VERSION",
     "Telemetry",
     "TelemetryConfig",
     "TelemetrySnapshot",
     "active",
+    "build_run_report",
+    "capture_environment",
     "configure",
+    "current_context",
+    "deterministic_metric_records",
     "flush",
     "format_labels",
     "inc",
     "is_enabled",
+    "log_bucket_boundaries",
+    "merge_worker_payload",
     "observe",
+    "profile_stage",
+    "profiling_enabled",
     "read_jsonl",
     "reset",
     "session",
     "set_gauge",
     "span",
+    "start_chunk_capture",
     "traced",
+    "worker_payload",
 ]

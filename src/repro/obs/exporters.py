@@ -9,12 +9,21 @@ cover the three consumers: humans (console stage breakdown), tooling
 from __future__ import annotations
 
 import json
+import math
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Union
 
+from ..errors import ConfigError
 from .metrics import format_labels
 from .spans import Span
+
+#: Version stamped on every exported snapshot (the JSONL header record and
+#: the console banner).  Bump when the record layout changes so downstream
+#: readers can dispatch on it; version 2 added histogram ``buckets`` /
+#: ``truncated`` fields and the header record itself.
+TELEMETRY_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -38,9 +47,58 @@ class TelemetrySnapshot:
         out.extend(self.metrics)
         return out
 
+    def merge(self, other: "TelemetrySnapshot") -> "TelemetrySnapshot":
+        """Combine two snapshots into a new one.
+
+        Span trees concatenate; metric records merge exactly for counters
+        (values add) and gauges (the incoming set value wins), and at
+        bucket resolution for histograms — counts, totals, min/max and
+        bucket counts combine exactly, percentiles are re-derived from the
+        merged buckets.  For loss-free histogram percentiles merge at the
+        :class:`~repro.obs.metrics.MetricsRegistry` level instead.
+        """
+        merged: Dict[tuple, Dict[str, Any]] = {}
+        order: List[tuple] = []
+        for record in list(self.metrics) + list(other.metrics):
+            key = (record["name"],
+                   tuple(sorted(record["labels"].items())))
+            if key not in merged:
+                merged[key] = {**record, "labels": dict(record["labels"])}
+                if record["kind"] == "histogram":
+                    merged[key]["buckets"] = [list(b)
+                                              for b in record["buckets"]]
+                order.append(key)
+                continue
+            base = merged[key]
+            if base["kind"] != record["kind"]:
+                raise ConfigError(
+                    f"metric {record['name']!r} is a {base['kind']} in one "
+                    f"snapshot and a {record['kind']} in the other")
+            if record["kind"] == "counter":
+                base["value"] += record["value"]
+            elif record["kind"] == "gauge":
+                if record["value"] is not None:
+                    base["value"] = record["value"]
+            else:
+                _merge_histogram_records(base, record)
+        out = TelemetrySnapshot(spans=list(self.spans) + list(other.spans),
+                                metrics=[merged[key] for key in order])
+        out.metrics.sort(key=lambda r: (r["name"],
+                                        tuple(sorted(r["labels"].items()))))
+        return out
+
     def find_spans(self, name: str) -> List[Span]:
         """All spans named ``name`` across the trees."""
         return [span for root in self.spans for span in root.find(name)]
+
+    def header(self) -> Dict[str, Any]:
+        """The schema header record written ahead of a snapshot's records."""
+        return {
+            "type": "meta",
+            "schema": TELEMETRY_SCHEMA_VERSION,
+            "spans": sum(1 for root in self.spans for _ in root.walk()),
+            "metrics": len(self.metrics),
+        }
 
     def counter_value(self, name: str, **labels: Any) -> float:
         """Summed value of counter ``name`` over matching label sets.
@@ -133,8 +191,54 @@ class ConsoleExporter:
         print(self.format(snapshot))
 
 
+def _merge_histogram_records(base: Dict[str, Any],
+                             record: Dict[str, Any]) -> None:
+    """Fold one snapshot-level histogram record into another in place."""
+    buckets: Dict[float, int] = {}
+    for bound, count in list(base["buckets"]) + list(record["buckets"]):
+        bound = math.inf if bound in (None, "inf") else float(bound)
+        buckets[bound] = buckets.get(bound, 0) + int(count)
+    ordered = sorted(buckets.items())
+    count = base["count"] + record["count"]
+    total = base["total"] + record["total"]
+    base.update(
+        count=count,
+        total=total,
+        mean=total / count if count else 0.0,
+        min=min(base["min"], record["min"]) if count else 0.0,
+        max=max(base["max"], record["max"]) if count else 0.0,
+        buckets=[[bound, bucket_count] for bound, bucket_count in ordered],
+        truncated=True,  # percentiles below are bucket-resolution
+    )
+    for quantile, field_name in ((50, "p50"), (95, "p95")):
+        base[field_name] = _bucket_percentile(ordered, count, quantile,
+                                              base["max"])
+
+
+def _bucket_percentile(ordered_buckets, count: int, q: float,
+                       observed_max: float) -> float:
+    """Nearest-rank percentile over ``[(upper_bound, count)]`` buckets."""
+    if count == 0:
+        return 0.0
+    rank = max(0, math.ceil(q / 100.0 * count) - 1)
+    seen = 0
+    for bound, bucket_count in ordered_buckets:
+        seen += bucket_count
+        if rank < seen:
+            return observed_max if math.isinf(bound) else bound
+    return observed_max
+
+
 class JsonlExporter:
-    """Appends one JSON object per span/metric record to a file."""
+    """Appends JSON span/metric records (one object per line) to a file.
+
+    Each export writes one schema header record followed by the snapshot's
+    records.  The whole batch is encoded up front and appended with a
+    single ``os.write`` on an ``O_APPEND`` descriptor, so concurrent
+    writers (parallel benches, multi-process runs sharing one sink) never
+    interleave partial lines — every line in the file is a complete JSON
+    object from exactly one export.
+    """
 
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
@@ -142,9 +246,16 @@ class JsonlExporter:
     def export(self, snapshot: TelemetrySnapshot) -> Path:
         """Write the snapshot's records; returns the file path."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            for record in snapshot.records():
-                handle.write(json.dumps(record, default=str) + "\n")
+        lines = [json.dumps(snapshot.header(), default=str)]
+        lines.extend(json.dumps(record, default=str)
+                     for record in snapshot.records())
+        payload = ("\n".join(lines) + "\n").encode("utf-8")
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                     0o644)
+        try:
+            os.write(fd, payload)
+        finally:
+            os.close(fd)
         return self.path
 
 

@@ -1,0 +1,95 @@
+"""Per-stage resource profiling: CPU time, RSS peak, allocation peak.
+
+:func:`profile_stage` samples what one pipeline stage cost — process CPU
+seconds, the process's resident-set high-water mark, and the tracemalloc
+allocation peak — and records them as ``profile.*`` histograms labelled by
+stage, optionally annotating the stage's span.  Everything is stdlib
+(:mod:`resource`, :mod:`tracemalloc`, :func:`time.process_time`); no
+dependencies, no sampling threads.
+
+Profiling is off unless the active :class:`~repro.obs.runtime.TelemetryConfig`
+sets ``profile=True`` (CLI ``--profile`` or ``REPRO_TELEMETRY_PROFILE=1``),
+in which case tracemalloc runs for the duration of each profiled stage —
+a real (2-3x allocation-path) overhead, which is why it is opt-in beyond
+plain telemetry.
+
+Caveats: ``ru_maxrss`` is a process-lifetime high-water mark, so a stage's
+reading reflects the largest footprint *up to and including* that stage,
+not its isolated usage.  Nested profiled stages share one tracemalloc
+trace and the inner stage resets the peak counter, so profile leaf stages
+(or tolerate inner stages clipping the outer peak).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import tracemalloc
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from . import runtime as obs
+from .spans import Span
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+__all__ = ["profile_stage", "profiling_enabled", "rss_peak_kb"]
+
+
+def profiling_enabled() -> bool:
+    """Whether :func:`profile_stage` records anything right now."""
+    return obs.is_enabled() and obs.active().config.profile
+
+
+def rss_peak_kb() -> Optional[float]:
+    """The process's resident-set high-water mark in KiB (None if unknown)."""
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes there, KiB on Linux
+        peak /= 1024.0
+    return float(peak)
+
+
+@contextmanager
+def profile_stage(name: str, span: Optional[Span] = None) -> Iterator[None]:
+    """Record the resource cost of the enclosed stage (context manager).
+
+    Args:
+        name: Stage label on the ``profile.*`` histogram records.
+        span: Optional span to annotate with the same readings.
+
+    Observes ``profile.cpu_s``, ``profile.rss_peak_kb`` and
+    ``profile.tracemalloc_peak_kb`` histograms with a ``stage`` label;
+    an instant no-op unless :func:`profiling_enabled`.
+    """
+    if not profiling_enabled():
+        yield
+        return
+    started_tracing = not tracemalloc.is_tracing()
+    if started_tracing:
+        tracemalloc.start()
+    else:
+        tracemalloc.reset_peak()
+    cpu_start = time.process_time()
+    try:
+        yield
+    finally:
+        cpu_s = time.process_time() - cpu_start
+        alloc_peak_kb = tracemalloc.get_traced_memory()[1] / 1024.0
+        if started_tracing:
+            tracemalloc.stop()
+        rss_kb = rss_peak_kb()
+        obs.observe("profile.cpu_s", cpu_s, stage=name)
+        obs.observe("profile.tracemalloc_peak_kb", alloc_peak_kb, stage=name)
+        if rss_kb is not None:
+            obs.observe("profile.rss_peak_kb", rss_kb, stage=name)
+        if span is not None:
+            span.set_attribute("profile.cpu_s", round(cpu_s, 6))
+            span.set_attribute("profile.tracemalloc_peak_kb",
+                               round(alloc_peak_kb, 3))
+            if rss_kb is not None:
+                span.set_attribute("profile.rss_peak_kb", rss_kb)

@@ -1,0 +1,133 @@
+"""Live measurement progress: a throttled stderr reporter.
+
+Measurement dominates the pipeline's wall-clock (~99% in
+``BENCH_pipeline.json``), and until now the only sign of life during a
+long parallel collection was the final result.  :class:`ProgressReporter`
+implements the chunk-observer interface of
+:class:`repro.resilience.ChunkSupervisor` — completed-chunk callbacks,
+failures, pool restarts — and renders a single updating status line on
+stderr: chunks done, sample rate, ETA, retry/restart counts.
+
+Off by default; enabled with ``--progress`` or
+``REPRO_TELEMETRY_PROGRESS=1``.  On a TTY the line redraws in place
+(``\\r``); otherwise updates are plain lines throttled to
+``min_interval_s`` so logs stay readable.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Callable, Dict, Optional, TextIO
+
+__all__ = ["ProgressReporter"]
+
+
+class ProgressReporter:
+    """Renders live progress from supervisor chunk callbacks.
+
+    Args:
+        total_chunks: Chunks the run will complete.
+        total_samples: Samples across all chunks (enables the ETA).
+        stream: Output stream (default: ``sys.stderr``).
+        min_interval_s: Minimum seconds between renders (the final
+            :meth:`finish` render is never throttled).
+        label: Prefix on the status line.
+        clock: Monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, total_chunks: int,
+                 total_samples: Optional[int] = None,
+                 stream: Optional[TextIO] = None,
+                 min_interval_s: float = 0.25,
+                 label: str = "measure",
+                 clock: Callable[[], float] = time.monotonic):
+        self.total_chunks = total_chunks
+        self.total_samples = total_samples
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self.label = label
+        self.clock = clock
+        self.done_chunks = 0
+        self.done_samples = 0
+        self.retries = 0
+        self.lost = 0
+        self.restarts = 0
+        self.per_category: Dict[Any, int] = {}
+        self._start = clock()
+        self._last_render = -float("inf")
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Supervisor observer interface
+    # ------------------------------------------------------------------
+
+    def chunk_done(self, category: Any, samples: int) -> None:
+        """One chunk completed successfully."""
+        self.done_chunks += 1
+        self.done_samples += samples
+        self.per_category[category] = self.per_category.get(category, 0) + 1
+        self._render()
+
+    def chunk_failed(self, category: Any,
+                     error: Optional[BaseException] = None) -> None:
+        """One chunk attempt raised (it may be retried)."""
+        self.retries += 1
+        self._render()
+
+    def chunk_lost(self, category: Any) -> None:
+        """One chunk was lost to a worker death (it will be resubmitted)."""
+        self.lost += 1
+        self._render()
+
+    def pool_restart(self) -> None:
+        """The worker pool broke and is being rebuilt."""
+        self.restarts += 1
+        self._render()
+
+    def finish(self) -> None:
+        """Render the final state and release the line (idempotent)."""
+        if self._finished:
+            return
+        self._finished = True
+        self._render(force=True)
+        if self._tty:
+            self.stream.write("\n")
+            self.stream.flush()
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def format_line(self) -> str:
+        """The current status line (no trailing newline)."""
+        elapsed = max(self.clock() - self._start, 1e-9)
+        rate = self.done_samples / elapsed
+        parts = [f"{self.label}: {self.done_chunks}/{self.total_chunks} "
+                 f"chunks"]
+        if self.total_samples:
+            parts.append(f"{self.done_samples}/{self.total_samples} samples")
+            remaining = self.total_samples - self.done_samples
+            if 0 < remaining and rate > 0:
+                parts.append(f"eta {remaining / rate:.0f}s")
+        else:
+            parts.append(f"{self.done_samples} samples")
+        parts.append(f"{rate:.1f}/s")
+        if self.retries:
+            parts.append(f"retries={self.retries}")
+        if self.lost or self.restarts:
+            parts.append(f"lost={self.lost} restarts={self.restarts}")
+        return "  ".join(parts)
+
+    def _render(self, force: bool = False) -> None:
+        now = self.clock()
+        if not force and now - self._last_render < self.min_interval_s:
+            return
+        self._last_render = now
+        line = self.format_line()
+        if self._tty:
+            self.stream.write("\r\x1b[2K" + line)
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()

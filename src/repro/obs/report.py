@@ -1,0 +1,196 @@
+"""Run reports: a self-describing JSON artifact for one experiment.
+
+``RUN_REPORT.json`` packages everything needed to interpret (and audit)
+one pipeline run after the fact: the merged cross-process metrics, the
+experiment-wide span tree, an environment capture (CPU count, platform,
+backend/engine choices, content fingerprints), the per-stage resource
+profile, and the Evaluator's verdict.  The CLI's ``repro report``
+subcommand produces it; CI uploads it as the bench-smoke artifact.
+
+This module also owns :func:`deterministic_metric_records` — the filter
+defining which merged metrics are *guaranteed* identical across worker
+counts (the merge-determinism contract gated by
+``benchmarks/bench_pipeline.py`` and the worker-telemetry tests).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from ..version import __version__
+from .exporters import TelemetrySnapshot
+from .metrics import METRICS_SCHEMA_VERSION
+
+__all__ = [
+    "RUN_REPORT_SCHEMA_VERSION",
+    "build_run_report",
+    "capture_environment",
+    "deterministic_metric_records",
+    "write_run_report",
+]
+
+#: Version stamped on every ``RUN_REPORT.json``.
+RUN_REPORT_SCHEMA_VERSION = 1
+
+#: Metric-name prefixes whose values legitimately depend on process
+#: topology (how many workers ran, how chunks were scheduled, what each
+#: process compiled or resampled) rather than on what was computed.
+_NONDETERMINISTIC_PREFIXES = (
+    "profile.",     # resource usage varies run to run
+    "engine.",      # per-process compilations scale with worker count
+    "supervisor.",  # retries/restarts depend on scheduling and faults
+    "parallel.",    # worker-count gauges by definition
+    "pipeline.",    # stage wall-clock
+    "faults.",      # injected-fault counts depend on attempt interleaving
+    "retry.",       # retry attempts follow the faults, not the data
+)
+
+#: Exact metric names excluded for the same reason.
+_NONDETERMINISTIC_NAMES = frozenset({
+    "measure.chunk",      # chunk count follows the worker count
+    "train.step",         # timing histogram
+    "train.alloc_bytes",  # allocator behaviour is per-process
+})
+
+
+def _is_deterministic(name: str) -> bool:
+    if name in _NONDETERMINISTIC_NAMES:
+        return False
+    if name.endswith("_ns") or name.endswith("_s"):
+        return False  # wall-clock / CPU-time histograms
+    return not name.startswith(_NONDETERMINISTIC_PREFIXES)
+
+
+def deterministic_metric_records(
+        metrics: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The metric records covered by the merge-determinism guarantee.
+
+    For one seed, these records are identical — values, labels, histogram
+    buckets — whether the pipeline ran sequentially or across any number
+    of workers.  Timing histograms, resource profiles and per-process
+    bookkeeping (engine compilations, supervisor retries, chunk counts)
+    are excluded: they faithfully describe *how* the run executed, which
+    legitimately differs with process topology.  Everything counting
+    *what was computed* (samples measured, cache traffic, t-test pairs
+    and rejections, checkpoint writes) must merge exactly.
+
+    Returns the surviving records sorted by ``(name, labels)``.
+    """
+    kept = [record for record in metrics
+            if _is_deterministic(record["name"])]
+    kept.sort(key=lambda r: (r["name"], tuple(sorted(r["labels"].items()))))
+    return kept
+
+
+def capture_environment(config: Optional[Any] = None,
+                        result: Optional[Any] = None) -> Dict[str, Any]:
+    """What this run executed on — the report's reproducibility anchor.
+
+    ``cpu_count`` leads because it decides whether parallel speedups are
+    even possible (the 1-core CI caveat); the rest pins the software
+    stack and, when an :class:`~repro.core.experiment.ExperimentConfig` /
+    result pair is given, the experiment's own choices and fingerprints.
+    """
+    try:
+        start_method = multiprocessing.get_start_method(allow_none=True)
+    except Exception:
+        start_method = None
+    env: Dict[str, Any] = {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "repro_version": __version__,
+        "metrics_schema": METRICS_SCHEMA_VERSION,
+        "start_method": start_method,
+    }
+    if config is not None:
+        env.update(
+            dataset=config.dataset,
+            backend=config.backend,
+            engine=config.engine,
+            workers=config.workers,
+            samples_per_category=config.samples_per_category,
+            categories=list(config.categories),
+            model_fingerprint=config.model_key(),
+        )
+    if result is not None:
+        backend = getattr(result, "backend", None)
+        fingerprint = getattr(backend, "fingerprint", None)
+        if fingerprint is not None:
+            env["backend_fingerprint"] = fingerprint()
+        if backend is not None:
+            env["backend_used"] = getattr(backend, "name", type(backend).__name__)
+    return env
+
+
+def _profile_by_stage(snapshot: TelemetrySnapshot) -> Dict[str, Dict[str, Any]]:
+    """``profile.*`` histogram summaries grouped by stage label."""
+    profile: Dict[str, Dict[str, Any]] = {}
+    for record in snapshot.metrics:
+        if record["kind"] != "histogram":
+            continue
+        if not record["name"].startswith("profile."):
+            continue
+        stage = record["labels"].get("stage", "?")
+        metric = record["name"][len("profile."):]
+        profile.setdefault(stage, {})[metric] = {
+            "count": record["count"],
+            "mean": record["mean"],
+            "max": record["max"],
+            "p95": record["p95"],
+        }
+    return profile
+
+
+def build_run_report(snapshot: TelemetrySnapshot,
+                     config: Optional[Any] = None,
+                     result: Optional[Any] = None) -> Dict[str, Any]:
+    """Assemble the ``RUN_REPORT.json`` payload for one run.
+
+    Args:
+        snapshot: The merged telemetry snapshot of the run.
+        config: Optional :class:`~repro.core.experiment.ExperimentConfig`.
+        result: Optional :class:`~repro.core.experiment.ExperimentResult`
+            (adds accuracy/alarm and backend fingerprints).
+    """
+    report: Dict[str, Any] = {
+        "type": "run_report",
+        "schema": RUN_REPORT_SCHEMA_VERSION,
+        "environment": capture_environment(config, result),
+        "metrics": snapshot.metrics,
+        "deterministic_metrics": deterministic_metric_records(
+            snapshot.metrics),
+        "spans": [root.to_tree_dict() for root in snapshot.spans],
+        "profile": _profile_by_stage(snapshot),
+    }
+    if result is not None:
+        report["result"] = {
+            "test_accuracy": result.test_accuracy,
+            "alarm": result.report.alarm,
+            "distinguishable_pairs": sum(
+                r.distinguishable for r in result.report.results),
+            "pairs": len(result.report.results),
+            "confidence": result.report.confidence,
+        }
+    return report
+
+
+def write_run_report(report: Dict[str, Any],
+                     path: Union[str, Path]) -> Path:
+    """Write the report atomically (temp file + rename); returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        temp.write_text(json.dumps(report, indent=2, default=str) + "\n",
+                        encoding="utf-8")
+        os.replace(temp, path)
+    finally:
+        temp.unlink(missing_ok=True)
+    return path

@@ -22,12 +22,16 @@ from typing import Any, Callable, Iterator, List, Optional
 
 from .exporters import ConsoleExporter, JsonlExporter, TelemetrySnapshot
 from .metrics import MetricsRegistry
-from .spans import NOOP_SPAN, SpanTracer
+from .spans import NOOP_SPAN, SpanContext, SpanTracer
 
 #: Environment variable switching telemetry on ("1", "true", "yes", "on").
 ENV_ENABLED = "REPRO_TELEMETRY"
 #: Environment variable naming the JSONL output file.
 ENV_OUT = "REPRO_TELEMETRY_OUT"
+#: Environment variable switching resource profiling on (implies enabled).
+ENV_PROFILE = "REPRO_TELEMETRY_PROFILE"
+#: Environment variable switching the stderr progress reporter on.
+ENV_PROGRESS = "REPRO_TELEMETRY_PROGRESS"
 
 _TRUTHY = ("1", "true", "yes", "on")
 
@@ -40,27 +44,51 @@ class TelemetryConfig:
         enabled: Master switch; everything below is inert when False.
         console: Print the human-readable summary on flush.
         jsonl_path: JSONL sink file ('' disables the file sink).
+        profile: Sample per-stage resource usage (CPU time, RSS peak,
+            tracemalloc peak) into ``profile.*`` histograms; only
+            meaningful with ``enabled``.
+        progress: Emit the live stderr progress line during parallel
+            measurement.  Independent of ``enabled`` — progress is a
+            human signal, not telemetry data.
     """
 
     enabled: bool = False
     console: bool = True
     jsonl_path: str = ""
+    profile: bool = False
+    progress: bool = False
 
     @classmethod
     def from_env(cls) -> "TelemetryConfig":
-        """Configuration implied by ``REPRO_TELEMETRY[_OUT]``."""
-        enabled = os.environ.get(ENV_ENABLED, "").strip().lower() in _TRUTHY
+        """Configuration implied by the ``REPRO_TELEMETRY*`` variables."""
+        def truthy(name: str) -> bool:
+            return os.environ.get(name, "").strip().lower() in _TRUTHY
+
         out = os.environ.get(ENV_OUT, "").strip()
-        return cls(enabled=enabled or bool(out), jsonl_path=out)
+        profile = truthy(ENV_PROFILE)
+        return cls(enabled=truthy(ENV_ENABLED) or bool(out) or profile,
+                   jsonl_path=out, profile=profile,
+                   progress=truthy(ENV_PROGRESS))
 
 
 class Telemetry:
-    """One live telemetry context: tracer + metrics + exporters."""
+    """One live telemetry context: tracer + metrics + exporters.
 
-    def __init__(self, config: Optional[TelemetryConfig] = None):
+    Args:
+        config: Telemetry behaviour (default: everything off).
+        parent_context: When this runtime lives in a worker process, the
+            :class:`~repro.obs.spans.SpanContext` of the parent's enclosing
+            span — the tracer inherits its trace id so shipped spans join
+            the parent's trace.
+    """
+
+    def __init__(self, config: Optional[TelemetryConfig] = None,
+                 parent_context: Optional[SpanContext] = None):
         self.config = config or TelemetryConfig()
         self.enabled = self.config.enabled
-        self.tracer = SpanTracer()
+        self.parent_context = parent_context
+        self.tracer = SpanTracer(
+            trace_id=parent_context.trace_id if parent_context else None)
         self.metrics = MetricsRegistry()
         self.exporters: List[Any] = []
         #: True once a JSONL flush has succeeded (CLI success message gate).
@@ -106,11 +134,19 @@ def active() -> Telemetry:
     return _ACTIVE
 
 
-def configure(config: TelemetryConfig) -> Telemetry:
+def configure(config: TelemetryConfig,
+              parent_context: Optional[SpanContext] = None) -> Telemetry:
     """Install a fresh runtime for ``config`` and return it."""
     global _ACTIVE
-    _ACTIVE = Telemetry(config)
+    _ACTIVE = Telemetry(config, parent_context=parent_context)
     return _ACTIVE
+
+
+def current_context() -> Optional[SpanContext]:
+    """Propagatable context of the innermost open span (None if none)."""
+    if not _ACTIVE.enabled:
+        return None
+    return _ACTIVE.tracer.current_context()
 
 
 def reset() -> Telemetry:

@@ -12,8 +12,24 @@ from __future__ import annotations
 import functools
 import threading
 import time
+import uuid
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """Propagatable identity of one span: ``(trace id, span id)``.
+
+    A parent process hands its current context to worker processes
+    (picklable, two plain fields); workers stamp it on the telemetry they
+    ship back, and the parent re-parents their span trees under the span
+    the context names — one experiment-wide trace across processes.
+    """
+
+    trace_id: str
+    span_id: int
 
 
 class Span:
@@ -112,6 +128,40 @@ class Span:
             "attributes": dict(self.attributes),
         }
 
+    def to_tree_dict(self) -> Dict[str, Any]:
+        """JSON-serializable record of this span *and* its subtree.
+
+        Durations are stored, not absolute timestamps, so the tree can be
+        shipped across processes and re-hung under a new parent (see
+        :meth:`SpanTracer.adopt`) without clock coordination.
+        """
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "status": self.status,
+            "error": self.error,
+            "attributes": dict(self.attributes),
+            "children": [child.to_tree_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_summary(cls, name: str, span_id: int,
+                     parent: Optional["Span"] = None,
+                     attributes: Optional[Dict[str, Any]] = None,
+                     wall_s: float = 0.0, cpu_s: float = 0.0,
+                     status: str = "ok",
+                     error: Optional[str] = None) -> "Span":
+        """A finished span rebuilt from recorded durations (no live clock)."""
+        span = cls(name, span_id, parent=parent, attributes=attributes)
+        span._start_wall = 0.0
+        span._end_wall = float(wall_s)
+        span._start_cpu = 0.0
+        span._end_cpu = float(cpu_s)
+        span.status = status
+        span.error = error
+        return span
+
     def __repr__(self) -> str:
         state = f"{self.wall_s:.4f}s" if self.finished else "open"
         return f"Span({self.name!r}, {state}, children={len(self.children)})"
@@ -142,12 +192,19 @@ NOOP_SPAN = _NoopSpan()
 
 
 class SpanTracer:
-    """Collects span trees with a per-thread active-span stack."""
+    """Collects span trees with a per-thread active-span stack.
 
-    def __init__(self) -> None:
+    Args:
+        trace_id: Identity shared by every span this tracer records; a
+            worker tracer inherits the parent's trace id through a
+            propagated :class:`SpanContext` (default: a fresh random id).
+    """
+
+    def __init__(self, trace_id: Optional[str] = None) -> None:
         self._local = threading.local()
         self._lock = threading.Lock()
         self._next_id = 0
+        self.trace_id = trace_id or uuid.uuid4().hex[:16]
         self.roots: List[Span] = []
 
     def _stack(self) -> List[Span]:
@@ -203,6 +260,39 @@ class SpanTracer:
                     return func(*args, **kwargs)
             return wrapper
         return decorate
+
+    def current_context(self) -> Optional[SpanContext]:
+        """The :class:`SpanContext` of the innermost open span, if any."""
+        current = self.current
+        if current is None:
+            return None
+        return SpanContext(self.trace_id, current.span_id)
+
+    def adopt(self, tree: Dict[str, Any],
+              parent: Optional[Span] = None) -> Span:
+        """Re-hang a shipped span tree (:meth:`Span.to_tree_dict`) here.
+
+        Every adopted span gets a fresh id from this tracer (shipped ids
+        are process-local and would collide), keeps its recorded durations
+        and attributes, and becomes a child of ``parent`` — or a new root
+        when ``parent`` is None.
+        """
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        span = Span.from_summary(
+            tree["name"], span_id, parent=parent,
+            attributes=tree.get("attributes"),
+            wall_s=tree.get("wall_s", 0.0), cpu_s=tree.get("cpu_s", 0.0),
+            status=tree.get("status", "ok"), error=tree.get("error"))
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+        for child in tree.get("children", ()):
+            self.adopt(child, parent=span)
+        return span
 
     def root_spans(self) -> List[Span]:
         """Finished root spans (a consistent copy)."""

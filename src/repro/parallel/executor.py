@@ -20,13 +20,17 @@ bit-identical counts across worker counts.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..errors import MeasurementError
+from ..obs import distributed
 from ..obs import runtime as obs
+from ..obs.profiling import profile_stage
+from ..obs.progress import ProgressReporter
 from ..obs.runtime import TelemetryConfig
 from ..uarch.events import EventCounts
 
@@ -106,11 +110,17 @@ def resolve_context(prefer: str = "fork") -> multiprocessing.context.BaseContext
 _WORKER_STATE: Optional[tuple] = None
 
 
-def _init_worker(backend, samples_by_category, warmup, retry=None) -> None:
+def _init_worker(backend, samples_by_category, warmup, retry=None,
+                 telemetry=None, parent_context=None) -> None:
     global _WORKER_STATE
-    # Workers never export telemetry: spans/metrics of child processes
-    # would interleave with the parent's exporters.
-    obs.configure(TelemetryConfig(enabled=False))
+    # Workers never export directly — spans/metrics of child processes
+    # would interleave with the parent's exporters.  When the parent runs
+    # with telemetry on, each worker records into an in-memory runtime
+    # (inheriting the parent's trace id) and ships a per-chunk payload
+    # back with its results; otherwise telemetry stays off entirely.
+    if telemetry is None:
+        telemetry = TelemetryConfig(enabled=False)
+    obs.configure(telemetry, parent_context=parent_context)
     _WORKER_STATE = (backend, samples_by_category, warmup, retry)
 
 
@@ -123,26 +133,41 @@ def _measure_keyed(backend, sample, key, retry):
 
 def _measure_chunk(spec: ChunkSpec):
     backend, samples_by_category, warmup, retry = _WORKER_STATE
-    samples = samples_by_category[spec.category]
-    if spec.start == 0 and warmup:
-        # Warm-up classifications (unrecorded) run once per category, on
-        # the chunk that owns its first samples — noise keys make their
-        # draws side-effect free, so other chunks need no warm-up.
-        warm = samples[:min(warmup, len(samples))]
-        batch_measure = getattr(backend, "measure_clean_batch", None)
-        if batch_measure is not None:
-            batch_measure(warm)
-        else:
-            for index in range(len(warm)):
-                _measure_keyed(backend, samples[index],
-                               (spec.category, index), retry)
-    readings = []
-    for index in range(spec.start, spec.stop):
-        measurement = _measure_keyed(backend, samples[index],
-                                     (spec.category, index), retry)
-        readings.append({event.value: measurement.counts[event]
-                         for event in measurement.counts})
-    return spec.category, spec.start, readings
+    # Per-chunk capture: reset before, package after a *successful* chunk.
+    # A failed attempt's telemetry dies with the attempt, and the
+    # supervisor keeps exactly one result per chunk, so retries can never
+    # double-count anything (ProcessPoolExecutor workers run tasks
+    # serially, so the reset needs no locking).
+    capture = obs.is_enabled()
+    if capture:
+        distributed.start_chunk_capture()
+    with obs.span("measure.chunk", category=spec.category, start=spec.start,
+                  stop=spec.stop, pid=os.getpid()) as span:
+        with profile_stage("measure.chunk", span=span):
+            samples = samples_by_category[spec.category]
+            if spec.start == 0 and warmup:
+                # Warm-up classifications (unrecorded) run once per
+                # category, on the chunk that owns its first samples —
+                # noise keys make their draws side-effect free, so other
+                # chunks need no warm-up.
+                warm = samples[:min(warmup, len(samples))]
+                batch_measure = getattr(backend, "measure_clean_batch", None)
+                if batch_measure is not None:
+                    batch_measure(warm)
+                else:
+                    for index in range(len(warm)):
+                        _measure_keyed(backend, samples[index],
+                                       (spec.category, index), retry)
+            readings = []
+            for index in range(spec.start, spec.stop):
+                measurement = _measure_keyed(backend, samples[index],
+                                             (spec.category, index), retry)
+                readings.append({event.value: measurement.counts[event]
+                                 for event in measurement.counts})
+            obs.inc("measurement.samples", spec.stop - spec.start,
+                    category=spec.category)
+    payload = distributed.worker_payload() if capture else None
+    return spec.category, spec.start, readings, payload
 
 
 def measure_categories_parallel(
@@ -152,7 +177,10 @@ def measure_categories_parallel(
         workers: int = 2,
         retry=None,
         max_restarts: int = 3,
-        max_chunk_retries: int = 2) -> Dict[int, List[EventCounts]]:
+        max_chunk_retries: int = 2,
+        start_method: Optional[str] = None,
+        progress: Optional[ProgressReporter] = None
+        ) -> Dict[int, List[EventCounts]]:
     """Measure every category's samples across a supervised process pool.
 
     Execution is supervised (see :class:`repro.resilience.ChunkSupervisor`):
@@ -176,6 +204,10 @@ def measure_categories_parallel(
             failures never surface as chunk failures).
         max_restarts: Pool rebuilds tolerated after worker deaths.
         max_chunk_retries: Resubmissions per chunk whose task raised.
+        start_method: Multiprocessing start method to prefer (default:
+            ``fork`` where available, see :func:`resolve_context`).
+        progress: Optional :class:`~repro.obs.progress.ProgressReporter`
+            fed the supervisor's chunk callbacks (finished on exit).
 
     Returns:
         Category -> readouts in sample order, bit-identical to measuring
@@ -197,19 +229,41 @@ def measure_categories_parallel(
     with obs.span("parallel.measure", workers=workers,
                   chunks=len(chunks)) as span:
         obs.set_gauge("parallel.workers", workers)
-        context = resolve_context()
+        context = resolve_context(start_method or "fork")
         span.set_attribute("start_method", context.get_start_method())
+        # Workers inherit an in-memory telemetry runtime (no exporters)
+        # tied to this span's context, and ship back what they recorded.
+        worker_telemetry = None
+        parent_context = None
+        if obs.is_enabled():
+            active = obs.active().config
+            worker_telemetry = TelemetryConfig(
+                enabled=True, console=False, jsonl_path="",
+                profile=active.profile)
+            parent_context = obs.current_context()
         supervisor = ChunkSupervisor(
             context, workers,
             initializer=_init_worker,
-            initargs=(backend, dict(samples_by_category), warmup, retry),
+            initargs=(backend, dict(samples_by_category), warmup, retry,
+                      worker_telemetry, parent_context),
             max_restarts=max_restarts,
             max_chunk_retries=max_chunk_retries)
-        results = supervisor.run(_measure_chunk, chunks)
+        try:
+            results = supervisor.run(_measure_chunk, chunks,
+                                     observer=progress)
+        finally:
+            if progress is not None:
+                progress.finish()
         by_chunk: Dict[tuple, list] = {}
-        for category, start, readings in results.values():
+        # Merge worker telemetry in (category, start) order — never in
+        # completion order — so the merged snapshot is identical for any
+        # worker count or scheduling interleaving.
+        for key in sorted(results):
+            category, start, readings, payload = results[key]
             by_chunk[(category, start)] = readings
             obs.inc("measure.chunk", category=category)
+            distributed.merge_worker_payload(
+                payload, parent_span=span if obs.is_enabled() else None)
         per_category: Dict[int, List[EventCounts]] = {}
         for spec in chunks:
             per_category.setdefault(spec.category, []).extend(

@@ -91,8 +91,19 @@ class ChunkSupervisor:
         self.max_restarts = max_restarts
         self.max_chunk_retries = max_chunk_retries
 
-    def run(self, task: Callable, chunks: Sequence) -> Dict[Tuple[int, int], object]:
+    def run(self, task: Callable, chunks: Sequence,
+            observer=None) -> Dict[Tuple[int, int], object]:
         """Execute ``task(chunk)`` for every chunk; return results by key.
+
+        Args:
+            task: Callable run on each chunk inside a worker.
+            chunks: Chunk specs (``category``/``start``/``stop`` fields).
+            observer: Optional progress observer (duck-typed, e.g.
+                :class:`repro.obs.progress.ProgressReporter`) receiving
+                ``chunk_done(category, samples)``,
+                ``chunk_failed(category, error)``,
+                ``chunk_lost(category)`` and ``pool_restart()`` callbacks
+                as chunks resolve.
 
         Returns:
             ``{(chunk.category, chunk.start): task result}`` with exactly
@@ -123,6 +134,9 @@ class ChunkSupervisor:
                     key = (spec.category, spec.start)
                     try:
                         completed[key] = future.result()
+                        if observer is not None:
+                            observer.chunk_done(spec.category,
+                                                spec.stop - spec.start)
                     except BrokenProcessPool:
                         # The chunk never ran to a verdict — a worker died
                         # under it (or it was queued behind the death).
@@ -130,12 +144,16 @@ class ChunkSupervisor:
                         resubmit.append(spec)
                         obs.inc("supervisor.chunk_lost",
                                 category=spec.category)
+                        if observer is not None:
+                            observer.chunk_lost(spec.category)
                     except Exception as exc:
                         used = attempts.get(key, 0) + 1
                         attempts[key] = used
                         obs.inc("supervisor.chunk_error",
                                 category=spec.category,
                                 error=type(exc).__name__)
+                        if observer is not None:
+                            observer.chunk_failed(spec.category, error=exc)
                         if used <= self.max_chunk_retries:
                             resubmit.append(spec)
                         else:
@@ -145,6 +163,8 @@ class ChunkSupervisor:
             if broke:
                 restarts += 1
                 obs.inc("supervisor.restart")
+                if observer is not None:
+                    observer.pool_restart()
                 if restarts > self.max_restarts:
                     failed.extend(ChunkDiagnostic(
                         spec.category, spec.start, spec.stop,

@@ -41,7 +41,7 @@ class TestParser:
         assert {"evaluate", "figure1", "figure2", "figure3", "figure4",
                 "table1", "table2", "attack", "defend", "perf-probe",
                 "info", "bits", "latency", "localize",
-                "telemetry"} <= commands
+                "telemetry", "report"} <= commands
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -246,3 +246,38 @@ class TestTelemetry:
                                            capsys):
         assert main(["evaluate"] + tiny_args) == 0
         assert "telemetry summary" not in capsys.readouterr().out
+
+    def test_profile_flag_reaches_config(self):
+        from repro.cli.main import _config_from_args
+        args = build_parser().parse_args(["evaluate", "--profile"])
+        telemetry = _config_from_args(args).telemetry
+        assert telemetry.enabled and telemetry.profile
+        assert not telemetry.console
+
+    def test_progress_flag_alone_keeps_telemetry_off(self):
+        from repro.cli.main import _config_from_args
+        args = build_parser().parse_args(["evaluate", "--progress"])
+        telemetry = _config_from_args(args).telemetry
+        assert telemetry.progress and not telemetry.enabled
+
+    def test_report_subcommand_writes_artifact(self, tiny_args,
+                                               fast_training, tmp_path,
+                                               capsys):
+        import json
+
+        path = tmp_path / "RUN_REPORT.json"
+        assert main(["report", "--out", str(path), "--workers", "2"]
+                    + tiny_args) == 0
+        out = capsys.readouterr().out
+        assert "cpu_count=" in out
+        assert "workers=2" in out
+        assert f"wrote run report to {path}" in out
+        report = json.loads(path.read_text())
+        assert report["type"] == "run_report"
+        assert report["environment"]["cpu_count"] >= 1
+        assert report["environment"]["workers"] == 2
+        assert report["result"]["pairs"] > 0
+        assert report["spans"][0]["name"] == "experiment.run"
+        assert report["profile"]  # --profile is implied by `report`
+        names = {r["name"] for r in report["deterministic_metrics"]}
+        assert "measurement.samples" in names

@@ -1,13 +1,17 @@
 """Tests for telemetry exporters: JSONL round-trip, in-memory, console."""
 
+import multiprocessing
+
 import pytest
 
 from repro import obs
+from repro.errors import ConfigError
 from repro.obs import (
     ConsoleExporter,
     InMemoryExporter,
     JsonlExporter,
     TelemetryConfig,
+    TelemetrySnapshot,
     read_jsonl,
 )
 
@@ -74,8 +78,112 @@ class TestJsonl:
             with obs.span("stage"):
                 obs.inc("events")
             obs.flush()
-        names = {r["name"] for r in read_jsonl(path)}
+        records = read_jsonl(path)
+        meta = [r for r in records if r["type"] == "meta"]
+        assert len(meta) == 1
+        assert meta[0]["schema"] == obs.TELEMETRY_SCHEMA_VERSION
+        names = {r["name"] for r in records if r["type"] != "meta"}
         assert names == {"stage", "events"}
+
+    def test_export_leads_with_schema_header(self, populated_runtime,
+                                             tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        JsonlExporter(path).export(populated_runtime.snapshot())
+        records = read_jsonl(path)
+        header = records[0]
+        assert header["type"] == "meta"
+        assert header["schema"] == obs.TELEMETRY_SCHEMA_VERSION
+        assert header["spans"] == 3
+        assert header["metrics"] == len(records) - 1 - header["spans"]
+
+
+def _make_snapshot(counter=0.0, gauge=None, observations=()):
+    with obs.session(TelemetryConfig(enabled=True, console=False)) as runtime:
+        if counter:
+            obs.inc("events", counter, kind="test")
+        if gauge is not None:
+            obs.set_gauge("level", gauge)
+        for value in observations:
+            obs.observe("latency_ns", value)
+        return runtime.snapshot()
+
+
+class TestSnapshotMerge:
+    def test_counters_add_and_gauges_take_incoming(self):
+        merged = _make_snapshot(counter=2.0, gauge=1.0).merge(
+            _make_snapshot(counter=3.0, gauge=7.0))
+        assert merged.counter_value("events", kind="test") == 5.0
+        gauge = next(r for r in merged.metrics if r["name"] == "level")
+        assert gauge["value"] == 7.0
+
+    def test_histograms_merge_at_bucket_resolution(self):
+        merged = _make_snapshot(observations=[1.0, 2.0]).merge(
+            _make_snapshot(observations=[4.0, 1000.0]))
+        record = next(r for r in merged.metrics
+                      if r["name"] == "latency_ns")
+        assert record["count"] == 4
+        assert record["total"] == 1007.0
+        assert record["min"] == 1.0 and record["max"] == 1000.0
+        assert sum(count for _, count in record["buckets"]) == 4
+        assert record["truncated"] is True  # percentiles now bucket-based
+
+    def test_spans_concatenate(self):
+        with obs.session(TelemetryConfig(enabled=True, console=False)) as rt:
+            with obs.span("a"):
+                pass
+            first = rt.snapshot()
+        with obs.session(TelemetryConfig(enabled=True, console=False)) as rt:
+            with obs.span("b"):
+                pass
+            second = rt.snapshot()
+        merged = first.merge(second)
+        assert [s.name for s in merged.spans] == ["a", "b"]
+
+    def test_merge_order_of_metrics_is_canonical(self):
+        one = _make_snapshot(counter=1.0, gauge=2.0)
+        two = _make_snapshot(counter=4.0, gauge=3.0, observations=[1.0])
+        forward = one.merge(two)
+        backward = two.merge(one)
+        assert ([r["name"] for r in forward.metrics]
+                == [r["name"] for r in backward.metrics])
+
+    def test_kind_conflict_is_an_error(self):
+        counter_snap = _make_snapshot(counter=1.0)
+        gauge_snap = _make_snapshot(gauge=1.0)
+        gauge_snap.metrics[0]["name"] = "events"
+        gauge_snap.metrics[0]["labels"] = {"kind": "test"}
+        with pytest.raises(ConfigError):
+            counter_snap.merge(gauge_snap)
+
+
+def _concurrent_export(args):
+    path, writer_id, exports = args
+    for index in range(exports):
+        snapshot = TelemetrySnapshot(metrics=[{
+            "type": "metric", "kind": "counter",
+            "name": f"writer.{writer_id}",
+            "labels": {"index": str(index), "pad": "x" * 2000},
+            "value": float(index),
+        }])
+        JsonlExporter(path).export(snapshot)
+    return writer_id
+
+
+class TestConcurrentJsonl:
+    def test_parallel_writers_never_tear_lines(self, tmp_path):
+        path = tmp_path / "shared.jsonl"
+        writers, exports = 4, 8
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(writers) as pool:
+            pool.map(_concurrent_export,
+                     [(str(path), w, exports) for w in range(writers)])
+        records = read_jsonl(path)  # json.loads fails on any torn line
+        metric = [r for r in records if r["type"] == "metric"]
+        meta = [r for r in records if r["type"] == "meta"]
+        assert len(metric) == writers * exports
+        assert len(meta) == writers * exports
+        seen = {(r["name"], r["labels"]["index"]) for r in metric}
+        assert len(seen) == writers * exports
 
 
 class TestInMemory:

@@ -96,6 +96,22 @@ class TestExperimentTelemetry:
         assert result.distributions.categories == \
             cold.distributions.categories
 
+    def test_evaluator_metrics_have_category_labels(self, tmp_path,
+                                                    restore_runtime):
+        result = run_experiment(tiny_config(tmp_path))
+        snapshot = obs.active().snapshot()
+        # Two categories, 8 events -> 8 pairwise tests; each test belongs
+        # to both of its categories.
+        assert snapshot.counter_value("ttest.pairs") == 8.0
+        for category in (0, 1):
+            assert snapshot.counter_value("ttest.category_pairs",
+                                          category=category) == 8.0
+        rejections = snapshot.counter_value("ttest.rejections")
+        assert snapshot.counter_value("ttest.category_rejections") == \
+            2.0 * rejections
+        assert rejections == sum(r.distinguishable
+                                 for r in result.report.results)
+
     def test_engine_telemetry_emitted(self, tmp_path, restore_runtime):
         run_experiment(tiny_config(tmp_path))
         snapshot = obs.active().snapshot()

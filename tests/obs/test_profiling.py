@@ -1,0 +1,80 @@
+"""Tests for per-stage resource profiling."""
+
+import tracemalloc
+
+from repro import obs
+from repro.obs import TelemetryConfig
+from repro.obs.profiling import profile_stage, profiling_enabled, rss_peak_kb
+
+
+class TestProfileStage:
+    def test_records_histograms_and_annotates_span(self):
+        with obs.session(TelemetryConfig(enabled=True, console=False,
+                                         profile=True)) as runtime:
+            assert profiling_enabled()
+            with obs.span("stage") as span:
+                with profile_stage("stage", span=span):
+                    _ = [bytearray(4096) for _ in range(64)]
+            snapshot = runtime.snapshot()
+        names = {r["name"] for r in snapshot.metrics
+                 if r["kind"] == "histogram"}
+        assert {"profile.cpu_s", "profile.tracemalloc_peak_kb"} <= names
+        alloc = next(r for r in snapshot.metrics
+                     if r["name"] == "profile.tracemalloc_peak_kb")
+        assert alloc["labels"] == {"stage": "stage"}
+        assert alloc["count"] == 1
+        assert alloc["max"] >= 4096 * 64 / 1024.0 * 0.5  # at least most of it
+        assert "profile.cpu_s" in span.attributes
+        assert "profile.tracemalloc_peak_kb" in span.attributes
+
+    def test_noop_without_profile_flag(self):
+        with obs.session(TelemetryConfig(enabled=True, console=False,
+                                         profile=False)) as runtime:
+            assert not profiling_enabled()
+            with profile_stage("stage"):
+                pass
+            assert runtime.snapshot().metrics == []
+
+    def test_noop_when_telemetry_disabled(self):
+        with obs.session(TelemetryConfig(enabled=False)):
+            assert not profiling_enabled()
+            with profile_stage("stage"):
+                pass
+
+    def test_stops_tracemalloc_it_started(self):
+        assert not tracemalloc.is_tracing()
+        with obs.session(TelemetryConfig(enabled=True, console=False,
+                                         profile=True)):
+            with profile_stage("stage"):
+                assert tracemalloc.is_tracing()
+        assert not tracemalloc.is_tracing()
+
+    def test_leaves_foreign_tracemalloc_running(self):
+        tracemalloc.start()
+        try:
+            with obs.session(TelemetryConfig(enabled=True, console=False,
+                                             profile=True)):
+                with profile_stage("stage"):
+                    pass
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+    def test_rss_peak_is_positive_where_supported(self):
+        peak = rss_peak_kb()
+        assert peak is None or peak > 0
+
+    def test_profile_env_var_implies_enabled(self, monkeypatch):
+        monkeypatch.delenv(obs.ENV_ENABLED, raising=False)
+        monkeypatch.delenv(obs.ENV_OUT, raising=False)
+        monkeypatch.setenv(obs.ENV_PROFILE, "1")
+        config = TelemetryConfig.from_env()
+        assert config.enabled and config.profile
+
+    def test_progress_env_var_does_not_imply_enabled(self, monkeypatch):
+        monkeypatch.delenv(obs.ENV_ENABLED, raising=False)
+        monkeypatch.delenv(obs.ENV_OUT, raising=False)
+        monkeypatch.delenv(obs.ENV_PROFILE, raising=False)
+        monkeypatch.setenv(obs.ENV_PROGRESS, "1")
+        config = TelemetryConfig.from_env()
+        assert config.progress and not config.enabled

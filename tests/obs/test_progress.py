@@ -1,0 +1,93 @@
+"""Tests for the live measurement progress reporter."""
+
+import io
+
+from repro.obs.progress import ProgressReporter
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_reporter(total_chunks=4, total_samples=20, **kwargs):
+    stream = io.StringIO()
+    clock = FakeClock()
+    reporter = ProgressReporter(total_chunks, total_samples=total_samples,
+                                stream=stream, clock=clock, **kwargs)
+    return reporter, stream, clock
+
+
+class TestProgressReporter:
+    def test_counts_and_rate_and_eta(self):
+        reporter, _, clock = make_reporter()
+        clock.advance(2.0)
+        reporter.chunk_done(0, 5)
+        clock.advance(2.0)
+        reporter.chunk_done(1, 5)
+        line = reporter.format_line()
+        assert "2/4 chunks" in line
+        assert "10/20 samples" in line
+        assert "2.5/s" in line      # 10 samples over 4 seconds
+        assert "eta 4s" in line     # 10 remaining at 2.5/s
+
+    def test_retries_and_restarts_appear_when_nonzero(self):
+        reporter, _, _ = make_reporter()
+        assert "retries" not in reporter.format_line()
+        reporter.chunk_failed(0, error=ValueError("boom"))
+        reporter.chunk_lost(1)
+        reporter.pool_restart()
+        line = reporter.format_line()
+        assert "retries=1" in line
+        assert "lost=1 restarts=1" in line
+
+    def test_non_tty_updates_are_throttled_lines(self):
+        reporter, stream, clock = make_reporter(min_interval_s=1.0)
+        reporter.chunk_done(0, 5)   # first render always shows
+        reporter.chunk_done(1, 5)   # within the interval: suppressed
+        clock.advance(1.5)
+        reporter.chunk_done(2, 5)   # past the interval: shows
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert all("\r" not in line for line in lines)
+
+    def test_finish_renders_final_state_and_is_idempotent(self):
+        reporter, stream, _ = make_reporter(min_interval_s=1000.0)
+        reporter.chunk_done(0, 5)
+        reporter.chunk_done(1, 5)   # throttled away
+        reporter.finish()           # forced final render
+        reporter.finish()
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 2
+        assert "2/4 chunks" in lines[-1]
+
+    def test_per_category_chunk_counts(self):
+        reporter, _, _ = make_reporter()
+        reporter.chunk_done(0, 5)
+        reporter.chunk_done(0, 5)
+        reporter.chunk_done(3, 5)
+        assert reporter.per_category == {0: 2, 3: 1}
+
+    def test_supervisor_accepts_reporter_as_observer(self, tiny_trained_model,
+                                                     digits_dataset):
+        from repro.hpc import SimBackend
+        from repro.parallel import measure_categories_parallel, plan_chunks
+
+        backend = SimBackend(tiny_trained_model, noise_scale=1.0, seed=5)
+        samples = {c: digits_dataset.category(c).images[:4] for c in (0, 1)}
+        stream = io.StringIO()
+        chunks = plan_chunks({c: len(s) for c, s in samples.items()}, 2)
+        reporter = ProgressReporter(len(chunks), total_samples=8,
+                                    stream=stream, min_interval_s=0.0)
+        measure_categories_parallel(backend, samples, workers=2,
+                                    progress=reporter)
+        assert reporter.done_chunks == len(chunks)
+        assert reporter.done_samples == 8
+        assert f"{len(chunks)}/{len(chunks)} chunks" in \
+            stream.getvalue().splitlines()[-1]

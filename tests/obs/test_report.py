@@ -1,0 +1,109 @@
+"""Tests for run reports and the merge-determinism metric filter."""
+
+import json
+
+from repro import obs
+from repro.obs import TelemetryConfig
+from repro.obs.report import (
+    RUN_REPORT_SCHEMA_VERSION,
+    build_run_report,
+    capture_environment,
+    deterministic_metric_records,
+    write_run_report,
+)
+
+
+def _record(name, kind="counter", labels=None, **extra):
+    base = {"type": "metric", "kind": kind, "name": name,
+            "labels": labels or {}, "value": 1.0}
+    base.update(extra)
+    return base
+
+
+class TestDeterministicFilter:
+    def test_keeps_data_counters(self):
+        records = [
+            _record("measurement.samples", labels={"category": "0"}),
+            _record("ttest.pairs"),
+            _record("ttest.category_rejections", labels={"category": "1"}),
+            _record("cache.hit", labels={"kind": "measurement"}),
+        ]
+        assert deterministic_metric_records(records) == sorted(
+            records, key=lambda r: r["name"])
+
+    def test_drops_topology_and_timing_records(self):
+        dropped = [
+            _record("measure.chunk"),
+            _record("parallel.workers", kind="gauge"),
+            _record("supervisor.restart"),
+            _record("engine.compile"),
+            _record("profile.cpu_s", kind="histogram"),
+            _record("backend.measure_ns", kind="histogram"),
+            _record("pipeline.stage_s", kind="histogram"),
+            _record("train.step", kind="histogram"),
+            _record("faults.injected", labels={"kind": "timeout"}),
+            _record("retry.attempt"),
+        ]
+        assert deterministic_metric_records(dropped) == []
+
+    def test_output_is_sorted_by_name_and_labels(self):
+        records = [
+            _record("b.counter"),
+            _record("a.counter", labels={"x": "2"}),
+            _record("a.counter", labels={"x": "1"}),
+        ]
+        names = [(r["name"], r["labels"]) for r in
+                 deterministic_metric_records(records)]
+        assert names == [("a.counter", {"x": "1"}),
+                         ("a.counter", {"x": "2"}),
+                         ("b.counter", {})]
+
+
+class TestEnvironmentCapture:
+    def test_baseline_fields(self):
+        env = capture_environment()
+        assert env["cpu_count"] >= 1
+        assert env["python"]
+        assert env["repro_version"]
+        assert "start_method" in env
+
+    def test_config_fields(self):
+        from repro.core.experiment import ExperimentConfig
+        config = ExperimentConfig(workers=2, cache_dir="")
+        env = capture_environment(config)
+        assert env["workers"] == 2
+        assert env["dataset"] == "mnist"
+        assert env["model_fingerprint"] == config.model_key()
+
+
+class TestRunReport:
+    def test_build_and_write_round_trip(self, tmp_path):
+        with obs.session(TelemetryConfig(enabled=True, console=False,
+                                         profile=True)) as runtime:
+            with obs.span("experiment.run"):
+                with obs.span("experiment.measure") as span:
+                    from repro.obs.profiling import profile_stage
+                    with profile_stage("measure", span=span):
+                        obs.inc("measurement.samples", 5, category=0)
+            snapshot = runtime.snapshot()
+        report = build_run_report(snapshot)
+        assert report["schema"] == RUN_REPORT_SCHEMA_VERSION
+        assert report["environment"]["cpu_count"] >= 1
+        assert report["spans"][0]["name"] == "experiment.run"
+        assert report["spans"][0]["children"][0]["name"] == \
+            "experiment.measure"
+        assert "measure" in report["profile"]
+        assert "cpu_s" in report["profile"]["measure"]
+        names = {r["name"] for r in report["deterministic_metrics"]}
+        assert "measurement.samples" in names
+        assert not any(name.startswith("profile.") for name in names)
+        path = write_run_report(report, tmp_path / "RUN_REPORT.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["type"] == "run_report"
+        assert loaded["schema"] == report["schema"]
+
+    def test_write_is_atomic_no_temp_left_behind(self, tmp_path):
+        path = write_run_report({"type": "run_report", "schema": 1},
+                                tmp_path / "deep" / "RUN_REPORT.json")
+        assert path.exists()
+        assert list(path.parent.iterdir()) == [path]

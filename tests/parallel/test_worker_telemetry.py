@@ -1,0 +1,192 @@
+"""Worker telemetry shipping: merged snapshots must match sequential ones.
+
+The merge-determinism contract: for one seed, every metric covered by
+:func:`repro.obs.deterministic_metric_records` is bit-for-bit identical
+whether measurement ran in-process or across any number of workers, under
+either multiprocessing start method, and under fault injection with
+retries — chunk retries must never double-count.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro import obs
+from repro.hpc import MeasurementSession, SimBackend
+from repro.obs.report import deterministic_metric_records
+from repro.parallel import measure_categories_parallel, plan_chunks
+from repro.resilience import RetryPolicy
+from repro.resilience.faults import FaultKind, FaultPlan, FaultSpec, FlakyBackend
+
+START_METHODS = [
+    method for method in ("fork", "spawn")
+    if method in multiprocessing.get_all_start_methods()
+]
+
+
+def _samples(dataset, categories=(0, 1, 2), per_category=5):
+    return {category: dataset.category(category).images[:per_category]
+            for category in categories}
+
+
+def _deterministic(snapshot):
+    """Comparable (name, labels, payload) tuples of the covered records."""
+    out = []
+    for record in deterministic_metric_records(snapshot.metrics):
+        payload = {k: v for k, v in record.items() if k != "labels"}
+        out.append((record["name"], tuple(sorted(record["labels"].items())),
+                    tuple(sorted(payload.items(), key=lambda kv: kv[0],))))
+    return out
+
+
+def _run_parallel(model, samples, workers, start_method=None, seed=5):
+    backend = SimBackend(model, noise_scale=1.0, seed=seed)
+    with obs.session(obs.TelemetryConfig(enabled=True,
+                                         console=False)) as runtime:
+        results = measure_categories_parallel(
+            backend, samples, warmup=1, workers=workers,
+            start_method=start_method)
+        return results, runtime.snapshot()
+
+
+def _run_sequential(model, dataset, categories=(0, 1, 2), per_category=5,
+                    seed=5):
+    backend = SimBackend(model, noise_scale=1.0, seed=seed)
+    with obs.session(obs.TelemetryConfig(enabled=True,
+                                         console=False)) as runtime:
+        session = MeasurementSession(backend, warmup=1, cache=None)
+        session.collect(dataset, list(categories), per_category)
+        return runtime.snapshot()
+
+
+class TestMergeDeterminism:
+    def test_worker_counts_agree_bit_for_bit(self, tiny_trained_model,
+                                             digits_dataset):
+        samples = _samples(digits_dataset)
+        snapshots = [
+            _run_parallel(tiny_trained_model, samples, workers)[1]
+            for workers in (1, 2, 4)
+        ]
+        baseline = _deterministic(snapshots[0])
+        assert baseline  # the guarantee must cover something
+        for snapshot in snapshots[1:]:
+            assert _deterministic(snapshot) == baseline
+
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_start_methods_agree_with_sequential(self, tiny_trained_model,
+                                                 digits_dataset,
+                                                 start_method):
+        samples = _samples(digits_dataset)
+        results, snapshot = _run_parallel(tiny_trained_model, samples,
+                                          workers=2,
+                                          start_method=start_method)
+        sequential = _run_sequential(tiny_trained_model, digits_dataset)
+        assert _deterministic(snapshot) == _deterministic(sequential)
+        # ...and the measured data itself is unchanged.
+        single = _run_parallel(tiny_trained_model, samples, workers=1)[0]
+        assert results == single
+
+    def test_sequential_records_include_sample_counts(self,
+                                                      tiny_trained_model,
+                                                      digits_dataset):
+        snapshot = _run_sequential(tiny_trained_model, digits_dataset)
+        for category in (0, 1, 2):
+            assert snapshot.counter_value("measurement.samples",
+                                          category=category) == 5.0
+
+
+class TestWorkerSpans:
+    def test_chunk_spans_reparented_under_parallel_measure(
+            self, tiny_trained_model, digits_dataset):
+        samples = _samples(digits_dataset)
+        _, snapshot = _run_parallel(tiny_trained_model, samples, workers=2)
+        parents = snapshot.find_spans("parallel.measure")
+        assert len(parents) == 1
+        chunk_spans = snapshot.find_spans("measure.chunk")
+        expected = plan_chunks({c: len(s) for c, s in samples.items()}, 2)
+        assert len(chunk_spans) == len(expected)
+        assert all(span.parent is parents[0] for span in chunk_spans)
+        # Shipped spans carry their worker-side attributes and durations.
+        starts = sorted((span.attributes["category"],
+                         span.attributes["start"]) for span in chunk_spans)
+        assert starts == sorted((spec.category, spec.start)
+                                for spec in expected)
+        assert all(span.wall_s >= 0.0 and span.finished
+                   for span in chunk_spans)
+
+    def test_chunk_counter_matches_chunk_plan(self, tiny_trained_model,
+                                              digits_dataset):
+        samples = _samples(digits_dataset)
+        _, snapshot = _run_parallel(tiny_trained_model, samples, workers=3)
+        expected = plan_chunks({c: len(s) for c, s in samples.items()}, 3)
+        assert snapshot.counter_value("measure.chunk") == len(expected)
+
+    def test_workers_inherit_trace_id(self, tiny_trained_model,
+                                      digits_dataset):
+        backend = SimBackend(tiny_trained_model, noise_scale=1.0, seed=5)
+        samples = _samples(digits_dataset)
+        with obs.session(obs.TelemetryConfig(enabled=True,
+                                             console=False)) as runtime:
+            with obs.span("outer"):
+                context = obs.current_context()
+                assert context is not None
+                assert context.trace_id == runtime.tracer.trace_id
+            measure_categories_parallel(backend, samples, warmup=0,
+                                        workers=2)
+            # Adopted spans live in the parent tracer: one trace end-to-end.
+            assert runtime.tracer.find("measure.chunk")
+
+
+class TestFaultInjection:
+    def test_in_worker_retries_do_not_change_merged_counters(
+            self, tiny_trained_model, digits_dataset):
+        samples = _samples(digits_dataset)
+        clean = _run_parallel(tiny_trained_model, samples, workers=2)
+        # ~10% of the 15 measured keys fault once; in-worker retries
+        # absorb every fault, so results and merged telemetry must match
+        # the clean run bit-for-bit.
+        plan = FaultPlan([
+            FaultSpec(FaultKind.TIMEOUT, category=0, index=1),
+            FaultSpec(FaultKind.GARBAGE, category=2, index=3),
+        ])
+        backend = FlakyBackend(
+            SimBackend(tiny_trained_model, noise_scale=1.0, seed=5), plan)
+        retry = RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0)
+        with obs.session(obs.TelemetryConfig(enabled=True,
+                                             console=False)) as runtime:
+            results = measure_categories_parallel(
+                backend, samples, warmup=1, workers=2, retry=retry)
+            snapshot = runtime.snapshot()
+        assert results == clean[0]
+        assert _deterministic(snapshot) == _deterministic(clean[1])
+        assert snapshot.counter_value("faults.injected") == 2.0
+
+    def test_chunk_retries_do_not_double_count(self, tiny_trained_model,
+                                               digits_dataset, tmp_path):
+        samples = _samples(digits_dataset)
+        clean = _run_parallel(tiny_trained_model, samples, workers=2)
+        # The fault outlives the in-worker retry budget, so the first
+        # chunk attempt *fails* and the supervisor resubmits the chunk;
+        # the marker files make the attempt count global, so the retried
+        # chunk succeeds.  The failed attempt's telemetry must be
+        # discarded with it: chunk counters and sample counts stay exact.
+        retry = RetryPolicy(max_attempts=2, backoff_base=0.0, jitter=0.0)
+        plan = FaultPlan(
+            [FaultSpec(FaultKind.TIMEOUT, category=1, index=0,
+                       times=retry.max_attempts)],
+            state_dir=tmp_path / "fault-state")
+        backend = FlakyBackend(
+            SimBackend(tiny_trained_model, noise_scale=1.0, seed=5), plan)
+        with obs.session(obs.TelemetryConfig(enabled=True,
+                                             console=False)) as runtime:
+            results = measure_categories_parallel(
+                backend, samples, warmup=1, workers=2, retry=retry)
+            snapshot = runtime.snapshot()
+        assert results == clean[0]
+        assert _deterministic(snapshot) == _deterministic(clean[1])
+        expected = plan_chunks({c: len(s) for c, s in samples.items()}, 2)
+        assert snapshot.counter_value("measure.chunk") == len(expected)
+        assert snapshot.counter_value("supervisor.chunk_error") == 1.0
+        for category in (0, 1, 2):
+            assert snapshot.counter_value("measurement.samples",
+                                          category=category) == 5.0
