@@ -1,0 +1,117 @@
+"""Batched measurement engine vs the per-sample replay path.
+
+Times side-channel measurement of MNIST-CNN classifications on the sim
+backend both ways — ``measure`` in a loop (one full ``CpuModel`` replay
+per sample) and ``measure_batch`` (trace once per sample, replay every
+residue through the vectorized ``MeasurementPlan`` against the memoized
+input-independent prefix) — and writes the record to
+``BENCH_measure.json``.  The CI ``bench-smoke`` job uploads that file as
+an artifact, so the throughput trajectory is tracked per commit.
+
+Asserted unconditionally:
+
+* batched and per-sample measurements are **bit-identical** under the
+  same noise keys (the engine's core contract);
+* batched throughput is >= 10x the per-sample path in samples/s.  The
+  gain is vectorization + per-category memoization, not parallelism, so
+  the gate holds on a 1-core runner (unlike the multi-worker speedup in
+  ``bench_pipeline.py``, which needs cores to show up).
+
+Timing uses warmup + best-of-``REPEATS`` passes so scheduler noise
+biases both paths equally and the reported ratio reflects steady state.
+
+Environment knobs: ``REPRO_BENCH_MEASURE_SAMPLES`` (batch size, default
+30), ``REPRO_BENCH_MEASURE_BASELINE`` (per-sample-path samples, default
+6), ``REPRO_BENCH_MEASURE_REPEATS`` (passes kept for the best-of
+reduction, default 3), ``REPRO_BENCH_MEASURE_OUT`` (output path).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.experiment import mnist_experiment, prepare_model
+from repro.hpc.sim_backend import SimBackend
+from repro.uarch.engine import MeasurementPlan
+
+BATCH = int(os.environ.get("REPRO_BENCH_MEASURE_SAMPLES", "30"))
+BASELINE = int(os.environ.get("REPRO_BENCH_MEASURE_BASELINE", "6"))
+REPEATS = int(os.environ.get("REPRO_BENCH_MEASURE_REPEATS", "3"))
+OUT_PATH = Path(os.environ.get("REPRO_BENCH_MEASURE_OUT",
+                               "BENCH_measure.json"))
+REQUIRED_SPEEDUP = 10.0
+
+
+def best_of(callable_, repeats):
+    """Best wall-clock seconds over ``repeats`` passes (after one warmup)."""
+    callable_()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_measurement_engine_speedup():
+    config = mnist_experiment(categories=(0, 1), samples_per_category=2,
+                              cache_dir="")
+    model, _ = prepare_model(config)
+    pool = config.generator().generate(BATCH, seed=config.eval_seed,
+                                       categories=[0])
+    samples = list(pool.category(0).images[:BATCH])
+    backend = SimBackend(model)
+    assert MeasurementPlan.supports(backend.cpu_config,
+                                    cold_start=backend.cpu.cold_start)
+    keys = [(0, index) for index in range(BATCH)]
+
+    # Correctness first: a fast engine whose distributions drift is
+    # worthless here — noise keys make both paths pure functions of
+    # (sample, key), so the comparison is exact.
+    check = min(4, BATCH)
+    loop = [backend.measure(sample, noise_key=key)
+            for sample, key in zip(samples[:check], keys[:check])]
+    batch = backend.measure_batch(samples[:check], noise_keys=keys[:check])
+    for want, got in zip(loop, batch):
+        assert want.prediction == got.prediction
+        assert all(want.counts[event] == got.counts[event]
+                   for event in want.counts)
+
+    baseline_s = best_of(
+        lambda: [backend.measure(sample, noise_key=key)
+                 for sample, key in zip(samples[:BASELINE], keys[:BASELINE])],
+        REPEATS)
+    batched_s = best_of(
+        lambda: backend.measure_batch(samples, noise_keys=keys), REPEATS)
+
+    baseline_sps = BASELINE / baseline_s
+    batched_sps = BATCH / batched_s
+    speedup = batched_sps / baseline_sps
+    record = {
+        "model": "mnist-cnn",
+        "backend": "sim",
+        "batch_size": BATCH,
+        "baseline_samples": BASELINE,
+        "repeats": REPEATS,
+        "cpu_count": os.cpu_count(),
+        "per_sample_path": {
+            "samples_per_s": round(baseline_sps, 2),
+            "ms_per_sample": round(baseline_s / BASELINE * 1e3, 3),
+        },
+        "batched_engine": {
+            "samples_per_s": round(batched_sps, 2),
+            "ms_per_sample": round(batched_s / BATCH * 1e3, 3),
+            "replay_chunk": MeasurementPlan.REPLAY_CHUNK,
+        },
+        "throughput_speedup": round(speedup, 2),
+        "required_speedup": REQUIRED_SPEEDUP,
+        "bit_identical": True,
+    }
+    OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {OUT_PATH}: per-sample {baseline_sps:.1f} samples/s, "
+          f"batched {batched_sps:.1f} samples/s ({speedup:.1f}x)")
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"batched measurement only {speedup:.2f}x the per-sample path "
+        f"(required {REQUIRED_SPEEDUP:.0f}x)")

@@ -246,11 +246,20 @@ def prepare_model(config: ExperimentConfig,
                                  seed=config.data_seed)
     train, holdout = dataset.split(0.85, seed=config.data_seed + 1)
     if model_path is not None and model_path.exists():
-        obs.inc("cache.hit", kind="model")
-        model = load_model(model_path)
-        trainer = Trainer(model, engine=config.engine)
-        return model, trainer.evaluate(holdout.images, holdout.labels)
-    if model_path is not None:
+        try:
+            model = load_model(model_path)
+        except Exception:
+            # A torn archive (interrupted run, hard container stop) must
+            # never poison the cache: evict it and retrain, mirroring
+            # MeasurementCache.get's corruption handling.
+            obs.inc("cache.corrupt", kind="model")
+            obs.inc("cache.miss", kind="model")
+            model_path.unlink(missing_ok=True)
+        else:
+            obs.inc("cache.hit", kind="model")
+            trainer = Trainer(model, engine=config.engine)
+            return model, trainer.evaluate(holdout.images, holdout.labels)
+    elif model_path is not None:
         obs.inc("cache.miss", kind="model")
     model = build_model(config.dataset, seed=config.model_seed)
     trainer = Trainer(model, optimizer=Adam(config.learning_rate),

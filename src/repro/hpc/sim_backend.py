@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import time
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,6 +22,7 @@ from ..nn.model import Sequential
 from ..trace.recorder import TraceConfig
 from ..trace.traced_model import TracedInference
 from ..uarch.cpu import CpuConfig, CpuModel
+from ..uarch.engine import MeasurementPlan
 from ..uarch.events import EventCounts, HpcEvent
 from .backend import HpcBackend, Measurement
 
@@ -116,6 +117,9 @@ class SimBackend(HpcBackend):
         self._noise_seed = seed
         self._rng = np.random.default_rng(seed)
         self._auto_index = 0
+        self._plan: Optional[MeasurementPlan] = None
+        self._noise_coeffs: Dict[Tuple[HpcEvent, ...],
+                                 Tuple[np.ndarray, np.ndarray]] = {}
 
     @property
     def supports_noise_keys(self) -> bool:
@@ -165,6 +169,121 @@ class SimBackend(HpcBackend):
             offset = abs(rng.normal(0.0, floor)) if floor else 0.0
             noisy[event] = max(0, int(round(value + jitter + offset)))
         return EventCounts(noisy)
+
+    def _noisy_packed(self, counts: Dict[HpcEvent, int],
+                      rng: np.random.Generator) -> EventCounts:
+        """Vectorized :meth:`_noisy`: one batched draw per measurement.
+
+        Bit-identical to the per-event loop: a single
+        ``Generator.normal`` call with an array of scales consumes the
+        underlying bit stream exactly like the equivalent sequence of
+        scalar draws, and events whose relative noise or floor is zero
+        are excluded from the draw (never drawn-and-discarded), matching
+        the loop's skip pattern.
+        """
+        events = tuple(counts)
+        coeffs = self._noise_coeffs.get(events)
+        if coeffs is None:
+            rels = np.array([self.noise_profile.get(e, 0.002)
+                             * self.noise_scale for e in events])
+            floors = np.array([DEFAULT_NOISE_FLOOR.get(e, 0.0)
+                               * self.noise_scale for e in events])
+            coeffs = (rels, floors)
+            self._noise_coeffs[events] = coeffs
+        rels, floors = coeffs
+        n = len(events)
+        values = np.array([float(counts[e]) for e in events])
+        scales = np.empty(2 * n)
+        scales[0::2] = rels * values          # jitter, then offset,
+        scales[1::2] = floors                 # in event order
+        drawn = np.empty(2 * n, dtype=bool)
+        drawn[0::2] = rels != 0.0
+        drawn[1::2] = floors != 0.0
+        draws = np.zeros(2 * n)
+        draws[drawn] = rng.normal(0.0, scales[drawn])
+        adjusted = values + draws[0::2] + np.abs(draws[1::2])
+        noisy = np.maximum(0, np.round(adjusted)).astype(np.int64)
+        return EventCounts(dict(zip(events, (int(v) for v in noisy))))
+
+    def measure_batch(self, samples: Sequence[np.ndarray],
+                      noise_keys: Optional[Sequence[Tuple[int, int]]] = None
+                      ) -> List[Measurement]:
+        """Measure a batch of classifications through the compiled engine.
+
+        Bit-identical to calling :meth:`measure` once per sample in
+        order: traces come from the same per-sample tracer, the batched
+        replay (:class:`repro.uarch.MeasurementPlan`) is exact, and
+        noise is drawn with the same generators in the same draw order.
+        Configurations outside the plan's exact-vectorization envelope
+        (non-LRU replacement, prefetchers, warm tasks, custom
+        predictors) transparently fall back to the per-sample path.
+
+        Args:
+            samples: Inputs to classify, one measurement each.
+            noise_keys: Optional per-sample ``(category, index)`` noise
+                keys, same semantics as :meth:`measure`.
+        """
+        samples = list(samples)
+        if noise_keys is not None:
+            if self.noise_scheme != "per-sample":
+                raise BackendError(
+                    "noise_key requires noise_scheme='per-sample' "
+                    f"(got scheme {self.noise_scheme!r})"
+                )
+            if len(noise_keys) != len(samples):
+                raise BackendError(
+                    f"got {len(noise_keys)} noise keys for "
+                    f"{len(samples)} samples"
+                )
+        if not samples:
+            return []
+        if not MeasurementPlan.supports(self.cpu_config,
+                                        cold_start=self.cpu.cold_start):
+            if noise_keys is None:
+                return [self.measure(sample) for sample in samples]
+            return [self.measure(sample, noise_key=key)
+                    for sample, key in zip(samples, noise_keys)]
+        enabled = obs.is_enabled()
+        start = time.perf_counter_ns() if enabled else 0
+        if self._plan is None:
+            self._plan = MeasurementPlan(self.cpu_config)
+        predictions = []
+        traces = []
+        for sample in samples:
+            prediction, trace = self.traced.trace_sample(sample)
+            predictions.append(prediction)
+            traces.append(trace)
+        counts_list = self._plan.replay_batch(traces)
+        if enabled:
+            obs.observe("backend.measure_batch_ns",
+                        time.perf_counter_ns() - start, backend=self.name)
+            obs.inc("backend.measurements", len(samples),
+                    backend=self.name)
+            # The per-sample path emits these from Trace.replay, once per
+            # measurement; keep the data-derived totals identical so the
+            # deterministic-telemetry contract holds whichever path (and
+            # whatever chunking) measured a sample.
+            obs.inc("trace.ops", sum(len(trace.ops) for trace in traces))
+            obs.inc("trace.mem_accesses",
+                    sum(trace.memory_accesses for trace in traces))
+        results: List[Measurement] = []
+        for i, (prediction, counts) in enumerate(
+                zip(predictions, counts_list)):
+            if self.noise_scale == 0.0:
+                results.append(Measurement(prediction, EventCounts(counts)))
+                continue
+            if self.noise_scheme == "per-sample":
+                if noise_keys is None:
+                    key = (-1, self._auto_index)
+                    self._auto_index += 1
+                else:
+                    key = noise_keys[i]
+                rng = self._keyed_rng(*key)
+            else:
+                rng = self._rng
+            results.append(Measurement(prediction,
+                                       self._noisy_packed(counts, rng)))
+        return results
 
     def measure(self, sample: np.ndarray,
                 noise_key: Optional[Tuple[int, int]] = None) -> Measurement:

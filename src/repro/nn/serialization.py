@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import io
 import json
+import os
 from pathlib import Path
 from typing import Union
 
@@ -50,8 +51,15 @@ def save_model(model: Sequential, path: Union[str, Path]) -> Path:
         for key, value in layer.state_arrays().items():
             arrays[f"layer{i}.{key}"] = value
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "wb") as handle:
-        np.savez(handle, **arrays)
+    # Atomic publish (same discipline as MeasurementCache.put): a crash
+    # mid-write must never leave a torn archive under the final name.
+    temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(temp, "wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(temp, path)
+    finally:
+        temp.unlink(missing_ok=True)
     return path
 
 

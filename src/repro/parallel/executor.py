@@ -26,7 +26,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from ..errors import MeasurementError
+from ..errors import BackendError, MeasurementError
 from ..obs import distributed
 from ..obs import runtime as obs
 from ..obs.profiling import profile_stage
@@ -158,12 +158,33 @@ def _measure_chunk(spec: ChunkSpec):
                     for index in range(len(warm)):
                         _measure_keyed(backend, samples[index],
                                        (spec.category, index), retry)
-            readings = []
-            for index in range(spec.start, spec.stop):
-                measurement = _measure_keyed(backend, samples[index],
-                                             (spec.category, index), retry)
-                readings.append({event.value: measurement.counts[event]
-                                 for event in measurement.counts})
+            batch_keyed = getattr(backend, "measure_batch", None)
+            measurements = None
+            if batch_keyed is not None:
+                # Keyed noise makes the batched engine path bit-identical
+                # to the per-index loop.  A retry policy doesn't disqualify
+                # it: backends exposing measure_batch are deterministic
+                # (FlakyBackend, the fault-injection wrapper, doesn't),
+                # so retries could never trigger here.  If a batch fails
+                # against a custom backend anyway, fall back to the
+                # retried per-index loop — keyed draws keep it identical.
+                try:
+                    measurements = batch_keyed(
+                        samples[spec.start:spec.stop],
+                        noise_keys=[(spec.category, index)
+                                    for index in range(spec.start,
+                                                       spec.stop)])
+                except BackendError:
+                    if retry is None or retry.max_attempts <= 1:
+                        raise
+            if measurements is None:
+                measurements = [
+                    _measure_keyed(backend, samples[index],
+                                   (spec.category, index), retry)
+                    for index in range(spec.start, spec.stop)]
+            readings = [{event.value: measurement.counts[event]
+                         for event in measurement.counts}
+                        for measurement in measurements]
             obs.inc("measurement.samples", spec.stop - spec.start,
                     category=spec.category)
     payload = distributed.worker_payload() if capture else None

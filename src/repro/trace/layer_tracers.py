@@ -51,6 +51,30 @@ from .address_map import AddressSpace, ArrayRegion
 from .recorder import Trace, TraceConfig
 
 
+def _pack_tables(tables: List[np.ndarray]):
+    """Flatten a list of line arrays into ``(pack, offsets, lengths)``."""
+    lengths = np.array([t.size for t in tables], dtype=np.int64)
+    offsets = np.zeros(lengths.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    pack = (np.concatenate(tables) if tables
+            else np.zeros(0, dtype=np.int64))
+    return pack, offsets, lengths
+
+
+def _gather_slices(pack: np.ndarray, starts: np.ndarray,
+                   lens: np.ndarray) -> np.ndarray:
+    """Concatenate ``pack[s:s+l]`` slices with one vectorized gather.
+
+    Equivalent to ``np.concatenate([pack[s:s + l] for s, l in
+    zip(starts, lens)])`` without the per-slice Python overhead.
+    """
+    total = int(lens.sum())
+    idx = np.arange(total, dtype=np.int64)
+    shift = np.cumsum(lens) - lens          # exclusive prefix sizes
+    idx += np.repeat(starts - shift, lens)
+    return pack[idx]
+
+
 class LayerTracer(abc.ABC):
     """Base class: emits the trace of one layer's inference.
 
@@ -121,6 +145,19 @@ class LayerTracer(abc.ABC):
         trace.mem(self._strided(region.all_lines(self.config.line_bytes)),
                   write=write)
 
+    def _ws_prefix_lines(self, count: int) -> np.ndarray:
+        """``workspace.lines_of(arange(count))`` without building the index.
+
+        A contiguous element prefix of a region maps to a contiguous,
+        already-collapsed line range, so it is a slice of the
+        precomputed full-region line array.
+        """
+        ws = self._workspace
+        line_bytes = self.config.line_bytes
+        span = ((ws.base + (count - 1) * ws.itemsize) // line_bytes
+                - ws.base // line_bytes + 1)
+        return self._ws_all_lines[:span]
+
 
 class ElementwiseTracer(LayerTracer):
     """Dense elementwise layer: read everything, write everything.
@@ -184,6 +221,7 @@ class ConvTracer(LayerTracer):
         self._workspace = self.space.allocate(
             f"{layer.name}.workspace", (in_elements, kk_ws),
             self.config.itemsize)
+        self._ws_all_lines = self._workspace.all_lines(line_bytes)
         in_ch, in_h, in_w = layer.input_shape
         out_ch, out_h, out_w = layer.output_shape
         k, stride = layer.kernel, layer.stride
@@ -221,6 +259,15 @@ class ConvTracer(LayerTracer):
                         + ox[None, None, :]).ravel()
                 self._out_lines_by_position.append(
                     self.out_region.lines_of(flat, line_bytes))
+        # Packed forms of the scatter tables: one flat line array per kind
+        # plus offset/length vectors, so a sparse trace interleaves
+        # variable-length slices with a single gather instead of a Python
+        # loop of list appends (bit-identical stream, same order).
+        self._w_pack, self._w_ofs, self._w_len = _pack_tables(
+            self._weight_lines_by_channel)
+        self._o_pack, self._o_ofs, self._o_len = _pack_tables(
+            self._out_lines_by_position)
+        self._scatter_pack = np.concatenate([self._w_pack, self._o_pack])
         # Dense-gather tables (zero padding costs no input reads) ----------
         positions = []
         for oy in range(out_h):
@@ -286,22 +333,23 @@ class ConvTracer(LayerTracer):
             order = np.argsort(positions * in_ch + channels, kind="stable")
             positions = positions[order]
             channels = channels[order]
-        pieces: List[np.ndarray] = []
-        weight_tables = self._weight_lines_by_channel
-        out_tables = self._out_lines_by_position
-        for c, pos in zip(channels, positions):
-            pieces.append(weight_tables[c])
-            pieces.append(out_tables[pos])
-        if pieces:
-            trace.mem(np.concatenate(pieces))
         nnz = int(nonzero.size)
+        if nnz:
+            # Interleave W[:, c, :, :] and output-block slices per live
+            # activation in one gather from the packed tables.
+            starts = np.empty(2 * nnz, dtype=np.int64)
+            lens = np.empty(2 * nnz, dtype=np.int64)
+            starts[0::2] = self._w_ofs[channels]
+            lens[0::2] = self._w_len[channels]
+            starts[1::2] = self._o_ofs[positions] + self._w_pack.size
+            lens[1::2] = self._o_len[positions]
+            trace.mem(_gather_slices(self._scatter_pack, starts, lens))
         # The kernel materializes one gather-list entry (kernel-sized slice)
         # per live activation in a scratch workspace; the touched extent —
         # and hence its cold-miss footprint — scales with the live count.
         kk_ws = layer.kernel * layer.kernel
         if nnz:
-            trace.mem(self._workspace.lines_of(
-                np.arange(nnz * kk_ws), self.config.line_bytes), write=True)
+            trace.mem(self._ws_prefix_lines(nnz * kk_ws), write=True)
         trace.instr(n * self.config.instr_per_branch_test
                     + nnz * out_ch * kk * self.config.instr_per_mac
                     + out_ch * self.out_region.num_elements // out_ch)
@@ -322,10 +370,13 @@ class DenseTracer(LayerTracer):
         self._workspace = self.space.allocate(
             f"{layer.name}.workspace", (in_features, units),
             self.config.itemsize)
+        self._ws_all_lines = self._workspace.all_lines(line_bytes)
         self._row_lines: List[np.ndarray] = []
         for j in range(in_features):
             flat = j * units + np.arange(units)
             self._row_lines.append(weight_region.lines_of(flat, line_bytes))
+        self._row_pack, self._row_ofs, self._row_len = _pack_tables(
+            self._row_lines)
         self._weight_all_lines = weight_region.all_lines(line_bytes)
         self._out_all_lines = self.out_region.all_lines(line_bytes)
 
@@ -338,14 +389,12 @@ class DenseTracer(LayerTracer):
             trace.mem(self.in_region.all_lines(self.config.line_bytes))
             trace.dyn_branch(self.pc(1), flat != 0)
             nonzero = np.flatnonzero(flat)
-            pieces = [self._row_lines[j] for j in nonzero]
-            pieces.append(self._out_all_lines)
-            trace.mem(np.concatenate(pieces))
+            rows = _gather_slices(self._row_pack, self._row_ofs[nonzero],
+                                  self._row_len[nonzero])
+            trace.mem(np.concatenate([rows, self._out_all_lines]))
             nnz = int(nonzero.size)
             if nnz:
-                trace.mem(self._workspace.lines_of(
-                    np.arange(nnz * units), self.config.line_bytes),
-                    write=True)
+                trace.mem(self._ws_prefix_lines(nnz * units), write=True)
             trace.instr(in_features * self.config.instr_per_branch_test
                         + nnz * units * self.config.instr_per_mac + units)
             trace.bulk_branch(in_features,

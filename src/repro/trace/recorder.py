@@ -99,6 +99,7 @@ class Trace:
 
     def __init__(self) -> None:
         self.ops: List[Tuple] = []
+        self._memory_lines: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Builders
@@ -109,6 +110,7 @@ class Trace:
         lines = np.asarray(lines, dtype=np.int64)
         if lines.size:
             self.ops.append((OP_MEM, lines, write))
+            self._memory_lines = None
 
     def instr(self, count: int) -> None:
         """Record ``count`` retired instructions."""
@@ -133,6 +135,7 @@ class Trace:
     def extend(self, other: "Trace") -> None:
         """Append another trace's operations."""
         self.ops.extend(other.ops)
+        self._memory_lines = None
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -165,11 +168,16 @@ class Trace:
         return sum(op[2].size for op in self.ops if op[0] == OP_DYN_BRANCH)
 
     def memory_lines(self) -> np.ndarray:
-        """Concatenated access stream (program order)."""
-        chunks = [op[1] for op in self.ops if op[0] == OP_MEM]
-        if not chunks:
-            return np.empty(0, dtype=np.int64)
-        return np.concatenate(chunks)
+        """Concatenated access stream (program order).
+
+        The concatenation is cached; recording further memory bursts
+        (:meth:`mem`, :meth:`extend`) invalidates it.
+        """
+        if self._memory_lines is None:
+            chunks = [op[1] for op in self.ops if op[0] == OP_MEM]
+            self._memory_lines = (np.concatenate(chunks) if chunks
+                                  else np.empty(0, dtype=np.int64))
+        return self._memory_lines
 
     # ------------------------------------------------------------------
     # Replay

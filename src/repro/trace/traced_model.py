@@ -204,7 +204,12 @@ class TracedInference:
             Batched BLAS reductions are not guaranteed to round identically
             to the per-sample forward pass, so traces may differ from
             :meth:`trace_sample` in rare near-tie cases.  Use it where
-            results are discarded (warm-up) or consumed as a batch.
+            results are discarded (warm-up) or consumed as a batch.  For
+            *measurement*, where traces must be bit-identical to the
+            per-sample path, batch at the replay layer instead: trace via
+            :meth:`trace_sample` and feed the traces to
+            :meth:`repro.uarch.engine.MeasurementPlan.replay_batch`
+            (what ``SimBackend.measure_batch`` does).
 
         Args:
             samples: Array of shape ``(batch,) + model.input_shape``.

@@ -128,13 +128,44 @@ class Cache:
 
     def access(self, line: int, write: bool = False) -> bool:
         """Access a single line; returns True on hit."""
-        missed = self.access_many([line], write=write)
-        return not missed
+        stats = self.stats
+        dirty = self._dirty
+        set_state = self._sets[line & self._set_mask]
+        if self._fast_lru:
+            try:
+                set_state.remove(line)
+            except ValueError:
+                hit = False
+                stats.misses += 1
+                if len(set_state) >= self.policy.associativity:
+                    victim = set_state.pop(0)
+                    stats.evictions += 1
+                    if victim in dirty:
+                        dirty.discard(victim)
+                        stats.writebacks += 1
+            else:
+                hit = True
+                stats.hits += 1
+            set_state.append(line)
+        else:
+            hit, evicted = self.policy.access(set_state, line)
+            if hit:
+                stats.hits += 1
+            else:
+                stats.misses += 1
+            if evicted is not None:
+                stats.evictions += 1
+                if evicted in dirty:
+                    dirty.discard(evicted)
+                    stats.writebacks += 1
+        if write:
+            dirty.add(line)
+        return hit
 
     def contains(self, line: int) -> bool:
         """True when ``line`` is currently resident (no state change)."""
         set_state = self._sets[line & self._set_mask]
-        if isinstance(self.policy, LruPolicy) or not set_state or not isinstance(
+        if self._fast_lru or not set_state or not isinstance(
                 set_state[0], list):
             return line in set_state
         return line in set_state[0]  # tree-PLRU keeps [lines, bits]

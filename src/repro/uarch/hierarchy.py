@@ -147,8 +147,22 @@ class CacheHierarchy:
         return summary
 
     def touch(self, line: int, write: bool = False) -> AccessSummary:
-        """Single-line convenience wrapper over :meth:`access_stream`."""
-        return self.access_stream([line], write=write)
+        """Single-line fast path (same bookkeeping as :meth:`access_stream`)."""
+        cfg = self.config
+        summary = AccessSummary(accesses=1)
+        if not self.l1.access(line, write=write):
+            summary.l1_misses = 1
+            if not self.l2.access(line):
+                summary.l2_misses = 1
+                if not self.llc.access(line):
+                    summary.llc_misses = 1
+        summary.stall_cycles = (
+            summary.l1_misses * (cfg.l2_latency - cfg.l1_latency)
+            + summary.l2_misses * (cfg.llc_latency - cfg.l2_latency)
+            + summary.llc_misses * (cfg.memory_latency - cfg.llc_latency)
+        )
+        self.totals.merge(summary)
+        return summary
 
     def invalidate(self, line: int) -> None:
         """Flush ``line`` from every level (``clflush`` semantics)."""

@@ -1,0 +1,835 @@
+"""Vectorized microarchitecture state machines.
+
+NumPy re-implementations of the three sequential simulators that dominate
+measurement time — set-associative LRU caches, the fully-associative LRU
+TLB and the 2-bit-saturating-counter branch predictors.  Every kernel is
+**exact**: it reproduces the per-access decisions of the reference classes
+in :mod:`repro.uarch.cache`, :mod:`repro.uarch.tlb` and
+:mod:`repro.uarch.branch` bit for bit (asserted by the invariance suite in
+``tests/uarch``), it just arrives at them without a Python-level loop per
+access.
+
+The central trick for LRU is the *backward k-th-distinct chain*: in a
+stream whose consecutive elements differ (consecutive duplicates are
+trivial hits and collapse away first), access ``t`` hits an ``A``-way LRU
+set iff its value equals one of the ``A`` most recent **distinct** values,
+whose positions ``w1 > w2 > ... > wA`` satisfy ``w1 = t-1``, ``w2 = t-2``
+and ``w(k+1) =`` the first position below ``w(k)-1`` whose value differs
+from all of ``v[w1..wk]``.  Those chains are found for every position at
+once with masked backward scans; per-set streams from convolution scatter
+kernels are dominated by period-2 alternation runs, which the scans skip
+in one step via precomputed run boundaries (see ``lru_hits_grouped``).
+
+Counter-table predictors reduce to a segmented scan of clamp maps:
+``k`` same-direction updates of a saturating counter compose into the map
+``x -> min(hi, max(lo, x + k*d))``, and clamp maps are closed under
+composition, so a run-length-encoded Hillis-Steele scan recovers every
+per-branch "state before update" from which predictions follow.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "counter_states_before",
+    "gshare_history",
+    "lru_hits_grouped",
+    "lru_level_hits",
+    "lru_level_misses",
+    "strip_periodic_middles",
+    "tlb_hits",
+]
+
+
+# ----------------------------------------------------------------------
+# Grouped LRU (set-associative caches)
+# ----------------------------------------------------------------------
+
+def strip_periodic_middles(values: np.ndarray, group_starts: np.ndarray,
+                           assoc: int, max_period: int = 8,
+                           min_frac: float = 0.04) -> np.ndarray:
+    """Keep-mask that removes the interior of periodic runs.
+
+    Per-set streams from convolution scatter loops are dominated by
+    period-``p`` runs (``v[i] == v[i-p]`` over a long interval).  Inside
+    such a run with ``p <= assoc``, every access past the first ``2p``
+    positions is a guaranteed LRU hit (its previous occurrence is ``p``
+    back, with at most ``p - 1 < assoc`` distinct lines in between), and
+    the run's final MRU order is fully determined by its last ``p``
+    accesses — one full period, touching every distinct run value.  So a
+    maximal period-``p`` interval can be collapsed to its first ``2p``
+    and last ``p`` positions without changing any kept position's
+    hit/miss outcome or the set state at run exit.  Positions removed
+    this way are exactly the ones that force long backward walks in
+    ``lru_hits_grouped``.
+
+    One period is stripped per pass (greedily, by coverage), then the
+    shortened stream is re-examined: each single-period pass is exact on
+    its input, so the composition is exact, and compound structure that
+    only becomes periodic after an inner period collapses is still found.
+
+    Returns:
+        Boolean keep mask aligned with ``values``; removed positions are
+        unconditional hits.
+    """
+    keep = np.ones(values.size, dtype=bool)
+    if values.size < 8 or assoc < 2:
+        return keep
+    idx = None  # lazily materialised map: current stream -> original
+    kv, kg = values, group_starts
+    max_p = min(assoc, max_period)
+    while kv.size >= 8:
+        starts = np.flatnonzero(kg)
+        lens = np.empty(starts.size, dtype=np.int64)
+        lens[:-1] = starts[1:] - starts[:-1]
+        lens[-1] = kv.size - starts[-1]
+        pig = np.arange(kv.size, dtype=np.int64)
+        pig -= np.repeat(starts, lens)
+        best_p, best_cnt, best_alt = 0, int(kv.size * min_frac), None
+        alt = np.zeros(kv.size, dtype=bool)
+        for p in range(2, max_p + 1):
+            alt[:p] = False
+            np.equal(kv[p:], kv[:-p], out=alt[p:])
+            np.logical_and(alt[p:], pig[p:] >= p, out=alt[p:])
+            cnt = int(np.count_nonzero(alt))
+            if cnt > best_cnt:
+                best_p, best_cnt, best_alt = p, cnt, alt.copy()
+        if not best_p:
+            break
+        p, alt = best_p, best_alt
+        # Removable = alt true across the whole window [i-p, i+p]: at
+        # least 2p past the maximal run's start and p before its end.
+        rm = alt.copy()
+        for off in range(1, p + 1):
+            rm[:-off] &= alt[off:]
+            rm[-off:] = False
+            rm[off:] &= alt[:-off]
+            rm[:off] = False
+        n_rm = int(np.count_nonzero(rm))
+        if n_rm <= int(kv.size * min_frac):
+            break
+        sub = np.flatnonzero(~rm)
+        kv = kv[sub]
+        kg = kg[sub]
+        # Splicing a run's prefix against its tail can create new
+        # consecutive duplicates (and, once removed, further ones);
+        # duplicate hits are state-neutral, so collapsing them again is
+        # exact and restores the kernel's precondition.
+        while kv.size > 1:
+            dup = np.zeros(kv.size, dtype=bool)
+            np.equal(kv[1:], kv[:-1], out=dup[1:])
+            dup[1:] &= ~kg[1:]
+            if not dup.any():
+                break
+            nodup = np.flatnonzero(~dup)
+            sub = sub[nodup]
+            kv = kv[nodup]
+            kg = kg[nodup]
+        if idx is None:
+            idx = sub
+        else:
+            idx = idx[sub]
+    if idx is not None:
+        keep[:] = False
+        keep[idx] = True
+    return keep
+
+
+def _walker_fallback(v: np.ndarray, avoid: List[np.ndarray],
+                     cand: np.ndarray, active: np.ndarray) -> None:
+    """Exact per-walker backward scan for positions the vector rounds left.
+
+    Guaranteed to terminate: every group is preceded by ``assoc`` unique
+    sentinel values that can never be in a walker's avoid set.
+    """
+    for i in active.tolist():
+        bad = {int(av[i]) for av in avoid}
+        p = int(cand[i])
+        while int(v[p]) in bad:
+            p -= 1
+        cand[i] = p
+
+
+def lru_hits_grouped(values: np.ndarray, group_ids: np.ndarray,
+                     assoc: int, max_rounds: int = 96,
+                     group_starts: Optional[np.ndarray] = None) -> np.ndarray:
+    """Hit mask of concatenated per-set access streams under LRU.
+
+    Args:
+        values: Line ids, the concatenation of contiguous per-group
+            (per-set) streams with **no consecutive duplicates inside a
+            group** (collapse them first; they are unconditional hits).
+        group_ids: Same-length array marking group membership; groups must
+            occupy contiguous runs.  Values only separate neighbours —
+            they need not be dense or sorted.  Ignored (may be ``None``)
+            when ``group_starts`` is given.
+        assoc: Set associativity (LRU depth).
+        max_rounds: Vectorized scan rounds per chain before the remaining
+            walkers fall back to the exact per-walker scan.
+        group_starts: Optional precomputed boolean mask of group-start
+            positions (callers that already track boundaries skip the
+            neighbour-compare pass).
+
+    Returns:
+        Boolean hit mask aligned with ``values``.
+
+    Two exact kernels sit behind this entry point.  Low associativity
+    (the L1 point of the hierarchy) runs the backward k-th-distinct
+    chain walker, whose window pruning decides almost every position in
+    ``assoc`` shifted compares.  High associativity runs the bitset
+    kernel: deep sets almost always cycle through at most 64 distinct
+    lines per (set, sample) stream, where an LRU set behaves exactly
+    like a fully-associative LRU and the hit test reduces to a popcount
+    over a range-OR of per-value bit masks — no backward walks at all.
+    Groups that overflow 64 distinct values fall back to the walker.
+    """
+    n = int(values.size)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    if assoc < 1:
+        raise ValueError(f"assoc must be >= 1, got {assoc}")
+    values = np.ascontiguousarray(values)
+    if group_starts is not None:
+        new_group = group_starts
+    else:
+        new_group = np.empty(n, dtype=bool)
+        new_group[0] = True
+        np.not_equal(group_ids[1:], group_ids[:-1], out=new_group[1:])
+    if assoc >= 6 and n >= 1024:
+        hit, big = _lru_bitset_grouped(values, new_group, assoc)
+        if big is not None:
+            bi = np.flatnonzero(big)
+            hit[bi] = _lru_walker_grouped(values[bi], new_group[bi],
+                                          assoc, max_rounds)
+        return hit
+    return _lru_walker_grouped(values, new_group, assoc, max_rounds)
+
+
+def _lru_bitset_grouped(values: np.ndarray, group_starts: np.ndarray,
+                        capacity: int) -> Tuple[np.ndarray,
+                                                Optional[np.ndarray]]:
+    """Grouped LRU hits via per-group value bit masks.
+
+    An access hits a ``capacity``-way LRU set iff fewer than ``capacity``
+    distinct *other* values were touched since its previous occurrence.
+    Mapping each group's values to dense ranks (at most 64 of them) turns
+    that count into ``popcount(OR of bit masks strictly between the two
+    occurrences)``, answered by a doubling range-OR table.
+
+    Returns:
+        ``(hit, big)`` where ``big`` is ``None`` or a boolean mask of
+        positions in groups with more than 64 distinct values, whose
+        ``hit`` entries are undefined and must come from the walker.
+    """
+    n = int(values.size)
+    # Sort by (group, value), position-stable: LSD order — stable sort by
+    # value first, then a stable radix pass on the (dense, small) group
+    # id composes to the pair order with positions ascending inside ties.
+    gid = np.cumsum(group_starts)        # 1-based group id
+    ngroups = int(gid[-1])
+    o1 = np.argsort(values, kind="stable")
+    g1 = gid[o1].astype(np.uint16 if ngroups <= 1 << 16 else np.int64)
+    o2 = np.argsort(g1, kind="stable")
+    order = o1[o2]
+    sv = values[order]
+    sg = g1[o2]
+    new_pair = np.empty(n, dtype=bool)
+    new_pair[0] = True
+    np.not_equal(sv[1:], sv[:-1], out=new_pair[1:])
+    gchange = np.empty(n, dtype=bool)
+    gchange[0] = True
+    np.not_equal(sg[1:], sg[:-1], out=gchange[1:])
+    new_pair |= gchange
+    # Previous occurrence of each access's (group, value), original index
+    # space: consecutive sorted entries of one pair are consecutive
+    # occurrences.
+    prev = np.full(n, -1, dtype=np.int64)
+    cont = np.flatnonzero(~new_pair)
+    prev[order[cont]] = order[cont - 1]
+    # Dense per-group rank of each value and per-group distinct counts.
+    c = np.cumsum(new_pair)
+    gs_sorted = np.flatnonzero(gchange)
+    glen = np.empty(gs_sorted.size, dtype=np.int64)
+    glen[:-1] = gs_sorted[1:] - gs_sorted[:-1]
+    glen[-1] = n - gs_sorted[-1]
+    rank_sorted = c - np.repeat(c[gs_sorted], glen)
+    distinct = c[gs_sorted + glen - 1] - c[gs_sorted] + 1
+    big = None
+    if int(distinct.max()) > 64:
+        big = np.zeros(n, dtype=bool)
+        big[order] = np.repeat(distinct > 64, glen)
+        rank_sorted = np.minimum(rank_sorted, 63)
+    rank = np.empty(n, dtype=np.uint64)
+    rank[order] = rank_sorted.astype(np.uint64)
+    bits = np.uint64(1) << rank
+    # Doubling range-OR table; spans never exceed one group because every
+    # query stays between two occurrences within a single group.
+    max_len = int(glen.max())
+    levels = [bits]
+    span = 1
+    while span < max_len:
+        top = levels[-1]
+        nxt = top.copy()
+        np.bitwise_or(top[:-span], top[span:], out=nxt[:-span])
+        levels.append(nxt)
+        span <<= 1
+    hit = np.zeros(n, dtype=bool)
+    t_idx = np.flatnonzero(prev >= 0)
+    lo = prev[t_idx] + 1                  # query range [lo, t-1]
+    ln = t_idx - lo
+    inside = ln > 0
+    more_recent = np.zeros(t_idx.size, dtype=np.int64)
+    if inside.any():
+        li, ti = lo[inside], t_idx[inside]
+        seg = ti - li
+        k = (np.frexp(seg.astype(np.float64))[1] - 1).astype(np.int64)
+        table = np.stack(levels[:int(k.max()) + 1])
+        more_recent[np.flatnonzero(inside)] = np.bitwise_count(
+            table[k, li] | table[k, ti - (np.int64(1) << k)])
+    hit[t_idx] = more_recent < capacity
+    return hit, big
+
+
+def _lru_walker_grouped(values: np.ndarray, new_group: np.ndarray,
+                        assoc: int, max_rounds: int = 96) -> np.ndarray:
+    """Backward k-th-distinct chain kernel (see :func:`lru_hits_grouped`)."""
+    n = int(values.size)
+    # Pad every group with `assoc` unique negative sentinels so backward
+    # chains stop at group boundaries without bounds checks: sentinels
+    # never equal a real line id nor each other, so they are never in an
+    # avoid set and always terminate a walk.  Everything runs in int32 —
+    # line ids are far below 2**31 and halving the element width roughly
+    # halves both stream passes and gather traffic (guarded fallback for
+    # exotic id ranges).
+    pad = assoc
+    starts = np.flatnonzero(new_group)
+    ngroups = int(starts.size)
+    total = n + pad * ngroups
+    dtype = (np.int32 if total < 2**31 - 1
+             and int(values.max(initial=0)) < 2**31 - 1 else np.int64)
+    lens = np.empty(ngroups, dtype=np.int64)
+    lens[:-1] = starts[1:] - starts[:-1]
+    lens[-1] = n - starts[-1]
+    pos = np.arange(n, dtype=dtype)
+    pos += np.repeat(np.arange(pad, pad * (ngroups + 1), pad,
+                               dtype=dtype), lens)
+    # Sentinel slots sit structurally before each group's first element —
+    # filled directly, no full-array scan needed.
+    sent_pos = ((starts + np.arange(ngroups, dtype=np.int64) * pad)[:, None]
+                + np.arange(pad, dtype=np.int64)[None, :]).ravel()
+    v = np.empty(total, dtype=dtype)
+    v[sent_pos] = -np.arange(2, ngroups * pad + 2, dtype=dtype)
+    v[pos] = values
+
+    # Reuse-distance pruning on the padded array, all contiguous shifted
+    # compares.  The positions of the `assoc` most recent distinct values
+    # are the last occurrences of those values, so access t hits iff its
+    # previous occurrence lies among them:
+    #   * v[t] recurring within the last `assoc` positions guarantees a
+    #     hit (at most assoc-1 other positions fit in between);
+    #   * the last `assoc` positions holding `assoc` distinct values with
+    #     v[t] not among them guarantees a miss (the whole LRU window is
+    #     right there).  Sentinels count as distinct, which stays correct:
+    #     a window crossing the group start means the group tail holds the
+    #     entire history, so an unseen v[t] is a first access.
+    # Only the remaining positions — inside cyclic runs with fewer than
+    # `assoc` values — need a chain walk.
+    hitp = np.zeros(total, dtype=bool)
+    buf = np.empty(total, dtype=bool)
+    for j in range(1, assoc + 1):
+        np.equal(v[j:], v[:-j], out=buf[j:])
+        np.logical_or(hitp[j:], buf[j:], out=hitp[j:])
+    hit = hitp[pos]
+    if assoc < 3:
+        # assoc <= 2 is fully decided by the window: w1 = t-1, w2 = t-2.
+        return hit
+    dcp = np.ones(total, dtype=np.int8)
+    dcp[2:] += 1         # j=2: the direct predecessor pair is collapsed,
+    for j in range(3, assoc + 1):      # so it is always distinct
+        newj = v[:total - j] != v[j - 1:total - 1]
+        for i in range(2, j - 1):
+            newj &= v[:total - j] != v[j - i:total - i]
+        dcp[j:] += newj
+    walkers = np.flatnonzero(~hit & (dcp[pos] < assoc))
+    if walkers.size == 0:
+        return hit
+
+    # Scatter-kernel per-set streams are dominated by short-period cyclic
+    # runs (weight line vs. a few output lines), the pathological case for
+    # step-by-one walks.  For period p, the last position <= c where v
+    # breaks the p-periodicity bounds the run: inside it every position's
+    # value is one of the p "slot" values v[c], ..., v[c-p+1], so a walker
+    # whose avoid set covers all slots may leap straight below the run.
+    # Break positions are kept as sorted index lists queried with
+    # ``searchsorted`` — with the period range capped, query volume stays
+    # proportional to the (rare) walkers, so binary searches beat any
+    # per-position table by an O(stream) build pass per period.
+    period_breaks: dict = {}
+
+    def break_before(period: int, where: np.ndarray) -> np.ndarray:
+        breaks = period_breaks.get(period)
+        if breaks is None:
+            bm = np.empty(total, dtype=bool)
+            bm[:period] = True
+            np.not_equal(v[period:], v[:-period], out=bm[period:])
+            breaks = np.flatnonzero(bm)
+            period_breaks[period] = breaks
+        idx = np.searchsorted(breaks, where, side="right") - 1
+        return breaks[idx].astype(dtype)
+
+    # A jump at period p needs p consecutive slots inside the avoid set
+    # (at most assoc-1 values), and consecutive duplicates are collapsed,
+    # so patterns with period >= assoc contribute almost no productive
+    # jumps — capping here keeps the per-period break lists worth building.
+    max_period = max(2, min(assoc - 1, 16))
+    # Compact walker state: `out_idx` maps back into `hit`, `vt` is the
+    # value being searched for, `cand` the current chain position and
+    # `avoid` the values of the chain so far.  Walkers drop out (and every
+    # array is filtered down) as soon as a chain lands on their own value
+    # (hit) or a sentinel (group exhausted: miss).
+    out_idx = walkers
+    t_w = pos[walkers]
+    vt = v[t_w]
+    avoid: List[np.ndarray] = [v[t_w - 1], v[t_w - 2]]
+    cand = t_w - dtype(2)
+    live = avoid[1] >= 0
+    if not live.all():
+        out_idx, vt, cand = out_idx[live], vt[live], cand[live]
+        avoid = [av[live] for av in avoid]
+    for _ in range(2, assoc):
+        if cand.size == 0:
+            break
+        cand = cand - dtype(1)
+        # Round state for the walkers still searching this chain link,
+        # compacted every round so compares stay contiguous.
+        act = np.flatnonzero(np.ones(cand.size, dtype=bool))
+        c = cand.copy()
+        av_act = avoid
+        rounds = 0
+        while act.size:
+            vc = v[c]
+            bad = np.zeros(act.size, dtype=bool)
+            for av in av_act:
+                bad |= vc == av
+            act = act[bad]
+            if act.size == 0:
+                break
+            c = c[bad]
+            av_act = [av[bad] for av in av_act]
+            rounds += 1
+            if rounds > max_rounds:
+                _walker_fallback(v, av_act, c, np.arange(act.size))
+                cand[act] = c
+                break
+            best = c - dtype(1)
+            # Slot-by-slot: as long as slots 0..p-1 are all in the avoid
+            # set, the walker may jump below any p-periodic run at c.
+            # Walkers drop out of the covered subset as soon as one slot
+            # escapes their avoid set.
+            sel = np.arange(act.size, dtype=np.int64)
+            cs = c
+            av_sel = av_act
+            for period in range(2, max_period + 1):
+                slot = v[cs - dtype(period - 1)]
+                in_avoid = np.zeros(sel.size, dtype=bool)
+                for av in av_sel:
+                    in_avoid |= slot == av
+                if not in_avoid.any():
+                    break
+                sel = sel[in_avoid]
+                cs = cs[in_avoid]
+                av_sel = [av[in_avoid] for av in av_sel]
+                target = break_before(period, cs) - dtype(period)
+                best[sel] = np.minimum(best[sel], target)
+            c = best
+            cand[act] = best
+        # The chain lands on the next most recent distinct value.  Equal
+        # to v[t]: that is the previous occurrence inside the LRU window —
+        # a hit.  A (negative) sentinel: fewer distinct values exist —
+        # a miss.  Either way the walker is resolved and drops out.
+        vw = v[cand]
+        found = vw == vt
+        if found.any():
+            hit[out_idx[found]] = True
+        live = ~found & (vw >= 0)
+        if not live.all():
+            out_idx, vt, cand = out_idx[live], vt[live], cand[live]
+            avoid = [av[live] for av in avoid]
+            vw = vw[live]
+        avoid.append(vw)
+    return hit
+
+
+def _level_core(stream: np.ndarray, sample_of: np.ndarray,
+                num_samples: int, num_sets: int, assoc: int):
+    """Shared sort/collapse/kernel pipeline of one cache level.
+
+    Returns ``(order, skey, svals, kept, khit)``: the stable
+    (set, sample) sort, the surviving (collapsed) sorted positions and
+    their kernel hit mask.  Every position dropped by collapsing is an
+    unconditional hit.
+    """
+    n = int(stream.size)
+    # One combined (set, sample) key: a single stable argsort groups every
+    # (sample, set) stream into a contiguous run in program order (sample
+    # blocks are already contiguous and ascending).  For any realistic
+    # geometry x batch the key fits uint16, where NumPy's stable argsort
+    # is an O(n) radix sort.  Built in-place to avoid extra full-stream
+    # temporaries.
+    key = stream & (num_sets - 1)
+    np.multiply(key, num_samples, out=key)
+    key += sample_of
+    key = key.astype(np.uint16 if num_sets * num_samples <= 1 << 16
+                     else np.int64)
+    order = np.argsort(key, kind="stable")
+    skey = key[order]
+    svals = stream[order]
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    np.not_equal(skey[1:], skey[:-1], out=new_group[1:])
+    # Consecutive duplicates within a group are unconditional hits that do
+    # not change LRU order; collapse them before the chain kernel.
+    keep = np.empty(n, dtype=bool)
+    keep[0] = True
+    np.not_equal(svals[1:], svals[:-1], out=keep[1:])
+    keep[1:] |= new_group[1:]
+    kept = np.flatnonzero(keep)
+    kv = svals[kept]
+    kg = new_group[kept]
+    # Collapse the interior of periodic runs next: every removed position
+    # is an unconditional hit (see strip_periodic_middles), and the
+    # remaining core is what the kernels actually have to think about.
+    # Worth it only at deeper levels — shallow-assoc streams (L1) keep
+    # too little periodic structure per strip pass to repay the scans.
+    if assoc >= 6:
+        core = strip_periodic_middles(kv, kg, assoc)
+    else:
+        core = np.ones(kv.size, dtype=bool)
+    if core.all():
+        khit = lru_hits_grouped(kv, None, assoc, group_starts=kg)
+    else:
+        ci = np.flatnonzero(core)
+        chit = lru_hits_grouped(kv[ci], None, assoc, group_starts=kg[ci])
+        khit = np.ones(kv.size, dtype=bool)
+        khit[ci] = chit
+    return order, skey, svals, kept, khit
+
+
+def lru_level_hits(stream: np.ndarray, sample_of: np.ndarray,
+                   num_sets: int, assoc: int) -> np.ndarray:
+    """Hit mask of one cache level for a batch of cold per-sample streams.
+
+    Args:
+        stream: Concatenated line-id streams of all samples (each sample's
+            slice in program order).
+        sample_of: Sample index per position (non-decreasing).
+        num_sets: Power-of-two set count of the level.
+        assoc: Associativity of the level.
+
+    Returns:
+        Boolean hit mask aligned with ``stream``; each sample is simulated
+        against its own cold cache.
+    """
+    n = int(stream.size)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    num_samples = int(sample_of[-1]) + 1
+    order, _, _, kept, khit = _level_core(stream, sample_of, num_samples,
+                                          num_sets, assoc)
+    hits_sorted = np.ones(n, dtype=bool)
+    hits_sorted[kept] = khit
+    hits = np.empty(n, dtype=bool)
+    hits[order] = hits_sorted
+    return hits
+
+
+def lru_level_misses(stream: np.ndarray, sample_of: np.ndarray,
+                     num_sets: int, assoc: int, num_samples: int,
+                     counted_from: int = 0
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-sample miss counts of one level plus the miss feed for the next.
+
+    The returned feed stays in this level's (set, sample) sort order —
+    no scatter back to program order.  That order is a *valid* program
+    order for the next level because power-of-two set bits nest: lines
+    sharing a set of the larger level necessarily share a set of this
+    one, so inside any next-level group the feed is still ordered by
+    original position.
+
+    Args:
+        stream: Line ids; the first ``counted_from`` positions are warm
+            priming lines (they update state but are not counted and
+            never propagate), the rest residue accesses.  Priming must
+            precede every residue position of the same sample, which a
+            global priming block before all residues satisfies.
+        sample_of: Sample index per position (any order, grouped per
+            sample within each of the two blocks).
+        num_sets: Power-of-two set count of the level.
+        assoc: Associativity of the level.
+        num_samples: Batch size (bounds the sample ids).
+        counted_from: Index where counted residue positions begin.
+
+    Returns:
+        ``(miss_counts, miss_lines, miss_sample)``: per-sample counted
+        miss totals and the counted misses' lines/sample ids in this
+        level's sort order.
+    """
+    if stream.size == 0:
+        z = np.zeros(0, dtype=stream.dtype)
+        return (np.zeros(num_samples, dtype=np.int64), z,
+                np.zeros(0, dtype=np.int32))
+    order, skey, svals, kept, khit = _level_core(
+        stream, sample_of, num_samples, num_sets, assoc)
+    mk = kept[np.flatnonzero(~khit)]
+    if counted_from:
+        mk = mk[order[mk] >= counted_from]
+    miss_sample = (skey[mk] % num_samples).astype(np.int32)
+    miss_counts = np.bincount(miss_sample, minlength=num_samples)
+    return miss_counts, svals[mk], miss_sample
+
+
+# ----------------------------------------------------------------------
+# Fully-associative LRU (TLB)
+# ----------------------------------------------------------------------
+
+def tlb_hits(pages: np.ndarray, capacity: int,
+             resident: Optional[np.ndarray] = None) -> np.ndarray:
+    """Hit mask of one page-number stream through a fully-associative LRU.
+
+    Args:
+        pages: Page-number stream (consecutive duplicates are fine — they
+            are recognised as hits like the reference model).
+        capacity: Number of translations the TLB holds.
+        resident: Optional warm content, least-recently-used first, as
+            :meth:`repro.uarch.tlb.Tlb.resident_pages` returns it.
+
+    Returns:
+        Boolean hit mask aligned with ``pages``.
+    """
+    t = int(pages.size)
+    if t == 0:
+        return np.zeros(0, dtype=bool)
+    prefix = 0
+    if resident is not None and len(resident):
+        prefix = len(resident)
+        pages = np.concatenate([
+            np.asarray(resident, dtype=np.int64),
+            np.asarray(pages, dtype=np.int64)])
+    seq = np.asarray(pages, dtype=np.int64)
+    n = seq.size
+    uniq, inv = np.unique(seq, return_inverse=True)
+    if n > 1 and uniq.size <= 64:
+        hit = _tlb_hits_bitset(inv, capacity)
+    else:
+        hit = _tlb_hits_matrix(inv, uniq.size, capacity)
+    return hit[prefix:]
+
+
+def _tlb_hits_bitset(inv: np.ndarray, capacity: int) -> np.ndarray:
+    """Distinct-page recency via uint64 page masks and range-OR queries.
+
+    With at most 64 distinct pages each access becomes a one-bit mask and
+    the LRU decision reduces to ``popcount(OR of masks strictly between an
+    access and its previous occurrence) < capacity``; range ORs come from
+    a doubling sparse table.
+    """
+    n = inv.size
+    # Previous occurrence of each access's page: group positions by page
+    # (stable), neighbours within a group are consecutive occurrences.
+    order = np.argsort(inv, kind="stable")
+    prev = np.full(n, -1, dtype=np.int64)
+    same = inv[order][1:] == inv[order][:-1]
+    prev[order[1:][same]] = order[:-1][same]
+    bits = np.uint64(1) << inv.astype(np.uint64)
+    levels = [bits]
+    span = 1
+    while span < n:
+        top = levels[-1]
+        nxt = top.copy()
+        np.bitwise_or(top[:-span], top[span:], out=nxt[:-span])
+        levels.append(nxt)
+        span <<= 1
+    hit = np.zeros(n, dtype=bool)
+    seen = prev >= 0
+    t_idx = np.flatnonzero(seen)
+    lo = prev[t_idx] + 1                 # query range [lo, t-1]
+    length = t_idx - lo
+    inside = length > 0
+    more_recent = np.zeros(t_idx.size, dtype=np.int64)
+    if inside.any():
+        li, ti, qi = lo[inside], t_idx[inside], np.flatnonzero(inside)
+        ln = ti - li
+        k = (np.frexp(ln.astype(np.float64))[1] - 1).astype(np.int64)
+        table = np.stack(levels[:int(k.max()) + 1]) if levels else None
+        left = table[k, li]
+        right = table[k, ti - (np.int64(1) << k)]
+        more_recent[qi] = np.bitwise_count(left | right)
+    hit[t_idx] = more_recent < capacity
+    return hit
+
+
+def _tlb_hits_matrix(inv: np.ndarray, nuniq: int,
+                     capacity: int) -> np.ndarray:
+    """Reference recency-rank path for streams with many distinct pages."""
+    n = inv.size
+    # lastocc[p, t] = last position <= t where page p occurred (-1 never):
+    # a scatter of positions followed by a running maximum along time.
+    idx_dtype = np.int32 if n < 2**31 - 1 else np.int64
+    lastocc = np.full((nuniq, n), -1, dtype=idx_dtype)
+    lastocc[inv, np.arange(n)] = np.arange(n, dtype=idx_dtype)
+    np.maximum.accumulate(lastocc, axis=1, out=lastocc)
+    hit = np.zeros(n, dtype=bool)
+    if n > 1:
+        before = lastocc[:, :-1]                      # state before t >= 1
+        prev_occ = before[inv[1:], np.arange(n - 1)]  # v[t]'s last use
+        # Under fully-associative LRU the resident set at time t is the
+        # `capacity` most recently used distinct pages, so a seen page
+        # hits iff fewer than `capacity` pages were used after it.
+        more_recent = (before > prev_occ[None, :]).sum(axis=0)
+        hit[1:] = (prev_occ >= 0) & (more_recent < capacity)
+    return hit
+
+
+# ----------------------------------------------------------------------
+# Saturating-counter tables (branch predictors)
+# ----------------------------------------------------------------------
+
+def counter_states_before(group_ids: np.ndarray, directions: np.ndarray,
+                          init: np.ndarray, lo: int = 0, hi: int = 3,
+                          subkey: Optional[np.ndarray] = None) -> np.ndarray:
+    """Per-update "counter state before this update" for grouped counters.
+
+    Args:
+        group_ids: Counter identity per update (one group per simulated
+            table entry); updates of one counter need **not** be
+            contiguous — a stable sort groups them while preserving
+            program order.  Pass a uint16 array (e.g. the table index)
+            whenever identities fit: NumPy's stable argsort is then an
+            O(n) radix sort.
+        directions: Update direction per element: +1 (taken), -1 (not
+            taken) or 0 (no update, e.g. a tournament chooser tie).
+        init: Initial counter value per element (only the value at each
+            group's first update is used, so passing a full gather like
+            ``table[index]`` is fine).
+        lo: Saturation floor.
+        hi: Saturation ceiling.
+        subkey: Optional secondary identity (e.g. the sample index); must
+            be non-decreasing in program order, so it refines groups
+            without entering the sort key.
+
+    Returns:
+        The counter value *before* each update, aligned with the input.
+    """
+    n = int(group_ids.size)
+    if n == 0:
+        return np.zeros(0, dtype=np.int32)
+    order = np.argsort(group_ids, kind="stable")
+    g = group_ids[order]
+    d = directions[order].astype(np.int32)
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    np.not_equal(g[1:], g[:-1], out=new_group[1:])
+    if subkey is not None:
+        sk = subkey[order]
+        new_group[1:] |= sk[1:] != sk[:-1]
+    # RLE over same-direction runs inside a group: k same-sign saturating
+    # updates compose into one clamp map x -> min(hi, max(lo, x + k*d)).
+    new_run = new_group.copy()
+    new_run[1:] |= d[1:] != d[:-1]
+    run_starts = np.flatnonzero(new_run)
+    nruns = run_starts.size
+    run_len = np.empty(nruns, dtype=np.int32)
+    run_len[:-1] = np.diff(run_starts)
+    run_len[-1] = n - run_starts[-1]
+    run_d = d[run_starts]
+    run_group_start = new_group[run_starts]
+
+    # Segmented inclusive Hillis-Steele scan composing clamp maps
+    # (D, L, H): f(x) = min(H, max(L, x + D)).  A run of length >=
+    # hi - lo pins the counter (its map is constant), so the run after
+    # it starts a fresh scan segment with a known base value — segments
+    # then span only the short stretches between saturating runs, which
+    # cuts both the scan depth and each round's live set.
+    D = run_len * run_d
+    L = np.full(nruns, lo, dtype=np.int32)
+    H = np.full(nruns, hi, dtype=np.int32)
+    seg_start = run_group_start.copy()
+    sat = np.abs(D) >= (hi - lo)
+    seg_start[1:] |= sat[:-1]
+    seg = np.cumsum(seg_start, dtype=np.int32)
+    shift = 1
+    while shift < nruns:
+        valid = np.zeros(nruns, dtype=bool)
+        valid[shift:] = seg[shift:] == seg[:-shift]
+        idx = np.flatnonzero(valid)
+        if idx.size == 0:
+            break
+        j = idx - shift
+        d1, l1, h1 = D[j], L[j], H[j]
+        d2, l2, h2 = D[idx], L[idx], H[idx]
+        D[idx] = d1 + d2
+        L[idx] = np.minimum(h2, np.maximum(l2, l1 + d2))
+        H[idx] = np.minimum(h2, np.maximum(l2, h1 + d2))
+        shift <<= 1
+
+    init_arr = np.asarray(init)
+    group_index = np.cumsum(run_group_start, dtype=np.int32) - 1
+    init_group = init_arr[order[run_starts[np.flatnonzero(
+        run_group_start)]]].astype(np.int32, copy=False)
+    init_run = init_group[group_index]
+    # Base value at each scan-segment start: the group's init for true
+    # group starts, else the pinned value of the saturating run before.
+    starts_seg = np.flatnonzero(seg_start)
+    base_seg = init_run[starts_seg]
+    anchored = ~run_group_start[starts_seg]
+    if anchored.any():
+        ai = starts_seg[anchored]
+        base_seg[anchored] = np.where(run_d[ai - 1] > 0, hi, lo)
+    base_run = base_seg[seg - 1]
+    after_run = np.minimum(H, np.maximum(L, base_run + D))
+    entry = base_run.copy()
+    if nruns > 1:
+        cont = ~seg_start[1:]
+        entry[1:][cont] = after_run[:-1][cont]
+    # State before element = clamp(run entry + offset * d): within a run
+    # all updates share one sign, so saturation is monotone.
+    run_of = np.cumsum(new_run, dtype=np.int32) - 1
+    offset = np.arange(n, dtype=np.int32) - run_starts[run_of].astype(
+        np.int32)
+    before_sorted = np.minimum(
+        hi, np.maximum(lo, entry[run_of] + offset * d))
+    before = np.empty(n, dtype=np.int32)
+    before[order] = before_sorted
+    return before
+
+
+def gshare_history(outcomes: np.ndarray, history_bits: int,
+                   initial: int = 0) -> np.ndarray:
+    """Global-history register value before each branch of one stream.
+
+    Args:
+        outcomes: Taken/not-taken stream of one task (bool).
+        history_bits: Width of the history register.
+        initial: History value at stream start (warm-start support).
+
+    Returns:
+        The history each branch's gshare index is built from (int32 while
+        the register fits, which every stock predictor's does).
+    """
+    t = int(outcomes.size)
+    dtype = np.int32 if history_bits < 31 else np.int64
+    hist = np.zeros(t, dtype=dtype)
+    if t == 0 or history_bits == 0:
+        return hist
+    mask = (1 << history_bits) - 1
+    taken = outcomes.astype(dtype)
+    for i in range(1, min(history_bits, t) + 1):
+        hist[i:] |= taken[:-i] << (i - 1)
+    if initial:
+        for i in range(min(history_bits, t)):
+            hist[i] |= (initial << i) & mask
+    hist &= mask
+    return hist

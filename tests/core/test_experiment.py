@@ -154,6 +154,26 @@ class TestPrepareModel:
         prepare_model(config)
         assert list(tmp_path.glob("model-*.npz")) == []
 
+    def test_corrupt_cached_model_is_evicted_and_retrained(self, tmp_path):
+        # A torn archive (interrupted run, hard container stop) must read
+        # as a miss, not crash the pipeline or poison later runs.
+        config = tiny_config(tmp_path)
+        model, _ = prepare_model(config)
+        cached = list(tmp_path.glob("model-*.npz"))
+        assert len(cached) == 1
+        payload = cached[0].read_bytes()
+        cached[0].write_bytes(payload[:-3])  # truncate, like a torn write
+        retrained, _ = prepare_model(config)
+        assert retrained.weights_fingerprint() == model.weights_fingerprint()
+        # The repaired entry loads cleanly on the next run.
+        reloaded, _ = prepare_model(config)
+        assert reloaded.weights_fingerprint() == model.weights_fingerprint()
+
+    def test_save_model_leaves_no_temp_files(self, tmp_path):
+        config = tiny_config(tmp_path)
+        prepare_model(config)
+        assert list(tmp_path.glob("*.tmp-*")) == []
+
 
 class TestRunExperiment:
     def test_end_to_end_tiny(self, tmp_path):

@@ -156,9 +156,13 @@ class TestExperimentTelemetry:
                    for r in obs.active().metrics.snapshot()}
         accuracy = records[("model.test_accuracy", ())]
         assert 0.0 <= accuracy["value"] <= 1.0
-        measure = records[("backend.measure_ns", (("backend", "sim"),))]
-        assert measure["count"] == 6  # 3 samples x 2 categories
+        # The session routes measured samples through the batched engine
+        # (one measure_batch call per category).
+        measure = records[("backend.measure_batch_ns", (("backend", "sim"),))]
+        assert measure["count"] == 2  # one batch per category
         assert measure["min"] > 0
+        measured = records[("backend.measurements", (("backend", "sim"),))]
+        assert measured["value"] == 6  # 3 samples x 2 categories
         layer_records = [r for r in records.values()
                          if r["name"] == "trace.layer_ns"]
         assert {r["labels"]["layer"] for r in layer_records} >= {

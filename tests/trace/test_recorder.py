@@ -106,3 +106,29 @@ class TestTrace:
         text = trace.summary()
         assert "1 mem" in text
         assert "2 instructions" in text
+
+
+class TestMemoryLinesCache:
+    def test_concatenation_cached_and_invalidated_on_mem(self):
+        trace = Trace()
+        trace.mem(np.array([1, 2, 3]))
+        first = trace.memory_lines()
+        assert trace.memory_lines() is first  # cached object reused
+        trace.mem(np.array([4, 5]))
+        np.testing.assert_array_equal(trace.memory_lines(),
+                                      [1, 2, 3, 4, 5])
+
+    def test_invalidated_on_extend(self):
+        trace = Trace()
+        trace.mem(np.array([7]))
+        trace.memory_lines()
+        other = Trace()
+        other.mem(np.array([8, 9]))
+        trace.extend(other)
+        np.testing.assert_array_equal(trace.memory_lines(), [7, 8, 9])
+
+    def test_empty_trace(self):
+        trace = Trace()
+        assert trace.memory_lines().size == 0
+        trace.instr(5)  # non-mem ops leave the (empty) stream empty
+        assert trace.memory_lines().size == 0

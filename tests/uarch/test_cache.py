@@ -169,3 +169,42 @@ class TestProperties:
         resident = cache.resident_lines()
         assert len(resident) == len(set(resident))
         assert len(resident) <= cache.geometry.num_lines
+
+
+class TestScalarFastPath:
+    """`access` / `contains` must behave exactly like `access_many`."""
+
+    @given(line_streams, st.sampled_from(["lru", "fifo", "tree-plru"]))
+    @settings(max_examples=40)
+    def test_access_equals_access_many(self, stream, policy):
+        scalar = tiny_cache(sets=4, ways=2, policy=policy)
+        bulk = tiny_cache(sets=4, ways=2, policy=policy)
+        for line in stream:
+            hit = scalar.access(line, write=line % 3 == 0)
+            missed = bulk.access_many([line], write=line % 3 == 0)
+            assert hit == (not missed)
+        assert scalar.stats.hits == bulk.stats.hits
+        assert scalar.stats.misses == bulk.stats.misses
+        assert scalar.stats.evictions == bulk.stats.evictions
+        assert scalar.stats.writebacks == bulk.stats.writebacks
+        assert sorted(scalar.resident_lines()) == sorted(bulk.resident_lines())
+
+    def test_contains_tree_plru_set_layout(self):
+        # Regression: tree-PLRU sets are ``[lines, bits]`` pairs, so a
+        # naive ``line in set_state`` would always be False.  `contains`
+        # must look inside the lines list — without mutating any state.
+        cache = tiny_cache(sets=2, ways=4, policy="tree-plru")
+        cache.access_many([0, 2, 4, 1])
+        assert cache.contains(0)
+        assert cache.contains(1)
+        assert not cache.contains(6)
+        before = cache.stats.hits, cache.stats.misses
+        cache.contains(0)
+        assert (cache.stats.hits, cache.stats.misses) == before
+
+    def test_contains_lru(self):
+        cache = tiny_cache(sets=2, ways=2, policy="lru")
+        cache.access_many([0, 2, 4])  # set 0: 0 evicted by 4
+        assert not cache.contains(0)
+        assert cache.contains(2)
+        assert cache.contains(4)
