@@ -1,0 +1,191 @@
+"""Streaming evaluator vs naive re-batch for evaluate-every-batch runs.
+
+Simulates the monitoring loop the streaming engine exists for: readings
+arrive in batches and the operator wants a fresh verdict after every
+batch.  The naive implementation retains every raw reading and re-runs
+the batch pipeline per tick (``EventDistributions.from_measurements`` +
+``Evaluator.evaluate``) — O(N) rebuild work per tick, O(N*k*e) memory.
+The :class:`~repro.core.streaming.StreamingEvaluator` folds each batch
+into Welford accumulators and re-derives the t/p matrix from
+``(mean, var, n)`` triples — O(B + k^2*e) per tick, O(k*e) memory.
+
+Writes the record to ``BENCH_streaming.json``; CI's ``bench-smoke`` job
+uploads it as an artifact so the trajectory is tracked per commit.
+
+Asserted unconditionally:
+
+* the streamed verdict **matches the batch evaluator** on the identical
+  data: t statistics within 1e-9 relative, verdicts exactly equal;
+* evaluate-every-batch throughput (samples folded per second with a
+  tick after every batch) is >= 10x the naive re-batch path at
+  ``SAMPLES`` samples/category;
+* evaluator memory is flat: ``memory_bytes()`` after the full stream is
+  <= 1.05x its value after the first 100 samples/category.
+
+Timing uses warmup + best-of-``REPEATS`` full runs so scheduler noise
+biases both paths equally.  The naive path's per-tick cost grows with
+retention, so its full-run time is quadratic in the sample budget —
+that asymmetry *is* the measurement, not noise.
+
+Environment knobs: ``REPRO_BENCH_STREAM_SAMPLES`` (samples/category,
+default 5000), ``REPRO_BENCH_STREAM_BATCH`` (batch size per tick,
+default 50), ``REPRO_BENCH_STREAM_REPEATS`` (passes kept for the
+best-of reduction, default 2), ``REPRO_BENCH_STREAM_OUT`` (output
+path).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.evaluator import Evaluator
+from repro.core.streaming import StreamingEvaluator
+from repro.hpc.distributions import EventDistributions
+from repro.uarch.events import ALL_EVENTS, EventCounts
+
+SAMPLES = int(os.environ.get("REPRO_BENCH_STREAM_SAMPLES", "5000"))
+BATCH = int(os.environ.get("REPRO_BENCH_STREAM_BATCH", "50"))
+REPEATS = int(os.environ.get("REPRO_BENCH_STREAM_REPEATS", "2"))
+OUT_PATH = Path(os.environ.get("REPRO_BENCH_STREAM_OUT",
+                               "BENCH_streaming.json"))
+REQUIRED_SPEEDUP = 10.0
+MEMORY_RATIO_LIMIT = 1.05
+
+CATEGORIES = (0, 1, 2, 3)
+EVENTS = list(ALL_EVENTS)
+
+
+def synthesize_rows(samples, seed=20260809):
+    """Deterministic per-category readings with paper-like separations.
+
+    Category means differ per event so most pairs become distinguishable
+    (the interesting regime: the t matrix actually changes every tick).
+    """
+    rng = np.random.default_rng(seed)
+    rows = {}
+    for rank, category in enumerate(CATEGORIES):
+        means = [50_000 + 900 * rank + 137 * ei
+                 for ei in range(len(EVENTS))]
+        mat = rng.normal(loc=means, scale=400.0,
+                         size=(samples, len(EVENTS)))
+        rows[category] = np.maximum(np.round(mat), 0.0)
+    return rows
+
+
+def stream_run(rows):
+    """Evaluate-every-batch via the streaming engine; returns evaluator."""
+    evaluator = StreamingEvaluator(events=EVENTS)
+    for offset in range(0, SAMPLES, BATCH):
+        for category in CATEGORIES:
+            evaluator.observe_rows(category,
+                                   rows[category][offset:offset + BATCH])
+        evaluator.tick()
+    return evaluator
+
+
+def naive_run(readings):
+    """Evaluate-every-batch by re-running the batch pipeline per tick."""
+    evaluator = Evaluator()
+    report = None
+    for offset in range(0, SAMPLES, BATCH):
+        retained = {category: measurements[:offset + BATCH]
+                    for category, measurements in readings.items()}
+        report = evaluator.evaluate(
+            EventDistributions.from_measurements(retained))
+    return report
+
+
+def best_of(callable_, repeats):
+    """Best wall-clock seconds over ``repeats`` passes (after one warmup)."""
+    callable_()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_streaming_evaluator_speedup_and_flat_memory():
+    assert SAMPLES % BATCH == 0, "sample budget must be whole batches"
+    rows = synthesize_rows(SAMPLES)
+    readings = {
+        category: [EventCounts(dict(zip(EVENTS, map(int, row))))
+                   for row in mat]
+        for category, mat in rows.items()
+    }
+
+    # Correctness first: a fast evaluator whose verdicts drift from the
+    # batch pipeline is worthless.  Compare the final tick against one
+    # batch evaluation of the identical data.
+    streamed = stream_run(rows)
+    batch_report = Evaluator().evaluate(
+        EventDistributions.from_measurements(readings))
+    stream_report = streamed.report()
+    assert len(stream_report.results) == len(batch_report.results)
+    for got, want in zip(stream_report.results, batch_report.results):
+        denom = max(abs(want.ttest.statistic), 1.0)
+        rel = abs(got.ttest.statistic - want.ttest.statistic) / denom
+        assert rel <= 1e-9, (got, want, rel)
+        assert got.distinguishable == want.distinguishable
+
+    # Flat-memory gate: the accumulator footprint must not grow with the
+    # sample budget (rounding slack only).
+    warm = StreamingEvaluator(events=EVENTS)
+    for category in CATEGORIES:
+        warm.observe_rows(category, rows[category][:100])
+    warm.tick()
+    small_bytes = warm.memory_bytes()
+    full_bytes = streamed.memory_bytes()
+    memory_ratio = full_bytes / small_bytes
+    naive_bytes = sum(mat.nbytes for mat in rows.values())
+
+    stream_s = best_of(lambda: stream_run(rows), REPEATS)
+    naive_s = best_of(lambda: naive_run(readings), REPEATS)
+
+    total = SAMPLES * len(CATEGORIES)
+    ticks = SAMPLES // BATCH
+    stream_sps = total / stream_s
+    naive_sps = total / naive_s
+    speedup = stream_sps / naive_sps
+    record = {
+        "scenario": "evaluate-every-batch",
+        "samples_per_category": SAMPLES,
+        "batch_size": BATCH,
+        "categories": len(CATEGORIES),
+        "events": len(EVENTS),
+        "ticks": ticks,
+        "repeats": REPEATS,
+        "cpu_count": os.cpu_count(),
+        "naive_rebatch": {
+            "samples_per_s": round(naive_sps, 1),
+            "ms_per_tick": round(naive_s / ticks * 1e3, 3),
+            "retained_bytes": naive_bytes,
+        },
+        "streaming": {
+            "samples_per_s": round(stream_sps, 1),
+            "ms_per_tick": round(stream_s / ticks * 1e3, 3),
+            "evaluator_bytes": full_bytes,
+            "evaluator_bytes_at_100": small_bytes,
+            "memory_ratio": round(memory_ratio, 4),
+        },
+        "throughput_speedup": round(speedup, 2),
+        "required_speedup": REQUIRED_SPEEDUP,
+        "memory_ratio_limit": MEMORY_RATIO_LIMIT,
+        "t_statistics_match": True,
+    }
+    OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {OUT_PATH}: naive {naive_sps:,.0f} samples/s, "
+          f"streaming {stream_sps:,.0f} samples/s ({speedup:.1f}x), "
+          f"memory {full_bytes}/{small_bytes} bytes "
+          f"(ratio {memory_ratio:.3f})")
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"streaming only {speedup:.2f}x the naive re-batch path "
+        f"(required {REQUIRED_SPEEDUP:.0f}x)")
+    assert memory_ratio <= MEMORY_RATIO_LIMIT, (
+        f"evaluator memory grew {memory_ratio:.3f}x from 100 to "
+        f"{SAMPLES} samples/category (limit {MEMORY_RATIO_LIMIT}x)")

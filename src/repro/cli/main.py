@@ -10,6 +10,7 @@ Subcommands mirror the paper's artifacts::
     repro table1 / repro table2         # pairwise t-test tables
     repro attack   --dataset mnist      # input-recovery adversary
     repro defend   --dataset mnist      # constant-footprint countermeasure
+    repro stream   --dataset mnist      # measure-and-evaluate-as-you-go
     repro perf-probe                    # can this host use real perf?
     repro telemetry                     # evaluation + stage/latency breakdown
     repro report                        # evaluation + RUN_REPORT.json artifact
@@ -278,6 +279,32 @@ def cmd_latency(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    from ..core.experiment import stream_experiment
+    from ..core.reporting import format_alarm_latency
+    config = _config_from_args(args)
+    ticks = []
+    result = stream_experiment(config, batch_size=args.batch_size,
+                               on_tick=ticks.append)
+    evaluator = result.evaluator
+    print(f"dataset={config.dataset} model accuracy="
+          f"{result.test_accuracy:.3f} batch_size={args.batch_size} "
+          f"ticks={evaluator.ticks} "
+          f"evaluator_memory={evaluator.memory_bytes()} bytes")
+    print()
+    print(format_alarm_latency(evaluator, display=config.display_map()))
+    records = evaluator.alarm_latency()
+    if records:
+        first = min(records, key=lambda r: (r.detection_n, r.event.value))
+        print(f"\nfirst alarm: {first.format(config.display_map())}")
+    report = evaluator.report()
+    distinguishable = sum(r.distinguishable for r in report.results)
+    print(f"verdict: {'ALARM' if report.alarm else 'no alarm'} "
+          f"({distinguishable}/{len(report.results)} pairwise tests "
+          f"distinguishable at {report.confidence:.0%})")
+    return 0
+
+
 def cmd_perf_probe(args: argparse.Namespace) -> int:
     from ..hpc.perf_backend import perf_available
     from ..resilience import RetryPolicy
@@ -319,8 +346,16 @@ def cmd_report(args: argparse.Namespace) -> int:
     config = replace(config, telemetry=replace(base, enabled=True,
                                                profile=True))
     result = run_experiment(config)
+    # Replay the measured distributions through the streaming evaluator so
+    # the report carries alarm-latency metrics (deterministic record order).
+    from ..core.streaming import replay_stream, streaming_report_section
+    streamed = replay_stream(result.distributions,
+                             batch_size=args.stream_batch,
+                             confidence=config.confidence)
     snapshot = obs.flush()
-    report = build_run_report(snapshot, config=config, result=result)
+    report = build_run_report(snapshot, config=config, result=result,
+                              streaming=streaming_report_section(
+                                  streamed, args.stream_batch))
     path = write_run_report(report, args.out)
     env = report["environment"]
     # cpu_count leads: on a 1-core runner, parallel speedups are
@@ -331,6 +366,9 @@ def cmd_report(args: argparse.Namespace) -> int:
           f"engine={config.engine} "
           f"accuracy={result.test_accuracy:.3f} "
           f"alarm={'yes' if result.report.alarm else 'no'}")
+    print(f"streaming: ticks={streamed.ticks} "
+          f"detections={len(streamed.alarm_latency())} "
+          f"evaluator_memory={streamed.memory_bytes()} bytes")
     print(f"wrote run report to {path}")
     return 0
 
@@ -434,6 +472,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--event", default="cache-misses")
     p.set_defaults(handler=cmd_latency)
 
+    p = sub.add_parser("stream",
+                       help="measure-and-evaluate-as-you-go: verdicts "
+                            "update every batch, alarm latency per "
+                            "(pair, event), O(1) evaluator memory")
+    _add_experiment_args(p)
+    p.add_argument("--batch-size", type=int, default=25,
+                   help="measurements per category per evaluation tick "
+                        "(default: 25)")
+    p.set_defaults(handler=cmd_stream)
+
     p = sub.add_parser("perf-probe", help="probe real perf availability")
     p.add_argument("--retries", type=int, default=None,
                    help="repeat a failing probe this many times (flaky "
@@ -453,6 +501,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_experiment_args(p)
     p.add_argument("--out", metavar="PATH", default="RUN_REPORT.json",
                    help="report destination (default: RUN_REPORT.json)")
+    p.add_argument("--stream-batch", type=int, default=25,
+                   help="batch size of the streaming alarm-latency replay "
+                        "included in the report (default: 25)")
     p.set_defaults(handler=cmd_report, owns_telemetry_flush=True)
 
     p = sub.add_parser("info", help="version and configuration dump")

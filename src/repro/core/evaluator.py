@@ -84,6 +84,18 @@ class Evaluator:
         pair with broadcast arithmetic.
         """
         stats = SufficientStats.from_distributions(distributions, events)
+        return self.results_from_stats(stats, events)
+
+    def results_from_stats(self, stats: SufficientStats,
+                           events: Sequence[HpcEvent]
+                           ) -> List[PairwiseResult]:
+        """Pairwise results from ``(n, mean, var)`` sufficient statistics.
+
+        The raw samples are never touched — this is the entry point shared
+        by the batch path (which reduces retained sample arrays into
+        ``stats`` first) and the :class:`~repro.core.streaming.
+        StreamingEvaluator` (whose accumulators *are* the statistics).
+        """
         arrays = batch_pairwise_tests(stats, method=self.method)
         alpha = 1.0 - self.confidence
         # Bulk-convert once; per-cell float()/int() coercion of numpy

@@ -370,6 +370,82 @@ def run_experiment(config: Optional[ExperimentConfig] = None,
     )
 
 
+@dataclass(frozen=True)
+class StreamExperimentResult:
+    """Everything a streaming (measure-and-evaluate-as-you-go) run produces.
+
+    Unlike :class:`ExperimentResult` there are no retained distributions —
+    the evaluator's O(k·e) accumulator state is all that survives the
+    stream.  ``evaluator.report()`` materializes a batch-compatible
+    :class:`~repro.core.leakage.LeakageReport` on demand.
+    """
+
+    config: ExperimentConfig
+    model: Sequential
+    test_accuracy: float
+    evaluator: "StreamingEvaluator"
+    backend: HpcBackend
+
+
+def stream_experiment(config: Optional[ExperimentConfig] = None,
+                      batch_size: int = 25,
+                      verbose: bool = False,
+                      on_tick=None) -> StreamExperimentResult:
+    """Execute the measure-and-evaluate-as-you-go pipeline.
+
+    Trains (or loads) the model like :func:`run_experiment`, then streams
+    measurement rounds of ``batch_size`` samples per category through a
+    :class:`~repro.core.streaming.StreamingEvaluator` — verdicts update
+    after every round, alarm latency is recorded per (pair, event), and no
+    sample is ever retained.
+
+    Args:
+        config: Experiment configuration (default: MNIST paper setup).
+        batch_size: Measurements per category per evaluation tick.
+        verbose: Print training progress.
+        on_tick: Optional callback receiving each
+            :class:`~repro.core.streaming.StreamTick`.
+    """
+    config = config or ExperimentConfig()
+    if config.telemetry is not None:
+        obs.configure(config.telemetry)
+    with obs.span("experiment.stream", dataset=config.dataset,
+                  batch_size=batch_size) as root:
+        with obs.span("experiment.train") as stage:
+            with profile_stage("train", span=stage):
+                model, accuracy = prepare_model(config, verbose=verbose)
+        obs.set_gauge("model.test_accuracy", accuracy)
+        backend = make_backend(config, model)
+        generator = config.generator()
+        eval_pool = generator.generate(config.samples_per_category,
+                                       seed=config.eval_seed,
+                                       categories=list(config.categories))
+        cache = (MeasurementCache(Path(config.cache_dir))
+                 if config.cache_dir else None)
+        session = MeasurementSession(backend, warmup=0, cache=cache,
+                                     retry=config.retry_policy())
+        with obs.span("experiment.measure") as stage:
+            with profile_stage("stream", span=stage):
+                evaluator = session.stream(
+                    eval_pool, list(config.categories),
+                    config.samples_per_category,
+                    batch_size=batch_size,
+                    confidence=config.confidence,
+                    cache_tag=(f"gen{GENERATOR_VERSION}"
+                               f"-eval-seed={config.eval_seed}"),
+                    workers=config.workers,
+                    on_tick=on_tick)
+        root.set_attribute("accuracy", round(accuracy, 4))
+        root.set_attribute("alarm", evaluator.alarm)
+    return StreamExperimentResult(
+        config=config,
+        model=model,
+        test_accuracy=accuracy,
+        evaluator=evaluator,
+        backend=backend,
+    )
+
+
 def mnist_experiment(**overrides) -> ExperimentConfig:
     """The paper's MNIST case-study configuration."""
     return ExperimentConfig(dataset="mnist", **overrides)

@@ -114,6 +114,48 @@ def format_paper_table(report: LeakageReport,
     return "\n".join(lines)
 
 
+def format_alarm_latency(evaluator,
+                         events: Optional[Sequence[HpcEvent]] = None,
+                         display: Optional[Dict[int, int]] = None) -> str:
+    """Alarm-latency table of a streaming run.
+
+    One row per category pair, one column per event; each cell is the
+    per-category sample budget at which that (pair, event) cell first
+    became distinguishable — ``-`` when it never did.  The low-latency
+    columns (``cache-misses`` fires within the first ticks, ``branches``
+    much later or never) mirror the effect-size asymmetry of the paper's
+    Tables 1/2.
+
+    Args:
+        evaluator: A :class:`~repro.core.streaming.StreamingEvaluator`
+            after its stream (or a replay) completed.
+        events: Columns to show (default: everything streamed).
+        display: Optional model-label -> display-index mapping.
+    """
+    import itertools
+
+    categories = evaluator.categories
+    if len(categories) < 2:
+        raise EvaluationError("need at least two streamed categories")
+    events = list(events) if events is not None else list(evaluator.events)
+    mapping = _display_map(categories, display)
+    detected = {(r.category_a, r.category_b, r.event): r.detection_n
+                for r in evaluator.alarm_latency()}
+    rows: List[List[str]] = [["pair"] + [event.value for event in events]]
+    for cat_a, cat_b in itertools.combinations(categories, 2):
+        row = [f"t{mapping[cat_a]},{mapping[cat_b]}"]
+        for event in events:
+            n = detected.get((cat_a, cat_b, event))
+            row.append(str(n) if n is not None else "-")
+        rows.append(row)
+    widths = [max(len(r[c]) for r in rows) for c in range(len(rows[0]))]
+    lines = ["  ".join(cell.rjust(width)
+                       for cell, width in zip(row, widths)) for row in rows]
+    lines.append("(samples/category at first detection; "
+                 "- = never distinguishable)")
+    return "\n".join(lines)
+
+
 def format_leakage_bits(distributions: EventDistributions,
                         bins: int = 16, width: int = 40) -> str:
     """Per-event mutual-information leakage table (extension artifact).

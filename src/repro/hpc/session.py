@@ -94,6 +94,45 @@ class MeasurementCache:
         obs.inc("cache.write", kind=kind)
         return path
 
+    def get_arrays(self, key: str,
+                   kind: str = "state") -> Optional[Dict[str, np.ndarray]]:
+        """Load a raw array entry (e.g. streaming accumulator state).
+
+        Same contract as :meth:`get` — corrupt entries are evicted and
+        count as misses — but the payload is an arbitrary ``{name: array}``
+        mapping rather than distributions, which is how streaming
+        checkpoints persist O(k·e) accumulator state instead of samples.
+        """
+        path = self._path(key)
+        if not path.exists():
+            obs.inc("cache.miss", kind=kind)
+            return None
+        try:
+            with np.load(path) as archive:
+                arrays = {name: archive[name] for name in archive.files}
+        except Exception:
+            obs.inc("cache.corrupt", kind=kind)
+            obs.inc("cache.miss", kind=kind)
+            path.unlink(missing_ok=True)
+            return None
+        obs.inc("cache.hit", kind=kind)
+        return arrays
+
+    def put_arrays(self, key: str, arrays: Dict[str, np.ndarray],
+                   kind: str = "state") -> Path:
+        """Store a raw array entry under ``key`` (atomic, like :meth:`put`)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        try:
+            with open(temp, "wb") as stream:
+                np.savez(stream, **arrays)
+            os.replace(temp, path)
+        finally:
+            temp.unlink(missing_ok=True)
+        obs.inc("cache.write", kind=kind)
+        return path
+
     def remove(self, key: str) -> None:
         """Drop the entry stored under ``key`` (missing entries are fine)."""
         self._path(key).unlink(missing_ok=True)
@@ -164,7 +203,8 @@ class MeasurementSession:
 
     def measure_category(self, samples: Sequence[np.ndarray],
                          max_samples: Optional[int] = None,
-                         category: Optional[int] = None) -> List[EventCounts]:
+                         category: Optional[int] = None,
+                         index_base: int = 0) -> List[EventCounts]:
         """Measure one classification per sample; returns the readouts.
 
         Args:
@@ -174,7 +214,15 @@ class MeasurementSession:
                 keys, measurement ``i`` is keyed ``(category, i)`` — the
                 order-independent scheme that makes sequential and parallel
                 collection bit-identical (see :mod:`repro.parallel`).
+            index_base: Absolute index of ``samples[0]`` within the
+                category's full stream.  Streaming rounds pass their offset
+                so noise keys stay ``(category, absolute_index)`` and a
+                streamed run measures bit-identical values to a one-shot
+                pass; warm-up runs only on the round that owns index 0.
         """
+        if index_base < 0:
+            raise MeasurementError(
+                f"index_base must be >= 0, got {index_base}")
         samples = list(samples)
         if max_samples is not None:
             samples = samples[:max_samples]
@@ -183,7 +231,7 @@ class MeasurementSession:
         keyed = (category is not None
                  and getattr(self.backend, "supports_noise_keys", False))
         if keyed:
-            warm = samples[:self.warmup]
+            warm = samples[:self.warmup] if index_base == 0 else []
             if warm:
                 # Warm-up readouts are discarded and keyed noise has no
                 # stream to advance, so the batched clean path (one
@@ -206,7 +254,7 @@ class MeasurementSession:
                 # never trigger here anyway.  Should a batch fail against
                 # a custom backend, fall back to the retried per-sample
                 # loop — keyed draws make the re-measurement bit-identical.
-                keys = [(category, index)
+                keys = [(category, index_base + index)
                         for index in range(len(samples))]
                 try:
                     return [measurement.counts
@@ -215,7 +263,8 @@ class MeasurementSession:
                 except BackendError:
                     if self.retry is None or self.retry.max_attempts <= 1:
                         raise
-            return [self._measure_one(sample, noise_key=(category, index))
+            return [self._measure_one(sample,
+                                      noise_key=(category, index_base + index))
                     for index, sample in enumerate(samples)]
         for sample in samples[:self.warmup]:
             self._measure_one(sample)
@@ -224,7 +273,8 @@ class MeasurementSession:
     def collect(self, dataset: LabeledDataset, categories: Sequence[int],
                 samples_per_category: int,
                 cache_tag: str = "",
-                workers: Optional[int] = None) -> EventDistributions:
+                workers: Optional[int] = None,
+                on_batch=None) -> EventDistributions:
         """Measure ``samples_per_category`` classifications per category.
 
         Args:
@@ -239,6 +289,13 @@ class MeasurementSession:
                 :mod:`repro.parallel`).  ``None`` or 1 measures in-process.
                 Worker count never changes the measured distributions, so
                 it is deliberately absent from the cache key.
+            on_batch: Optional ``(category, readings)`` callback invoked as
+                measurements land (once per category, in collection order —
+                resumed checkpoint categories included), so an incremental
+                consumer such as a :class:`~repro.core.streaming.
+                StreamingEvaluator` can fold results in without waiting for
+                the full pass.  Not invoked on a whole-run cache hit — the
+                caller already has the complete distributions to feed.
 
         Returns:
             The per-category :class:`EventDistributions`.
@@ -303,9 +360,12 @@ class MeasurementSession:
                     self.backend, subsets, warmup=self.warmup,
                     workers=workers, retry=self.retry,
                     progress=self._progress_reporter(subsets, workers))
-                for category, readings in per_category.items():
+                for category in sorted(per_category):
+                    readings = per_category[category]
                     self._write_checkpoint(checkpointing, key, category,
                                            readings)
+                    if on_batch is not None:
+                        on_batch(category, readings)
             else:
                 for category in remaining:
                     with obs.span("measure.category", category=category):
@@ -317,10 +377,14 @@ class MeasurementSession:
                     # crash mid-collection loses at most one category.
                     self._write_checkpoint(checkpointing, key, category,
                                            per_category[category])
+                    if on_batch is not None:
+                        on_batch(category, per_category[category])
             data: Dict[int, Dict] = {}
             for category, entry in resumed.items():
                 data[category] = {event: entry.values(category, event)
                                   for event in entry.events}
+                if on_batch is not None:
+                    on_batch(category, _entry_readings(entry, category))
             if per_category:
                 fresh = EventDistributions.from_measurements(per_category)
                 for category in fresh.categories:
@@ -334,6 +398,146 @@ class MeasurementSession:
                 for category in categories:
                     self.cache.remove(self._checkpoint_key(key, category))
             return distributions
+
+    def stream(self, dataset: LabeledDataset, categories: Sequence[int],
+               samples_per_category: int,
+               batch_size: int = 25,
+               confidence: float = 0.95,
+               method: str = "welch",
+               cache_tag: str = "",
+               workers: Optional[int] = None,
+               on_tick=None):
+        """Measure and evaluate as you go — verdicts without retention.
+
+        Rounds of ``batch_size`` measurements per category are folded into
+        a :class:`~repro.core.streaming.StreamingEvaluator`; after every
+        round the full pairwise verdict matrix is re-derived from the
+        accumulator state (O(k²·e), independent of stream length) and
+        newly distinguishable (pair, event) cells are recorded with their
+        alarm latency.  Total evaluator memory is O(k·e): no sample is
+        ever retained, and checkpoints persist the accumulator state —
+        three O(e) arrays per category — instead of raw samples, so an
+        interrupted stream resumes from its last completed round.
+
+        Noise keys are absolute ``(category, sample_index)``, so a
+        streamed run measures bit-identical values to a one-shot
+        :meth:`collect` over the same samples.
+
+        Args:
+            dataset: Labeled input pool.
+            categories: Category indices to monitor.
+            samples_per_category: Total measurements per category.
+            batch_size: Measurements per category per round (>= 1).
+            confidence: Evaluator confidence level.
+            method: ``"welch"`` or ``"student"``.
+            cache_tag: Extra cache-key component (e.g. the dataset seed).
+            workers: Fan each round out across worker processes; chunks
+                ship O(e) accumulator states, merged in sorted chunk
+                order.  ``None`` or 1 measures in-process.
+            on_tick: Optional callback receiving each
+                :class:`~repro.core.streaming.StreamTick`.
+
+        Returns:
+            The :class:`~repro.core.streaming.StreamingEvaluator` after
+            the full stream (query ``report()``, ``alarm_latency()``...).
+        """
+        from ..core.streaming import StreamingEvaluator
+        from ..uarch.events import HpcEvent
+
+        if samples_per_category < 2:
+            raise MeasurementError(
+                "need at least 2 measurements per category for a t-test"
+            )
+        if batch_size < 1:
+            raise MeasurementError(
+                f"batch_size must be >= 1, got {batch_size}")
+        if workers is not None and workers < 1:
+            raise MeasurementError(f"workers must be >= 1, got {workers}")
+        workers = workers or 1
+        state_key = "|".join([
+            self.backend.fingerprint(),
+            dataset.name,
+            cache_tag,
+            ",".join(str(c) for c in categories),
+            str(samples_per_category),
+            f"warmup={self.warmup}",
+            f"stream-batch={batch_size}",
+            f"confidence={confidence}",
+            f"method={method}",
+        ])
+        subsets: Dict[int, Sequence[np.ndarray]] = {}
+        for category in categories:
+            subset = dataset.category(category)
+            if len(subset) < samples_per_category:
+                raise MeasurementError(
+                    f"category {category} has only {len(subset)} samples, "
+                    f"need {samples_per_category}"
+                )
+            subsets[category] = subset.images[:samples_per_category]
+        evaluator = StreamingEvaluator(confidence=confidence, method=method)
+        checkpointing = self.cache is not None and self.checkpoint
+        start = 0
+        if checkpointing:
+            # Resume from the accumulator state a previous (possibly
+            # interrupted) identical run checkpointed — rounds are
+            # deterministic, so skipping replayed ones is exact.
+            arrays = self.cache.get_arrays(state_key, kind="stream-state")
+            if arrays is not None:
+                try:
+                    resumed = StreamingEvaluator.from_state(
+                        arrays, confidence=confidence, method=method)
+                    seen = {resumed.samples_seen(c) for c in categories}
+                except Exception:
+                    obs.inc("cache.corrupt", kind="stream-state")
+                else:
+                    # Only a state covering every category equally (all
+                    # rounds complete through some prefix) is resumable.
+                    if len(seen) == 1 and (start := seen.pop()) > 0:
+                        evaluator = resumed
+                        obs.inc("stream.resume")
+                    else:
+                        start = 0
+        with obs.span("measure.stream",
+                      backend=getattr(self.backend, "name", "?"),
+                      categories=len(categories),
+                      samples_per_category=samples_per_category,
+                      batch_size=batch_size, workers=workers,
+                      resume_at=start) as span:
+            rounds = 0
+            for offset in range(start, samples_per_category, batch_size):
+                stop = min(offset + batch_size, samples_per_category)
+                round_samples = {category: subsets[category][offset:stop]
+                                 for category in categories}
+                if workers > 1:
+                    from ..parallel import measure_categories_streaming
+                    state = measure_categories_streaming(
+                        self.backend, round_samples, warmup=self.warmup,
+                        workers=workers, retry=self.retry,
+                        index_base=offset)
+                    events = tuple(
+                        HpcEvent.from_name(str(name))
+                        for name in np.asarray(state["events"]).tolist())
+                    evaluator.merge_state(state, events=events)
+                else:
+                    for category in categories:
+                        readings = self.measure_category(
+                            round_samples[category], category=category,
+                            index_base=offset)
+                        obs.inc("measurement.samples", len(readings),
+                                category=category)
+                        evaluator.observe(category, readings)
+                rounds += 1
+                obs.inc("stream.rounds")
+                if evaluator.ready:
+                    tick = evaluator.tick()
+                    if on_tick is not None:
+                        on_tick(tick)
+                if checkpointing:
+                    self.cache.put_arrays(state_key, evaluator.state(),
+                                          kind="stream-state")
+            span.set_attribute("rounds", rounds)
+            span.set_attribute("detections", len(evaluator.alarm_latency()))
+        return evaluator
 
     @staticmethod
     def _progress_reporter(subsets: Dict[int, Sequence[np.ndarray]],
@@ -420,6 +624,16 @@ class MeasurementSession:
         if merged is None:
             raise MeasurementError("no events to measure")
         return merged
+
+
+def _entry_readings(entry: EventDistributions,
+                    category: int) -> List[EventCounts]:
+    """Rebuild one category's per-measurement readouts from distributions."""
+    events = entry.events
+    columns = [entry.values(category, event) for event in events]
+    return [EventCounts({event: column[i]
+                         for event, column in zip(events, columns)})
+            for i in range(entry.sample_count(category))]
 
 
 def _merge_event_columns(first: EventDistributions,

@@ -36,7 +36,10 @@ __all__ = [
 ]
 
 #: Version stamped on every ``RUN_REPORT.json``.
-RUN_REPORT_SCHEMA_VERSION = 1
+#: 2: added the ``streaming`` section (alarm-latency records, tick count,
+#: accumulator memory) produced by replaying the run through the
+#: streaming evaluator.
+RUN_REPORT_SCHEMA_VERSION = 2
 
 #: Metric-name prefixes whose values legitimately depend on process
 #: topology (how many workers ran, how chunks were scheduled, what each
@@ -150,7 +153,9 @@ def _profile_by_stage(snapshot: TelemetrySnapshot) -> Dict[str, Dict[str, Any]]:
 
 def build_run_report(snapshot: TelemetrySnapshot,
                      config: Optional[Any] = None,
-                     result: Optional[Any] = None) -> Dict[str, Any]:
+                     result: Optional[Any] = None,
+                     streaming: Optional[Dict[str, Any]] = None
+                     ) -> Dict[str, Any]:
     """Assemble the ``RUN_REPORT.json`` payload for one run.
 
     Args:
@@ -158,6 +163,9 @@ def build_run_report(snapshot: TelemetrySnapshot,
         config: Optional :class:`~repro.core.experiment.ExperimentConfig`.
         result: Optional :class:`~repro.core.experiment.ExperimentResult`
             (adds accuracy/alarm and backend fingerprints).
+        streaming: Optional streaming-evaluation section (see
+            :func:`repro.core.streaming.streaming_report_section`) with
+            alarm-latency records in deterministic order.
     """
     report: Dict[str, Any] = {
         "type": "run_report",
@@ -178,6 +186,8 @@ def build_run_report(snapshot: TelemetrySnapshot,
             "pairs": len(result.report.results),
             "confidence": result.report.confidence,
         }
+    if streaming is not None:
+        report["streaming"] = streaming
     return report
 
 

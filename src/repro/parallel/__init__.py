@@ -13,6 +13,7 @@ worker count or scheduling order.
 from .executor import (
     ChunkSpec,
     measure_categories_parallel,
+    measure_categories_streaming,
     plan_chunks,
     resolve_context,
 )
@@ -20,6 +21,7 @@ from .executor import (
 __all__ = [
     "ChunkSpec",
     "measure_categories_parallel",
+    "measure_categories_streaming",
     "plan_chunks",
     "resolve_context",
 ]

@@ -57,6 +57,12 @@ from .special import (
     log_gamma,
     regularized_incomplete_beta,
 )
+from .streaming import (
+    MomentAccumulator,
+    MomentColumns,
+    SlidingWindowMoments,
+    StreamingMoments,
+)
 from .ttest import (
     TTestResult,
     format_p_value,
@@ -68,6 +74,7 @@ from .vectorized import (
     PairwiseTestArrays,
     SufficientStats,
     batch_pairwise_tests,
+    pairwise_indices,
     regularized_incomplete_beta_array,
     two_sided_p_values,
 )
@@ -85,8 +92,12 @@ __all__ = [
     "binned_mutual_information",
     "Histogram",
     "MannWhitneyResult",
+    "MomentAccumulator",
+    "MomentColumns",
     "Normal",
     "PairwiseTestArrays",
+    "SlidingWindowMoments",
+    "StreamingMoments",
     "StudentT",
     "SufficientStats",
     "Summary",
@@ -112,6 +123,7 @@ __all__ = [
     "median",
     "one_sample_t_test",
     "overlap_coefficient",
+    "pairwise_indices",
     "quantile",
     "rank_biserial_correlation",
     "regularized_incomplete_beta",

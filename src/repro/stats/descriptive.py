@@ -17,8 +17,12 @@ from ..errors import StatisticsError
 
 
 def _as_float_array(values: Iterable[float], name: str = "values") -> np.ndarray:
-    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
-                     dtype=float)
+    # np.asarray handles ndarrays (copy-free), lists and tuples directly;
+    # only consumable iterators (generators) need materializing first.
+    try:
+        arr = np.asarray(values, dtype=float)
+    except (TypeError, ValueError):
+        arr = np.asarray(list(values), dtype=float)
     if arr.ndim != 1:
         arr = arr.ravel()
     if arr.size == 0:

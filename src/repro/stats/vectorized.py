@@ -18,6 +18,7 @@ test-suite asserts to 1e-12 across random and degenerate distributions.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -37,9 +38,27 @@ __all__ = [
     "SufficientStats",
     "batch_pairwise_tests",
     "log_gamma_array",
+    "pairwise_indices",
     "regularized_incomplete_beta_array",
     "two_sided_p_values",
 ]
+
+
+@functools.lru_cache(maxsize=64)
+def pairwise_indices(n_categories: int) -> Tuple[np.ndarray, np.ndarray]:
+    """The C(n,2) upper-triangle pair index arrays for ``n_categories``.
+
+    Built once per category count and reused across evaluations — a
+    streaming evaluator calls :func:`batch_pairwise_tests` every tick, and
+    rebuilding the combination indices each time is pure waste.  The
+    cached arrays are marked read-only so no caller can corrupt the cache.
+    """
+    if n_categories < 2:
+        raise StatisticsError("need at least two categories to compare")
+    ia, ib = np.triu_indices(n_categories, k=1)
+    ia.setflags(write=False)
+    ib.setflags(write=False)
+    return ia, ib
 
 _LOG_TWO_PI_HALF = 0.5 * np.log(2.0 * np.pi)
 
@@ -312,7 +331,7 @@ def batch_pairwise_tests(stats: SufficientStats,
     n_categories = len(stats.categories)
     if n_categories < 2:
         raise StatisticsError("need at least two categories to compare")
-    ia, ib = np.triu_indices(n_categories, k=1)
+    ia, ib = pairwise_indices(n_categories)
     n_a = stats.n[ia][:, None]
     n_b = stats.n[ib][:, None]
     mean_a = stats.mean[ia]

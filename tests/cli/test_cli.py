@@ -41,7 +41,7 @@ class TestParser:
         assert {"evaluate", "figure1", "figure2", "figure3", "figure4",
                 "table1", "table2", "attack", "defend", "perf-probe",
                 "info", "bits", "latency", "localize",
-                "telemetry", "report"} <= commands
+                "telemetry", "report", "stream"} <= commands
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -281,3 +281,38 @@ class TestTelemetry:
         assert report["profile"]  # --profile is implied by `report`
         names = {r["name"] for r in report["deterministic_metrics"]}
         assert "measurement.samples" in names
+
+    def test_stream_tiny(self, tiny_args, fast_training, capsys):
+        assert main(["stream", "--batch-size", "2"] + tiny_args) == 0
+        out = capsys.readouterr().out
+        assert "ticks=2" in out  # 3 samples in rounds of 2 + 1
+        assert "evaluator_memory=" in out
+        assert "samples/category at first detection" in out
+        assert "verdict:" in out
+
+    def test_stream_parser_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.batch_size == 25
+        args = build_parser().parse_args(["report"])
+        assert args.stream_batch == 25
+
+    def test_report_includes_streaming_section(self, tiny_args,
+                                               fast_training, tmp_path,
+                                               capsys):
+        import json
+
+        path = tmp_path / "RUN_REPORT.json"
+        assert main(["report", "--out", str(path), "--stream-batch", "2"]
+                    + tiny_args) == 0
+        out = capsys.readouterr().out
+        assert "streaming: ticks=2" in out
+        report = json.loads(path.read_text())
+        assert report["schema"] >= 2
+        streaming = report["streaming"]
+        assert streaming["batch_size"] == 2
+        assert streaming["ticks"] == 2
+        assert streaming["memory_bytes"] > 0
+        rows = streaming["detections"]
+        assert rows == sorted(rows, key=lambda r: (r["event"],
+                                                   r["category_a"],
+                                                   r["category_b"]))

@@ -107,3 +107,28 @@ class TestRunReport:
                                 tmp_path / "deep" / "RUN_REPORT.json")
         assert path.exists()
         assert list(path.parent.iterdir()) == [path]
+
+
+class TestStreamingSection:
+    def test_schema_bumped_for_streaming(self):
+        assert RUN_REPORT_SCHEMA_VERSION >= 2
+
+    def test_streaming_section_passthrough(self):
+        with obs.session(TelemetryConfig(enabled=True,
+                                         console=False)) as runtime:
+            obs.inc("stream.ticks", 3)
+            snapshot = runtime.snapshot()
+        section = {"stream_schema": 1, "batch_size": 10, "ticks": 3,
+                   "alarm": True, "detections": [], "memory_bytes": 512}
+        report = build_run_report(snapshot, streaming=section)
+        assert report["streaming"] == section
+        # stream.* counters count what was computed, so they fall under
+        # the merge-determinism guarantee.
+        names = {r["name"] for r in report["deterministic_metrics"]}
+        assert "stream.ticks" in names
+
+    def test_streaming_omitted_by_default(self):
+        with obs.session(TelemetryConfig(enabled=True,
+                                         console=False)) as runtime:
+            snapshot = runtime.snapshot()
+        assert "streaming" not in build_run_report(snapshot)

@@ -1,0 +1,130 @@
+"""Tests for measure_categories_streaming (accumulator-shipping workers)."""
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import StreamingEvaluator
+from repro.errors import MeasurementError
+from repro.hpc import MeasurementSession, SimBackend
+from repro.parallel import measure_categories_streaming
+from repro.stats.streaming import StreamingMoments
+from repro.uarch.events import HpcEvent
+
+
+def events_of(state):
+    return tuple(HpcEvent.from_name(str(name))
+                 for name in np.asarray(state["events"]).tolist())
+
+
+def evaluator_of(state):
+    evaluator = StreamingEvaluator(events=events_of(state))
+    evaluator.merge_state(state)
+    return evaluator
+
+
+def assert_states_bitwise_equal(a, b):
+    assert set(a) == set(b)
+    for key in a:
+        assert np.array_equal(np.asarray(a[key]), np.asarray(b[key])), key
+
+
+class TestStreamingMeasurement:
+    def _samples(self, digits_dataset, count=5, categories=(0, 1, 2)):
+        return {category: digits_dataset.category(category).images[:count]
+                for category in categories}
+
+    def test_state_is_bit_reproducible(self, tiny_trained_model,
+                                       digits_dataset):
+        backend = SimBackend(tiny_trained_model, noise_scale=1.0, seed=5)
+        samples = self._samples(digits_dataset)
+        first = measure_categories_streaming(backend, samples, workers=2)
+        second = measure_categories_streaming(backend, samples, workers=2)
+        assert_states_bitwise_equal(first, second)
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_start_method_does_not_change_state(self, tiny_trained_model,
+                                                digits_dataset,
+                                                start_method):
+        backend = SimBackend(tiny_trained_model, noise_scale=1.0, seed=5)
+        samples = self._samples(digits_dataset, count=3, categories=(0, 1))
+        baseline = measure_categories_streaming(backend, samples, workers=1)
+        state = measure_categories_streaming(backend, samples, workers=2,
+                                             start_method=start_method)
+        # Chunking (and so shard rounding) is worker-count-dependent, but
+        # counts are exact and events identical.
+        assert events_of(state) == events_of(baseline)
+        for category in (0, 1):
+            assert state[f"cat{category}/count"][0] == 3
+
+    def test_matches_sequential_measurement(self, tiny_trained_model,
+                                            digits_dataset):
+        # The shipped-and-merged state derives the same t matrix as an
+        # in-process evaluator fed the raw readings of the same samples.
+        backend = SimBackend(tiny_trained_model, noise_scale=1.0, seed=7)
+        samples = self._samples(digits_dataset, count=6)
+        state = measure_categories_streaming(backend, samples, workers=3)
+
+        session = MeasurementSession(backend, warmup=0)
+        sequential = StreamingEvaluator()
+        for category, images in samples.items():
+            sequential.observe(
+                category,
+                session.measure_category(images, category=category))
+
+        parallel_report = evaluator_of(state).report()
+        sequential_report = sequential.report()
+        for got, want in zip(parallel_report.results,
+                             sequential_report.results):
+            assert got.event == want.event
+            denom = max(abs(want.ttest.statistic), 1.0)
+            assert abs(got.ttest.statistic
+                       - want.ttest.statistic) <= 1e-9 * denom
+            assert got.distinguishable == want.distinguishable
+
+    def test_worker_count_equivalence(self, tiny_trained_model,
+                                      digits_dataset):
+        backend = SimBackend(tiny_trained_model, noise_scale=1.0, seed=9)
+        samples = self._samples(digits_dataset, count=6)
+        reports = []
+        for workers in (1, 2, 4):
+            state = measure_categories_streaming(backend, samples,
+                                                 workers=workers)
+            reports.append(evaluator_of(state).report())
+        for report in reports[1:]:
+            for got, want in zip(report.results, reports[0].results):
+                denom = max(abs(want.ttest.statistic), 1.0)
+                assert abs(got.ttest.statistic
+                           - want.ttest.statistic) <= 1e-9 * denom
+                assert got.distinguishable == want.distinguishable
+
+    def test_index_base_shifts_noise_keys(self, tiny_trained_model,
+                                          digits_dataset):
+        backend = SimBackend(tiny_trained_model, noise_scale=1.0, seed=11)
+        samples = self._samples(digits_dataset, count=4, categories=(0,))
+        base = measure_categories_streaming(backend, samples, workers=2)
+        shifted = measure_categories_streaming(backend, samples, workers=2,
+                                               index_base=4)
+        # Different absolute indices draw different per-sample noise.
+        assert not np.array_equal(base["cat0/mean"], shifted["cat0/mean"])
+
+        # And the shifted round matches the sequential path at the same
+        # offset bit-exactly (counts are integers, so means of identical
+        # readings are identical floats).
+        session = MeasurementSession(backend, warmup=0)
+        readings = session.measure_category(samples[0], category=0,
+                                            index_base=4)
+        sequential = StreamingEvaluator()
+        sequential.observe(0, readings)
+        expected = sequential.state()
+        moments = StreamingMoments.from_state(shifted,
+                                              columns=len(events_of(shifted)))
+        np.testing.assert_allclose(moments.state()["cat0/mean"],
+                                   expected["cat0/mean"], rtol=1e-12)
+        assert moments.state()["cat0/count"][0] == 4
+
+    def test_rejects_empty_and_bad_workers(self, tiny_trained_model):
+        backend = SimBackend(tiny_trained_model)
+        with pytest.raises(MeasurementError):
+            measure_categories_streaming(backend, {}, workers=2)
+        with pytest.raises(MeasurementError):
+            measure_categories_streaming(backend, {0: []}, workers=0)

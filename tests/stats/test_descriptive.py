@@ -9,6 +9,7 @@ from repro.errors import StatisticsError
 from repro.stats.descriptive import (
     Histogram,
     Summary,
+    _as_float_array,
     coefficient_of_variation,
     mean,
     median,
@@ -137,3 +138,35 @@ class TestSharedRange:
     def test_rejects_empty(self):
         with pytest.raises(StatisticsError):
             shared_histogram_range([])
+
+
+class TestAsFloatArrayInputs:
+    """Regression: every accepted input kind, after the list-copy removal."""
+
+    def test_ndarray_is_copy_free(self):
+        arr = np.asarray([1.0, 2.0, 3.0])
+        out = _as_float_array(arr)
+        assert out is arr  # float64 1-D input passes through untouched
+
+    def test_list_tuple_and_generator(self):
+        for values in ([1, 2, 3], (1.5, 2.5), (float(v) for v in range(3))):
+            out = _as_float_array(values)
+            assert out.dtype == np.float64
+            assert out.ndim == 1
+            assert out.size == 3 or out.size == 2
+
+    def test_generator_values_preserved(self):
+        out = _as_float_array(v * 0.5 for v in range(4))
+        np.testing.assert_array_equal(out, [0.0, 0.5, 1.0, 1.5])
+
+    def test_2d_input_flattened(self):
+        out = _as_float_array(np.ones((2, 3)))
+        assert out.shape == (6,)
+
+    def test_empty_and_non_finite_rejected(self):
+        with pytest.raises(StatisticsError):
+            _as_float_array([])
+        with pytest.raises(StatisticsError):
+            _as_float_array(iter([]))
+        with pytest.raises(StatisticsError):
+            _as_float_array([1.0, float("nan")])

@@ -151,3 +151,24 @@ class TestBatchAgainstScalar:
              1: {HpcEvent.CYCLES: np.array([2.0])}})
         with pytest.raises(StatisticsError):
             SufficientStats.from_distributions(dists)
+
+
+class TestPairwiseIndices:
+    def test_matches_combinations(self):
+        from repro.stats.vectorized import pairwise_indices
+        ia, ib = pairwise_indices(5)
+        assert list(zip(ia.tolist(), ib.tolist())) == list(
+            itertools.combinations(range(5), 2))
+
+    def test_cached_and_read_only(self):
+        from repro.stats.vectorized import pairwise_indices
+        first = pairwise_indices(4)
+        second = pairwise_indices(4)
+        assert first[0] is second[0] and first[1] is second[1]
+        with pytest.raises(ValueError):
+            first[0][0] = 99
+
+    def test_rejects_single_category(self):
+        from repro.stats.vectorized import pairwise_indices
+        with pytest.raises(StatisticsError):
+            pairwise_indices(1)
