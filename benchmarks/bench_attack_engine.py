@@ -1,0 +1,216 @@
+"""Batched attack engine vs per-cell trace collection + replay loops.
+
+Times the full leakage-tournament cache matrix — {Prime+Probe,
+Flush+Reload} x {baseline, noise-injection, constant-footprint} — two
+ways over real MNIST-CNN victim traces:
+
+* **old**: every cell collects its own traces and replays them through
+  the per-trace reference loops (one Python ``CacheHierarchy`` replay per
+  trace), the pre-engine workflow;
+* **new**: each distinct trace *variant* (base, hardened) is collected
+  once and shared (the :class:`~repro.attack.trace_store.TraceStore`
+  discipline), replayed once per (attacker, variant) through the
+  vectorized batch engine, and noise-injection cells reuse the baseline
+  vectors outright — dummy-work noise perturbs counters, never the
+  memory stream.
+
+The record lands in ``BENCH_attack.json``; the CI ``bench-smoke`` job
+uploads it as an artifact so the attack-vector throughput trajectory is
+tracked per commit.
+
+Asserted unconditionally:
+
+* batched and per-trace attack vectors are **bit-identical** for both
+  attackers on both trace variants (the engine's core contract, also
+  covered across shapes by ``tests/attack/test_engine.py``);
+* the new matrix completes >= 10x faster than the old one in attack
+  vectors per second.  The gain is vectorized grouped-LRU replay plus
+  trace/vector sharing, not parallelism, so the gate holds on a 1-core
+  runner.
+
+Per-attacker replay-only speedups (batched engine vs loop on identical
+traces) are reported as secondary numbers in the JSON record.
+
+Timing uses warmup + best-of-``REPEATS`` passes, and each repeat times
+the loop and batched paths back-to-back so a host-level speed drift
+cannot land on only one side; the slow loop path replays ``BASELINE``
+traces and is scaled to the full batch size.
+
+Environment knobs: ``REPRO_BENCH_ATTACK_TRACES`` (batched traces, default
+12), ``REPRO_BENCH_ATTACK_BASELINE`` (loop-path traces, default 2),
+``REPRO_BENCH_ATTACK_REPEATS`` (passes kept for the best-of reduction,
+default 6), ``REPRO_BENCH_ATTACK_EPOCHS`` (attack temporal resolution,
+default 8), ``REPRO_BENCH_ATTACK_OUT`` (output path).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.attack.engine import replay_supported, traces_compatible
+from repro.attack.flush_reload import FlushReloadAttacker, weight_lines
+from repro.attack.prime_probe import PrimeProbeAttacker
+from repro.core.experiment import mnist_experiment, prepare_model
+from repro.countermeasures import constant_footprint_config
+from repro.trace.traced_model import TracedInference
+
+TRACES = int(os.environ.get("REPRO_BENCH_ATTACK_TRACES", "12"))
+BASELINE = int(os.environ.get("REPRO_BENCH_ATTACK_BASELINE", "2"))
+REPEATS = int(os.environ.get("REPRO_BENCH_ATTACK_REPEATS", "6"))
+EPOCHS = int(os.environ.get("REPRO_BENCH_ATTACK_EPOCHS", "8"))
+OUT_PATH = Path(os.environ.get("REPRO_BENCH_ATTACK_OUT",
+                               "BENCH_attack.json"))
+REQUIRED_SPEEDUP = 10.0
+
+# The cache-attacker matrix: which trace variant each countermeasure cell
+# replays, mirroring repro.attack.tournament.
+CELL_VARIANTS = {"baseline": "base", "noise-injection": "base",
+                 "constant-footprint": "hardened"}
+
+
+def best_of(callable_, repeats):
+    """Best wall-clock seconds over ``repeats`` passes (after one warmup)."""
+    callable_()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def paired_best(slow, fast, repeats):
+    """Best seconds for two callables timed back-to-back each repeat.
+
+    Pairing keeps a host-level speed drift between passes from landing on
+    only one side of the comparison.
+    """
+    slow()
+    fast()
+    best_slow = best_fast = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        slow()
+        mid = time.perf_counter()
+        fast()
+        best_slow = min(best_slow, mid - start)
+        best_fast = min(best_fast, time.perf_counter() - mid)
+    return best_slow, best_fast
+
+
+def test_attack_engine_speedup():
+    config = mnist_experiment(categories=(0, 1), samples_per_category=2,
+                              cache_dir="")
+    model, _ = prepare_model(config)
+    pool = config.generator().generate(TRACES, seed=config.eval_seed,
+                                       categories=[0])
+    images = pool.category(0).images[:TRACES]
+    trace_configs = {
+        "base": config.trace_config,
+        "hardened": constant_footprint_config(config.trace_config),
+    }
+
+    variants = {}
+    for variant, trace_config in trace_configs.items():
+        traced = TracedInference(model, trace_config)
+        collect_s = best_of(
+            lambda t=traced: [t.trace_sample(s)[1] for s in images], REPEATS)
+        traces = [traced.trace_sample(s)[1] for s in images]
+        variants[variant] = {"traced": traced, "traces": traces,
+                             "collect_s": collect_s}
+
+    prime_probe = PrimeProbeAttacker()
+    assert replay_supported(prime_probe.config)
+
+    # Correctness first: a fast engine whose observations drift is
+    # worthless here — both attackers must be bit-identical to their
+    # reference loops on both trace variants being timed.
+    check = min(3, TRACES)
+    for variant in variants.values():
+        traces = variant["traces"]
+        assert traces_compatible(traces,
+                                 max_line=prime_probe.attacker_base_line)
+        flush_reload = FlushReloadAttacker(
+            weight_lines(variant["traced"], "fc"))
+        assert np.array_equal(
+            prime_probe.probe_vectors(traces[:check], epochs=EPOCHS),
+            np.stack([prime_probe.probe_vector(t, epochs=EPOCHS)
+                      for t in traces[:check]]))
+        assert np.array_equal(
+            flush_reload.observe_batch(traces[:check], epochs=EPOCHS),
+            np.stack([flush_reload.observe(t, epochs=EPOCHS)
+                      for t in traces[:check]]))
+
+    # Per-(attacker, variant) replay timings; the loop path replays
+    # BASELINE traces and is scaled to the full batch.
+    replay = {}
+    for variant_name, variant in variants.items():
+        traces = variant["traces"]
+        flush_reload = FlushReloadAttacker(
+            weight_lines(variant["traced"], "fc"))
+        for attacker_name, loop_one, batch_all in (
+            ("prime_probe",
+             lambda t: prime_probe.probe_vector(t, epochs=EPOCHS),
+             lambda: prime_probe.probe_vectors(traces, epochs=EPOCHS)),
+            ("flush_reload",
+             lambda t: flush_reload.observe(t, epochs=EPOCHS),
+             lambda: flush_reload.observe_batch(traces, epochs=EPOCHS)),
+        ):
+            loop_s, batched_s = paired_best(
+                lambda: [loop_one(t) for t in traces[:BASELINE]],
+                batch_all, REPEATS)
+            loop_s = loop_s / BASELINE * TRACES
+            replay[(attacker_name, variant_name)] = (loop_s, batched_s)
+
+    # Old workflow: every cell re-collects its variant's traces, then
+    # loop-replays them.  New workflow: one collection per variant, one
+    # batched replay per (attacker, variant), noise cells reuse the
+    # baseline vectors (zero incremental replay).
+    old_s = new_s = 0.0
+    for variant_name, variant in variants.items():
+        uses = sum(1 for v in CELL_VARIANTS.values() if v == variant_name)
+        old_s += 2 * uses * variant["collect_s"]
+        new_s += variant["collect_s"]
+    for (attacker_name, variant_name), (loop_s, batched_s) in replay.items():
+        uses = sum(1 for v in CELL_VARIANTS.values() if v == variant_name)
+        old_s += uses * loop_s
+        new_s += batched_s
+    cell_count = 2 * len(CELL_VARIANTS)
+    matrix_speedup = old_s / new_s
+
+    record = {
+        "model": "mnist-cnn",
+        "trace_count": TRACES,
+        "baseline_traces": BASELINE,
+        "repeats": REPEATS,
+        "epochs": EPOCHS,
+        "matrix_cells": cell_count,
+        "mean_trace_lines": {
+            name: round(float(np.mean(
+                [t.memory_lines().size for t in variant["traces"]])), 1)
+            for name, variant in variants.items()},
+        "cpu_count": os.cpu_count(),
+        "required_speedup": REQUIRED_SPEEDUP,
+        "bit_identical": True,
+        "old_matrix_seconds": round(old_s, 4),
+        "new_matrix_seconds": round(new_s, 4),
+        "matrix_speedup": round(matrix_speedup, 2),
+        "replay_only": {
+            f"{attacker}/{variant}": {
+                "loop_traces_per_s": round(TRACES / loop_s, 3),
+                "batched_traces_per_s": round(TRACES / batched_s, 3),
+                "throughput_speedup": round(loop_s / batched_s, 2),
+            }
+            for (attacker, variant), (loop_s, batched_s) in replay.items()},
+    }
+    OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {OUT_PATH}: {cell_count}-cell matrix "
+          f"{old_s * 1000:.0f}ms -> {new_s * 1000:.0f}ms "
+          f"({matrix_speedup:.1f}x)")
+
+    assert matrix_speedup >= REQUIRED_SPEEDUP, (
+        f"batched attack matrix only {matrix_speedup:.2f}x the per-cell "
+        f"loop workflow (required {REQUIRED_SPEEDUP:.0f}x)")

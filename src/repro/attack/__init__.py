@@ -8,7 +8,21 @@ from .classifiers import (
     NearestCentroid,
     make_classifier,
 )
-from .features import FeatureMatrix, Standardizer, build_features
+from .engine import (
+    flush_reload_observations,
+    prime_probe_vectors,
+    replay_supported,
+    traces_compatible,
+)
+from .features import (
+    FeatureMatrix,
+    ProfiledOutcome,
+    Standardizer,
+    build_features,
+    profile_attack_vectors,
+    profiled_split,
+    score_predictions,
+)
 from .flush_reload import (
     FlushReloadAttacker,
     FlushReloadResult,
@@ -21,6 +35,20 @@ from .prime_probe import (
     collect_probe_vectors,
     prime_probe_attack,
 )
+from .tournament import (
+    ATTACKERS,
+    COUNTERMEASURES,
+    TournamentCell,
+    TournamentReport,
+    run_tournament,
+    write_tournament_report,
+)
+from .trace_store import (
+    TraceStore,
+    collect_traces,
+    traces_from_arrays,
+    traces_to_arrays,
+)
 
 __all__ = [
     "weight_lines",
@@ -31,15 +59,33 @@ __all__ = [
     "collect_probe_vectors",
     "PrimeProbeResult",
     "PrimeProbeAttacker",
+    "ATTACKERS",
     "AttackClassifier",
     "AttackResult",
+    "COUNTERMEASURES",
     "FeatureMatrix",
     "GaussianNaiveBayes",
     "InputRecoveryAttack",
     "LinearDiscriminant",
     "NearestCentroid",
+    "ProfiledOutcome",
     "Standardizer",
+    "TournamentCell",
+    "TournamentReport",
+    "TraceStore",
     "build_features",
+    "collect_traces",
+    "flush_reload_observations",
     "make_classifier",
+    "prime_probe_vectors",
     "profile_and_attack",
+    "profile_attack_vectors",
+    "profiled_split",
+    "replay_supported",
+    "run_tournament",
+    "score_predictions",
+    "traces_compatible",
+    "traces_from_arrays",
+    "traces_to_arrays",
+    "write_tournament_report",
 ]

@@ -75,13 +75,23 @@ class GaussianNaiveBayes(AttackClassifier):
         return self
 
     def log_posterior(self, x: np.ndarray) -> np.ndarray:
-        """Unnormalized log posterior, shape ``(n, classes)``."""
+        """Unnormalized log posterior, shape ``(n, classes)``.
+
+        The quadratic term expands as ``sum((x - mu)^2 / var) =
+        x^2 . (1/var) - 2 x . (mu/var) + sum(mu^2 / var)``, three matrix
+        products instead of an ``(n, classes, features)`` intermediate —
+        on wide attack vectors (epochs x LLC sets) the broadcast cube
+        dominated RSS.
+        """
         if self.classes_ is None:
             raise StatisticsError("classifier not fitted")
         x = np.asarray(x, dtype=np.float64)
-        diff = x[:, None, :] - self.theta_[None, :, :]
-        log_like = -0.5 * (np.log(2.0 * np.pi * self.var_)[None]
-                           + diff ** 2 / self.var_[None]).sum(axis=2)
+        inv_var = 1.0 / self.var_
+        quad = ((x ** 2) @ inv_var.T
+                - 2.0 * (x @ (self.theta_ * inv_var).T)
+                + (self.theta_ ** 2 * inv_var).sum(axis=1)[None, :])
+        log_like = -0.5 * (np.log(2.0 * np.pi * self.var_).sum(axis=1)[None, :]
+                           + quad)
         return log_like + self.log_prior_[None, :]
 
     def predict(self, x: np.ndarray) -> np.ndarray:
@@ -153,9 +163,12 @@ class NearestCentroid(AttackClassifier):
         if self.classes_ is None:
             raise StatisticsError("classifier not fitted")
         x = np.asarray(x, dtype=np.float64)
-        distances = np.linalg.norm(
-            x[:, None, :] - self._centroids[None, :, :], axis=2)
-        return self.classes_[np.argmin(distances, axis=1)]
+        # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2; the ||x||^2 term is
+        # constant per row, so the argmin needs only one matrix product —
+        # no (n, classes, features) broadcast cube.
+        scores = (self._centroids ** 2).sum(axis=1)[None, :] \
+            - 2.0 * (x @ self._centroids.T)
+        return self.classes_[np.argmin(scores, axis=1)]
 
 
 _CLASSIFIERS = {

@@ -1,0 +1,787 @@
+"""Batched attack-replay engine: vectorized cache-attack simulation.
+
+The reference attackers in :mod:`repro.attack.prime_probe` and
+:mod:`repro.attack.flush_reload` replay one victim trace at a time through
+the per-access Python loops of :class:`repro.uarch.CacheHierarchy`.  This
+module re-derives both observation vectors with grouped-LRU kernels — one
+NumPy pass over the *whole batch* of victim traces — and is
+**bit-identical** to the loops (asserted by the invariance suite in
+``tests/attack/test_engine.py``).
+
+Two structural facts make the reduction exact:
+
+*Prime+Probe.*  The attacker touches only the LLC, so the victim's private
+L1/L2 run uninterrupted across epochs and their filtering is a plain cold
+per-(set, sample) LRU hit mask.  At the LLC, probing in reverse priming
+order re-inserts every way and the following forward prime restores the
+canonical oldest-first way order, so every epoch starts from the same
+primed state; during an epoch attacker ways are never re-touched, hence
+strictly older than every victim line and evicted first.  Victim residency
+therefore evolves exactly as in a *cold* LRU set fed only the victim's
+stream, and the probe's per-set miss count equals ``min(victim LLC misses
+in that set and epoch, associativity)``.
+
+*Flush+Reload.*  Flushes happen only at epoch boundaries, so within an
+epoch no line is ever removed and the classic LRU stack property holds:
+a level's set content at reload time is the ``min(assoc, distinct)`` most
+recently used distinct lines, ordered by last access.  Epochs chain
+sequentially: each level's end state (minus the flushed monitored lines)
+is replayed as a warm priming prefix into the next epoch's kernel call,
+and the reload bit is membership of a monitored line in *any* level's end
+state.
+
+Kernel notes.  Shallow sets (the L1 point) are resolved by ``assoc``
+shifted self-compares: with consecutive duplicates collapsed, an access
+whose value recurs in the previous ``assoc`` positions is a certain hit,
+and one whose previous ``assoc`` positions hold ``assoc`` *distinct*
+values without it is a certain miss.  The leftover — inside windows that
+contain a repeat — is walked by a compact vectorized scanner that leaps
+over period-``p`` runs whose values its avoid set already covers.  Deep
+sets (L2/LLC) go through :func:`repro.uarch.vectorized.lru_hits_grouped`
+after :func:`~repro.uarch.vectorized.strip_periodic_middles` removes the
+interiors of periodic runs (guaranteed hits).  End states are recovered
+from a short per-group suffix — the last ``min(assoc, distinct)`` lines
+by last occurrence — growing the suffix only for the rare groups whose
+tail holds fewer than ``assoc`` distinct lines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..trace.recorder import Trace
+from ..uarch.hierarchy import HierarchyConfig
+from ..uarch.vectorized import lru_hits_grouped, strip_periodic_middles
+
+__all__ = [
+    "flush_reload_observations",
+    "prime_probe_vectors",
+    "replay_supported",
+    "traces_compatible",
+]
+
+
+def replay_supported(config: HierarchyConfig) -> bool:
+    """Whether the vectorized replay path models ``config`` exactly.
+
+    The grouped-LRU kernels reproduce true-LRU sets only; other policies
+    (tree-plru, random) must take the reference loop.
+    """
+    return getattr(config, "policy", "lru") == "lru"
+
+
+def traces_compatible(traces: Sequence[Trace],
+                      max_line: Optional[int] = None) -> bool:
+    """Whether every trace's line ids are replayable by the kernels.
+
+    The kernels reserve negative ids for group sentinels, and Prime+Probe
+    additionally needs victim lines to stay below the attacker's eviction
+    buffer (``max_line``) so identities never collide.
+    """
+    for trace in traces:
+        lines = trace.memory_lines()
+        if lines.size == 0:
+            continue
+        if int(lines.min()) < 0:
+            return False
+        if max_line is not None and int(lines.max()) >= max_line:
+            return False
+    return True
+
+
+def _batched_stream(traces: Sequence[Trace],
+                    epochs: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate per-trace memory streams with sample and epoch labels.
+
+    Epoch boundaries replicate the reference loops exactly: with
+    ``budget = max(1, total // epochs)`` the k-th intermediate probe fires
+    after global access ``(k+1) * budget``, so position ``j`` belongs to
+    epoch ``min(j // budget, epochs - 1)`` (the final epoch drains the
+    remainder).
+    """
+    streams = []
+    for trace in traces:
+        lines = trace.memory_lines()
+        if lines.size == 0:
+            raise SimulationError("victim trace contains no memory accesses")
+        streams.append(lines)
+    totals = np.array([part.size for part in streams], dtype=np.int64)
+    stream = np.concatenate(streams)
+    sample_of = np.repeat(np.arange(totals.size, dtype=np.int64), totals)
+    # Per-(trace, epoch) position counts for epoch = min(pos // budget,
+    # last): full budgets while positions last, remainder in the final
+    # epoch — materialized with a single repeat over the whole batch.
+    eidx = np.arange(epochs, dtype=np.int64)
+    budgets = np.maximum(totals // epochs, 1)
+    counts = np.clip(totals[:, None] - eidx[None, :] * budgets[:, None],
+                     0, budgets[:, None])
+    counts[:, -1] = np.maximum(totals - (epochs - 1) * budgets, 0)
+    epoch_of = np.repeat(np.tile(eidx, totals.size), counts.ravel())
+    return stream, sample_of, epoch_of
+
+
+def _check_replayable(config: HierarchyConfig, epochs: int) -> None:
+    if epochs < 1:
+        raise SimulationError(f"epochs must be >= 1, got {epochs}")
+    if not replay_supported(config):
+        raise SimulationError(
+            f"vectorized attack replay requires the 'lru' policy, "
+            f"got {config.policy!r}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Grouped LRU hit resolution
+# ----------------------------------------------------------------------
+
+def _position_in_group(new_group: np.ndarray) -> np.ndarray:
+    starts = np.flatnonzero(new_group)
+    lens = np.empty(starts.size, dtype=np.int64)
+    lens[:-1] = starts[1:] - starts[:-1]
+    lens[-1] = new_group.size - starts[-1]
+    return np.arange(new_group.size, dtype=np.int64) - np.repeat(starts, lens)
+
+
+def _walk_unresolved(v: np.ndarray, pig: np.ndarray, hit: np.ndarray,
+                     idx: np.ndarray, assoc: int) -> None:
+    """Exact backward scans for the window-ambiguous positions.
+
+    ``_lean_hits`` guarantees every ``idx`` has ``pig >= assoc``, no
+    target in its lag window and at least one in-window duplicate — so
+    the window's distinct values (at most ``assoc - 1`` of them) seed
+    each walker's avoid set directly from pairwise lag compares.
+
+    After seeding, a walker can change state at most ``assoc`` more
+    times: its avoid set never evicts, so only a target match or a value
+    outside the set matters.  Each round gathers a segment of ``L``
+    positions, jumps every walker to its first such *event* (``argmax``
+    over the segment), and applies it; stalled walkers — hot loops whose
+    values the avoid set already covers — skip the whole segment.  ``L``
+    doubles per round, so a walk of span ``S`` costs O(assoc + S / Lmax)
+    rounds instead of O(S).
+    """
+    n = idx.size
+    tgt = v[idx]
+    lo = idx - pig[idx]
+    out = idx
+    # seen[k, i] = k-th distinct non-target value walker i met (-1 empty);
+    # line ids are non-negative, so the sentinel never matches.
+    seen = np.full((assoc - 1, n), -1, dtype=v.dtype)
+    cnt = np.zeros(n, dtype=np.int64)
+    window = []
+    for lag in range(1, assoc + 1):
+        wl = v[idx - lag]
+        new = np.ones(n, dtype=bool)
+        # Consecutive duplicates are collapsed, so the adjacent lag
+        # always differs — compare only lags 1..lag-2.
+        for k in range(len(window) - 1):
+            new &= wl != window[k]
+        store = np.flatnonzero(new & (cnt < assoc - 1))
+        seen[cnt[store], store] = wl[store]
+        cnt += new
+        window.append(wl)
+    gone = cnt >= assoc
+    c = idx - assoc - 1
+    gone |= c < lo
+    c = np.maximum(c, 0)  # pin finished walkers' gathers in bounds
+    L = _SEGMENT
+    while True:
+        ngone = int(np.count_nonzero(gone))
+        if ngone == out.size:
+            return
+        if 4 * ngone >= out.size:
+            keep = np.flatnonzero(~gone)
+            out, tgt, lo, c, cnt = (out[keep], tgt[keep], lo[keep],
+                                    c[keep], cnt[keep])
+            seen = seen[:, keep]
+            gone = np.zeros(out.size, dtype=bool)
+        offs = np.arange(L, dtype=np.int64)
+        pos = c[None, :] - offs[:, None]
+        interesting = pos >= lo[None, :]
+        w = v[np.maximum(pos, 0)]
+        for k in range(assoc - 1):
+            interesting &= w != seen[k][None, :]
+        has = interesting.any(axis=0)
+        hi = np.flatnonzero(has & ~gone)
+        if hi.size:
+            j = interesting.argmax(axis=0)[hi]
+            ev = w[j, hi]
+            ishit = ev == tgt[hi]
+            if ishit.any():
+                hw = hi[ishit]
+                hit[out[hw]] = True
+                gone[hw] = True
+            rest = hi[~ishit]
+            if rest.size:
+                full = cnt[rest] == assoc - 1
+                gone[rest[full]] = True
+                gi = rest[~full]
+                if gi.size:
+                    seen[cnt[gi], gi] = ev[~ishit][~full]
+                    cnt[gi] += 1
+            c[hi] = c[hi] - j - 1
+        nh = ~has
+        if nh.any():
+            c[nh] -= L
+        gone |= c < lo
+        c = np.maximum(c, 0)
+        L = min(L * 2, _SEGMENT_MAX)
+
+
+_SEGMENT = 8
+_SEGMENT_MAX = 128
+
+
+def _lean_hits(v: np.ndarray, new_group: np.ndarray, assoc: int) -> np.ndarray:
+    """Exact grouped-LRU hit mask for shallow sets via shifted compares."""
+    m = int(v.size)
+    hit = np.zeros(m, dtype=bool)
+    if m == 0:
+        return hit
+    pig = _position_in_group(new_group)
+    if m < 2 ** 31:
+        pig = pig.astype(np.int32)
+    buf = np.empty(m, dtype=bool)
+    # Keep the raw lag-k equality masks for 2 <= k < assoc: the window-dup
+    # scan below reuses them as shifted views instead of re-comparing.
+    eqs = {}
+    for j in range(1, assoc + 1):
+        if j >= m:
+            break
+        if 2 <= j < assoc:
+            eq = np.empty(m, dtype=bool)
+            np.equal(v[j:], v[:-j], out=eq[j:])
+            eqs[j] = eq
+            np.logical_and(eq[j:], pig[j:] >= j, out=buf[j:])
+        else:
+            np.equal(v[j:], v[:-j], out=buf[j:])
+            np.logical_and(buf[j:], pig[j:] >= j, out=buf[j:])
+        np.logical_or(hit[j:], buf[j:], out=hit[j:])
+    if assoc < 3:
+        # The window is the whole LRU state: consecutive duplicates are
+        # collapsed, so positions t-1 and t-2 always hold distinct values.
+        return hit
+    # A window of `assoc` *distinct* values without v[t] is a certain
+    # miss; only windows containing a repeat stay ambiguous.  Adjacent
+    # window entries always differ, so check the non-adjacent pairs —
+    # pair (t-a, t-b) duplicates exactly when the lag-(b-a) mask fires at
+    # t-a, a pure shift of an already-computed compare.
+    dup_w = np.zeros(m, dtype=bool)
+    for a in range(1, assoc - 1):
+        for b in range(a + 2, assoc + 1):
+            if b >= m or (b - a) not in eqs:
+                continue
+            np.logical_or(dup_w[b:], eqs[b - a][b - a:m - a],
+                          out=dup_w[b:])
+    unresolved = np.flatnonzero(~hit & dup_w & (pig >= assoc))
+    if unresolved.size > _WALK_DENSITY * m:
+        # Dense ambiguity: the backward walkers would each scan long
+        # spans, so the bitset kernel's single forward sweep is cheaper
+        # than per-position event walks over most of the feed.
+        return lru_hits_grouped(v, None, assoc, group_starts=new_group)
+    if unresolved.size:
+        _walk_unresolved(v, pig, hit, unresolved, assoc)
+    return hit
+
+
+# Unresolved-walker fraction above which _lean_hits abandons the event
+# walkers for the bitset kernel: walker cost scales with walkers x span
+# while the bitset sweep is flat in ambiguity density.
+_WALK_DENSITY = 0.35
+
+
+# Deepest associativity the shifted-compare kernel handles before the
+# bitset kernel wins: its pairwise window scans cost O(assoc^2) vector
+# ops, overtaking the bitset kernel's O(assoc) word sweeps past ~8 ways.
+_LEAN_MAX_ASSOC = 8
+
+# Smallest post-strip survivor feed worth the shifted-compare kernel.
+# When stripping removes most of a deep-set feed the survivors are cheap
+# for the bitset kernel's single sweep, while the shifted-compare path
+# still pays its fixed window scans plus backward walks whose spans the
+# strip has stretched; below this size the bitset kernel wins outright.
+_LEAN_MIN_STRIPPED = 1 << 16
+
+
+def _dense_hits(v: np.ndarray, new_group: np.ndarray,
+                assoc: int) -> np.ndarray:
+    """Hit kernel for a collapsed grouped feed (no strip preprocessing)."""
+    if assoc > _LEAN_MAX_ASSOC:
+        return lru_hits_grouped(v, None, assoc, group_starts=new_group)
+    if v.size and int(v.max()) < 2 ** 31 - 1:
+        v = v.astype(np.int32, copy=False)
+    return _lean_hits(v, new_group, assoc)
+
+
+def _grouped_hits(v: np.ndarray, new_group: np.ndarray,
+                  assoc: int) -> np.ndarray:
+    """Dispatch: shifted-compare kernel (shallow) or bitset kernel (deep).
+
+    Feeds must be contiguous per-group streams with consecutive
+    duplicates collapsed.  Deep sets strip periodic-run interiors first —
+    they are guaranteed hits and exactly the positions that cost the
+    kernels the most.  Stripping keeps a run's first ``2p`` and last
+    ``p`` positions, which can leave an *adjacent* duplicate at the
+    junction (an unconditional hit); the shifted-compare kernel assumes
+    collapsed feeds, so those junctions are re-collapsed before it runs.
+    """
+    if assoc >= 6 and v.size >= 4096:
+        keep = strip_periodic_middles(v, new_group, assoc)
+        if not keep.all():
+            ki = np.flatnonzero(keep)
+            hit = np.ones(v.size, dtype=bool)
+            sub_v = v[ki]
+            sub_g = new_group[ki]
+            if (assoc <= _LEAN_MAX_ASSOC
+                    and sub_v.size >= _LEAN_MIN_STRIPPED):
+                dup = np.zeros(sub_v.size, dtype=bool)
+                np.equal(sub_v[1:], sub_v[:-1], out=dup[1:])
+                dup[1:] &= ~sub_g[1:]
+                if dup.any():
+                    di = np.flatnonzero(~dup)
+                    sub_hit = np.ones(sub_v.size, dtype=bool)
+                    sub_hit[di] = _dense_hits(sub_v[di], sub_g[di], assoc)
+                    hit[ki] = sub_hit
+                    return hit
+                hit[ki] = _dense_hits(sub_v, sub_g, assoc)
+            else:
+                hit[ki] = lru_hits_grouped(sub_v, None, assoc,
+                                           group_starts=sub_g)
+            return hit
+    return _dense_hits(v, new_group, assoc)
+
+
+def _sort_collapse(lines: np.ndarray, key: np.ndarray
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                              np.ndarray, np.ndarray]:
+    """Group a labelled stream and collapse in-group consecutive repeats.
+
+    Returns ``(order, kept, v, skey_kept, new_group)`` where ``order`` is
+    the stable grouping permutation, ``kept`` indexes its collapsed
+    positions and ``v``/``skey_kept``/``new_group`` describe the
+    collapsed feed (consecutive duplicates are unconditional hits and
+    never misses, so they can only matter to callers as hits).
+    """
+    order = np.argsort(key, kind="stable")
+    skey = key[order]
+    svals = lines[order]
+    m = svals.size
+    new_group = np.empty(m, dtype=bool)
+    new_group[0] = True
+    np.not_equal(skey[1:], skey[:-1], out=new_group[1:])
+    keep = np.empty(m, dtype=bool)
+    keep[0] = True
+    np.not_equal(svals[1:], svals[:-1], out=keep[1:])
+    keep[1:] |= new_group[1:]
+    kept = np.flatnonzero(keep)
+    return order, kept, svals[kept], skey[kept], new_group[kept]
+
+
+def _group_key(lines: np.ndarray, sample_of: np.ndarray, num_sets: int,
+               num_samples: int) -> np.ndarray:
+    key = (lines & (num_sets - 1)) * num_samples + sample_of
+    if num_sets * num_samples <= 1 << 16:
+        return key.astype(np.uint16)
+    return key
+
+
+def prime_probe_vectors(traces: Sequence[Trace],
+                        config: Optional[HierarchyConfig] = None,
+                        epochs: int = 8) -> np.ndarray:
+    """Batched :meth:`PrimeProbeAttacker.probe_vector` over many traces.
+
+    Args:
+        traces: Victim traces (memory ops are used).
+        config: Shared hierarchy; must use the LRU policy.
+        epochs: Temporal resolution of the attack.
+
+    Returns:
+        ``(len(traces), epochs * num_sets)`` int64 vectors, bit-identical
+        to the per-trace loop.
+    """
+    config = config or HierarchyConfig()
+    _check_replayable(config, epochs)
+    n = len(traces)
+    num_sets = config.llc.num_sets
+    if n == 0:
+        return np.zeros((0, epochs * num_sets), dtype=np.int64)
+    stream, sample_of, epoch_of = _batched_stream(traces, epochs)
+    # The victim's private L1/L2 are never primed, probed or flushed, so
+    # they run uninterrupted across epoch boundaries: filter the full
+    # per-sample streams level by level in program order.
+    for geo in (config.l1, config.l2):
+        order, kept, v, _, gb = _sort_collapse(
+            stream, _group_key(stream, sample_of, geo.num_sets, n))
+        hits = _grouped_hits(v, gb, geo.associativity)
+        # Restore stream order by scattering into a position mask — the
+        # miss indices are distinct, so this beats re-sorting them.
+        mask = np.zeros(stream.size, dtype=bool)
+        mask[order[kept[~hits]]] = True
+        miss = np.flatnonzero(mask)
+        stream = stream[miss]
+        sample_of = sample_of[miss]
+        epoch_of = epoch_of[miss]
+    assoc = config.llc.associativity
+    cells = n * epochs
+    if stream.size == 0:
+        return np.zeros((n, epochs * num_sets), dtype=np.int64)
+    # Every (sample, epoch, set) cell is an independent cold-LRU run over
+    # the victim's LLC feed (see module docstring); one combined key makes
+    # all cells contiguous groups of a single stable sort.
+    key = (stream & (num_sets - 1)) * cells + sample_of * epochs + epoch_of
+    key = key.astype(np.uint16 if num_sets * cells <= 1 << 16 else np.int64)
+    _, kept, v, skey, gb = _sort_collapse(stream, key)
+    khit = _grouped_hits(v, gb, assoc)
+    miss_keys = skey[~khit].astype(np.int64)
+    counts = np.bincount(miss_keys, minlength=num_sets * cells)
+    counts = np.minimum(counts, assoc)
+    return np.ascontiguousarray(
+        counts.reshape(num_sets, n, epochs).transpose(1, 2, 0)
+    ).reshape(n, epochs * num_sets)
+
+
+def _end_states(v: np.ndarray, new_group: np.ndarray,
+                assoc: int) -> np.ndarray:
+    """Indices (into ``v``) of each group's LRU end state, oldest first.
+
+    The end state is the ``min(assoc, distinct)`` most recently used
+    distinct values; their last occurrences almost always sit inside a
+    short suffix of the group, so only a ``3 * assoc`` tail is examined
+    and grown for the rare groups whose tail repeats too much.
+    """
+    m = int(v.size)
+    starts = np.flatnonzero(new_group)
+    ngroups = int(starts.size)
+    lens = np.empty(ngroups, dtype=np.int64)
+    lens[:-1] = starts[1:] - starts[:-1]
+    lens[-1] = m - starts[-1]
+    ends = starts + lens
+    take = np.minimum(lens, 3 * assoc)
+    vmax = np.int64(int(v.max()) + 1 if m else 1)
+    active = np.arange(ngroups, dtype=np.int64)
+    pos_parts: List[np.ndarray] = []
+    gid_parts: List[np.ndarray] = []
+    # Each round scans only the still-unresolved groups' suffixes — a
+    # resolved group is never re-read — growing the window 8x for groups
+    # whose tail held fewer than ``assoc`` distinct values.
+    while active.size:
+        at = take[active]
+        total = int(at.sum())
+        base = np.repeat(ends[active] - at, at)
+        cum = np.cumsum(at) - at
+        intra = np.arange(total, dtype=np.int64) - np.repeat(cum, at)
+        idx = base + intra
+        sgid = np.repeat(active, at)
+        ck = sgid * vmax + v[idx]
+        o = np.argsort(ck, kind="stable")
+        sck = ck[o]
+        run_last = np.empty(total, dtype=bool)
+        run_last[-1] = True
+        np.not_equal(sck[1:], sck[:-1], out=run_last[:-1])
+        li = o[run_last]
+        lg = sgid[li]
+        distinct = np.bincount(lg, minlength=ngroups)[active]
+        done = (distinct >= assoc) | (at >= lens[active])
+        done_global = np.zeros(ngroups, dtype=bool)
+        done_global[active[done]] = True
+        sel = done_global[lg]
+        pos_parts.append(idx[li[sel]])
+        gid_parts.append(lg[sel])
+        active = active[~done]
+        take[active] = np.minimum(lens[active], take[active] * 8)
+    if not pos_parts:
+        return np.zeros(0, dtype=np.int64)
+    pos = np.concatenate(pos_parts)
+    gid = np.concatenate(gid_parts)
+    # Order each group's distinct values by last occurrence; keep the
+    # final `assoc`, emitted oldest-first (the priming-prefix order).
+    # Groups occupy disjoint ascending position ranges, so sorting by
+    # position alone restores (group, recency) order.
+    o2 = np.argsort(pos, kind="stable")
+    gid = gid[o2]
+    pos = pos[o2]
+    gstart = np.empty(gid.size, dtype=bool)
+    gstart[0] = True
+    np.not_equal(gid[1:], gid[:-1], out=gstart[1:])
+    gs = np.flatnonzero(gstart)
+    glen = np.empty(gs.size, dtype=np.int64)
+    glen[:-1] = gs[1:] - gs[:-1]
+    glen[-1] = gid.size - gs[-1]
+    from_end = np.repeat(glen, glen) - (
+        np.arange(gid.size, dtype=np.int64) - np.repeat(gs, glen))
+    return pos[from_end <= assoc]
+
+
+def _merge_states(carry_g: np.ndarray, carry_v: np.ndarray,
+                  s_g: np.ndarray, s_v: np.ndarray,
+                  assoc: int, cells: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge a carried LRU state with an epoch's slice states.
+
+    Both inputs are grouped by ascending set/sample key with values
+    distinct and oldest-first within each group, and every slice entry is
+    more recent than every carried one.  That makes the true merged state
+    a three-step reduction — drop carried values that reappear in the
+    slice (their recency moved there), interleave the two sorted halves
+    carry-first, keep each group's last ``assoc`` entries — with no
+    general recency sort needed.  ``cells`` bounds the group-key space,
+    letting the interleave rank both halves with bincount histograms
+    instead of per-needle binary searches.
+    """
+    if carry_g.size == 0:
+        return s_g, s_v
+    if s_g.size == 0:
+        return carry_g, carry_v
+    vmax = np.int64(max(int(carry_v.max()), int(s_v.max())) + 1)
+    ks = s_g.astype(np.int64) * vmax + s_v
+    so = np.argsort(ks, kind="stable")
+    sks = ks[so]
+    kc = carry_g.astype(np.int64) * vmax + carry_v
+    j = np.minimum(np.searchsorted(sks, kc), sks.size - 1)
+    fresh = sks[j] != kc
+    carry_g = carry_g[fresh]
+    carry_v = carry_v[fresh]
+    total = carry_g.size + s_g.size
+    counts_s = np.bincount(s_g, minlength=cells)
+    counts_c = np.bincount(carry_g, minlength=cells)
+    pc = ((np.cumsum(counts_s) - counts_s)[carry_g]
+          + np.arange(carry_g.size, dtype=np.int64))
+    ps = (np.cumsum(counts_c)[s_g]
+          + np.arange(s_g.size, dtype=np.int64))
+    mg = np.empty(total, dtype=s_g.dtype)
+    mv = np.empty(total, dtype=s_v.dtype)
+    mg[pc] = carry_g
+    mv[pc] = carry_v
+    mg[ps] = s_g
+    mv[ps] = s_v
+    starts = np.empty(total, dtype=bool)
+    starts[0] = True
+    np.not_equal(mg[1:], mg[:-1], out=starts[1:])
+    gs = np.flatnonzero(starts)
+    lens = np.diff(np.append(gs, total))
+    from_end = np.repeat(lens, lens) - (
+        np.arange(total, dtype=np.int64) - np.repeat(gs, lens))
+    keep = from_end <= assoc
+    return mg[keep], mv[keep]
+
+
+# Largest line id for which monitored-membership uses a direct-address
+# table (one byte per id); sparser id spaces binary-search instead.
+_WATCH_TABLE_MAX = 1 << 26
+
+
+def _level_pass(lines: np.ndarray, samp: np.ndarray, ep: np.ndarray,
+                n: int, epochs: int, num_sets: int, assoc: int,
+                mon_unique: np.ndarray, watch: Optional[np.ndarray],
+                out_u: np.ndarray, want_feed: bool = True
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One cache level of the whole Flush+Reload attack, all epochs.
+
+    The crucial decoupling: per-epoch end states depend only on the
+    level's *feed* (the LRU stack property needs recency order, not hit
+    verdicts), so the cheap state chain — slice suffix states merged with
+    the carried pre-epoch state, flush-filtered against the monitored
+    lines — runs sequentially over epochs first, marking reload bits into
+    ``out_u`` along the way.  The expensive hit kernel then runs **once**
+    over a single (epoch, set, sample)-grouped array with every epoch's
+    carry spliced in as an uncounted priming prefix, instead of once per
+    epoch.
+
+    Returns the counted misses in stream order — the next level's feed
+    (skipped for the last level, whose misses feed nothing).
+    """
+    empty = np.zeros(0, dtype=np.int64)
+    if lines.size == 0:
+        return empty, empty, empty
+    cells = num_sets * n
+    key = ep * cells + (lines & (num_sets - 1)) * n + samp
+    kk = key.astype(np.uint16) if epochs * cells <= 1 << 16 else key
+    order = np.argsort(kk, kind="stable")
+    skey = kk[order]
+    sv = lines[order]
+    m = sv.size
+    gb0 = np.empty(m, dtype=bool)
+    gb0[0] = True
+    np.not_equal(skey[1:], skey[:-1], out=gb0[1:])
+    # Epoch boundaries, probed at the sort key's own width (a mixed-dtype
+    # searchsorted would silently upcast-copy the whole key array).
+    bounds = (np.arange(1, epochs, dtype=np.int64) * cells).astype(skey.dtype)
+    seg = np.empty(epochs + 1, dtype=np.int64)
+    seg[0], seg[epochs] = 0, m
+    seg[1:epochs] = np.searchsorted(skey, bounds)
+    # One suffix extraction covers every epoch's slice states at once: the
+    # sorted runs are exactly the (epoch, set, sample) groups, so slicing
+    # the result per epoch is bit-identical to per-segment calls without
+    # their per-call overhead.
+    si_all = _end_states(sv, gb0, assoc)
+    ski = skey[si_all]
+    sseg = np.empty(epochs + 1, dtype=np.int64)
+    sseg[0], sseg[epochs] = 0, si_all.size
+    sseg[1:epochs] = np.searchsorted(ski, bounds)
+    carry_v = np.zeros(0, dtype=sv.dtype)
+    carry_g = np.zeros(0, dtype=skey.dtype)
+    pre_pos: List[np.ndarray] = []
+    pre_key: List[np.ndarray] = []
+    pre_val: List[np.ndarray] = []
+    for e in range(epochs):
+        if carry_v.size:
+            # Each group's carry must sit directly in front of that
+            # group's run inside the epoch — runs are delimited by key
+            # changes, so a prefix parked anywhere else would never
+            # connect with the accesses it primes.
+            a, b = int(seg[e]), int(seg[e + 1])
+            gk = (carry_g + e * cells).astype(skey.dtype)
+            pre_pos.append(a + np.searchsorted(skey[a:b], gk))
+            pre_key.append(gk)
+            pre_val.append(carry_v)
+        si = si_all[sseg[e]:sseg[e + 1]]
+        s_v = sv[si]
+        s_g = skey[si] - e * cells
+        if carry_g.size + s_g.size == 0:
+            continue
+        # A carried line that was re-accessed but fell out of the slice's
+        # top-``assoc`` is pushed out of the merge too — ``assoc`` newer
+        # distinct entries follow it.
+        st_g, st_v = _merge_states(carry_g, carry_v, s_g, s_v, assoc, cells)
+        # Reload reads the state *before* the boundary flush: mark
+        # monitored residents directly into the output.  Membership is a
+        # table gather (binary search when the id space is too sparse
+        # for a table); only the (few) watched residents still need
+        # their monitor index resolved.
+        if watch is not None:
+            watched = watch[st_v]
+        else:
+            mp = np.minimum(np.searchsorted(mon_unique, st_v),
+                            mon_unique.size - 1)
+            watched = mon_unique[mp] == st_v
+        wi = np.flatnonzero(watched)
+        mpc = np.searchsorted(mon_unique, st_v[wi])
+        out_u[st_g[wi] % n, e, mpc] = 1
+        # The flush drops monitored lines from every level for the next
+        # epoch (invalidation shrinks the set; replaying the survivors
+        # oldest-first reproduces that state exactly).
+        np.logical_not(watched, out=watched)
+        carry_v = st_v[watched]
+        carry_g = st_g[watched]
+    if not want_feed:
+        return empty, empty, empty
+    # Splice every epoch's carry in front of its groups' runs as uncounted
+    # priming prefixes (pure offset arithmetic — no O(m log m) re-sort).
+    if pre_val:
+        ins = np.concatenate(pre_pos)
+        pk = np.concatenate(pre_key)
+        pv = np.concatenate(pre_val)
+    else:
+        ins = np.zeros(0, dtype=np.int64)
+        pk = np.zeros(0, dtype=skey.dtype)
+        pv = np.zeros(0, dtype=sv.dtype)
+    num_pre = pv.size
+    total = m + num_pre
+    fv = np.empty(total, dtype=sv.dtype)
+    gb = np.empty(total, dtype=bool)
+    # ``ins`` ascends (epochs are visited in order and positions ascend
+    # within each), so prefix entry k lands at slot ``ins[k] + k`` and the
+    # originals' displacement is the step function "prefixes inserted at
+    # or before me" — no per-position bincount/cumsum needed.
+    bnd = np.empty(num_pre + 2, dtype=np.int64)
+    bnd[0] = 0
+    bnd[1:num_pre + 1] = ins
+    bnd[num_pre + 1] = m
+    fo = np.arange(m, dtype=np.int64)
+    fo += np.repeat(np.arange(num_pre + 1, dtype=np.int64), np.diff(bnd))
+    fv[fo] = sv
+    gb[fo] = gb0
+    if num_pre:
+        fp = ins + np.arange(num_pre, dtype=np.int64)
+        fv[fp] = pv
+        # Group boundaries without materializing a spliced key array:
+        # a prefix entry opens a run exactly when its key changes (all
+        # insertions land at run starts), and an original run start is
+        # absorbed when a same-key prefix run directly precedes it.
+        pb = np.empty(num_pre, dtype=bool)
+        pb[0] = True
+        np.not_equal(pk[1:], pk[:-1], out=pb[1:])
+        gb[fp] = pb
+        lastrun = np.empty(num_pre, dtype=bool)
+        lastrun[-1] = True
+        lastrun[:-1] = pb[1:]
+        cont = lastrun & (ins < m)
+        cont &= pk == skey[np.minimum(ins, m - 1)]
+        gb[fp[cont] + 1] = False
+    keep = np.empty(total, dtype=bool)
+    keep[0] = True
+    np.not_equal(fv[1:], fv[:-1], out=keep[1:])
+    keep[1:] |= gb[1:]
+    kept = np.flatnonzero(keep)
+    hit = _grouped_hits(fv[kept], gb[kept], assoc)
+    # Counted misses restored to stream order (collapsed repeats and
+    # priming prefixes can only be hits/uncounted, never misses):
+    # gathering a spliced-slot miss mask through ``fo`` reads each
+    # original's verdict without carrying an index array through the
+    # splice, and a position-mask scatter beats sorting the indices.
+    missed = np.zeros(total, dtype=bool)
+    missed[kept[~hit]] = True
+    mask = np.zeros(m, dtype=bool)
+    mask[order[missed[fo]]] = True
+    oi = np.flatnonzero(mask)
+    return lines[oi], samp[oi], ep[oi]
+
+
+def flush_reload_observations(traces: Sequence[Trace],
+                              monitored_lines: Sequence[int],
+                              config: Optional[HierarchyConfig] = None,
+                              epochs: int = 8) -> np.ndarray:
+    """Batched :meth:`FlushReloadAttacker.observe` over many traces.
+
+    Args:
+        traces: Victim traces (memory ops are used).
+        monitored_lines: Shared line ids the attacker flushes and reloads.
+        config: The victim's hierarchy; must use the LRU policy.
+        epochs: Temporal resolution of the attack.
+
+    Returns:
+        ``(len(traces), epochs * len(monitored_lines))`` 0/1 int64
+        vectors, bit-identical to the per-trace loop.
+    """
+    config = config or HierarchyConfig()
+    _check_replayable(config, epochs)
+    monitored = np.asarray([int(line) for line in monitored_lines],
+                           dtype=np.int64)
+    if monitored.size == 0:
+        raise SimulationError("nothing to monitor")
+    n = len(traces)
+    if n == 0:
+        return np.zeros((0, epochs * monitored.size), dtype=np.int64)
+    stream, sample_of, epoch_of = _batched_stream(traces, epochs)
+    levels = [(config.l1.num_sets, config.l1.associativity),
+              (config.l2.num_sets, config.l2.associativity),
+              (config.llc.num_sets, config.llc.associativity)]
+    # Narrow to 32-bit when both line ids and every level's key span fit:
+    # the sort keys, gathers and splices below run at half the width.
+    span = epochs * max(sets for sets, _ in levels) * n
+    if (stream.size and span <= np.iinfo(np.int32).max
+            and int(stream.max()) <= np.iinfo(np.int32).max):
+        stream = stream.astype(np.int32)
+        sample_of = sample_of.astype(np.int32)
+        epoch_of = epoch_of.astype(np.int32)
+    mon_unique, mon_inv = np.unique(monitored, return_inverse=True)
+    # Direct-address watch table over the line-id range actually seen:
+    # monitored lines past the stream's maximum can never be resident.
+    # Sparse id spaces fall back to binary-search membership.
+    top = int(stream.max()) if stream.size else 0
+    if top <= _WATCH_TABLE_MAX:
+        watch = np.zeros(top + 1, dtype=bool)
+        watch[mon_unique[mon_unique <= top]] = True
+    else:
+        watch = None
+    out_u = np.zeros((n, epochs, mon_unique.size), dtype=np.int64)
+    # Epoch 0 starts cold like the loop (the initial flush is a no-op);
+    # each level's counted misses become the next level's feed.
+    for index, (num_sets, assoc) in enumerate(levels):
+        stream, sample_of, epoch_of = _level_pass(
+            stream, sample_of, epoch_of, n, epochs, num_sets, assoc,
+            mon_unique, watch, out_u, want_feed=index + 1 < len(levels))
+    out = out_u[:, :, mon_inv]
+    return np.ascontiguousarray(out).reshape(n, epochs * monitored.size)

@@ -9,13 +9,76 @@ about.  These helpers flatten :class:`repro.hpc.EventDistributions` into
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import MeasurementError
 from ..hpc.distributions import EventDistributions
 from ..uarch.events import HpcEvent
+
+
+def profiled_split(y: np.ndarray, train_fraction: float = 0.6,
+                   seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Stratified train/test index split over labels ``y``.
+
+    The single split used everywhere an adversary profiles: shuffle each
+    category's indices with one shared generator (categories in sorted
+    order, so the draw sequence is reproducible), keep at least one sample
+    on each side.
+
+    Args:
+        y: ``(n,)`` category labels.
+        train_fraction: Fraction of each category used for profiling.
+        seed: Split seed.
+
+    Returns:
+        ``(train_idx, test_idx)`` index arrays.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise MeasurementError(
+            f"train_fraction must be in (0, 1), got {train_fraction}"
+        )
+    y = np.asarray(y)
+    rng = np.random.default_rng(seed)
+    train_idx: List[int] = []
+    test_idx: List[int] = []
+    for label in sorted(int(v) for v in np.unique(y)):
+        indices = np.flatnonzero(y == label)
+        rng.shuffle(indices)
+        cut = int(round(indices.size * train_fraction))
+        cut = min(max(cut, 1), indices.size - 1)
+        train_idx.extend(indices[:cut])
+        test_idx.extend(indices[cut:])
+    return np.asarray(train_idx), np.asarray(test_idx)
+
+
+def score_predictions(predictions: np.ndarray, truth: np.ndarray,
+                      categories: Optional[Sequence[int]] = None
+                      ) -> Tuple[float, Dict[int, float]]:
+    """Accuracy plus per-category recall of an attack's predictions.
+
+    Args:
+        predictions: Predicted category per attacked sample.
+        truth: True categories.
+        categories: Categories to report (default: those present in
+            ``truth``); categories absent from ``truth`` score 0.0.
+
+    Returns:
+        ``(accuracy, per_category_recall)``.
+    """
+    predictions = np.asarray(predictions)
+    truth = np.asarray(truth)
+    if categories is None:
+        categories = sorted(int(v) for v in np.unique(truth))
+    per_category: Dict[int, float] = {}
+    for category in categories:
+        mask = truth == category
+        per_category[int(category)] = (
+            float(np.mean(predictions[mask] == category))
+            if mask.any() else 0.0
+        )
+    return float(np.mean(predictions == truth)), per_category
 
 
 @dataclass(frozen=True)
@@ -45,21 +108,7 @@ class FeatureMatrix:
     def split(self, train_fraction: float = 0.6,
               seed: int = 0) -> Tuple["FeatureMatrix", "FeatureMatrix"]:
         """Stratified train/test split of the measurements."""
-        if not 0.0 < train_fraction < 1.0:
-            raise MeasurementError(
-                f"train_fraction must be in (0, 1), got {train_fraction}"
-            )
-        rng = np.random.default_rng(seed)
-        train_idx, test_idx = [], []
-        for label in self.categories:
-            indices = np.flatnonzero(self.y == label)
-            rng.shuffle(indices)
-            cut = int(round(indices.size * train_fraction))
-            cut = min(max(cut, 1), indices.size - 1)
-            train_idx.extend(indices[:cut])
-            test_idx.extend(indices[cut:])
-        train_idx = np.asarray(train_idx)
-        test_idx = np.asarray(test_idx)
+        train_idx, test_idx = profiled_split(self.y, train_fraction, seed)
         return (
             FeatureMatrix(self.x[train_idx], self.y[train_idx], self.events),
             FeatureMatrix(self.x[test_idx], self.y[test_idx], self.events),
@@ -112,3 +161,62 @@ class Standardizer:
     def transform(self, x: np.ndarray) -> np.ndarray:
         """Apply the learned transform."""
         return (x - self.mean) / self.std
+
+
+@dataclass(frozen=True)
+class ProfiledOutcome:
+    """Result of one profiled attack over a labelled feature matrix.
+
+    Attributes:
+        accuracy: Recovery accuracy on held-out samples.
+        chance_level: 1 / #categories.
+        per_category_accuracy: Recall per category.
+        classifier_name: Classifier used.
+        n_train: Profiling samples.
+        n_test: Attacked samples.
+    """
+
+    accuracy: float
+    chance_level: float
+    per_category_accuracy: Dict[int, float]
+    classifier_name: str
+    n_train: int
+    n_test: int
+
+    @property
+    def advantage(self) -> float:
+        """Accuracy above chance, normalized."""
+        return (self.accuracy - self.chance_level) / (1.0 - self.chance_level)
+
+
+def profile_attack_vectors(x: np.ndarray, y: np.ndarray,
+                           classifier: str = "gaussian-nb",
+                           train_fraction: float = 0.6,
+                           seed: int = 0) -> ProfiledOutcome:
+    """Split, standardize, fit, predict, score — the shared attack core.
+
+    The single profiled-attack pipeline behind Prime+Probe, Flush+Reload
+    and the tournament: stratified :func:`profiled_split`, a
+    :class:`Standardizer` learned on the profiling half only, one
+    classifier from :func:`repro.attack.make_classifier`, and
+    :func:`score_predictions` on the held-out half.
+    """
+    from .classifiers import make_classifier
+
+    x = np.asarray(x)
+    y = np.asarray(y)
+    train_idx, test_idx = profiled_split(y, train_fraction, seed)
+    standardizer = Standardizer.fit(x[train_idx])
+    model = make_classifier(classifier)
+    model.fit(standardizer.transform(x[train_idx]), y[train_idx])
+    predictions = model.predict(standardizer.transform(x[test_idx]))
+    truth = y[test_idx]
+    accuracy, per_category = score_predictions(predictions, truth)
+    return ProfiledOutcome(
+        accuracy=accuracy,
+        chance_level=1.0 / len(set(y.tolist())),
+        per_category_accuracy=per_category,
+        classifier_name=model.name,
+        n_train=int(train_idx.size),
+        n_test=int(test_idx.size),
+    )

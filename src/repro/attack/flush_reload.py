@@ -25,8 +25,13 @@ from ..nn.model import Sequential
 from ..trace.recorder import OP_MEM, Trace, TraceConfig
 from ..trace.traced_model import TracedInference
 from ..uarch.hierarchy import CacheHierarchy, HierarchyConfig
-from .classifiers import make_classifier
-from .features import Standardizer
+from .engine import (
+    flush_reload_observations,
+    replay_supported,
+    traces_compatible,
+)
+from .features import profile_attack_vectors
+from .trace_store import TraceStore, collect_traces
 
 
 class FlushReloadAttacker:
@@ -99,6 +104,30 @@ class FlushReloadAttacker:
                 np.zeros(len(self.monitored_lines), dtype=np.int64))
         return np.concatenate(observations[:epochs])
 
+    def observe_batch(self, traces: Sequence[Trace],
+                      epochs: int = 8) -> np.ndarray:
+        """Reload observations for a whole batch of victim traces.
+
+        Dispatches to the vectorized replay engine — bit-identical to
+        :meth:`observe` (see ``tests/attack/test_engine.py``) — whenever
+        the hierarchy uses LRU replacement; other policies fall back to
+        the per-trace reference loop.
+
+        Returns:
+            ``(len(traces), epochs * len(monitored_lines))`` 0/1 vectors.
+        """
+        if epochs < 1:
+            raise SimulationError(f"epochs must be >= 1, got {epochs}")
+        traces = list(traces)
+        if not traces:
+            return np.zeros((0, epochs * len(self.monitored_lines)),
+                            dtype=np.int64)
+        if replay_supported(self.config) and traces_compatible(traces):
+            return flush_reload_observations(traces, self.monitored_lines,
+                                             self.config, epochs=epochs)
+        return np.stack([self.observe(trace, epochs=epochs)
+                         for trace in traces])
+
     def describe(self) -> str:
         """One-line attacker description."""
         return f"flush+reload over {len(self.monitored_lines)} shared lines"
@@ -161,52 +190,25 @@ def flush_reload_attack(model: Sequential, dataset: LabeledDataset,
                         trace_config: Optional[TraceConfig] = None,
                         hierarchy_config: Optional[HierarchyConfig] = None,
                         epochs: int = 8,
-                        seed: int = 0) -> FlushReloadResult:
+                        seed: int = 0,
+                        store: Optional[TraceStore] = None,
+                        tag: str = "") -> FlushReloadResult:
     """Full profiled Flush+Reload study against one layer's weights."""
     traced = TracedInference(model, trace_config)
     attacker = FlushReloadAttacker(weight_lines(traced, layer_name),
                                    hierarchy_config)
-    vectors, labels = [], []
-    for category in categories:
-        subset = dataset.category(category)
-        if len(subset) < samples_per_category:
-            raise SimulationError(
-                f"category {category} has only {len(subset)} samples, "
-                f"need {samples_per_category}"
-            )
-        for sample in subset.images[:samples_per_category]:
-            _, trace = traced.trace_sample(sample)
-            vectors.append(attacker.observe(trace, epochs=epochs))
-            labels.append(category)
-    x = np.stack(vectors).astype(float)
-    y = np.asarray(labels)
-    rng = np.random.default_rng(seed)
-    train_idx, test_idx = [], []
-    for category in sorted(set(y.tolist())):
-        indices = np.flatnonzero(y == category)
-        rng.shuffle(indices)
-        cut = min(max(int(round(indices.size * train_fraction)), 1),
-                  indices.size - 1)
-        train_idx.extend(indices[:cut])
-        test_idx.extend(indices[cut:])
-    train_idx = np.asarray(train_idx)
-    test_idx = np.asarray(test_idx)
-    standardizer = Standardizer.fit(x[train_idx])
-    attack_model = make_classifier(classifier)
-    attack_model.fit(standardizer.transform(x[train_idx]), y[train_idx])
-    predictions = attack_model.predict(standardizer.transform(x[test_idx]))
-    truth = y[test_idx]
-    per_category = {
-        int(category): float(np.mean(predictions[truth == category]
-                                     == category))
-        for category in sorted(set(truth.tolist()))
-    }
+    traces, y = collect_traces(model, dataset, categories,
+                               samples_per_category, trace_config,
+                               store=store, tag=tag)
+    x = attacker.observe_batch(traces, epochs=epochs).astype(float)
+    outcome = profile_attack_vectors(x, y, classifier=classifier,
+                                     train_fraction=train_fraction, seed=seed)
     return FlushReloadResult(
-        accuracy=float(np.mean(predictions == truth)),
-        chance_level=1.0 / len(set(y.tolist())),
+        accuracy=outcome.accuracy,
+        chance_level=outcome.chance_level,
         monitored_lines=len(attacker.monitored_lines),
-        per_category_accuracy=per_category,
-        classifier_name=attack_model.name,
-        n_train=int(train_idx.size),
-        n_test=int(test_idx.size),
+        per_category_accuracy=outcome.per_category_accuracy,
+        classifier_name=outcome.classifier_name,
+        n_train=outcome.n_train,
+        n_test=outcome.n_test,
     )

@@ -23,10 +23,10 @@ from ..datasets.base import LabeledDataset
 from ..errors import SimulationError
 from ..nn.model import Sequential
 from ..trace.recorder import OP_MEM, Trace, TraceConfig
-from ..trace.traced_model import TracedInference
 from ..uarch.hierarchy import CacheHierarchy, HierarchyConfig
-from .classifiers import AttackClassifier, make_classifier
-from .features import Standardizer
+from .engine import prime_probe_vectors, replay_supported, traces_compatible
+from .features import profile_attack_vectors
+from .trace_store import TraceStore, collect_traces
 
 
 class PrimeProbeAttacker:
@@ -121,6 +121,31 @@ class PrimeProbeAttacker:
             vectors.append(np.zeros(self.num_sets, dtype=np.int64))
         return np.concatenate(vectors[:epochs])
 
+    def probe_vectors(self, traces: Sequence[Trace],
+                      epochs: int = 8) -> np.ndarray:
+        """Probe vectors for a whole batch of victim traces.
+
+        Dispatches to the vectorized replay engine — bit-identical to
+        :meth:`probe_vector` (see ``tests/attack/test_engine.py``) —
+        whenever the hierarchy uses LRU replacement and the victim's line
+        ids cannot collide with the eviction buffer; anything else falls
+        back to the per-trace reference loop.
+
+        Returns:
+            ``(len(traces), epochs * num_sets)`` int64 probe vectors.
+        """
+        if epochs < 1:
+            raise SimulationError(f"epochs must be >= 1, got {epochs}")
+        traces = list(traces)
+        if not traces:
+            return np.zeros((0, epochs * self.num_sets), dtype=np.int64)
+        if (replay_supported(self.config)
+                and traces_compatible(traces,
+                                      max_line=self.attacker_base_line)):
+            return prime_probe_vectors(traces, self.config, epochs=epochs)
+        return np.stack([self.probe_vector(trace, epochs=epochs)
+                         for trace in traces])
+
     def describe(self) -> str:
         """One-line attacker description."""
         return (f"prime+probe over {self.num_sets} LLC sets x "
@@ -173,27 +198,26 @@ def collect_probe_vectors(model: Sequential, dataset: LabeledDataset,
                           samples_per_category: int,
                           trace_config: Optional[TraceConfig] = None,
                           hierarchy_config: Optional[HierarchyConfig] = None,
-                          epochs: int = 8) -> Tuple[np.ndarray, np.ndarray]:
+                          epochs: int = 8,
+                          store: Optional[TraceStore] = None,
+                          tag: str = "") -> Tuple[np.ndarray, np.ndarray]:
     """Per-classification probe vectors for labelled inputs.
 
+    Args:
+        store: Optional shared :class:`repro.attack.TraceStore`; traced
+            passes are reused across attackers and countermeasure variants.
+        tag: Extra trace-store key component (see
+            :func:`repro.attack.collect_traces`).
+
     Returns:
-        ``(x, y)`` — ``(n, num_sets)`` probe vectors and category labels.
+        ``(x, y)`` — ``(n, epochs * num_sets)`` probe vectors and category
+        labels.
     """
-    traced = TracedInference(model, trace_config)
+    traces, labels = collect_traces(model, dataset, categories,
+                                    samples_per_category, trace_config,
+                                    store=store, tag=tag)
     attacker = PrimeProbeAttacker(hierarchy_config)
-    vectors, labels = [], []
-    for category in categories:
-        subset = dataset.category(category)
-        if len(subset) < samples_per_category:
-            raise SimulationError(
-                f"category {category} has only {len(subset)} samples, "
-                f"need {samples_per_category}"
-            )
-        for sample in subset.images[:samples_per_category]:
-            _, trace = traced.trace_sample(sample)
-            vectors.append(attacker.probe_vector(trace, epochs=epochs))
-            labels.append(category)
-    return np.stack(vectors).astype(float), np.asarray(labels)
+    return attacker.probe_vectors(traces, epochs=epochs).astype(float), labels
 
 
 def prime_probe_attack(model: Sequential, dataset: LabeledDataset,
@@ -204,38 +228,22 @@ def prime_probe_attack(model: Sequential, dataset: LabeledDataset,
                        trace_config: Optional[TraceConfig] = None,
                        hierarchy_config: Optional[HierarchyConfig] = None,
                        epochs: int = 8,
-                       seed: int = 0) -> PrimeProbeResult:
+                       seed: int = 0,
+                       store: Optional[TraceStore] = None,
+                       tag: str = "") -> PrimeProbeResult:
     """Full profiled Prime+Probe study: collect, split, profile, attack."""
     x, y = collect_probe_vectors(model, dataset, categories,
                                  samples_per_category, trace_config,
-                                 hierarchy_config, epochs=epochs)
-    rng = np.random.default_rng(seed)
-    train_idx, test_idx = [], []
-    for category in sorted(set(y.tolist())):
-        indices = np.flatnonzero(y == category)
-        rng.shuffle(indices)
-        cut = min(max(int(round(indices.size * train_fraction)), 1),
-                  indices.size - 1)
-        train_idx.extend(indices[:cut])
-        test_idx.extend(indices[cut:])
-    train_idx = np.asarray(train_idx)
-    test_idx = np.asarray(test_idx)
-    standardizer = Standardizer.fit(x[train_idx])
-    attack_model: AttackClassifier = make_classifier(classifier)
-    attack_model.fit(standardizer.transform(x[train_idx]), y[train_idx])
-    predictions = attack_model.predict(standardizer.transform(x[test_idx]))
-    truth = y[test_idx]
-    per_category = {
-        int(category): float(np.mean(predictions[truth == category]
-                                     == category))
-        for category in sorted(set(truth.tolist()))
-    }
+                                 hierarchy_config, epochs=epochs,
+                                 store=store, tag=tag)
+    outcome = profile_attack_vectors(x, y, classifier=classifier,
+                                     train_fraction=train_fraction, seed=seed)
     return PrimeProbeResult(
-        accuracy=float(np.mean(predictions == truth)),
-        chance_level=1.0 / len(set(y.tolist())),
+        accuracy=outcome.accuracy,
+        chance_level=outcome.chance_level,
         num_sets=x.shape[1],
-        per_category_accuracy=per_category,
-        classifier_name=attack_model.name,
-        n_train=int(train_idx.size),
-        n_test=int(test_idx.size),
+        per_category_accuracy=outcome.per_category_accuracy,
+        classifier_name=outcome.classifier_name,
+        n_train=outcome.n_train,
+        n_test=outcome.n_test,
     )

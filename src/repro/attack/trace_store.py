@@ -1,0 +1,218 @@
+"""Shared victim-trace artifact store for the cache attackers.
+
+Every microarchitectural attacker (Prime+Probe, Flush+Reload) and every
+countermeasure variant replays the same victim memory streams; before this
+store each of them re-ran :meth:`repro.trace.TracedInference.trace_sample`
+over the whole dataset.  The store persists one traced pass per
+``(model fingerprint, trace config, dataset, category, count, tag)`` key so
+all consumers share it, with the same atomic-write / corruption-eviction
+discipline as :class:`repro.hpc.MeasurementCache`.
+
+Only the memory operations are serialized (lines, per-op sizes and write
+flags): they are the complete input of both cache attackers, and dropping
+the instruction/branch ops keeps entries small.  Rebuilt traces therefore
+replay bit-identically through the attack paths but carry no
+instruction-count aggregates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..datasets.base import LabeledDataset
+from ..errors import MeasurementError, SimulationError
+from ..nn.model import Sequential
+from ..obs import runtime as obs
+from ..trace.recorder import OP_MEM, Trace, TraceConfig
+from ..trace.traced_model import TracedInference
+
+__all__ = [
+    "TraceStore",
+    "collect_traces",
+    "traces_from_arrays",
+    "traces_to_arrays",
+]
+
+#: Bumped when the serialized layout changes; part of every cache key.
+_LAYOUT_VERSION = 1
+
+
+def traces_to_arrays(traces: Sequence[Trace]) -> Dict[str, np.ndarray]:
+    """Flatten traces' memory ops into a savez-able array mapping."""
+    lines: List[np.ndarray] = []
+    sizes: List[int] = []
+    writes: List[bool] = []
+    counts: List[int] = []
+    for trace in traces:
+        ops = [op for op in trace.ops if op[0] == OP_MEM]
+        counts.append(len(ops))
+        for op in ops:
+            lines.append(op[1])
+            sizes.append(int(op[1].size))
+            writes.append(bool(op[2]))
+    return {
+        "lines": (np.concatenate(lines) if lines
+                  else np.zeros(0, dtype=np.int64)),
+        "op_sizes": np.asarray(sizes, dtype=np.int64),
+        "op_writes": np.asarray(writes, dtype=np.uint8),
+        "ops_per_sample": np.asarray(counts, dtype=np.int64),
+    }
+
+
+def traces_from_arrays(arrays: Dict[str, np.ndarray]) -> List[Trace]:
+    """Rebuild memory-op traces from :func:`traces_to_arrays` output.
+
+    Raises:
+        MeasurementError: If the arrays are internally inconsistent (a
+            truncated or torn payload).
+    """
+    lines = np.asarray(arrays["lines"], dtype=np.int64)
+    sizes = np.asarray(arrays["op_sizes"], dtype=np.int64)
+    writes = np.asarray(arrays["op_writes"], dtype=np.uint8)
+    counts = np.asarray(arrays["ops_per_sample"], dtype=np.int64)
+    if (sizes.size != writes.size or int(counts.sum()) != sizes.size
+            or int(sizes.sum()) != lines.size or (sizes < 1).any()
+            or (counts < 0).any()):
+        raise MeasurementError("inconsistent trace payload")
+    bounds = np.cumsum(sizes)[:-1]
+    chunks = np.split(lines, bounds) if sizes.size else []
+    traces: List[Trace] = []
+    op_index = 0
+    for count in counts.tolist():
+        trace = Trace()
+        for _ in range(count):
+            trace.mem(chunks[op_index], write=bool(writes[op_index]))
+            op_index += 1
+        traces.append(trace)
+    return traces
+
+
+class TraceStore:
+    """Disk store of victim memory-op traces, keyed by content fingerprints.
+
+    Traced inference is deterministic given (model weights, trace config,
+    input), so one traced pass per key can be shared by every attacker and
+    countermeasure variant — and by concurrent processes: writes land in a
+    per-process temp file renamed over the final name, and a corrupt entry
+    is evicted and treated as a miss, never poisoning an attack.
+
+    Args:
+        directory: Store directory (created on first write).
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+
+    @staticmethod
+    def key_for(model: Sequential, trace_config: Optional[TraceConfig],
+                dataset_name: str, category: int, count: int,
+                tag: str = "") -> str:
+        """Content key of one (model, config, category subset) traced pass."""
+        return "|".join([
+            f"trace-v{_LAYOUT_VERSION}",
+            model.weights_fingerprint(),
+            repr(trace_config or TraceConfig()),
+            str(dataset_name),
+            str(category),
+            str(count),
+            str(tag),
+        ])
+
+    def _path(self, key: str) -> Path:
+        safe = hashlib.sha256(key.encode()).hexdigest()[:32]
+        return self.directory / f"trace-{safe}.npz"
+
+    def get(self, key: str) -> Optional[List[Trace]]:
+        """Load stored traces, or None on miss/corruption (evicted)."""
+        path = self._path(key)
+        if not path.exists():
+            obs.inc("cache.miss", kind="trace")
+            return None
+        try:
+            with np.load(path) as archive:
+                arrays = {name: archive[name] for name in archive.files}
+            traces = traces_from_arrays(arrays)
+        except Exception:
+            # A torn or stale entry must never poison an attack replay.
+            obs.inc("cache.corrupt", kind="trace")
+            obs.inc("cache.miss", kind="trace")
+            path.unlink(missing_ok=True)
+            return None
+        obs.inc("cache.hit", kind="trace")
+        return traces
+
+    def put(self, key: str, traces: Sequence[Trace]) -> Path:
+        """Store traces under ``key`` atomically; returns the written path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        try:
+            with open(temp, "wb") as stream:
+                np.savez(stream, **traces_to_arrays(traces))
+            os.replace(temp, path)
+        finally:
+            temp.unlink(missing_ok=True)
+        obs.inc("cache.write", kind="trace")
+        return path
+
+    def remove(self, key: str) -> None:
+        """Drop the entry stored under ``key`` (missing entries are fine)."""
+        self._path(key).unlink(missing_ok=True)
+
+
+def collect_traces(model: Sequential, dataset: LabeledDataset,
+                   categories: Sequence[int], samples_per_category: int,
+                   trace_config: Optional[TraceConfig] = None,
+                   store: Optional[TraceStore] = None,
+                   tag: str = "") -> Tuple[List[Trace], np.ndarray]:
+    """Victim traces for labelled inputs, shared through the store.
+
+    Args:
+        model: The victim classifier.
+        dataset: Labelled inputs; the first ``samples_per_category`` of
+            each category are traced.
+        categories: Input categories to cover, in output order.
+        samples_per_category: Traces per category.
+        trace_config: Victim kernel configuration (None = default).
+        store: Optional :class:`TraceStore`; hits skip re-tracing.
+        tag: Extra key component (e.g. the dataset generation seed) for
+            callers whose ``dataset.name`` does not pin the content.
+
+    Returns:
+        ``(traces, labels)`` — one trace per sample, category labels
+        aligned with it.
+    """
+    traced: Optional[TracedInference] = None
+    traces: List[Trace] = []
+    labels: List[int] = []
+    for category in categories:
+        key = None
+        cached = None
+        if store is not None:
+            key = TraceStore.key_for(model, trace_config, dataset.name,
+                                     category, samples_per_category, tag)
+            cached = store.get(key)
+        if cached is not None and len(cached) == samples_per_category:
+            traces.extend(cached)
+            labels.extend([category] * samples_per_category)
+            continue
+        subset = dataset.category(category)
+        if len(subset) < samples_per_category:
+            raise SimulationError(
+                f"category {category} has only {len(subset)} samples, "
+                f"need {samples_per_category}"
+            )
+        if traced is None:
+            traced = TracedInference(model, trace_config)
+        fresh = [traced.trace_sample(sample)[1]
+                 for sample in subset.images[:samples_per_category]]
+        if store is not None and key is not None:
+            store.put(key, fresh)
+        traces.extend(fresh)
+        labels.extend([category] * samples_per_category)
+    return traces, np.asarray(labels)

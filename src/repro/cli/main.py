@@ -9,6 +9,7 @@ Subcommands mirror the paper's artifacts::
     repro figure4  --event cache-misses # per-category distributions (CIFAR)
     repro table1 / repro table2         # pairwise t-test tables
     repro attack   --dataset mnist      # input-recovery adversary
+    repro tournament --datasets mnist   # ranked attacker x defense matrix
     repro defend   --dataset mnist      # constant-footprint countermeasure
     repro stream   --dataset mnist      # measure-and-evaluate-as-you-go
     repro perf-probe                    # can this host use real perf?
@@ -217,6 +218,29 @@ def cmd_attack(args: argparse.Namespace) -> int:
                                           layer_name="fc",
                                           classifier=args.classifier)
     print(outcome.summary())
+    return 0
+
+
+def cmd_tournament(args: argparse.Namespace) -> int:
+    from ..attack.tournament import run_tournament, write_tournament_report
+    config = _config_from_args(args)
+    datasets = list(dict.fromkeys(args.datasets or [args.dataset]))
+    configs = [replace(config, dataset=name) for name in datasets]
+    progress = ((lambda line: print(f"  {line}", flush=True))
+                if args.verbose else None)
+    report = run_tournament(
+        configs,
+        attackers=tuple(args.attackers),
+        countermeasures=tuple(args.countermeasures),
+        attack_samples=args.attack_samples,
+        epochs=args.epochs,
+        noise_amplitude=args.noise_amplitude,
+        progress=progress,
+    )
+    print(report.summary())
+    if args.out:
+        path = write_tournament_report(report, args.out)
+        print(f"report written to {path}")
     return 0
 
 
@@ -453,6 +477,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="observable: scalar counters, LLC-set probing, or "
                         "shared weight-line reloads")
     p.set_defaults(handler=cmd_attack)
+
+    p = sub.add_parser("tournament",
+                       help="attacker x countermeasure x model-zoo leakage "
+                            "matrix, ranked most-leaky first")
+    _add_experiment_args(p)
+    p.add_argument("--datasets", nargs="+", choices=("mnist", "cifar10"),
+                   default=None,
+                   help="model-zoo entries (default: just --dataset)")
+    p.add_argument("--attackers", nargs="+",
+                   choices=("hpc", "prime-probe", "flush-reload"),
+                   default=("hpc", "prime-probe", "flush-reload"),
+                   help="attackers to enter (default: all)")
+    p.add_argument("--countermeasures", nargs="+",
+                   choices=("baseline", "constant-footprint",
+                            "noise-injection"),
+                   default=("baseline", "constant-footprint",
+                            "noise-injection"),
+                   help="defenses to deploy (default: all)")
+    p.add_argument("--attack-samples", type=int, default=None,
+                   help="attack-pool traces per category "
+                        "(default: min(20, --samples))")
+    p.add_argument("--epochs", type=int, default=8,
+                   help="temporal resolution of the cache attackers "
+                        "(default: 8)")
+    p.add_argument("--noise-amplitude", type=float, default=0.25,
+                   help="noise-injection dummy-work amplitude "
+                        "(default: 0.25)")
+    p.add_argument("--out", metavar="PATH", default="TOURNAMENT_REPORT.json",
+                   help="ranked report destination "
+                        "(default: TOURNAMENT_REPORT.json; '' disables)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print one line per finished tournament step")
+    p.set_defaults(handler=cmd_tournament)
 
     p = sub.add_parser("defend", help="constant-footprint countermeasure")
     _add_experiment_args(p)

@@ -101,3 +101,44 @@ class TestValidation:
     def test_unknown_name(self):
         with pytest.raises(StatisticsError):
             make_classifier("svm")
+
+
+class TestQuadraticExpansionEquivalence:
+    """The memory-lean two-term expansions must match the naive broadcasts.
+
+    ``log_posterior`` and the centroid distances were rewritten from an
+    ``(n, classes, features)`` broadcast cube into matrix products; these
+    regressions pin the rewritten math to a reference implementation.
+    """
+
+    def test_gaussian_nb_log_posterior_matches_broadcast(self, rng):
+        x, y = blobs(rng, classes=4, features=30)
+        model = GaussianNaiveBayes().fit(x, y)
+        query = rng.normal(scale=3.0, size=(50, 30))
+        # Reference: the full (n, classes, features) broadcast.
+        diff = query[:, None, :] - model.theta_[None, :, :]
+        log_like = -0.5 * (np.log(2.0 * np.pi * model.var_)[None, :, :]
+                           + diff ** 2 / model.var_[None, :, :]).sum(axis=2)
+        reference = log_like + model.log_prior_[None, :]
+        assert np.allclose(model.log_posterior(query), reference,
+                           rtol=1e-9, atol=1e-7)
+
+    def test_gaussian_nb_predictions_match_broadcast(self, rng):
+        x, y = blobs(rng, classes=3, features=12)
+        model = GaussianNaiveBayes().fit(x, y)
+        query = rng.normal(size=(80, 12))
+        diff = query[:, None, :] - model.theta_[None, :, :]
+        log_like = -0.5 * (np.log(2.0 * np.pi * model.var_)[None, :, :]
+                           + diff ** 2 / model.var_[None, :, :]).sum(axis=2)
+        reference = model.classes_[
+            np.argmax(log_like + model.log_prior_[None, :], axis=1)]
+        assert np.array_equal(model.predict(query), reference)
+
+    def test_nearest_centroid_matches_broadcast(self, rng):
+        x, y = blobs(rng, classes=4, features=25)
+        model = NearestCentroid().fit(x, y)
+        query = rng.normal(scale=2.0, size=(60, 25))
+        distances = np.linalg.norm(
+            query[:, None, :] - model._centroids[None, :, :], axis=2)
+        reference = model.classes_[np.argmin(distances, axis=1)]
+        assert np.array_equal(model.predict(query), reference)

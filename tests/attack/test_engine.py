@@ -1,0 +1,228 @@
+"""Invariance suite: the vectorized replay engine vs the reference loops.
+
+The batched engine must be *bit-identical* to the per-trace loop paths of
+:class:`PrimeProbeAttacker` and :class:`FlushReloadAttacker` — same epoch
+slicing, same LRU evolution, same padding — across hierarchy shapes, epoch
+counts, trace lengths (including degenerate single-access traces) and
+read/write mixes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attack.engine import (
+    flush_reload_observations,
+    prime_probe_vectors,
+    replay_supported,
+    traces_compatible,
+)
+from repro.attack.flush_reload import FlushReloadAttacker, weight_lines
+from repro.attack.prime_probe import PrimeProbeAttacker
+from repro.errors import SimulationError
+from repro.trace.recorder import Trace
+from repro.trace.traced_model import TracedInference
+from repro.uarch.hierarchy import CacheGeometry, HierarchyConfig
+
+
+def small_hierarchy():
+    return HierarchyConfig(
+        l1=CacheGeometry(2 * 64, 64, 2),
+        l2=CacheGeometry(8 * 64, 64, 2),
+        llc=CacheGeometry(8 * 4 * 64, 64, 4),  # 8 sets x 4 ways
+    )
+
+
+def random_traces(rng, n=6, line_space=600, max_ops=5, max_len=400,
+                  write_fraction=0.3):
+    traces = []
+    for _ in range(n):
+        trace = Trace()
+        for _ in range(int(rng.integers(1, max_ops + 1))):
+            length = int(rng.integers(1, max_len + 1))
+            lines = rng.integers(0, line_space, size=length)
+            trace.mem(lines, write=bool(rng.random() < write_fraction))
+        traces.append(trace)
+    return traces
+
+
+def loop_probe_vectors(attacker, traces, epochs):
+    return np.stack([attacker.probe_vector(t, epochs=epochs) for t in traces])
+
+
+def loop_observations(attacker, traces, epochs):
+    return np.stack([attacker.observe(t, epochs=epochs) for t in traces])
+
+
+@pytest.mark.parametrize("config_name", ["small", "default"])
+@pytest.mark.parametrize("epochs", [1, 2, 3, 8, 17])
+def test_prime_probe_bit_identical(config_name, epochs, rng):
+    config = small_hierarchy() if config_name == "small" else HierarchyConfig()
+    attacker = PrimeProbeAttacker(config)
+    traces = random_traces(rng)
+    batched = prime_probe_vectors(traces, config, epochs=epochs)
+    reference = loop_probe_vectors(attacker, traces, epochs)
+    assert batched.dtype == reference.dtype
+    assert np.array_equal(batched, reference)
+
+
+@pytest.mark.parametrize("config_name", ["small", "default"])
+@pytest.mark.parametrize("epochs", [1, 2, 3, 8, 17])
+def test_flush_reload_bit_identical(config_name, epochs, rng):
+    config = small_hierarchy() if config_name == "small" else HierarchyConfig()
+    monitored = list(range(40, 104, 4))
+    attacker = FlushReloadAttacker(monitored, config)
+    traces = random_traces(rng)
+    batched = flush_reload_observations(traces, monitored, config,
+                                        epochs=epochs)
+    reference = loop_observations(attacker, traces, epochs)
+    assert batched.dtype == reference.dtype
+    assert np.array_equal(batched, reference)
+
+
+@pytest.mark.parametrize("totals", [[1], [3], [8], [2, 2, 2, 2], [1, 37]])
+@pytest.mark.parametrize("epochs", [1, 2, 5, 8])
+def test_degenerate_trace_lengths(totals, epochs, rng):
+    # Covers total < epochs (zero-padded trailing epochs), total == 1 and
+    # exact multiples of the budget.
+    config = small_hierarchy()
+    traces = []
+    for total in totals:
+        trace = Trace()
+        trace.mem(rng.integers(0, 64, size=total))
+        traces.append(trace)
+    pp = PrimeProbeAttacker(config)
+    assert np.array_equal(prime_probe_vectors(traces, config, epochs=epochs),
+                          loop_probe_vectors(pp, traces, epochs))
+    monitored = [3, 9, 17]
+    fr = FlushReloadAttacker(monitored, config)
+    assert np.array_equal(
+        flush_reload_observations(traces, monitored, config, epochs=epochs),
+        loop_observations(fr, traces, epochs))
+
+
+def test_write_heavy_streams_identical(rng):
+    config = small_hierarchy()
+    traces = random_traces(rng, write_fraction=1.0)
+    pp = PrimeProbeAttacker(config)
+    assert np.array_equal(prime_probe_vectors(traces, config, epochs=6),
+                          loop_probe_vectors(pp, traces, 6))
+    monitored = list(range(0, 64, 8))
+    fr = FlushReloadAttacker(monitored, config)
+    assert np.array_equal(
+        flush_reload_observations(traces, monitored, config, epochs=6),
+        loop_observations(fr, traces, 6))
+
+
+def test_real_model_traces_identical(tiny_trained_model, digits_dataset):
+    traced = TracedInference(tiny_trained_model)
+    traces = [traced.trace_sample(s)[1] for s in digits_dataset.images[:3]]
+    config = HierarchyConfig()
+    pp = PrimeProbeAttacker(config)
+    assert np.array_equal(pp.probe_vectors(traces, epochs=8),
+                          loop_probe_vectors(pp, traces, 8))
+    monitored = weight_lines(traced, "fc")
+    fr = FlushReloadAttacker(monitored, config)
+    assert np.array_equal(fr.observe_batch(traces, epochs=8),
+                          loop_observations(fr, traces, 8))
+
+
+def test_batch_methods_dispatch_to_engine(rng):
+    config = small_hierarchy()
+    traces = random_traces(rng, n=4)
+    pp = PrimeProbeAttacker(config)
+    assert np.array_equal(pp.probe_vectors(traces, epochs=5),
+                          prime_probe_vectors(traces, config, epochs=5))
+    monitored = [1, 2, 3]
+    fr = FlushReloadAttacker(monitored, config)
+    assert np.array_equal(
+        fr.observe_batch(traces, epochs=5),
+        flush_reload_observations(traces, monitored, config, epochs=5))
+
+
+def test_non_lru_policy_falls_back_to_loop(rng):
+    config = HierarchyConfig(
+        l1=CacheGeometry(2 * 64, 64, 2),
+        l2=CacheGeometry(8 * 64, 64, 2),
+        llc=CacheGeometry(8 * 4 * 64, 64, 4),
+        policy="fifo",
+    )
+    assert not replay_supported(config)
+    traces = random_traces(rng, n=3)
+    pp = PrimeProbeAttacker(config)
+    assert np.array_equal(pp.probe_vectors(traces, epochs=4),
+                          loop_probe_vectors(pp, traces, 4))
+    fr = FlushReloadAttacker([0, 1], config)
+    assert np.array_equal(fr.observe_batch(traces, epochs=4),
+                          loop_observations(fr, traces, 4))
+
+
+def test_traces_compatible_gating():
+    good = Trace()
+    good.mem([1, 2, 3])
+    negative = Trace()
+    negative.mem([-1, 2])
+    huge = Trace()
+    huge.mem([1 << 41])
+    assert traces_compatible([good])
+    assert not traces_compatible([good, negative])
+    assert traces_compatible([huge])
+    assert not traces_compatible([huge], max_line=1 << 40)
+    # Colliding line ids still replay correctly via the loop fallback.
+    attacker = PrimeProbeAttacker(small_hierarchy())
+    assert np.array_equal(attacker.probe_vectors([huge], epochs=2),
+                          loop_probe_vectors(attacker, [huge], 2))
+
+
+def test_engine_error_cases():
+    config = small_hierarchy()
+    trace = Trace()
+    trace.mem([1, 2, 3])
+    empty = Trace()
+    with pytest.raises(SimulationError):
+        prime_probe_vectors([trace], config, epochs=0)
+    with pytest.raises(SimulationError):
+        prime_probe_vectors([empty], config, epochs=2)
+    with pytest.raises(SimulationError):
+        flush_reload_observations([trace], [], config, epochs=2)
+    with pytest.raises(SimulationError):
+        flush_reload_observations([empty], [1], config, epochs=2)
+
+
+def test_empty_batch_shapes():
+    config = small_hierarchy()
+    pp = PrimeProbeAttacker(config)
+    assert pp.probe_vectors([], epochs=3).shape == (0, 3 * pp.num_sets)
+    fr = FlushReloadAttacker([1, 2], config)
+    assert fr.observe_batch([], epochs=3).shape == (0, 6)
+
+
+def test_flush_reload_multi_group_carry_priming():
+    # Regression: each epoch's carried state must prime *its own group's*
+    # run, not sit at the epoch boundary.  Here two L1 sets carry lines
+    # across the epoch split; line 9's carried L1 hit must keep its
+    # second-epoch access away from the LLC, otherwise the monitored line
+    # becomes LRU in its 16-way set and the reload bit flips.
+    monitored = 9 + 128 * 50
+    fillers = [9 + 128 * (k + 1) for k in range(15)]
+    seq = [5, 9] * 9 + [monitored, 9] + fillers + [5]
+    trace = Trace()
+    trace.mem(np.asarray(seq, dtype=np.int64))
+    attacker = FlushReloadAttacker([monitored])
+    loop = attacker.observe(trace, epochs=2)
+    assert loop[1] == 1  # the loop keeps the monitored line resident
+    assert np.array_equal(attacker.observe_batch([trace], epochs=2)[0], loop)
+
+
+@pytest.mark.parametrize("epochs", [2, 3, 8])
+def test_flush_reload_dense_cross_epoch_reuse(epochs, rng):
+    # Tight line space -> nearly every line is carried across every epoch
+    # boundary, exercising the carry chain and prefix splice heavily.
+    for _ in range(12):
+        length = int(rng.integers(60, 500))
+        trace = Trace()
+        trace.mem(rng.integers(0, 48, size=length).astype(np.int64))
+        monitored = [int(x) for x in rng.choice(48, size=5, replace=False)]
+        attacker = FlushReloadAttacker(monitored)
+        assert np.array_equal(
+            attacker.observe_batch([trace], epochs=epochs)[0],
+            attacker.observe(trace, epochs=epochs))

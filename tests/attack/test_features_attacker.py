@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.attack import (
+    FeatureMatrix,
     InputRecoveryAttack,
     Standardizer,
     build_features,
@@ -113,3 +114,62 @@ class TestProfileAndAttack:
     def test_all_classifiers_beat_chance_on_leak(self, name):
         result = profile_and_attack(leaky_distributions(), classifier=name)
         assert result.accuracy > 0.8
+
+
+class TestSharedProfilingCore:
+    """profiled_split / score_predictions / profile_attack_vectors."""
+
+    def test_profiled_split_matches_feature_matrix_split(self):
+        from repro.attack import profiled_split
+        y = np.repeat([3, 1, 7], 10)
+        train_idx, test_idx = profiled_split(y, 0.6, seed=5)
+        matrix = FeatureMatrix(np.arange(30, dtype=float)[:, None], y,
+                               (HpcEvent.CACHE_MISSES,))
+        train, test = matrix.split(0.6, seed=5)
+        assert np.array_equal(train.x[:, 0], train_idx.astype(float))
+        assert np.array_equal(test.x[:, 0], test_idx.astype(float))
+        # Stratified, disjoint, exhaustive, at least one sample per side.
+        assert set(train_idx) | set(test_idx) == set(range(30))
+        assert not set(train_idx) & set(test_idx)
+        for label in (1, 3, 7):
+            assert (y[train_idx] == label).sum() == 6
+            assert (y[test_idx] == label).sum() == 4
+
+    def test_profiled_split_determinism_and_validation(self):
+        from repro.attack import profiled_split
+        y = np.repeat([0, 1], 5)
+        a = profiled_split(y, 0.6, seed=9)
+        b = profiled_split(y, 0.6, seed=9)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+        c = profiled_split(y, 0.6, seed=10)
+        assert not (np.array_equal(a[0], c[0]) and np.array_equal(a[1], c[1]))
+        with pytest.raises(MeasurementError):
+            profiled_split(y, 0.0)
+        with pytest.raises(MeasurementError):
+            profiled_split(y, 1.0)
+
+    def test_score_predictions(self):
+        from repro.attack import score_predictions
+        truth = np.array([0, 0, 1, 1, 2, 2])
+        predictions = np.array([0, 1, 1, 1, 0, 2])
+        accuracy, per_category = score_predictions(predictions, truth)
+        assert accuracy == pytest.approx(4 / 6)
+        assert per_category == {0: 0.5, 1: 1.0, 2: 0.5}
+        # Requested-but-absent categories score 0.0.
+        _, padded = score_predictions(predictions, truth,
+                                      categories=[0, 1, 2, 9])
+        assert padded[9] == 0.0
+
+    def test_profile_attack_vectors_on_separable_data(self, rng):
+        from repro.attack import profile_attack_vectors
+        x = np.vstack([rng.normal(0.0, 1.0, size=(20, 6)),
+                       rng.normal(8.0, 1.0, size=(20, 6))])
+        y = np.repeat([2, 5], 20)
+        outcome = profile_attack_vectors(x, y, classifier="gaussian-nb",
+                                         seed=1)
+        assert outcome.accuracy > 0.9
+        assert outcome.chance_level == pytest.approx(0.5)
+        assert outcome.n_train + outcome.n_test == 40
+        assert outcome.classifier_name == "gaussian-nb"
+        assert set(outcome.per_category_accuracy) == {2, 5}
+        assert 0.0 <= outcome.advantage <= 1.0

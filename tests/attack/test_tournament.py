@@ -1,0 +1,144 @@
+"""Leakage-tournament tests: matrix coverage, ranking, artifacts, reuse."""
+
+import json
+
+import pytest
+
+from repro.attack.tournament import (
+    ATTACKERS,
+    COUNTERMEASURES,
+    run_tournament,
+    write_tournament_report,
+)
+from repro.attack.trace_store import TraceStore
+from repro.core.experiment import mnist_experiment
+from repro.errors import MeasurementError
+
+
+def tiny_config(tmp_path, **overrides):
+    defaults = dict(samples_per_category=4, categories=(1, 2),
+                    cache_dir=str(tmp_path / "cache"), workers=1)
+    defaults.update(overrides)
+    return mnist_experiment(**defaults)
+
+
+@pytest.fixture(scope="module")
+def full_report(tmp_path_factory, tiny_trained_model):
+    tmp_path = tmp_path_factory.mktemp("tournament")
+    config = tiny_config(tmp_path)
+    return run_tournament([config], attack_samples=4, epochs=4,
+                          models={"mnist": tiny_trained_model})
+
+
+def test_full_matrix_coverage(full_report):
+    assert len(full_report.cells) == len(ATTACKERS) * len(COUNTERMEASURES)
+    coordinates = {(c.attacker, c.countermeasure) for c in full_report.cells}
+    assert coordinates == {(a, cm) for a in ATTACKERS
+                           for cm in COUNTERMEASURES}
+    assert full_report.datasets == ("mnist",)
+    assert full_report.samples_per_category == 4
+
+
+def test_cells_are_scored_and_ranked(full_report):
+    ranked = full_report.ranked()
+    keys = [(-c.advantage, -c.mi_bits) for c in ranked]
+    assert keys == sorted(keys)
+    for cell in ranked:
+        assert 0.0 <= cell.accuracy <= 1.0
+        assert cell.chance_level == pytest.approx(0.5)
+        assert cell.mi_bits >= 0.0
+        assert 0.0 <= cell.leakage_fraction <= 1.0 + 1e-9
+        assert cell.runtime_cost >= 1.0
+        assert cell.n_train > 0 and cell.n_test > 0
+        assert cell.wall_seconds >= 0.0
+    baseline = {c.countermeasure: c for c in ranked}
+    assert baseline["constant-footprint"].runtime_cost > 1.0
+    assert baseline["noise-injection"].runtime_cost > 1.0
+
+
+def test_countermeasure_defeats_cache_attacks(full_report):
+    # Constant-footprint kernels erase the data-dependent footprint, so
+    # both cache attackers drop to (at most) chance against them.
+    for cell in full_report.cells:
+        if (cell.attacker in ("prime-probe", "flush-reload")
+                and cell.countermeasure == "constant-footprint"):
+            baseline = next(c for c in full_report.cells
+                            if c.attacker == cell.attacker
+                            and c.countermeasure == "baseline")
+            assert cell.accuracy <= baseline.accuracy
+            assert cell.mi_bits <= baseline.mi_bits + 1e-9
+
+
+def test_noise_injection_leaves_traces_unchanged(full_report):
+    # Dummy-work noise perturbs counters, not the memory stream: the cache
+    # attackers' observables are identical to baseline by construction.
+    for attacker in ("prime-probe", "flush-reload"):
+        baseline = next(c for c in full_report.cells
+                        if c.attacker == attacker
+                        and c.countermeasure == "baseline")
+        noisy = next(c for c in full_report.cells
+                     if c.attacker == attacker
+                     and c.countermeasure == "noise-injection")
+        assert noisy.accuracy == pytest.approx(baseline.accuracy)
+        assert noisy.mi_bits == pytest.approx(baseline.mi_bits)
+
+
+def test_report_artifact_roundtrip(full_report, tmp_path):
+    path = write_tournament_report(full_report, tmp_path / "REPORT.json")
+    payload = json.loads(path.read_text())
+    assert payload["kind"] == "leakage-tournament"
+    assert payload["datasets"] == ["mnist"]
+    assert len(payload["ranking"]) == len(full_report.cells)
+    first = payload["ranking"][0]
+    assert {"dataset", "attacker", "countermeasure", "accuracy",
+            "advantage", "mi_bits", "runtime_cost"} <= set(first)
+    assert not list(tmp_path.glob("*.tmp-*"))
+
+
+def test_trace_store_shared_across_runs(tmp_path, tiny_trained_model):
+    store = TraceStore(tmp_path / "traces")
+    config = tiny_config(tmp_path, cache_dir="")
+    first = run_tournament([config], attackers=("prime-probe",),
+                           countermeasures=("baseline",), attack_samples=4,
+                           epochs=4, store=store,
+                           models={"mnist": tiny_trained_model})
+    entries = sorted(p.name for p in (tmp_path / "traces").glob("*.npz"))
+    assert entries  # traces were persisted
+    second = run_tournament([config], attackers=("flush-reload",),
+                            countermeasures=("baseline",), attack_samples=4,
+                            epochs=4, store=store,
+                            models={"mnist": tiny_trained_model})
+    # The second attacker reused the first run's traces: same entries.
+    assert sorted(p.name for p in (tmp_path / "traces").glob("*.npz")) \
+        == entries
+    assert first.cells[0].attacker == "prime-probe"
+    assert second.cells[0].attacker == "flush-reload"
+
+
+def test_parallel_matches_sequential(tmp_path, tiny_trained_model):
+    config = tiny_config(tmp_path, cache_dir="")
+    kwargs = dict(attackers=("prime-probe", "flush-reload"),
+                  attack_samples=4, epochs=4,
+                  models={"mnist": tiny_trained_model})
+    sequential = run_tournament([config], workers=1, **kwargs)
+    parallel = run_tournament([config], workers=2, **kwargs)
+    for seq, par in zip(sequential.ranked(), parallel.ranked()):
+        assert (seq.dataset, seq.attacker, seq.countermeasure) \
+            == (par.dataset, par.attacker, par.countermeasure)
+        assert par.accuracy == pytest.approx(seq.accuracy)
+        assert par.mi_bits == pytest.approx(seq.mi_bits)
+
+
+def test_input_validation(tmp_path, tiny_trained_model):
+    config = tiny_config(tmp_path)
+    models = {"mnist": tiny_trained_model}
+    with pytest.raises(MeasurementError):
+        run_tournament([config], attackers=("nope",), models=models)
+    with pytest.raises(MeasurementError):
+        run_tournament([config], countermeasures=("nope",), models=models)
+    with pytest.raises(MeasurementError):
+        run_tournament([config], attackers=(), models=models)
+    with pytest.raises(MeasurementError):
+        run_tournament([config], attack_samples=1, models=models)
+    with pytest.raises(MeasurementError):
+        run_tournament([config, config], models=models)

@@ -1,0 +1,134 @@
+"""Trace-store tests: roundtrip fidelity, corruption eviction, keying."""
+
+import numpy as np
+import pytest
+
+from repro.attack.trace_store import (
+    TraceStore,
+    collect_traces,
+    traces_from_arrays,
+    traces_to_arrays,
+)
+from repro.errors import MeasurementError, SimulationError
+from repro.trace.recorder import OP_MEM, Trace, TraceConfig
+
+
+def make_traces(rng, n=4):
+    traces = []
+    for _ in range(n):
+        trace = Trace()
+        for _ in range(int(rng.integers(1, 4))):
+            trace.mem(rng.integers(0, 500, size=int(rng.integers(1, 60))),
+                      write=bool(rng.random() < 0.5))
+        traces.append(trace)
+    return traces
+
+
+def mem_ops(trace):
+    return [(op[1].tolist(), op[2]) for op in trace.ops if op[0] == OP_MEM]
+
+
+def test_array_roundtrip_preserves_memory_ops(rng):
+    traces = make_traces(rng)
+    rebuilt = traces_from_arrays(traces_to_arrays(traces))
+    assert len(rebuilt) == len(traces)
+    for original, copy in zip(traces, rebuilt):
+        assert mem_ops(original) == mem_ops(copy)
+        assert np.array_equal(original.memory_lines(), copy.memory_lines())
+
+
+def test_inconsistent_payload_rejected(rng):
+    arrays = traces_to_arrays(make_traces(rng))
+    torn = dict(arrays)
+    torn["lines"] = arrays["lines"][:-1]  # truncated payload
+    with pytest.raises(MeasurementError):
+        traces_from_arrays(torn)
+    torn = dict(arrays)
+    torn["ops_per_sample"] = arrays["ops_per_sample"] + 1
+    with pytest.raises(MeasurementError):
+        traces_from_arrays(torn)
+
+
+def test_store_roundtrip_and_hit(tmp_path, rng):
+    store = TraceStore(tmp_path)
+    traces = make_traces(rng)
+    key = "some|content|key"
+    assert store.get(key) is None
+    store.put(key, traces)
+    loaded = store.get(key)
+    assert loaded is not None
+    for original, copy in zip(traces, loaded):
+        assert mem_ops(original) == mem_ops(copy)
+
+
+def test_store_corruption_evicts_and_misses(tmp_path, rng):
+    store = TraceStore(tmp_path)
+    key = "poisoned"
+    path = store.put(key, make_traces(rng))
+    path.write_bytes(b"not an npz archive")
+    assert store.get(key) is None
+    assert not path.exists()  # evicted, next put repopulates
+    store.put(key, make_traces(rng))
+    assert store.get(key) is not None
+
+
+def test_store_remove_and_temp_cleanup(tmp_path, rng):
+    store = TraceStore(tmp_path)
+    store.put("k", make_traces(rng))
+    store.remove("k")
+    assert store.get("k") is None
+    store.remove("k")  # idempotent
+    # Atomic writes leave no temp droppings behind.
+    store.put("k2", make_traces(rng))
+    assert not list(tmp_path.glob("*.tmp-*"))
+
+
+def test_concurrent_writers_last_replace_wins(tmp_path, rng):
+    # Two processes racing on one key both succeed; the entry stays intact
+    # (os.replace is atomic), whichever write lands last.
+    store_a = TraceStore(tmp_path)
+    store_b = TraceStore(tmp_path)
+    first = make_traces(rng, n=2)
+    second = make_traces(rng, n=2)
+    store_a.put("shared", first)
+    store_b.put("shared", second)
+    loaded = store_a.get("shared")
+    assert loaded is not None
+    assert [mem_ops(t) for t in loaded] == [mem_ops(t) for t in second]
+
+
+def test_key_sensitivity(tiny_trained_model):
+    base = TraceStore.key_for(tiny_trained_model, None, "digits", 1, 4)
+    assert TraceStore.key_for(tiny_trained_model, None, "digits", 1, 4) == base
+    assert TraceStore.key_for(tiny_trained_model, None, "digits", 2, 4) != base
+    assert TraceStore.key_for(tiny_trained_model, None, "digits", 1, 5) != base
+    assert TraceStore.key_for(tiny_trained_model, None, "other", 1, 4) != base
+    assert TraceStore.key_for(tiny_trained_model, None, "digits", 1, 4,
+                              tag="seed=9") != base
+    sparse = TraceConfig(sparse_from_layer=None)
+    if repr(sparse) != repr(TraceConfig()):
+        assert TraceStore.key_for(tiny_trained_model, sparse,
+                                  "digits", 1, 4) != base
+
+
+def test_collect_traces_uses_store(tmp_path, tiny_trained_model,
+                                   digits_dataset):
+    store = TraceStore(tmp_path)
+    traces, labels = collect_traces(tiny_trained_model, digits_dataset,
+                                    [1, 2], 3, store=store)
+    assert len(traces) == 6
+    assert labels.tolist() == [1, 1, 1, 2, 2, 2]
+    files = list(tmp_path.glob("trace-*.npz"))
+    assert len(files) == 2  # one entry per category
+    # Second collection is served from disk and replays identically.
+    again, labels2 = collect_traces(tiny_trained_model, digits_dataset,
+                                    [1, 2], 3, store=store)
+    assert labels2.tolist() == labels.tolist()
+    for a, b in zip(traces, again):
+        assert mem_ops(a) == mem_ops(b)
+
+
+def test_collect_traces_insufficient_samples(tiny_trained_model,
+                                             digits_dataset):
+    with pytest.raises(SimulationError):
+        collect_traces(tiny_trained_model, digits_dataset, [1], 10 ** 6)
