@@ -1,0 +1,165 @@
+"""Atomic artifact writes with orphaned-temp-file hygiene.
+
+Every on-disk artifact in this codebase (measurement cache entries, trace
+stores, model archives, run reports, tournament reports, serve
+checkpoints) follows one discipline: write to a per-process ``.tmp-{pid}``
+sibling, then :func:`os.replace` it over the final name, so readers can
+never observe a torn file.  Before this module each writer carried its own
+copy of that dance — and shared its blind spot: the ``finally`` that
+unlinks the temp file cannot run when the process is SIGKILL'd (OOM
+killer, hard container stop) mid-write, so ``.tmp-{pid}`` orphans from
+dead processes accumulated in cache directories forever.
+
+This module centralizes the discipline and closes the leak:
+
+* :func:`atomic_write_bytes` / :func:`atomic_write_text` /
+  :func:`atomic_write` — temp-file + rename publication, temp unlinked in
+  a ``finally`` whether the payload writer raises or succeeds;
+* :func:`sweep_stale_temps` — removes ``.tmp-<pid>`` orphans whose owning
+  process is gone, run automatically once per (process, directory) on the
+  first atomic write into that directory, so long-lived cache directories
+  self-heal from past crashes.
+
+A live concurrent writer is never disturbed: its temp file carries its own
+(running) pid and the sweep leaves it alone.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+from typing import BinaryIO, Callable, Set, Union
+
+__all__ = [
+    "atomic_write",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "sweep_stale_temps",
+    "temp_path_for",
+]
+
+#: Temp-file name pattern: ``<final name>.tmp-<pid>``.
+_TEMP_SUFFIX = re.compile(r"\.tmp-(\d+)$")
+
+#: Directories already swept by this process (sweep once per directory).
+_SWEPT: Set[Path] = set()
+
+
+def temp_path_for(path: Union[str, Path]) -> Path:
+    """The per-process temp sibling an atomic write of ``path`` uses."""
+    path = Path(path)
+    return path.with_name(f"{path.name}.tmp-{os.getpid()}")
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe of ``pid`` (signal 0)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        # The pid exists but belongs to another user.
+        return True
+    except OSError:
+        # Unknown failure — assume alive, never race a live writer.
+        return True
+    return True
+
+
+def sweep_stale_temps(directory: Union[str, Path],
+                      force: bool = False) -> int:
+    """Remove ``.tmp-<pid>`` orphans of dead processes in ``directory``.
+
+    A ``finally`` block cannot unlink the temp file when its writer is
+    SIGKILL'd mid-write; without this sweep those orphans survive forever.
+    Temp files whose pid is still running are left untouched (they belong
+    to a live concurrent writer).  Our own pid's leftovers are also
+    removed: any such file predates this call (atomic writes unlink theirs
+    before returning) and would otherwise shadow nothing while wasting
+    space.
+
+    Args:
+        directory: Directory to sweep (missing directories are a no-op).
+        force: Sweep even if this process already swept ``directory``.
+
+    Returns:
+        Number of orphaned temp files removed.
+    """
+    directory = Path(directory)
+    if not force and directory in _SWEPT:
+        return 0
+    _SWEPT.add(directory)
+    if not directory.is_dir():
+        return 0
+    removed = 0
+    own_pid = os.getpid()
+    try:
+        entries = list(directory.iterdir())
+    except OSError:
+        return 0
+    for entry in entries:
+        match = _TEMP_SUFFIX.search(entry.name)
+        if match is None:
+            continue
+        pid = int(match.group(1))
+        if pid != own_pid and _pid_alive(pid):
+            continue
+        try:
+            entry.unlink()
+            removed += 1
+        except OSError:
+            continue
+    return removed
+
+
+def atomic_write(path: Union[str, Path],
+                 writer: Callable[[Path], None]) -> Path:
+    """Publish ``path`` atomically via ``writer(temp_path)``.
+
+    ``writer`` produces the payload into the temp sibling; only a complete
+    payload is renamed over the final name.  The temp file is unlinked in
+    a ``finally`` whether the writer raises or the rename succeeds, and
+    the destination directory is swept for dead-process orphans on this
+    process's first write into it.
+
+    Args:
+        path: Final destination (parent directory must exist).
+        writer: Callable writing the full payload to the temp path.
+
+    Returns:
+        The final path.
+    """
+    path = Path(path)
+    sweep_stale_temps(path.parent)
+    temp = temp_path_for(path)
+    try:
+        writer(temp)
+        os.replace(temp, path)
+    finally:
+        temp.unlink(missing_ok=True)
+    return path
+
+
+def atomic_write_bytes(path: Union[str, Path],
+                       writer: Callable[[BinaryIO], None]) -> Path:
+    """Atomic write through an open binary stream (``writer(stream)``).
+
+    Convenience wrapper for payload producers that want a file object
+    (``np.savez``, ``pickle.dump``...): the stream is opened on the temp
+    path, handed to ``writer`` and closed before the atomic rename.
+    """
+    def write(temp: Path) -> None:
+        with open(temp, "wb") as stream:
+            writer(stream)
+
+    return atomic_write(path, write)
+
+
+def atomic_write_text(path: Union[str, Path], text: str,
+                      encoding: str = "utf-8") -> Path:
+    """Atomically publish ``text`` at ``path``."""
+    return atomic_write(
+        path, lambda temp: temp.write_text(text, encoding=encoding))

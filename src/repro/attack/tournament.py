@@ -42,6 +42,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..atomicio import atomic_write_text
 from ..core.experiment import (
     GENERATOR_VERSION,
     ExperimentConfig,
@@ -232,13 +233,7 @@ def write_tournament_report(report: TournamentReport,
     """Write the report artifact atomically; returns the written path."""
     path = Path(path)
     payload = json.dumps(report.to_json(), indent=2) + "\n"
-    temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-    try:
-        temp.write_text(payload)
-        os.replace(temp, path)
-    finally:
-        temp.unlink(missing_ok=True)
-    return path
+    return atomic_write_text(path, payload)
 
 
 # ---------------------------------------------------------------------------

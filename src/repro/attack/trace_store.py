@@ -18,12 +18,12 @@ instruction-count aggregates.
 from __future__ import annotations
 
 import hashlib
-import os
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..atomicio import atomic_write_bytes
 from ..datasets.base import LabeledDataset
 from ..errors import MeasurementError, SimulationError
 from ..nn.model import Sequential
@@ -147,16 +147,16 @@ class TraceStore:
         return traces
 
     def put(self, key: str, traces: Sequence[Trace]) -> Path:
-        """Store traces under ``key`` atomically; returns the written path."""
+        """Store traces under ``key`` atomically; returns the written path.
+
+        The temp file is unlinked whether the write succeeds or raises
+        mid-``savez``, and orphans left by SIGKILL'd writer processes are
+        swept on this process's first write (see :mod:`repro.atomicio`).
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
-        temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-        try:
-            with open(temp, "wb") as stream:
-                np.savez(stream, **traces_to_arrays(traces))
-            os.replace(temp, path)
-        finally:
-            temp.unlink(missing_ok=True)
+        arrays = traces_to_arrays(traces)
+        atomic_write_bytes(path, lambda stream: np.savez(stream, **arrays))
         obs.inc("cache.write", kind="trace")
         return path
 

@@ -12,6 +12,7 @@ Subcommands mirror the paper's artifacts::
     repro tournament --datasets mnist   # ranked attacker x defense matrix
     repro defend   --dataset mnist      # constant-footprint countermeasure
     repro stream   --dataset mnist      # measure-and-evaluate-as-you-go
+    repro serve    --tenants 2          # resident multi-tenant monitor
     repro perf-probe                    # can this host use real perf?
     repro telemetry                     # evaluation + stage/latency breakdown
     repro report                        # evaluation + RUN_REPORT.json artifact
@@ -306,15 +307,23 @@ def cmd_latency(args: argparse.Namespace) -> int:
 def cmd_stream(args: argparse.Namespace) -> int:
     from ..core.experiment import stream_experiment
     from ..core.reporting import format_alarm_latency
+    from ..resilience.shutdown import GracefulShutdown
     config = _config_from_args(args)
     ticks = []
-    result = stream_experiment(config, batch_size=args.batch_size,
-                               on_tick=ticks.append)
+    with GracefulShutdown() as stop:
+        result = stream_experiment(
+            config, batch_size=args.batch_size, on_tick=ticks.append,
+            drift_threshold=args.drift_threshold,
+            drift_window=args.drift_window,
+            should_stop=stop)
     evaluator = result.evaluator
     print(f"dataset={config.dataset} model accuracy="
           f"{result.test_accuracy:.3f} batch_size={args.batch_size} "
           f"ticks={evaluator.ticks} "
           f"evaluator_memory={evaluator.memory_bytes()} bytes")
+    if stop.requested:
+        print("interrupted: checkpoint flushed at the last round "
+              "boundary; rerun the same command to resume")
     print()
     print(format_alarm_latency(evaluator, display=config.display_map()))
     records = evaluator.alarm_latency()
@@ -326,6 +335,120 @@ def cmd_stream(args: argparse.Namespace) -> int:
     print(f"verdict: {'ALARM' if report.alarm else 'no alarm'} "
           f"({distinguishable}/{len(report.results)} pairwise tests "
           f"distinguishable at {report.confidence:.0%})")
+    if result.drift is not None:
+        alarms = result.drift.alarms()
+        print(f"drift: {'ALARM' if alarms else 'no alarm'} "
+              f"(threshold |z|>={result.drift.threshold:g}, "
+              f"window {result.drift.window})")
+        for alarm in alarms:
+            print("  " + alarm.format(config.display_map()))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import signal as signal_module
+    from ..atomicio import atomic_write_text
+    from ..serve import MonitorDaemon, ServeConfig, TenantSpec, run_load
+    from ..serve.load import percentile
+    config = ServeConfig(
+        tenants=tuple(
+            TenantSpec(f"tenant{i}",
+                       categories=tuple(range(args.serve_categories)))
+            for i in range(args.tenants)),
+        batch_size=args.batch_size,
+        admission=args.policy,
+        queue_capacity=args.queue_capacity,
+        drift_threshold=args.drift_threshold,
+        drift_window=args.drift_window,
+        state_dir=args.state_dir,
+    )
+
+    async def run():
+        daemon = MonitorDaemon(config)
+        daemon.start()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal_module.SIGINT, signal_module.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # platforms without loop signals
+                pass
+        load_task = asyncio.ensure_future(run_load(
+            daemon, rounds=args.rounds, rps=args.rps, seed=args.seed,
+            drift_after_round=args.drift_after))
+        stop_task = asyncio.ensure_future(stop.wait())
+        done, _ = await asyncio.wait(
+            {load_task, stop_task}, return_when=asyncio.FIRST_COMPLETED)
+        interrupted = load_task not in done
+        if interrupted:
+            load_task.cancel()
+            try:
+                await load_task
+            except asyncio.CancelledError:
+                pass
+            reports = {}
+        else:
+            reports = load_task.result()
+        stop_task.cancel()
+        # stop() drains admitted rounds and flushes per-tenant state
+        # checkpoints (when --state-dir is set) before returning.
+        summary = await daemon.stop()
+        return daemon, reports, summary, interrupted
+
+    daemon, reports, summary, interrupted = asyncio.run(run())
+    print(f"tenants={args.tenants} rounds={args.rounds} "
+          f"batch_size={args.batch_size} admission={args.policy} "
+          f"queue_capacity={args.queue_capacity} rps={args.rps:g}")
+    if interrupted:
+        print("interrupted: admitted rounds drained"
+              + (", state checkpointed" if args.state_dir else ""))
+    peak = daemon.admission.peak_buffered_bytes
+    ceiling = daemon.admission.capacity_bytes(args.batch_size)
+    print(f"queue memory: peak {peak} bytes, configured ceiling "
+          f"{ceiling} bytes")
+    rows = []
+    for tenant, status in summary.items():
+        report = reports.get(tenant)
+        p95 = (percentile(report.ingest_latency_ms, 95)
+               if report else float("nan"))
+        print(f"  {tenant}: rounds={status['rounds']} "
+              f"ticks={status['ticks']} detections={status['detections']} "
+              f"leak_alarm={'yes' if status['leakage_alarm'] else 'no'}"
+              + (f" (tick {status['leakage_alarm_tick']})"
+                 if status['leakage_alarm'] else "")
+              + f" drift_alarm="
+                f"{'yes' if status['drift_alarm'] else 'no'}"
+              + (f" p95_ingest={p95:.2f}ms" if report else ""))
+        rows.append({
+            "tenant": tenant,
+            **{k: status[k] for k in (
+                "rounds", "ticks", "detections", "leakage_alarm",
+                "leakage_alarm_tick", "drift_alarm", "admitted",
+                "rejected", "restarts", "memory_bytes")},
+            "p50_ingest_ms": (percentile(report.ingest_latency_ms, 50)
+                              if report else None),
+            "p95_ingest_ms": p95 if report else None,
+            "first_alarm_round": (report.first_alarm_round
+                                  if report else None),
+        })
+    if args.out:
+        payload = {
+            "tenants": args.tenants,
+            "rounds": args.rounds,
+            "batch_size": args.batch_size,
+            "admission": args.policy,
+            "queue_capacity": args.queue_capacity,
+            "rps": args.rps,
+            "interrupted": interrupted,
+            "queue_peak_bytes": peak,
+            "queue_ceiling_bytes": ceiling,
+            "per_tenant": rows,
+        }
+        path = atomic_write_text(
+            args.out, json.dumps(payload, indent=2, default=str) + "\n")
+        print(f"wrote serve report to {path}")
     return 0
 
 
@@ -537,7 +660,61 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-size", type=int, default=25,
                    help="measurements per category per evaluation tick "
                         "(default: 25)")
+    p.add_argument("--drift-threshold", type=float, default=None,
+                   metavar="Z",
+                   help="also raise drift alarms when a category's "
+                        "trailing-window mean sits this many standard "
+                        "errors from its long-run baseline (workers=1 "
+                        "only; off by default)")
+    p.add_argument("--drift-window", type=int, default=32,
+                   help="trailing measurement rows per category for "
+                        "drift monitoring (default: 32)")
     p.set_defaults(handler=cmd_stream)
+
+    p = sub.add_parser("serve",
+                       help="resident multi-tenant monitor: bounded "
+                            "admission queues, per-tenant streaming "
+                            "verdicts (bit-identical to `repro stream`), "
+                            "alpha-spending leakage alarms and drift "
+                            "alarms")
+    p.add_argument("--tenants", type=int, default=2,
+                   help="synthetic tenants to monitor (default: 2)")
+    p.add_argument("--rounds", type=int, default=40,
+                   help="measurement rounds per tenant (default: 40)")
+    p.add_argument("--batch-size", type=int, default=25,
+                   help="rows per category per round (default: 25)")
+    p.add_argument("--rps", type=float, default=0.0,
+                   help="producer rounds/second per tenant (default: 0 = "
+                        "as fast as admission allows)")
+    p.add_argument("--policy", choices=("block", "reject"),
+                   default="block",
+                   help="admission when shards fill: block producers "
+                        "(lossless backpressure) or reject whole rounds "
+                        "(default: block)")
+    p.add_argument("--queue-capacity", type=int, default=8,
+                   help="rounds buffered per (tenant, category) shard "
+                        "(default: 8)")
+    p.add_argument("--serve-categories", type=int, default=3,
+                   metavar="K",
+                   help="categories per synthetic tenant (default: 3)")
+    p.add_argument("--drift-threshold", type=float, default=5.0,
+                   metavar="Z",
+                   help="drift alarm |z| threshold (default: 5.0)")
+    p.add_argument("--drift-window", type=int, default=32,
+                   help="trailing rows per category for drift alarms "
+                        "(default: 32)")
+    p.add_argument("--drift-after", type=int, default=None, metavar="R",
+                   help="inject a mean shift into every tenant's stream "
+                        "from round R on (exercises the drift alarm; "
+                        "default: no injection)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="load-generator seed (default: 0)")
+    p.add_argument("--state-dir", default=None, metavar="DIR",
+                   help="checkpoint per-tenant monitor state here on "
+                        "shutdown and resume from it on startup")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="also write a JSON serve report to PATH")
+    p.set_defaults(handler=cmd_serve)
 
     p = sub.add_parser("perf-probe", help="probe real perf availability")
     p.add_argument("--retries", type=int, default=None,

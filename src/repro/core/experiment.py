@@ -385,12 +385,16 @@ class StreamExperimentResult:
     test_accuracy: float
     evaluator: "StreamingEvaluator"
     backend: HpcBackend
+    drift: Optional["DriftMonitor"] = None
 
 
 def stream_experiment(config: Optional[ExperimentConfig] = None,
                       batch_size: int = 25,
                       verbose: bool = False,
-                      on_tick=None) -> StreamExperimentResult:
+                      on_tick=None,
+                      drift_threshold: Optional[float] = None,
+                      drift_window: int = 32,
+                      should_stop=None) -> StreamExperimentResult:
     """Execute the measure-and-evaluate-as-you-go pipeline.
 
     Trains (or loads) the model like :func:`run_experiment`, then streams
@@ -405,6 +409,12 @@ def stream_experiment(config: Optional[ExperimentConfig] = None,
         verbose: Print training progress.
         on_tick: Optional callback receiving each
             :class:`~repro.core.streaming.StreamTick`.
+        drift_threshold: When set, run a
+            :class:`~repro.core.drift.DriftMonitor` alongside the leakage
+            evaluator and alarm at this |z| (requires ``workers == 1``).
+        drift_window: Trailing rows per category for drift monitoring.
+        should_stop: Optional zero-argument probe polled at round
+            boundaries — see :meth:`MeasurementSession.stream`.
     """
     config = config or ExperimentConfig()
     if config.telemetry is not None:
@@ -424,6 +434,11 @@ def stream_experiment(config: Optional[ExperimentConfig] = None,
                  if config.cache_dir else None)
         session = MeasurementSession(backend, warmup=0, cache=cache,
                                      retry=config.retry_policy())
+        drift = None
+        if drift_threshold is not None:
+            from .drift import DriftMonitor
+            drift = DriftMonitor(window=drift_window,
+                                 threshold=drift_threshold)
         with obs.span("experiment.measure") as stage:
             with profile_stage("stream", span=stage):
                 evaluator = session.stream(
@@ -434,15 +449,20 @@ def stream_experiment(config: Optional[ExperimentConfig] = None,
                     cache_tag=(f"gen{GENERATOR_VERSION}"
                                f"-eval-seed={config.eval_seed}"),
                     workers=config.workers,
-                    on_tick=on_tick)
+                    on_tick=on_tick,
+                    drift=drift,
+                    should_stop=should_stop)
         root.set_attribute("accuracy", round(accuracy, 4))
         root.set_attribute("alarm", evaluator.alarm)
+        if drift is not None:
+            root.set_attribute("drift_alarms", len(drift.alarms()))
     return StreamExperimentResult(
         config=config,
         model=model,
         test_accuracy=accuracy,
         evaluator=evaluator,
         backend=backend,
+        drift=drift,
     )
 
 

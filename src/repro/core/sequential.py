@@ -52,6 +52,52 @@ class SequentialResult:
                 f"measurements/category (pair {self.first_pair})")
 
 
+#: Alpha-spending schemes for unbounded streams (see :func:`spend_alpha`).
+SPENDING_SCHEMES = ("geometric", "harmonic")
+
+
+def spend_alpha(alpha: float, tick: int, scheme: str = "geometric") -> float:
+    """Per-tick significance level of an unbounded alpha-spending schedule.
+
+    :class:`SequentialEvaluator` splits its budget evenly because its
+    checkpoint schedule is finite and known up front.  A resident monitor
+    (``repro serve``) re-tests on every tick *forever*, so its per-tick
+    alphas must form a convergent series that sums to at most ``alpha``
+    over infinitely many ticks:
+
+    * ``"geometric"`` — ``alpha / 2**tick`` (front-loaded: early ticks get
+      most of the budget, matching the operational preference for fast
+      alarms on blatant leaks);
+    * ``"harmonic"`` — ``alpha / (tick * (tick + 1))`` (decays slower, so
+      late detections of subtle leaks retain more power).
+
+    Either way a union bound caps the lifetime false-alarm probability of
+    the spending alarm layer at ``alpha``, no matter how long the daemon
+    runs.
+
+    Args:
+        alpha: Lifetime false-alarm budget (in (0, 1)).
+        tick: 1-based evaluation tick.
+        scheme: ``"geometric"`` or ``"harmonic"``.
+
+    Returns:
+        The significance level to test at on this tick.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise EvaluationError(f"alpha must be in (0, 1), got {alpha}")
+    if tick < 1:
+        raise EvaluationError(f"tick must be >= 1, got {tick}")
+    if scheme == "geometric":
+        # Beyond ~2^-1074 the spent alpha underflows to exactly 0.0:
+        # p-values can never beat it, which is the correct degenerate
+        # behaviour for a budget spent this deep into the stream.
+        return alpha / (2.0 ** tick) if tick < 1075 else 0.0
+    if scheme == "harmonic":
+        return alpha / (tick * (tick + 1.0))
+    raise EvaluationError(
+        f"scheme must be one of {SPENDING_SCHEMES}, got {scheme!r}")
+
+
 def default_checkpoints(max_n: int, first: int = 5) -> Tuple[int, ...]:
     """Doubling checkpoint schedule: ``first, 2*first, ... , max_n``.
 

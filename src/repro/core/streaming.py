@@ -164,6 +164,16 @@ class StreamingEvaluator:
         """Ticks evaluated so far."""
         return self._ticks
 
+    @property
+    def moments(self) -> Optional["StreamingMoments"]:
+        """The long-run accumulators (None before any data).
+
+        Exposed read-only as the drift baseline: a
+        :class:`~repro.core.drift.DriftMonitor` z-scores its trailing
+        windows against these — the same state the verdicts derive from.
+        """
+        return self._moments
+
     def samples_seen(self, category: int) -> int:
         """Measurements folded in for ``category``."""
         return self._moments.count(category) if self._moments else 0
@@ -305,22 +315,33 @@ class StreamingEvaluator:
             new_detections=new_detections,
         )
 
-    def report(self) -> LeakageReport:
+    def report(self, confidence: Optional[float] = None) -> LeakageReport:
         """A batch-compatible leakage report of the current state.
 
         Identical construction to ``Evaluator.evaluate`` run on the same
         sufficient statistics (``distributions`` is None — the samples were
         never retained).
+
+        Args:
+            confidence: Override the evaluator's confidence level for this
+                report only — the alpha-spending alarm layer re-tests the
+                same accumulator state at a per-tick spent alpha without
+                touching the evaluator's own detection bookkeeping.
         """
         if not self.ready:
             raise EvaluationError(
                 "report needs at least two categories with >= 2 "
                 "observations each")
         stats = self._moments.to_sufficient_stats(self._events)
-        results = self._evaluator.results_from_stats(stats, self._events)
+        if confidence is None or confidence == self.confidence:
+            evaluator = self._evaluator
+            confidence = self.confidence
+        else:
+            evaluator = Evaluator(confidence=confidence, method=self.method)
+        results = evaluator.results_from_stats(stats, self._events)
         return LeakageReport(
             results=results,
-            confidence=self.confidence,
+            confidence=confidence,
             method=self.method,
             categories=list(stats.categories),
             events=list(self._events),

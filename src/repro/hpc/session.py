@@ -9,12 +9,12 @@ distributions of every event.
 from __future__ import annotations
 
 import hashlib
-import os
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..atomicio import atomic_write_bytes
 from ..datasets.base import LabeledDataset
 from ..errors import BackendError, MeasurementError
 from ..obs import runtime as obs
@@ -84,13 +84,8 @@ class MeasurementCache:
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
-        temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-        try:
-            with open(temp, "wb") as stream:
-                np.savez(stream, **distributions.to_arrays())
-            os.replace(temp, path)
-        finally:
-            temp.unlink(missing_ok=True)
+        arrays = distributions.to_arrays()
+        atomic_write_bytes(path, lambda stream: np.savez(stream, **arrays))
         obs.inc("cache.write", kind=kind)
         return path
 
@@ -123,13 +118,7 @@ class MeasurementCache:
         """Store a raw array entry under ``key`` (atomic, like :meth:`put`)."""
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
-        temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-        try:
-            with open(temp, "wb") as stream:
-                np.savez(stream, **arrays)
-            os.replace(temp, path)
-        finally:
-            temp.unlink(missing_ok=True)
+        atomic_write_bytes(path, lambda stream: np.savez(stream, **arrays))
         obs.inc("cache.write", kind=kind)
         return path
 
@@ -406,7 +395,9 @@ class MeasurementSession:
                method: str = "welch",
                cache_tag: str = "",
                workers: Optional[int] = None,
-               on_tick=None):
+               on_tick=None,
+               drift=None,
+               should_stop=None):
         """Measure and evaluate as you go — verdicts without retention.
 
         Rounds of ``batch_size`` measurements per category are folded into
@@ -436,6 +427,17 @@ class MeasurementSession:
                 order.  ``None`` or 1 measures in-process.
             on_tick: Optional callback receiving each
                 :class:`~repro.core.streaming.StreamTick`.
+            drift: Optional :class:`~repro.core.drift.DriftMonitor` fed
+                every measurement row and checked against the long-run
+                accumulators after each tick.  Requires ``workers == 1``
+                (the parallel path ships O(e) accumulator states, not the
+                raw rows a trailing window needs).  On resume the windows
+                restart empty and refill within ``drift.window`` rows.
+            should_stop: Optional zero-argument probe polled at every
+                round boundary; returning True ends the stream after the
+                just-checkpointed round (resume later is exact).  Pass a
+                :class:`~repro.resilience.shutdown.GracefulShutdown` to
+                stop cleanly on SIGTERM/SIGINT.
 
         Returns:
             The :class:`~repro.core.streaming.StreamingEvaluator` after
@@ -454,6 +456,11 @@ class MeasurementSession:
         if workers is not None and workers < 1:
             raise MeasurementError(f"workers must be >= 1, got {workers}")
         workers = workers or 1
+        if drift is not None and workers > 1:
+            raise MeasurementError(
+                "drift monitoring needs the raw measurement rows, which "
+                "the parallel stream path never ships (workers send O(e) "
+                "accumulator states); use workers=1 with drift")
         state_key = "|".join([
             self.backend.fingerprint(),
             dataset.name,
@@ -504,7 +511,13 @@ class MeasurementSession:
                       batch_size=batch_size, workers=workers,
                       resume_at=start) as span:
             rounds = 0
+            stopped_early = False
             for offset in range(start, samples_per_category, batch_size):
+                if should_stop is not None and should_stop():
+                    # The previous round's checkpoint is already on disk;
+                    # an identical stream() call resumes exactly here.
+                    stopped_early = True
+                    break
                 stop = min(offset + batch_size, samples_per_category)
                 round_samples = {category: subsets[category][offset:stop]
                                  for category in categories}
@@ -526,10 +539,21 @@ class MeasurementSession:
                         obs.inc("measurement.samples", len(readings),
                                 category=category)
                         evaluator.observe(category, readings)
+                        if drift is not None:
+                            events = evaluator.events
+                            rows = np.empty((len(readings), len(events)),
+                                            dtype=np.float64)
+                            for i, counts in enumerate(readings):
+                                for j, event in enumerate(events):
+                                    rows[i, j] = counts[event]
+                            drift.observe(category, rows)
                 rounds += 1
                 obs.inc("stream.rounds")
                 if evaluator.ready:
                     tick = evaluator.tick()
+                    if drift is not None:
+                        drift.check(evaluator.moments, evaluator.events,
+                                    tick.tick)
                     if on_tick is not None:
                         on_tick(tick)
                 if checkpointing:
@@ -537,6 +561,9 @@ class MeasurementSession:
                                           kind="stream-state")
             span.set_attribute("rounds", rounds)
             span.set_attribute("detections", len(evaluator.alarm_latency()))
+            if stopped_early:
+                span.set_attribute("stopped_early", True)
+                obs.inc("stream.stopped_early")
         return evaluator
 
     @staticmethod

@@ -9,12 +9,12 @@ from __future__ import annotations
 
 import io
 import json
-import os
 from pathlib import Path
 from typing import Union
 
 import numpy as np
 
+from ..atomicio import atomic_write_bytes
 from ..errors import SerializationError
 from .layers import LAYER_REGISTRY
 from .model import Sequential
@@ -53,13 +53,7 @@ def save_model(model: Sequential, path: Union[str, Path]) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     # Atomic publish (same discipline as MeasurementCache.put): a crash
     # mid-write must never leave a torn archive under the final name.
-    temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-    try:
-        with open(temp, "wb") as handle:
-            np.savez(handle, **arrays)
-        os.replace(temp, path)
-    finally:
-        temp.unlink(missing_ok=True)
+    atomic_write_bytes(path, lambda handle: np.savez(handle, **arrays))
     return path
 
 

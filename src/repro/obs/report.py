@@ -23,6 +23,7 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Union
 
+from ..atomicio import atomic_write_text
 from ..version import __version__
 from .exporters import TelemetrySnapshot
 from .metrics import METRICS_SCHEMA_VERSION
@@ -196,11 +197,5 @@ def write_run_report(report: Dict[str, Any],
     """Write the report atomically (temp file + rename); returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-    try:
-        temp.write_text(json.dumps(report, indent=2, default=str) + "\n",
-                        encoding="utf-8")
-        os.replace(temp, path)
-    finally:
-        temp.unlink(missing_ok=True)
-    return path
+    return atomic_write_text(
+        path, json.dumps(report, indent=2, default=str) + "\n")

@@ -12,7 +12,10 @@ of it:
   resilience machinery itself is testable;
 * :mod:`~repro.resilience.supervisor` — worker supervision for the
   parallel executor: dead workers are detected, their lost chunks
-  resubmitted, and exhaustion surfaces structured per-chunk diagnostics.
+  resubmitted, and exhaustion surfaces structured per-chunk diagnostics;
+* :mod:`~repro.resilience.shutdown` — SIGTERM/SIGINT trapped into a
+  cooperative stop flag so streaming runs flush their checkpoint and exit
+  at a round boundary instead of dying mid-write.
 
 Because every measurement is a pure function of its ``(category, index)``
 key, recovery never changes results: a run that limped through timeouts,
@@ -22,6 +25,7 @@ a clean run.
 
 from .faults import FaultKind, FaultPlan, FaultSpec, FlakyBackend
 from .retry import NO_RETRY, RetryPolicy
+from .shutdown import GracefulShutdown
 from .supervisor import ChunkDiagnostic, ChunkSupervisor
 
 __all__ = [
@@ -31,6 +35,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "FlakyBackend",
+    "GracefulShutdown",
     "NO_RETRY",
     "RetryPolicy",
 ]

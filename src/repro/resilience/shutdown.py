@@ -1,0 +1,99 @@
+"""Graceful shutdown: turn SIGTERM/SIGINT into a clean checkpoint flush.
+
+Before this module only the fault injector touched :mod:`signal`: a
+``SIGTERM`` delivered to ``repro stream`` (or any long measurement loop)
+killed the process wherever it happened to be, dropping the in-flight
+round's accumulator progress, and a ``SIGINT`` unwound as a
+``KeyboardInterrupt`` from an arbitrary stack frame with the same effect.
+:class:`GracefulShutdown` converts the *first* signal into a cooperative
+stop request — loops poll :attr:`GracefulShutdown.requested` at their
+round boundaries, flush the stream-state checkpoint they just wrote and
+return cleanly — while a *second* signal (an operator insisting) raises
+``KeyboardInterrupt`` immediately.
+
+The asyncio serving daemon installs its handlers through the event loop
+instead (``loop.add_signal_handler``); this class is for the synchronous
+measurement paths.
+"""
+
+from __future__ import annotations
+
+import signal
+from typing import List, Optional, Tuple
+
+from ..obs import runtime as obs
+
+__all__ = ["GracefulShutdown"]
+
+#: Signals a graceful shutdown traps by default.
+DEFAULT_SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+
+class GracefulShutdown:
+    """Context manager trapping termination signals into a stop flag.
+
+    Usage::
+
+        with GracefulShutdown() as stop:
+            evaluator = session.stream(..., should_stop=stop)
+        if stop.requested:
+            print("interrupted - checkpoint flushed, resume to continue")
+
+    The instance is callable (returns :attr:`requested`), so it can be
+    passed directly as a ``should_stop`` probe.  Previous handlers are
+    restored on exit, including when the body raises.  A second delivery
+    of a trapped signal raises ``KeyboardInterrupt`` at the next
+    interpreter bytecode boundary — cooperation is offered once.
+
+    Args:
+        signals: Signals to trap (default: ``SIGTERM`` and ``SIGINT``).
+    """
+
+    def __init__(self, signals: Tuple[signal.Signals, ...] = DEFAULT_SIGNALS):
+        self.signals = tuple(signals)
+        self._requested = False
+        self._received: Optional[int] = None
+        self._previous: List[Tuple[signal.Signals, object]] = []
+
+    @property
+    def requested(self) -> bool:
+        """True once any trapped signal has been delivered."""
+        return self._requested
+
+    @property
+    def signal_received(self) -> Optional[int]:
+        """Number of the first trapped signal (None before delivery)."""
+        return self._received
+
+    def __call__(self) -> bool:
+        return self._requested
+
+    def _handle(self, signum: int, frame) -> None:
+        if self._requested:
+            # The operator asked twice: stop cooperating.
+            raise KeyboardInterrupt(
+                f"second signal {signal.Signals(signum).name} during "
+                "graceful shutdown")
+        self._requested = True
+        self._received = signum
+        obs.inc("shutdown.requested",
+                signal=signal.Signals(signum).name)
+
+    def install(self) -> "GracefulShutdown":
+        """Install the handlers (main thread only, like ``signal`` itself)."""
+        for signum in self.signals:
+            self._previous.append((signum, signal.getsignal(signum)))
+            signal.signal(signum, self._handle)
+        return self
+
+    def restore(self) -> None:
+        """Restore whatever handlers were installed before."""
+        while self._previous:
+            signum, handler = self._previous.pop()
+            signal.signal(signum, handler)
+
+    def __enter__(self) -> "GracefulShutdown":
+        return self.install()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.restore()

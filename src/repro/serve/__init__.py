@@ -1,0 +1,41 @@
+"""Resident multi-tenant leakage monitoring (``repro serve``).
+
+The offline pipeline asks "did this model leak during this run?"; a
+deployment wants the question answered *continuously*, for many models at
+once, on a machine whose memory it cannot exhaust.  This package is that
+daemon, built entirely from stdlib asyncio plus the repo's own streaming
+machinery:
+
+* :mod:`~repro.serve.config` — tenants, admission policy, alarm settings;
+* :mod:`~repro.serve.queues` — bounded per-(tenant, category) shards with
+  round-atomic admission (``block`` backpressure or whole-round
+  ``reject``);
+* :mod:`~repro.serve.monitor` — per-tenant streaming evaluation whose
+  verdicts are bit-identical to ``repro stream`` on the same rows, plus
+  the alpha-spending alarm layer and drift alarms;
+* :mod:`~repro.serve.daemon` — supervised consumer tasks with
+  exactly-once crash recovery and atomic state checkpoints;
+* :mod:`~repro.serve.load` — deterministic synthetic producers for the
+  CLI, tests and ``benchmarks/bench_serve.py``.
+"""
+
+from .config import ADMISSION_POLICIES, ServeConfig, TenantSpec
+from .daemon import MonitorDaemon, TenantFailure
+from .load import LoadReport, SyntheticTenantLoad, run_load
+from .monitor import MeasurementRound, RoundOutcome, TenantMonitor
+from .queues import AdmissionController
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionController",
+    "LoadReport",
+    "MeasurementRound",
+    "MonitorDaemon",
+    "RoundOutcome",
+    "ServeConfig",
+    "SyntheticTenantLoad",
+    "TenantFailure",
+    "TenantMonitor",
+    "TenantSpec",
+    "run_load",
+]

@@ -1,0 +1,284 @@
+"""The resident monitoring daemon: admission, consumers, supervision.
+
+One :class:`MonitorDaemon` hosts a :class:`~repro.serve.queues.
+AdmissionController` and, per tenant, a :class:`~repro.serve.monitor.
+TenantMonitor` drained by a dedicated asyncio consumer task.  The
+consumer assembles rounds by awaiting each category shard **in sorted
+category order** — round alignment is implied by per-shard FIFO order
+plus round-atomic admission, so no reassembly buffer is needed — and
+folds them into the monitor, raising leakage and drift alarms through the
+callbacks the embedding application registers.
+
+Crash safety follows the exactly-once discipline of the parallel
+executor's supervisor: a fetched round is parked in an in-flight slot
+before ingestion and cleared only after the monitor accepted it.  When a
+consumer task dies mid-ingest the supervising wrapper restarts it (up to
+``max_consumer_restarts`` times, counted in telemetry) and the restarted
+consumer re-ingests the parked round before fetching new work — no round
+is lost, none is double-counted, and the monitor's verdicts remain
+bit-identical to an offline replay of the admitted sequence.
+
+Shutdown (:meth:`MonitorDaemon.stop`) drains every shard, cancels the
+consumers and — when ``state_dir`` is configured — checkpoints each
+tenant's monitor state through the atomic-write discipline of
+:mod:`repro.atomicio`, so a daemon killed between rounds resumes without
+re-observing anything.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..atomicio import atomic_write_bytes
+from ..errors import EvaluationError
+from ..obs import runtime as obs
+from .config import ServeConfig
+from .monitor import MeasurementRound, RoundOutcome, TenantMonitor
+from .queues import AdmissionController, RoundShard
+
+__all__ = ["MonitorDaemon", "TenantFailure"]
+
+
+class TenantFailure(EvaluationError):
+    """A tenant's consumer exhausted its restart budget."""
+
+
+class MonitorDaemon:
+    """Multi-tenant streaming leakage monitor.
+
+    Args:
+        config: Daemon configuration.
+        on_outcome: Optional callback receiving every
+            :class:`~repro.serve.monitor.RoundOutcome` (alarms included);
+            invoked on the event loop, so it must be fast and non-blocking.
+        ingest_fault: Test-only fault hook called as ``(tenant,
+            round_index)`` after a round is fetched but before it is
+            ingested; raising from it simulates a consumer crash at the
+            worst possible moment (the same role
+            :class:`~repro.resilience.faults.FlakyBackend` plays for
+            measurement acquisition).
+    """
+
+    def __init__(self, config: ServeConfig,
+                 on_outcome: Optional[Callable[[RoundOutcome], None]] = None,
+                 ingest_fault: Optional[Callable[[str, int], None]] = None):
+        self.config = config
+        self.admission = AdmissionController(config)
+        self.monitors: Dict[str, TenantMonitor] = {}
+        self.restarts: Dict[str, int] = {}
+        self.failed: Dict[str, BaseException] = {}
+        self._on_outcome = on_outcome
+        self._ingest_fault = ingest_fault
+        self._inflight: Dict[str, Optional[MeasurementRound]] = {}
+        self._tasks: List[asyncio.Task] = []
+        self._started = False
+        self._stopped = False
+        state_dir = Path(config.state_dir) if config.state_dir else None
+        for spec in config.tenants:
+            monitor = None
+            if state_dir is not None:
+                monitor = self._load_checkpoint(state_dir, spec.tenant)
+            self.monitors[spec.tenant] = (
+                monitor if monitor is not None
+                else TenantMonitor(spec, config))
+            self.restarts[spec.tenant] = 0
+            self._inflight[spec.tenant] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn one supervised consumer task per tenant."""
+        if self._started:
+            raise EvaluationError("daemon already started")
+        self._started = True
+        for spec in self.config.tenants:
+            task = asyncio.get_running_loop().create_task(
+                self._supervise(spec.tenant),
+                name=f"serve-consumer-{spec.tenant}")
+            self._tasks.append(task)
+        obs.inc("serve.started")
+
+    async def drain(self) -> None:
+        """Wait until every admitted round has been fully ingested."""
+        queues = [queue
+                  for spec in self.config.tenants
+                  for queue in self.admission.shards(spec.tenant).values()]
+        await asyncio.gather(*(queue.join() for queue in queues))
+
+    async def stop(self, drain: bool = True) -> Dict[str, Dict[str, object]]:
+        """Drain (optionally), cancel consumers, checkpoint, summarize."""
+        if drain and not self.failed:
+            await self.drain()
+        self._stopped = True
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, TenantFailure):
+                pass
+        self._tasks.clear()
+        if self.config.state_dir:
+            self._checkpoint_all(Path(self.config.state_dir))
+        obs.inc("serve.stopped")
+        return self.summary()
+
+    # ------------------------------------------------------------------
+    # Producer API
+    # ------------------------------------------------------------------
+
+    async def submit_round(self, round_: MeasurementRound) -> bool:
+        """Admit one producer round (see :meth:`AdmissionController.submit`).
+
+        Raises:
+            TenantFailure: The target tenant's consumer is dead.
+        """
+        if round_.tenant in self.failed:
+            raise TenantFailure(
+                f"tenant {round_.tenant!r} failed: "
+                f"{self.failed[round_.tenant]}")
+        admitted = await self.admission.submit(round_)
+        if admitted:
+            obs.inc("serve.rounds", tenant=round_.tenant)
+        return admitted
+
+    # ------------------------------------------------------------------
+    # Consumer internals
+    # ------------------------------------------------------------------
+
+    async def _supervise(self, tenant: str) -> None:
+        """Run the consumer, restarting it on crashes (bounded budget)."""
+        while True:
+            try:
+                await self._consume(tenant)
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:
+                self.restarts[tenant] += 1
+                obs.inc("serve.consumer_restart", tenant=tenant)
+                if self.restarts[tenant] > self.config.max_consumer_restarts:
+                    self.failed[tenant] = exc
+                    obs.inc("serve.tenant_failed", tenant=tenant)
+                    raise TenantFailure(
+                        f"tenant {tenant!r} consumer exceeded "
+                        f"{self.config.max_consumer_restarts} restarts"
+                    ) from exc
+
+    async def _consume(self, tenant: str) -> None:
+        """Fetch rounds and fold them into the tenant's monitor, forever."""
+        monitor = self.monitors[tenant]
+        shards = self.admission.shards(tenant)
+        categories = sorted(shards)
+        while True:
+            round_ = self._inflight[tenant]
+            if round_ is None:
+                round_ = await self._fetch_round(tenant, shards, categories)
+                # Parked before ingestion: a crash from here on loses
+                # nothing — the restarted consumer re-ingests this round.
+                self._inflight[tenant] = round_
+            if self._ingest_fault is not None:
+                self._ingest_fault(tenant, round_.index)
+            started = time.monotonic()
+            outcome = monitor.ingest_round(round_)
+            self._inflight[tenant] = None
+            for category in categories:
+                shards[category].task_done()
+            self.admission.on_round_consumed(tenant, round_.nbytes())
+            self._record(tenant, round_, outcome, started)
+
+    async def _fetch_round(self, tenant: str,
+                           shards: Dict[int, "asyncio.Queue[RoundShard]"],
+                           categories: List[int]) -> MeasurementRound:
+        """Assemble the next round from the category shards (FIFO-aligned)."""
+        batches: Dict[int, np.ndarray] = {}
+        index: Optional[int] = None
+        submitted_at = 0.0
+        for category in categories:
+            shard = await shards[category].get()
+            if index is None:
+                index = shard.round_index
+                submitted_at = shard.submitted_at
+            elif shard.round_index != index:
+                # Round-atomic admission makes this unreachable; check it
+                # anyway — a desync here corrupts every later verdict.
+                raise EvaluationError(
+                    f"shard desync for tenant {tenant!r}: category "
+                    f"{category} yielded round {shard.round_index}, "
+                    f"expected {index}")
+            batches[category] = shard.rows
+        return MeasurementRound(tenant=tenant, index=int(index or 0),
+                                batches=batches, submitted_at=submitted_at)
+
+    def _record(self, tenant: str, round_: MeasurementRound,
+                outcome: RoundOutcome, started: float) -> None:
+        now = time.monotonic()
+        obs.observe("serve.ingest_ns", (now - started) * 1e9, tenant=tenant)
+        if round_.submitted_at:
+            obs.observe("serve.round_latency_ms",
+                        (now - round_.submitted_at) * 1e3, tenant=tenant)
+        if outcome.alarmed and round_.submitted_at:
+            obs.observe("serve.alarm_lag_ms",
+                        (now - round_.submitted_at) * 1e3, tenant=tenant)
+        if outcome.drift_alarms:
+            obs.inc("serve.drift_alarms", len(outcome.drift_alarms),
+                    tenant=tenant)
+        if self._on_outcome is not None:
+            self._on_outcome(outcome)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _checkpoint_path(state_dir: Path, tenant: str) -> Path:
+        return state_dir / f"tenant-{tenant}.npz"
+
+    def _checkpoint_all(self, state_dir: Path) -> None:
+        state_dir.mkdir(parents=True, exist_ok=True)
+        for tenant, monitor in self.monitors.items():
+            if monitor.evaluator.events is None:
+                continue  # never observed anything; nothing to persist
+            arrays = monitor.state()
+            atomic_write_bytes(
+                self._checkpoint_path(state_dir, tenant),
+                lambda stream, arrays=arrays: np.savez(stream, **arrays))
+            obs.inc("serve.checkpoints", tenant=tenant)
+
+    def _load_checkpoint(self, state_dir: Path,
+                         tenant: str) -> Optional[TenantMonitor]:
+        path = self._checkpoint_path(state_dir, tenant)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                arrays = {key: data[key] for key in data.files}
+            monitor = TenantMonitor.from_state(
+                arrays, self.config.spec(tenant), self.config)
+        except Exception:
+            obs.inc("serve.checkpoint_corrupt", tenant=tenant)
+            return None
+        obs.inc("serve.resumed", tenant=tenant)
+        return monitor
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-tenant status rows plus daemon-level accounting."""
+        out: Dict[str, Dict[str, object]] = {}
+        for tenant, monitor in self.monitors.items():
+            row = monitor.summary()
+            row["admitted"] = self.admission.admitted[tenant]
+            row["rejected"] = self.admission.rejected[tenant]
+            row["restarts"] = self.restarts[tenant]
+            row["failed"] = tenant in self.failed
+            out[tenant] = row
+        return out

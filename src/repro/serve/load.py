@@ -1,0 +1,224 @@
+"""Synthetic load generation for the monitoring daemon.
+
+Producers here play the role the measurement session plays in
+production: they emit per-category ``(B, E)`` rows.  The synthetic
+streams are seeded Gaussians whose means differ *by category* — the
+side-channel signal of the paper, category-dependent counter
+distributions, in its purest form — so leakage alarms genuinely fire and
+alarm-lag numbers mean something.  An optional mean shift injected after
+a configurable round exercises the drift alarm path the same way.
+
+The generator is deliberately deterministic: the full sample sequence of
+a run is a pure function of its seed, which is what lets tests and the
+bench replay the identical sequence offline and demand bit-equal
+verdicts from the daemon.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from .config import ServeConfig, TenantSpec
+from .daemon import MonitorDaemon
+from .monitor import MeasurementRound
+
+__all__ = ["LoadReport", "SyntheticTenantLoad", "percentile", "run_load"]
+
+#: Baseline mean / sigma of the synthetic counter columns.
+BASE_MEAN = 1000.0
+BASE_SIGMA = 40.0
+#: Per-category mean separation (in sigmas: a strong but not instant leak).
+CATEGORY_STEP = 20.0
+
+
+@dataclass
+class SyntheticTenantLoad:
+    """Deterministic row stream for one tenant.
+
+    Attributes:
+        spec: The tenant to generate for.
+        seed: RNG seed (per tenant, so tenants are independent streams).
+        drift_after_round: When set, every category's mean shifts by
+            ``drift_shift`` sigmas starting at this 0-based round —
+            leakage *between* categories is unchanged (all shift
+            together) but each category drifts from its own history.
+        drift_shift: Injected shift in baseline sigmas.
+    """
+
+    spec: TenantSpec
+    seed: int = 0
+    drift_after_round: Optional[int] = None
+    drift_shift: float = 6.0
+    _tenant_key: int = field(init=False, repr=False)
+
+    def __post_init__(self):
+        # crc32, not hash(): str hashing is salted per process and would
+        # break the replay-the-same-sequence-offline contract.
+        self._tenant_key = zlib.crc32(self.spec.tenant.encode("utf-8"))
+
+    def round_batches(self, round_index: int,
+                      batch_size: int) -> Dict[int, np.ndarray]:
+        """The ``category -> (B, E)`` rows of one round.
+
+        A pure function of ``(tenant, seed, round_index)`` — no shared
+        RNG state — so replays need not re-generate earlier rounds and
+        admission-rejected rounds do not perturb later ones.
+        """
+        rng = np.random.default_rng(np.random.SeedSequence(
+            [self._tenant_key, self.seed, round_index]))
+        events = len(self.spec.events)
+        batches: Dict[int, np.ndarray] = {}
+        shift = 0.0
+        if (self.drift_after_round is not None
+                and round_index >= self.drift_after_round):
+            shift = self.drift_shift * BASE_SIGMA
+        for category in sorted(self.spec.categories):
+            mean = BASE_MEAN + CATEGORY_STEP * category + shift
+            batches[category] = rng.normal(
+                mean, BASE_SIGMA, size=(batch_size, events))
+        return batches
+
+    def rounds(self, count: int,
+               batch_size: int) -> List[Dict[int, np.ndarray]]:
+        """Materialize ``count`` rounds (test/bench replay helper)."""
+        return [self.round_batches(i, batch_size) for i in range(count)]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """What a load run measured (per tenant).
+
+    Attributes:
+        tenant: The tenant.
+        rounds_offered: Rounds the producer generated.
+        rounds_admitted: Rounds past admission.
+        rounds_rejected: Rounds dropped by ``reject`` admission.
+        ingest_latency_ms: Submit-to-ingested latency per admitted round.
+        alarm_lag_ms: Submit-to-alarm latency of spending-layer alarms.
+        first_alarm_round: Round index of the first leakage alarm.
+        drift_alarm_rounds: Round indices where drift cells first fired.
+    """
+
+    tenant: str
+    rounds_offered: int
+    rounds_admitted: int
+    rounds_rejected: int
+    ingest_latency_ms: Tuple[float, ...]
+    alarm_lag_ms: Tuple[float, ...]
+    first_alarm_round: Optional[int]
+    drift_alarm_rounds: Tuple[int, ...]
+
+
+def percentile(values, q: float) -> float:
+    """Percentile of a (possibly empty) latency series, NaN when empty."""
+    if not values:
+        return float("nan")
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+async def run_load(daemon: MonitorDaemon, rounds: int,
+                   rps: float = 0.0,
+                   seed: int = 0,
+                   drift_after_round: Optional[int] = None,
+                   drift_shift: float = 6.0) -> Dict[str, LoadReport]:
+    """Drive every configured tenant with synthetic producers.
+
+    One producer task per tenant generates ``rounds`` rounds and submits
+    them through the daemon's admission layer, pacing to ``rps`` rounds
+    per second per tenant when positive (0 means as fast as admission
+    allows — under ``block`` admission that is consumer speed, i.e. pure
+    backpressure).  The daemon must already be started; this drains it
+    before returning but does not stop it.
+
+    Returns:
+        Per-tenant :class:`LoadReport`.
+    """
+    if rounds < 1:
+        raise ConfigError(f"rounds must be >= 1, got {rounds}")
+    config = daemon.config
+    outcomes: Dict[str, list] = {spec.tenant: []
+                                 for spec in config.tenants}
+    ingested_at: Dict[Tuple[str, int], float] = {}
+    submitted_at: Dict[Tuple[str, int], float] = {}
+
+    previous_callback = daemon._on_outcome
+
+    def on_outcome(outcome):
+        outcomes[outcome.tenant].append(outcome)
+        ingested_at[(outcome.tenant, outcome.round_index)] = time.monotonic()
+        if previous_callback is not None:
+            previous_callback(outcome)
+
+    daemon._on_outcome = on_outcome
+
+    async def produce(spec: TenantSpec) -> Tuple[int, int]:
+        load = SyntheticTenantLoad(spec, seed=seed,
+                                   drift_after_round=drift_after_round,
+                                   drift_shift=drift_shift)
+        admitted = rejected = 0
+        interval = 1.0 / rps if rps > 0 else 0.0
+        next_due = time.monotonic()
+        for index in range(rounds):
+            if interval:
+                delay = next_due - time.monotonic()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                next_due += interval
+            now = time.monotonic()
+            round_ = MeasurementRound(
+                tenant=spec.tenant, index=index,
+                batches=load.round_batches(index, config.batch_size),
+                submitted_at=now)
+            submitted_at[(spec.tenant, index)] = now
+            if await daemon.submit_round(round_):
+                admitted += 1
+            else:
+                rejected += 1
+            if not interval:
+                # Yield so consumers interleave even at unbounded rate.
+                await asyncio.sleep(0)
+        return admitted, rejected
+
+    counts = await asyncio.gather(
+        *(produce(spec) for spec in config.tenants))
+    await daemon.drain()
+    daemon._on_outcome = previous_callback
+
+    reports: Dict[str, LoadReport] = {}
+    for spec, (admitted, rejected) in zip(config.tenants, counts):
+        tenant = spec.tenant
+        latencies = []
+        alarm_lags = []
+        first_alarm = None
+        drift_rounds = []
+        for outcome in outcomes[tenant]:
+            key = (tenant, outcome.round_index)
+            if key in submitted_at and key in ingested_at:
+                latencies.append(
+                    (ingested_at[key] - submitted_at[key]) * 1e3)
+            if outcome.alarmed:
+                if first_alarm is None:
+                    first_alarm = outcome.round_index
+                if key in submitted_at and key in ingested_at:
+                    alarm_lags.append(
+                        (ingested_at[key] - submitted_at[key]) * 1e3)
+            if outcome.drift_alarms:
+                drift_rounds.append(outcome.round_index)
+        reports[tenant] = LoadReport(
+            tenant=tenant,
+            rounds_offered=rounds,
+            rounds_admitted=admitted,
+            rounds_rejected=rejected,
+            ingest_latency_ms=tuple(latencies),
+            alarm_lag_ms=tuple(alarm_lags),
+            first_alarm_round=first_alarm,
+            drift_alarm_rounds=tuple(drift_rounds),
+        )
+    return reports

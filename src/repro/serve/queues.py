@@ -1,0 +1,159 @@
+"""Sharded admission queues: bounded memory between producers and monitors.
+
+Measurement producers are decoupled from evaluation by per-(tenant,
+category) FIFO shards — ``asyncio.Queue`` instances bounded at
+``queue_capacity`` rounds each, so the daemon's buffered-row memory has a
+hard configuration-time ceiling no matter how fast producers run.
+
+Admission is **round-atomic**: a round either lands one batch on *every*
+category shard of its tenant or touches none of them.  This invariant is
+what keeps per-category sample counts aligned — a half-admitted round
+would desynchronize the accumulator columns and silently corrupt every
+verdict after it.  Two mechanisms enforce it:
+
+* a per-tenant submission lock, so concurrent producers cannot interleave
+  their per-category puts (under ``block`` admission a producer may
+  suspend mid-round; without the lock another producer's batches could
+  slot between its categories and pair up into mixed rounds downstream);
+* under ``reject`` admission, fullness of all shards is checked before
+  any put and the puts themselves are non-blocking — no awaits between
+  check and commit, so the check cannot go stale.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict
+
+import numpy as np
+
+from ..errors import EvaluationError
+from ..obs import runtime as obs
+from .config import ServeConfig
+from .monitor import MeasurementRound
+
+__all__ = ["AdmissionController", "RoundShard"]
+
+
+class RoundShard:
+    """One (round_index, rows) entry on a category shard."""
+
+    __slots__ = ("round_index", "submitted_at", "rows")
+
+    def __init__(self, round_index: int, submitted_at: float,
+                 rows: np.ndarray):
+        self.round_index = round_index
+        self.submitted_at = submitted_at
+        self.rows = rows
+
+
+class AdmissionController:
+    """Bounded, round-atomic admission into per-(tenant, category) shards.
+
+    Args:
+        config: Daemon configuration (tenants, capacity, policy).
+    """
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self._shards: Dict[str, Dict[int, "asyncio.Queue[RoundShard]"]] = {}
+        self._locks: Dict[str, asyncio.Lock] = {}
+        self._peak_bytes = 0
+        self._buffered_bytes: Dict[str, int] = {}
+        self.admitted: Dict[str, int] = {}
+        self.rejected: Dict[str, int] = {}
+        for spec in config.tenants:
+            self._shards[spec.tenant] = {
+                category: asyncio.Queue(maxsize=config.queue_capacity)
+                for category in sorted(spec.categories)}
+            self._locks[spec.tenant] = asyncio.Lock()
+            self._buffered_bytes[spec.tenant] = 0
+            self.admitted[spec.tenant] = 0
+            self.rejected[spec.tenant] = 0
+
+    def shards(self, tenant: str) -> Dict[int, "asyncio.Queue[RoundShard]"]:
+        """The category shards of ``tenant`` (sorted-key dict)."""
+        try:
+            return self._shards[tenant]
+        except KeyError:
+            raise EvaluationError(f"unknown tenant {tenant!r}") from None
+
+    async def submit(self, round_: MeasurementRound) -> bool:
+        """Admit one round (all category shards) or reject it whole.
+
+        Returns:
+            True when admitted.  Under ``block`` admission this awaits
+            shard space and always returns True; under ``reject`` a round
+            facing any full shard is dropped in O(1) and False returned.
+        """
+        shards = self.shards(round_.tenant)
+        missing = set(shards) - set(round_.batches)
+        if missing:
+            raise EvaluationError(
+                f"round {round_.index} for tenant {round_.tenant!r} is "
+                f"missing categories {sorted(missing)}")
+        async with self._locks[round_.tenant]:
+            if self.config.admission == "reject":
+                # Fullness check and puts with no awaits in between: the
+                # whole round commits against one consistent snapshot.
+                if any(queue.full() for queue in shards.values()):
+                    self.rejected[round_.tenant] += 1
+                    obs.inc("serve.rejected_rounds", tenant=round_.tenant)
+                    return False
+                for category in sorted(shards):
+                    shards[category].put_nowait(RoundShard(
+                        round_.index, round_.submitted_at,
+                        round_.batches[category]))
+            else:
+                for category in sorted(shards):
+                    await shards[category].put(RoundShard(
+                        round_.index, round_.submitted_at,
+                        round_.batches[category]))
+            self.admitted[round_.tenant] += 1
+            self._buffered_bytes[round_.tenant] += round_.nbytes()
+            self._note_depth(round_.tenant, shards)
+        return True
+
+    def on_round_consumed(self, tenant: str, nbytes: int) -> None:
+        """Consumer callback: a fetched round left the buffer."""
+        self._buffered_bytes[tenant] = max(
+            0, self._buffered_bytes[tenant] - nbytes)
+        self._note_depth(tenant, self.shards(tenant))
+
+    def _note_depth(self, tenant: str,
+                    shards: Dict[int, "asyncio.Queue[RoundShard]"]) -> None:
+        depth = max(queue.qsize() for queue in shards.values())
+        obs.set_gauge("serve.queue_depth", depth, tenant=tenant)
+        total = sum(self._buffered_bytes.values())
+        if total > self._peak_bytes:
+            self._peak_bytes = total
+        obs.set_gauge("serve.queue_bytes", total)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def peak_buffered_bytes(self) -> int:
+        """High-water mark of buffered row bytes across all tenants."""
+        return self._peak_bytes
+
+    def buffered_bytes(self, tenant: str) -> int:
+        """Row bytes currently buffered for ``tenant``."""
+        return self._buffered_bytes[tenant]
+
+    def depth(self, tenant: str) -> int:
+        """Deepest category shard of ``tenant`` (rounds)."""
+        return max(q.qsize() for q in self.shards(tenant).values())
+
+    def capacity_bytes(self, batch_size: int) -> int:
+        """Configuration-time ceiling on buffered row bytes."""
+        total = 0
+        for spec in self.config.tenants:
+            total += (len(spec.categories) * self.config.queue_capacity
+                      * batch_size * len(spec.events) * 8)
+        return total
+
+    def pending(self, tenant: str) -> int:
+        """Rounds admitted but not yet fully consumed for ``tenant``."""
+        return max(q.qsize() for q in self.shards(tenant).values())

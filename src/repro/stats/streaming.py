@@ -267,6 +267,17 @@ class StreamingMoments:
             row = self._rows[int(category)] = MomentColumns(self._columns)
         row.observe(rows)
 
+    def row(self, category: int) -> MomentColumns:
+        """The long-run accumulator of one category (drift baseline).
+
+        Raises:
+            StatisticsError: When the category was never observed.
+        """
+        row = self._rows.get(int(category))
+        if row is None:
+            raise StatisticsError(f"category {category} was never observed")
+        return row
+
     # ------------------------------------------------------------------
     # Merging / transport
     # ------------------------------------------------------------------
@@ -471,6 +482,41 @@ class SlidingWindowMoments:
                 f"variance needs more than ddof={ddof} rows, "
                 f"got {self._filled}")
         return self._buffer[:self._filled].var(axis=0, ddof=ddof)
+
+    def state(self) -> Dict[str, np.ndarray]:
+        """Npz-able window state (bit-exact round trip via :meth:`from_state`).
+
+        The rows are stored oldest-first (the rotation is normalized away),
+        so two windows holding the same trailing samples serialize
+        identically regardless of their internal write cursor.
+        """
+        return {
+            "window/rows": self.window(),
+            "window/capacity": np.asarray([self.capacity], dtype=np.int64),
+            "window/total_seen": np.asarray([self.total_seen],
+                                            dtype=np.int64),
+        }
+
+    @classmethod
+    def from_state(cls, arrays: Mapping[str, np.ndarray]
+                   ) -> "SlidingWindowMoments":
+        """Rebuild a window from persisted :meth:`state` arrays."""
+        try:
+            rows = np.asarray(arrays["window/rows"], dtype=np.float64)
+            capacity = int(np.asarray(arrays["window/capacity"])[0])
+            total_seen = int(np.asarray(arrays["window/total_seen"])[0])
+        except KeyError as exc:
+            raise StatisticsError(
+                f"window state is missing {exc.args[0]!r}") from None
+        if rows.ndim != 2 or rows.shape[0] > capacity:
+            raise StatisticsError(
+                f"window state rows of shape {rows.shape} do not fit "
+                f"capacity {capacity}")
+        window = cls(capacity, rows.shape[1])
+        if rows.shape[0]:
+            window.observe(rows)
+        window.total_seen = total_seen
+        return window
 
     def drift_z_scores(self, baseline: MomentColumns) -> np.ndarray:
         """Window-mean z-scores against a long-run baseline accumulator.

@@ -316,3 +316,74 @@ class TestTelemetry:
         assert rows == sorted(rows, key=lambda r: (r["event"],
                                                    r["category_a"],
                                                    r["category_b"]))
+
+
+class TestServeCommand:
+    def test_serve_registered(self):
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions
+            if a.__class__.__name__ == "_SubParsersAction")
+        assert "serve" in subparsers.choices
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.tenants == 2
+        assert args.policy == "block"
+        assert args.queue_capacity == 8
+        assert args.drift_threshold == 5.0
+        assert args.rps == 0.0
+
+    def test_serve_smoke(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "serve.json"
+        assert main(["serve", "--tenants", "2", "--rounds", "8",
+                     "--batch-size", "10", "--drift-after", "5",
+                     "--seed", "3", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "tenants=2" in out
+        assert "queue memory: peak" in out
+        assert "tenant0:" in out and "tenant1:" in out
+        assert "leak_alarm=yes" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["tenants"] == 2
+        assert payload["queue_peak_bytes"] <= payload["queue_ceiling_bytes"]
+        assert len(payload["per_tenant"]) == 2
+        for row in payload["per_tenant"]:
+            assert row["rounds"] == 8
+            assert row["leakage_alarm"] is True
+            assert row["p95_ingest_ms"] >= 0.0
+
+    def test_serve_state_dir_round_trip(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        base = ["serve", "--tenants", "1", "--rounds", "4",
+                "--batch-size", "6", "--state-dir", str(state)]
+        assert main(base) == 0
+        assert (state / "tenant-tenant0.npz").exists()
+        capsys.readouterr()
+        # Second run resumes: rounds accumulate instead of restarting.
+        assert main(base) == 0
+        assert "rounds=8" in capsys.readouterr().out
+
+    def test_serve_reject_policy(self, capsys):
+        assert main(["serve", "--tenants", "1", "--rounds", "6",
+                     "--batch-size", "4", "--policy", "reject",
+                     "--queue-capacity", "1"]) == 0
+        assert "admission=reject" in capsys.readouterr().out
+
+
+class TestStreamDriftFlag:
+    def test_stream_drift_threshold_output(self, tiny_args, fast_training,
+                                           capsys):
+        assert main(["stream", "--batch-size", "2",
+                     "--drift-threshold", "1000", "--drift-window", "4"]
+                    + tiny_args) == 0
+        out = capsys.readouterr().out
+        assert "drift: no alarm" in out
+        assert "|z|>=1000" in out
+
+    def test_stream_drift_parser_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.drift_threshold is None
+        assert args.drift_window == 32

@@ -1,0 +1,182 @@
+"""Tests for the drift alarm (DriftMonitor) and alpha spending."""
+
+import numpy as np
+import pytest
+
+from repro.core.drift import DriftAlarm, DriftMonitor
+from repro.core.sequential import SPENDING_SCHEMES, spend_alpha
+from repro.core.streaming import StreamingEvaluator
+from repro.errors import EvaluationError
+from repro.stats.streaming import StreamingMoments
+from repro.uarch.events import ALL_EVENTS
+
+
+def feed(monitor, baseline, category, rows):
+    rows = np.asarray(rows, dtype=np.float64)
+    monitor.observe(category, rows)
+    baseline.observe(category, rows)
+
+
+class TestDriftMonitor:
+    def test_stable_stream_never_alarms(self):
+        rng = np.random.default_rng(0)
+        monitor = DriftMonitor(window=16, threshold=4.0)
+        baseline = StreamingMoments(columns=2)
+        for _ in range(30):
+            feed(monitor, baseline, 0, rng.normal(100.0, 5.0, size=(4, 2)))
+            monitor.check(baseline, ALL_EVENTS[:2], tick=1)
+        assert not monitor.alarm
+        assert monitor.alarms() == []
+
+    def test_injected_shift_raises_alarm(self):
+        rng = np.random.default_rng(1)
+        monitor = DriftMonitor(window=16, threshold=4.0)
+        baseline = StreamingMoments(columns=2)
+        tick = 0
+        for _ in range(40):
+            tick += 1
+            feed(monitor, baseline, 0, rng.normal(100.0, 5.0, size=(4, 2)))
+            assert monitor.check(baseline, ALL_EVENTS[:2], tick) == []
+        # Shift the mean by 10 sigma: the trailing window's mean moves,
+        # the long-run baseline barely does.
+        alarm_tick = None
+        for _ in range(16):
+            tick += 1
+            feed(monitor, baseline, 0, rng.normal(150.0, 5.0, size=(4, 2)))
+            if monitor.check(baseline, ALL_EVENTS[:2], tick):
+                alarm_tick = tick
+                break
+        assert alarm_tick is not None
+        assert monitor.alarm
+        alarms = monitor.alarms()
+        assert {a.event for a in alarms} <= set(ALL_EVENTS[:2])
+        assert all(abs(a.z_score) >= 4.0 for a in alarms)
+        assert all(a.tick == alarm_tick for a in alarms)
+
+    def test_first_detection_is_recorded_once(self):
+        rng = np.random.default_rng(2)
+        monitor = DriftMonitor(window=8, threshold=3.0)
+        baseline = StreamingMoments(columns=1)
+        for _ in range(20):
+            feed(monitor, baseline, 0, rng.normal(10.0, 1.0, size=(4, 1)))
+        tick = 1
+        first = []
+        while not first:
+            tick += 1
+            feed(monitor, baseline, 0, rng.normal(30.0, 1.0, size=(4, 1)))
+            first = monitor.check(baseline, ALL_EVENTS[:1], tick)
+        # Keep drifting: the cell must not re-alarm.
+        for _ in range(5):
+            tick += 1
+            feed(monitor, baseline, 0, rng.normal(30.0, 1.0, size=(4, 1)))
+            assert monitor.check(baseline, ALL_EVENTS[:1], tick) == []
+        assert monitor.alarms() == first
+
+    def test_per_category_independence(self):
+        rng = np.random.default_rng(3)
+        monitor = DriftMonitor(window=8, threshold=4.0)
+        baseline = StreamingMoments(columns=1)
+        for _ in range(25):
+            feed(monitor, baseline, 0, rng.normal(10.0, 1.0, size=(4, 1)))
+            feed(monitor, baseline, 1, rng.normal(10.0, 1.0, size=(4, 1)))
+        for tick in range(1, 10):
+            feed(monitor, baseline, 0, rng.normal(10.0, 1.0, size=(4, 1)))
+            feed(monitor, baseline, 1, rng.normal(40.0, 1.0, size=(4, 1)))
+            monitor.check(baseline, ALL_EVENTS[:1], tick)
+        categories = {a.category for a in monitor.alarms()}
+        assert categories == {1}
+
+    def test_alarm_rows_and_format(self):
+        alarm = DriftAlarm(category=2, event=ALL_EVENTS[0], z_score=-5.5,
+                           window=16, baseline_n=200, tick=7)
+        row = alarm.to_dict()
+        assert row["category"] == 2 and row["tick"] == 7
+        text = alarm.format({2: 9})
+        assert "t9" in text and "z=-5.5" in text
+
+    def test_event_label_mismatch_is_an_error(self):
+        monitor = DriftMonitor(window=4)
+        baseline = StreamingMoments(columns=2)
+        rows = np.ones((4, 2))
+        feed(monitor, baseline, 0, rows + np.arange(4)[:, None])
+        with pytest.raises(EvaluationError, match="event labels"):
+            monitor.check(baseline, ALL_EVENTS[:1], tick=1)
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            DriftMonitor(window=1)
+        with pytest.raises(EvaluationError):
+            DriftMonitor(threshold=0.0)
+
+    def test_memory_is_flat_in_stream_length(self):
+        rng = np.random.default_rng(4)
+        monitor = DriftMonitor(window=8, threshold=4.0)
+        monitor.observe(0, rng.normal(size=(4, 3)))
+        early = monitor.memory_bytes()
+        for _ in range(100):
+            monitor.observe(0, rng.normal(size=(4, 3)))
+        assert monitor.memory_bytes() == early
+
+    def test_state_round_trip(self):
+        rng = np.random.default_rng(5)
+        monitor = DriftMonitor(window=8, threshold=3.0)
+        for category in (0, 1):
+            monitor.observe(category, rng.normal(size=(12, 2)))
+        restored = DriftMonitor.from_state(monitor.state(), window=8,
+                                           threshold=3.0)
+        baseline = StreamingMoments(columns=2)
+        baseline.observe(0, rng.normal(size=(50, 2)))
+        baseline.observe(1, rng.normal(size=(50, 2)))
+        for category in (0, 1):
+            want = monitor._windows[category].window()
+            got = restored._windows[category].window()
+            assert np.array_equal(want, got)
+
+
+class TestDriftThroughStreamingEvaluator:
+    def test_check_against_evaluator_moments(self):
+        # The operational wiring: the evaluator's own accumulators are
+        # the drift baseline.
+        rng = np.random.default_rng(6)
+        events = ALL_EVENTS[:3]
+        evaluator = StreamingEvaluator(events=events)
+        monitor = DriftMonitor(window=8, threshold=4.0)
+        for tick in range(1, 16):
+            for category in (0, 1):
+                shift = 60.0 if category == 1 and tick > 10 else 0.0
+                rows = rng.normal(100.0 + shift, 5.0, size=(5, 3))
+                evaluator.observe_rows(category, rows, events=events)
+                monitor.observe(category, rows)
+            evaluator.tick()
+            monitor.check(evaluator.moments, evaluator.events,
+                          evaluator.ticks)
+        assert monitor.alarm
+        assert {a.category for a in monitor.alarms()} == {1}
+
+
+class TestSpendAlpha:
+    def test_geometric_series_sums_below_alpha(self):
+        total = sum(spend_alpha(0.05, t) for t in range(1, 200))
+        assert total <= 0.05 + 1e-12
+
+    def test_harmonic_series_sums_below_alpha(self):
+        total = sum(spend_alpha(0.05, t, scheme="harmonic")
+                    for t in range(1, 100000))
+        assert total <= 0.05 + 1e-12
+
+    def test_geometric_underflow_is_exactly_zero(self):
+        assert spend_alpha(0.05, 5000) == 0.0
+
+    def test_schemes_are_monotone_decreasing(self):
+        for scheme in SPENDING_SCHEMES:
+            values = [spend_alpha(0.05, t, scheme=scheme)
+                      for t in range(1, 50)]
+            assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            spend_alpha(0.0, 1)
+        with pytest.raises(EvaluationError):
+            spend_alpha(0.05, 0)
+        with pytest.raises(EvaluationError):
+            spend_alpha(0.05, 1, scheme="bogus")

@@ -1,0 +1,60 @@
+"""Tests for GracefulShutdown (signal -> cooperative stop flag)."""
+
+import os
+import signal
+
+import pytest
+
+from repro.resilience import GracefulShutdown
+
+
+class TestGracefulShutdown:
+    def test_first_signal_sets_flag_without_raising(self):
+        with GracefulShutdown() as stop:
+            assert not stop.requested
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert stop.requested
+            assert stop.signal_received == signal.SIGTERM
+            assert stop() is True
+
+    def test_second_signal_raises_keyboard_interrupt(self):
+        with GracefulShutdown() as stop:
+            os.kill(os.getpid(), signal.SIGTERM)
+            with pytest.raises(KeyboardInterrupt, match="second signal"):
+                os.kill(os.getpid(), signal.SIGINT)
+            assert stop.requested
+
+    def test_sigint_is_trapped_too(self):
+        with GracefulShutdown() as stop:
+            os.kill(os.getpid(), signal.SIGINT)  # would normally raise
+            assert stop.signal_received == signal.SIGINT
+
+    def test_handlers_restored_on_exit(self):
+        before_term = signal.getsignal(signal.SIGTERM)
+        before_int = signal.getsignal(signal.SIGINT)
+        with GracefulShutdown():
+            assert signal.getsignal(signal.SIGTERM) != before_term
+        assert signal.getsignal(signal.SIGTERM) is before_term
+        assert signal.getsignal(signal.SIGINT) is before_int
+
+    def test_handlers_restored_when_body_raises(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with pytest.raises(RuntimeError):
+            with GracefulShutdown():
+                raise RuntimeError("body failed")
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_custom_signal_set(self):
+        before = signal.getsignal(signal.SIGINT)
+        with GracefulShutdown(signals=(signal.SIGTERM,)) as stop:
+            assert signal.getsignal(signal.SIGINT) is before
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert stop.requested
+
+    def test_usable_as_should_stop_probe(self):
+        stop = GracefulShutdown()
+        calls = []
+        # Not installed: behaves as a plain always-False probe.
+        for _ in range(3):
+            calls.append(stop())
+        assert calls == [False, False, False]

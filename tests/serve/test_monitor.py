@@ -1,0 +1,231 @@
+"""Tests for TenantMonitor: stream-equivalence, alarms, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.streaming import StreamingEvaluator
+from repro.errors import ConfigError, EvaluationError
+from repro.serve import (
+    MeasurementRound,
+    ServeConfig,
+    SyntheticTenantLoad,
+    TenantMonitor,
+    TenantSpec,
+)
+from repro.uarch.events import ALL_EVENTS
+
+
+def make_config(**overrides):
+    overrides.setdefault("tenants", (TenantSpec("t", categories=(0, 1, 2)),))
+    overrides.setdefault("batch_size", 8)
+    return ServeConfig(**overrides)
+
+
+def offline_replay(spec, config, rounds):
+    """The `repro stream` twin: observe sorted categories, then tick."""
+    evaluator = StreamingEvaluator(confidence=config.confidence,
+                                   method=config.method, events=spec.events)
+    for batches in rounds:
+        for category in sorted(batches):
+            evaluator.observe_rows(category, batches[category])
+        if evaluator.ready:
+            evaluator.tick()
+    return evaluator
+
+
+class TestStreamEquivalence:
+    def test_monitor_state_is_bit_identical_to_offline_replay(self):
+        config = make_config()
+        spec = config.tenants[0]
+        load = SyntheticTenantLoad(spec, seed=11)
+        rounds = load.rounds(10, config.batch_size)
+
+        monitor = TenantMonitor(spec, config)
+        for index, batches in enumerate(rounds):
+            monitor.ingest_round(MeasurementRound(
+                tenant="t", index=index, batches=batches))
+        offline = offline_replay(spec, config, rounds)
+
+        got = monitor.evaluator.state()
+        want = offline.state()
+        assert set(got) - {"serve/rounds"} == set(want)
+        for key in want:
+            assert np.array_equal(got[key], want[key]), key
+
+    def test_detection_records_match_offline_replay(self):
+        config = make_config()
+        spec = config.tenants[0]
+        rounds = SyntheticTenantLoad(spec, seed=12).rounds(
+            8, config.batch_size)
+        monitor = TenantMonitor(spec, config)
+        for index, batches in enumerate(rounds):
+            monitor.ingest_round(MeasurementRound(
+                tenant="t", index=index, batches=batches))
+        offline = offline_replay(spec, config, rounds)
+        assert monitor.evaluator.alarm_latency_rows() \
+            == offline.alarm_latency_rows()
+        assert monitor.evaluator.alarm_latency_rows()  # signal is real
+
+    def test_tick_arrays_match_offline_replay_bitwise(self):
+        config = make_config()
+        spec = config.tenants[0]
+        rounds = SyntheticTenantLoad(spec, seed=13).rounds(
+            6, config.batch_size)
+        monitor = TenantMonitor(spec, config)
+        offline = StreamingEvaluator(confidence=config.confidence,
+                                     method=config.method,
+                                     events=spec.events)
+        for index, batches in enumerate(rounds):
+            monitor.ingest_round(MeasurementRound(
+                tenant="t", index=index, batches=batches))
+            for category in sorted(batches):
+                offline.observe_rows(category, batches[category])
+            tick = offline.tick()
+            report = monitor.evaluator.report()
+            offline_report = offline.report()
+            for got, want in zip(report.results, offline_report.results):
+                assert got.ttest.statistic == want.ttest.statistic
+                assert got.ttest.p_value == want.ttest.p_value
+
+
+class TestAlarms:
+    def test_spending_layer_alarms_on_leaky_stream(self):
+        config = make_config()
+        spec = config.tenants[0]
+        monitor = TenantMonitor(spec, config)
+        load = SyntheticTenantLoad(spec, seed=14)
+        outcomes = [monitor.ingest_round(MeasurementRound(
+            tenant="t", index=i,
+            batches=load.round_batches(i, config.batch_size)))
+            for i in range(6)]
+        assert monitor.leakage_alarmed
+        first = monitor.first_leakage_alarm
+        assert first is not None and first.leakage_alarm.triggered
+        assert outcomes[first.round_index].alarmed
+
+    def test_spent_alpha_decays_with_ticks(self):
+        config = make_config()
+        spec = config.tenants[0]
+        monitor = TenantMonitor(spec, config)
+        load = SyntheticTenantLoad(spec, seed=15)
+        alphas = []
+        for i in range(5):
+            outcome = monitor.ingest_round(MeasurementRound(
+                tenant="t", index=i,
+                batches=load.round_batches(i, config.batch_size)))
+            alphas.append(outcome.spent_alpha)
+        assert all(a > b for a, b in zip(alphas, alphas[1:]))
+        assert alphas[0] == config.alpha / 2.0
+
+    def test_identical_streams_never_alarm(self):
+        # All categories share one distribution: no leakage signal.
+        config = make_config()
+        spec = config.tenants[0]
+        monitor = TenantMonitor(spec, config)
+        rng = np.random.default_rng(16)
+        for i in range(10):
+            batches = {category: rng.normal(
+                1000.0, 40.0, size=(config.batch_size, len(spec.events)))
+                for category in spec.categories}
+            monitor.ingest_round(MeasurementRound(
+                tenant="t", index=i, batches=batches))
+        assert not monitor.leakage_alarmed
+
+    def test_drift_alarm_fires_after_injected_shift(self):
+        config = make_config(drift_threshold=5.0, drift_window=16)
+        spec = config.tenants[0]
+        monitor = TenantMonitor(spec, config)
+        load = SyntheticTenantLoad(spec, seed=17, drift_after_round=6,
+                                   drift_shift=8.0)
+        drift_round = None
+        for i in range(14):
+            outcome = monitor.ingest_round(MeasurementRound(
+                tenant="t", index=i,
+                batches=load.round_batches(i, config.batch_size)))
+            if outcome.drift_alarms and drift_round is None:
+                drift_round = i
+        assert monitor.drift_alarmed
+        assert drift_round is not None and drift_round >= 6
+
+    def test_no_drift_monitor_by_default(self):
+        monitor = TenantMonitor(make_config().tenants[0], make_config())
+        assert monitor.drift is None
+        assert not monitor.drift_alarmed
+
+
+class TestValidation:
+    def test_wrong_tenant_is_rejected(self):
+        config = make_config()
+        monitor = TenantMonitor(config.tenants[0], config)
+        with pytest.raises(EvaluationError, match="routed"):
+            monitor.ingest_round(MeasurementRound(
+                tenant="other", index=0,
+                batches={c: np.ones((2, len(ALL_EVENTS)))
+                         for c in (0, 1, 2)}))
+
+    def test_missing_category_is_rejected(self):
+        config = make_config()
+        monitor = TenantMonitor(config.tenants[0], config)
+        with pytest.raises(EvaluationError, match="missing categories"):
+            monitor.ingest_round(MeasurementRound(
+                tenant="t", index=0,
+                batches={0: np.ones((2, len(ALL_EVENTS)))}))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ServeConfig(tenants=())
+        with pytest.raises(ConfigError):
+            make_config(admission="maybe")
+        with pytest.raises(ConfigError):
+            make_config(queue_capacity=0)
+        with pytest.raises(ConfigError):
+            make_config(spending="linear")
+        with pytest.raises(ConfigError):
+            TenantSpec("t", categories=(0,))
+        with pytest.raises(ConfigError):
+            ServeConfig(tenants=(TenantSpec("a"), TenantSpec("a")))
+
+
+class TestPersistence:
+    def test_state_round_trip_is_bit_exact(self):
+        config = make_config(drift_threshold=5.0)
+        spec = config.tenants[0]
+        monitor = TenantMonitor(spec, config)
+        load = SyntheticTenantLoad(spec, seed=18)
+        for i in range(6):
+            monitor.ingest_round(MeasurementRound(
+                tenant="t", index=i,
+                batches=load.round_batches(i, config.batch_size)))
+        restored = TenantMonitor.from_state(monitor.state(), spec, config)
+        assert restored.rounds_ingested == monitor.rounds_ingested
+        assert restored.evaluator.ticks == monitor.evaluator.ticks
+        assert restored.evaluator.alarm_latency_rows() \
+            == monitor.evaluator.alarm_latency_rows()
+        got, want = restored.state(), monitor.state()
+        assert set(got) == set(want)
+        for key in want:
+            assert np.array_equal(got[key], want[key]), key
+
+    def test_resumed_monitor_continues_identically(self):
+        config = make_config()
+        spec = config.tenants[0]
+        load = SyntheticTenantLoad(spec, seed=19)
+        rounds = load.rounds(10, config.batch_size)
+
+        whole = TenantMonitor(spec, config)
+        for i, batches in enumerate(rounds):
+            whole.ingest_round(MeasurementRound(
+                tenant="t", index=i, batches=batches))
+
+        first_half = TenantMonitor(spec, config)
+        for i, batches in enumerate(rounds[:5]):
+            first_half.ingest_round(MeasurementRound(
+                tenant="t", index=i, batches=batches))
+        resumed = TenantMonitor.from_state(first_half.state(), spec, config)
+        for i, batches in enumerate(rounds[5:], start=5):
+            resumed.ingest_round(MeasurementRound(
+                tenant="t", index=i, batches=batches))
+
+        got, want = resumed.evaluator.state(), whole.evaluator.state()
+        for key in want:
+            assert np.array_equal(got[key], want[key]), key

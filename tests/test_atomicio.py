@@ -1,0 +1,151 @@
+"""Tests for the centralized atomic-write discipline (repro.atomicio)."""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import atomicio
+from repro.atomicio import (
+    atomic_write,
+    atomic_write_bytes,
+    atomic_write_text,
+    sweep_stale_temps,
+    temp_path_for,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_sweep_registry():
+    """Each test sees an unswept world (the registry is process-global)."""
+    saved = set(atomicio._SWEPT)
+    atomicio._SWEPT.clear()
+    yield
+    atomicio._SWEPT.clear()
+    atomicio._SWEPT.update(saved)
+
+
+class TestAtomicWrite:
+    def test_publishes_final_file_and_removes_temp(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        result = atomic_write_text(target, '{"ok": true}\n')
+        assert result == target
+        assert target.read_text() == '{"ok": true}\n'
+        assert not temp_path_for(target).exists()
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_bytes_writer_round_trips_npz(self, tmp_path):
+        target = tmp_path / "arrays.npz"
+        payload = {"a": np.arange(5.0), "b": np.eye(2)}
+        atomic_write_bytes(target,
+                           lambda stream: np.savez(stream, **payload))
+        with np.load(target) as data:
+            assert np.array_equal(data["a"], payload["a"])
+            assert np.array_equal(data["b"], payload["b"])
+
+    def test_failed_writer_leaves_no_temp_and_no_target(self, tmp_path):
+        # Fault injection: the payload writer dies mid-write.  The old
+        # copy-pasted writers leaked `.tmp-{pid}` here before the
+        # discipline grew its `finally`.
+        target = tmp_path / "broken.npz"
+
+        def explode(stream):
+            stream.write(b"partial")
+            raise RuntimeError("disk on fire")
+
+        with pytest.raises(RuntimeError, match="disk on fire"):
+            atomic_write_bytes(target, explode)
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_failed_writer_preserves_previous_version(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        atomic_write_text(target, "v1")
+
+        def explode(temp):
+            temp.write_text("v2-partial")
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            atomic_write(target, explode)
+        assert target.read_text() == "v1"
+        assert not temp_path_for(target).exists()
+
+
+class TestStaleTempSweep:
+    def test_dead_pid_orphan_is_swept(self, tmp_path):
+        # A real process that has exited: its pid is guaranteed dead.
+        dead = subprocess.Popen([sys.executable, "-c", "pass"])
+        dead.wait()
+        orphan = tmp_path / f"artifact.npz.tmp-{dead.pid}"
+        orphan.write_bytes(b"torn half-write from a SIGKILL'd process")
+        assert sweep_stale_temps(tmp_path) == 1
+        assert not orphan.exists()
+
+    def test_live_pid_temp_is_preserved(self, tmp_path):
+        # PID 1 is always alive (init/container entrypoint) and never us.
+        live = tmp_path / "artifact.npz.tmp-1"
+        live.write_bytes(b"concurrent writer in flight")
+        assert sweep_stale_temps(tmp_path) == 0
+        assert live.exists()
+
+    def test_own_pid_leftover_is_swept(self, tmp_path):
+        # Our own pid's leftover predates this call by construction, so
+        # it is garbage even though the pid is alive.
+        stale = tmp_path / f"artifact.npz.tmp-{os.getpid()}"
+        stale.write_bytes(b"leftover")
+        assert sweep_stale_temps(tmp_path) == 1
+        assert not stale.exists()
+
+    def test_sweep_runs_once_per_directory(self, tmp_path):
+        dead = subprocess.Popen([sys.executable, "-c", "pass"])
+        dead.wait()
+        orphan = tmp_path / f"a.tmp-{dead.pid}"
+        orphan.write_bytes(b"x")
+        assert sweep_stale_temps(tmp_path) == 1
+        orphan.write_bytes(b"x")
+        # Second call is a no-op unless forced.
+        assert sweep_stale_temps(tmp_path) == 0
+        assert orphan.exists()
+        assert sweep_stale_temps(tmp_path, force=True) == 1
+
+    def test_first_atomic_write_sweeps_directory(self, tmp_path):
+        dead = subprocess.Popen([sys.executable, "-c", "pass"])
+        dead.wait()
+        orphan = tmp_path / f"old.npz.tmp-{dead.pid}"
+        orphan.write_bytes(b"torn")
+        atomic_write_text(tmp_path / "fresh.txt", "hello")
+        assert not orphan.exists()
+
+    def test_non_temp_files_never_touched(self, tmp_path):
+        keep = tmp_path / "data.npz"
+        keep.write_bytes(b"real artifact")
+        odd = tmp_path / "notes.tmp-abc"  # non-numeric: not our pattern
+        odd.write_bytes(b"something else")
+        sweep_stale_temps(tmp_path)
+        assert keep.exists() and odd.exists()
+
+    def test_missing_directory_is_noop(self, tmp_path):
+        assert sweep_stale_temps(tmp_path / "nope") == 0
+
+
+class TestTraceStoreLeakRegression:
+    def test_failed_save_leaves_store_dir_clean(self, tmp_path, monkeypatch):
+        # Regression: a crash inside np.savez used to orphan the temp
+        # file in the store directory.
+        from repro.attack.trace_store import TraceStore
+        from repro.attack import trace_store as store_module
+
+        store = TraceStore(tmp_path / "store")
+
+        def explode(stream, **arrays):
+            stream.write(b"partial")
+            raise OSError("ENOSPC")
+
+        monkeypatch.setattr(store_module.np, "savez", explode)
+        with pytest.raises(OSError):
+            store.put("run1", [])
+        leftovers = list((tmp_path / "store").glob("*.tmp-*"))
+        assert leftovers == []
