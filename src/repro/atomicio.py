@@ -28,8 +28,9 @@ from __future__ import annotations
 
 import os
 import re
+import threading
 from pathlib import Path
-from typing import BinaryIO, Callable, Set, Union
+from typing import BinaryIO, Callable, Dict, Set, Union
 
 __all__ = [
     "atomic_write",
@@ -42,8 +43,18 @@ __all__ = [
 #: Temp-file name pattern: ``<final name>.tmp-<pid>``.
 _TEMP_SUFFIX = re.compile(r"\.tmp-(\d+)$")
 
-#: Directories already swept by this process (sweep once per directory).
+#: Guards the registries below and serializes sweeps against concurrent
+#: in-flight registration, so one thread's sweep can never unlink a temp
+#: file another thread of this process is actively writing.
+_LOCK = threading.Lock()
+
+#: Directories already swept by this process (sweep once per directory;
+#: keys are resolved so relative/absolute spellings coincide).
 _SWEPT: Set[Path] = set()
+
+#: Resolved temp paths with a write in flight, with a count per path —
+#: concurrent writers of the same destination share one temp name.
+_IN_FLIGHT: Dict[Path, int] = {}
 
 
 def temp_path_for(path: Union[str, Path]) -> Path:
@@ -77,9 +88,14 @@ def sweep_stale_temps(directory: Union[str, Path],
     SIGKILL'd mid-write; without this sweep those orphans survive forever.
     Temp files whose pid is still running are left untouched (they belong
     to a live concurrent writer).  Our own pid's leftovers are also
-    removed: any such file predates this call (atomic writes unlink theirs
-    before returning) and would otherwise shadow nothing while wasting
-    space.
+    removed — except those another *thread* of this process is writing
+    right now (tracked in a process-wide in-flight registry; temp names
+    carry only the pid, so a sibling thread's live temp is otherwise
+    indistinguishable from a stale one).
+
+    The sweep runs under a process-wide lock and resolves ``directory``
+    first, so relative and absolute spellings of one directory count as
+    one sweep.
 
     Args:
         directory: Directory to sweep (missing directories are a no-op).
@@ -88,31 +104,37 @@ def sweep_stale_temps(directory: Union[str, Path],
     Returns:
         Number of orphaned temp files removed.
     """
-    directory = Path(directory)
-    if not force and directory in _SWEPT:
-        return 0
-    _SWEPT.add(directory)
-    if not directory.is_dir():
-        return 0
-    removed = 0
-    own_pid = os.getpid()
     try:
-        entries = list(directory.iterdir())
+        directory = Path(directory).resolve()
     except OSError:
         return 0
-    for entry in entries:
-        match = _TEMP_SUFFIX.search(entry.name)
-        if match is None:
-            continue
-        pid = int(match.group(1))
-        if pid != own_pid and _pid_alive(pid):
-            continue
+    with _LOCK:
+        if not force and directory in _SWEPT:
+            return 0
+        _SWEPT.add(directory)
+        if not directory.is_dir():
+            return 0
+        removed = 0
+        own_pid = os.getpid()
         try:
-            entry.unlink()
-            removed += 1
+            entries = list(directory.iterdir())
         except OSError:
-            continue
-    return removed
+            return 0
+        for entry in entries:
+            match = _TEMP_SUFFIX.search(entry.name)
+            if match is None:
+                continue
+            if entry in _IN_FLIGHT:
+                continue  # a sibling thread's live write
+            pid = int(match.group(1))
+            if pid != own_pid and _pid_alive(pid):
+                continue
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
 
 
 def atomic_write(path: Union[str, Path],
@@ -133,13 +155,28 @@ def atomic_write(path: Union[str, Path],
         The final path.
     """
     path = Path(path)
-    sweep_stale_temps(path.parent)
     temp = temp_path_for(path)
+    # Register the temp (by resolved path, matching the sweep's iterdir
+    # spelling) before any sweep can run, so a concurrent thread's sweep
+    # of this directory skips it for the whole write.
     try:
+        guard = path.parent.resolve() / temp.name
+    except OSError:
+        guard = temp
+    with _LOCK:
+        _IN_FLIGHT[guard] = _IN_FLIGHT.get(guard, 0) + 1
+    try:
+        sweep_stale_temps(path.parent)
         writer(temp)
         os.replace(temp, path)
     finally:
         temp.unlink(missing_ok=True)
+        with _LOCK:
+            count = _IN_FLIGHT.get(guard, 1) - 1
+            if count:
+                _IN_FLIGHT[guard] = count
+            else:
+                _IN_FLIGHT.pop(guard, None)
     return path
 
 

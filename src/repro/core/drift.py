@@ -188,16 +188,33 @@ class DriftMonitor:
     # ------------------------------------------------------------------
 
     def state(self) -> Dict[str, np.ndarray]:
-        """Npz-able monitor state: per-category windows, no alarm table.
+        """Npz-able monitor state: per-category windows + alarm table.
 
-        Alarm records reference event *objects*; the serve checkpoint
-        stores them alongside the evaluator's own detection table, so only
-        the windows (the part that cannot be re-derived) persist here.
+        Both halves must persist: the windows cannot be re-derived from
+        the long-run accumulators, and the first-detection alarm table is
+        what keeps already-alarmed cells from re-firing as new first
+        detections after a checkpoint/resume.  Alarm events are stored by
+        their string value (npz-friendly) and rebound to
+        :class:`~repro.uarch.events.HpcEvent` on restore.
         """
         out: Dict[str, np.ndarray] = {}
         for category in sorted(self._windows):
             for key, value in self._windows[category].state().items():
                 out[f"drift/cat{category}/{key}"] = value
+        if self._alarms:
+            alarms = self.alarms()
+            out["drift/alarms/category"] = np.asarray(
+                [a.category for a in alarms], dtype=np.int64)
+            out["drift/alarms/event"] = np.asarray(
+                [a.event.value for a in alarms])
+            out["drift/alarms/z_score"] = np.asarray(
+                [a.z_score for a in alarms], dtype=np.float64)
+            out["drift/alarms/window"] = np.asarray(
+                [a.window for a in alarms], dtype=np.int64)
+            out["drift/alarms/baseline_n"] = np.asarray(
+                [a.baseline_n for a in alarms], dtype=np.int64)
+            out["drift/alarms/tick"] = np.asarray(
+                [a.tick for a in alarms], dtype=np.int64)
         return out
 
     @classmethod
@@ -214,4 +231,14 @@ class DriftMonitor:
         for category, state in per_category.items():
             monitor._windows[category] = SlidingWindowMoments.from_state(
                 state)
+        if "drift/alarms/category" in arrays:
+            columns = [np.asarray(arrays[f"drift/alarms/{name}"])
+                       for name in ("category", "event", "z_score",
+                                    "window", "baseline_n", "tick")]
+            for category, event, z, win, baseline_n, tick in zip(*columns):
+                alarm = DriftAlarm(
+                    category=int(category), event=HpcEvent(str(event)),
+                    z_score=float(z), window=int(win),
+                    baseline_n=int(baseline_n), tick=int(tick))
+                monitor._alarms[(alarm.category, alarm.event)] = alarm
         return monitor

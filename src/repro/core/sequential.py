@@ -88,10 +88,12 @@ def spend_alpha(alpha: float, tick: int, scheme: str = "geometric") -> float:
     if tick < 1:
         raise EvaluationError(f"tick must be >= 1, got {tick}")
     if scheme == "geometric":
-        # Beyond ~2^-1074 the spent alpha underflows to exactly 0.0:
-        # p-values can never beat it, which is the correct degenerate
-        # behaviour for a budget spent this deep into the stream.
-        return alpha / (2.0 ** tick) if tick < 1075 else 0.0
+        # The negative exponent never overflows: beyond ~2^-1074 the
+        # factor underflows to exactly 0.0, and p-values can never beat
+        # a zero budget — the correct degenerate behaviour this deep
+        # into the stream.  (``alpha / 2.0 ** tick`` would instead raise
+        # OverflowError from tick 1024 on.)
+        return alpha * (2.0 ** -tick)
     if scheme == "harmonic":
         return alpha / (tick * (tick + 1.0))
     raise EvaluationError(

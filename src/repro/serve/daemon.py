@@ -39,13 +39,9 @@ from ..errors import EvaluationError
 from ..obs import runtime as obs
 from .config import ServeConfig
 from .monitor import MeasurementRound, RoundOutcome, TenantMonitor
-from .queues import AdmissionController, RoundShard
+from .queues import AdmissionController, RoundShard, TenantFailure
 
 __all__ = ["MonitorDaemon", "TenantFailure"]
-
-
-class TenantFailure(EvaluationError):
-    """A tenant's consumer exhausted its restart budget."""
 
 
 class MonitorDaemon:
@@ -106,15 +102,33 @@ class MonitorDaemon:
         obs.inc("serve.started")
 
     async def drain(self) -> None:
-        """Wait until every admitted round has been fully ingested."""
-        queues = [queue
-                  for spec in self.config.tenants
-                  for queue in self.admission.shards(spec.tenant).values()]
-        await asyncio.gather(*(queue.join() for queue in queues))
+        """Wait until every live tenant's admitted rounds are ingested.
+
+        Failed tenants never block the drain: their consumers are gone,
+        so their shards would never join — a tenant that is already dead
+        is skipped, and one dying mid-drain releases the wait the moment
+        its failure event fires.
+        """
+        await asyncio.gather(*(self._drain_tenant(spec.tenant)
+                               for spec in self.config.tenants))
+
+    async def _drain_tenant(self, tenant: str) -> None:
+        join = asyncio.gather(
+            *(queue.join()
+              for queue in self.admission.shards(tenant).values()))
+        dead = asyncio.get_running_loop().create_task(
+            self.admission.failure_event(tenant).wait())
+        try:
+            await asyncio.wait({join, dead},
+                               return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            for task in (join, dead):
+                task.cancel()
+            await asyncio.gather(join, dead, return_exceptions=True)
 
     async def stop(self, drain: bool = True) -> Dict[str, Dict[str, object]]:
         """Drain (optionally), cancel consumers, checkpoint, summarize."""
-        if drain and not self.failed:
+        if drain:
             await self.drain()
         self._stopped = True
         for task in self._tasks:
@@ -165,6 +179,10 @@ class MonitorDaemon:
                 obs.inc("serve.consumer_restart", tenant=tenant)
                 if self.restarts[tenant] > self.config.max_consumer_restarts:
                     self.failed[tenant] = exc
+                    # Wake producers blocked on this tenant's full shards
+                    # (and any drain waiting on them) — nothing will ever
+                    # consume those queues again.
+                    self.admission.fail_tenant(tenant)
                     obs.inc("serve.tenant_failed", tenant=tenant)
                     raise TenantFailure(
                         f"tenant {tenant!r} consumer exceeded "

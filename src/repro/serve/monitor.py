@@ -121,6 +121,13 @@ class TenantMonitor:
         The canonical fold order is load-bearing: it is exactly the order
         ``MeasurementSession.stream`` and ``replay_stream`` use, which is
         what makes daemon verdicts bit-identical to offline ones.
+
+        Ingestion is all-or-nothing: every batch is validated and
+        converted before the first accumulator is touched, so a rejected
+        round leaves the monitor bit-identical to before the call.  The
+        daemon's exactly-once re-ingest after a consumer restart depends
+        on this — a round that half-mutated state before raising would be
+        double-counted on replay.
         """
         if round_.tenant != self.spec.tenant:
             raise EvaluationError(
@@ -131,8 +138,27 @@ class TenantMonitor:
             raise EvaluationError(
                 f"round {round_.index} of tenant {round_.tenant!r} is "
                 f"missing categories {sorted(missing)}")
+        columns = len(self.spec.events)
+        batches: Dict[int, np.ndarray] = {}
         for category in sorted(round_.batches):
-            rows = np.asarray(round_.batches[category], dtype=np.float64)
+            try:
+                rows = np.asarray(round_.batches[category],
+                                  dtype=np.float64)
+            except (TypeError, ValueError) as exc:
+                raise EvaluationError(
+                    f"round {round_.index} of tenant {round_.tenant!r}: "
+                    f"category {category} rows are not numeric") from exc
+            if rows.ndim == 1:
+                rows = rows[None, :]
+            if rows.ndim != 2 or rows.shape[1] != columns:
+                raise EvaluationError(
+                    f"round {round_.index} of tenant {round_.tenant!r}: "
+                    f"category {category} rows have shape {rows.shape}, "
+                    f"expected (B, {columns})")
+            batches[category] = rows
+        # Validated float64 (B, E) arrays only from here on: the folds
+        # below are pure accumulator arithmetic and cannot raise.
+        for category, rows in batches.items():
             self.evaluator.observe_rows(category, rows)
             if self.drift is not None:
                 self.drift.observe(category, rows)
@@ -223,10 +249,20 @@ class TenantMonitor:
     # ------------------------------------------------------------------
 
     def state(self) -> Dict[str, np.ndarray]:
-        """Npz-able monitor state (evaluator + drift windows)."""
+        """Npz-able monitor state (evaluator, drift, alarm history).
+
+        Alongside the evaluator accumulators and drift windows/alarm
+        table, the spending-layer alarm history persists as ``(tick,
+        round_index)`` rows so :attr:`leakage_alarmed` and the summary's
+        first-alarm tick survive a checkpoint/resume.
+        """
         out = self.evaluator.state()
         out["serve/rounds"] = np.asarray([self.rounds_ingested],
                                          dtype=np.int64)
+        if self._alarm_history:
+            out["serve/alarm_rounds"] = np.asarray(
+                [[outcome.tick, outcome.round_index]
+                 for outcome in self._alarm_history], dtype=np.int64)
         if self.drift is not None:
             out.update(self.drift.state())
         return out
@@ -234,13 +270,30 @@ class TenantMonitor:
     @classmethod
     def from_state(cls, arrays: Mapping[str, np.ndarray],
                    spec: TenantSpec, config: ServeConfig) -> "TenantMonitor":
-        """Rebuild a monitor from persisted :meth:`state` arrays."""
+        """Rebuild a monitor from persisted :meth:`state` arrays.
+
+        Restored alarm-history records carry the tick, round index and
+        (recomputed) spent alpha of each alarmed round; the full
+        :class:`~repro.core.alarm.Alarm` decision object is not
+        persisted, so :attr:`leakage_alarmed`, the first-alarm tick and
+        the alarm count survive the round trip while the per-alarm
+        report details do not.
+        """
         monitor = cls(spec, config)
         monitor.evaluator = StreamingEvaluator.from_state(
             arrays, confidence=config.confidence, method=config.method)
         if "serve/rounds" in arrays:
             monitor.rounds_ingested = int(
                 np.asarray(arrays["serve/rounds"])[0])
+        if "serve/alarm_rounds" in arrays:
+            rows = np.asarray(arrays["serve/alarm_rounds"], dtype=np.int64)
+            for tick, round_index in rows.tolist():
+                monitor._alarm_history.append(RoundOutcome(
+                    tenant=spec.tenant, round_index=int(round_index),
+                    tick=int(tick),
+                    spent_alpha=spend_alpha(config.alpha, int(tick),
+                                            scheme=config.spending)))
+            monitor._first_leakage_alarm = monitor._alarm_history[0]
         if monitor.drift is not None:
             monitor.drift = DriftMonitor.from_state(
                 arrays, window=config.drift_window,

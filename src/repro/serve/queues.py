@@ -32,7 +32,16 @@ from ..obs import runtime as obs
 from .config import ServeConfig
 from .monitor import MeasurementRound
 
-__all__ = ["AdmissionController", "RoundShard"]
+__all__ = ["AdmissionController", "RoundShard", "TenantFailure"]
+
+
+class TenantFailure(EvaluationError):
+    """A tenant's consumer is dead (restart budget exhausted).
+
+    Raised by the daemon's producer API for new submissions to a failed
+    tenant, and by :meth:`AdmissionController.submit` to wake producers
+    that were already blocked on a full shard when the tenant died.
+    """
 
 
 class RoundShard:
@@ -62,11 +71,13 @@ class AdmissionController:
         self._buffered_bytes: Dict[str, int] = {}
         self.admitted: Dict[str, int] = {}
         self.rejected: Dict[str, int] = {}
+        self._failures: Dict[str, asyncio.Event] = {}
         for spec in config.tenants:
             self._shards[spec.tenant] = {
                 category: asyncio.Queue(maxsize=config.queue_capacity)
                 for category in sorted(spec.categories)}
             self._locks[spec.tenant] = asyncio.Lock()
+            self._failures[spec.tenant] = asyncio.Event()
             self._buffered_bytes[spec.tenant] = 0
             self.admitted[spec.tenant] = 0
             self.rejected[spec.tenant] = 0
@@ -85,6 +96,15 @@ class AdmissionController:
             True when admitted.  Under ``block`` admission this awaits
             shard space and always returns True; under ``reject`` a round
             facing any full shard is dropped in O(1) and False returned.
+
+        Raises:
+            TenantFailure: The tenant died — before this submission, or
+                while it was blocked on a full shard (:meth:`fail_tenant`
+                wakes the blocked producer instead of leaving it awaiting
+                a consumer that will never drain).  A round interrupted
+                mid-commit may leave batches on some shards; that is
+                harmless, because a failed tenant's shards are never
+                consumed again.
         """
         shards = self.shards(round_.tenant)
         missing = set(shards) - set(round_.batches)
@@ -92,7 +112,12 @@ class AdmissionController:
             raise EvaluationError(
                 f"round {round_.index} for tenant {round_.tenant!r} is "
                 f"missing categories {sorted(missing)}")
+        failed = self._failures[round_.tenant]
         async with self._locks[round_.tenant]:
+            if failed.is_set():
+                raise TenantFailure(
+                    f"tenant {round_.tenant!r} failed; round "
+                    f"{round_.index} not admitted")
             if self.config.admission == "reject":
                 # Fullness check and puts with no awaits in between: the
                 # whole round commits against one consistent snapshot.
@@ -109,10 +134,47 @@ class AdmissionController:
                     await shards[category].put(RoundShard(
                         round_.index, round_.submitted_at,
                         round_.batches[category]))
+                    # A put that was blocked when the tenant died is
+                    # woken by fail_tenant's shard flush (the freed slot
+                    # completes it); this check turns that wake-up — and
+                    # a failure racing a non-blocked round — into the
+                    # failure the producer must see.
+                    if failed.is_set():
+                        raise TenantFailure(
+                            f"tenant {round_.tenant!r} failed while "
+                            f"round {round_.index} was being admitted")
             self.admitted[round_.tenant] += 1
             self._buffered_bytes[round_.tenant] += round_.nbytes()
             self._note_depth(round_.tenant, shards)
         return True
+
+    def fail_tenant(self, tenant: str) -> None:
+        """Mark ``tenant`` dead: wake its blocked producer for good.
+
+        Flushing the dead tenant's shards frees the slot any blocked put
+        is waiting on (the per-tenant lock admits at most one in-flight
+        submit, so one flush wakes it); the put then completes and its
+        :meth:`submit` raises :class:`TenantFailure` on the post-put
+        failure check, as does every later submit at the pre-check.
+        Idempotent; the flushed rounds were destined for a consumer that
+        no longer exists.
+        """
+        self._failures[tenant].set()
+        for queue in self.shards(tenant).values():
+            while True:
+                try:
+                    queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+        self._buffered_bytes[tenant] = 0
+        self._note_depth(tenant, self.shards(tenant))
+
+    def failure_event(self, tenant: str) -> asyncio.Event:
+        """The failure event of ``tenant`` (set once the consumer died)."""
+        try:
+            return self._failures[tenant]
+        except KeyError:
+            raise EvaluationError(f"unknown tenant {tenant!r}") from None
 
     def on_round_consumed(self, tenant: str, nbytes: int) -> None:
         """Consumer callback: a fetched round left the buffer."""

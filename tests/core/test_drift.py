@@ -167,6 +167,17 @@ class TestSpendAlpha:
     def test_geometric_underflow_is_exactly_zero(self):
         assert spend_alpha(0.05, 5000) == 0.0
 
+    def test_geometric_deep_ticks_never_overflow(self):
+        # Regression: `alpha / 2.0**tick` raised OverflowError for ticks
+        # 1024-1074, crashing the resident daemon's consumer at tick 1024
+        # deterministically.  The negative-exponent form underflows
+        # gracefully instead.
+        values = [spend_alpha(0.05, t) for t in range(1020, 1080)]
+        assert all(v >= 0.0 for v in values)
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert spend_alpha(0.05, 1024) > 0.0
+        assert spend_alpha(0.05, 1100) == 0.0
+
     def test_schemes_are_monotone_decreasing(self):
         for scheme in SPENDING_SCHEMES:
             values = [spend_alpha(0.05, t, scheme=scheme)

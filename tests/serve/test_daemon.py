@@ -7,6 +7,7 @@ import pytest
 
 from repro.core.streaming import StreamingEvaluator
 from repro.serve import (
+    AdmissionController,
     MeasurementRound,
     MonitorDaemon,
     ServeConfig,
@@ -245,6 +246,71 @@ class TestCrashRecovery:
         assert "t" in daemon.failed
         assert daemon.restarts["t"] == config.max_consumer_restarts + 1
         assert daemon.summary()["t"]["failed"] is True
+
+    def test_fail_tenant_wakes_a_blocked_submit(self):
+        # Regression: a producer awaiting shard space used to sleep
+        # forever once the tenant's consumer died (nothing would ever
+        # drain the shard it was blocked on).
+        config = make_config(tenants=(TenantSpec("t", categories=(0, 1)),),
+                             admission="block", queue_capacity=1)
+        load = SyntheticTenantLoad(config.tenants[0], seed=23)
+
+        async def main():
+            admission = AdmissionController(config)
+            await admission.submit(MeasurementRound(
+                tenant="t", index=0,
+                batches=load.round_batches(0, config.batch_size)))
+            blocked = asyncio.ensure_future(admission.submit(
+                MeasurementRound(
+                    tenant="t", index=1,
+                    batches=load.round_batches(1, config.batch_size))))
+            for _ in range(5):
+                await asyncio.sleep(0)  # let it block on the full shard
+            assert not blocked.done()
+            admission.fail_tenant("t")
+            with pytest.raises(TenantFailure):
+                await asyncio.wait_for(blocked, timeout=5.0)
+            # Later submissions fail fast instead of blocking.
+            with pytest.raises(TenantFailure):
+                await asyncio.wait_for(admission.submit(MeasurementRound(
+                    tenant="t", index=2,
+                    batches=load.round_batches(2, config.batch_size))),
+                    timeout=5.0)
+
+        asyncio.run(main())
+
+    def test_dead_tenant_never_wedges_producers_or_shutdown(self):
+        # End to end: the consumer poisons itself on the parked round and
+        # burns its restart budget while the producer floods the 1-slot
+        # shards; the producer must raise TenantFailure (whether blocked
+        # mid-put or pre-checked) and stop(drain=True) must not hang on
+        # the dead tenant's never-drained shards.
+        config = make_config(
+            tenants=(TenantSpec("t", categories=(0, 1)),),
+            admission="block", queue_capacity=1, max_consumer_restarts=2)
+        load = SyntheticTenantLoad(config.tenants[0], seed=24)
+
+        def always_crash(tenant, round_index):
+            raise RuntimeError("poisoned round")
+
+        async def main():
+            daemon = MonitorDaemon(config, ingest_fault=always_crash)
+            daemon.start()
+
+            async def produce():
+                for i in range(10):
+                    await daemon.submit_round(MeasurementRound(
+                        tenant="t", index=i,
+                        batches=load.round_batches(i, config.batch_size)))
+
+            with pytest.raises(TenantFailure):
+                await asyncio.wait_for(produce(), timeout=10.0)
+            await asyncio.wait_for(daemon.stop(), timeout=10.0)
+            return daemon
+
+        daemon = asyncio.run(main())
+        assert "t" in daemon.failed
+        assert daemon.monitors["t"].rounds_ingested == 0
 
     def test_other_tenants_survive_one_tenants_failure(self):
         config = make_config(max_consumer_restarts=0)

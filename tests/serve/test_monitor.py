@@ -171,6 +171,44 @@ class TestValidation:
                 tenant="t", index=0,
                 batches={0: np.ones((2, len(ALL_EVENTS)))}))
 
+    def test_malformed_batch_is_rejected_without_side_effects(self):
+        # Regression: a round whose *last* category failed validation
+        # used to leave the earlier categories folded in, so the
+        # daemon's re-ingest after a consumer restart double-counted
+        # them.  Ingestion must be all-or-nothing.
+        config = make_config(drift_threshold=5.0)
+        spec = config.tenants[0]
+        monitor = TenantMonitor(spec, config)
+        load = SyntheticTenantLoad(spec, seed=20)
+        for i in range(3):
+            monitor.ingest_round(MeasurementRound(
+                tenant="t", index=i,
+                batches=load.round_batches(i, config.batch_size)))
+        before = monitor.state()
+
+        bad = dict(load.round_batches(3, config.batch_size))
+        bad[2] = np.ones((config.batch_size, len(spec.events) + 1))
+        with pytest.raises(EvaluationError, match="shape"):
+            monitor.ingest_round(MeasurementRound(
+                tenant="t", index=3, batches=bad))
+        non_numeric = dict(load.round_batches(3, config.batch_size))
+        non_numeric[1] = np.array([["not", "a"], ["number", "row"]])
+        with pytest.raises(EvaluationError, match="not numeric"):
+            monitor.ingest_round(MeasurementRound(
+                tenant="t", index=3, batches=non_numeric))
+
+        after = monitor.state()
+        assert set(after) == set(before)
+        for key in before:
+            assert np.array_equal(after[key], before[key]), key
+        assert monitor.rounds_ingested == 3
+        # A corrected round then ingests cleanly.
+        outcome = monitor.ingest_round(MeasurementRound(
+            tenant="t", index=3,
+            batches=load.round_batches(3, config.batch_size)))
+        assert outcome.round_index == 3
+        assert monitor.rounds_ingested == 4
+
     def test_config_validation(self):
         with pytest.raises(ConfigError):
             ServeConfig(tenants=())
@@ -205,6 +243,66 @@ class TestPersistence:
         assert set(got) == set(want)
         for key in want:
             assert np.array_equal(got[key], want[key]), key
+
+    def test_leakage_alarm_state_survives_round_trip(self):
+        # Regression: checkpoint/resume used to forget that the spending
+        # layer had ever fired — leakage_alarmed reported False after a
+        # --state-dir resume.
+        config = make_config()
+        spec = config.tenants[0]
+        monitor = TenantMonitor(spec, config)
+        load = SyntheticTenantLoad(spec, seed=21)
+        for i in range(6):
+            monitor.ingest_round(MeasurementRound(
+                tenant="t", index=i,
+                batches=load.round_batches(i, config.batch_size)))
+        assert monitor.leakage_alarmed  # signal is real
+
+        restored = TenantMonitor.from_state(monitor.state(), spec, config)
+        assert restored.leakage_alarmed
+        first, twin = monitor.first_leakage_alarm, \
+            restored.first_leakage_alarm
+        assert twin.tick == first.tick
+        assert twin.round_index == first.round_index
+        assert twin.spent_alpha == first.spent_alpha
+        assert restored.summary()["leakage_alarm_tick"] \
+            == monitor.summary()["leakage_alarm_tick"]
+        # The restored history re-persists identically.
+        again = TenantMonitor.from_state(restored.state(), spec, config)
+        got, want = again.state(), monitor.state()
+        assert set(got) == set(want)
+        for key in want:
+            assert np.array_equal(got[key], want[key]), key
+
+    def test_drift_alarms_survive_round_trip_and_do_not_refire(self):
+        # Regression: the drift first-detection table was dropped by
+        # checkpoints, so already-alarmed cells re-fired as new first
+        # detections after a resume.
+        config = make_config(drift_threshold=5.0, drift_window=16)
+        spec = config.tenants[0]
+        load = SyntheticTenantLoad(spec, seed=22, drift_after_round=4,
+                                   drift_shift=8.0)
+        monitor = TenantMonitor(spec, config)
+        for i in range(12):
+            monitor.ingest_round(MeasurementRound(
+                tenant="t", index=i,
+                batches=load.round_batches(i, config.batch_size)))
+        assert monitor.drift_alarmed  # signal is real
+
+        restored = TenantMonitor.from_state(monitor.state(), spec, config)
+        assert restored.drift_alarmed
+        assert restored.drift.alarm_rows() == monitor.drift.alarm_rows()
+        # Continuing the drifted stream raises exactly what the
+        # uninterrupted monitor raises — no cell fires twice.
+        for i in range(12, 16):
+            batches = load.round_batches(i, config.batch_size)
+            got = restored.ingest_round(MeasurementRound(
+                tenant="t", index=i, batches=batches))
+            want = monitor.ingest_round(MeasurementRound(
+                tenant="t", index=i, batches=batches))
+            assert [a.to_dict() for a in got.drift_alarms] \
+                == [a.to_dict() for a in want.drift_alarms]
+        assert restored.drift.alarm_rows() == monitor.drift.alarm_rows()
 
     def test_resumed_monitor_continues_identically(self):
         config = make_config()

@@ -130,6 +130,37 @@ class TestStaleTempSweep:
     def test_missing_directory_is_noop(self, tmp_path):
         assert sweep_stale_temps(tmp_path / "nope") == 0
 
+    def test_sweep_skips_in_flight_temp_of_own_process(self, tmp_path):
+        # Regression: temp names carry only the pid, so a sweep racing a
+        # sibling thread's in-flight write into the same directory used
+        # to unlink its live temp and fail its os.replace.  The write
+        # registers its temp; a sweep during the write must skip it.
+        target = tmp_path / "artifact.txt"
+
+        def writer(temp):
+            temp.write_text("payload")
+            assert sweep_stale_temps(tmp_path, force=True) == 0
+            assert temp.exists()
+
+        atomic_write(target, writer)
+        assert target.read_text() == "payload"
+
+    def test_relative_and_absolute_spellings_sweep_once(self, tmp_path,
+                                                        monkeypatch):
+        # Regression: the once-per-directory registry compared
+        # unnormalized Paths, so "dir" and "/abs/dir" swept twice.
+        dead = subprocess.Popen([sys.executable, "-c", "pass"])
+        dead.wait()
+        sub = tmp_path / "cache"
+        sub.mkdir()
+        orphan = sub / f"a.npz.tmp-{dead.pid}"
+        orphan.write_bytes(b"torn")
+        monkeypatch.chdir(tmp_path)
+        assert sweep_stale_temps("cache") == 1
+        orphan.write_bytes(b"torn")
+        assert sweep_stale_temps(sub) == 0  # absolute spelling: no resweep
+        assert orphan.exists()
+
 
 class TestTraceStoreLeakRegression:
     def test_failed_save_leaves_store_dir_clean(self, tmp_path, monkeypatch):
